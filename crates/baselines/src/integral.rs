@@ -1,0 +1,180 @@
+//! Integral (non-modular) linear constraint solving — the baseline whose
+//! "false negative effect" the paper's modular solver avoids.
+//!
+//! The solver performs fraction-free Gaussian elimination over the rationals
+//! and accepts a system only if it finds an integer solution inside the
+//! bit-vector range `[0, 2^width)`. Systems whose only solutions arise from
+//! wrap-around (like the paper's `x + y = 5`, `2x + 7y = 4` example) are
+//! reported infeasible — the false negative the modular solver fixes.
+
+use wlac_modsolve::Ring;
+
+/// A linear system interpreted over the integers.
+#[derive(Debug, Clone)]
+pub struct IntegralLinearSystem {
+    width: u32,
+    num_vars: usize,
+    rows: Vec<(Vec<i128>, i128)>,
+}
+
+/// Outcome of the integral solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegralOutcome {
+    /// An in-range integer solution.
+    Solution(Vec<u64>),
+    /// No in-range integer solution exists (possibly a *false negative* with
+    /// respect to the modular semantics of the hardware).
+    Infeasible,
+    /// The system is under-determined in a way this simple solver does not
+    /// explore (free variables remain).
+    Unknown,
+}
+
+impl IntegralLinearSystem {
+    /// Creates an empty system over `num_vars` variables of the given width.
+    pub fn new(width: u32, num_vars: usize) -> Self {
+        IntegralLinearSystem {
+            width,
+            num_vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds `Σ coeffs[i]·x_i = rhs` (coefficients are interpreted as the
+    /// signed value of the modular coefficient, e.g. `2^w - 1` means `-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs.len() != num_vars`.
+    pub fn add_equation(&mut self, coeffs: &[u64], rhs: u64) {
+        assert_eq!(coeffs.len(), self.num_vars, "coefficient count mismatch");
+        let ring = Ring::new(self.width);
+        let signed = |v: u64| -> i128 {
+            let v = ring.reduce(v);
+            let half = 1u64 << (self.width - 1);
+            if v >= half {
+                v as i128 - ring.modulus() as i128
+            } else {
+                v as i128
+            }
+        };
+        self.rows
+            .push((coeffs.iter().map(|c| signed(*c)).collect(), signed(rhs)));
+    }
+
+    /// Solves the system over the rationals and checks integrality and range.
+    pub fn solve(&self) -> IntegralOutcome {
+        let m = self.rows.len();
+        let n = self.num_vars;
+        // Rational Gaussian elimination with (numerator, denominator) pairs.
+        let mut a: Vec<Vec<f64>> = self
+            .rows
+            .iter()
+            .map(|(c, r)| {
+                c.iter()
+                    .map(|v| *v as f64)
+                    .chain(std::iter::once(*r as f64))
+                    .collect()
+            })
+            .collect();
+        let mut pivot_cols = Vec::new();
+        let mut row = 0;
+        for col in 0..n {
+            let Some(p) = (row..m).find(|r| a[*r][col].abs() > 1e-9) else {
+                continue;
+            };
+            a.swap(row, p);
+            let pivot = a[row][col];
+            for c in col..=n {
+                a[row][c] /= pivot;
+            }
+            for r in 0..m {
+                if r != row && a[r][col].abs() > 1e-9 {
+                    let factor = a[r][col];
+                    for c in col..=n {
+                        a[r][c] -= factor * a[row][c];
+                    }
+                }
+            }
+            pivot_cols.push((row, col));
+            row += 1;
+            if row == m {
+                break;
+            }
+        }
+        // Inconsistent rows.
+        for r in row..m {
+            if a[r][n].abs() > 1e-6 {
+                return IntegralOutcome::Infeasible;
+            }
+        }
+        if pivot_cols.len() < n {
+            return IntegralOutcome::Unknown;
+        }
+        let mut solution = vec![0u64; n];
+        let max = if self.width == 64 {
+            u64::MAX as f64
+        } else {
+            ((1u64 << self.width) - 1) as f64
+        };
+        for (r, c) in pivot_cols {
+            let value = a[r][n];
+            if (value - value.round()).abs() > 1e-6 || value.round() < 0.0 || value.round() > max {
+                return IntegralOutcome::Infeasible;
+            }
+            solution[c] = value.round() as u64;
+        }
+        IntegralOutcome::Solution(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_modsolve::LinearSystem;
+
+    #[test]
+    fn ordinary_system_solved_by_both() {
+        // x + y = 5, x - y = 1 → (3, 2) for both solvers.
+        let mut integral = IntegralLinearSystem::new(4, 2);
+        integral.add_equation(&[1, 1], 5);
+        integral.add_equation(&[1, 15], 1); // 15 ≡ -1 (mod 16)
+        assert_eq!(integral.solve(), IntegralOutcome::Solution(vec![3, 2]));
+        let mut modular = LinearSystem::new(Ring::new(4), 2);
+        modular.add_equation(&[1, 1], 5);
+        modular.add_equation(&[1, 15], 1);
+        assert_eq!(modular.solve().unwrap().particular(), &[3, 2]);
+    }
+
+    #[test]
+    fn paper_example_is_a_false_negative_for_the_integral_solver() {
+        // x + y = 5, 2x + 7y = 4 over 3-bit vectors: the integral solution
+        // x = 31/5 is not an integer, so the integral solver reports
+        // infeasible — but the modular solver finds (3, 2).
+        let mut integral = IntegralLinearSystem::new(3, 2);
+        integral.add_equation(&[1, 1], 5);
+        integral.add_equation(&[2, 7], 4);
+        assert_eq!(integral.solve(), IntegralOutcome::Infeasible);
+        let mut modular = LinearSystem::new(Ring::new(3), 2);
+        modular.add_equation(&[1, 1], 5);
+        modular.add_equation(&[2, 7], 4);
+        assert_eq!(modular.solve().unwrap().particular(), &[3, 2]);
+    }
+
+    #[test]
+    fn range_and_underdetermination_handling() {
+        // A small in-range solution is accepted.
+        let mut integral = IntegralLinearSystem::new(4, 1);
+        integral.add_equation(&[1], 5);
+        assert_eq!(integral.solve(), IntegralOutcome::Solution(vec![5]));
+        // Negative-only solutions (here x = -4, the signed reading of 12) are
+        // rejected as out of the bit-vector range.
+        let mut negative = IntegralLinearSystem::new(4, 1);
+        negative.add_equation(&[1], 12);
+        assert_eq!(negative.solve(), IntegralOutcome::Infeasible);
+        // Under-determined systems are not explored by this simple baseline.
+        let mut wide = IntegralLinearSystem::new(4, 2);
+        wide.add_equation(&[1, 0], 5);
+        assert_eq!(wide.solve(), IntegralOutcome::Unknown);
+    }
+}

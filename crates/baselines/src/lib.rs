@@ -1,0 +1,30 @@
+//! # wlac-baselines — comparison baselines for the WLAC checker
+//!
+//! Self-contained implementations of the techniques the paper positions its
+//! word-level ATPG + modular arithmetic approach against:
+//!
+//! * [`bounded_model_check`] — SAT-based bounded model checking over a
+//!   bit-blasted (Tseitin) encoding of the design, in the style of
+//!   Biere et al. \[13\]; backed by the small DPLL solver in [`Cnf`],
+//! * [`IntegralLinearSystem`] — integral (non-modular) linear constraint
+//!   solving, which exhibits the "false negative effect" on wrap-around
+//!   solutions that the modular solver avoids,
+//! * [`random_simulation`] — the random test-bench straw man from the
+//!   paper's introduction.
+//!
+//! These are used by the `wlac-bench` harness to regenerate the paper's
+//! qualitative comparisons (memory efficiency, scalability, false-negative
+//! avoidance).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitblast;
+mod integral;
+mod random_sim;
+mod sat;
+
+pub use bitblast::{bounded_model_check, BitBlaster, BmcOutcome, BmcReport, UnsupportedGateError};
+pub use integral::{IntegralLinearSystem, IntegralOutcome};
+pub use random_sim::{random_simulation, RandomSimReport};
+pub use sat::{Cnf, Lit};

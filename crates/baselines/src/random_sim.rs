@@ -1,0 +1,114 @@
+//! Random simulation baseline.
+//!
+//! The paper's introduction motivates deterministic techniques by the
+//! weakness of random test-benches on corner-case bugs. This baseline
+//! implements that straw man: drive the design with uniformly random inputs
+//! for a number of runs and report whether the monitor was ever violated
+//! (for `Always` properties) or satisfied (for `Eventually` witnesses).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use wlac_atpg::{PropertyKind, Verification};
+use wlac_bv::Bv;
+use wlac_sim::simulate;
+
+/// Result of a random-simulation campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomSimReport {
+    /// `true` when the target event (violation or witness) was observed.
+    pub target_hit: bool,
+    /// Cycle of the first hit, if any.
+    pub first_hit_cycle: Option<usize>,
+    /// Number of runs simulated.
+    pub runs: usize,
+    /// Cycles simulated per run.
+    pub cycles_per_run: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Simulates `runs` random input sequences of `cycles` cycles each.
+pub fn random_simulation(
+    verification: &Verification,
+    runs: usize,
+    cycles: usize,
+    seed: u64,
+) -> RandomSimReport {
+    let start = Instant::now();
+    let netlist = &verification.netlist;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut target_hit = false;
+    let mut first_hit_cycle = None;
+    'runs: for _ in 0..runs {
+        let mut frames = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            let mut inputs: HashMap<_, _> = HashMap::new();
+            for pi in netlist.inputs() {
+                let width = netlist.net_width(*pi);
+                let words: Vec<u64> = (0..width.div_ceil(64)).map(|_| rng.gen()).collect();
+                inputs.insert(*pi, Bv::from_words(width, &words));
+            }
+            frames.push(inputs);
+        }
+        let Ok(run) = simulate(netlist, &[], &frames) else {
+            break;
+        };
+        for cycle in 0..cycles {
+            let monitor = run.value(cycle, verification.property.monitor);
+            let env_ok = verification
+                .environment
+                .iter()
+                .all(|e| !run.value(cycle, *e).is_zero());
+            if !env_ok {
+                continue;
+            }
+            let hit = match verification.property.kind {
+                PropertyKind::Always => monitor.is_zero(),
+                PropertyKind::Eventually => !monitor.is_zero(),
+            };
+            if hit {
+                target_hit = true;
+                first_hit_cycle = Some(cycle);
+                break 'runs;
+            }
+        }
+    }
+    RandomSimReport {
+        target_hit,
+        first_hit_cycle,
+        runs,
+        cycles_per_run: cycles,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_atpg::Property;
+    use wlac_netlist::Netlist;
+
+    #[test]
+    fn random_simulation_finds_an_easy_witness_but_not_a_corner_case() {
+        // Easy: some input bit is eventually 1. Corner case: a 16-bit input
+        // must equal a specific constant.
+        let mut nl = Netlist::new("rand");
+        let wide = nl.input("wide", 16);
+        let magic = nl.constant(&Bv::from_u64(16, 0xBEEF));
+        let corner = nl.eq(wide, magic);
+        let easy = nl.reduce_or(wide);
+        nl.mark_output("corner", corner);
+
+        let easy_property = Property::eventually(&nl, "easy", easy);
+        let report = random_simulation(&Verification::new(nl.clone(), easy_property), 4, 8, 7);
+        assert!(report.target_hit);
+        assert_eq!(report.runs, 4);
+
+        let corner_property = Property::eventually(&nl, "corner", corner);
+        let report = random_simulation(&Verification::new(nl, corner_property), 4, 8, 7);
+        assert!(!report.target_hit, "2^-16 chance per cycle should not hit in 32 cycles");
+        assert!(report.first_hit_cycle.is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! A small CNF SAT solver (DPLL with unit propagation and activity-free
+//! branching), used by the bit-level bounded model checking baseline.
+
+/// A literal: variable index with polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit {
+    code: u32,
+}
+
+impl Lit {
+    /// Positive literal of variable `var`.
+    pub fn positive(var: usize) -> Self {
+        Lit {
+            code: (var as u32) << 1,
+        }
+    }
+
+    /// Negative literal of variable `var`.
+    pub fn negative(var: usize) -> Self {
+        Lit {
+            code: ((var as u32) << 1) | 1,
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> usize {
+        (self.code >> 1) as usize
+    }
+
+    /// `true` for a negated literal.
+    pub fn is_negative(self) -> bool {
+        self.code & 1 == 1
+    }
+
+    /// The opposite-polarity literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            code: self.code ^ 1,
+        }
+    }
+}
+
+/// A CNF formula.
+#[derive(Debug, Clone, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable and returns its index.
+    pub fn fresh_var(&mut self) -> usize {
+        self.num_vars += 1;
+        self.num_vars - 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    pub fn add_clause(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// Approximate memory held by the formula, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.clauses.iter().map(|c| c.len() * 4 + 24).sum::<usize>() + 48
+    }
+
+    /// Solves the formula.
+    ///
+    /// Returns `Some(model)` (a truth value per variable) when satisfiable,
+    /// `None` when unsatisfiable. `budget` bounds the number of decisions,
+    /// guarding against pathological inputs; exceeding it returns `None`
+    /// conservatively together with `false` in the second tuple slot.
+    pub fn solve(&self, budget: u64) -> (Option<Vec<bool>>, bool) {
+        let mut solver = Dpll {
+            clauses: self.clauses.clone(),
+            assignment: vec![None; self.num_vars],
+            trail: Vec::new(),
+            decisions: 0,
+            budget,
+        };
+        let complete = solver.search(0);
+        match complete {
+            Some(true) => (
+                Some(solver.assignment.iter().map(|v| v.unwrap_or(false)).collect()),
+                true,
+            ),
+            Some(false) => (None, true),
+            None => (None, false),
+        }
+    }
+}
+
+struct Dpll {
+    clauses: Vec<Vec<Lit>>,
+    assignment: Vec<Option<bool>>,
+    trail: Vec<usize>,
+    decisions: u64,
+    budget: u64,
+}
+
+impl Dpll {
+    fn value(&self, lit: Lit) -> Option<bool> {
+        self.assignment[lit.var()].map(|v| v ^ lit.is_negative())
+    }
+
+    fn assign(&mut self, lit: Lit) {
+        self.assignment[lit.var()] = Some(!lit.is_negative());
+        self.trail.push(lit.var());
+    }
+
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("non-empty trail");
+            self.assignment[var] = None;
+        }
+    }
+
+    /// Unit propagation: returns `false` on conflict.
+    fn propagate(&mut self) -> bool {
+        loop {
+            let mut changed = false;
+            for ci in 0..self.clauses.len() {
+                let mut unassigned: Option<Lit> = None;
+                let mut satisfied = false;
+                let mut unassigned_count = 0;
+                for &lit in &self.clauses[ci] {
+                    match self.value(lit) {
+                        Some(true) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(lit);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => return false,
+                    1 => {
+                        self.assign(unassigned.expect("unit literal"));
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Returns `Some(true)` for SAT, `Some(false)` for UNSAT, `None` when the
+    /// decision budget is exhausted.
+    fn search(&mut self, depth: usize) -> Option<bool> {
+        if !self.propagate() {
+            return Some(false);
+        }
+        let Some(var) = self.assignment.iter().position(|v| v.is_none()) else {
+            return Some(true);
+        };
+        if self.decisions >= self.budget {
+            return None;
+        }
+        self.decisions += 1;
+        for value in [true, false] {
+            let mark = self.trail.len();
+            self.assign(if value {
+                Lit::positive(var)
+            } else {
+                Lit::negative(var)
+            });
+            match self.search(depth + 1) {
+                Some(true) => return Some(true),
+                Some(false) => self.undo_to(mark),
+                None => {
+                    self.undo_to(mark);
+                    return None;
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: usize, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(v)
+        } else {
+            Lit::negative(v)
+        }
+    }
+
+    #[test]
+    fn literal_encoding() {
+        let l = Lit::positive(5);
+        assert_eq!(l.var(), 5);
+        assert!(!l.is_negative());
+        assert!(l.negated().is_negative());
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn satisfiable_and_unsat_formulas() {
+        // (a | b) & (!a | b) & (a | !b) is satisfied by a=b=1.
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(vec![lit(a, true), lit(b, true)]);
+        cnf.add_clause(vec![lit(a, false), lit(b, true)]);
+        cnf.add_clause(vec![lit(a, true), lit(b, false)]);
+        let (model, complete) = cnf.solve(1_000);
+        assert!(complete);
+        let model = model.expect("satisfiable");
+        assert!(model[a] && model[b]);
+        // Adding (!a | !b) makes it unsatisfiable.
+        cnf.add_clause(vec![lit(a, false), lit(b, false)]);
+        let (model, complete) = cnf.solve(1_000);
+        assert!(complete);
+        assert!(model.is_none());
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // Variables p[i][j]: pigeon i in hole j.
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<usize>> = (0..3)
+            .map(|_| (0..2).map(|_| cnf.fresh_var()).collect())
+            .collect();
+        for row in &p {
+            cnf.add_clause(row.iter().map(|v| lit(*v, true)).collect());
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    cnf.add_clause(vec![lit(p[i1][j], false), lit(p[i2][j], false)]);
+                }
+            }
+        }
+        let (model, complete) = cnf.solve(100_000);
+        assert!(complete);
+        assert!(model.is_none());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut cnf = Cnf::new();
+        let vars: Vec<usize> = (0..30).map(|_| cnf.fresh_var()).collect();
+        // Independent "exactly one of the pair" constraints: each pair needs
+        // its own decision, exceeding the one-decision budget.
+        for w in vars.chunks(2) {
+            cnf.add_clause(vec![lit(w[0], true), lit(w[1], true)]);
+            cnf.add_clause(vec![lit(w[0], false), lit(w[1], false)]);
+        }
+        let (_, complete) = cnf.solve(1);
+        assert!(!complete);
+        assert!(cnf.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Reproduces the paper's Table 1: circuit statistics of the nine designs.
+//!
+//! Usage: `cargo run -p wlac-bench --release --bin table1 [-- --scale paper|small]`
+
+use wlac_circuits::{circuit_statistics, paper_table1, Scale};
+use wlac_netlist::CircuitStats;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "small") {
+        Scale::Small
+    } else {
+        Scale::Paper
+    };
+    println!("== Table 1: circuit statistics (our generators, {scale:?} scale) ==");
+    println!("{}", CircuitStats::table_header());
+    for stats in circuit_statistics(scale) {
+        println!("{stats}");
+    }
+    println!();
+    println!("== Table 1 as reported in the paper (for reference) ==");
+    println!("{}", CircuitStats::table_header());
+    for stats in paper_table1() {
+        println!("{stats}");
+    }
+    println!();
+    println!(
+        "note: industry_01/industry_02 are synthetic stand-ins scaled down from the\n\
+         proprietary originals; see DESIGN.md section 4 for the substitution rationale."
+    );
+}

@@ -1,0 +1,411 @@
+//! Three-valued word-level arithmetic.
+//!
+//! These functions implement the "3-valued forward and backward simulation"
+//! that the paper performs on arithmetic units (Section 3.1): addition and
+//! subtraction propagate per-bit knowledge through a three-valued ripple
+//! carry/borrow chain, multiplication propagates what can be deduced from the
+//! known low-order bits, and the comparison helpers evaluate relational
+//! operators over cube ranges.
+
+use crate::tv::{full_add, full_sub};
+use crate::{Bv, Bv3, Tv};
+
+/// Three-valued addition: returns `(sum, carry_out)`.
+///
+/// Every bit of the sum is known as soon as the corresponding operand bits
+/// and incoming carry are known; the carry chain itself propagates partial
+/// knowledge (two known ones force a carry, two known zeros kill it).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::{arith::add3, Bv3, Tv};
+///
+/// # fn main() -> Result<(), wlac_bv::ParseBvError> {
+/// let (sum, carry) = add3(&"4'b0011".parse()?, &"4'b0001".parse()?);
+/// assert_eq!(sum.to_string(), "4'b0100");
+/// assert_eq!(carry, Tv::Zero);
+/// # Ok(())
+/// # }
+/// ```
+pub fn add3(a: &Bv3, b: &Bv3) -> (Bv3, Tv) {
+    add3_with_carry(a, b, Tv::Zero)
+}
+
+/// Three-valued addition with an explicit carry-in.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn add3_with_carry(a: &Bv3, b: &Bv3, carry_in: Tv) -> (Bv3, Tv) {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    let mut out = Bv3::all_x(a.width());
+    let mut carry = carry_in;
+    for i in 0..a.width() {
+        let (s, c) = full_add(a.bit(i), b.bit(i), carry);
+        out.set_bit(i, s);
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Three-valued subtraction `a - b`: returns `(difference, borrow_out)`.
+///
+/// This is the operation behind the paper's adder *backward* implication
+/// (Fig. 3): knowing an adder's output and one input, the other input is
+/// `output - input`, and the final borrow equals the adder's carry-out.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::{arith::sub3, Bv3, Tv};
+///
+/// # fn main() -> Result<(), wlac_bv::ParseBvError> {
+/// let (diff, borrow) = sub3(&"4'b0111".parse()?, &"4'b1x1x".parse()?);
+/// assert_eq!(diff.to_string(), "4'b1x0x");
+/// assert_eq!(borrow, Tv::One);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sub3(a: &Bv3, b: &Bv3) -> (Bv3, Tv) {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    let mut out = Bv3::all_x(a.width());
+    let mut borrow = Tv::Zero;
+    for i in 0..a.width() {
+        let (d, bo) = full_sub(a.bit(i), b.bit(i), borrow);
+        out.set_bit(i, d);
+        borrow = bo;
+    }
+    (out, borrow)
+}
+
+/// Three-valued negation (two's complement).
+pub fn neg3(a: &Bv3) -> Bv3 {
+    let zero = Bv3::from_bv(&Bv::zero(a.width()));
+    sub3(&zero, a).0
+}
+
+/// Three-valued multiplication (forward propagation only).
+///
+/// * If both operands are fully known the exact modular product is returned.
+/// * If either operand is known to be zero the result is zero.
+/// * Otherwise the low-order bits that are determined by the known low-order
+///   bits of both operands are propagated (the product modulo `2^L` depends
+///   only on the operands modulo `2^L`), and known trailing zeros of the two
+///   operands accumulate.
+///
+/// # Panics
+///
+/// Panics if the operand widths differ.
+pub fn mul3(a: &Bv3, b: &Bv3) -> Bv3 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    let width = a.width();
+    if let (Some(av), Some(bv)) = (a.to_bv(), b.to_bv()) {
+        return Bv3::from_bv(&av.mul(&bv));
+    }
+    let zero = Bv::zero(width);
+    if a.to_bv().map(|v| v.is_zero()).unwrap_or(false)
+        || b.to_bv().map(|v| v.is_zero()).unwrap_or(false)
+    {
+        return Bv3::from_bv(&zero);
+    }
+    let mut out = Bv3::all_x(width);
+    // Low bits determined by known low bits of both operands.
+    let low = known_prefix(a).min(known_prefix(b));
+    if low > 0 {
+        let prod = a.min_value().mul(&b.min_value());
+        for i in 0..low {
+            out.set_bit(i, Tv::from_bool(prod.bit(i)));
+        }
+    }
+    // Known trailing zeros accumulate: a = a'·2^k, b = b'·2^m ⇒ ab ≡ 0 (mod 2^{k+m}).
+    let tz = known_trailing_zeros(a) + known_trailing_zeros(b);
+    for i in 0..tz.min(width) {
+        out.set_bit(i, Tv::Zero);
+    }
+    out
+}
+
+/// Number of consecutive known bits starting at the LSB.
+fn known_prefix(a: &Bv3) -> usize {
+    (0..a.width()).take_while(|i| a.bit(*i).is_known()).count()
+}
+
+/// Number of consecutive known-zero bits starting at the LSB.
+fn known_trailing_zeros(a: &Bv3) -> usize {
+    (0..a.width())
+        .take_while(|i| a.bit(*i) == Tv::Zero)
+        .count()
+}
+
+/// Three-valued logical shift left by a concrete amount.
+pub fn shl3(a: &Bv3, amount: usize) -> Bv3 {
+    let width = a.width();
+    let mut out = Bv3::all_x(width);
+    for i in 0..width {
+        let t = if i < amount {
+            Tv::Zero
+        } else {
+            a.bit(i - amount)
+        };
+        out.set_bit(i, t);
+    }
+    out
+}
+
+/// Three-valued logical shift right by a concrete amount.
+pub fn shr3(a: &Bv3, amount: usize) -> Bv3 {
+    let width = a.width();
+    let mut out = Bv3::all_x(width);
+    for i in 0..width {
+        let t = if i + amount < width {
+            a.bit(i + amount)
+        } else {
+            Tv::Zero
+        };
+        out.set_bit(i, t);
+    }
+    out
+}
+
+/// Maximum number of candidate shift amounts enumerated when the amount is a
+/// partially-known cube.
+const MAX_SHIFT_ENUM: u64 = 16;
+
+/// Three-valued shift by a (possibly unknown) cube amount.
+///
+/// If the amount is fully known the exact shift is returned; if only a few
+/// amounts are possible their shifted results are cube-unioned; otherwise the
+/// result is fully unknown.
+pub fn shift3_var(a: &Bv3, amount: &Bv3, left: bool) -> Bv3 {
+    if let Some(amt) = amount.to_bv() {
+        let amt = amt.to_u64().unwrap_or(u64::MAX).min(a.width() as u64) as usize;
+        return if left { shl3(a, amt) } else { shr3(a, amt) };
+    }
+    if amount.cardinality() <= MAX_SHIFT_ENUM {
+        let mut acc: Option<Bv3> = None;
+        let lo = amount.min_value().to_u64().unwrap_or(0);
+        let hi = amount.max_value().to_u64().unwrap_or(u64::MAX);
+        for v in lo..=hi.min(lo + MAX_SHIFT_ENUM) {
+            let candidate = Bv::from_u64(amount.width(), v);
+            if !amount.matches(&candidate) {
+                continue;
+            }
+            let amt = (v as usize).min(a.width());
+            let shifted = if left { shl3(a, amt) } else { shr3(a, amt) };
+            acc = Some(match acc {
+                None => shifted,
+                Some(prev) => prev.union(&shifted),
+            });
+        }
+        return acc.unwrap_or_else(|| Bv3::all_x(a.width()));
+    }
+    Bv3::all_x(a.width())
+}
+
+/// Three-valued equality comparison.
+///
+/// Returns `One` when both cubes are the same concrete value, `Zero` when the
+/// cubes are disjoint, `X` otherwise.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn eq3(a: &Bv3, b: &Bv3) -> Tv {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    if a.intersect(b).is_none() {
+        return Tv::Zero;
+    }
+    match (a.to_bv(), b.to_bv()) {
+        (Some(x), Some(y)) if x == y => Tv::One,
+        _ => Tv::X,
+    }
+}
+
+/// Three-valued disequality comparison.
+pub fn ne3(a: &Bv3, b: &Bv3) -> Tv {
+    !eq3(a, b)
+}
+
+/// Three-valued unsigned `a < b` using interval reasoning.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn lt3(a: &Bv3, b: &Bv3) -> Tv {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    if a.max_value() < b.min_value() {
+        Tv::One
+    } else if a.min_value() >= b.max_value() {
+        Tv::Zero
+    } else {
+        Tv::X
+    }
+}
+
+/// Three-valued unsigned `a <= b` using interval reasoning.
+pub fn le3(a: &Bv3, b: &Bv3) -> Tv {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    if a.max_value() <= b.min_value() {
+        Tv::One
+    } else if a.min_value() > b.max_value() {
+        Tv::Zero
+    } else {
+        Tv::X
+    }
+}
+
+/// Three-valued unsigned `a > b`.
+pub fn gt3(a: &Bv3, b: &Bv3) -> Tv {
+    lt3(b, a)
+}
+
+/// Three-valued unsigned `a >= b`.
+pub fn ge3(a: &Bv3, b: &Bv3) -> Tv {
+    le3(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn add_concrete() {
+        let (s, c) = add3(&cube("4'b1001"), &cube("4'b1011"));
+        assert_eq!(s.to_string(), "4'b0100");
+        assert_eq!(c, Tv::One);
+        let (s, c) = add3(&cube("4'b0001"), &cube("4'b0010"));
+        assert_eq!(s.to_string(), "4'b0011");
+        assert_eq!(c, Tv::Zero);
+    }
+
+    #[test]
+    fn add_partial_knowledge() {
+        // Low bit known in both → low bit of sum known even with unknown highs.
+        let (s, _) = add3(&cube("4'bxxx0"), &cube("4'bxxx1"));
+        assert_eq!(s.bit(0), Tv::One);
+        assert_eq!(s.bit(1), Tv::X);
+        // Unknown carry poisons higher bits.
+        let (s, _) = add3(&cube("4'bxx1x"), &cube("4'bxx1x"));
+        assert_eq!(s.bit(0), Tv::X);
+    }
+
+    #[test]
+    fn fig3_adder_backward_implication() {
+        // out = 4'b0111, one input = 4'b1x1x ⇒ other input = 4'b1x0x,
+        // carry-out (borrow of the subtraction) = 1.
+        let (other, borrow) = sub3(&cube("4'b0111"), &cube("4'b1x1x"));
+        assert_eq!(other.to_string(), "4'b1x0x");
+        assert_eq!(borrow, Tv::One);
+    }
+
+    #[test]
+    fn sub_concrete_matches_modular() {
+        let (d, borrow) = sub3(&cube("4'b0011"), &cube("4'b0101"));
+        assert_eq!(d.to_bv().unwrap().to_u64(), Some((3u64.wrapping_sub(5)) & 0xf));
+        assert_eq!(borrow, Tv::One);
+    }
+
+    #[test]
+    fn neg_is_twos_complement() {
+        assert_eq!(neg3(&cube("4'b0001")).to_string(), "4'b1111");
+        assert_eq!(neg3(&cube("4'b0000")).to_string(), "4'b0000");
+        // Unknown bits stay (partially) unknown.
+        assert_eq!(neg3(&cube("4'b000x")).bit(0), Tv::X);
+    }
+
+    #[test]
+    fn mul_concrete_and_zero() {
+        assert_eq!(
+            mul3(&cube("4'b0100"), &cube("4'b0111")).to_string(),
+            "4'b1100" // 4*7 = 28 ≡ 12 (mod 16)
+        );
+        assert_eq!(mul3(&cube("4'b0000"), &cube("4'bxxxx")).to_string(), "4'b0000");
+    }
+
+    #[test]
+    fn mul_partial_low_bits() {
+        // Both operands have known low two bits (01 and 11): product low two
+        // bits are 11 regardless of the unknown high bits.
+        let p = mul3(&cube("4'bxx01"), &cube("4'bxx11"));
+        assert_eq!(p.bit(0), Tv::One);
+        assert_eq!(p.bit(1), Tv::One);
+        assert_eq!(p.bit(3), Tv::X);
+        // Trailing zeros accumulate: xx10 * x100 has at least 3 trailing zeros.
+        let p = mul3(&cube("4'bxx10"), &cube("4'bx100"));
+        assert_eq!(p.bit(0), Tv::Zero);
+        assert_eq!(p.bit(1), Tv::Zero);
+        assert_eq!(p.bit(2), Tv::Zero);
+    }
+
+    #[test]
+    fn shifts_concrete_amounts() {
+        assert_eq!(shl3(&cube("4'b1x01"), 1).to_string(), "4'bx010");
+        assert_eq!(shr3(&cube("4'b1x01"), 2).to_string(), "4'b001x");
+        assert_eq!(shl3(&cube("4'b1111"), 4).to_string(), "4'b0000");
+    }
+
+    #[test]
+    fn variable_shift_enumerates_small_cubes() {
+        // amount = 2'b0x ∈ {0, 1}: result is the union of both shifts.
+        let out = shift3_var(&cube("4'b0011"), &cube("2'b0x"), true);
+        // shl 0 = 0011, shl 1 = 0110 → union = 0x1x
+        assert_eq!(out.to_string(), "4'b0x1x");
+        // Fully unknown wide amount gives all-x.
+        let out = shift3_var(&cube("8'b00000011"), &Bv3::all_x(8), true);
+        assert!(out.is_all_x());
+    }
+
+    #[test]
+    fn comparisons_on_ranges() {
+        assert_eq!(lt3(&cube("4'b00xx"), &cube("4'b1xxx")), Tv::One);
+        assert_eq!(lt3(&cube("4'b1xxx"), &cube("4'b00xx")), Tv::Zero);
+        assert_eq!(lt3(&cube("4'bxxxx"), &cube("4'bxxxx")), Tv::X);
+        assert_eq!(gt3(&cube("4'b1xxx"), &cube("4'b00xx")), Tv::One);
+        assert_eq!(le3(&cube("4'b0011"), &cube("4'b0011")), Tv::One);
+        assert_eq!(ge3(&cube("4'b0011"), &cube("4'b0100")), Tv::Zero);
+    }
+
+    #[test]
+    fn equality_on_cubes() {
+        assert_eq!(eq3(&cube("4'b1010"), &cube("4'b1010")), Tv::One);
+        assert_eq!(eq3(&cube("4'b10xx"), &cube("4'b01xx")), Tv::Zero);
+        assert_eq!(eq3(&cube("4'b10xx"), &cube("4'b10xx")), Tv::X);
+        assert_eq!(ne3(&cube("4'b10xx"), &cube("4'b01xx")), Tv::One);
+    }
+
+    #[test]
+    fn addition_soundness_on_samples() {
+        // For every concrete pair consistent with the cubes, the concrete sum
+        // must be covered by the three-valued sum.
+        let a = cube("4'b1x0x");
+        let b = cube("4'bx01x");
+        let (sum, carry) = add3(&a, &b);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let abv = Bv::from_u64(4, av);
+                let bbv = Bv::from_u64(4, bv);
+                if a.matches(&abv) && b.matches(&bbv) {
+                    let s = abv.add(&bbv);
+                    assert!(sum.matches(&s), "sum cube must cover {av}+{bv}");
+                    let real_carry = av + bv >= 16;
+                    if carry.is_known() {
+                        assert_eq!(carry, Tv::from_bool(real_carry));
+                    }
+                }
+            }
+        }
+    }
+}

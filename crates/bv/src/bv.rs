@@ -1,0 +1,650 @@
+//! Concrete fixed-width bit-vectors of arbitrary width.
+
+use crate::error::ParseBvError;
+use crate::{last_word_mask, words_for, WORD_BITS};
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// A concrete, unsigned, fixed-width bit-vector.
+///
+/// `Bv` models the value of a hardware signal: `width` bits stored
+/// little-endian in `u64` words. All arithmetic wraps modulo `2^width`, which
+/// is exactly the modular number system the paper's constraint solver is
+/// built on.
+///
+/// Widths may exceed 64 bits (the industrial designs in the paper carry
+/// 152-bit buses); values that fit in a `u64` can be extracted with
+/// [`Bv::to_u64`].
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::Bv;
+///
+/// let a = Bv::from_u64(4, 9);
+/// let b = Bv::from_u64(4, 11);
+/// assert_eq!(a.add(&b).to_u64(), Some(4)); // 20 mod 16
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "4'b1001");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bv {
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl Bv {
+    /// Creates an all-zero bit-vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "bit-vector width must be positive");
+        Bv {
+            width,
+            words: vec![0; words_for(width)],
+        }
+    }
+
+    /// Creates an all-ones bit-vector of the given width.
+    pub fn ones(width: usize) -> Self {
+        let mut v = Bv::zero(width);
+        for w in &mut v.words {
+            *w = u64::MAX;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Creates a bit-vector of the given width holding `value % 2^width`.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        let mut v = Bv::zero(width);
+        v.words[0] = value;
+        v.normalize();
+        v
+    }
+
+    /// Creates a bit-vector from little-endian `u64` words, truncating or
+    /// zero-extending to `width`.
+    pub fn from_words(width: usize, words: &[u64]) -> Self {
+        let mut v = Bv::zero(width);
+        for (dst, src) in v.words.iter_mut().zip(words.iter()) {
+            *dst = *src;
+        }
+        v.normalize();
+        v
+    }
+
+    /// Creates a single-bit vector from a `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        Bv::from_u64(1, b as u64)
+    }
+
+    fn normalize(&mut self) {
+        let n = self.words.len();
+        self.words[n - 1] &= last_word_mask(self.width);
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The underlying little-endian words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Value of bit `i` (`i == 0` is the least significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range");
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn with_bit(&self, i: usize, b: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of range");
+        let mut v = self.clone();
+        let mask = 1u64 << (i % WORD_BITS);
+        if b {
+            v.words[i / WORD_BITS] |= mask;
+        } else {
+            v.words[i / WORD_BITS] &= !mask;
+        }
+        v
+    }
+
+    /// Returns the value as `u64` if it fits, `None` otherwise.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.words[1..].iter().any(|w| *w != 0) {
+            None
+        } else {
+            Some(self.words[0])
+        }
+    }
+
+    /// Returns `true` if all bits are zero.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of one bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of trailing zero bits (equals `width` when the value is zero).
+    pub fn trailing_zeros(&self) -> usize {
+        let mut total = 0;
+        for w in &self.words {
+            if *w == 0 {
+                total += WORD_BITS;
+            } else {
+                total += w.trailing_zeros() as usize;
+                return total.min(self.width);
+            }
+        }
+        self.width
+    }
+
+    /// Wrapping addition modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        let mut out = Bv::zero(self.width);
+        let mut carry = 0u64;
+        for i in 0..self.words.len() {
+            let sum = self.words[i] as u128 + rhs.words[i] as u128 + carry as u128;
+            out.words[i] = sum as u64;
+            carry = (sum >> 64) as u64;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Wrapping subtraction modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn sub(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        self.add(&rhs.neg())
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    pub fn neg(&self) -> Bv {
+        let mut out = self.not();
+        let one = Bv::from_u64(self.width, 1);
+        out = out.add(&one);
+        out
+    }
+
+    /// Wrapping multiplication modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mul(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        let n = self.words.len();
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut carry = 0u128;
+            for j in 0..n - i {
+                let idx = i + j;
+                let prod =
+                    self.words[i] as u128 * rhs.words[j] as u128 + acc[idx] as u128 + carry;
+                acc[idx] = prod as u64;
+                carry = prod >> 64;
+            }
+        }
+        let mut out = Bv {
+            width: self.width,
+            words: acc,
+        };
+        out.normalize();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        self.zip(rhs, |a, b| a & b)
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        self.zip(rhs, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor(&self, rhs: &Bv) -> Bv {
+        self.check_width(rhs);
+        self.zip(rhs, |a, b| a ^ b)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bv {
+        let mut out = Bv {
+            width: self.width,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Logical shift left by `amount` bits (zero fill), truncating at `width`.
+    pub fn shl(&self, amount: usize) -> Bv {
+        let mut out = Bv::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        let word_shift = amount / WORD_BITS;
+        let bit_shift = amount % WORD_BITS;
+        for i in (0..self.words.len()).rev() {
+            if i < word_shift {
+                continue;
+            }
+            let mut w = self.words[i - word_shift] << bit_shift;
+            if bit_shift > 0 && i > word_shift {
+                w |= self.words[i - word_shift - 1] >> (WORD_BITS - bit_shift);
+            }
+            out.words[i] = w;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Logical shift right by `amount` bits (zero fill).
+    pub fn shr(&self, amount: usize) -> Bv {
+        let mut out = Bv::zero(self.width);
+        if amount >= self.width {
+            return out;
+        }
+        let word_shift = amount / WORD_BITS;
+        let bit_shift = amount % WORD_BITS;
+        let n = self.words.len();
+        for i in 0..n {
+            if i + word_shift >= n {
+                break;
+            }
+            let mut w = self.words[i + word_shift] >> bit_shift;
+            if bit_shift > 0 && i + word_shift + 1 < n {
+                w |= self.words[i + word_shift + 1] << (WORD_BITS - bit_shift);
+            }
+            out.words[i] = w;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Zero-extends or truncates to a new width.
+    pub fn resize(&self, width: usize) -> Bv {
+        let mut out = Bv::zero(width);
+        for (dst, src) in out.words.iter_mut().zip(self.words.iter()) {
+            *dst = *src;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Extracts the bit range `[lo, lo + width)` as a new bit-vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the source width.
+    pub fn slice(&self, lo: usize, width: usize) -> Bv {
+        assert!(lo + width <= self.width, "slice out of range");
+        let shifted = self.shr(lo);
+        shifted.resize(width)
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part).
+    pub fn concat(&self, low: &Bv) -> Bv {
+        let width = self.width + low.width;
+        let high = self.resize(width).shl(low.width);
+        high.or(&low.resize(width))
+    }
+
+    fn zip(&self, rhs: &Bv, f: impl Fn(u64, u64) -> u64) -> Bv {
+        let mut out = Bv::zero(self.width);
+        for i in 0..self.words.len() {
+            out.words[i] = f(self.words[i], rhs.words[i]);
+        }
+        out.normalize();
+        out
+    }
+
+    fn check_width(&self, rhs: &Bv) {
+        assert_eq!(
+            self.width, rhs.width,
+            "bit-vector width mismatch: {} vs {}",
+            self.width, rhs.width
+        );
+    }
+}
+
+impl PartialOrd for Bv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bv {
+    /// Unsigned comparison. Vectors of different widths are compared by value
+    /// (the shorter one is implicitly zero-extended).
+    fn cmp(&self, other: &Self) -> Ordering {
+        let n = self.words.len().max(other.words.len());
+        for i in (0..n).rev() {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h", self.width)?;
+        let nibbles = self.width.div_ceil(4);
+        for i in (0..nibbles).rev() {
+            let mut nib = 0u8;
+            for b in 0..4 {
+                let idx = i * 4 + b;
+                if idx < self.width && self.bit(idx) {
+                    nib |= 1 << b;
+                }
+            }
+            write!(f, "{:x}", nib)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Bv {
+    type Err = ParseBvError;
+
+    /// Parses Verilog-style literals: `4'b1010`, `8'hff`, `12'd100`, or a
+    /// plain decimal number (width inferred as the minimum required, at least
+    /// one bit).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (width, base, digits) = split_literal(s)?;
+        let mut value;
+        match base {
+            'b' => {
+                let bits: Vec<char> = digits.chars().filter(|c| *c != '_').collect();
+                if bits.is_empty() || bits.len() > width {
+                    return Err(ParseBvError::new(format!(
+                        "binary literal `{s}` does not fit width {width}"
+                    )));
+                }
+                value = Bv::zero(width);
+                for (i, c) in bits.iter().rev().enumerate() {
+                    match c {
+                        '0' => {}
+                        '1' => value = value.with_bit(i, true),
+                        _ => {
+                            return Err(ParseBvError::new(format!(
+                                "unexpected character `{c}` in binary literal `{s}`"
+                            )))
+                        }
+                    }
+                }
+            }
+            'h' => {
+                value = Bv::zero(width);
+                let nibbles: Vec<char> = digits.chars().filter(|c| *c != '_').collect();
+                for (i, c) in nibbles.iter().rev().enumerate() {
+                    let nib = c.to_digit(16).ok_or_else(|| {
+                        ParseBvError::new(format!("unexpected hex digit `{c}` in `{s}`"))
+                    })? as u64;
+                    for b in 0..4 {
+                        let idx = i * 4 + b;
+                        if (nib >> b) & 1 == 1 {
+                            if idx >= width {
+                                return Err(ParseBvError::new(format!(
+                                    "hex literal `{s}` does not fit width {width}"
+                                )));
+                            }
+                            value = value.with_bit(idx, true);
+                        }
+                    }
+                }
+            }
+            'd' => {
+                let v: u64 = digits.replace('_', "").parse().map_err(|_| {
+                    ParseBvError::new(format!("invalid decimal digits in `{s}`"))
+                })?;
+                if width < 64 && v >= (1u64 << width) {
+                    return Err(ParseBvError::new(format!(
+                        "decimal literal `{s}` does not fit width {width}"
+                    )));
+                }
+                value = Bv::from_u64(width, v);
+            }
+            _ => unreachable!(),
+        }
+        Ok(value)
+    }
+}
+
+/// Splits a literal into `(width, base, digits)`.
+pub(crate) fn split_literal(s: &str) -> Result<(usize, char, &str), ParseBvError> {
+    let s = s.trim();
+    if let Some(pos) = s.find('\'') {
+        let width: usize = s[..pos]
+            .parse()
+            .map_err(|_| ParseBvError::new(format!("invalid width prefix in `{s}`")))?;
+        if width == 0 {
+            return Err(ParseBvError::new("zero width literal"));
+        }
+        let rest = &s[pos + 1..];
+        let base = rest
+            .chars()
+            .next()
+            .ok_or_else(|| ParseBvError::new(format!("missing base in `{s}`")))?
+            .to_ascii_lowercase();
+        if !matches!(base, 'b' | 'h' | 'd') {
+            return Err(ParseBvError::new(format!("unsupported base `{base}` in `{s}`")));
+        }
+        Ok((width, base, &rest[1..]))
+    } else {
+        // Plain decimal: infer the minimal width.
+        let v: u64 = s
+            .replace('_', "")
+            .parse()
+            .map_err(|_| ParseBvError::new(format!("invalid literal `{s}`")))?;
+        let width = (64 - v.leading_zeros() as usize).max(1);
+        // Leak-free trick: re-encode as a decimal literal with explicit width.
+        // We cannot return a slice of a temporary, so handle it here.
+        let _ = width;
+        Err(ParseBvError::new(
+            "plain decimal literals must carry an explicit width (e.g. 8'd42)",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bits() {
+        let v = Bv::from_u64(8, 0b1010_0101);
+        assert_eq!(v.width(), 8);
+        assert!(v.bit(0));
+        assert!(!v.bit(1));
+        assert!(v.bit(7));
+        assert_eq!(v.count_ones(), 4);
+        assert_eq!(v.to_u64(), Some(0xa5));
+    }
+
+    #[test]
+    fn from_u64_truncates_to_width() {
+        let v = Bv::from_u64(4, 0xff);
+        assert_eq!(v.to_u64(), Some(0xf));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = Bv::zero(0);
+    }
+
+    #[test]
+    fn wide_vectors() {
+        let v = Bv::ones(152);
+        assert_eq!(v.width(), 152);
+        assert_eq!(v.count_ones(), 152);
+        assert_eq!(v.to_u64(), None);
+        assert!(v.bit(151));
+        let w = v.shr(150);
+        assert_eq!(w.to_u64(), Some(0b11));
+    }
+
+    #[test]
+    fn modular_addition_wraps() {
+        let a = Bv::from_u64(4, 9);
+        let b = Bv::from_u64(4, 11);
+        assert_eq!(a.add(&b).to_u64(), Some(4));
+        let c = Bv::from_u64(4, 3);
+        assert_eq!(c.sub(&a).to_u64(), Some((3u64.wrapping_sub(9)) & 0xf));
+    }
+
+    #[test]
+    fn modular_multiplication_wraps() {
+        // The paper's false-negative example: 4 * 7 = 28 ≡ 12 (mod 16).
+        let a = Bv::from_u64(4, 4);
+        let b = Bv::from_u64(4, 7);
+        assert_eq!(a.mul(&b).to_u64(), Some(12));
+    }
+
+    #[test]
+    fn multiplication_across_words() {
+        let a = Bv::from_u64(128, u64::MAX).shl(3);
+        let b = Bv::from_u64(128, 5);
+        let expect = (u128::from(u64::MAX) << 3) * 5;
+        let got = a.mul(&b);
+        let lo = got.words()[0] as u128;
+        let hi = got.words()[1] as u128;
+        assert_eq!((hi << 64) | lo, expect);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let a = Bv::from_u64(8, 1);
+        assert_eq!(a.neg().to_u64(), Some(255));
+        assert_eq!(Bv::zero(8).neg().to_u64(), Some(0));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = Bv::from_u64(8, 0b1100_1010);
+        let b = Bv::from_u64(8, 0b1010_0110);
+        assert_eq!(a.and(&b).to_u64(), Some(0b1000_0010));
+        assert_eq!(a.or(&b).to_u64(), Some(0b1110_1110));
+        assert_eq!(a.xor(&b).to_u64(), Some(0b0110_1100));
+        assert_eq!(a.not().to_u64(), Some(0b0011_0101));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Bv::from_u64(8, 0b0000_1111);
+        assert_eq!(a.shl(2).to_u64(), Some(0b0011_1100));
+        assert_eq!(a.shl(8).to_u64(), Some(0));
+        assert_eq!(a.shr(2).to_u64(), Some(0b0000_0011));
+        let wide = Bv::from_u64(130, 1).shl(129);
+        assert!(wide.bit(129));
+        assert_eq!(wide.shr(129).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn slices_and_concat() {
+        let a = Bv::from_u64(12, 0xabc);
+        assert_eq!(a.slice(4, 4).to_u64(), Some(0xb));
+        assert_eq!(a.slice(8, 4).to_u64(), Some(0xa));
+        let hi = Bv::from_u64(4, 0xd);
+        let cat = hi.concat(&a);
+        assert_eq!(cat.width(), 16);
+        assert_eq!(cat.to_u64(), Some(0xdabc));
+    }
+
+    #[test]
+    fn ordering_is_unsigned() {
+        let a = Bv::from_u64(4, 2);
+        let b = Bv::from_u64(4, 11);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&Bv::from_u64(4, 2)), Ordering::Equal);
+        let wide_small = Bv::from_u64(152, 7);
+        let wide_big = Bv::ones(152);
+        assert!(wide_small < wide_big);
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!("4'b1010".parse::<Bv>().unwrap().to_u64(), Some(10));
+        assert_eq!("8'hff".parse::<Bv>().unwrap().to_u64(), Some(255));
+        assert_eq!("12'd100".parse::<Bv>().unwrap().to_u64(), Some(100));
+        assert_eq!("8'b0000_1111".parse::<Bv>().unwrap().to_u64(), Some(15));
+        assert!("4'b102".parse::<Bv>().is_err());
+        assert!("4'd16".parse::<Bv>().is_err());
+        assert!("0'b1".parse::<Bv>().is_err());
+        assert!("42".parse::<Bv>().is_err());
+    }
+
+    #[test]
+    fn display_binary_and_hex() {
+        let v = Bv::from_u64(6, 0b101101);
+        assert_eq!(v.to_string(), "6'b101101");
+        assert_eq!(format!("{:x}", v), "6'h2d");
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(Bv::from_u64(8, 0).trailing_zeros(), 8);
+        assert_eq!(Bv::from_u64(8, 0b10100).trailing_zeros(), 2);
+        assert_eq!(Bv::from_u64(100, 1).shl(70).trailing_zeros(), 70);
+    }
+}

@@ -1,0 +1,598 @@
+//! Three-valued bit-vector cubes.
+
+use crate::bv::split_literal;
+use crate::error::ParseBvError;
+use crate::{last_word_mask, words_for, Bv, Tv, WORD_BITS};
+use std::fmt;
+use std::str::FromStr;
+
+/// A three-valued bit-vector *cube*.
+///
+/// Every bit is either known-`0`, known-`1` or unknown (`x`). A `Bv3` denotes
+/// the set of all concrete [`Bv`] values that agree with its known bits —
+/// exactly the representation the paper uses for multiple-bit bus values
+/// during word-level implication.
+///
+/// Internally two planes of `u64` words are kept: `known` (bit is not `x`)
+/// and `value` (bit value, only meaningful where `known` is set), with the
+/// invariant `value & !known == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::{Bv, Bv3, Tv};
+///
+/// # fn main() -> Result<(), wlac_bv::ParseBvError> {
+/// let cube: Bv3 = "4'b10xx".parse()?;
+/// assert_eq!(cube.bit(3), Tv::One);
+/// assert_eq!(cube.bit(0), Tv::X);
+/// assert_eq!(cube.min_value(), Bv::from_u64(4, 0b1000));
+/// assert_eq!(cube.max_value(), Bv::from_u64(4, 0b1011));
+/// assert!(cube.matches(&Bv::from_u64(4, 0b1001)));
+/// assert!(!cube.matches(&Bv::from_u64(4, 0b0001)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bv3 {
+    width: usize,
+    /// Bit is known (not x).
+    known: Vec<u64>,
+    /// Bit value; only meaningful where `known` is set.
+    value: Vec<u64>,
+}
+
+impl Bv3 {
+    /// Creates a cube of the given width with every bit unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn all_x(width: usize) -> Self {
+        assert!(width > 0, "bit-vector width must be positive");
+        let n = words_for(width);
+        Bv3 {
+            width,
+            known: vec![0; n],
+            value: vec![0; n],
+        }
+    }
+
+    /// Creates a fully-known cube from a concrete value.
+    pub fn from_bv(value: &Bv) -> Self {
+        let mut out = Bv3::all_x(value.width());
+        for (i, w) in value.words().iter().enumerate() {
+            out.value[i] = *w;
+            out.known[i] = u64::MAX;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Creates a fully-known cube of the given width from a `u64`.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        Bv3::from_bv(&Bv::from_u64(width, value))
+    }
+
+    /// Creates a single-bit cube from a [`Tv`].
+    pub fn from_tv(t: Tv) -> Self {
+        let mut out = Bv3::all_x(1);
+        out.set_bit(0, t);
+        out
+    }
+
+    fn normalize(&mut self) {
+        let n = self.known.len();
+        let mask = last_word_mask(self.width);
+        self.known[n - 1] &= mask;
+        self.value[n - 1] &= mask;
+        for i in 0..n {
+            self.value[i] &= self.known[i];
+        }
+    }
+
+    /// The width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Value of bit `i` (`i == 0` is the least significant bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: usize) -> Tv {
+        assert!(i < self.width, "bit index {i} out of range");
+        let w = i / WORD_BITS;
+        let b = i % WORD_BITS;
+        if (self.known[w] >> b) & 1 == 0 {
+            Tv::X
+        } else if (self.value[w] >> b) & 1 == 1 {
+            Tv::One
+        } else {
+            Tv::Zero
+        }
+    }
+
+    /// Sets bit `i` to the given three-valued value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set_bit(&mut self, i: usize, t: Tv) {
+        assert!(i < self.width, "bit index {i} out of range");
+        let w = i / WORD_BITS;
+        let mask = 1u64 << (i % WORD_BITS);
+        match t {
+            Tv::X => {
+                self.known[w] &= !mask;
+                self.value[w] &= !mask;
+            }
+            Tv::Zero => {
+                self.known[w] |= mask;
+                self.value[w] &= !mask;
+            }
+            Tv::One => {
+                self.known[w] |= mask;
+                self.value[w] |= mask;
+            }
+        }
+    }
+
+    /// Returns a copy with bit `i` set to `t`.
+    pub fn with_bit(&self, i: usize, t: Tv) -> Self {
+        let mut out = self.clone();
+        out.set_bit(i, t);
+        out
+    }
+
+    /// Iterator over bits from least significant to most significant.
+    pub fn iter(&self) -> impl Iterator<Item = Tv> + '_ {
+        (0..self.width).map(move |i| self.bit(i))
+    }
+
+    /// `true` when every bit is known.
+    pub fn is_fully_known(&self) -> bool {
+        self.count_x() == 0
+    }
+
+    /// `true` when every bit is unknown.
+    pub fn is_all_x(&self) -> bool {
+        self.known.iter().all(|w| *w == 0)
+    }
+
+    /// Number of unknown bits.
+    pub fn count_x(&self) -> usize {
+        self.width - self.count_known()
+    }
+
+    /// Number of known bits.
+    pub fn count_known(&self) -> usize {
+        self.known.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Converts to a concrete value if fully known.
+    pub fn to_bv(&self) -> Option<Bv> {
+        if self.is_fully_known() {
+            Some(Bv::from_words(self.width, &self.value))
+        } else {
+            None
+        }
+    }
+
+    /// Converts a single-bit cube to a [`Tv`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is not 1.
+    pub fn to_tv(&self) -> Tv {
+        assert_eq!(self.width, 1, "to_tv requires a single-bit cube");
+        self.bit(0)
+    }
+
+    /// Smallest concrete value in the cube (all `x` bits set to 0).
+    pub fn min_value(&self) -> Bv {
+        Bv::from_words(self.width, &self.value)
+    }
+
+    /// Largest concrete value in the cube (all `x` bits set to 1).
+    pub fn max_value(&self) -> Bv {
+        let words: Vec<u64> = self
+            .value
+            .iter()
+            .zip(self.known.iter())
+            .map(|(v, k)| v | !k)
+            .collect();
+        Bv::from_words(self.width, &words)
+    }
+
+    /// `true` if the concrete value `v` is a member of the cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn matches(&self, v: &Bv) -> bool {
+        assert_eq!(self.width, v.width(), "width mismatch");
+        self.known
+            .iter()
+            .zip(self.value.iter())
+            .zip(v.words().iter())
+            .all(|((k, val), w)| w & k == *val)
+    }
+
+    /// `true` if every concrete value of `other` is also in `self`
+    /// (i.e. `self`'s known bits are a subset of `other`'s and agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn covers(&self, other: &Bv3) -> bool {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for i in 0..self.known.len() {
+            // every bit known in self must be known in other with same value
+            if self.known[i] & !other.known[i] != 0 {
+                return false;
+            }
+            if (self.value[i] ^ other.value[i]) & self.known[i] != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Cube intersection: the set of values in both cubes.
+    ///
+    /// Returns `None` when the cubes are disjoint (conflicting known bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn intersect(&self, other: &Bv3) -> Option<Bv3> {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut out = self.clone();
+        for i in 0..self.known.len() {
+            let both = self.known[i] & other.known[i];
+            if (self.value[i] ^ other.value[i]) & both != 0 {
+                return None;
+            }
+            out.known[i] = self.known[i] | other.known[i];
+            out.value[i] = self.value[i] | other.value[i];
+        }
+        out.normalize();
+        Some(out)
+    }
+
+    /// Cube union (smallest cube containing both): a bit stays known only if
+    /// it is known with the same value in both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn union(&self, other: &Bv3) -> Bv3 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut out = Bv3::all_x(self.width);
+        for i in 0..self.known.len() {
+            let agree = self.known[i] & other.known[i] & !(self.value[i] ^ other.value[i]);
+            out.known[i] = agree;
+            out.value[i] = self.value[i] & agree;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Merges new information into `self`.
+    ///
+    /// This is the core operation of word-level implication: the result has
+    /// the union of the known bits. Returns `Ok(true)` if any bit became
+    /// newly known, `Ok(false)` if nothing changed, and `Err(Conflict)` if a
+    /// known bit disagrees.
+    pub fn refine(&mut self, other: &Bv3) -> Result<bool, CubeConflict> {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut changed = false;
+        for i in 0..self.known.len() {
+            let both = self.known[i] & other.known[i];
+            if (self.value[i] ^ other.value[i]) & both != 0 {
+                return Err(CubeConflict);
+            }
+            let new_known = self.known[i] | other.known[i];
+            if new_known != self.known[i] {
+                changed = true;
+            }
+            self.value[i] |= other.value[i];
+            self.known[i] = new_known;
+        }
+        self.normalize();
+        Ok(changed)
+    }
+
+    /// Bitwise three-valued AND.
+    pub fn and3(&self, other: &Bv3) -> Bv3 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut out = Bv3::all_x(self.width);
+        for i in 0..self.known.len() {
+            let known_one = self.value[i] & other.value[i];
+            let known_zero =
+                (self.known[i] & !self.value[i]) | (other.known[i] & !other.value[i]);
+            out.known[i] = known_one | known_zero;
+            out.value[i] = known_one;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Bitwise three-valued OR.
+    pub fn or3(&self, other: &Bv3) -> Bv3 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut out = Bv3::all_x(self.width);
+        for i in 0..self.known.len() {
+            let known_one = self.value[i] | other.value[i];
+            let known_zero =
+                (self.known[i] & !self.value[i]) & (other.known[i] & !other.value[i]);
+            out.known[i] = known_one | known_zero;
+            out.value[i] = known_one;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Bitwise three-valued XOR.
+    pub fn xor3(&self, other: &Bv3) -> Bv3 {
+        assert_eq!(self.width, other.width, "width mismatch");
+        let mut out = Bv3::all_x(self.width);
+        for i in 0..self.known.len() {
+            let known = self.known[i] & other.known[i];
+            out.known[i] = known;
+            out.value[i] = (self.value[i] ^ other.value[i]) & known;
+        }
+        out.normalize();
+        out
+    }
+
+    /// Bitwise three-valued NOT.
+    pub fn not3(&self) -> Bv3 {
+        let mut out = Bv3::all_x(self.width);
+        for i in 0..self.known.len() {
+            out.known[i] = self.known[i];
+            out.value[i] = !self.value[i] & self.known[i];
+        }
+        out.normalize();
+        out
+    }
+
+    /// Zero-extends or truncates to a new width. New high bits are known-0.
+    pub fn resize(&self, width: usize) -> Bv3 {
+        let mut out = Bv3::all_x(width);
+        for i in 0..width {
+            let t = if i < self.width { self.bit(i) } else { Tv::Zero };
+            out.set_bit(i, t);
+        }
+        out
+    }
+
+    /// Extracts the bit range `[lo, lo + width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the source width.
+    pub fn slice(&self, lo: usize, width: usize) -> Bv3 {
+        assert!(lo + width <= self.width, "slice out of range");
+        let mut out = Bv3::all_x(width);
+        for i in 0..width {
+            out.set_bit(i, self.bit(lo + i));
+        }
+        out
+    }
+
+    /// Concatenates `self` (high part) with `low` (low part).
+    pub fn concat(&self, low: &Bv3) -> Bv3 {
+        let mut out = Bv3::all_x(self.width + low.width);
+        for i in 0..low.width {
+            out.set_bit(i, low.bit(i));
+        }
+        for i in 0..self.width {
+            out.set_bit(low.width + i, self.bit(i));
+        }
+        out
+    }
+
+    /// Number of concrete values represented by the cube, saturating at
+    /// `u64::MAX` for cubes with 64 or more unknown bits.
+    pub fn cardinality(&self) -> u64 {
+        let x = self.count_x();
+        if x >= 64 {
+            u64::MAX
+        } else {
+            1u64 << x
+        }
+    }
+}
+
+/// Conflict produced when merging incompatible cubes with [`Bv3::refine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CubeConflict;
+
+impl fmt::Display for CubeConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conflicting bit-vector cube refinement")
+    }
+}
+
+impl std::error::Error for CubeConflict {}
+
+impl fmt::Display for Bv3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            write!(f, "{}", self.bit(i))?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Bv> for Bv3 {
+    fn from(v: Bv) -> Self {
+        Bv3::from_bv(&v)
+    }
+}
+
+impl FromStr for Bv3 {
+    type Err = ParseBvError;
+
+    /// Parses Verilog-style literals, allowing `x` digits in binary form:
+    /// `4'b10xx`, `8'hff`, `8'd42`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (width, base, digits) = split_literal(s)?;
+        if base == 'b' {
+            let bits: Vec<char> = digits.chars().filter(|c| *c != '_').collect();
+            if bits.is_empty() || bits.len() > width {
+                return Err(ParseBvError::new(format!(
+                    "binary literal `{s}` does not fit width {width}"
+                )));
+            }
+            let mut out = Bv3::all_x(width);
+            // Unspecified high bits default to known zero, as in Verilog.
+            for i in bits.len()..width {
+                out.set_bit(i, Tv::Zero);
+            }
+            for (i, c) in bits.iter().rev().enumerate() {
+                match c.to_ascii_lowercase() {
+                    '0' => out.set_bit(i, Tv::Zero),
+                    '1' => out.set_bit(i, Tv::One),
+                    'x' => out.set_bit(i, Tv::X),
+                    other => {
+                        return Err(ParseBvError::new(format!(
+                            "unexpected character `{other}` in binary literal `{s}`"
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        } else {
+            let bv: Bv = s.parse()?;
+            Ok(Bv3::from_bv(&bv))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["4'b10xx", "4'b0000", "1'b1", "8'bxxxxxxxx", "6'b1x0x01"] {
+            assert_eq!(cube(s).to_string(), s);
+        }
+        // Short literals zero-extend.
+        assert_eq!(cube("4'b1x").to_string(), "4'b001x");
+        // Hex and decimal literals are fully known.
+        assert_eq!(cube("8'hff").to_string(), "8'b11111111");
+        assert_eq!(cube("4'd5").to_string(), "4'b0101");
+    }
+
+    #[test]
+    fn min_max_values() {
+        let c = cube("4'bx01x");
+        assert_eq!(c.min_value().to_u64(), Some(0b0010));
+        assert_eq!(c.max_value().to_u64(), Some(0b1011));
+        let d = cube("4'b1x0x");
+        assert_eq!(d.min_value().to_u64(), Some(8));
+        assert_eq!(d.max_value().to_u64(), Some(13));
+    }
+
+    #[test]
+    fn matches_and_covers() {
+        let c = cube("4'b10xx");
+        assert!(c.matches(&Bv::from_u64(4, 0b1000)));
+        assert!(c.matches(&Bv::from_u64(4, 0b1011)));
+        assert!(!c.matches(&Bv::from_u64(4, 0b1100)));
+        assert!(cube("4'bxxxx").covers(&c));
+        assert!(c.covers(&cube("4'b1001")));
+        assert!(!c.covers(&cube("4'b0001")));
+        assert!(!cube("4'b1001").covers(&c));
+    }
+
+    #[test]
+    fn intersect_union() {
+        let a = cube("4'b10xx");
+        let b = cube("4'bx0x1");
+        assert_eq!(a.intersect(&b).unwrap(), cube("4'b10x1"));
+        assert!(a.intersect(&cube("4'b01xx")).is_none());
+        assert_eq!(a.union(&cube("4'b1100")), cube("4'b1xxx"));
+        assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn refine_reports_change_and_conflict() {
+        let mut a = cube("4'b10xx");
+        assert_eq!(a.refine(&cube("4'bxx1x")), Ok(true));
+        assert_eq!(a, cube("4'b101x"));
+        assert_eq!(a.refine(&cube("4'b1xxx")), Ok(false));
+        assert_eq!(a.refine(&cube("4'b0xxx")), Err(CubeConflict));
+    }
+
+    #[test]
+    fn bitwise_and_example_from_paper() {
+        // Section 3.1: a = 4'b10xx, b updated to 4'b1x1x at a 4-bit AND gate
+        // with output 4'bx00x forward implies y = 4'b100x.
+        let a = cube("4'b10xx");
+        let b = cube("4'b1x1x");
+        let forward = a.and3(&b);
+        assert_eq!(forward, cube("4'b10xx").and3(&cube("4'b1x1x")));
+        assert_eq!(forward.bit(3), Tv::One);
+        assert_eq!(forward.bit(2), Tv::Zero);
+        assert_eq!(forward.bit(1), Tv::X);
+        assert_eq!(forward.bit(0), Tv::X);
+    }
+
+    #[test]
+    fn bitwise_ops_three_valued() {
+        let a = cube("3'b10x");
+        let b = cube("3'bx1x");
+        assert_eq!(a.and3(&b), cube("3'bx0x"));
+        assert_eq!(a.or3(&b), cube("3'b11x"));
+        assert_eq!(a.xor3(&b), cube("3'bx1x"));
+        assert_eq!(a.not3(), cube("3'b01x"));
+    }
+
+    #[test]
+    fn resize_slice_concat() {
+        let c = cube("4'b1x01");
+        assert_eq!(c.resize(6), cube("6'b001x01"));
+        assert_eq!(c.resize(2), cube("2'b01"));
+        assert_eq!(c.slice(1, 2), cube("2'bx0"));
+        assert_eq!(cube("2'b1x").concat(&cube("2'b01")), cube("4'b1x01"));
+    }
+
+    #[test]
+    fn cardinality() {
+        assert_eq!(cube("4'b1010").cardinality(), 1);
+        assert_eq!(cube("4'b10xx").cardinality(), 4);
+        assert_eq!(Bv3::all_x(80).cardinality(), u64::MAX);
+    }
+
+    #[test]
+    fn wide_cubes() {
+        let mut c = Bv3::all_x(152);
+        c.set_bit(151, Tv::One);
+        c.set_bit(0, Tv::Zero);
+        assert_eq!(c.count_known(), 2);
+        assert_eq!(c.count_x(), 150);
+        assert!(c.max_value().bit(151));
+        assert!(!c.min_value().bit(0));
+        let conc = c.intersect(&Bv3::from_bv(&Bv::ones(152)));
+        assert!(conc.is_none()); // bit 0 conflicts
+    }
+
+    #[test]
+    fn to_bv_and_tv() {
+        assert_eq!(cube("4'b1010").to_bv(), Some(Bv::from_u64(4, 10)));
+        assert_eq!(cube("4'b10x0").to_bv(), None);
+        assert_eq!(cube("1'b1").to_tv(), Tv::One);
+        assert_eq!(Bv3::from_tv(Tv::X).to_tv(), Tv::X);
+    }
+}

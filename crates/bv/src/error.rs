@@ -1,0 +1,69 @@
+//! Error types for the bit-vector domain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when parsing a Verilog-style bit-vector literal fails.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::Bv3;
+///
+/// let err = "4'b10201".parse::<Bv3>().unwrap_err();
+/// assert!(err.to_string().contains("invalid"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBvError {
+    message: String,
+}
+
+impl ParseBvError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseBvError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseBvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit-vector literal: {}", self.message)
+    }
+}
+
+impl Error for ParseBvError {}
+
+/// Error returned by operations on bit-vectors of mismatched widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WidthMismatchError {
+    /// Width of the left-hand operand.
+    pub left: usize,
+    /// Width of the right-hand operand.
+    pub right: usize,
+}
+
+impl fmt::Display for WidthMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bit-vector width mismatch: {} vs {}",
+            self.left, self.right
+        )
+    }
+}
+
+impl Error for WidthMismatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ParseBvError::new("bad digit");
+        assert_eq!(e.to_string(), "invalid bit-vector literal: bad digit");
+        let w = WidthMismatchError { left: 4, right: 8 };
+        assert_eq!(w.to_string(), "bit-vector width mismatch: 4 vs 8");
+    }
+}

@@ -1,0 +1,70 @@
+//! # wlac-bv — 3-valued word-level bit-vector domain
+//!
+//! This crate provides the value domain used by the word-level ATPG engine of
+//! the WLAC assertion checker (a reproduction of Huang & Cheng, *"Assertion
+//! Checking by Combined Word-level ATPG and Modular Arithmetic
+//! Constraint-Solving Techniques"*, DAC 2000).
+//!
+//! The domain consists of:
+//!
+//! * [`Tv`] — a single three-valued logic bit (`0`, `1`, `x`),
+//! * [`Bv`] — a concrete fixed-width bit-vector of arbitrary width,
+//! * [`Bv3`] — a *cube*: a fixed-width vector of [`Tv`] bits, representing the
+//!   set of all concrete bit-vectors compatible with its known bits,
+//! * range utilities ([`range`]) implementing the paper's comparator
+//!   implication rules (minimum/maximum extraction and MSB-first re-cubing),
+//! * three-valued arithmetic ([`arith`]) used for forward and backward
+//!   implication across adders, subtractors and multipliers.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_bv::{Bv, Bv3};
+//!
+//! # fn main() -> Result<(), wlac_bv::ParseBvError> {
+//! // The adder example from Fig. 3 of the paper: 4'b0111 minus 4'b1x1x.
+//! let out: Bv3 = "4'b0111".parse()?;
+//! let addend: Bv3 = "4'b1x1x".parse()?;
+//! let (other, borrow) = wlac_bv::arith::sub3(&out, &addend);
+//! assert_eq!(other.to_string(), "4'b1x0x");
+//! assert_eq!(borrow, wlac_bv::Tv::One); // the adder's carry-out must be 1
+//!
+//! let twelve = Bv::from_u64(4, 12);
+//! assert_eq!(twelve.to_u64(), Some(12));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bv;
+mod bv3;
+mod error;
+mod tv;
+
+pub mod arith;
+pub mod range;
+
+pub use bv::Bv;
+pub use bv3::Bv3;
+pub use error::{ParseBvError, WidthMismatchError};
+pub use tv::Tv;
+
+/// Number of bits stored per machine word in [`Bv`] and [`Bv3`].
+pub(crate) const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `width` bits.
+pub(crate) fn words_for(width: usize) -> usize {
+    width.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the valid bits of the last storage word for `width`.
+pub(crate) fn last_word_mask(width: usize) -> u64 {
+    let rem = width % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}

@@ -1,0 +1,355 @@
+//! Synthetic stand-ins for the paper's five industrial designs.
+//!
+//! The originals are proprietary; these generators reproduce the *property
+//! workload* the paper describes for them — wide tri-state buses whose
+//! enables must be one-hot or whose data must agree (bus contention,
+//! p11–p13), and control blocks whose internal don't-care states must be
+//! unreachable (p10, p14) — with the bus widths the paper quotes (152, 128
+//! and 32 bits) and parameterisable control size. See DESIGN.md §4 for the
+//! substitution rationale.
+
+use wlac_atpg::property::{monitor, Property, Verification};
+use wlac_bv::Bv;
+use wlac_netlist::{NetId, Netlist};
+
+/// `industry_01`: a farm of interacting one-hot-encoded FSMs (control logic
+/// dominated, as the paper's largest design). The internal don't-cares are
+/// the non-one-hot state encodings.
+#[derive(Debug, Clone)]
+pub struct Industry01 {
+    /// The synthesised design.
+    pub netlist: Netlist,
+    /// One state-bit vector per FSM.
+    pub fsm_states: Vec<Vec<NetId>>,
+}
+
+impl Industry01 {
+    /// Builds the design with `fsms` four-state machines.
+    pub fn new(fsms: usize) -> Self {
+        let mut nl = Netlist::new("industry_01");
+        nl.set_source_lines(11280);
+        let fsms = fsms.max(1);
+        let mut fsm_states = Vec::with_capacity(fsms);
+        let mut prev_done: Option<NetId> = None;
+        for f in 0..fsms {
+            let advance_req = nl.input(format!("adv{f}"), 1);
+            // One-hot state register: IDLE, BUSY, WAIT, DONE.
+            let mut bits = Vec::with_capacity(4);
+            let mut ffs = Vec::with_capacity(4);
+            for s in 0..4 {
+                let init = Bv::from_u64(1, (s == 0) as u64);
+                let (q, ff) = nl.dff_deferred(1, Some(init));
+                bits.push(q);
+                ffs.push(ff);
+                nl.mark_output(format!("fsm{f}_s{s}"), q);
+            }
+            // The machine advances (rotates its one-hot state) when its
+            // request is high and, for chained machines, when the previous
+            // machine is in DONE.
+            let advance = match prev_done {
+                None => nl.buf(advance_req),
+                Some(done) => nl.and2(advance_req, done),
+            };
+            for s in 0..4 {
+                let prev_bit = bits[(s + 3) % 4];
+                let next = nl.mux(advance, prev_bit, bits[s]);
+                nl.connect_dff_data(ffs[s], next);
+            }
+            prev_done = Some(bits[3]);
+            fsm_states.push(bits);
+        }
+        Industry01 {
+            netlist: nl,
+            fsm_states,
+        }
+    }
+
+    /// p10: the don't-care (non-one-hot) state encodings are unreachable,
+    /// i.e. every FSM's state register stays exactly one-hot.
+    pub fn p10_dont_cares_unreachable(&self) -> Verification {
+        let mut nl = self.netlist.clone();
+        let mut ok: Option<NetId> = None;
+        for bits in &self.fsm_states {
+            let one_hot = monitor::exactly_one_hot(&mut nl, bits);
+            ok = Some(match ok {
+                None => one_hot,
+                Some(acc) => nl.and2(acc, one_hot),
+            });
+        }
+        let ok = ok.expect("at least one fsm");
+        let property = Property::always(&nl, "p10", ok);
+        Verification::new(nl, property)
+    }
+}
+
+/// A tri-state bus fabric: `drivers` sources of `width`-bit data, each gated
+/// by an enable. Enables are decoded from a select value (so at most one is
+/// active), optionally registered, and an optional broadcast mode turns on
+/// several enables that all forward the *same* data (the "consensus" case the
+/// paper describes for p11–p13).
+#[derive(Debug, Clone)]
+pub struct BusFabric {
+    /// The synthesised design.
+    pub netlist: Netlist,
+    /// Per-driver enables.
+    pub enables: Vec<NetId>,
+    /// Per-driver data values.
+    pub data: Vec<NetId>,
+}
+
+/// Configuration of [`BusFabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFabricConfig {
+    /// Design name (`industry_02` .. `industry_04`).
+    pub name: &'static str,
+    /// Estimated HDL line count for Table 1.
+    pub source_lines: usize,
+    /// Number of bus drivers.
+    pub drivers: usize,
+    /// Bus width in bits.
+    pub width: usize,
+    /// Register the enables (adds sequential behaviour as in industry_02).
+    pub registered: bool,
+    /// Include a broadcast mode in which several enables share one data
+    /// source (exercising the consensus arm of the contention check).
+    pub broadcast: bool,
+}
+
+impl BusFabric {
+    /// Builds the fabric.
+    pub fn new(config: BusFabricConfig) -> Self {
+        let mut nl = Netlist::new(config.name);
+        nl.set_source_lines(config.source_lines);
+        let drivers = config.drivers.max(2);
+        let sel_bits = drivers.next_power_of_two().trailing_zeros() as usize;
+        let select = nl.input("select", sel_bits.max(1));
+        let broadcast = if config.broadcast {
+            Some(nl.input("broadcast", 1))
+        } else {
+            None
+        };
+        let shared = nl.input("shared_data", config.width.min(32));
+        let _observability = nl.reduce_or(shared);
+        // The pattern every driver forwards in broadcast mode: a fixed idle
+        // word, so overlapping enables always agree (the consensus case).
+        let mut idle_pattern = Bv::zero(config.width);
+        for bit in (0..config.width).step_by(2) {
+            idle_pattern = idle_pattern.with_bit(bit, true);
+        }
+        let shared_wide = nl.constant(&idle_pattern);
+        let mut enables = Vec::with_capacity(drivers);
+        let mut data = Vec::with_capacity(drivers);
+        for d in 0..drivers {
+            let own = nl.input(format!("src{d}"), config.width.min(16));
+            let own_wide = nl.zext(own, config.width);
+            let idx = nl.constant(&Bv::from_u64(sel_bits.max(1), d as u64));
+            let selected = nl.eq(select, idx);
+            let enable_comb = match broadcast {
+                Some(b) => nl.or2(selected, b),
+                None => selected,
+            };
+            let enable = if config.registered {
+                nl.dff(enable_comb, Some(Bv::zero(1)))
+            } else {
+                enable_comb
+            };
+            // In broadcast mode every driver forwards the shared data, so
+            // simultaneous enables are contention-free by consensus.
+            let value_comb = match broadcast {
+                Some(b) => nl.mux(b, shared_wide, own_wide),
+                None => own_wide,
+            };
+            let value = if config.registered {
+                nl.dff(value_comb, Some(Bv::zero(config.width)))
+            } else {
+                value_comb
+            };
+            nl.mark_output(format!("en{d}"), enable);
+            enables.push(enable);
+            data.push(value);
+        }
+        // The merged bus value (OR of gated drivers) as an observable output.
+        let zero = nl.constant(&Bv::zero(config.width));
+        let mut bus = zero;
+        for d in 0..drivers {
+            let gated = nl.mux(enables[d], data[d], zero);
+            bus = nl.or2(bus, gated);
+        }
+        nl.mark_output("bus", bus);
+        BusFabric {
+            netlist: nl,
+            enables,
+            data,
+        }
+    }
+
+    /// The bus-contention assertion (p11/p12/p13): whenever two drivers are
+    /// enabled simultaneously their data values agree.
+    pub fn contention_free(&self, name: &str) -> Verification {
+        let mut nl = self.netlist.clone();
+        let ok = monitor::bus_contention_free(&mut nl, &self.enables, &self.data);
+        let property = Property::always(&nl, name, ok);
+        Verification::new(nl, property)
+    }
+}
+
+/// `industry_02`: registered 152-bit tri-state bus (paper: 152-bit signals).
+pub fn industry_02(drivers: usize) -> BusFabric {
+    BusFabric::new(BusFabricConfig {
+        name: "industry_02",
+        source_lines: 5726,
+        drivers,
+        width: 152,
+        registered: true,
+        broadcast: false,
+    })
+}
+
+/// `industry_03`: combinational 128-bit bus with a broadcast/consensus mode.
+pub fn industry_03(drivers: usize) -> BusFabric {
+    BusFabric::new(BusFabricConfig {
+        name: "industry_03",
+        source_lines: 694,
+        drivers,
+        width: 128,
+        registered: false,
+        broadcast: true,
+    })
+}
+
+/// `industry_04`: combinational 32-bit bus.
+pub fn industry_04(drivers: usize) -> BusFabric {
+    BusFabric::new(BusFabricConfig {
+        name: "industry_04",
+        source_lines: 599,
+        drivers,
+        width: 32,
+        registered: false,
+        broadcast: false,
+    })
+}
+
+/// `industry_05`: a small control block whose 3-bit mode register never
+/// leaves the set of legal (gray-coded) values; the remaining encodings are
+/// internal don't-cares.
+#[derive(Debug, Clone)]
+pub struct Industry05 {
+    /// The synthesised design.
+    pub netlist: Netlist,
+    /// The mode register.
+    pub mode: NetId,
+}
+
+impl Industry05 {
+    /// Builds the design.
+    pub fn new() -> Self {
+        let mut nl = Netlist::new("industry_05");
+        nl.set_source_lines(47);
+        let step = nl.input("step", 1);
+        let reverse = nl.input("reverse", 1);
+        let hold = nl.input("hold", 1);
+        let tag = nl.input("tag", 10);
+        let _ = nl.reduce_or(tag);
+        // Mode register walks a 4-entry gray-code cycle 0,1,3,2.
+        let (mode, mode_ff) = nl.dff_deferred(3, Some(Bv::zero(3)));
+        let (phase, phase_ff) = nl.dff_deferred(4, Some(Bv::from_u64(4, 1)));
+        let table = [0u64, 1, 3, 2];
+        // next_forward[i] encodes the gray successor, next_backward the predecessor.
+        let mut next_forward = nl.constant(&Bv::from_u64(3, table[1]));
+        let mut next_backward = nl.constant(&Bv::from_u64(3, table[3]));
+        for i in (0..4).rev() {
+            let here = nl.constant(&Bv::from_u64(3, table[i]));
+            let fwd = nl.constant(&Bv::from_u64(3, table[(i + 1) % 4]));
+            let bwd = nl.constant(&Bv::from_u64(3, table[(i + 3) % 4]));
+            let at = nl.eq(mode, here);
+            next_forward = nl.mux(at, fwd, next_forward);
+            next_backward = nl.mux(at, bwd, next_backward);
+        }
+        let stepped = nl.mux(reverse, next_backward, next_forward);
+        let moving = {
+            let not_hold = nl.not(hold);
+            nl.and2(step, not_hold)
+        };
+        let mode_next = nl.mux(moving, stepped, mode);
+        nl.connect_dff_data(mode_ff, mode_next);
+        // A rotating one-hot phase register (3 more flip-flops of state).
+        let rot = nl.slice(phase, 3, 1);
+        let low = nl.slice(phase, 0, 3);
+        let phase_next = nl.concat(low, rot);
+        nl.connect_dff_data(phase_ff, phase_next);
+        nl.mark_output("mode", mode);
+        Industry05 { netlist: nl, mode }
+    }
+
+    /// p14: the don't-care encodings of the mode register (values >= 4) are
+    /// unreachable.
+    pub fn p14_dont_cares_unreachable(&self) -> Verification {
+        let mut nl = self.netlist.clone();
+        let four = nl.constant(&Bv::from_u64(3, 4));
+        let ok = nl.lt(self.mode, four);
+        let property = Property::always(&nl, "p14", ok);
+        Verification::new(nl, property)
+    }
+}
+
+impl Default for Industry05 {
+    fn default() -> Self {
+        Industry05::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_atpg::{AssertionChecker, CheckerOptions};
+
+    fn options(frames: usize) -> CheckerOptions {
+        let mut o = CheckerOptions::default();
+        o.max_frames = frames;
+        o
+    }
+
+    #[test]
+    fn industry01_one_hot_states_hold() {
+        let design = Industry01::new(3);
+        let report =
+            AssertionChecker::new(options(4)).check(&design.p10_dont_cares_unreachable());
+        assert!(report.result.is_pass(), "got {:?}", report.result);
+    }
+
+    #[test]
+    fn industry02_contention_free() {
+        let fabric = industry_02(3);
+        let report = AssertionChecker::new(options(3)).check(&fabric.contention_free("p11"));
+        assert!(report.result.is_pass(), "got {:?}", report.result);
+        assert_eq!(fabric.netlist.name(), "industry_02");
+        assert_eq!(fabric.netlist.net_width(fabric.data[0]), 152);
+    }
+
+    #[test]
+    fn industry03_consensus_broadcast_contention_free() {
+        let fabric = industry_03(3);
+        let report = AssertionChecker::new(options(2)).check(&fabric.contention_free("p12"));
+        assert!(report.result.is_pass(), "got {:?}", report.result);
+        assert_eq!(fabric.netlist.stats().flip_flop_bits, 0);
+    }
+
+    #[test]
+    fn industry04_contention_free() {
+        let fabric = industry_04(4);
+        let report = AssertionChecker::new(options(2)).check(&fabric.contention_free("p13"));
+        assert!(report.result.is_pass(), "got {:?}", report.result);
+        assert_eq!(fabric.netlist.net_width(fabric.data[0]), 32);
+    }
+
+    #[test]
+    fn industry05_dont_cares_unreachable() {
+        let design = Industry05::new();
+        let report =
+            AssertionChecker::new(options(6)).check(&design.p14_dont_cares_unreachable());
+        assert!(report.result.is_pass(), "got {:?}", report.result);
+        let stats = design.netlist.stats();
+        assert_eq!(stats.flip_flop_bits, 7);
+        assert_eq!(stats.inputs, 13);
+    }
+}

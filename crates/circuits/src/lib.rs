@@ -1,0 +1,40 @@
+//! # wlac-circuits — benchmark designs and the paper's property suite
+//!
+//! Generators for the nine designs evaluated in Huang & Cheng (DAC 2000)
+//! — four public benchmarks (address decoder, token ring, arbiter, alarm
+//! clock) and five synthetic stand-ins for the proprietary industrial
+//! designs — together with the fourteen assertion properties p1–p14 of the
+//! paper's Table 2, bundled as ready-to-check [`wlac_atpg::Verification`]s
+//! by [`suite::paper_suite`].
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_circuits::suite::{paper_suite, Scale};
+//! use wlac_atpg::{AssertionChecker, CheckerOptions};
+//!
+//! let suite = paper_suite(Scale::Small);
+//! assert_eq!(suite.len(), 14);
+//! // Check the smallest property (p14).
+//! let mut options = CheckerOptions::default();
+//! options.max_frames = 6;
+//! let report = AssertionChecker::new(options).check(&suite[13].verification);
+//! assert!(report.result.is_pass());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr_decoder;
+pub mod alarm_clock;
+pub mod arbiter;
+pub mod industry;
+pub mod suite;
+pub mod token_ring;
+
+pub use addr_decoder::{AddrDecoder, AddrDecoderConfig};
+pub use alarm_clock::AlarmClock;
+pub use arbiter::{Arbiter, ArbiterConfig};
+pub use industry::{industry_02, industry_03, industry_04, BusFabric, BusFabricConfig, Industry01, Industry05};
+pub use suite::{circuit_statistics, paper_suite, paper_table1, BenchmarkCase, Expectation, Scale};
+pub use token_ring::{TokenRing, TokenRingConfig};

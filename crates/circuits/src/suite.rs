@@ -1,0 +1,189 @@
+//! The paper's benchmark suite: 9 designs, 14 properties (p1–p14).
+
+use crate::addr_decoder::{AddrDecoder, AddrDecoderConfig};
+use crate::alarm_clock::AlarmClock;
+use crate::arbiter::{Arbiter, ArbiterConfig};
+use crate::industry::{industry_02, industry_03, industry_04, Industry01, Industry05};
+use crate::token_ring::{TokenRing, TokenRingConfig};
+use wlac_atpg::Verification;
+use wlac_netlist::CircuitStats;
+
+/// Size of the generated designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for unit tests and quick runs.
+    Small,
+    /// Sizes approximating the paper's Table 1 (the two largest industrial
+    /// designs are scaled down; see DESIGN.md §4).
+    Paper,
+}
+
+/// Expected outcome of a property check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The assertion holds (proved or holds up to the bound).
+    Pass,
+    /// A witness sequence is expected to be generated.
+    Witness,
+}
+
+/// One (circuit, property) pair of the paper's Table 2, with the paper's
+/// reported CPU time and memory for comparison.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCase {
+    /// Design name (Table 1 row).
+    pub circuit: String,
+    /// Property name (`p1` .. `p14`).
+    pub property: String,
+    /// The bundled design + property + environment.
+    pub verification: Verification,
+    /// Expected outcome.
+    pub expectation: Expectation,
+    /// CPU seconds reported in the paper's Table 2 (Sun UltraSparc 5).
+    pub paper_cpu_seconds: f64,
+    /// Memory (MB) reported in the paper's Table 2.
+    pub paper_memory_mb: f64,
+}
+
+fn case(
+    circuit: &str,
+    property: &str,
+    verification: Verification,
+    expectation: Expectation,
+    paper_cpu_seconds: f64,
+    paper_memory_mb: f64,
+) -> BenchmarkCase {
+    BenchmarkCase {
+        circuit: circuit.to_string(),
+        property: property.to_string(),
+        verification,
+        expectation,
+        paper_cpu_seconds,
+        paper_memory_mb,
+    }
+}
+
+/// Builds the nine designs at the requested scale and returns the fourteen
+/// property-check cases of the paper's Table 2, in order.
+pub fn paper_suite(scale: Scale) -> Vec<BenchmarkCase> {
+    let (decoder_cfg, ring_cfg, arbiter_cfg, fsms, d02, d03, d04) = match scale {
+        Scale::Small => (
+            AddrDecoderConfig::small(),
+            TokenRingConfig::small(),
+            ArbiterConfig::small(),
+            3usize,
+            3usize,
+            3usize,
+            3usize,
+        ),
+        Scale::Paper => (
+            AddrDecoderConfig::paper(),
+            TokenRingConfig::paper(),
+            ArbiterConfig::paper(),
+            64usize,
+            6usize,
+            4usize,
+            5usize,
+        ),
+    };
+    let decoder = AddrDecoder::new(decoder_cfg);
+    let ring = TokenRing::new(ring_cfg);
+    let arbiter = Arbiter::new(arbiter_cfg);
+    let clock = AlarmClock::new();
+    let ind01 = Industry01::new(fsms);
+    let ind02 = industry_02(d02);
+    let ind03 = industry_03(d03);
+    let ind04 = industry_04(d04);
+    let ind05 = Industry05::new();
+    vec![
+        case("addr_decoder", "p1", decoder.p1_cell_writable(), Expectation::Witness, 0.08, 0.01),
+        case("addr_decoder", "p2", decoder.p2_selects_mutually_exclusive(), Expectation::Pass, 0.09, 0.01),
+        case("token_ring", "p3", ring.p3_grants_one_hot(), Expectation::Pass, 1.88, 1.57),
+        case("token_ring", "p4", ring.p4_client_eventually_granted(), Expectation::Witness, 1.45, 1.53),
+        case("arbiter", "p5", arbiter.p5_grants_one_hot(), Expectation::Pass, 0.14, 0.12),
+        case("arbiter", "p6", arbiter.p6_lowest_priority_served(), Expectation::Witness, 0.59, 0.20),
+        case("alarm_clock", "p7", clock.p7_rollover_to_twelve(), Expectation::Pass, 0.36, 0.88),
+        case("alarm_clock", "p8", clock.p8_hour_reaches_two(), Expectation::Witness, 1.31, 2.74),
+        case("alarm_clock", "p9", clock.p9_hour_never_thirteen(), Expectation::Pass, 137.05, 9.76),
+        case("industry_01", "p10", ind01.p10_dont_cares_unreachable(), Expectation::Pass, 14.79, 54.66),
+        case("industry_02", "p11", ind02.contention_free("p11"), Expectation::Pass, 20.37, 17.89),
+        case("industry_03", "p12", ind03.contention_free("p12"), Expectation::Pass, 1.25, 2.85),
+        case("industry_04", "p13", ind04.contention_free("p13"), Expectation::Pass, 0.40, 1.59),
+        case("industry_05", "p14", ind05.p14_dont_cares_unreachable(), Expectation::Pass, 0.03, 0.02),
+    ]
+}
+
+/// Circuit statistics (the paper's Table 1) for the nine designs at the
+/// requested scale.
+pub fn circuit_statistics(scale: Scale) -> Vec<CircuitStats> {
+    let suite = paper_suite(scale);
+    let mut stats = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for case in &suite {
+        if seen.insert(case.circuit.clone()) {
+            // The verification netlist includes monitor gates; the statistics
+            // still describe the design itself well enough for Table 1
+            // because monitors are a small constant overhead.
+            let mut s = case.verification.netlist.stats();
+            s.name = case.circuit.clone();
+            stats.push(s);
+        }
+    }
+    stats
+}
+
+/// The paper's Table 1 rows (for reference in reports).
+pub fn paper_table1() -> Vec<CircuitStats> {
+    let row = |name: &str, lines, gates, ffs, ins, outs| CircuitStats {
+        name: name.to_string(),
+        lines,
+        gates,
+        flip_flop_bits: ffs,
+        inputs: ins,
+        outputs: outs,
+    };
+    vec![
+        row("addr_decoder", 52, 307, 86, 7, 64),
+        row("token_ring", 157, 4902, 536, 518, 132),
+        row("arbiter", 303, 2443, 24, 69, 25),
+        row("alarm_clock", 719, 1277, 33, 7, 40),
+        row("industry_01", 11280, 380_000, 9922, 293, 733),
+        row("industry_02", 5726, 25520, 96, 60, 25),
+        row("industry_03", 694, 2623, 0, 70, 64),
+        row("industry_04", 599, 924, 0, 79, 32),
+        row("industry_05", 47, 210, 7, 13, 1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_fourteen_properties() {
+        let suite = paper_suite(Scale::Small);
+        assert_eq!(suite.len(), 14);
+        for (i, case) in suite.iter().enumerate() {
+            assert_eq!(case.property, format!("p{}", i + 1));
+        }
+        let passes = suite.iter().filter(|c| c.expectation == Expectation::Pass).count();
+        assert_eq!(passes, 10);
+    }
+
+    #[test]
+    fn statistics_cover_all_nine_designs() {
+        let stats = circuit_statistics(Scale::Small);
+        assert_eq!(stats.len(), 9);
+        let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"alarm_clock"));
+        assert!(names.contains(&"industry_05"));
+        assert_eq!(paper_table1().len(), 9);
+    }
+
+    #[test]
+    fn paper_scale_statistics_are_larger() {
+        let small: usize = circuit_statistics(Scale::Small).iter().map(|s| s.gates).sum();
+        let paper: usize = circuit_statistics(Scale::Paper).iter().map(|s| s.gates).sum();
+        assert!(paper > small);
+    }
+}

@@ -1,0 +1,205 @@
+//! Word-level value assignment with a backtrackable trail.
+//!
+//! Unlike bit-level ATPG, a word-level signal can be implied several times
+//! (each time refining more bits), so backtracking cannot simply reset nets
+//! to `x` — it must restore the *previous partially-implied value*
+//! (Section 3.1 of the paper). The [`Assignment`] keeps a trail of previous
+//! cube values for exactly this purpose.
+
+use wlac_bv::Bv3;
+use wlac_netlist::{NetId, Netlist};
+
+/// Conflict raised when a refinement contradicts the current assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conflict {
+    /// The net on which the contradiction was detected.
+    pub net: NetId,
+}
+
+/// The current three-valued value of every net plus an undo trail.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    values: Vec<Bv3>,
+    trail: Vec<(NetId, Bv3)>,
+    peak_trail: usize,
+}
+
+impl Assignment {
+    /// Creates an all-unknown assignment for the given netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        Assignment {
+            values: netlist
+                .nets()
+                .map(|n| Bv3::all_x(netlist.net_width(n)))
+                .collect(),
+            trail: Vec::new(),
+            peak_trail: 0,
+        }
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> &Bv3 {
+        &self.values[net.index()]
+    }
+
+    /// Refines the value of `net` with `new`, recording the previous value on
+    /// the trail. Returns `Ok(true)` when at least one bit became newly
+    /// known.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict`] when a known bit of `new` contradicts the current
+    /// value; the assignment is left unchanged in that case.
+    pub fn refine(&mut self, net: NetId, new: &Bv3) -> Result<bool, Conflict> {
+        let current = &self.values[net.index()];
+        if current.covers(new) && new.covers(current) {
+            return Ok(false);
+        }
+        let mut merged = current.clone();
+        match merged.refine(new) {
+            Ok(true) => {
+                self.trail.push((net, self.values[net.index()].clone()));
+                self.peak_trail = self.peak_trail.max(self.trail.len());
+                self.values[net.index()] = merged;
+                Ok(true)
+            }
+            Ok(false) => Ok(false),
+            Err(_) => Err(Conflict { net }),
+        }
+    }
+
+    /// Current length of the trail; use with [`Assignment::backtrack_to`].
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Restores every net to its value at the time `mark` was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is larger than the current trail.
+    pub fn backtrack_to(&mut self, mark: usize) {
+        assert!(mark <= self.trail.len(), "mark beyond trail");
+        while self.trail.len() > mark {
+            let (net, previous) = self.trail.pop().expect("non-empty trail");
+            self.values[net.index()] = previous;
+        }
+    }
+
+    /// Total number of known bits across all nets.
+    #[allow(dead_code)] // exercised by tests and useful for diagnostics
+    pub fn known_bits(&self) -> usize {
+        self.values.iter().map(|v| v.count_known()).sum()
+    }
+
+    /// Largest trail length observed so far (used for memory reporting).
+    #[allow(dead_code)] // exercised by tests and useful for diagnostics
+    pub fn peak_trail(&self) -> usize {
+        self.peak_trail
+    }
+
+    /// Approximate number of bytes held by the assignment and its trail at
+    /// its peak, used to reproduce the paper's memory column.
+    pub fn peak_memory_bytes(&self) -> usize {
+        let cube_bytes = |c: &Bv3| 2 * c.width().div_ceil(64) * 8 + 16;
+        let values: usize = self.values.iter().map(cube_bytes).sum();
+        let avg = if self.values.is_empty() {
+            0
+        } else {
+            values / self.values.len()
+        };
+        values + self.peak_trail * (avg + 8)
+    }
+
+    /// Number of nets tracked.
+    #[allow(dead_code)] // exercised by tests and useful for diagnostics
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no nets are tracked.
+    #[allow(dead_code)] // exercised by tests and useful for diagnostics
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_netlist::Netlist;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    fn simple() -> (Netlist, NetId, NetId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        (nl, a, b)
+    }
+
+    #[test]
+    fn refine_and_backtrack_restores_partial_values() {
+        let (nl, a, _) = simple();
+        let mut asg = Assignment::new(&nl);
+        asg.refine(a, &cube("4'b1xxx")).unwrap();
+        let mark = asg.mark();
+        asg.refine(a, &cube("4'bx0x1")).unwrap();
+        assert_eq!(asg.value(a), &cube("4'b10x1"));
+        asg.backtrack_to(mark);
+        // Backtracking restores the *partially implied* value, not all-x.
+        assert_eq!(asg.value(a), &cube("4'b1xxx"));
+    }
+
+    #[test]
+    fn conflict_leaves_assignment_unchanged() {
+        let (nl, a, _) = simple();
+        let mut asg = Assignment::new(&nl);
+        asg.refine(a, &cube("4'b10xx")).unwrap();
+        let err = asg.refine(a, &cube("4'b01xx")).unwrap_err();
+        assert_eq!(err.net, a);
+        assert_eq!(asg.value(a), &cube("4'b10xx"));
+    }
+
+    #[test]
+    fn no_change_is_reported() {
+        let (nl, a, _) = simple();
+        let mut asg = Assignment::new(&nl);
+        assert!(asg.refine(a, &cube("4'b1xxx")).unwrap());
+        assert!(!asg.refine(a, &cube("4'b1xxx")).unwrap());
+        assert!(!asg.refine(a, &Bv3::all_x(4)).unwrap());
+        assert_eq!(asg.mark(), 1);
+    }
+
+    #[test]
+    fn known_bits_and_memory_accounting() {
+        let (nl, a, b) = simple();
+        let mut asg = Assignment::new(&nl);
+        assert_eq!(asg.known_bits(), 0);
+        asg.refine(a, &cube("4'b1010")).unwrap();
+        asg.refine(b, &cube("4'bxx11")).unwrap();
+        assert_eq!(asg.known_bits(), 6);
+        assert!(asg.peak_memory_bytes() > 0);
+        assert_eq!(asg.peak_trail(), 2);
+        assert_eq!(asg.len(), nl.net_count());
+        assert!(!asg.is_empty());
+    }
+
+    #[test]
+    fn nested_backtracking() {
+        let (nl, a, b) = simple();
+        let mut asg = Assignment::new(&nl);
+        let m0 = asg.mark();
+        asg.refine(a, &cube("4'b1xxx")).unwrap();
+        let m1 = asg.mark();
+        asg.refine(b, &cube("4'b0000")).unwrap();
+        asg.refine(a, &cube("4'b11xx")).unwrap();
+        asg.backtrack_to(m1);
+        assert_eq!(asg.value(a), &cube("4'b1xxx"));
+        assert_eq!(asg.value(b), &Bv3::all_x(4));
+        asg.backtrack_to(m0);
+        assert_eq!(asg.value(a), &Bv3::all_x(4));
+    }
+}

@@ -1,0 +1,95 @@
+//! Checker configuration.
+
+use std::time::Duration;
+
+/// Options controlling the word-level ATPG search and the arithmetic solver.
+///
+/// The defaults reproduce the configuration used for the paper's experiments:
+/// bias-ordered decisions, the extended-state-transition-graph heuristic for
+/// decision ordering, the modular arithmetic solver enabled, and induction
+/// attempted before bounded search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerOptions {
+    /// Maximum number of time-frames explored for bounded checks.
+    pub max_frames: usize,
+    /// Maximum number of backtracks before a check is aborted.
+    pub backtrack_limit: usize,
+    /// Maximum number of decisions before a check is aborted.
+    pub decision_limit: usize,
+    /// Maximum number of candidate decision points kept per justification
+    /// round (the paper selects a fanout-based subset when the cut is large).
+    pub candidate_limit: usize,
+    /// Wall-clock limit for a single property check.
+    pub time_limit: Duration,
+    /// Attempt a 1-step induction proof before the bounded search
+    /// (an extension beyond the paper, disabled to mimic it exactly).
+    pub use_induction: bool,
+    /// Order decisions by the legal-assignment bias (Definition 2);
+    /// when disabled decisions are taken in structural order.
+    pub use_bias_ordering: bool,
+    /// Record conflicting abstract state transitions in the extended state
+    /// transition graph and use them to order decisions.
+    pub use_estg: bool,
+    /// Use the modular arithmetic constraint solver for residual datapath
+    /// constraints; when disabled the checker falls back to sampling.
+    pub use_arithmetic_solver: bool,
+    /// Number of closed-form solution samples instantiated per datapath
+    /// feasibility check.
+    pub solution_samples: usize,
+    /// Candidate enumeration budget for nonlinear (multiplier) constraints.
+    pub nonlinear_enumeration_limit: usize,
+}
+
+impl CheckerOptions {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        CheckerOptions {
+            max_frames: 12,
+            backtrack_limit: 200_000,
+            decision_limit: 1_000_000,
+            candidate_limit: 64,
+            time_limit: Duration::from_secs(120),
+            use_induction: true,
+            use_bias_ordering: true,
+            use_estg: true,
+            use_arithmetic_solver: true,
+            solution_samples: 16,
+            nonlinear_enumeration_limit: 256,
+        }
+    }
+
+    /// Configuration used when generating a witness (the bias value is taken
+    /// first instead of its complement, as Section 3.2 prescribes for
+    /// likely-to-exist objectives).
+    pub fn for_witness(mut self) -> Self {
+        self.use_induction = false;
+        self
+    }
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_paper_heuristics() {
+        let opts = CheckerOptions::default();
+        assert!(opts.use_bias_ordering);
+        assert!(opts.use_arithmetic_solver);
+        assert!(opts.use_estg);
+        assert!(opts.max_frames >= 8);
+        assert_eq!(opts, CheckerOptions::new());
+    }
+
+    #[test]
+    fn witness_configuration_disables_induction() {
+        let opts = CheckerOptions::new().for_witness();
+        assert!(!opts.use_induction);
+    }
+}

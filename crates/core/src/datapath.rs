@@ -1,0 +1,493 @@
+//! Residual datapath constraint extraction and resolution.
+//!
+//! Once the control constraints are justified, the remaining requirements sit
+//! on arithmetic units in the datapath. Following Section 4 of the paper,
+//! the still-unjustified arithmetic gates are grouped into width-homogeneous
+//! *islands*, each island is transcribed into a [`MixedSystem`] over ℤ/2ʷℤ
+//! (adders and subtractors as linear equations, multipliers as product
+//! constraints, partially-known values as low-bit congruences) and solved by
+//! the modular arithmetic solver. A feasible closed-form solution is then
+//! instantiated, propagated back into the word-level assignment and finally
+//! validated by concrete evaluation of the whole (unrolled) circuit.
+
+use crate::assignment::Assignment;
+use crate::config::CheckerOptions;
+use crate::implication::{ImplicationStats, Propagator};
+use crate::justify::unjustified_gates;
+use crate::stats::CheckStats;
+use std::collections::{HashMap, HashSet, VecDeque};
+use wlac_bv::{Bv, Bv3, Tv};
+use wlac_modsolve::{MixedOutcome, MixedSystem, Ring};
+use wlac_netlist::{GateId, GateKind, NetId, Netlist};
+use wlac_sim::eval_gate;
+
+/// Result of trying to discharge the residual datapath constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum DatapathOutcome {
+    /// A complete concrete assignment (value per net) satisfying every
+    /// requirement was constructed.
+    Consistent(Vec<Bv>),
+    /// Some extracted constraint subset is unsatisfiable in the modular ring;
+    /// the current control solution must be abandoned (sound for proving).
+    Infeasible,
+    /// Neither a solution nor a refutation could be established within the
+    /// configured budget.
+    Inconclusive,
+}
+
+/// An island of width-homogeneous arithmetic gates.
+#[derive(Debug)]
+struct Island {
+    width: usize,
+    nets: Vec<NetId>,
+    gates: Vec<GateId>,
+}
+
+/// Attempts to complete the current (control-justified) assignment into a
+/// concrete solution satisfying `requirements`.
+pub(crate) fn resolve_datapath(
+    netlist: &Netlist,
+    asg: &Assignment,
+    requirements: &[(NetId, Bv3)],
+    options: &CheckerOptions,
+    stats: &mut CheckStats,
+) -> DatapathOutcome {
+    let unjustified = unjustified_gates(netlist, asg);
+    if unjustified.is_empty() {
+        // Every requirement is already implied by the input cubes: any
+        // completion works; use the minimum value of every free input.
+        return match concretize_and_check(netlist, asg, requirements) {
+            Some(values) => DatapathOutcome::Consistent(values),
+            None => DatapathOutcome::Inconclusive,
+        };
+    }
+    if !options.use_arithmetic_solver {
+        // Ablation mode: fall back to trying the min/max completions only.
+        return match concretize_and_check(netlist, asg, requirements) {
+            Some(values) => DatapathOutcome::Consistent(values),
+            None => DatapathOutcome::Inconclusive,
+        };
+    }
+
+    let islands = build_islands(netlist, &unjustified);
+    if islands.is_empty() {
+        return match concretize_and_check(netlist, asg, requirements) {
+            Some(values) => DatapathOutcome::Consistent(values),
+            None => DatapathOutcome::Inconclusive,
+        };
+    }
+
+    let mut refined = asg.clone();
+    let mut saw_unknown = false;
+    for island in &islands {
+        stats.arithmetic_calls += 1;
+        match solve_island(netlist, &refined, island, options) {
+            IslandOutcome::Assignment(values) => {
+                // Merge the island solution into the assignment and re-run
+                // implication so the rest of the circuit sees it.
+                let mut prop = Propagator::new(netlist);
+                let mut imp_stats = ImplicationStats::default();
+                for (net, value) in values {
+                    let cube = Bv3::from_bv(&value);
+                    match refined.refine(net, &cube) {
+                        Ok(true) => prop.enqueue_net(netlist, net),
+                        Ok(false) => {}
+                        Err(_) => return DatapathOutcome::Inconclusive,
+                    }
+                }
+                if prop.run(netlist, &mut refined, &mut imp_stats).is_err() {
+                    return DatapathOutcome::Inconclusive;
+                }
+                stats.implication.gate_evaluations += imp_stats.gate_evaluations;
+                stats.implication.refinements += imp_stats.refinements;
+            }
+            IslandOutcome::Infeasible => return DatapathOutcome::Infeasible,
+            IslandOutcome::Unknown => saw_unknown = true,
+        }
+    }
+    match concretize_and_check(netlist, &refined, requirements) {
+        Some(values) => DatapathOutcome::Consistent(values),
+        None => {
+            if saw_unknown {
+                DatapathOutcome::Inconclusive
+            } else {
+                // The islands were individually satisfiable but the sampled
+                // combination did not extend to a full solution; without an
+                // exhaustive combination search this is inconclusive.
+                DatapathOutcome::Inconclusive
+            }
+        }
+    }
+}
+
+/// Result of solving one island.
+enum IslandOutcome {
+    Assignment(Vec<(NetId, Bv)>),
+    Infeasible,
+    Unknown,
+}
+
+/// Gate kinds participating in arithmetic islands.
+fn is_island_gate(kind: &GateKind) -> bool {
+    matches!(
+        kind,
+        GateKind::Add | GateKind::Sub | GateKind::Mul | GateKind::Buf | GateKind::Const(_)
+    )
+}
+
+/// Flood-fills width-homogeneous islands around the unjustified arithmetic gates.
+fn build_islands(netlist: &Netlist, unjustified: &[GateId]) -> Vec<Island> {
+    let mut assigned: HashSet<GateId> = HashSet::new();
+    let mut islands = Vec::new();
+    for seed in unjustified {
+        let seed_gate = netlist.gate(*seed);
+        let width = netlist.net_width(seed_gate.output);
+        if !is_island_gate(&seed_gate.kind) || width > 64 || width < 2 || assigned.contains(seed) {
+            continue;
+        }
+        let mut gates = Vec::new();
+        let mut nets: HashSet<NetId> = HashSet::new();
+        let mut queue = VecDeque::from([*seed]);
+        assigned.insert(*seed);
+        while let Some(gate_id) = queue.pop_front() {
+            let gate = netlist.gate(gate_id);
+            gates.push(gate_id);
+            for net in gate.inputs.iter().chain(std::iter::once(&gate.output)) {
+                if netlist.net_width(*net) != width || !nets.insert(*net) {
+                    continue;
+                }
+                // Explore neighbouring arithmetic gates of the same width.
+                let mut neighbours: Vec<GateId> = netlist.fanouts(*net).to_vec();
+                if let Some(driver) = netlist.driver(*net) {
+                    neighbours.push(driver);
+                }
+                for n in neighbours {
+                    let g = netlist.gate(n);
+                    if is_island_gate(&g.kind)
+                        && netlist.net_width(g.output) == width
+                        && assigned.insert(n)
+                    {
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        let mut net_list: Vec<NetId> = nets.into_iter().collect();
+        net_list.sort();
+        islands.push(Island {
+            width,
+            nets: net_list,
+            gates,
+        });
+    }
+    islands
+}
+
+/// Transcribes one island into a [`MixedSystem`] and solves it.
+fn solve_island(
+    netlist: &Netlist,
+    asg: &Assignment,
+    island: &Island,
+    options: &CheckerOptions,
+) -> IslandOutcome {
+    let ring = Ring::new(island.width as u32);
+    let index: HashMap<NetId, usize> = island
+        .nets
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (*n, i))
+        .collect();
+    let mut system = MixedSystem::new(ring, island.nets.len());
+    system.set_enumeration_limit(options.nonlinear_enumeration_limit);
+    let var = |net: &NetId| index[net];
+    for gate_id in &island.gates {
+        let gate = netlist.gate(*gate_id);
+        let mut coeffs = vec![0u64; island.nets.len()];
+        match &gate.kind {
+            GateKind::Add => {
+                coeffs[var(&gate.inputs[0])] = ring.add(coeffs[var(&gate.inputs[0])], 1);
+                coeffs[var(&gate.inputs[1])] = ring.add(coeffs[var(&gate.inputs[1])], 1);
+                coeffs[var(&gate.output)] = ring.sub(coeffs[var(&gate.output)], 1);
+                system.add_equation(&coeffs, 0);
+            }
+            GateKind::Sub => {
+                coeffs[var(&gate.inputs[0])] = ring.add(coeffs[var(&gate.inputs[0])], 1);
+                coeffs[var(&gate.inputs[1])] = ring.sub(coeffs[var(&gate.inputs[1])], 1);
+                coeffs[var(&gate.output)] = ring.sub(coeffs[var(&gate.output)], 1);
+                system.add_equation(&coeffs, 0);
+            }
+            GateKind::Buf => {
+                coeffs[var(&gate.inputs[0])] = 1;
+                coeffs[var(&gate.output)] = ring.neg(1);
+                system.add_equation(&coeffs, 0);
+            }
+            GateKind::Const(v) => {
+                if let Some(value) = v.to_u64() {
+                    system.fix_variable(var(&gate.output), value);
+                }
+            }
+            GateKind::Mul => {
+                system.add_product(var(&gate.inputs[0]), var(&gate.inputs[1]), var(&gate.output));
+            }
+            _ => {}
+        }
+    }
+    // Encode what is already known about the island nets: fully-known values
+    // become fixed variables, known low-order bits become congruences
+    // (x ≡ c (mod 2^k)  ⇔  2^{w-k}·x ≡ 2^{w-k}·c (mod 2^w)).
+    for net in &island.nets {
+        let cube = asg.value(*net);
+        if let Some(value) = cube.to_bv().and_then(|v| v.to_u64()) {
+            system.fix_variable(index[net], value);
+            continue;
+        }
+        let known_low = (0..cube.width())
+            .take_while(|i| cube.bit(*i).is_known())
+            .count();
+        if known_low > 0 {
+            let mut low_value = 0u64;
+            for i in 0..known_low {
+                if cube.bit(i) == Tv::One {
+                    low_value |= 1 << i;
+                }
+            }
+            let shift = (island.width - known_low) as u32;
+            let factor = if shift >= 64 { 0 } else { ring.reduce(1u64 << shift) };
+            if factor != 0 {
+                let mut coeffs = vec![0u64; island.nets.len()];
+                coeffs[index[net]] = factor;
+                system.add_equation(&coeffs, ring.mul(factor, low_value));
+            }
+        }
+    }
+    match system.solve() {
+        MixedOutcome::Solution(values) => IslandOutcome::Assignment(
+            island
+                .nets
+                .iter()
+                .zip(values)
+                .map(|(net, v)| (*net, Bv::from_u64(island.width, v)))
+                .collect(),
+        ),
+        MixedOutcome::Infeasible => IslandOutcome::Infeasible,
+        MixedOutcome::Unknown => IslandOutcome::Unknown,
+    }
+}
+
+/// Completes the assignment with concrete values and evaluates the whole
+/// circuit; returns the concrete values when all requirements hold.
+///
+/// Several completions of the still-unknown primary-input bits are tried:
+/// all-zero, all-one and a sequence of deterministic pseudo-random patterns.
+/// This covers residual *disequality* requirements (e.g. "the register must
+/// differ from 0") that are not expressible as modular linear equations.
+pub(crate) fn concretize_and_check(
+    netlist: &Netlist,
+    asg: &Assignment,
+    requirements: &[(NetId, Bv3)],
+) -> Option<Vec<Bv>> {
+    let order = netlist.combinational_order().ok()?;
+    const ATTEMPTS: u64 = 24;
+    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+    for attempt in 0..ATTEMPTS {
+        let mut values: Vec<Bv> = netlist
+            .nets()
+            .map(|n| {
+                let cube = asg.value(n);
+                match attempt {
+                    0 => cube.min_value(),
+                    1 => cube.max_value(),
+                    _ => {
+                        // Fill unknown bits with a pseudo-random pattern
+                        // (xorshift), keeping every known bit.
+                        let mut v = cube.min_value();
+                        for bit in 0..cube.width() {
+                            if !cube.bit(bit).is_known() {
+                                seed ^= seed << 13;
+                                seed ^= seed >> 7;
+                                seed ^= seed << 17;
+                                v = v.with_bit(bit, seed & 1 == 1);
+                            }
+                        }
+                        v
+                    }
+                }
+            })
+            .collect();
+        for gate_id in &order {
+            let gate = netlist.gate(*gate_id);
+            let inputs: Vec<Bv> =
+                gate.inputs.iter().map(|n| values[n.index()].clone()).collect();
+            let out_w = netlist.net_width(gate.output);
+            values[gate.output.index()] = eval_gate(&gate.kind, &inputs, out_w);
+        }
+        let ok = requirements
+            .iter()
+            .all(|(net, cube)| cube.matches(&values[net.index()]));
+        if ok {
+            return Some(values);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn fully_justified_assignment_concretizes() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.add(a, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(a, &cube("4'b0011")).unwrap();
+        asg.refine(b, &cube("4'b0001")).unwrap();
+        asg.refine(y, &cube("4'b0100")).unwrap();
+        let reqs = vec![(y, cube("4'b0100"))];
+        let out = resolve_datapath(
+            &nl,
+            &asg,
+            &reqs,
+            &CheckerOptions::default(),
+            &mut CheckStats::default(),
+        );
+        match out {
+            DatapathOutcome::Consistent(values) => {
+                assert_eq!(values[y.index()].to_u64(), Some(4));
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adder_requirement_solved_by_linear_system() {
+        // Require y = a + b = 12 with nothing else known: the island solver
+        // must produce some (a, b) summing to 12 modulo 16.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.add(a, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("4'b1100")).unwrap();
+        let reqs = vec![(y, cube("4'b1100"))];
+        let mut stats = CheckStats::default();
+        let out = resolve_datapath(&nl, &asg, &reqs, &CheckerOptions::default(), &mut stats);
+        match out {
+            DatapathOutcome::Consistent(values) => {
+                let av = values[a.index()].to_u64().unwrap();
+                let bv = values[b.index()].to_u64().unwrap();
+                assert_eq!((av + bv) % 16, 12);
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+        assert!(stats.arithmetic_calls >= 1);
+    }
+
+    #[test]
+    fn chained_adders_with_constants() {
+        // y = (a + 3) - b with y required 0 and b required 9 ⇒ a = 6.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let three = nl.constant(&Bv::from_u64(4, 3));
+        let s = nl.add(a, three);
+        let y = nl.sub(s, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("4'b0000")).unwrap();
+        asg.refine(b, &cube("4'b1001")).unwrap();
+        let reqs = vec![(y, cube("4'b0000")), (b, cube("4'b1001"))];
+        let out = resolve_datapath(
+            &nl,
+            &asg,
+            &reqs,
+            &CheckerOptions::default(),
+            &mut CheckStats::default(),
+        );
+        match out {
+            DatapathOutcome::Consistent(values) => {
+                assert_eq!(values[a.index()].to_u64(), Some(6));
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_island_detected() {
+        // y = a + a = 2a must be even; requiring y = 5 is infeasible.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let y = nl.add(a, a);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("4'b0101")).unwrap();
+        let reqs = vec![(y, cube("4'b0101"))];
+        let out = resolve_datapath(
+            &nl,
+            &asg,
+            &reqs,
+            &CheckerOptions::default(),
+            &mut CheckStats::default(),
+        );
+        assert_eq!(out, DatapathOutcome::Infeasible);
+    }
+
+    #[test]
+    fn multiplier_wraparound_solution_found() {
+        // y = 4 · b with y required 12: the modular solver may pick b = 3 or
+        // b = 7 (both valid mod 16); an integral solver would only ever see 3.
+        let mut nl = Netlist::new("t");
+        let b = nl.input("b", 4);
+        let four = nl.constant(&Bv::from_u64(4, 4));
+        let y = nl.mul(four, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("4'b1100")).unwrap();
+        let reqs = vec![(y, cube("4'b1100"))];
+        let out = resolve_datapath(
+            &nl,
+            &asg,
+            &reqs,
+            &CheckerOptions::default(),
+            &mut CheckStats::default(),
+        );
+        match out {
+            DatapathOutcome::Consistent(values) => {
+                let bv = values[b.index()].to_u64().unwrap();
+                assert_eq!((4 * bv) % 16, 12);
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_low_bits_become_congruences() {
+        // Require y = a + b = 8 where a's two low bits are already implied to
+        // be 2'b11: the solution must respect them.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.add(a, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(a, &cube("4'bxx11")).unwrap();
+        asg.refine(y, &cube("4'b1000")).unwrap();
+        let reqs = vec![(y, cube("4'b1000")), (a, cube("4'bxx11"))];
+        let out = resolve_datapath(
+            &nl,
+            &asg,
+            &reqs,
+            &CheckerOptions::default(),
+            &mut CheckStats::default(),
+        );
+        match out {
+            DatapathOutcome::Consistent(values) => {
+                let av = values[a.index()].to_u64().unwrap();
+                assert_eq!(av & 0b11, 0b11);
+            }
+            other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! Word-level logic implication (Section 3.1 of the paper).
+//!
+//! Every gate kind has forward and backward implication rules expressed over
+//! three-valued cubes:
+//!
+//! * **Boolean gates** use bit-parallel 3-valued logic,
+//! * **arithmetic units** use 3-valued ripple addition/subtraction
+//!   (the Fig. 3 adder rule: the missing operand is `output − operand`),
+//! * **comparators** translate cubes to `[min, max]` ranges, tighten the
+//!   ranges from the output value, and map back to cubes MSB-first
+//!   (the Fig. 4 rule),
+//! * **multiplexors** use cube union / null-intersection reasoning,
+//! * frame-connection buffers (the unrolled form of registers) propagate in
+//!   both directions.
+//!
+//! The [`Propagator`] runs these rules to a fixed point over an event queue;
+//! any contradiction surfaces as a [`Conflict`].
+
+use crate::assignment::{Assignment, Conflict};
+use std::collections::VecDeque;
+use wlac_bv::arith::{add3, eq3, ge3, gt3, le3, lt3, mul3, ne3, shift3_var, sub3};
+use wlac_bv::range::{refine_to_range, saturating_dec, saturating_inc};
+use wlac_bv::{Bv, Bv3, Tv};
+use wlac_netlist::{Gate, GateId, GateKind, NetId, Netlist};
+
+/// Counters describing the implication effort (reported in [`crate::CheckStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImplicationStats {
+    /// Number of gate implication evaluations.
+    pub gate_evaluations: u64,
+    /// Number of net refinements that added information.
+    pub refinements: u64,
+}
+
+/// Forward 3-valued evaluation of a gate from its current input cubes.
+pub(crate) fn forward_eval(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> Bv3 {
+    let input = |i: usize| asg.value(gate.inputs[i]).clone();
+    let out_width = netlist.net_width(gate.output);
+    match &gate.kind {
+        GateKind::Const(v) => Bv3::from_bv(v),
+        GateKind::Buf | GateKind::Dff { .. } => input(0),
+        GateKind::Not => input(0).not3(),
+        GateKind::And => gate
+            .inputs
+            .iter()
+            .skip(1)
+            .fold(input(0), |acc, n| acc.and3(asg.value(*n))),
+        GateKind::Or => gate
+            .inputs
+            .iter()
+            .skip(1)
+            .fold(input(0), |acc, n| acc.or3(asg.value(*n))),
+        GateKind::Xor => gate
+            .inputs
+            .iter()
+            .skip(1)
+            .fold(input(0), |acc, n| acc.xor3(asg.value(*n))),
+        GateKind::ReduceAnd => {
+            let v = input(0);
+            let any_zero = (0..v.width()).any(|i| v.bit(i) == Tv::Zero);
+            let all_one = (0..v.width()).all(|i| v.bit(i) == Tv::One);
+            Bv3::from_tv(if any_zero {
+                Tv::Zero
+            } else if all_one {
+                Tv::One
+            } else {
+                Tv::X
+            })
+        }
+        GateKind::ReduceOr => {
+            let v = input(0);
+            let any_one = (0..v.width()).any(|i| v.bit(i) == Tv::One);
+            let all_zero = (0..v.width()).all(|i| v.bit(i) == Tv::Zero);
+            Bv3::from_tv(if any_one {
+                Tv::One
+            } else if all_zero {
+                Tv::Zero
+            } else {
+                Tv::X
+            })
+        }
+        GateKind::ReduceXor => {
+            let v = input(0);
+            if v.is_fully_known() {
+                let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
+                Bv3::from_tv(Tv::from_bool(ones % 2 == 1))
+            } else {
+                Bv3::from_tv(Tv::X)
+            }
+        }
+        GateKind::Add => add3(&input(0), &input(1)).0,
+        GateKind::Sub => sub3(&input(0), &input(1)).0,
+        GateKind::Mul => mul3(&input(0), &input(1)),
+        GateKind::Shl => shift3_var(&input(0), &input(1), true),
+        GateKind::Shr => shift3_var(&input(0), &input(1), false),
+        GateKind::Eq => Bv3::from_tv(eq3(&input(0), &input(1))),
+        GateKind::Ne => Bv3::from_tv(ne3(&input(0), &input(1))),
+        GateKind::Lt => Bv3::from_tv(lt3(&input(0), &input(1))),
+        GateKind::Le => Bv3::from_tv(le3(&input(0), &input(1))),
+        GateKind::Gt => Bv3::from_tv(gt3(&input(0), &input(1))),
+        GateKind::Ge => Bv3::from_tv(ge3(&input(0), &input(1))),
+        GateKind::Mux => {
+            let sel = input(0).to_tv();
+            match sel {
+                Tv::One => input(1),
+                Tv::Zero => input(2),
+                Tv::X => input(1).union(&input(2)),
+            }
+        }
+        GateKind::Concat => input(0).concat(&input(1)),
+        GateKind::Slice { lo } => input(0).slice(*lo, out_width),
+        GateKind::ZeroExt => input(0).resize(out_width),
+    }
+}
+
+/// Proposed refinements (net, cube) produced by one gate implication step.
+type Proposals = Vec<(NetId, Bv3)>;
+
+/// Computes forward and backward implications for one gate.
+///
+/// The returned proposals are merged into the assignment by the caller; a
+/// proposal never *weakens* a value (merging is monotone), and conflicting
+/// proposals are detected by [`Assignment::refine`].
+pub(crate) fn imply_gate(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> Proposals {
+    let mut out = Vec::new();
+    // Forward.
+    out.push((gate.output, forward_eval(netlist, gate, asg)));
+    // Backward.
+    backward(netlist, gate, asg, &mut out);
+    out
+}
+
+fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposals) {
+    let y = asg.value(gate.output).clone();
+    let input = |i: usize| asg.value(gate.inputs[i]).clone();
+    match &gate.kind {
+        GateKind::Const(_) => {}
+        GateKind::Buf | GateKind::Dff { .. } => out.push((gate.inputs[0], y)),
+        GateKind::Not => out.push((gate.inputs[0], y.not3())),
+        GateKind::And | GateKind::Or => {
+            let is_and = gate.kind == GateKind::And;
+            let width = y.width();
+            let values: Vec<Bv3> = gate.inputs.iter().map(|n| asg.value(*n).clone()).collect();
+            let mut proposals: Vec<Bv3> = values.clone();
+            for bit in 0..width {
+                let controlling = if is_and { Tv::Zero } else { Tv::One };
+                let passive = !controlling;
+                match y.bit(bit) {
+                    t if t == passive => {
+                        // AND output 1 / OR output 0: every input takes the passive value.
+                        for p in proposals.iter_mut() {
+                            p.set_bit(bit, passive);
+                        }
+                    }
+                    t if t == controlling => {
+                        // Exactly one undetermined input left while all others
+                        // are passive: it must take the controlling value.
+                        let undecided: Vec<usize> = values
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, v)| v.bit(bit) != passive)
+                            .map(|(i, _)| i)
+                            .collect();
+                        if undecided.len() == 1 && values[undecided[0]].bit(bit) == Tv::X {
+                            proposals[undecided[0]].set_bit(bit, controlling);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for (net, cube) in gate.inputs.iter().zip(proposals) {
+                out.push((*net, cube));
+            }
+        }
+        GateKind::Xor => {
+            let width = y.width();
+            let values: Vec<Bv3> = gate.inputs.iter().map(|n| asg.value(*n).clone()).collect();
+            let mut proposals: Vec<Bv3> = values.clone();
+            for bit in 0..width {
+                if !y.bit(bit).is_known() {
+                    continue;
+                }
+                let unknown: Vec<usize> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| !v.bit(bit).is_known())
+                    .map(|(i, _)| i)
+                    .collect();
+                if unknown.len() == 1 {
+                    let mut parity = y.bit(bit);
+                    for (i, v) in values.iter().enumerate() {
+                        if i != unknown[0] {
+                            parity = parity ^ v.bit(bit);
+                        }
+                    }
+                    proposals[unknown[0]].set_bit(bit, parity);
+                }
+            }
+            for (net, cube) in gate.inputs.iter().zip(proposals) {
+                out.push((*net, cube));
+            }
+        }
+        GateKind::ReduceAnd => {
+            let v = input(0);
+            match y.to_tv() {
+                Tv::One => out.push((gate.inputs[0], Bv3::from_bv(&Bv::ones(v.width())))),
+                Tv::Zero => {
+                    let unknown: Vec<usize> =
+                        (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
+                    let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
+                    if unknown.len() == 1 && ones == v.width() - 1 {
+                        out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::Zero)));
+                    }
+                }
+                Tv::X => {}
+            }
+        }
+        GateKind::ReduceOr => {
+            let v = input(0);
+            match y.to_tv() {
+                Tv::Zero => out.push((gate.inputs[0], Bv3::from_bv(&Bv::zero(v.width())))),
+                Tv::One => {
+                    let unknown: Vec<usize> =
+                        (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
+                    let zeros = (0..v.width()).filter(|i| v.bit(*i) == Tv::Zero).count();
+                    if unknown.len() == 1 && zeros == v.width() - 1 {
+                        out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::One)));
+                    }
+                }
+                Tv::X => {}
+            }
+        }
+        GateKind::ReduceXor => {
+            let v = input(0);
+            if let Some(target) = y.to_tv().to_bool() {
+                let unknown: Vec<usize> = (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
+                if unknown.len() == 1 {
+                    let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
+                    let needed = target != (ones % 2 == 1);
+                    out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::from_bool(needed))));
+                }
+            }
+        }
+        GateKind::Add => {
+            // The Fig. 3 rule: each operand is output minus the other operand.
+            out.push((gate.inputs[0], sub3(&y, &input(1)).0));
+            out.push((gate.inputs[1], sub3(&y, &input(0)).0));
+        }
+        GateKind::Sub => {
+            // y = a - b  ⇒  a = y + b,  b = a - y.
+            out.push((gate.inputs[0], add3(&y, &input(1)).0));
+            out.push((gate.inputs[1], sub3(&input(0), &y).0));
+        }
+        GateKind::Mul => {
+            backward_mul(&y, &input(0), &input(1), gate, out);
+        }
+        GateKind::Shl | GateKind::Shr => {
+            let left = gate.kind == GateKind::Shl;
+            if let Some(amount) = input(1).to_bv().and_then(|v| v.to_u64()) {
+                let amount = (amount as usize).min(y.width());
+                let a = input(0);
+                let mut refined = a.clone();
+                for i in 0..y.width() {
+                    // For a left shift, output bit i+amount equals input bit i.
+                    let (out_bit, in_bit) = if left {
+                        (i.checked_add(amount), i)
+                    } else {
+                        (i.checked_sub(amount), i)
+                    };
+                    if let Some(ob) = out_bit {
+                        if ob < y.width() && y.bit(ob).is_known() {
+                            refined.set_bit(in_bit, y.bit(ob));
+                        }
+                    }
+                }
+                out.push((gate.inputs[0], refined));
+            }
+        }
+        GateKind::Eq | GateKind::Ne => {
+            let equal_required = match (gate.kind == GateKind::Eq, y.to_tv()) {
+                (true, Tv::One) | (false, Tv::Zero) => Some(true),
+                (true, Tv::Zero) | (false, Tv::One) => Some(false),
+                _ => None,
+            };
+            if equal_required == Some(true) {
+                if let Some(meet) = input(0).intersect(&input(1)) {
+                    out.push((gate.inputs[0], meet.clone()));
+                    out.push((gate.inputs[1], meet));
+                } else {
+                    // Equality required but impossible: force a conflict by
+                    // proposing the (empty) intersection through both sides.
+                    out.push((gate.inputs[0], input(1)));
+                }
+            }
+        }
+        GateKind::Lt | GateKind::Le | GateKind::Gt | GateKind::Ge => {
+            if let Some(truth) = y.to_tv().to_bool() {
+                // Normalise everything to a strict or non-strict `a (<|<=) b`.
+                let (a_idx, b_idx, strict) = match (&gate.kind, truth) {
+                    (GateKind::Lt, true) => (0, 1, true),
+                    (GateKind::Lt, false) => (1, 0, false), // b <= a
+                    (GateKind::Le, true) => (0, 1, false),
+                    (GateKind::Le, false) => (1, 0, true), // b < a
+                    (GateKind::Gt, true) => (1, 0, true),  // b < a
+                    (GateKind::Gt, false) => (0, 1, false),
+                    (GateKind::Ge, true) => (1, 0, false),
+                    (GateKind::Ge, false) => (0, 1, true),
+                    _ => unreachable!(),
+                };
+                let a = asg.value(gate.inputs[a_idx]).clone();
+                let b = asg.value(gate.inputs[b_idx]).clone();
+                let (min_a, max_a) = (a.min_value(), a.max_value());
+                let (min_b, max_b) = (b.min_value(), b.max_value());
+                // a <(=) b: a <= max_b (- 1 if strict), b >= min_a (+ 1 if strict).
+                let a_hi = if strict { saturating_dec(&max_b) } else { max_b.clone() };
+                let b_lo = if strict { saturating_inc(&min_a) } else { min_a.clone() };
+                let a_hi = if a_hi < max_a { a_hi } else { max_a };
+                let b_lo = if b_lo > min_b { b_lo } else { min_b };
+                match refine_to_range(&a, &min_a, &a_hi) {
+                    Ok(refined) => out.push((gate.inputs[a_idx], refined)),
+                    Err(_) => {
+                        // No member of `a` satisfies the relation: force a conflict.
+                        out.push((gate.output, Bv3::from_tv(Tv::from_bool(!truth))));
+                    }
+                }
+                match refine_to_range(&b, &b_lo, &b.max_value()) {
+                    Ok(refined) => out.push((gate.inputs[b_idx], refined)),
+                    Err(_) => {
+                        out.push((gate.output, Bv3::from_tv(Tv::from_bool(!truth))));
+                    }
+                }
+            }
+        }
+        GateKind::Mux => {
+            let sel = input(0);
+            let t = input(1);
+            let e = input(2);
+            match sel.to_tv() {
+                Tv::One => {
+                    if let Some(meet) = t.intersect(&y) {
+                        out.push((gate.inputs[1], meet));
+                    }
+                }
+                Tv::Zero => {
+                    if let Some(meet) = e.intersect(&y) {
+                        out.push((gate.inputs[2], meet));
+                    }
+                }
+                Tv::X => {
+                    // Null intersection with the output rules a data input out
+                    // and implies the select value (the paper's mux rule).
+                    let t_possible = t.intersect(&y).is_some();
+                    let e_possible = e.intersect(&y).is_some();
+                    match (t_possible, e_possible) {
+                        (true, false) => out.push((gate.inputs[0], Bv3::from_tv(Tv::One))),
+                        (false, true) => out.push((gate.inputs[0], Bv3::from_tv(Tv::Zero))),
+                        (false, false) => {
+                            // Both impossible: conflict via contradictory select.
+                            out.push((gate.inputs[0], Bv3::from_tv(Tv::One)));
+                            out.push((gate.inputs[0], Bv3::from_tv(Tv::Zero)));
+                        }
+                        (true, true) => {}
+                    }
+                }
+            }
+        }
+        GateKind::Concat => {
+            let hi_w = netlist.net_width(gate.inputs[0]);
+            let lo_w = netlist.net_width(gate.inputs[1]);
+            out.push((gate.inputs[0], y.slice(lo_w, hi_w)));
+            out.push((gate.inputs[1], y.slice(0, lo_w)));
+        }
+        GateKind::Slice { lo } => {
+            let in_w = netlist.net_width(gate.inputs[0]);
+            let mut refined = input(0);
+            for i in 0..y.width() {
+                if y.bit(i).is_known() && lo + i < in_w {
+                    refined.set_bit(lo + i, y.bit(i));
+                }
+            }
+            out.push((gate.inputs[0], refined));
+        }
+        GateKind::ZeroExt => {
+            let in_w = netlist.net_width(gate.inputs[0]);
+            out.push((gate.inputs[0], y.slice(0, in_w)));
+        }
+    }
+}
+
+/// Backward implication across a multiplier: possible only when enough is known.
+fn backward_mul(y: &Bv3, a: &Bv3, b: &Bv3, gate: &Gate, out: &mut Proposals) {
+    let width = y.width();
+    if width > 64 {
+        return;
+    }
+    // An odd product forces both operands odd.
+    if y.bit(0) == Tv::One {
+        out.push((gate.inputs[0], a.with_bit(0, Tv::One)));
+        out.push((gate.inputs[1], b.with_bit(0, Tv::One)));
+    }
+    if let Some(yv) = y.to_bv().and_then(|v| v.to_u64()) {
+        let ring = wlac_modsolve::Ring::new(width as u32);
+        for (known, unknown_idx) in [(a, 1usize), (b, 0usize)] {
+            if let Some(kv) = known.to_bv().and_then(|v| v.to_u64()) {
+                if let Some(set) = wlac_modsolve::inverse_with_product(ring, kv, yv) {
+                    if set.count() == 1 {
+                        out.push((
+                            gate.inputs[unknown_idx],
+                            Bv3::from_bv(&Bv::from_u64(width, set.base())),
+                        ));
+                    }
+                } else {
+                    // No factorisation exists: force a conflict on the output.
+                    out.push((gate.output, Bv3::from_bv(&Bv::from_u64(width, yv ^ 1))));
+                }
+            }
+        }
+    }
+}
+
+/// Event-driven fixed-point implication over a netlist.
+#[derive(Debug)]
+pub(crate) struct Propagator {
+    queue: VecDeque<GateId>,
+    queued: Vec<bool>,
+}
+
+impl Propagator {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
+        Propagator {
+            queue: VecDeque::new(),
+            queued: vec![false; netlist.gate_count()],
+        }
+    }
+
+    /// Enqueues every gate (used for the initial implication pass).
+    pub(crate) fn enqueue_all(&mut self, netlist: &Netlist) {
+        for (id, _) in netlist.gates() {
+            self.enqueue(id);
+        }
+    }
+
+    fn enqueue(&mut self, gate: GateId) {
+        if !self.queued[gate.index()] {
+            self.queued[gate.index()] = true;
+            self.queue.push_back(gate);
+        }
+    }
+
+    /// Enqueues the driver and readers of a net whose value changed.
+    pub(crate) fn enqueue_net(&mut self, netlist: &Netlist, net: NetId) {
+        if let Some(driver) = netlist.driver(net) {
+            self.enqueue(driver);
+        }
+        for reader in netlist.fanouts(net) {
+            self.enqueue(*reader);
+        }
+    }
+
+    /// Runs implication to a fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Conflict`] encountered; the assignment then holds
+    /// partially-propagated values and is expected to be backtracked by the
+    /// caller.
+    pub(crate) fn run(
+        &mut self,
+        netlist: &Netlist,
+        asg: &mut Assignment,
+        stats: &mut ImplicationStats,
+    ) -> Result<(), Conflict> {
+        while let Some(gate_id) = self.queue.pop_front() {
+            self.queued[gate_id.index()] = false;
+            let gate = netlist.gate(gate_id);
+            stats.gate_evaluations += 1;
+            for (net, cube) in imply_gate(netlist, gate, asg) {
+                match asg.refine(net, &cube) {
+                    Ok(true) => {
+                        stats.refinements += 1;
+                        self.enqueue_net(netlist, net);
+                    }
+                    Ok(false) => {}
+                    Err(conflict) => {
+                        self.queue.clear();
+                        self.queued.iter_mut().for_each(|q| *q = false);
+                        return Err(conflict);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    /// Runs implication to fixpoint on a small netlist after some seeds.
+    fn settle(netlist: &Netlist, seeds: &[(NetId, Bv3)]) -> Result<Assignment, Conflict> {
+        let mut asg = Assignment::new(netlist);
+        let mut prop = Propagator::new(netlist);
+        let mut stats = ImplicationStats::default();
+        for (net, value) in seeds {
+            asg.refine(*net, value).map_err(|c| c)?;
+            prop.enqueue_net(netlist, *net);
+        }
+        prop.enqueue_all(netlist);
+        prop.run(netlist, &mut asg, &mut stats)?;
+        Ok(asg)
+    }
+
+    #[test]
+    fn and_gate_paper_example() {
+        // Section 3.1: a = 10xx, b = 1x1x at a 4-bit AND with output x00x
+        // forward-implies y = 100x and backward-implies a = 100x.
+        let mut nl = Netlist::new("and");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.and2(a, b);
+        let asg = settle(
+            &nl,
+            &[
+                (a, cube("4'b10xx")),
+                (b, cube("4'b1x1x")),
+                (y, cube("4'bx00x")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asg.value(y), &cube("4'b100x"));
+        assert_eq!(asg.value(a), &cube("4'b100x"));
+    }
+
+    #[test]
+    fn adder_fig3_example() {
+        let mut nl = Netlist::new("adder");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.add(a, b);
+        let asg = settle(&nl, &[(y, cube("4'b0111")), (a, cube("4'b1x1x"))]).unwrap();
+        assert_eq!(asg.value(b), &cube("4'b1x0x"));
+    }
+
+    #[test]
+    fn comparator_fig4_example() {
+        let mut nl = Netlist::new("cmp");
+        let a = nl.input("in_a", 4);
+        let b = nl.input("in_b", 4);
+        let y = nl.gt(a, b);
+        let asg = settle(
+            &nl,
+            &[
+                (a, cube("4'bx01x")),
+                (b, cube("4'b1x0x")),
+                (y, cube("1'b1")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asg.value(a), &cube("4'b101x"));
+        assert_eq!(asg.value(b), &cube("4'b100x"));
+    }
+
+    #[test]
+    fn mux_null_intersection_implies_select() {
+        let mut nl = Netlist::new("mux");
+        let sel = nl.input("sel", 1);
+        let t = nl.input("t", 4);
+        let e = nl.input("e", 4);
+        let y = nl.mux(sel, t, e);
+        // Output 5 is incompatible with the then-input forced to 0, so sel = 0.
+        let asg = settle(
+            &nl,
+            &[
+                (t, cube("4'b0000")),
+                (y, cube("4'b0101")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asg.value(sel).to_tv(), Tv::Zero);
+        assert_eq!(asg.value(e), &cube("4'b0101"));
+    }
+
+    #[test]
+    fn register_buffer_propagates_both_ways() {
+        let mut nl = Netlist::new("buf");
+        let d = nl.input("d", 4);
+        let q = nl.buf(d);
+        let asg = settle(&nl, &[(q, cube("4'b1x00"))]).unwrap();
+        assert_eq!(asg.value(d), &cube("4'b1x00"));
+    }
+
+    #[test]
+    fn equality_requirement_intersects_operands() {
+        let mut nl = Netlist::new("eq");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.eq(a, b);
+        let asg = settle(
+            &nl,
+            &[
+                (a, cube("4'b10xx")),
+                (b, cube("4'bxx01")),
+                (y, cube("1'b1")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(asg.value(a), &cube("4'b1001"));
+        assert_eq!(asg.value(b), &cube("4'b1001"));
+    }
+
+    #[test]
+    fn equality_conflict_detected() {
+        let mut nl = Netlist::new("eq2");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.eq(a, b);
+        let result = settle(
+            &nl,
+            &[
+                (a, cube("4'b0000")),
+                (b, cube("4'b1111")),
+                (y, cube("1'b1")),
+            ],
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn multiplier_inverse_implication() {
+        let mut nl = Netlist::new("mul");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.mul(a, b);
+        // a = 3 (odd, invertible), y = 9 ⇒ b = 3·inverse = 3^{-1}·9 = 11·9 = 3.
+        let asg = settle(&nl, &[(a, cube("4'b0011")), (y, cube("4'b1001"))]).unwrap();
+        assert_eq!(asg.value(b), &cube("4'b0011"));
+    }
+
+    #[test]
+    fn shift_backward_with_known_amount() {
+        let mut nl = Netlist::new("shl");
+        let a = nl.input("a", 4);
+        let amt = nl.constant(&Bv::from_u64(4, 1));
+        let y = nl.shl(a, amt);
+        let asg = settle(&nl, &[(y, cube("4'b011x"))]).unwrap();
+        // Output bits 1..3 are input bits 0..2.
+        assert_eq!(asg.value(a).bit(0), Tv::One);
+        assert_eq!(asg.value(a).bit(1), Tv::One);
+        assert_eq!(asg.value(a).bit(2), Tv::Zero);
+    }
+
+    #[test]
+    fn concat_slice_zext_backward() {
+        let mut nl = Netlist::new("structural");
+        let hi = nl.input("hi", 2);
+        let lo = nl.input("lo", 2);
+        let cat = nl.concat(hi, lo);
+        let sl = nl.slice(cat, 1, 2);
+        let zx = nl.zext(sl, 5);
+        let asg = settle(&nl, &[(zx, cube("5'b00011"))]).unwrap();
+        assert_eq!(asg.value(sl), &cube("2'b11"));
+        // slice bits 1..2 of cat are 1, i.e. lo bit1 = 1, hi bit0 = 1.
+        assert_eq!(asg.value(lo).bit(1), Tv::One);
+        assert_eq!(asg.value(hi).bit(0), Tv::One);
+    }
+
+    #[test]
+    fn conflict_on_impossible_comparator() {
+        let mut nl = Netlist::new("cmp_bad");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let y = nl.lt(a, b);
+        // a >= 12, b <= 3 and a < b is impossible.
+        let result = settle(
+            &nl,
+            &[
+                (a, cube("4'b11xx")),
+                (b, cube("4'b00xx")),
+                (y, cube("1'b1")),
+            ],
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reduction_gates_backward() {
+        let mut nl = Netlist::new("reduce");
+        let a = nl.input("a", 3);
+        let y = nl.reduce_or(a);
+        let asg = settle(&nl, &[(y, cube("1'b0"))]).unwrap();
+        assert_eq!(asg.value(a), &cube("3'b000"));
+
+        let mut nl2 = Netlist::new("reduce_and");
+        let a2 = nl2.input("a", 3);
+        let y2 = nl2.reduce_and(a2);
+        let asg2 = settle(&nl2, &[(y2, cube("1'b1"))]).unwrap();
+        assert_eq!(asg2.value(a2), &cube("3'b111"));
+    }
+}

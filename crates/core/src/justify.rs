@@ -1,0 +1,312 @@
+//! Justification support: unjustified-gate detection, decision-point cuts and
+//! the legal-1 / legal-0 probability heuristic (Section 3.2 of the paper).
+
+use crate::assignment::Assignment;
+use crate::implication::forward_eval;
+use std::collections::{HashMap, HashSet, VecDeque};
+use wlac_netlist::{GateId, GateKind, NetId, Netlist};
+
+/// A gate is *unjustified* when its output carries required (known) bits that
+/// are not yet implied by its current input values.
+pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment) -> Vec<GateId> {
+    let mut out = Vec::new();
+    for (id, gate) in netlist.gates() {
+        let required = asg.value(gate.output);
+        if required.is_all_x() {
+            continue;
+        }
+        let forward = forward_eval(netlist, gate, asg);
+        let unjustified = (0..required.width())
+            .any(|i| required.bit(i).is_known() && !forward.bit(i).is_known());
+        if unjustified {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// `true` when a net can serve as a decision point: a single-bit *control*
+/// signal that still has an unknown value and is either a primary input, a
+/// comparator output, or a multiple-fanout internal signal (the categories of
+/// Section 3.2; flip-flop outputs appear as frame-0 pseudo inputs after the
+/// time-frame expansion).
+fn is_decision_candidate(netlist: &Netlist, asg: &Assignment, net: NetId) -> bool {
+    if !netlist.is_control_net(net) || asg.value(net).is_fully_known() {
+        return false;
+    }
+    match netlist.driver(net) {
+        None => true, // primary input or frame-0 state variable
+        Some(gate) => {
+            netlist.gate(gate).kind.is_comparator() || netlist.fanouts(net).len() > 1
+        }
+    }
+}
+
+/// Backward breadth-first traversal from the unjustified gates to a cut of
+/// candidate decision points. When the cut exceeds `limit`, the candidates
+/// with the highest fanout count are kept (as the paper prescribes).
+pub(crate) fn decision_cut(
+    netlist: &Netlist,
+    asg: &Assignment,
+    unjustified: &[GateId],
+    limit: usize,
+) -> Vec<NetId> {
+    let mut visited: HashSet<NetId> = HashSet::new();
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    let mut candidates: Vec<NetId> = Vec::new();
+    for gate_id in unjustified {
+        for input in &netlist.gate(*gate_id).inputs {
+            if visited.insert(*input) {
+                queue.push_back(*input);
+            }
+        }
+    }
+    while let Some(net) = queue.pop_front() {
+        if is_decision_candidate(netlist, asg, net) {
+            candidates.push(net);
+            continue;
+        }
+        if let Some(driver) = netlist.driver(net) {
+            for input in &netlist.gate(driver).inputs {
+                if visited.insert(*input) {
+                    queue.push_back(*input);
+                }
+            }
+        }
+    }
+    if candidates.len() > limit {
+        candidates.sort_by_key(|n| std::cmp::Reverse(netlist.fanouts(*n).len()));
+        candidates.truncate(limit);
+    }
+    candidates
+}
+
+/// Legal-1 probabilities (Definition 1) for single-bit signals between the
+/// unjustified gates and the decision points, computed backward with
+/// Rules 3–5 of the paper.
+pub(crate) fn legal_one_probabilities(
+    netlist: &Netlist,
+    asg: &Assignment,
+    unjustified: &[GateId],
+) -> HashMap<NetId, f64> {
+    // Seed: required output values of unjustified single-bit gates (Rule 3).
+    let mut sums: HashMap<NetId, (f64, usize)> = HashMap::new();
+    let record = |map: &mut HashMap<NetId, (f64, usize)>, net: NetId, p: f64| {
+        let entry = map.entry(net).or_insert((0.0, 0));
+        entry.0 += p;
+        entry.1 += 1;
+    };
+    let mut frontier: VecDeque<(NetId, f64)> = VecDeque::new();
+    for gate_id in unjustified {
+        let gate = netlist.gate(*gate_id);
+        let required = asg.value(gate.output);
+        if required.width() == 1 {
+            if let Some(bit) = required.bit(0).to_bool() {
+                let p = if bit { 1.0 } else { 0.0 };
+                record(&mut sums, gate.output, p);
+                frontier.push_back((gate.output, p));
+            }
+        }
+    }
+    // Backward propagation with a visit budget to keep the computation local
+    // to the justification region.
+    let mut budget = 4 * netlist.gate_count().max(64);
+    while let Some((net, p1)) = frontier.pop_front() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let Some(driver) = netlist.driver(net) else {
+            continue;
+        };
+        let gate = netlist.gate(driver);
+        let unknown_inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .copied()
+            .filter(|n| netlist.net_width(*n) == 1 && !asg.value(*n).is_fully_known())
+            .collect();
+        if unknown_inputs.is_empty() {
+            continue;
+        }
+        let n = unknown_inputs.len() as f64;
+        let p0 = 1.0 - p1;
+        let q1 = match gate.kind {
+            GateKind::Not => p0,
+            GateKind::Buf | GateKind::Dff { .. } => p1,
+            GateKind::And => {
+                // Output 1 forces every input to 1; output 0 admits
+                // (2^{n-1} - 1) / (2^n - 1) assignments with this input at 1.
+                let pow_n = (2f64).powf(n);
+                let frac = (pow_n / 2.0 - 1.0) / (pow_n - 1.0);
+                p1 + p0 * frac
+            }
+            GateKind::Or => {
+                // Output 0 forces every input to 0; output 1 admits
+                // 2^{n-1} / (2^n - 1) assignments with this input at 1.
+                let pow_n = (2f64).powf(n);
+                let frac = (pow_n / 2.0) / (pow_n - 1.0);
+                p1 * frac
+            }
+            GateKind::Xor => 0.5,
+            _ => 0.5,
+        };
+        for input in unknown_inputs {
+            record(&mut sums, input, q1);
+            frontier.push_back((input, q1));
+        }
+    }
+    // Rule 5: a fanout stem takes the average of its branch probabilities.
+    sums.into_iter()
+        .map(|(net, (sum, count))| (net, sum / count as f64))
+        .collect()
+}
+
+/// The legal assignment bias of Definition 2: `p1/(1-p1)` when `p1 >= 0.5`,
+/// `(1-p1)/p1` otherwise. Returns `(bias, biased_value)`.
+pub(crate) fn assignment_bias(p1: f64) -> (f64, bool) {
+    const CAP: f64 = 1.0e9;
+    if p1 >= 0.5 {
+        let denom = 1.0 - p1;
+        (if denom <= 0.0 { CAP } else { (p1 / denom).min(CAP) }, true)
+    } else {
+        (if p1 <= 0.0 { CAP } else { ((1.0 - p1) / p1).min(CAP) }, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_bv::Bv3;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn unjustified_detection() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let y = nl.and2(a, b);
+        let mut asg = Assignment::new(&nl);
+        // Nothing required: nothing unjustified.
+        assert!(unjustified_gates(&nl, &asg).is_empty());
+        // Require y = 0 with unknown inputs: the AND gate is unjustified.
+        asg.refine(y, &cube("1'b0")).unwrap();
+        assert_eq!(unjustified_gates(&nl, &asg).len(), 1);
+        // Assign a = 0: the requirement becomes justified.
+        asg.refine(a, &cube("1'b0")).unwrap();
+        assert!(unjustified_gates(&nl, &asg).is_empty());
+    }
+
+    #[test]
+    fn decision_cut_stops_at_control_points() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let d1 = nl.input("d1", 8);
+        let d2 = nl.input("d2", 8);
+        let cmp = nl.gt(d1, d2); // comparator output: candidate
+        let inner = nl.and2(a, b); // single fanout internal net: not a candidate
+        let y = nl.and2(inner, cmp);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b1")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let cut = decision_cut(&nl, &asg, &unjust, 16);
+        // Candidates are the comparator output and the primary inputs a, b
+        // (reached through the non-candidate internal AND).
+        assert!(cut.contains(&cmp));
+        assert!(cut.contains(&a));
+        assert!(cut.contains(&b));
+        assert!(!cut.contains(&inner));
+        // The wide datapath inputs are never decision candidates.
+        assert!(!cut.contains(&d1));
+        assert!(!cut.contains(&d2));
+    }
+
+    #[test]
+    fn decision_cut_respects_limit_by_fanout() {
+        let mut nl = Netlist::new("t");
+        let popular = nl.input("popular", 1);
+        let rare = nl.input("rare", 1);
+        let other = nl.input("other", 1);
+        // `popular` fans out to two gates.
+        let g1 = nl.and2(popular, rare);
+        let g2 = nl.and2(popular, other);
+        let y = nl.or2(g1, g2);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b1")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let cut = decision_cut(&nl, &asg, &unjust, 1);
+        assert_eq!(cut, vec![popular]);
+    }
+
+    #[test]
+    fn legal_probability_matches_paper_and_example() {
+        // 2-input AND requiring output 0: each input's legal-1 probability is 1/3.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let y = nl.and2(a, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b0")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let probs = legal_one_probabilities(&nl, &asg, &unjust);
+        assert!((probs[&a] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((probs[&b] - 1.0 / 3.0).abs() < 1e-9);
+
+        // Requiring output 1 forces probability 1.
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b1")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let probs = legal_one_probabilities(&nl, &asg, &unjust);
+        assert!((probs[&a] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn or_gate_probability() {
+        // 2-input OR requiring 1: q1 = 2 / 3.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let y = nl.or2(a, b);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b1")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let probs = legal_one_probabilities(&nl, &asg, &unjust);
+        assert!((probs[&a] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_stem_averages_branches() {
+        // The stem feeds an AND requiring 1 (q1 = 1.0) and an inverter chain
+        // requiring 1 (q1 = 0.0 on the stem): average is 0.5.
+        let mut nl = Netlist::new("t");
+        let stem = nl.input("stem", 1);
+        let other = nl.input("other", 1);
+        let and_out = nl.and2(stem, other);
+        let inv_out = nl.not(stem);
+        let mut asg = Assignment::new(&nl);
+        asg.refine(and_out, &cube("1'b1")).unwrap();
+        asg.refine(inv_out, &cube("1'b1")).unwrap();
+        let unjust = unjustified_gates(&nl, &asg);
+        let probs = legal_one_probabilities(&nl, &asg, &unjust);
+        assert!((probs[&stem] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bias_definition() {
+        let (bias, value) = assignment_bias(0.75);
+        assert!((bias - 3.0).abs() < 1e-9);
+        assert!(value);
+        let (bias, value) = assignment_bias(0.25);
+        assert!((bias - 3.0).abs() < 1e-9);
+        assert!(!value);
+        let (bias, _) = assignment_bias(0.5);
+        assert!((bias - 1.0).abs() < 1e-9);
+        let (bias, value) = assignment_bias(1.0);
+        assert!(bias >= 1.0e9);
+        assert!(value);
+    }
+}

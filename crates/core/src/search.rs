@@ -1,0 +1,412 @@
+//! The branch-and-bound justification search (Fig. 2 of the paper).
+//!
+//! The search interleaves word-level implication, unjustified-gate detection,
+//! decision-point selection on *control* signals only, bias-ordered decision
+//! making, chronological backtracking over the word-level value trail, and —
+//! once the control constraints are satisfied — the modular arithmetic
+//! datapath resolution of [`crate::datapath`].
+
+use crate::assignment::Assignment;
+use crate::config::CheckerOptions;
+use crate::datapath::{resolve_datapath, DatapathOutcome};
+use crate::estg::Estg;
+use crate::implication::Propagator;
+use crate::justify::{assignment_bias, decision_cut, legal_one_probabilities, unjustified_gates};
+use crate::stats::CheckStats;
+use std::time::Instant;
+use wlac_bv::{Bv, Bv3, Tv};
+use wlac_netlist::{NetId, Netlist};
+
+/// Outcome of one justification run over an unrolled circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SearchOutcome {
+    /// A concrete assignment (value per expanded net) satisfying every
+    /// requirement.
+    Sat(Vec<Bv>),
+    /// No assignment satisfies the requirements.
+    Unsat,
+    /// The search was aborted (limit reached) or ended with unresolved
+    /// datapath obligations; no conclusion may be drawn.
+    Inconclusive(String),
+}
+
+/// The goal of the search, controlling the decision-value ordering
+/// (Section 3.2: complement of the bias when proving, the bias itself when
+/// hunting for a witness that likely exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SearchGoal {
+    /// Proving an assertion: counter-examples are expected not to exist.
+    Prove,
+    /// Generating a witness expected to exist.
+    Witness,
+}
+
+/// One pending decision on the search stack.
+#[derive(Debug)]
+struct Decision {
+    net: NetId,
+    /// Value to try if the current branch fails (None once both tried).
+    alternative: Option<bool>,
+    /// Value currently assigned.
+    current: bool,
+    /// Trail mark taken *before* the current value was assigned.
+    mark: usize,
+}
+
+/// The justification engine for one (already unrolled) combinational circuit.
+pub(crate) struct SearchEngine<'a> {
+    netlist: &'a Netlist,
+    options: &'a CheckerOptions,
+    goal: SearchGoal,
+    requirements: Vec<(NetId, Bv3)>,
+    estg: &'a mut Estg,
+    deadline: Instant,
+}
+
+impl<'a> SearchEngine<'a> {
+    pub(crate) fn new(
+        netlist: &'a Netlist,
+        options: &'a CheckerOptions,
+        goal: SearchGoal,
+        requirements: Vec<(NetId, Bv3)>,
+        estg: &'a mut Estg,
+        deadline: Instant,
+    ) -> Self {
+        SearchEngine {
+            netlist,
+            options,
+            goal,
+            requirements,
+            estg,
+            deadline,
+        }
+    }
+
+    /// Runs the search to completion (or until a limit is hit).
+    pub(crate) fn run(&mut self, stats: &mut CheckStats) -> SearchOutcome {
+        let mut asg = Assignment::new(self.netlist);
+        let mut propagator = Propagator::new(self.netlist);
+
+        // Initial assignments from the property, environment and initial
+        // state, followed by a full implication pass.
+        for (net, cube) in &self.requirements.clone() {
+            match asg.refine(*net, cube) {
+                Ok(true) => propagator.enqueue_net(self.netlist, *net),
+                Ok(false) => {}
+                Err(_) => return SearchOutcome::Unsat,
+            }
+        }
+        propagator.enqueue_all(self.netlist);
+        if propagator
+            .run(self.netlist, &mut asg, &mut stats.implication)
+            .is_err()
+        {
+            return SearchOutcome::Unsat;
+        }
+
+        let mut stack: Vec<Decision> = Vec::new();
+        let mut inconclusive: Option<String> = None;
+
+        loop {
+            if Instant::now() > self.deadline {
+                return SearchOutcome::Inconclusive("time limit exceeded".into());
+            }
+            if stats.backtracks > self.options.backtrack_limit as u64 {
+                return SearchOutcome::Inconclusive("backtrack limit exceeded".into());
+            }
+            if stats.decisions > self.options.decision_limit as u64 {
+                return SearchOutcome::Inconclusive("decision limit exceeded".into());
+            }
+
+            let unjustified = unjustified_gates(self.netlist, &asg);
+            let candidates = if unjustified.is_empty() {
+                Vec::new()
+            } else {
+                decision_cut(
+                    self.netlist,
+                    &asg,
+                    &unjustified,
+                    self.options.candidate_limit,
+                )
+            };
+
+            if unjustified.is_empty() || candidates.is_empty() {
+                // Control constraints satisfied (or only datapath obligations
+                // remain): hand over to the arithmetic constraint solver.
+                stats.peak_memory_bytes = stats
+                    .peak_memory_bytes
+                    .max(self.memory_estimate(&asg));
+                match resolve_datapath(
+                    self.netlist,
+                    &asg,
+                    &self.requirements,
+                    self.options,
+                    stats,
+                ) {
+                    DatapathOutcome::Consistent(values) => return SearchOutcome::Sat(values),
+                    DatapathOutcome::Infeasible => {}
+                    DatapathOutcome::Inconclusive => {
+                        inconclusive
+                            .get_or_insert_with(|| "unresolved datapath constraints".into());
+                    }
+                }
+                if !self.backtrack(&mut stack, &mut asg, stats) {
+                    return match inconclusive {
+                        Some(reason) => SearchOutcome::Inconclusive(reason),
+                        None => SearchOutcome::Unsat,
+                    };
+                }
+                continue;
+            }
+
+            // Pick the decision with the strongest bias (Definition 2).
+            let (net, value) = self.pick_decision(&asg, &unjustified, &candidates);
+            stats.decisions += 1;
+            let mark = asg.mark();
+            if self.assign(&mut asg, net, value, stats) {
+                stack.push(Decision {
+                    net,
+                    alternative: Some(!value),
+                    current: value,
+                    mark,
+                });
+            } else {
+                // Immediate conflict: try the opposite value at this level.
+                self.estg.record_conflict(net, value);
+                asg.backtrack_to(mark);
+                stats.backtracks += 1;
+                if self.assign(&mut asg, net, !value, stats) {
+                    stack.push(Decision {
+                        net,
+                        alternative: None,
+                        current: !value,
+                        mark,
+                    });
+                } else {
+                    self.estg.record_conflict(net, !value);
+                    asg.backtrack_to(mark);
+                    if !self.backtrack(&mut stack, &mut asg, stats) {
+                        return match inconclusive {
+                            Some(reason) => SearchOutcome::Inconclusive(reason),
+                            None => SearchOutcome::Unsat,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assigns a single-bit decision and runs implication; returns `false` on
+    /// conflict (the assignment is *not* rolled back by this function).
+    fn assign(
+        &mut self,
+        asg: &mut Assignment,
+        net: NetId,
+        value: bool,
+        stats: &mut CheckStats,
+    ) -> bool {
+        let cube = Bv3::from_tv(Tv::from_bool(value));
+        let mut propagator = Propagator::new(self.netlist);
+        match asg.refine(net, &cube) {
+            Ok(_) => propagator.enqueue_net(self.netlist, net),
+            Err(_) => return false,
+        }
+        propagator
+            .run(self.netlist, asg, &mut stats.implication)
+            .is_ok()
+    }
+
+    /// Chronological backtracking: undo decisions until one still has an
+    /// untried alternative that survives implication.
+    fn backtrack(
+        &mut self,
+        stack: &mut Vec<Decision>,
+        asg: &mut Assignment,
+        stats: &mut CheckStats,
+    ) -> bool {
+        loop {
+            let Some(mut top) = stack.pop() else {
+                return false;
+            };
+            self.estg.record_conflict(top.net, top.current);
+            asg.backtrack_to(top.mark);
+            stats.backtracks += 1;
+            if let Some(alt) = top.alternative.take() {
+                if self.assign(asg, top.net, alt, stats) {
+                    stack.push(Decision {
+                        net: top.net,
+                        alternative: None,
+                        current: alt,
+                        mark: top.mark,
+                    });
+                    return true;
+                }
+                self.estg.record_conflict(top.net, alt);
+                asg.backtrack_to(top.mark);
+            }
+        }
+    }
+
+    /// Picks the next decision (net, value) among the candidates.
+    fn pick_decision(
+        &self,
+        asg: &Assignment,
+        unjustified: &[wlac_netlist::GateId],
+        candidates: &[NetId],
+    ) -> (NetId, bool) {
+        if !self.options.use_bias_ordering {
+            let net = candidates[0];
+            return (net, false);
+        }
+        let probabilities = legal_one_probabilities(self.netlist, asg, unjustified);
+        let mut best: Option<(f64, NetId, bool)> = None;
+        for net in candidates {
+            let p1 = probabilities.get(net).copied().unwrap_or(0.5);
+            let (mut bias, bias_value) = assignment_bias(p1);
+            if self.options.use_estg {
+                // Prefer assignments with fewer recorded conflicts.
+                bias -= self.estg.penalty(*net, bias_value).min(bias * 0.5);
+            }
+            if best.map(|(b, _, _)| bias > b).unwrap_or(true) {
+                best = Some((bias, *net, bias_value));
+            }
+        }
+        let (_, net, bias_value) = best.expect("non-empty candidate list");
+        let value = match self.goal {
+            // Proving: take the complement of the bias value first so that
+            // conflicts (and thus pruning) happen early.
+            SearchGoal::Prove => !bias_value,
+            SearchGoal::Witness => bias_value,
+        };
+        (net, value)
+    }
+
+    /// Approximate live memory of the search data structures.
+    fn memory_estimate(&self, asg: &Assignment) -> usize {
+        let netlist_bytes = self.netlist.gate_count() * 96 + self.netlist.net_count() * 48;
+        asg.peak_memory_bytes() + netlist_bytes + self.estg.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cube(s: &str) -> Bv3 {
+        s.parse().unwrap()
+    }
+
+    fn run(netlist: &Netlist, requirements: Vec<(NetId, Bv3)>, goal: SearchGoal) -> SearchOutcome {
+        let options = CheckerOptions::default();
+        let mut estg = Estg::new();
+        let mut stats = CheckStats::default();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut engine = SearchEngine::new(netlist, &options, goal, requirements, &mut estg, deadline);
+        engine.run(&mut stats)
+    }
+
+    #[test]
+    fn satisfiable_control_requirement() {
+        // (a & b) | c must be 1: plenty of solutions.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let c = nl.input("c", 1);
+        let ab = nl.and2(a, b);
+        let y = nl.or2(ab, c);
+        match run(&nl, vec![(y, cube("1'b1"))], SearchGoal::Witness) {
+            SearchOutcome::Sat(values) => {
+                let ab_v = values[a.index()].to_u64().unwrap() & values[b.index()].to_u64().unwrap();
+                let y_v = ab_v | values[c.index()].to_u64().unwrap();
+                assert_eq!(y_v, 1);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_requirement_is_proved() {
+        // y = a & !a can never be 1.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let na = nl.not(a);
+        let y = nl.and2(a, na);
+        assert_eq!(run(&nl, vec![(y, cube("1'b1"))], SearchGoal::Prove), SearchOutcome::Unsat);
+    }
+
+    #[test]
+    fn comparator_controlled_mux() {
+        // out = (d1 > d2) ? d1 : d2 ; require out = 0 and d1 = 5 ⇒ impossible
+        // because the max of two values with d1 = 5 is at least 5.
+        let mut nl = Netlist::new("t");
+        let d1 = nl.input("d1", 4);
+        let d2 = nl.input("d2", 4);
+        let gt = nl.gt(d1, d2);
+        let out = nl.mux(gt, d1, d2);
+        let reqs = vec![(out, cube("4'b0000")), (d1, cube("4'b0101"))];
+        assert_eq!(run(&nl, reqs, SearchGoal::Prove), SearchOutcome::Unsat);
+    }
+
+    #[test]
+    fn comparator_controlled_mux_sat_case() {
+        // Same circuit, require out = 7: satisfiable (e.g. d1 = 7 > d2).
+        let mut nl = Netlist::new("t");
+        let d1 = nl.input("d1", 4);
+        let d2 = nl.input("d2", 4);
+        let gt = nl.gt(d1, d2);
+        let out = nl.mux(gt, d1, d2);
+        match run(&nl, vec![(out, cube("4'b0111"))], SearchGoal::Witness) {
+            SearchOutcome::Sat(values) => {
+                let d1v = values[d1.index()].to_u64().unwrap();
+                let d2v = values[d2.index()].to_u64().unwrap();
+                let expect = if d1v > d2v { d1v } else { d2v };
+                assert_eq!(expect, 7);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datapath_requirement_through_adder() {
+        // sel ? (a + b) : 0 must equal 9: forces sel = 1 and a + b = 9.
+        let mut nl = Netlist::new("t");
+        let sel = nl.input("sel", 1);
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let sum = nl.add(a, b);
+        let zero = nl.constant(&Bv::zero(4));
+        let out = nl.mux(sel, sum, zero);
+        match run(&nl, vec![(out, cube("4'b1001"))], SearchGoal::Witness) {
+            SearchOutcome::Sat(values) => {
+                assert_eq!(values[sel.index()].to_u64(), Some(1));
+                let av = values[a.index()].to_u64().unwrap();
+                let bv = values[b.index()].to_u64().unwrap();
+                assert_eq!((av + bv) % 16, 9);
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn doubled_adder_parity_unsat() {
+        // out = a + a forced odd is unsatisfiable; detected by the modular
+        // arithmetic solver rather than by Boolean search.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let out = nl.add(a, a);
+        assert_eq!(
+            run(&nl, vec![(out, cube("4'b0111"))], SearchGoal::Prove),
+            SearchOutcome::Unsat
+        );
+    }
+
+    #[test]
+    fn conflicting_requirements_unsat_immediately() {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let y = nl.buf(a);
+        let reqs = vec![(y, cube("1'b1")), (a, cube("1'b0"))];
+        assert_eq!(run(&nl, reqs, SearchGoal::Prove), SearchOutcome::Unsat);
+    }
+}

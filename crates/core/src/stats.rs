@@ -1,0 +1,100 @@
+//! Search statistics and memory accounting.
+
+use crate::implication::ImplicationStats;
+use std::fmt;
+use std::time::Duration;
+
+/// Effort and resource statistics for one property check, mirroring the
+/// columns of the paper's Table 2 (CPU time, memory) plus search counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckStats {
+    /// Number of branch-and-bound decisions.
+    pub decisions: u64,
+    /// Number of backtracks.
+    pub backtracks: u64,
+    /// Implication effort counters.
+    pub implication: ImplicationStats,
+    /// Number of modular arithmetic solver invocations.
+    pub arithmetic_calls: u64,
+    /// Number of time-frames of the deepest unrolling explored.
+    pub frames_explored: usize,
+    /// Wall-clock time spent on the check.
+    pub elapsed: Duration,
+    /// Peak estimated live memory of the solver data structures, in bytes.
+    pub peak_memory_bytes: usize,
+}
+
+impl CheckStats {
+    /// Peak memory in megabytes (the unit of the paper's Table 2).
+    pub fn peak_memory_mb(&self) -> f64 {
+        self.peak_memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// CPU time in seconds (the unit of the paper's Table 2).
+    pub fn cpu_seconds(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    /// Merges the counters of a sub-check (e.g. one bound of the bounded
+    /// search) into an aggregate.
+    pub fn absorb(&mut self, other: &CheckStats) {
+        self.decisions += other.decisions;
+        self.backtracks += other.backtracks;
+        self.implication.gate_evaluations += other.implication.gate_evaluations;
+        self.implication.refinements += other.implication.refinements;
+        self.arithmetic_calls += other.arithmetic_calls;
+        self.frames_explored = self.frames_explored.max(other.frames_explored);
+        self.elapsed += other.elapsed;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+    }
+}
+
+impl fmt::Display for CheckStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu {:.2}s, mem {:.2}MB, {} decisions, {} backtracks, {} implications, {} arith calls, {} frames",
+            self.cpu_seconds(),
+            self.peak_memory_mb(),
+            self.decisions,
+            self.backtracks,
+            self.implication.gate_evaluations,
+            self.arithmetic_calls,
+            self.frames_explored
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_and_absorb() {
+        let mut a = CheckStats {
+            decisions: 10,
+            backtracks: 2,
+            peak_memory_bytes: 2 * 1024 * 1024,
+            elapsed: Duration::from_millis(500),
+            frames_explored: 3,
+            ..CheckStats::default()
+        };
+        let b = CheckStats {
+            decisions: 5,
+            backtracks: 1,
+            peak_memory_bytes: 1024 * 1024,
+            elapsed: Duration::from_millis(250),
+            frames_explored: 7,
+            ..CheckStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.decisions, 15);
+        assert_eq!(a.backtracks, 3);
+        assert_eq!(a.frames_explored, 7);
+        assert!((a.peak_memory_mb() - 2.0).abs() < 1e-9);
+        assert!((a.cpu_seconds() - 0.75).abs() < 1e-9);
+        let text = a.to_string();
+        assert!(text.contains("decisions"));
+        assert!(text.contains("MB"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Abstract syntax tree of the supported Verilog subset.
+
+/// A parsed module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Port declarations in source order.
+    pub ports: Vec<Port>,
+    /// Internal wire/reg declarations.
+    pub declarations: Vec<Declaration>,
+    /// Continuous assignments.
+    pub assigns: Vec<Assign>,
+    /// Clocked always-blocks.
+    pub always_blocks: Vec<AlwaysBlock>,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A module port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Direction.
+    pub direction: Direction,
+    /// Signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// `true` when declared as `reg`.
+    pub is_reg: bool,
+}
+
+/// A `wire` or `reg` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Declaration {
+    /// Signal name.
+    pub name: String,
+    /// Width in bits.
+    pub width: usize,
+    /// `true` for `reg` declarations (assignable in always-blocks).
+    pub is_reg: bool,
+}
+
+/// `assign target = expr;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// Target signal name.
+    pub target: String,
+    /// Right-hand side.
+    pub expr: Expr,
+}
+
+/// `always @(posedge clk) begin ... end`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlwaysBlock {
+    /// Clock signal name.
+    pub clock: String,
+    /// Body statements.
+    pub body: Vec<Statement>,
+}
+
+/// A statement inside an always-block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// Non-blocking assignment `target <= expr;`
+    NonBlocking {
+        /// Target register name.
+        target: String,
+        /// Assigned expression.
+        expr: Expr,
+    },
+    /// `if (cond) ... else ...`
+    If {
+        /// Condition expression.
+        condition: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Statement>,
+        /// Else-branch statements.
+        else_body: Vec<Statement>,
+    },
+}
+
+/// Binary operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+}
+
+/// Unary operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `~` bitwise complement
+    Not,
+    /// `!` logical negation (reduce-or then invert)
+    LogicalNot,
+    /// `&` reduction AND
+    ReduceAnd,
+    /// `|` reduction OR
+    ReduceOr,
+    /// `^` reduction XOR
+    ReduceXor,
+}
+
+/// Expressions of the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Signal reference.
+    Identifier(String),
+    /// Sized literal such as `4'b1010` or `8'd42`.
+    Literal {
+        /// Width in bits.
+        width: usize,
+        /// Value (must fit in 64 bits).
+        value: u64,
+    },
+    /// Bit select `sig[3]` or part select `sig[7:4]`.
+    Select {
+        /// Base signal name.
+        name: String,
+        /// Most significant selected bit.
+        high: usize,
+        /// Least significant selected bit.
+        low: usize,
+    },
+    /// Concatenation `{a, b, c}` (first element is most significant).
+    Concat(Vec<Expr>),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Conditional `cond ? a : b`.
+    Conditional {
+        /// Condition.
+        condition: Box<Expr>,
+        /// Value when the condition is true.
+        then_value: Box<Expr>,
+        /// Value when the condition is false.
+        else_value: Box<Expr>,
+    },
+}

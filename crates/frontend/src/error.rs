@@ -1,0 +1,49 @@
+//! Front-end error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing or elaborating Verilog source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    message: String,
+    line: usize,
+}
+
+impl FrontendError {
+    pub(crate) fn new(message: impl Into<String>, line: usize) -> Self {
+        FrontendError {
+            message: message.into(),
+            line,
+        }
+    }
+
+    /// One-based source line the error was detected on (0 when unknown).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(FrontendError::new("bad token", 3).to_string(), "line 3: bad token");
+        assert_eq!(FrontendError::new("no module", 0).to_string(), "no module");
+        assert_eq!(FrontendError::new("x", 7).line(), 7);
+    }
+}

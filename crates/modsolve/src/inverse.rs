@@ -1,0 +1,267 @@
+//! Multiplicative inverses of bit-vectors with a product (Definitions 3–4,
+//! Theorems 1–2 of the paper).
+//!
+//! In ℤ/2ⁿℤ only odd elements have a (unique) multiplicative inverse. The
+//! paper extends the notion to the *multiplicative inverse with product k*:
+//! the set `{ x | a·x ≡ k (mod 2ⁿ) }`. Theorem 1 characterises when the set
+//! is empty, a singleton, or has exactly `2^m` members (`m` the 2-adic
+//! valuation of `a`), and Theorem 2 gives the closed form
+//! `x = b + 2^{n-m}·t` for `t = 0 .. 2^m - 1`.
+
+use crate::modint::Ring;
+
+/// The solution set of `a·x ≡ k (mod 2ⁿ)` in closed form.
+///
+/// Per Theorem 2 the set is an arithmetic progression
+/// `base + step·t (mod 2ⁿ)` with `count` members.
+///
+/// # Examples
+///
+/// The paper's examples:
+///
+/// ```
+/// use wlac_modsolve::{inverse_with_product, Ring};
+///
+/// // 3-bit: 3 is the inverse of 6 with product 2 (6·3 = 18 ≡ 2 mod 8).
+/// let set = inverse_with_product(Ring::new(3), 6, 2).expect("solvable");
+/// assert!(set.contains(3));
+///
+/// // 3-bit: 6 has no inverse with product 3 ...
+/// assert!(inverse_with_product(Ring::new(3), 6, 3).is_none());
+/// // ... but exactly two inverses with product 4: {2, 6}.
+/// let set = inverse_with_product(Ring::new(3), 6, 4).unwrap();
+/// let mut sols: Vec<u64> = set.iter().collect();
+/// sols.sort();
+/// assert_eq!(sols, vec![2, 6]);
+///
+/// // 4-bit: the inverses of 6 with product 10 are 7 + 8t = {7, 15}.
+/// let set = inverse_with_product(Ring::new(4), 6, 10).unwrap();
+/// assert_eq!(set.base(), 7);
+/// assert_eq!(set.step(), 8);
+/// assert_eq!(set.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InverseSet {
+    ring: Ring,
+    base: u64,
+    step: u64,
+    count: u64,
+}
+
+impl InverseSet {
+    /// The smallest representative produced by the closed form.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The additive step `2^{n-m}` between consecutive solutions
+    /// (0 when the set is the whole ring).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of solutions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The ring the solutions live in.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Iterates over all solutions.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(move |t| self.ring.add(self.base, self.ring.mul(self.step, t)))
+    }
+
+    /// `true` if `x` satisfies `a·x ≡ k`.
+    pub fn contains(&self, x: u64) -> bool {
+        let x = self.ring.reduce(x);
+        if self.count == 1 {
+            return x == self.base;
+        }
+        if self.step == 0 {
+            // Degenerate encoding of "the whole ring".
+            return true;
+        }
+        let diff = self.ring.sub(x, self.base);
+        diff % self.step == 0 && (diff / self.step) < self.count
+    }
+}
+
+/// Unique multiplicative inverse of an odd element (Definition 3); `None` for
+/// even elements.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_modsolve::{inverse, Ring};
+///
+/// assert_eq!(inverse(Ring::new(3), 3), Some(3)); // 3·3 = 9 ≡ 1 (mod 8)
+/// assert_eq!(inverse(Ring::new(3), 2), None);
+/// ```
+pub fn inverse(ring: Ring, a: u64) -> Option<u64> {
+    ring.inverse_odd(a)
+}
+
+/// Multiplicative inverse with product `k` (Definition 4): the solution set
+/// of `a·x ≡ k (mod 2ⁿ)`, or `None` when it is empty.
+///
+/// Implements Theorems 1 and 2:
+///
+/// * `a` odd → exactly one solution, `inverse(a)·k`;
+/// * `a = a'·2^m` even and `2^m ∤ k` → no solution;
+/// * `a = a'·2^m` even and `k = k'·2^m` → exactly `2^m` solutions
+///   `b + 2^{n-m}·t`, where `b = inverse(a')·k'`;
+/// * `a ≡ 0`: every element is a solution when `k ≡ 0`, otherwise none.
+pub fn inverse_with_product(ring: Ring, a: u64, k: u64) -> Option<InverseSet> {
+    let a = ring.reduce(a);
+    let k = ring.reduce(k);
+    if a == 0 {
+        return if k == 0 {
+            Some(InverseSet {
+                ring,
+                base: 0,
+                step: if ring.width() == 64 { 0 } else { 1 },
+                count: if ring.width() == 64 {
+                    // Representing 2^64 members exactly overflows u64; the
+                    // whole ring is encoded as step 0 / count u64::MAX.
+                    u64::MAX
+                } else {
+                    ring.modulus() as u64
+                },
+            })
+        } else {
+            None
+        };
+    }
+    let (a_odd, m) = ring.odd_part(a);
+    let inv_odd = ring
+        .inverse_odd(a_odd)
+        .expect("odd part is always invertible");
+    if m == 0 {
+        // (T1.1) unique inverse with product k.
+        return Some(InverseSet {
+            ring,
+            base: ring.mul(inv_odd, k),
+            step: 0,
+            count: 1,
+        });
+    }
+    if ring.valuation(k).map(|v| v < m).unwrap_or(false) {
+        // (T1.2) k is not a multiple of 2^m.
+        return None;
+    }
+    // (T1.3) / Theorem 2: k = k'·2^m, b = inverse(a')·k', solutions b + 2^{n-m}·t.
+    let k_prime = k >> m;
+    let base = ring.mul(inv_odd, k_prime);
+    let step = if m >= ring.width() {
+        0
+    } else {
+        ring.reduce(1u64 << (ring.width() - m))
+    };
+    Some(InverseSet {
+        ring,
+        base,
+        step,
+        count: 1u64 << m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_elements_have_unique_inverse_with_product() {
+        let ring = Ring::new(4);
+        // multiplicative_inverse_k(a) = multiplicative_inverse(a) * k (T1.1).
+        for a in (1..16u64).step_by(2) {
+            for k in 0..16u64 {
+                let set = inverse_with_product(ring, a, k).unwrap();
+                assert_eq!(set.count(), 1);
+                let expected = ring.mul(ring.inverse_odd(a).unwrap(), k);
+                assert_eq!(set.base(), expected);
+                assert_eq!(ring.mul(a, set.base()), k);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_three_bit() {
+        let ring = Ring::new(3);
+        // 3 is 6's multiplicative inverse with product 2.
+        let set = inverse_with_product(ring, 6, 2).unwrap();
+        assert!(set.contains(3));
+        // 6 = 3·2^1 has no inverse with product 3 ...
+        assert!(inverse_with_product(ring, 6, 3).is_none());
+        // ... and exactly 2 inverses with product 4: {2, 6}.
+        let set = inverse_with_product(ring, 6, 4).unwrap();
+        assert_eq!(set.count(), 2);
+        let mut all: Vec<u64> = set.iter().collect();
+        all.sort();
+        assert_eq!(all, vec![2, 6]);
+    }
+
+    #[test]
+    fn paper_example_four_bit_theorem_two() {
+        // a = 6 = 3·2, k = 10 = 5·2, inverse of 3 with product 5 is 7,
+        // so the solutions are 7 + 2^3·t for t = 0, 1.
+        let ring = Ring::new(4);
+        let set = inverse_with_product(ring, 6, 10).unwrap();
+        assert_eq!((set.base(), set.step(), set.count()), (7, 8, 2));
+        for x in set.iter() {
+            assert_eq!(ring.mul(6, x), 10);
+        }
+    }
+
+    #[test]
+    fn zero_divisor_cases() {
+        let ring = Ring::new(4);
+        // 0 has no inverse with non-zero product.
+        assert!(inverse_with_product(ring, 0, 5).is_none());
+        // Every bit-vector is the inverse of 0 with product 0.
+        let set = inverse_with_product(ring, 0, 0).unwrap();
+        assert_eq!(set.count(), 16);
+        assert!(set.contains(11));
+    }
+
+    #[test]
+    fn closed_form_matches_brute_force() {
+        for width in 1..=8u32 {
+            let ring = Ring::new(width);
+            let modulus = ring.modulus() as u64;
+            for a in 0..modulus {
+                for k in 0..modulus {
+                    let brute: Vec<u64> =
+                        (0..modulus).filter(|x| ring.mul(a, *x) == k).collect();
+                    match inverse_with_product(ring, a, k) {
+                        None => assert!(brute.is_empty(), "w={width} a={a} k={k}"),
+                        Some(set) => {
+                            let mut got: Vec<u64> = set.iter().collect();
+                            got.sort();
+                            assert_eq!(got, brute, "w={width} a={a} k={k}");
+                            for x in 0..modulus {
+                                assert_eq!(
+                                    set.contains(x),
+                                    brute.contains(&x),
+                                    "contains w={width} a={a} k={k} x={x}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_one_counts() {
+        let ring = Ring::new(5);
+        // a = 12 = 3·2^2: 2^2 = 4 inverses when k is a multiple of 4.
+        let set = inverse_with_product(ring, 12, 8).unwrap();
+        assert_eq!(set.count(), 4);
+        assert!(inverse_with_product(ring, 12, 6).is_none());
+    }
+}

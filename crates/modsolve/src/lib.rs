@@ -1,0 +1,48 @@
+//! # wlac-modsolve — modular arithmetic constraint solving
+//!
+//! The arithmetic constraint solver of the WLAC assertion checker
+//! (Section 4 of Huang & Cheng, DAC 2000). Because hardware signals are
+//! fixed-width bit-vectors, datapath constraints are solved in the *modular*
+//! number system ℤ/2ⁿℤ rather than over the integers — this is what lets the
+//! checker find counter-examples that only exist because of wrap-around and
+//! avoid the "false negative effect".
+//!
+//! The crate provides:
+//!
+//! * [`Ring`] — scalar arithmetic modulo `2^n`,
+//! * [`inverse`] / [`inverse_with_product`] — the multiplicative inverse of a
+//!   bit-vector and its extension *with product k* (Definitions 3–4,
+//!   Theorems 1–2), returned in closed form as an [`InverseSet`],
+//! * [`LinearSystem`] — Gauss–Jordan elimination over ℤ/2ⁿℤ producing **all**
+//!   solutions as `x = x0 + N·f` ([`SolutionSet`]),
+//! * [`MixedSystem`] — linear systems plus multiplier product constraints,
+//!   linearised by heuristic candidate enumeration.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_modsolve::{LinearSystem, Ring};
+//!
+//! # fn main() -> Result<(), wlac_modsolve::InfeasibleError> {
+//! // x + y = 5 and 2x + 7y = 4 over 3-bit vectors: integrally unsolvable,
+//! // modularly (x, y) = (3, 2).
+//! let mut sys = LinearSystem::new(Ring::new(3), 2);
+//! sys.add_equation(&[1, 1], 5);
+//! sys.add_equation(&[2, 7], 4);
+//! assert_eq!(sys.solve()?.particular(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inverse;
+mod matrix;
+mod modint;
+mod nonlinear;
+
+pub use inverse::{inverse, inverse_with_product, InverseSet};
+pub use matrix::{InfeasibleError, LinearSystem, SolutionIter, SolutionSet};
+pub use modint::Ring;
+pub use nonlinear::{MixedOutcome, MixedSystem, ProductConstraint};

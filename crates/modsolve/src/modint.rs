@@ -1,0 +1,216 @@
+//! Scalar arithmetic in the ring ℤ/2ⁿℤ (`1 <= n <= 64`).
+//!
+//! Hardware signals are fixed-width bit-vectors, so the paper's arithmetic
+//! constraint solver works in the *modular* number system rather than the
+//! integers. These helpers implement the scalar ring operations used by the
+//! matrix solver: reduction, addition, multiplication, negation, the 2-adic
+//! valuation and the multiplicative inverse of odd elements.
+
+/// The ring ℤ/2ⁿℤ for a fixed word width `n`.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_modsolve::Ring;
+///
+/// let r = Ring::new(4); // arithmetic modulo 16
+/// assert_eq!(r.mul(5, 7), 3);
+/// assert_eq!(r.add(9, 11), 4);
+/// assert_eq!(r.neg(1), 15);
+/// assert_eq!(r.inverse_odd(3), Some(11)); // 3 * 11 = 33 ≡ 1 (mod 16)
+/// assert_eq!(r.inverse_odd(6), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ring {
+    width: u32,
+}
+
+impl Ring {
+    /// Creates the ring ℤ/2ⁿℤ.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 64`.
+    pub fn new(width: u32) -> Self {
+        assert!(
+            (1..=64).contains(&width),
+            "modular ring width must be between 1 and 64 bits, got {width}"
+        );
+        Ring { width }
+    }
+
+    /// The bit width `n`.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The modulus `2^n` as a `u128` (it does not fit a `u64` when `n == 64`).
+    pub fn modulus(self) -> u128 {
+        1u128 << self.width
+    }
+
+    /// Mask of the `n` low bits.
+    pub fn mask(self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Reduces a value into the ring.
+    pub fn reduce(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+
+    /// Reduces a `u128` into the ring.
+    pub fn reduce128(self, v: u128) -> u64 {
+        (v as u64) & self.mask()
+    }
+
+    /// Modular addition.
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        self.reduce(a.wrapping_add(b))
+    }
+
+    /// Modular subtraction.
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        self.reduce(a.wrapping_sub(b))
+    }
+
+    /// Modular negation.
+    pub fn neg(self, a: u64) -> u64 {
+        self.reduce(a.wrapping_neg())
+    }
+
+    /// Modular multiplication.
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        self.reduce128(self.reduce(a) as u128 * self.reduce(b) as u128)
+    }
+
+    /// 2-adic valuation: the largest `m` with `2^m | a`, or `None` for `a == 0`
+    /// (whose valuation is unbounded in the ring).
+    pub fn valuation(self, a: u64) -> Option<u32> {
+        let a = self.reduce(a);
+        if a == 0 {
+            None
+        } else {
+            Some(a.trailing_zeros())
+        }
+    }
+
+    /// The greatest odd factor `a'` of a non-zero element, with `a = a'·2^m`.
+    ///
+    /// Returns `(a', m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a ≡ 0`.
+    pub fn odd_part(self, a: u64) -> (u64, u32) {
+        let a = self.reduce(a);
+        assert!(a != 0, "zero has no odd part");
+        let m = a.trailing_zeros();
+        (a >> m, m)
+    }
+
+    /// Multiplicative inverse of an odd element (Definition 3 of the paper).
+    ///
+    /// In ℤ/2ⁿℤ only odd numbers are invertible, and their inverse is unique;
+    /// returns `None` for even elements (including zero).
+    pub fn inverse_odd(self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a & 1 == 0 {
+            return None;
+        }
+        // Newton–Hensel iteration: x ← x·(2 − a·x) doubles the number of
+        // correct low-order bits each step; 6 steps cover 64 bits.
+        let mut x: u64 = 1;
+        for _ in 0..6 {
+            let ax = a.wrapping_mul(x);
+            x = x.wrapping_mul(2u64.wrapping_sub(ax));
+        }
+        Some(self.reduce(x))
+    }
+
+    /// Modular exponentiation by squaring (used by tests and the nonlinear
+    /// enumeration heuristics).
+    pub fn pow(self, base: u64, mut exp: u64) -> u64 {
+        let mut result = self.reduce(1);
+        let mut base = self.reduce(base);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = self.mul(result, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_basic_ops() {
+        let r = Ring::new(3);
+        assert_eq!(r.modulus(), 8);
+        assert_eq!(r.reduce(9), 1);
+        assert_eq!(r.add(5, 6), 3);
+        assert_eq!(r.sub(2, 5), 5);
+        assert_eq!(r.neg(0), 0);
+        assert_eq!(r.mul(3, 3), 1);
+    }
+
+    #[test]
+    fn full_width_ring() {
+        let r = Ring::new(64);
+        assert_eq!(r.mask(), u64::MAX);
+        assert_eq!(r.add(u64::MAX, 1), 0);
+        assert_eq!(r.mul(u64::MAX, u64::MAX), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 64")]
+    fn zero_width_rejected() {
+        let _ = Ring::new(0);
+    }
+
+    #[test]
+    fn valuation_and_odd_part() {
+        let r = Ring::new(4);
+        assert_eq!(r.valuation(0), None);
+        assert_eq!(r.valuation(1), Some(0));
+        assert_eq!(r.valuation(12), Some(2));
+        assert_eq!(r.odd_part(12), (3, 2));
+        assert_eq!(r.odd_part(6), (3, 1));
+        // Reduction happens first: 16 ≡ 0 (mod 16)
+        assert_eq!(Ring::new(4).valuation(16), None);
+    }
+
+    #[test]
+    fn inverse_of_odd_elements() {
+        // The paper's example: in 3-bit vectors, 3 is its own inverse.
+        let r = Ring::new(3);
+        assert_eq!(r.inverse_odd(3), Some(3));
+        assert_eq!(r.inverse_odd(2), None);
+        for width in 1..=16u32 {
+            let r = Ring::new(width);
+            for a in (1..r.modulus() as u64).step_by(2) {
+                let inv = r.inverse_odd(a).expect("odd elements are invertible");
+                assert_eq!(r.mul(a, inv), 1, "width {width}, a {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let r = Ring::new(8);
+        let mut acc = 1;
+        for e in 0..10u64 {
+            assert_eq!(r.pow(7, e), acc);
+            acc = r.mul(acc, 7);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Mixed linear / nonlinear modular constraint systems.
+//!
+//! Nonlinear datapath constraints come from multipliers and shifters
+//! (Section 4 of the paper). "Since completely solving them could be very
+//! difficult, if not impossible", the paper applies analytical approaches
+//! such as factor enumeration to *heuristically* enumerate candidate values,
+//! substitutes them into the equations so the system becomes linear, and
+//! hands the result to the linear solver.
+//!
+//! [`MixedSystem`] implements exactly that loop: product constraints
+//! `x_a · x_b = x_c` are linearised by enumerating candidate values for one
+//! operand (guided by the 2-adic valuation of a known product value when one
+//! is available), each candidate producing a purely linear system solved by
+//! [`LinearSystem::solve`].
+
+use crate::matrix::{LinearSystem, SolutionSet};
+use crate::modint::Ring;
+
+/// A product constraint `x_a · x_b ≡ x_c (mod 2ⁿ)` between three variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductConstraint {
+    /// Left operand variable index.
+    pub a: usize,
+    /// Right operand variable index.
+    pub b: usize,
+    /// Product variable index.
+    pub c: usize,
+}
+
+/// Outcome of solving a mixed system under an enumeration budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MixedOutcome {
+    /// A satisfying assignment for all variables.
+    Solution(Vec<u64>),
+    /// The system was proven unsatisfiable (the enumeration was exhaustive).
+    Infeasible,
+    /// The enumeration budget ran out before a conclusion was reached.
+    Unknown,
+}
+
+/// A system of linear equations plus multiplier product constraints.
+///
+/// # Examples
+///
+/// The paper's false-negative example: a multiplier with 3-bit inputs `a`,
+/// `b` and a 4-bit output `c`, with `c = 12` and `a = 4`. Besides the obvious
+/// `b = 3`, `b = 7` is also a solution because `4·7 = 28 ≡ 12 (mod 16)` — and
+/// only the modular solver finds it when a side constraint rules out `b = 3`.
+///
+/// ```
+/// use wlac_modsolve::{MixedSystem, Ring};
+///
+/// let mut sys = MixedSystem::new(Ring::new(4), 3); // variables a, b, c
+/// sys.add_product(0, 1, 2);
+/// sys.fix_variable(0, 4);
+/// sys.fix_variable(2, 12);
+/// // Side constraint: b + 1 ≡ 8, i.e. b = 7 (ruling out the integral answer 3).
+/// sys.add_equation(&[0, 1, 0], 7);
+/// let solution = sys.solve().expect_solution();
+/// assert_eq!(solution, vec![4, 7, 12]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MixedSystem {
+    ring: Ring,
+    num_vars: usize,
+    linear: LinearSystem,
+    products: Vec<ProductConstraint>,
+    enumeration_limit: usize,
+}
+
+impl MixedOutcome {
+    /// Unwraps a solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the outcome is not [`MixedOutcome::Solution`].
+    pub fn expect_solution(self) -> Vec<u64> {
+        match self {
+            MixedOutcome::Solution(x) => x,
+            other => panic!("expected a solution, got {other:?}"),
+        }
+    }
+
+    /// `true` when a solution was found.
+    pub fn is_solution(&self) -> bool {
+        matches!(self, MixedOutcome::Solution(_))
+    }
+}
+
+impl MixedSystem {
+    /// Creates an empty system with `num_vars` variables in the given ring.
+    pub fn new(ring: Ring, num_vars: usize) -> Self {
+        MixedSystem {
+            ring,
+            num_vars,
+            linear: LinearSystem::new(ring, num_vars),
+            products: Vec::new(),
+            enumeration_limit: 256,
+        }
+    }
+
+    /// Caps the number of candidate values enumerated per product constraint.
+    pub fn set_enumeration_limit(&mut self, limit: usize) {
+        self.enumeration_limit = limit.max(1);
+    }
+
+    /// The ring the system lives in.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a linear equation `Σ coeffs[i]·x_i ≡ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_equation(&mut self, coeffs: &[u64], rhs: u64) {
+        self.linear.add_equation(coeffs, rhs);
+    }
+
+    /// Adds the equation `x_var ≡ value`.
+    pub fn fix_variable(&mut self, var: usize, value: u64) {
+        self.linear.fix_variable(var, value);
+    }
+
+    /// Adds the product constraint `x_a · x_b ≡ x_c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn add_product(&mut self, a: usize, b: usize, c: usize) {
+        assert!(
+            a < self.num_vars && b < self.num_vars && c < self.num_vars,
+            "product variable index out of range"
+        );
+        self.products.push(ProductConstraint { a, b, c });
+    }
+
+    /// `true` when `x` satisfies every linear equation and product constraint.
+    pub fn is_solution(&self, x: &[u64]) -> bool {
+        self.linear.is_solution(x)
+            && self
+                .products
+                .iter()
+                .all(|p| self.ring.mul(x[p.a], x[p.b]) == x[p.c])
+    }
+
+    /// Solves the system by linearising product constraints through candidate
+    /// enumeration.
+    pub fn solve(&self) -> MixedOutcome {
+        self.solve_rec(&self.linear, &self.products)
+    }
+
+    fn solve_rec(&self, linear: &LinearSystem, products: &[ProductConstraint]) -> MixedOutcome {
+        let Some((first, rest)) = products.split_first() else {
+            return match linear.solve() {
+                Ok(sol) => MixedOutcome::Solution(self.pick_assignment(&sol, &[])),
+                Err(_) => MixedOutcome::Infeasible,
+            };
+        };
+        // Is the linear part alone already infeasible? Then so is the whole.
+        if linear.solve().is_err() {
+            return MixedOutcome::Infeasible;
+        }
+        let candidates = self.candidates_for(first, linear);
+        let exhaustive = candidates.len() as u128 >= self.ring.modulus();
+        let mut saw_unknown = false;
+        for value in candidates {
+            let mut narrowed = linear.clone();
+            narrowed.fix_variable(first.a, value);
+            // value·x_b - x_c ≡ 0 becomes linear once x_a is fixed.
+            let mut coeffs = vec![0u64; self.num_vars];
+            coeffs[first.b] = value;
+            coeffs[first.c] = self.ring.neg(1);
+            narrowed.add_equation(&coeffs, 0);
+            match self.solve_rec(&narrowed, rest) {
+                MixedOutcome::Solution(x) => {
+                    if self.is_solution(&x) {
+                        return MixedOutcome::Solution(x);
+                    }
+                    // A spurious candidate (free variables chosen badly);
+                    // treat as inconclusive rather than a refutation.
+                    saw_unknown = true;
+                }
+                MixedOutcome::Unknown => saw_unknown = true,
+                MixedOutcome::Infeasible => {}
+            }
+        }
+        if exhaustive && !saw_unknown {
+            MixedOutcome::Infeasible
+        } else {
+            MixedOutcome::Unknown
+        }
+    }
+
+    /// Candidate values for the left operand of a product constraint.
+    fn candidates_for(&self, product: &ProductConstraint, linear: &LinearSystem) -> Vec<u64> {
+        let modulus = self.ring.modulus();
+        let limit = self.enumeration_limit as u128;
+        // If the whole ring fits in the budget, enumerate it (this makes the
+        // search exhaustive and lets us conclude infeasibility).
+        if modulus <= limit {
+            return (0..modulus as u64).collect();
+        }
+        // Otherwise prefer values consistent with a known product value: when
+        // x_c is pinned to k, useful x_a values have 2-adic valuation at most
+        // val(k) (factor enumeration); sample odd values and small powers of
+        // two times odd values first.
+        let known_c = pinned_value(linear, product.c);
+        let mut out = Vec::new();
+        match known_c {
+            Some(k) if k != 0 => {
+                let max_val = self.ring.valuation(k).unwrap_or(0);
+                'outer: for shift in 0..=max_val {
+                    let mut odd = 1u64;
+                    while (out.len() as u128) < limit {
+                        let candidate = self.ring.reduce(odd << shift);
+                        if candidate != 0 && !out.contains(&candidate) {
+                            out.push(candidate);
+                        }
+                        odd += 2;
+                        if (odd as u128) >= modulus {
+                            continue 'outer;
+                        }
+                    }
+                    break;
+                }
+            }
+            _ => {
+                out.extend((0..self.enumeration_limit as u64).map(|v| self.ring.reduce(v)));
+                out.dedup();
+            }
+        }
+        out
+    }
+
+    /// Picks a concrete assignment from a solution set (free variables zero).
+    fn pick_assignment(&self, sol: &SolutionSet, _hint: &[u64]) -> Vec<u64> {
+        sol.instantiate(&vec![0; sol.num_free()])
+    }
+}
+
+/// If some equation pins `var` to a constant (a single odd coefficient on
+/// `var` and zeros elsewhere), returns that constant.
+fn pinned_value(linear: &LinearSystem, var: usize) -> Option<u64> {
+    // Solving the linear system and checking whether the variable is
+    // independent of all free variables is the most robust way to detect a
+    // pinned value.
+    let sol = linear.solve().ok()?;
+    let fixed = sol
+        .null_matrix()
+        .iter()
+        .all(|column| column[var] == 0);
+    if fixed {
+        Some(sol.particular()[var])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_false_negative_example() {
+        // 3-bit a, b with 4-bit product c: c = 12, a = 4 admits b ∈ {3, 7}.
+        // With b forced to 7 the modular solver still succeeds.
+        let mut sys = MixedSystem::new(Ring::new(4), 3);
+        sys.add_product(0, 1, 2);
+        sys.fix_variable(0, 4);
+        sys.fix_variable(2, 12);
+        sys.add_equation(&[0, 1, 0], 7);
+        assert_eq!(sys.solve(), MixedOutcome::Solution(vec![4, 7, 12]));
+    }
+
+    #[test]
+    fn both_multiplier_solutions_reachable() {
+        for b in [3u64, 7] {
+            let mut sys = MixedSystem::new(Ring::new(4), 3);
+            sys.add_product(0, 1, 2);
+            sys.fix_variable(0, 4);
+            sys.fix_variable(2, 12);
+            sys.add_equation(&[0, 1, 0], b);
+            let sol = sys.solve().expect_solution();
+            assert_eq!(sol[1], b);
+            assert!(sys.is_solution(&sol));
+        }
+    }
+
+    #[test]
+    fn pure_linear_systems_pass_through() {
+        let mut sys = MixedSystem::new(Ring::new(3), 2);
+        sys.add_equation(&[1, 1], 5);
+        sys.add_equation(&[2, 7], 4);
+        assert_eq!(sys.solve(), MixedOutcome::Solution(vec![3, 2]));
+    }
+
+    #[test]
+    fn infeasible_product_detected_exhaustively() {
+        // a·b = 5 with a forced even is impossible (odd product needs odd factors).
+        let mut sys = MixedSystem::new(Ring::new(3), 3);
+        sys.add_product(0, 1, 2);
+        sys.fix_variable(2, 5);
+        // a = 2·d for some d: encode a ≡ 2 (mod 8) ... simply force a = 2.
+        sys.fix_variable(0, 2);
+        assert_eq!(sys.solve(), MixedOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unconstrained_product_finds_any_solution() {
+        let mut sys = MixedSystem::new(Ring::new(4), 3);
+        sys.add_product(0, 1, 2);
+        let out = sys.solve().expect_solution();
+        assert!(sys.is_solution(&out));
+    }
+
+    #[test]
+    fn chained_products() {
+        // a·b = c, c·d = e with e = 9, all 4-bit. 9 is odd so every factor is odd.
+        let mut sys = MixedSystem::new(Ring::new(4), 5);
+        sys.add_product(0, 1, 2);
+        sys.add_product(2, 3, 4);
+        sys.fix_variable(4, 9);
+        let sol = sys.solve().expect_solution();
+        assert!(sys.is_solution(&sol));
+        assert_eq!(sol[4], 9);
+        assert_eq!(sys.ring().mul(sol[0], sol[1]), sol[2]);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown_not_infeasible() {
+        // Wide ring with a tiny budget: the solver must not claim
+        // infeasibility it cannot justify.
+        let mut sys = MixedSystem::new(Ring::new(32), 3);
+        sys.set_enumeration_limit(4);
+        sys.add_product(0, 1, 2);
+        sys.fix_variable(2, 0x1234_5678);
+        // Force a to a value the tiny enumeration will not try.
+        sys.add_equation(&[1, 0, 0], 0x0100_0000);
+        let out = sys.solve();
+        assert!(matches!(out, MixedOutcome::Unknown | MixedOutcome::Solution(_)));
+    }
+
+    #[test]
+    fn solution_respects_linear_side_constraints() {
+        // a·b = c, a + b = 10, c = 21 over 5 bits: e.g. a=3, b=7.
+        let mut sys = MixedSystem::new(Ring::new(5), 3);
+        sys.add_product(0, 1, 2);
+        sys.add_equation(&[1, 1, 0], 10);
+        sys.fix_variable(2, 21);
+        let sol = sys.solve().expect_solution();
+        assert!(sys.is_solution(&sol));
+        assert_eq!(sys.ring().add(sol[0], sol[1]), 10);
+        assert_eq!(sys.ring().mul(sol[0], sol[1]), 21);
+    }
+}

@@ -1,0 +1,82 @@
+//! Circuit statistics in the shape of the paper's Table 1.
+
+use std::fmt;
+
+/// Aggregate statistics of a design, matching the columns of Table 1 of the
+/// paper (`#lines`, `#gates`, `#FFs`, `#ins`, `#outs`).
+///
+/// # Examples
+///
+/// ```
+/// use wlac_netlist::{CircuitStats, Netlist};
+///
+/// let mut nl = Netlist::new("addr_decoder");
+/// let a = nl.input("a", 7);
+/// nl.mark_output("hit", a);
+/// let stats: CircuitStats = nl.stats();
+/// assert_eq!(stats.inputs, 7);
+/// assert_eq!(stats.flip_flop_bits, 0);
+/// println!("{stats}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Design name.
+    pub name: String,
+    /// Estimated number of HDL source lines (0 when unknown).
+    pub lines: usize,
+    /// Number of word-level gates excluding flip-flops.
+    pub gates: usize,
+    /// Total number of flip-flop *bits* (a 4-bit register counts as 4).
+    pub flip_flop_bits: usize,
+    /// Total number of primary input bits.
+    pub inputs: usize,
+    /// Total number of primary output bits.
+    pub outputs: usize,
+}
+
+impl CircuitStats {
+    /// Formats the statistics as a row of the Table-1-style report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<16} {:>7} {:>8} {:>6} {:>6} {:>6}",
+            self.name, self.lines, self.gates, self.flip_flop_bits, self.inputs, self.outputs
+        )
+    }
+
+    /// Header matching [`CircuitStats::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>7} {:>8} {:>6} {:>6} {:>6}",
+            "ckt name", "#lines", "#gates", "#FFs", "#ins", "#outs"
+        )
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_row_contains_all_columns() {
+        let s = CircuitStats {
+            name: "arbiter".into(),
+            lines: 303,
+            gates: 2443,
+            flip_flop_bits: 24,
+            inputs: 69,
+            outputs: 25,
+        };
+        let row = s.table_row();
+        for piece in ["arbiter", "303", "2443", "24", "69", "25"] {
+            assert!(row.contains(piece), "missing {piece} in {row}");
+        }
+        assert!(CircuitStats::table_header().contains("#FFs"));
+        assert_eq!(s.to_string(), s.table_row());
+    }
+}

@@ -1,0 +1,249 @@
+//! Time-frame expansion of sequential netlists.
+//!
+//! The paper handles sequential behaviour by "treating the state elements
+//! (D flip-flops) as buffers and adding necessary new variables for the
+//! inputs of each time-frame" (Section 4). [`Unrolling`] performs exactly
+//! this expansion: the result is a purely combinational netlist in which
+//!
+//! * every original net has one copy per frame,
+//! * every original primary input becomes a fresh primary input per frame,
+//! * the frame-0 output of each flip-flop becomes a *pseudo input*
+//!   (the initial-state variable, possibly constrained by the reset value),
+//! * and for `t > 0` the flip-flop output at frame `t` is a buffer of its
+//!   data input at frame `t - 1`.
+
+use crate::gate::GateKind;
+use crate::ids::{GateId, NetId};
+use crate::netlist::Netlist;
+use std::collections::HashMap;
+use wlac_bv::Bv;
+
+/// An initial-state variable of the expanded circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitialState {
+    /// Net in the expanded circuit carrying the frame-0 flip-flop output.
+    pub net: NetId,
+    /// The flip-flop gate in the original circuit.
+    pub flip_flop: GateId,
+    /// Reset/power-up value, when the flip-flop has one.
+    pub init: Option<Bv>,
+}
+
+/// A sequential netlist expanded over a fixed number of time-frames.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_netlist::{Netlist, Unrolling};
+/// use wlac_bv::Bv;
+///
+/// // A 4-bit counter.
+/// let mut nl = Netlist::new("counter");
+/// let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+/// let one = nl.constant(&Bv::from_u64(4, 1));
+/// let next = nl.add(q, one);
+/// nl.connect_dff_data(ff, next);
+/// nl.mark_output("count", q);
+///
+/// let unrolled = Unrolling::new(&nl, 3);
+/// assert_eq!(unrolled.frames(), 3);
+/// // One initial-state variable with reset value 0.
+/// assert_eq!(unrolled.initial_states().len(), 1);
+/// assert!(unrolled.circuit().combinational_order().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Unrolling {
+    circuit: Netlist,
+    frames: usize,
+    /// `net_map[frame][orig.index()]` is the expanded copy of `orig`.
+    net_map: Vec<Vec<NetId>>,
+    initial_states: Vec<InitialState>,
+    origin: HashMap<NetId, (usize, NetId)>,
+}
+
+impl Unrolling {
+    /// Expands `source` over `frames` time-frames (`frames >= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(source: &Netlist, frames: usize) -> Self {
+        assert!(frames > 0, "at least one time-frame is required");
+        let mut circuit = Netlist::new(format!("{}#x{}", source.name(), frames));
+        let mut net_map: Vec<Vec<NetId>> = Vec::with_capacity(frames);
+        let mut origin = HashMap::new();
+        let mut initial_states = Vec::new();
+
+        for frame in 0..frames {
+            let mut frame_nets = Vec::with_capacity(source.net_count());
+            for orig in source.nets() {
+                let name = source
+                    .net_name(orig)
+                    .map(|n| format!("{n}@{frame}"))
+                    .unwrap_or_else(|| format!("{orig}@{frame}"));
+                let new = circuit.add_named_net(source.net_width(orig), Some(name));
+                origin.insert(new, (frame, orig));
+                frame_nets.push(new);
+            }
+            net_map.push(frame_nets);
+        }
+
+        for frame in 0..frames {
+            for (gate_id, gate) in source.gates() {
+                let out = net_map[frame][gate.output.index()];
+                match &gate.kind {
+                    GateKind::Dff { init } => {
+                        if frame == 0 {
+                            circuit.mark_input(out);
+                            initial_states.push(InitialState {
+                                net: out,
+                                flip_flop: gate_id,
+                                init: init.clone(),
+                            });
+                        } else {
+                            let d_prev = net_map[frame - 1][gate.inputs[0].index()];
+                            circuit
+                                .add_gate(GateKind::Buf, vec![d_prev], out)
+                                .expect("frame-connection buffer");
+                        }
+                    }
+                    kind => {
+                        let inputs = gate
+                            .inputs
+                            .iter()
+                            .map(|n| net_map[frame][n.index()])
+                            .collect();
+                        circuit
+                            .add_gate(kind.clone(), inputs, out)
+                            .expect("expanded gate");
+                    }
+                }
+            }
+            for orig_input in source.inputs() {
+                circuit.mark_input(net_map[frame][orig_input.index()]);
+            }
+            for (name, orig_out) in source.outputs() {
+                circuit.mark_output(format!("{name}@{frame}"), net_map[frame][orig_out.index()]);
+            }
+        }
+
+        Unrolling {
+            circuit,
+            frames,
+            net_map,
+            initial_states,
+            origin,
+        }
+    }
+
+    /// The purely combinational expanded circuit.
+    pub fn circuit(&self) -> &Netlist {
+        &self.circuit
+    }
+
+    /// Number of expanded time-frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The expanded copy of `orig` at `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame >= frames()`.
+    pub fn net(&self, frame: usize, orig: NetId) -> NetId {
+        self.net_map[frame][orig.index()]
+    }
+
+    /// Maps an expanded net back to `(frame, original net)`.
+    pub fn origin(&self, expanded: NetId) -> Option<(usize, NetId)> {
+        self.origin.get(&expanded).copied()
+    }
+
+    /// The initial-state variables (frame-0 flip-flop outputs).
+    pub fn initial_states(&self) -> &[InitialState] {
+        &self.initial_states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> Netlist {
+        let mut nl = Netlist::new("counter");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let next = nl.add(q, one);
+        nl.connect_dff_data(ff, next);
+        nl.mark_output("count", q);
+        nl
+    }
+
+    #[test]
+    fn expansion_is_combinational() {
+        let nl = counter();
+        let un = Unrolling::new(&nl, 4);
+        assert!(un.circuit().combinational_order().is_ok());
+        assert_eq!(un.circuit().flip_flops().len(), 0);
+        assert_eq!(un.frames(), 4);
+    }
+
+    #[test]
+    fn frame_zero_flip_flops_become_pseudo_inputs() {
+        let nl = counter();
+        let un = Unrolling::new(&nl, 2);
+        assert_eq!(un.initial_states().len(), 1);
+        let init = &un.initial_states()[0];
+        assert_eq!(init.init, Some(Bv::zero(4)));
+        assert!(un.circuit().inputs().contains(&init.net));
+    }
+
+    #[test]
+    fn later_frames_buffer_previous_data() {
+        let nl = counter();
+        let ff = nl.flip_flops()[0];
+        let q = nl.gate(ff).output;
+        let d = nl.gate(ff).inputs[0];
+        let un = Unrolling::new(&nl, 3);
+        for frame in 1..3 {
+            let q_f = un.net(frame, q);
+            let driver = un.circuit().driver(q_f).expect("driven");
+            let gate = un.circuit().gate(driver);
+            assert_eq!(gate.kind, GateKind::Buf);
+            assert_eq!(gate.inputs[0], un.net(frame - 1, d));
+        }
+    }
+
+    #[test]
+    fn per_frame_inputs_and_outputs() {
+        let mut nl = Netlist::new("pass");
+        let a = nl.input("a", 8);
+        nl.mark_output("y", a);
+        let un = Unrolling::new(&nl, 3);
+        assert_eq!(un.circuit().inputs().len(), 3);
+        assert_eq!(un.circuit().outputs().len(), 3);
+        assert_eq!(un.circuit().outputs()[1].0, "y@1");
+        // Origin bookkeeping round-trips.
+        let expanded = un.net(2, a);
+        assert_eq!(un.origin(expanded), Some((2, a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one time-frame")]
+    fn zero_frames_rejected() {
+        let nl = counter();
+        let _ = Unrolling::new(&nl, 0);
+    }
+
+    #[test]
+    fn names_carry_frame_suffix() {
+        let nl = counter();
+        let un = Unrolling::new(&nl, 2);
+        let ff = nl.flip_flops()[0];
+        let q = nl.gate(ff).output;
+        let q1 = un.net(1, q);
+        // The original q is unnamed, so the expanded name is derived from the id.
+        assert!(un.circuit().net_name(q1).unwrap().ends_with("@1"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Concrete (two-valued) semantics of the word-level primitives.
+
+use wlac_bv::Bv;
+use wlac_netlist::GateKind;
+
+/// Evaluates one word-level primitive on concrete input values.
+///
+/// `output_width` is the width of the gate's output net (needed by gates
+/// whose output width is not determined by the inputs alone, such as
+/// slices, zero extensions and concatenations).
+///
+/// # Panics
+///
+/// Panics when the number of inputs does not match the gate kind. (Shape
+/// errors are prevented earlier by [`wlac_netlist::Netlist::add_gate`].)
+///
+/// # Examples
+///
+/// ```
+/// use wlac_bv::Bv;
+/// use wlac_netlist::GateKind;
+/// use wlac_sim::eval_gate;
+///
+/// let a = Bv::from_u64(4, 9);
+/// let b = Bv::from_u64(4, 11);
+/// assert_eq!(eval_gate(&GateKind::Add, &[a.clone(), b.clone()], 4).to_u64(), Some(4));
+/// assert_eq!(eval_gate(&GateKind::Gt, &[b, a], 1).to_u64(), Some(1));
+/// ```
+pub fn eval_gate(kind: &GateKind, inputs: &[Bv], output_width: usize) -> Bv {
+    let bit = |b: bool| Bv::from_bool(b);
+    match kind {
+        GateKind::Const(v) => v.clone(),
+        GateKind::Buf => inputs[0].clone(),
+        GateKind::Not => inputs[0].not(),
+        GateKind::And => inputs
+            .iter()
+            .skip(1)
+            .fold(inputs[0].clone(), |acc, v| acc.and(v)),
+        GateKind::Or => inputs
+            .iter()
+            .skip(1)
+            .fold(inputs[0].clone(), |acc, v| acc.or(v)),
+        GateKind::Xor => inputs
+            .iter()
+            .skip(1)
+            .fold(inputs[0].clone(), |acc, v| acc.xor(v)),
+        GateKind::ReduceAnd => bit(inputs[0].count_ones() == inputs[0].width()),
+        GateKind::ReduceOr => bit(!inputs[0].is_zero()),
+        GateKind::ReduceXor => bit(inputs[0].count_ones() % 2 == 1),
+        GateKind::Add => inputs[0].add(&inputs[1]),
+        GateKind::Sub => inputs[0].sub(&inputs[1]),
+        GateKind::Mul => inputs[0].mul(&inputs[1]),
+        GateKind::Shl => {
+            let amount = shift_amount(&inputs[1], inputs[0].width());
+            inputs[0].shl(amount)
+        }
+        GateKind::Shr => {
+            let amount = shift_amount(&inputs[1], inputs[0].width());
+            inputs[0].shr(amount)
+        }
+        GateKind::Eq => bit(inputs[0] == inputs[1]),
+        GateKind::Ne => bit(inputs[0] != inputs[1]),
+        GateKind::Lt => bit(inputs[0] < inputs[1]),
+        GateKind::Le => bit(inputs[0] <= inputs[1]),
+        GateKind::Gt => bit(inputs[0] > inputs[1]),
+        GateKind::Ge => bit(inputs[0] >= inputs[1]),
+        GateKind::Mux => {
+            if inputs[0].is_zero() {
+                inputs[2].clone()
+            } else {
+                inputs[1].clone()
+            }
+        }
+        GateKind::Concat => inputs[0].concat(&inputs[1]),
+        GateKind::Slice { lo } => inputs[0].slice(*lo, output_width),
+        GateKind::ZeroExt => inputs[0].resize(output_width),
+        GateKind::Dff { .. } => inputs[0].clone(),
+    }
+}
+
+fn shift_amount(amount: &Bv, width: usize) -> usize {
+    amount
+        .to_u64()
+        .map(|v| v.min(width as u64) as usize)
+        .unwrap_or(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(width: usize, v: u64) -> Bv {
+        Bv::from_u64(width, v)
+    }
+
+    #[test]
+    fn boolean_gates() {
+        assert_eq!(
+            eval_gate(&GateKind::And, &[b(4, 0b1100), b(4, 0b1010)], 4),
+            b(4, 0b1000)
+        );
+        assert_eq!(
+            eval_gate(&GateKind::Or, &[b(4, 0b1100), b(4, 0b1010), b(4, 1)], 4),
+            b(4, 0b1111)
+        );
+        assert_eq!(eval_gate(&GateKind::Not, &[b(4, 0b1100)], 4), b(4, 0b0011));
+        assert_eq!(eval_gate(&GateKind::ReduceOr, &[b(4, 0)], 1), b(1, 0));
+        assert_eq!(eval_gate(&GateKind::ReduceAnd, &[b(4, 0xf)], 1), b(1, 1));
+        assert_eq!(eval_gate(&GateKind::ReduceXor, &[b(4, 0b0111)], 1), b(1, 1));
+    }
+
+    #[test]
+    fn arithmetic_gates_wrap() {
+        assert_eq!(eval_gate(&GateKind::Add, &[b(4, 9), b(4, 11)], 4), b(4, 4));
+        assert_eq!(eval_gate(&GateKind::Sub, &[b(4, 3), b(4, 5)], 4), b(4, 14));
+        assert_eq!(eval_gate(&GateKind::Mul, &[b(4, 4), b(4, 7)], 4), b(4, 12));
+    }
+
+    #[test]
+    fn shifts_saturate_amount() {
+        assert_eq!(eval_gate(&GateKind::Shl, &[b(8, 3), b(8, 2)], 8), b(8, 12));
+        assert_eq!(eval_gate(&GateKind::Shr, &[b(8, 12), b(8, 2)], 8), b(8, 3));
+        assert_eq!(eval_gate(&GateKind::Shl, &[b(8, 3), b(8, 200)], 8), b(8, 0));
+    }
+
+    #[test]
+    fn comparators_and_mux() {
+        assert_eq!(eval_gate(&GateKind::Lt, &[b(4, 2), b(4, 11)], 1), b(1, 1));
+        assert_eq!(eval_gate(&GateKind::Ge, &[b(4, 2), b(4, 11)], 1), b(1, 0));
+        assert_eq!(eval_gate(&GateKind::Eq, &[b(4, 7), b(4, 7)], 1), b(1, 1));
+        assert_eq!(
+            eval_gate(&GateKind::Mux, &[b(1, 1), b(4, 5), b(4, 9)], 4),
+            b(4, 5)
+        );
+        assert_eq!(
+            eval_gate(&GateKind::Mux, &[b(1, 0), b(4, 5), b(4, 9)], 4),
+            b(4, 9)
+        );
+    }
+
+    #[test]
+    fn structural_gates() {
+        assert_eq!(
+            eval_gate(&GateKind::Concat, &[b(4, 0xd), b(8, 0xab)], 12),
+            b(12, 0xdab)
+        );
+        assert_eq!(
+            eval_gate(&GateKind::Slice { lo: 4 }, &[b(12, 0xdab)], 4),
+            b(4, 0xa)
+        );
+        assert_eq!(eval_gate(&GateKind::ZeroExt, &[b(4, 0xd)], 8), b(8, 0xd));
+    }
+}

@@ -1,0 +1,39 @@
+//! # wlac-sim — concrete simulation of word-level netlists
+//!
+//! A small cycle-based simulator used by the WLAC assertion checker to
+//! validate counter-examples and witness sequences produced by the
+//! word-level ATPG engine, and by the random-simulation baseline.
+//!
+//! See [`Simulator`] for cycle-accurate sequential simulation and
+//! [`eval_gate`] for the concrete semantics of each primitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_bv::Bv;
+//! use wlac_netlist::Netlist;
+//! use wlac_sim::Simulator;
+//!
+//! # fn main() -> Result<(), wlac_sim::SimulateError> {
+//! let mut nl = Netlist::new("xor_pipe");
+//! let a = nl.input("a", 8);
+//! let b = nl.input("b", 8);
+//! let x = nl.xor2(a, b);
+//! let q = nl.dff(x, Some(Bv::zero(8)));
+//! nl.mark_output("q", q);
+//!
+//! let mut sim = Simulator::new(&nl)?;
+//! sim.step(&[(a, Bv::from_u64(8, 0x0f)), (b, Bv::from_u64(8, 0xf0))])?;
+//! assert_eq!(sim.net_value(q).to_u64(), Some(0xff));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod simulator;
+
+pub use eval::eval_gate;
+pub use simulator::{simulate, SimRun, SimulateError, Simulator};

@@ -1,0 +1,46 @@
+//! Bus-contention checking on the synthetic industrial bus fabrics — the
+//! workload of properties p11–p13 in the paper — and a comparison with the
+//! bit-level SAT BMC baseline on the same problem.
+//!
+//! Run with `cargo run --release --example bus_contention`.
+
+use wlac::atpg::{AssertionChecker, CheckerOptions};
+use wlac::baselines::{bounded_model_check, BmcOutcome};
+use wlac::circuits::{industry_02, industry_03, industry_04};
+
+fn main() {
+    let mut options = CheckerOptions::default();
+    options.max_frames = 4;
+    let checker = AssertionChecker::new(options);
+
+    let fabrics = [
+        ("industry_02 (152-bit, registered)", industry_02(4).contention_free("p11")),
+        ("industry_03 (128-bit, broadcast)", industry_03(4).contention_free("p12")),
+        ("industry_04 (32-bit)", industry_04(4).contention_free("p13")),
+    ];
+    for (name, verification) in fabrics {
+        let report = checker.check(&verification);
+        println!("{name}");
+        println!("  word-level ATPG: {:?}", report.result);
+        println!("  effort: {}", report.stats);
+        let bmc = bounded_model_check(&verification, 3, 1_000_000);
+        let outcome = match bmc.outcome {
+            BmcOutcome::HoldsUpToBound => "holds up to bound".to_string(),
+            BmcOutcome::Found { depth } => format!("violation at depth {depth}"),
+            BmcOutcome::Unknown => "unknown (budget exhausted)".to_string(),
+        };
+        println!(
+            "  bit-level SAT BMC: {outcome}, {:.2}s, CNF {:.2} MB ({} vars, {} clauses)",
+            bmc.elapsed.as_secs_f64(),
+            bmc.peak_memory_bytes as f64 / (1024.0 * 1024.0),
+            bmc.variables,
+            bmc.clauses
+        );
+        println!();
+    }
+    println!(
+        "The word-level engine treats each 152/128/32-bit bus as a single entity; the\n\
+         bit-blasted CNF grows with the bus width — the memory-efficiency argument of\n\
+         the paper's introduction."
+    );
+}

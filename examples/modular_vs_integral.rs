@@ -1,0 +1,53 @@
+//! The "false negative effect" of Section 4: bit-vector constraints that are
+//! unsolvable over the integers but solvable modulo 2ⁿ, and why that matters
+//! when hunting counter-examples.
+//!
+//! Run with `cargo run --example modular_vs_integral`.
+
+use wlac::baselines::{IntegralLinearSystem, IntegralOutcome};
+use wlac::modsolve::{inverse_with_product, LinearSystem, MixedSystem, Ring};
+
+fn main() {
+    // Section 4.1 worked example: x + y = 5, 2x + 7y = 4 over 3-bit vectors.
+    let ring = Ring::new(3);
+    let mut modular = LinearSystem::new(ring, 2);
+    modular.add_equation(&[1, 1], 5);
+    modular.add_equation(&[2, 7], 4);
+    let solution = modular.solve().expect("modular solution exists");
+    println!(
+        "modular  : x + y = 5, 2x + 7y = 4 (mod 8)   ->  (x, y) = ({}, {})",
+        solution.particular()[0],
+        solution.particular()[1]
+    );
+
+    let mut integral = IntegralLinearSystem::new(3, 2);
+    integral.add_equation(&[1, 1], 5);
+    integral.add_equation(&[2, 7], 4);
+    match integral.solve() {
+        IntegralOutcome::Infeasible => {
+            println!("integral : the only rational solution is x = 31/5 -> reported infeasible")
+        }
+        other => println!("integral : {other:?}"),
+    }
+
+    // The multiplier example: c = 12, a = 4 admits b = 3 *and* b = 7 mod 16.
+    let mut mixed = MixedSystem::new(Ring::new(4), 3);
+    mixed.add_product(0, 1, 2);
+    mixed.fix_variable(0, 4);
+    mixed.fix_variable(2, 12);
+    mixed.add_equation(&[0, 1, 0], 7); // a side constraint ruling out b = 3
+    let solution = mixed.solve().expect_solution();
+    println!(
+        "multiplier: 4 * b = 12 (mod 16) with b forced to 7 -> b = {} (4*7 = 28 = 12 mod 16)",
+        solution[1]
+    );
+
+    // Theorem 2 closed form: all inverses of 6 with product 10 in 4 bits.
+    let set = inverse_with_product(Ring::new(4), 6, 10).expect("solvable");
+    let all: Vec<u64> = set.iter().collect();
+    println!(
+        "Theorem 2 : multiplicative_inverse_10(6) mod 16 = base {} step {} -> {all:?}",
+        set.base(),
+        set.step()
+    );
+}

@@ -1,0 +1,46 @@
+//! End-to-end flow from Verilog source: parse and elaborate a small RTL
+//! module with the front end, attach an assertion and check it — the same
+//! HDL-to-netlist-to-constraints pipeline as the paper's Fig. 1.
+//!
+//! Run with `cargo run --example verilog_frontend`.
+
+use wlac::atpg::{AssertionChecker, CheckerOptions, Property, Verification};
+use wlac::bv::Bv;
+use wlac::frontend::compile;
+
+const SOURCE: &str = r#"
+// A small round-robin grant generator: exactly one grant rotates among
+// three requesters whenever `advance` is high.
+module rotator(input clk, input advance, output reg [2:0] grant);
+  always @(posedge clk) begin
+    if (advance)
+      grant <= {grant[1:0], grant[2]};
+  end
+endmodule
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut netlist = compile(SOURCE)?;
+    println!(
+        "elaborated `{}`: {} gates, {} flip-flop bits, {} input bits",
+        netlist.name(),
+        netlist.stats().gates,
+        netlist.stats().flip_flop_bits,
+        netlist.stats().inputs
+    );
+
+    // The reset value of `grant` is 0, so the one-hot invariant only holds
+    // once a grant is injected; assert the weaker safety property that the
+    // register never holds the all-ones pattern.
+    let grant = netlist.find_net("grant").expect("grant register");
+    let all_ones = netlist.constant(&Bv::from_u64(3, 0b111));
+    let ok = netlist.ne(grant, all_ones);
+    let property = Property::always(&netlist, "never_all_ones", ok);
+
+    let mut options = CheckerOptions::default();
+    options.max_frames = 6;
+    let report = AssertionChecker::new(options).check(&Verification::new(netlist, property));
+    println!("[{}] {:?}", report.property, report.result);
+    println!("    effort: {}", report.stats);
+    Ok(())
+}

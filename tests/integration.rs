@@ -1,0 +1,131 @@
+//! Cross-crate integration tests: the full paper suite, agreement between the
+//! word-level ATPG checker and the bit-level SAT BMC baseline, trace replay
+//! and the Verilog front-end path.
+
+use std::time::Duration;
+use wlac::atpg::{AssertionChecker, CheckResult, CheckerOptions, Property, Verification};
+use wlac::baselines::{bounded_model_check, BmcOutcome};
+use wlac::bv::Bv;
+use wlac::circuits::{paper_suite, Expectation, Scale};
+use wlac::frontend::compile;
+use wlac::netlist::Netlist;
+
+fn quick_options() -> CheckerOptions {
+    let mut options = CheckerOptions::default();
+    options.max_frames = 6;
+    options.time_limit = Duration::from_secs(30);
+    options
+}
+
+/// Every property of the paper's Table 2 produces the expected outcome at the
+/// small scale.
+#[test]
+fn paper_suite_outcomes_match_expectations() {
+    let checker = AssertionChecker::new(quick_options());
+    for case in paper_suite(Scale::Small) {
+        let report = checker.check(&case.verification);
+        match case.expectation {
+            Expectation::Pass => assert!(
+                report.result.is_pass(),
+                "{} expected to pass, got {:?}",
+                case.property,
+                report.result
+            ),
+            Expectation::Witness => assert!(
+                report.result.has_trace(),
+                "{} expected a witness, got {:?}",
+                case.property,
+                report.result
+            ),
+        }
+        // Memory accounting is always populated.
+        assert!(report.stats.peak_memory_bytes > 0, "{}", case.property);
+    }
+}
+
+/// The ATPG checker and the SAT BMC baseline agree on pass/fail for designs
+/// the bit-blaster supports.
+#[test]
+fn atpg_and_sat_bmc_agree() {
+    let checker = AssertionChecker::new(quick_options());
+    for case in paper_suite(Scale::Small) {
+        let report = checker.check(&case.verification);
+        let bmc = bounded_model_check(&case.verification, 4, 500_000);
+        match (&report.result, &bmc.outcome) {
+            // BMC finding a trace means the ATPG must not claim a pass, and
+            // vice versa: a pass and a found trace are contradictory.
+            (result, BmcOutcome::Found { .. }) if result.is_pass() => {
+                panic!("{}: ATPG passed but BMC found a trace", case.property)
+            }
+            (CheckResult::CounterExample { .. }, BmcOutcome::HoldsUpToBound) => {
+                panic!("{}: ATPG found a counter-example but BMC did not", case.property)
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Counter-example traces replay to a real violation on the sequential design.
+#[test]
+fn counterexample_traces_replay() {
+    // A counter that is asserted (wrongly) to stay below 3.
+    let mut nl = Netlist::new("cex");
+    let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+    let one = nl.constant(&Bv::from_u64(4, 1));
+    let next = nl.add(q, one);
+    nl.connect_dff_data(ff, next);
+    let three = nl.constant(&Bv::from_u64(4, 3));
+    let ok = nl.lt(q, three);
+    let property = Property::always(&nl, "below_3", ok);
+    let verification = Verification::new(nl, property);
+    let report = AssertionChecker::new(quick_options()).check(&verification);
+    match report.result {
+        CheckResult::CounterExample { trace } => {
+            let values = trace
+                .replay_monitor(&verification.netlist, verification.property.monitor)
+                .expect("replay");
+            assert_eq!(values.last(), Some(&false));
+            assert_eq!(trace.len(), 4, "q reaches 3 after three steps");
+        }
+        other => panic!("expected a counter-example, got {other:?}"),
+    }
+}
+
+/// Verilog source flows through the front end into the checker.
+#[test]
+fn verilog_to_checker_flow() {
+    let netlist = compile(
+        r#"
+        module gray2(input clk, input step, output reg [1:0] state);
+          always @(posedge clk) begin
+            if (step)
+              state <= {state[0], ~state[1]};
+          end
+        endmodule
+        "#,
+    )
+    .expect("compiles");
+    let mut design = netlist.clone();
+    let state = design.find_net("state").expect("state register");
+    // The 2-bit Gray counter visits every state, so `state != 2'b10` must fail.
+    let avoided = design.constant(&Bv::from_u64(2, 0b10));
+    let ok = design.ne(state, avoided);
+    let property = Property::always(&design, "avoids_10", ok);
+    let report =
+        AssertionChecker::new(quick_options()).check(&Verification::new(design, property));
+    assert!(
+        matches!(report.result, CheckResult::CounterExample { .. }),
+        "got {:?}",
+        report.result
+    );
+}
+
+/// The façade crate exposes every subsystem.
+#[test]
+fn facade_reexports_are_usable() {
+    let ring = wlac::modsolve::Ring::new(4);
+    assert_eq!(ring.mul(5, 7), 3);
+    let cube: wlac::bv::Bv3 = "4'b10xx".parse().expect("parses");
+    assert_eq!(cube.count_x(), 2);
+    assert_eq!(wlac::circuits::paper_table1().len(), 9);
+}
