@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
-use wlac_atpg::{PropertyKind, Verification};
+use wlac_atpg::{CancelToken, PropertyKind, Trace, Verification};
 use wlac_bv::Bv;
 use wlac_netlist::{GateKind, NetId, Netlist, Unrolling};
 
@@ -68,6 +68,22 @@ impl BitBlaster {
         self.bits[&net][bit]
     }
 
+    /// Reads the value of `net` out of a SAT model (one truth value per CNF
+    /// variable, as returned by [`Cnf::solve`]).
+    pub fn decode_net(&self, model: &[bool], net: NetId) -> Bv {
+        let lits = &self.bits[&net];
+        let words: Vec<u64> = lits
+            .chunks(64)
+            .map(|chunk| {
+                chunk.iter().enumerate().fold(0u64, |acc, (i, lit)| {
+                    let value = model[lit.var()] ^ lit.is_negative();
+                    acc | ((value as u64) << i)
+                })
+            })
+            .collect();
+        Bv::from_words(lits.len(), &words)
+    }
+
     /// Adds unit clauses forcing `net` to the concrete value `value`.
     pub fn constrain_value(&mut self, net: NetId, value: &Bv) {
         for i in 0..value.width() {
@@ -83,7 +99,8 @@ impl BitBlaster {
     }
 
     fn constant(&mut self, lit: Lit, value: bool) {
-        self.cnf.add_clause(vec![if value { lit } else { lit.negated() }]);
+        self.cnf
+            .add_clause(vec![if value { lit } else { lit.negated() }]);
     }
 
     fn and_gate(&mut self, out: Lit, inputs: &[Lit]) {
@@ -106,7 +123,8 @@ impl BitBlaster {
 
     fn xor_gate(&mut self, out: Lit, a: Lit, b: Lit) {
         self.cnf.add_clause(vec![out.negated(), a, b]);
-        self.cnf.add_clause(vec![out.negated(), a.negated(), b.negated()]);
+        self.cnf
+            .add_clause(vec![out.negated(), a.negated(), b.negated()]);
         self.cnf.add_clause(vec![out, a.negated(), b]);
         self.cnf.add_clause(vec![out, a, b.negated()]);
     }
@@ -256,17 +274,29 @@ impl BitBlaster {
             }
             GateKind::Eq | GateKind::Ne => {
                 let eq = self.equality(&in_bits[0], &in_bits[1]);
-                let target = if gate.kind == GateKind::Eq { eq } else { eq.negated() };
+                let target = if gate.kind == GateKind::Eq {
+                    eq
+                } else {
+                    eq.negated()
+                };
                 self.equal(out_bits[0], target);
             }
             GateKind::Lt | GateKind::Ge => {
                 let lt = self.less_than(&in_bits[0], &in_bits[1]);
-                let target = if gate.kind == GateKind::Lt { lt } else { lt.negated() };
+                let target = if gate.kind == GateKind::Lt {
+                    lt
+                } else {
+                    lt.negated()
+                };
                 self.equal(out_bits[0], target);
             }
             GateKind::Gt | GateKind::Le => {
                 let lt = self.less_than(&in_bits[1], &in_bits[0]);
-                let target = if gate.kind == GateKind::Gt { lt } else { lt.negated() };
+                let target = if gate.kind == GateKind::Gt {
+                    lt
+                } else {
+                    lt.negated()
+                };
                 self.equal(out_bits[0], target);
             }
             GateKind::Mux => {
@@ -331,11 +361,7 @@ impl BitBlaster {
                     }
                 }
             }
-            GateKind::Mul => {
-                return Err(UnsupportedGateError {
-                    gate: "mul".into(),
-                })
-            }
+            GateKind::Mul => return Err(UnsupportedGateError { gate: "mul".into() }),
         }
         Ok(())
     }
@@ -369,6 +395,11 @@ pub struct BmcReport {
     pub variables: usize,
     /// Total CNF clauses across all bounds.
     pub clauses: usize,
+    /// Concrete trace over the original sequential design when the outcome is
+    /// [`BmcOutcome::Found`]: the SAT model's initial state and per-frame
+    /// primary inputs, replayable with [`Trace::replay_monitor`] for
+    /// cross-engine validation.
+    pub trace: Option<Trace>,
 }
 
 /// Runs SAT-based bounded model checking on a verification problem.
@@ -381,24 +412,77 @@ pub fn bounded_model_check(
     max_frames: usize,
     decision_budget: u64,
 ) -> BmcReport {
+    bounded_model_check_cancellable(
+        verification,
+        max_frames,
+        decision_budget,
+        &CancelToken::new(),
+    )
+}
+
+/// Converts a SAT model of an unrolled circuit into a [`Trace`] over the
+/// original sequential design (initial flip-flop state plus per-frame primary
+/// inputs), mirroring the ATPG checker's trace extraction.
+fn model_to_trace(
+    verification: &Verification,
+    unrolling: &Unrolling,
+    blaster: &BitBlaster,
+    model: &[bool],
+) -> Trace {
+    let netlist = &verification.netlist;
+    let initial_state = unrolling
+        .initial_states()
+        .iter()
+        .map(|init| {
+            let q = netlist.gate(init.flip_flop).output;
+            (q, blaster.decode_net(model, init.net))
+        })
+        .collect();
+    let inputs = (0..unrolling.frames())
+        .map(|frame| {
+            netlist
+                .inputs()
+                .iter()
+                .map(|pi| (*pi, blaster.decode_net(model, unrolling.net(frame, *pi))))
+                .collect()
+        })
+        .collect();
+    Trace {
+        initial_state,
+        inputs,
+    }
+}
+
+/// Like [`bounded_model_check`], but polls `cancel` between unrolling depths
+/// and inside the SAT search, so a portfolio supervisor can stop a losing BMC
+/// run promptly. A cancelled run reports [`BmcOutcome::Unknown`].
+pub fn bounded_model_check_cancellable(
+    verification: &Verification,
+    max_frames: usize,
+    decision_budget: u64,
+    cancel: &CancelToken,
+) -> BmcReport {
     let start = Instant::now();
     let mut peak = 0usize;
     let mut variables = 0usize;
     let mut clauses = 0usize;
+    let report = |outcome, peak, variables, clauses, trace| BmcReport {
+        outcome,
+        elapsed: start.elapsed(),
+        peak_memory_bytes: peak,
+        variables,
+        clauses,
+        trace,
+    };
     for frames in 1..=max_frames {
+        if cancel.is_cancelled() {
+            return report(BmcOutcome::Unknown, peak, variables, clauses, None);
+        }
         let unrolling = Unrolling::new(&verification.netlist, frames);
         let encoded = BitBlaster::encode(unrolling.circuit());
         let mut blaster = match encoded {
             Ok(b) => b,
-            Err(_) => {
-                return BmcReport {
-                    outcome: BmcOutcome::Unknown,
-                    elapsed: start.elapsed(),
-                    peak_memory_bytes: peak,
-                    variables,
-                    clauses,
-                }
-            }
+            Err(_) => return report(BmcOutcome::Unknown, peak, variables, clauses, None),
         };
         for init in unrolling.initial_states() {
             if let Some(value) = &init.init {
@@ -420,33 +504,22 @@ pub fn bounded_model_check(
         peak = peak.max(blaster.cnf.memory_bytes());
         variables += blaster.cnf.num_vars();
         clauses += blaster.cnf.num_clauses();
-        let (model, complete) = blaster.cnf.solve(decision_budget);
-        if model.is_some() {
-            return BmcReport {
-                outcome: BmcOutcome::Found { depth: frames },
-                elapsed: start.elapsed(),
-                peak_memory_bytes: peak,
+        let (model, complete) = blaster.cnf.solve_cancellable(decision_budget, cancel);
+        if let Some(model) = model {
+            let trace = model_to_trace(verification, &unrolling, &blaster, &model);
+            return report(
+                BmcOutcome::Found { depth: frames },
+                peak,
                 variables,
                 clauses,
-            };
+                Some(trace),
+            );
         }
         if !complete {
-            return BmcReport {
-                outcome: BmcOutcome::Unknown,
-                elapsed: start.elapsed(),
-                peak_memory_bytes: peak,
-                variables,
-                clauses,
-            };
+            return report(BmcOutcome::Unknown, peak, variables, clauses, None);
         }
     }
-    BmcReport {
-        outcome: BmcOutcome::HoldsUpToBound,
-        elapsed: start.elapsed(),
-        peak_memory_bytes: peak,
-        variables,
-        clauses,
-    }
+    report(BmcOutcome::HoldsUpToBound, peak, variables, clauses, None)
 }
 
 #[cfg(test)]

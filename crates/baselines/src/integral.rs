@@ -7,6 +7,9 @@
 //! wrap-around (like the paper's `x + y = 5`, `2x + 7y = 4` example) are
 //! reported infeasible — the false negative the modular solver fixes.
 
+// Gaussian elimination reads clearest with explicit row/column indices.
+#![allow(clippy::needless_range_loop)]
+
 use wlac_modsolve::Ring;
 
 /// A linear system interpreted over the integers.

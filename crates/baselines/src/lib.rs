@@ -24,7 +24,10 @@ mod integral;
 mod random_sim;
 mod sat;
 
-pub use bitblast::{bounded_model_check, BitBlaster, BmcOutcome, BmcReport, UnsupportedGateError};
+pub use bitblast::{
+    bounded_model_check, bounded_model_check_cancellable, BitBlaster, BmcOutcome, BmcReport,
+    UnsupportedGateError,
+};
 pub use integral::{IntegralLinearSystem, IntegralOutcome};
-pub use random_sim::{random_simulation, RandomSimReport};
+pub use random_sim::{random_simulation, random_simulation_cancellable, RandomSimReport};
 pub use sat::{Cnf, Lit};

@@ -6,12 +6,11 @@
 //! for a number of runs and report whether the monitor was ever violated
 //! (for `Always` properties) or satisfied (for `Eventually` witnesses).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use wlac_atpg::{PropertyKind, Verification};
+use wlac_atpg::{CancelToken, PropertyKind, Trace, Verification};
 use wlac_bv::Bv;
+use wlac_rng::Rng64;
 use wlac_sim::simulate;
 
 /// Result of a random-simulation campaign.
@@ -27,6 +26,10 @@ pub struct RandomSimReport {
     pub cycles_per_run: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// The hitting input sequence, truncated at the hit cycle, when the
+    /// target was observed. Replayable with [`Trace::replay_monitor`] for
+    /// cross-engine validation.
+    pub trace: Option<Trace>,
 }
 
 /// Simulates `runs` random input sequences of `cycles` cycles each.
@@ -36,18 +39,34 @@ pub fn random_simulation(
     cycles: usize,
     seed: u64,
 ) -> RandomSimReport {
+    random_simulation_cancellable(verification, runs, cycles, seed, &CancelToken::new())
+}
+
+/// Like [`random_simulation`], but polls `cancel` between runs so a portfolio
+/// supervisor can stop a losing campaign promptly.
+pub fn random_simulation_cancellable(
+    verification: &Verification,
+    runs: usize,
+    cycles: usize,
+    seed: u64,
+    cancel: &CancelToken,
+) -> RandomSimReport {
     let start = Instant::now();
     let netlist = &verification.netlist;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut target_hit = false;
     let mut first_hit_cycle = None;
+    let mut trace = None;
     'runs: for _ in 0..runs {
+        if cancel.is_cancelled() {
+            break;
+        }
         let mut frames = Vec::with_capacity(cycles);
         for _ in 0..cycles {
             let mut inputs: HashMap<_, _> = HashMap::new();
             for pi in netlist.inputs() {
                 let width = netlist.net_width(*pi);
-                let words: Vec<u64> = (0..width.div_ceil(64)).map(|_| rng.gen()).collect();
+                let words: Vec<u64> = (0..width.div_ceil(64)).map(|_| rng.next_u64()).collect();
                 inputs.insert(*pi, Bv::from_words(width, &words));
             }
             frames.push(inputs);
@@ -62,7 +81,10 @@ pub fn random_simulation(
                 .iter()
                 .all(|e| !run.value(cycle, *e).is_zero());
             if !env_ok {
-                continue;
+                // The environment must hold in *every* cycle; once violated,
+                // the design state is polluted and any later hit would yield
+                // a trace the checkers rightly reject. Abandon the run.
+                break;
             }
             let hit = match verification.property.kind {
                 PropertyKind::Always => monitor.is_zero(),
@@ -71,6 +93,16 @@ pub fn random_simulation(
             if hit {
                 target_hit = true;
                 first_hit_cycle = Some(cycle);
+                // The replayed simulation starts from the same reset state as
+                // `simulate(netlist, &[], ..)`, so an empty initial state
+                // reproduces the run exactly.
+                trace = Some(Trace {
+                    initial_state: Vec::new(),
+                    inputs: frames[..=cycle]
+                        .iter()
+                        .map(|frame| frame.iter().map(|(n, v)| (*n, v.clone())).collect())
+                        .collect(),
+                });
                 break 'runs;
             }
         }
@@ -81,6 +113,7 @@ pub fn random_simulation(
         runs,
         cycles_per_run: cycles,
         elapsed: start.elapsed(),
+        trace,
     }
 }
 
@@ -102,13 +135,41 @@ mod tests {
         nl.mark_output("corner", corner);
 
         let easy_property = Property::eventually(&nl, "easy", easy);
-        let report = random_simulation(&Verification::new(nl.clone(), easy_property), 4, 8, 7);
+        let easy_verification = Verification::new(nl.clone(), easy_property);
+        let report = random_simulation(&easy_verification, 4, 8, 7);
         assert!(report.target_hit);
         assert_eq!(report.runs, 4);
+        // The recorded trace replays to a real hit.
+        let trace = report.trace.expect("hit comes with a trace");
+        let replay = trace
+            .replay_monitor(
+                &easy_verification.netlist,
+                easy_verification.property.monitor,
+            )
+            .expect("replay succeeds");
+        assert_eq!(replay.last(), Some(&true));
 
         let corner_property = Property::eventually(&nl, "corner", corner);
         let report = random_simulation(&Verification::new(nl, corner_property), 4, 8, 7);
-        assert!(!report.target_hit, "2^-16 chance per cycle should not hit in 32 cycles");
+        assert!(
+            !report.target_hit,
+            "2^-16 chance per cycle should not hit in 32 cycles"
+        );
         assert!(report.first_hit_cycle.is_none());
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_without_a_hit() {
+        let mut nl = Netlist::new("rand");
+        let wide = nl.input("wide", 8);
+        let easy = nl.reduce_or(wide);
+        nl.mark_output("easy", easy);
+        let property = Property::eventually(&nl, "easy", easy);
+        let verification = Verification::new(nl, property);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let report = random_simulation_cancellable(&verification, 1000, 1000, 3, &cancel);
+        assert!(!report.target_hit, "cancelled before the first run");
     }
 }

@@ -1,5 +1,8 @@
-//! A small CNF SAT solver (DPLL with unit propagation and activity-free
-//! branching), used by the bit-level bounded model checking baseline.
+//! A small CDCL SAT solver (two-watched-literal propagation, first-UIP
+//! clause learning, non-chronological backjumping and VSIDS-style decision
+//! activities), used by the bit-level bounded model checking baseline.
+
+use wlac_atpg::CancelToken;
 
 /// A literal: variable index with polarity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,17 +89,27 @@ impl Cnf {
     /// guarding against pathological inputs; exceeding it returns `None`
     /// conservatively together with `false` in the second tuple slot.
     pub fn solve(&self, budget: u64) -> (Option<Vec<bool>>, bool) {
-        let mut solver = Dpll {
-            clauses: self.clauses.clone(),
-            assignment: vec![None; self.num_vars],
-            trail: Vec::new(),
-            decisions: 0,
-            budget,
-        };
-        let complete = solver.search(0);
-        match complete {
+        self.solve_cancellable(budget, &CancelToken::new())
+    }
+
+    /// Like [`Cnf::solve`], but polls `cancel` inside the search and the
+    /// unit-propagation loop; a cancelled run returns `(None, false)` (no
+    /// model, incomplete), exactly like budget exhaustion.
+    pub fn solve_cancellable(
+        &self,
+        budget: u64,
+        cancel: &CancelToken,
+    ) -> (Option<Vec<bool>>, bool) {
+        let mut solver = Solver::new(self, budget, cancel.clone());
+        match solver.search() {
             Some(true) => (
-                Some(solver.assignment.iter().map(|v| v.unwrap_or(false)).collect()),
+                Some(
+                    solver
+                        .assignment
+                        .iter()
+                        .map(|v| v.unwrap_or(false))
+                        .collect(),
+                ),
                 true,
             ),
             Some(false) => (None, true),
@@ -105,100 +118,308 @@ impl Cnf {
     }
 }
 
-struct Dpll {
+/// CDCL solver state.
+///
+/// Each clause of two or more literals keeps its watches in positions 0 and
+/// 1; `watches[l.code]` lists the clauses currently watching literal `l`,
+/// visited only when `l` becomes false, so propagation effort is proportional
+/// to the watched occurrences of newly falsified literals instead of the
+/// whole formula. Conflicts are analysed to the first unique implication
+/// point; the learned clause drives a non-chronological backjump. Decision
+/// variables are picked by bumped-and-decayed activity (VSIDS).
+struct Solver {
+    /// Problem clauses followed by learned clauses.
     clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<usize>>,
     assignment: Vec<Option<bool>>,
-    trail: Vec<usize>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Clause that implied each variable (`usize::MAX` for decisions and
+    /// root-level units).
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    /// `trail` length at the start of each decision level.
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    root_conflict: bool,
+    activity: Vec<f64>,
+    activity_inc: f64,
     decisions: u64,
     budget: u64,
+    cancel: CancelToken,
 }
 
-impl Dpll {
+const NO_REASON: usize = usize::MAX;
+
+impl Solver {
+    fn new(cnf: &Cnf, budget: u64, cancel: CancelToken) -> Self {
+        let mut this = Solver {
+            clauses: Vec::with_capacity(cnf.clauses.len()),
+            watches: vec![Vec::new(); cnf.num_vars * 2],
+            assignment: vec![None; cnf.num_vars],
+            level: vec![0; cnf.num_vars],
+            reason: vec![NO_REASON; cnf.num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            prop_head: 0,
+            root_conflict: false,
+            activity: vec![0.0; cnf.num_vars],
+            activity_inc: 1.0,
+            decisions: 0,
+            budget,
+            cancel,
+        };
+        for clause in &cnf.clauses {
+            match clause.as_slice() {
+                [] => this.root_conflict = true,
+                [unit] => {
+                    if !this.enqueue(*unit, NO_REASON) {
+                        this.root_conflict = true;
+                    }
+                }
+                [a, b, ..] => {
+                    let index = this.clauses.len();
+                    this.watches[a.code as usize].push(index);
+                    this.watches[b.code as usize].push(index);
+                    this.clauses.push(clause.clone());
+                }
+            }
+        }
+        this
+    }
+
     fn value(&self, lit: Lit) -> Option<bool> {
         self.assignment[lit.var()].map(|v| v ^ lit.is_negative())
     }
 
-    fn assign(&mut self, lit: Lit) {
-        self.assignment[lit.var()] = Some(!lit.is_negative());
-        self.trail.push(lit.var());
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
     }
 
-    fn undo_to(&mut self, mark: usize) {
-        while self.trail.len() > mark {
-            let var = self.trail.pop().expect("non-empty trail");
-            self.assignment[var] = None;
+    /// Assigns `lit` true and queues it for propagation; `false` when the
+    /// opposite value already holds.
+    fn enqueue(&mut self, lit: Lit, reason: usize) -> bool {
+        match self.value(lit) {
+            Some(value) => value,
+            None => {
+                let var = lit.var();
+                self.assignment[var] = Some(!lit.is_negative());
+                self.level[var] = self.decision_level();
+                self.reason[var] = reason;
+                self.trail.push(lit);
+                true
+            }
         }
     }
 
-    /// Unit propagation: returns `false` on conflict.
-    fn propagate(&mut self) -> bool {
-        loop {
-            let mut changed = false;
-            for ci in 0..self.clauses.len() {
-                let mut unassigned: Option<Lit> = None;
-                let mut satisfied = false;
-                let mut unassigned_count = 0;
-                for &lit in &self.clauses[ci] {
-                    match self.value(lit) {
-                        Some(true) => {
-                            satisfied = true;
-                            break;
-                        }
-                        Some(false) => {}
-                        None => {
-                            unassigned_count += 1;
-                            unassigned = Some(lit);
-                        }
-                    }
-                }
-                if satisfied {
+    /// Undoes every assignment above `target_level`.
+    fn backjump(&mut self, target_level: u32) {
+        while self.decision_level() > target_level {
+            let mark = self.trail_lim.pop().expect("level mark");
+            while self.trail.len() > mark {
+                let lit = self.trail.pop().expect("non-empty trail");
+                self.assignment[lit.var()] = None;
+            }
+        }
+        // Everything still on the trail was propagated before the conflict.
+        self.prop_head = self.trail.len();
+    }
+
+    /// Unit propagation from the current queue head; returns the index of a
+    /// conflicting clause, or `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.prop_head < self.trail.len() {
+            if self.cancel.is_cancelled() {
+                // `search` notices the cancellation and aborts incomplete.
+                return None;
+            }
+            let falsified = self.trail[self.prop_head].negated();
+            self.prop_head += 1;
+            // The watch list is rebuilt as clauses move their watch away.
+            let watching = std::mem::take(&mut self.watches[falsified.code as usize]);
+            let mut kept = Vec::with_capacity(watching.len());
+            let mut conflict = None;
+            for ci in watching {
+                if conflict.is_some() {
+                    kept.push(ci);
                     continue;
                 }
-                match unassigned_count {
-                    0 => return false,
-                    1 => {
-                        self.assign(unassigned.expect("unit literal"));
-                        changed = true;
+                let clause = &mut self.clauses[ci];
+                // Normalise so position 1 holds the falsified watch.
+                if clause[0] == falsified {
+                    clause.swap(0, 1);
+                }
+                let other = clause[0];
+                if self.assignment[other.var()].map(|v| v ^ other.is_negative()) == Some(true) {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    let candidate = clause[k];
+                    let candidate_false = self.assignment[candidate.var()]
+                        .map(|v| v ^ candidate.is_negative())
+                        == Some(false);
+                    if !candidate_false {
+                        clause.swap(1, k);
+                        self.watches[candidate.code as usize].push(ci);
+                        moved = true;
+                        break;
                     }
-                    _ => {}
+                }
+                if moved {
+                    continue;
+                }
+                kept.push(ci);
+                // No replacement: the clause is unit (or conflicting) on
+                // `other`.
+                if !self.enqueue(other, ci) {
+                    conflict = Some(ci);
                 }
             }
-            if !changed {
-                return true;
+            self.watches[falsified.code as usize] = kept;
+            if conflict.is_some() {
+                return conflict;
             }
         }
+        None
+    }
+
+    /// First-UIP conflict analysis: returns the learned clause (asserting
+    /// literal first) and the level to backjump to.
+    fn analyze(&mut self, conflict: usize) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learned: Vec<Lit> = Vec::new();
+        let mut seen = vec![false; self.assignment.len()];
+        let mut counter = 0usize;
+        let mut clause_index = conflict;
+        let mut trail_index = self.trail.len();
+        let mut resolved_on: Option<Lit> = None;
+        let asserting = loop {
+            let clause = &self.clauses[clause_index];
+            // Skip the asserted literal (position 0) of reason clauses; the
+            // initial conflict clause contributes every literal.
+            let skip = usize::from(resolved_on.is_some());
+            for &lit in &clause[skip..] {
+                let var = lit.var();
+                if !seen[var] && self.level[var] > 0 {
+                    seen[var] = true;
+                    // Inlined `bump`: `clause` keeps `self.clauses` borrowed.
+                    self.activity[var] += self.activity_inc;
+                    if self.activity[var] > 1e100 {
+                        for a in &mut self.activity {
+                            *a *= 1e-100;
+                        }
+                        self.activity_inc *= 1e-100;
+                    }
+                    if self.level[var] == current {
+                        counter += 1;
+                    } else {
+                        learned.push(lit);
+                    }
+                }
+            }
+            // Resolve on the most recent seen trail literal.
+            let lit = loop {
+                trail_index -= 1;
+                let lit = self.trail[trail_index];
+                if seen[lit.var()] {
+                    break lit;
+                }
+            };
+            seen[lit.var()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break lit.negated();
+            }
+            clause_index = self.reason[lit.var()];
+            debug_assert_ne!(clause_index, NO_REASON, "only the UIP lacks a reason");
+            resolved_on = Some(lit);
+        };
+        // Backjump to the deepest level among the other learned literals.
+        let backjump_level = learned
+            .iter()
+            .map(|lit| self.level[lit.var()])
+            .max()
+            .unwrap_or(0);
+        learned.insert(0, asserting);
+        (learned, backjump_level)
+    }
+
+    /// Installs a learned clause after the backjump and asserts its first
+    /// literal.
+    fn learn(&mut self, mut learned: Vec<Lit>) {
+        if learned.len() == 1 {
+            let ok = self.enqueue(learned[0], NO_REASON);
+            debug_assert!(ok, "asserting literal is unassigned after backjump");
+            return;
+        }
+        // Watch the asserting literal and a deepest-level other literal, so
+        // the watches stay legal across future backjumps.
+        let mut deepest = 1;
+        for k in 2..learned.len() {
+            if self.level[learned[k].var()] > self.level[learned[deepest].var()] {
+                deepest = k;
+            }
+        }
+        learned.swap(1, deepest);
+        let index = self.clauses.len();
+        self.watches[learned[0].code as usize].push(index);
+        self.watches[learned[1].code as usize].push(index);
+        let asserting = learned[0];
+        self.clauses.push(learned);
+        let ok = self.enqueue(asserting, index);
+        debug_assert!(ok, "asserting literal is unassigned after backjump");
+    }
+
+    /// Picks the unassigned variable with the highest activity.
+    fn pick_branch(&self) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (var, value) in self.assignment.iter().enumerate() {
+            if value.is_none() {
+                let activity = self.activity[var];
+                if best.map(|(a, _)| activity > a).unwrap_or(true) {
+                    best = Some((activity, var));
+                }
+            }
+        }
+        best.map(|(_, var)| var)
     }
 
     /// Returns `Some(true)` for SAT, `Some(false)` for UNSAT, `None` when the
-    /// decision budget is exhausted.
-    fn search(&mut self, depth: usize) -> Option<bool> {
-        if !self.propagate() {
+    /// decision budget is exhausted or the run is cancelled.
+    fn search(&mut self) -> Option<bool> {
+        if self.root_conflict {
             return Some(false);
         }
-        let Some(var) = self.assignment.iter().position(|v| v.is_none()) else {
-            return Some(true);
-        };
-        if self.decisions >= self.budget {
-            return None;
-        }
-        self.decisions += 1;
-        for value in [true, false] {
-            let mark = self.trail.len();
-            self.assign(if value {
-                Lit::positive(var)
-            } else {
-                Lit::negative(var)
-            });
-            match self.search(depth + 1) {
-                Some(true) => return Some(true),
-                Some(false) => self.undo_to(mark),
-                None => {
-                    self.undo_to(mark);
-                    return None;
-                }
+        loop {
+            if self.cancel.is_cancelled() {
+                return None;
             }
+            if let Some(conflict) = self.propagate() {
+                if self.decision_level() == 0 {
+                    return Some(false);
+                }
+                let (learned, backjump_level) = self.analyze(conflict);
+                self.backjump(backjump_level);
+                self.learn(learned);
+                self.activity_inc /= 0.95;
+                continue;
+            }
+            if self.cancel.is_cancelled() {
+                return None;
+            }
+            let Some(var) = self.pick_branch() else {
+                return Some(true);
+            };
+            if self.decisions >= self.budget {
+                return None;
+            }
+            self.decisions += 1;
+            self.trail_lim.push(self.trail.len());
+            self.enqueue(Lit::positive(var), NO_REASON);
         }
-        Some(false)
     }
 }
 
@@ -244,6 +465,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_three_into_two_is_unsat() {
         // Variables p[i][j]: pigeon i in hole j.
         let mut cnf = Cnf::new();
@@ -266,6 +488,52 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn larger_pigeonhole_is_solved_by_learning() {
+        // 7 pigeons into 6 holes: hopeless for chronological DPLL within a
+        // small budget, quick with clause learning + backjumping.
+        let (pigeons, holes) = (7usize, 6usize);
+        let mut cnf = Cnf::new();
+        let p: Vec<Vec<usize>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| cnf.fresh_var()).collect())
+            .collect();
+        for row in &p {
+            cnf.add_clause(row.iter().map(|v| lit(*v, true)).collect());
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in i1 + 1..pigeons {
+                    cnf.add_clause(vec![lit(p[i1][j], false), lit(p[i2][j], false)]);
+                }
+            }
+        }
+        let (model, complete) = cnf.solve(200_000);
+        assert!(complete, "learning should settle PHP(7,6) in budget");
+        assert!(model.is_none());
+    }
+
+    #[test]
+    fn xor_chain_models_are_consistent() {
+        // x0 ^ x1 ^ x2 = 1 encoded as 4 clauses; every returned model must
+        // satisfy the parity.
+        let mut cnf = Cnf::new();
+        let x: Vec<usize> = (0..3).map(|_| cnf.fresh_var()).collect();
+        for bits in 0..8u32 {
+            let parity = bits.count_ones() % 2;
+            let clause: Vec<Lit> = (0..3).map(|i| lit(x[i], (bits >> i) & 1 == 0)).collect();
+            if parity == 0 {
+                // Forbid even-parity assignments.
+                cnf.add_clause(clause);
+            }
+        }
+        let (model, complete) = cnf.solve(1_000);
+        assert!(complete);
+        let model = model.expect("odd parity is achievable");
+        let ones = x.iter().filter(|v| model[**v]).count();
+        assert_eq!(ones % 2, 1);
+    }
+
+    #[test]
     fn budget_exhaustion_is_reported() {
         let mut cnf = Cnf::new();
         let vars: Vec<usize> = (0..30).map(|_| cnf.fresh_var()).collect();
@@ -278,5 +546,18 @@ mod tests {
         let (_, complete) = cnf.solve(1);
         assert!(!complete);
         assert!(cnf.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn cancelled_solve_is_incomplete() {
+        let mut cnf = Cnf::new();
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(vec![lit(a, true), lit(b, true)]);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let (model, complete) = cnf.solve_cancellable(1_000, &cancel);
+        assert!(model.is_none());
+        assert!(!complete);
     }
 }

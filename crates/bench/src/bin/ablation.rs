@@ -12,13 +12,14 @@ use wlac_circuits::{paper_suite, Scale};
 use wlac_modsolve::{LinearSystem, Ring};
 
 fn options(bias: bool, arithmetic: bool, estg: bool) -> CheckerOptions {
-    let mut o = CheckerOptions::default();
-    o.max_frames = 6;
-    o.time_limit = Duration::from_secs(20);
-    o.use_bias_ordering = bias;
-    o.use_arithmetic_solver = arithmetic;
-    o.use_estg = estg;
-    o
+    CheckerOptions {
+        max_frames: 6,
+        time_limit: Duration::from_secs(20),
+        use_bias_ordering: bias,
+        use_arithmetic_solver: arithmetic,
+        use_estg: estg,
+        ..CheckerOptions::default()
+    }
 }
 
 fn main() {
@@ -38,8 +39,8 @@ fn main() {
     for (name, bias, arithmetic, estg) in configurations {
         for idx in selected {
             let case = &suite[idx];
-            let report = AssertionChecker::new(options(bias, arithmetic, estg))
-                .check(&case.verification);
+            let report =
+                AssertionChecker::new(options(bias, arithmetic, estg)).check(&case.verification);
             println!(
                 "{:<28} {:>4} {:>9.2} {:>9.2} {:>11} {:>11}",
                 name,

@@ -23,10 +23,11 @@ use wlac_circuits::BenchmarkCase;
 /// Options used by the harness when reproducing Table 2: a bounded number of
 /// frames and a per-property time limit keep full-suite runs predictable.
 pub fn harness_options() -> CheckerOptions {
-    let mut options = CheckerOptions::default();
-    options.max_frames = 8;
-    options.time_limit = Duration::from_secs(30);
-    options
+    CheckerOptions {
+        max_frames: 8,
+        time_limit: Duration::from_secs(30),
+        ..CheckerOptions::default()
+    }
 }
 
 /// Checks one benchmark case with the harness options.

@@ -141,9 +141,7 @@ fn known_prefix(a: &Bv3) -> usize {
 
 /// Number of consecutive known-zero bits starting at the LSB.
 fn known_trailing_zeros(a: &Bv3) -> usize {
-    (0..a.width())
-        .take_while(|i| a.bit(*i) == Tv::Zero)
-        .count()
+    (0..a.width()).take_while(|i| a.bit(*i) == Tv::Zero).count()
 }
 
 /// Three-valued logical shift left by a concrete amount.
@@ -314,7 +312,10 @@ mod tests {
     #[test]
     fn sub_concrete_matches_modular() {
         let (d, borrow) = sub3(&cube("4'b0011"), &cube("4'b0101"));
-        assert_eq!(d.to_bv().unwrap().to_u64(), Some((3u64.wrapping_sub(5)) & 0xf));
+        assert_eq!(
+            d.to_bv().unwrap().to_u64(),
+            Some((3u64.wrapping_sub(5)) & 0xf)
+        );
         assert_eq!(borrow, Tv::One);
     }
 
@@ -332,7 +333,10 @@ mod tests {
             mul3(&cube("4'b0100"), &cube("4'b0111")).to_string(),
             "4'b1100" // 4*7 = 28 ≡ 12 (mod 16)
         );
-        assert_eq!(mul3(&cube("4'b0000"), &cube("4'bxxxx")).to_string(), "4'b0000");
+        assert_eq!(
+            mul3(&cube("4'b0000"), &cube("4'bxxxx")).to_string(),
+            "4'b0000"
+        );
     }
 
     #[test]

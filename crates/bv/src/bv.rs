@@ -206,8 +206,7 @@ impl Bv {
             let mut carry = 0u128;
             for j in 0..n - i {
                 let idx = i + j;
-                let prod =
-                    self.words[i] as u128 * rhs.words[j] as u128 + acc[idx] as u128 + carry;
+                let prod = self.words[i] as u128 * rhs.words[j] as u128 + acc[idx] as u128 + carry;
                 acc[idx] = prod as u64;
                 carry = prod >> 64;
             }
@@ -453,9 +452,10 @@ impl FromStr for Bv {
                 }
             }
             'd' => {
-                let v: u64 = digits.replace('_', "").parse().map_err(|_| {
-                    ParseBvError::new(format!("invalid decimal digits in `{s}`"))
-                })?;
+                let v: u64 = digits
+                    .replace('_', "")
+                    .parse()
+                    .map_err(|_| ParseBvError::new(format!("invalid decimal digits in `{s}`")))?;
                 if width < 64 && v >= (1u64 << width) {
                     return Err(ParseBvError::new(format!(
                         "decimal literal `{s}` does not fit width {width}"
@@ -486,7 +486,9 @@ pub(crate) fn split_literal(s: &str) -> Result<(usize, char, &str), ParseBvError
             .ok_or_else(|| ParseBvError::new(format!("missing base in `{s}`")))?
             .to_ascii_lowercase();
         if !matches!(base, 'b' | 'h' | 'd') {
-            return Err(ParseBvError::new(format!("unsupported base `{base}` in `{s}`")));
+            return Err(ParseBvError::new(format!(
+                "unsupported base `{base}` in `{s}`"
+            )));
         }
         Ok((width, base, &rest[1..]))
     } else {

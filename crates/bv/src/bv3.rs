@@ -311,8 +311,7 @@ impl Bv3 {
         let mut out = Bv3::all_x(self.width);
         for i in 0..self.known.len() {
             let known_one = self.value[i] & other.value[i];
-            let known_zero =
-                (self.known[i] & !self.value[i]) | (other.known[i] & !other.value[i]);
+            let known_zero = (self.known[i] & !self.value[i]) | (other.known[i] & !other.value[i]);
             out.known[i] = known_one | known_zero;
             out.value[i] = known_one;
         }
@@ -326,8 +325,7 @@ impl Bv3 {
         let mut out = Bv3::all_x(self.width);
         for i in 0..self.known.len() {
             let known_one = self.value[i] | other.value[i];
-            let known_zero =
-                (self.known[i] & !self.value[i]) & (other.known[i] & !other.value[i]);
+            let known_zero = (self.known[i] & !self.value[i]) & (other.known[i] & !other.value[i]);
             out.known[i] = known_one | known_zero;
             out.value[i] = known_one;
         }
@@ -363,7 +361,11 @@ impl Bv3 {
     pub fn resize(&self, width: usize) -> Bv3 {
         let mut out = Bv3::all_x(width);
         for i in 0..width {
-            let t = if i < self.width { self.bit(i) } else { Tv::Zero };
+            let t = if i < self.width {
+                self.bit(i)
+            } else {
+                Tv::Zero
+            };
             out.set_bit(i, t);
         }
         out

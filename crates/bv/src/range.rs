@@ -99,8 +99,7 @@ pub fn refine_to_range(cube: &Bv3, lo: &Bv, hi: &Bv) -> Result<Bv3, EmptyRangeEr
         }
         let zero_branch = out.with_bit(i, Tv::Zero);
         let one_branch = out.with_bit(i, Tv::One);
-        let zero_ok =
-            intervals_overlap(&zero_branch.min_value(), &zero_branch.max_value(), lo, hi);
+        let zero_ok = intervals_overlap(&zero_branch.min_value(), &zero_branch.max_value(), lo, hi);
         let one_ok = intervals_overlap(&one_branch.min_value(), &one_branch.max_value(), lo, hi);
         match (zero_ok, one_ok) {
             (true, true) => break, // Rule 2: stop at the first ambiguous bit.

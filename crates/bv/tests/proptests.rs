@@ -4,19 +4,25 @@
 //! value consistent with input cubes must be consistent with the cube
 //! produced by a three-valued operation, and the modular arithmetic of [`Bv`]
 //! must agree with native wrapping arithmetic on narrow widths.
+//!
+//! The workspace builds offline, so instead of `proptest` these tests draw a
+//! fixed number of cases from a seeded [`wlac_rng::Rng64`]: fully
+//! deterministic and reproducible, with wide input coverage.
 
-use proptest::prelude::*;
 use wlac_bv::arith::{add3, eq3, gt3, lt3, mul3, sub3};
 use wlac_bv::range::{range_of, refine_to_range};
 use wlac_bv::{Bv, Bv3, Tv};
+use wlac_rng::Rng64;
 
-/// Strategy generating a width in 1..=12 together with a concrete value and a
-/// mask of bits to blank out into `x`.
-fn cube_with_member() -> impl Strategy<Value = (usize, u64, u64)> {
-    (1usize..=12).prop_flat_map(|w| {
-        let max = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
-        (Just(w), 0..=max, 0..=max)
-    })
+const CASES: usize = 1500;
+
+/// Draws a width in 1..=12 together with a concrete value and a mask of bits
+/// to blank out into `x` (the shape `proptest`'s `cube_with_member` strategy
+/// generated).
+fn draw_cube_params(rng: &mut Rng64) -> (usize, u64, u64) {
+    let w = rng.next_range(1, 12) as usize;
+    let max = (1u64 << w) - 1;
+    (w, rng.next_below(max + 1), rng.next_below(max + 1))
 }
 
 fn make_cube(width: usize, value: u64, x_mask: u64) -> (Bv3, Bv) {
@@ -30,78 +36,94 @@ fn make_cube(width: usize, value: u64, x_mask: u64) -> (Bv3, Bv) {
     (cube, concrete)
 }
 
-proptest! {
-    /// `Bv` addition/subtraction/multiplication agree with `u64` wrapping
-    /// arithmetic reduced modulo `2^width`.
-    #[test]
-    fn bv_matches_native_modular_arithmetic(w in 1usize..=16, a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+/// `Bv` addition/subtraction/multiplication agree with `u64` wrapping
+/// arithmetic reduced modulo `2^width`.
+#[test]
+fn bv_matches_native_modular_arithmetic() {
+    let mut rng = Rng64::seed_from_u64(0x1001);
+    for _ in 0..CASES {
+        let w = rng.next_range(1, 16) as usize;
         let modulus = 1u64 << w;
-        let a = a % modulus;
-        let b = b % modulus;
+        let a = rng.next_u64() % modulus;
+        let b = rng.next_u64() % modulus;
         let av = Bv::from_u64(w, a);
         let bv = Bv::from_u64(w, b);
-        prop_assert_eq!(av.add(&bv).to_u64(), Some((a + b) % modulus));
-        prop_assert_eq!(av.sub(&bv).to_u64(), Some(a.wrapping_sub(b) % modulus));
-        prop_assert_eq!(av.mul(&bv).to_u64(), Some((a.wrapping_mul(b)) % modulus));
-        prop_assert_eq!(av.and(&bv).to_u64(), Some(a & b));
-        prop_assert_eq!(av.or(&bv).to_u64(), Some(a | b));
-        prop_assert_eq!(av.xor(&bv).to_u64(), Some(a ^ b));
-        prop_assert_eq!(av.not().to_u64(), Some(!a % modulus));
+        assert_eq!(av.add(&bv).to_u64(), Some((a + b) % modulus));
+        assert_eq!(av.sub(&bv).to_u64(), Some(a.wrapping_sub(b) % modulus));
+        assert_eq!(av.mul(&bv).to_u64(), Some(a.wrapping_mul(b) % modulus));
+        assert_eq!(av.and(&bv).to_u64(), Some(a & b));
+        assert_eq!(av.or(&bv).to_u64(), Some(a | b));
+        assert_eq!(av.xor(&bv).to_u64(), Some(a ^ b));
+        assert_eq!(av.not().to_u64(), Some(!a % modulus));
     }
+}
 
-    /// Cube membership is preserved by three-valued addition, subtraction and
-    /// multiplication (abstraction soundness).
-    #[test]
-    fn three_valued_arith_is_sound((w, a, am) in cube_with_member(), b in 0u64..=4095, bm in 0u64..=4095) {
+/// Cube membership is preserved by three-valued addition, subtraction and
+/// multiplication (abstraction soundness).
+#[test]
+fn three_valued_arith_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0x1002);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
+        let (b, bm) = (rng.next_below(4096), rng.next_below(4096));
         let (ca, va) = make_cube(w, a, am);
         let (cb, vb) = make_cube(w, b, bm);
         let (sum, carry) = add3(&ca, &cb);
-        prop_assert!(sum.matches(&va.add(&vb)));
+        assert!(sum.matches(&va.add(&vb)));
         if carry.is_known() {
             let real = (va.to_u64().unwrap() + vb.to_u64().unwrap()) >> w != 0;
-            prop_assert_eq!(carry, Tv::from_bool(real));
+            assert_eq!(carry, Tv::from_bool(real));
         }
         let (diff, _) = sub3(&ca, &cb);
-        prop_assert!(diff.matches(&va.sub(&vb)));
+        assert!(diff.matches(&va.sub(&vb)));
         let prod = mul3(&ca, &cb);
-        prop_assert!(prod.matches(&va.mul(&vb)));
+        assert!(prod.matches(&va.mul(&vb)));
     }
+}
 
-    /// Three-valued comparisons never contradict the concrete comparison of a
-    /// member value pair.
-    #[test]
-    fn three_valued_compare_is_sound((w, a, am) in cube_with_member(), b in 0u64..=4095, bm in 0u64..=4095) {
+/// Three-valued comparisons never contradict the concrete comparison of a
+/// member value pair.
+#[test]
+fn three_valued_compare_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0x1003);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
+        let (b, bm) = (rng.next_below(4096), rng.next_below(4096));
         let (ca, va) = make_cube(w, a, am);
         let (cb, vb) = make_cube(w, b, bm);
         if let Some(known) = lt3(&ca, &cb).to_bool() {
-            prop_assert_eq!(known, va < vb);
+            assert_eq!(known, va < vb);
         }
         if let Some(known) = gt3(&ca, &cb).to_bool() {
-            prop_assert_eq!(known, va > vb);
+            assert_eq!(known, va > vb);
         }
         if let Some(known) = eq3(&ca, &cb).to_bool() {
-            prop_assert_eq!(known, va == vb);
+            assert_eq!(known, va == vb);
         }
     }
+}
 
-    /// Range refinement keeps every member of the cube that lies inside the
-    /// target interval, and never invents values outside the original cube.
-    #[test]
-    fn range_refinement_is_sound((w, a, am) in cube_with_member(), lo in 0u64..=4095, hi in 0u64..=4095) {
+/// Range refinement keeps every member of the cube that lies inside the
+/// target interval, and never invents values outside the original cube.
+#[test]
+fn range_refinement_is_sound() {
+    let mut rng = Rng64::seed_from_u64(0x1004);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
         let (cube, _) = make_cube(w, a, am);
         let modulus = 1u64 << w;
-        let lo = lo % modulus;
-        let hi = hi % modulus;
+        let lo = rng.next_below(4096) % modulus;
+        let hi = rng.next_below(4096) % modulus;
         let lo_bv = Bv::from_u64(w, lo.min(hi));
         let hi_bv = Bv::from_u64(w, lo.max(hi));
         match refine_to_range(&cube, &lo_bv, &hi_bv) {
             Ok(refined) => {
-                prop_assert!(cube.covers(&refined));
+                assert!(cube.covers(&refined));
                 for v in 0..modulus {
                     let bv = Bv::from_u64(w, v);
                     let in_interval = bv >= lo_bv && bv <= hi_bv;
                     if cube.matches(&bv) && in_interval {
-                        prop_assert!(refined.matches(&bv), "refinement dropped member {v}");
+                        assert!(refined.matches(&bv), "refinement dropped member {v}");
                     }
                 }
             }
@@ -110,24 +132,33 @@ proptest! {
                 for v in 0..modulus {
                     let bv = Bv::from_u64(w, v);
                     if cube.matches(&bv) {
-                        prop_assert!(!(bv >= lo_bv && bv <= hi_bv));
+                        assert!(!(bv >= lo_bv && bv <= hi_bv));
                     }
                 }
             }
         }
     }
+}
 
-    /// Min/max bounds really bound every member.
-    #[test]
-    fn range_of_bounds_members((w, a, am) in cube_with_member()) {
+/// Min/max bounds really bound every member.
+#[test]
+fn range_of_bounds_members() {
+    let mut rng = Rng64::seed_from_u64(0x1005);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
         let (cube, member) = make_cube(w, a, am);
         let (lo, hi) = range_of(&cube);
-        prop_assert!(lo <= member && member <= hi);
+        assert!(lo <= member && member <= hi);
     }
+}
 
-    /// Intersection is the exact set intersection on small widths.
-    #[test]
-    fn intersect_is_exact((w, a, am) in cube_with_member(), b in 0u64..=4095, bm in 0u64..=4095) {
+/// Intersection is the exact set intersection on small widths.
+#[test]
+fn intersect_is_exact() {
+    let mut rng = Rng64::seed_from_u64(0x1006);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
+        let (b, bm) = (rng.next_below(4096), rng.next_below(4096));
         let (ca, _) = make_cube(w, a, am);
         let (cb, _) = make_cube(w, b, bm);
         let inter = ca.intersect(&cb);
@@ -135,39 +166,57 @@ proptest! {
             let bv = Bv::from_u64(w, v);
             let both = ca.matches(&bv) && cb.matches(&bv);
             match &inter {
-                Some(c) => prop_assert_eq!(both, c.matches(&bv)),
-                None => prop_assert!(!both),
+                Some(c) => assert_eq!(both, c.matches(&bv)),
+                None => assert!(!both),
             }
         }
     }
+}
 
-    /// Union covers both operands.
-    #[test]
-    fn union_covers_operands((w, a, am) in cube_with_member(), b in 0u64..=4095, bm in 0u64..=4095) {
+/// Union covers both operands.
+#[test]
+fn union_covers_operands() {
+    let mut rng = Rng64::seed_from_u64(0x1007);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
+        let (b, bm) = (rng.next_below(4096), rng.next_below(4096));
         let (ca, _) = make_cube(w, a, am);
         let (cb, _) = make_cube(w, b, bm);
         let u = ca.union(&cb);
-        prop_assert!(u.covers(&ca));
-        prop_assert!(u.covers(&cb));
+        assert!(u.covers(&ca));
+        assert!(u.covers(&cb));
     }
+}
 
-    /// Parsing and displaying a cube round-trips.
-    #[test]
-    fn display_parse_roundtrip((w, a, am) in cube_with_member()) {
+/// Parsing and displaying a cube round-trips.
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x1008);
+    for _ in 0..CASES {
+        let (w, a, am) = draw_cube_params(&mut rng);
         let (cube, _) = make_cube(w, a, am);
         let text = cube.to_string();
         let back: Bv3 = text.parse().unwrap();
-        prop_assert_eq!(cube, back);
+        assert_eq!(cube, back);
     }
+}
 
-    /// Shift-left then shift-right by the same amount preserves the low bits.
-    #[test]
-    fn bv_shift_roundtrip(w in 2usize..=128, v in 0u64..=u64::MAX, s in 0usize..=16) {
-        let s = s % w;
+/// Shift-left then shift-right by the same amount preserves the low bits.
+#[test]
+fn bv_shift_roundtrip() {
+    let mut rng = Rng64::seed_from_u64(0x1009);
+    for _ in 0..CASES {
+        let w = rng.next_range(2, 128) as usize;
+        let v = rng.next_u64();
+        let s = (rng.next_below(17) as usize) % w;
         let bv = Bv::from_u64(w, v);
         let rt = bv.shl(s).shr(s);
         // The round trip clears the top `s` bits.
-        let mask = if w - s >= 64 { u64::MAX } else { (1u64 << (w - s)) - 1 };
-        prop_assert_eq!(rt.to_u64().map(|x| x & mask), bv.to_u64().map(|x| x & mask));
+        let mask = if w - s >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << (w - s)) - 1
+        };
+        assert_eq!(rt.to_u64().map(|x| x & mask), bv.to_u64().map(|x| x & mask));
     }
 }

@@ -148,15 +148,18 @@ mod tests {
     #[test]
     fn p2_holds_on_small_configuration() {
         let decoder = AddrDecoder::new(AddrDecoderConfig::small());
-        let report = AssertionChecker::with_defaults().check(&decoder.p2_selects_mutually_exclusive());
+        let report =
+            AssertionChecker::with_defaults().check(&decoder.p2_selects_mutually_exclusive());
         assert!(report.result.is_pass(), "got {:?}", report.result);
     }
 
     #[test]
     fn p1_witness_found_on_small_configuration() {
         let decoder = AddrDecoder::new(AddrDecoderConfig::small());
-        let mut options = CheckerOptions::default();
-        options.max_frames = 4;
+        let options = CheckerOptions {
+            max_frames: 4,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&decoder.p1_cell_writable());
         assert!(
             matches!(report.result, CheckResult::WitnessFound { .. }),

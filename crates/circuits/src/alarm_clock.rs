@@ -213,9 +213,12 @@ mod tests {
         // 11 hour increments: 12 -> 1 -> 2 ... -> 11.
         for _ in 0..11 {
             frames.push(
-                [(set_time, Bv::from_u64(1, 1)), (inc_hour, Bv::from_u64(1, 1))]
-                    .into_iter()
-                    .collect(),
+                [
+                    (set_time, Bv::from_u64(1, 1)),
+                    (inc_hour, Bv::from_u64(1, 1)),
+                ]
+                .into_iter()
+                .collect(),
             );
         }
         // 59 minute increments.
@@ -259,8 +262,10 @@ mod tests {
     #[test]
     fn p8_witness_reaches_two() {
         let clock = AlarmClock::new();
-        let mut options = CheckerOptions::default();
-        options.max_frames = 6;
+        let options = CheckerOptions {
+            max_frames: 6,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&clock.p8_hour_reaches_two());
         match report.result {
             CheckResult::WitnessFound { trace } => assert!(trace.len() >= 2),
@@ -271,8 +276,10 @@ mod tests {
     #[test]
     fn p7_rollover_holds() {
         let clock = AlarmClock::new();
-        let mut options = CheckerOptions::default();
-        options.max_frames = 4;
+        let options = CheckerOptions {
+            max_frames: 4,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&clock.p7_rollover_to_twelve());
         assert!(report.result.is_pass(), "got {:?}", report.result);
     }

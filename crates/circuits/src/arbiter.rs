@@ -146,8 +146,10 @@ mod tests {
     #[test]
     fn p6_lowest_priority_witness() {
         let arbiter = Arbiter::new(ArbiterConfig::small());
-        let mut options = CheckerOptions::default();
-        options.max_frames = 4;
+        let options = CheckerOptions {
+            max_frames: 4,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&arbiter.p6_lowest_priority_served());
         match report.result {
             CheckResult::WitnessFound { trace } => {

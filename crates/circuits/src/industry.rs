@@ -304,16 +304,16 @@ mod tests {
     use wlac_atpg::{AssertionChecker, CheckerOptions};
 
     fn options(frames: usize) -> CheckerOptions {
-        let mut o = CheckerOptions::default();
-        o.max_frames = frames;
-        o
+        CheckerOptions {
+            max_frames: frames,
+            ..CheckerOptions::default()
+        }
     }
 
     #[test]
     fn industry01_one_hot_states_hold() {
         let design = Industry01::new(3);
-        let report =
-            AssertionChecker::new(options(4)).check(&design.p10_dont_cares_unreachable());
+        let report = AssertionChecker::new(options(4)).check(&design.p10_dont_cares_unreachable());
         assert!(report.result.is_pass(), "got {:?}", report.result);
     }
 
@@ -345,8 +345,7 @@ mod tests {
     #[test]
     fn industry05_dont_cares_unreachable() {
         let design = Industry05::new();
-        let report =
-            AssertionChecker::new(options(6)).check(&design.p14_dont_cares_unreachable());
+        let report = AssertionChecker::new(options(6)).check(&design.p14_dont_cares_unreachable());
         assert!(report.result.is_pass(), "got {:?}", report.result);
         let stats = design.netlist.stats();
         assert_eq!(stats.flip_flop_bits, 7);

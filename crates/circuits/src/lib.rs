@@ -35,6 +35,8 @@ pub mod token_ring;
 pub use addr_decoder::{AddrDecoder, AddrDecoderConfig};
 pub use alarm_clock::AlarmClock;
 pub use arbiter::{Arbiter, ArbiterConfig};
-pub use industry::{industry_02, industry_03, industry_04, BusFabric, BusFabricConfig, Industry01, Industry05};
+pub use industry::{
+    industry_02, industry_03, industry_04, BusFabric, BusFabricConfig, Industry01, Industry05,
+};
 pub use suite::{circuit_statistics, paper_suite, paper_table1, BenchmarkCase, Expectation, Scale};
 pub use token_ring::{TokenRing, TokenRingConfig};

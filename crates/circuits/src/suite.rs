@@ -96,20 +96,118 @@ pub fn paper_suite(scale: Scale) -> Vec<BenchmarkCase> {
     let ind04 = industry_04(d04);
     let ind05 = Industry05::new();
     vec![
-        case("addr_decoder", "p1", decoder.p1_cell_writable(), Expectation::Witness, 0.08, 0.01),
-        case("addr_decoder", "p2", decoder.p2_selects_mutually_exclusive(), Expectation::Pass, 0.09, 0.01),
-        case("token_ring", "p3", ring.p3_grants_one_hot(), Expectation::Pass, 1.88, 1.57),
-        case("token_ring", "p4", ring.p4_client_eventually_granted(), Expectation::Witness, 1.45, 1.53),
-        case("arbiter", "p5", arbiter.p5_grants_one_hot(), Expectation::Pass, 0.14, 0.12),
-        case("arbiter", "p6", arbiter.p6_lowest_priority_served(), Expectation::Witness, 0.59, 0.20),
-        case("alarm_clock", "p7", clock.p7_rollover_to_twelve(), Expectation::Pass, 0.36, 0.88),
-        case("alarm_clock", "p8", clock.p8_hour_reaches_two(), Expectation::Witness, 1.31, 2.74),
-        case("alarm_clock", "p9", clock.p9_hour_never_thirteen(), Expectation::Pass, 137.05, 9.76),
-        case("industry_01", "p10", ind01.p10_dont_cares_unreachable(), Expectation::Pass, 14.79, 54.66),
-        case("industry_02", "p11", ind02.contention_free("p11"), Expectation::Pass, 20.37, 17.89),
-        case("industry_03", "p12", ind03.contention_free("p12"), Expectation::Pass, 1.25, 2.85),
-        case("industry_04", "p13", ind04.contention_free("p13"), Expectation::Pass, 0.40, 1.59),
-        case("industry_05", "p14", ind05.p14_dont_cares_unreachable(), Expectation::Pass, 0.03, 0.02),
+        case(
+            "addr_decoder",
+            "p1",
+            decoder.p1_cell_writable(),
+            Expectation::Witness,
+            0.08,
+            0.01,
+        ),
+        case(
+            "addr_decoder",
+            "p2",
+            decoder.p2_selects_mutually_exclusive(),
+            Expectation::Pass,
+            0.09,
+            0.01,
+        ),
+        case(
+            "token_ring",
+            "p3",
+            ring.p3_grants_one_hot(),
+            Expectation::Pass,
+            1.88,
+            1.57,
+        ),
+        case(
+            "token_ring",
+            "p4",
+            ring.p4_client_eventually_granted(),
+            Expectation::Witness,
+            1.45,
+            1.53,
+        ),
+        case(
+            "arbiter",
+            "p5",
+            arbiter.p5_grants_one_hot(),
+            Expectation::Pass,
+            0.14,
+            0.12,
+        ),
+        case(
+            "arbiter",
+            "p6",
+            arbiter.p6_lowest_priority_served(),
+            Expectation::Witness,
+            0.59,
+            0.20,
+        ),
+        case(
+            "alarm_clock",
+            "p7",
+            clock.p7_rollover_to_twelve(),
+            Expectation::Pass,
+            0.36,
+            0.88,
+        ),
+        case(
+            "alarm_clock",
+            "p8",
+            clock.p8_hour_reaches_two(),
+            Expectation::Witness,
+            1.31,
+            2.74,
+        ),
+        case(
+            "alarm_clock",
+            "p9",
+            clock.p9_hour_never_thirteen(),
+            Expectation::Pass,
+            137.05,
+            9.76,
+        ),
+        case(
+            "industry_01",
+            "p10",
+            ind01.p10_dont_cares_unreachable(),
+            Expectation::Pass,
+            14.79,
+            54.66,
+        ),
+        case(
+            "industry_02",
+            "p11",
+            ind02.contention_free("p11"),
+            Expectation::Pass,
+            20.37,
+            17.89,
+        ),
+        case(
+            "industry_03",
+            "p12",
+            ind03.contention_free("p12"),
+            Expectation::Pass,
+            1.25,
+            2.85,
+        ),
+        case(
+            "industry_04",
+            "p13",
+            ind04.contention_free("p13"),
+            Expectation::Pass,
+            0.40,
+            1.59,
+        ),
+        case(
+            "industry_05",
+            "p14",
+            ind05.p14_dont_cares_unreachable(),
+            Expectation::Pass,
+            0.03,
+            0.02,
+        ),
     ]
 }
 
@@ -166,7 +264,10 @@ mod tests {
         for (i, case) in suite.iter().enumerate() {
             assert_eq!(case.property, format!("p{}", i + 1));
         }
-        let passes = suite.iter().filter(|c| c.expectation == Expectation::Pass).count();
+        let passes = suite
+            .iter()
+            .filter(|c| c.expectation == Expectation::Pass)
+            .count();
         assert_eq!(passes, 10);
     }
 
@@ -182,8 +283,14 @@ mod tests {
 
     #[test]
     fn paper_scale_statistics_are_larger() {
-        let small: usize = circuit_statistics(Scale::Small).iter().map(|s| s.gates).sum();
-        let paper: usize = circuit_statistics(Scale::Paper).iter().map(|s| s.gates).sum();
+        let small: usize = circuit_statistics(Scale::Small)
+            .iter()
+            .map(|s| s.gates)
+            .sum();
+        let paper: usize = circuit_statistics(Scale::Paper)
+            .iter()
+            .map(|s| s.gates)
+            .sum();
         assert!(paper > small);
     }
 }

@@ -80,10 +80,10 @@ impl TokenRing {
         }
         let mut requests = Vec::with_capacity(n);
         let mut grants = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, token_bit) in token_bits.iter().enumerate().take(n) {
             let req = nl.input(format!("req{i}"), 1);
             let data_in = nl.input(format!("data{i}"), config.data_width);
-            let grant = nl.and2(token_bits[i], req);
+            let grant = nl.and2(*token_bit, req);
             nl.mark_output(format!("grant{i}"), grant);
             // Private data register captured while granted.
             let (q, ff) = nl.dff_deferred(config.data_width, Some(Bv::zero(config.data_width)));
@@ -138,8 +138,10 @@ mod tests {
     #[test]
     fn p3_one_hot_grants_hold() {
         let ring = TokenRing::new(TokenRingConfig::small());
-        let mut options = CheckerOptions::default();
-        options.max_frames = 6;
+        let options = CheckerOptions {
+            max_frames: 6,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&ring.p3_grants_one_hot());
         assert!(report.result.is_pass(), "got {:?}", report.result);
     }
@@ -147,8 +149,10 @@ mod tests {
     #[test]
     fn p4_last_client_granted_after_full_rotation() {
         let ring = TokenRing::new(TokenRingConfig::small());
-        let mut options = CheckerOptions::default();
-        options.max_frames = 8;
+        let options = CheckerOptions {
+            max_frames: 8,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&ring.p4_client_eventually_granted());
         match report.result {
             CheckResult::WitnessFound { trace } => {

@@ -134,6 +134,11 @@ impl AssertionChecker {
         stats: &mut CheckStats,
     ) -> CheckResult {
         for frames in 1..=self.options.max_frames {
+            if self.options.cancel.is_cancelled() {
+                return CheckResult::Unknown {
+                    reason: "cancelled".into(),
+                };
+            }
             stats.frames_explored = frames;
             let (outcome, unrolling) = self.solve_bound(
                 verification,
@@ -148,10 +153,9 @@ impl AssertionChecker {
             match outcome {
                 SearchOutcome::Sat(values) => {
                     let trace = self.extract_trace(verification, &unrolling, &values);
-                    return match trace.replay_monitor(
-                        &verification.netlist,
-                        verification.property.monitor,
-                    ) {
+                    return match trace
+                        .replay_monitor(&verification.netlist, verification.property.monitor)
+                    {
                         Ok(monitor) if monitor.last() == Some(&false) => {
                             CheckResult::CounterExample { trace }
                         }
@@ -200,6 +204,11 @@ impl AssertionChecker {
         stats: &mut CheckStats,
     ) -> CheckResult {
         for frames in 1..=self.options.max_frames {
+            if self.options.cancel.is_cancelled() {
+                return CheckResult::Unknown {
+                    reason: "cancelled".into(),
+                };
+            }
             stats.frames_explored = frames;
             let (outcome, unrolling) = self.solve_bound(
                 verification,
@@ -214,10 +223,9 @@ impl AssertionChecker {
             match outcome {
                 SearchOutcome::Sat(values) => {
                     let trace = self.extract_trace(verification, &unrolling, &values);
-                    return match trace.replay_monitor(
-                        &verification.netlist,
-                        verification.property.monitor,
-                    ) {
+                    return match trace
+                        .replay_monitor(&verification.netlist, verification.property.monitor)
+                    {
                         Ok(monitor) if monitor.last() == Some(&true) => {
                             CheckResult::WitnessFound { trace }
                         }
@@ -295,14 +303,8 @@ impl AssertionChecker {
             target,
         ));
 
-        let mut engine = SearchEngine::new(
-            expanded,
-            &self.options,
-            goal,
-            requirements,
-            estg,
-            deadline,
-        );
+        let mut engine =
+            SearchEngine::new(expanded, &self.options, goal, requirements, estg, deadline);
         let outcome = engine.run(stats);
         (outcome, unrolling)
     }
@@ -377,8 +379,10 @@ mod tests {
         let (nl, ok) = bounded_counter(9, 5);
         let property = Property::always(&nl, "counter_below_9", ok);
         let verification = Verification::new(nl, property);
-        let mut options = CheckerOptions::default();
-        options.max_frames = 10;
+        let options = CheckerOptions {
+            max_frames: 10,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&verification);
         assert!(report.result.is_pass(), "got {:?}", report.result);
         assert!(report.stats.cpu_seconds() >= 0.0);
@@ -390,12 +394,18 @@ mod tests {
         let (nl, ok) = bounded_counter(5, 12);
         let property = Property::always(&nl, "counter_below_5", ok);
         let verification = Verification::new(nl, property);
-        let mut options = CheckerOptions::default();
-        options.max_frames = 10;
+        let options = CheckerOptions {
+            max_frames: 10,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&verification);
         match report.result {
             CheckResult::CounterExample { trace } => {
-                assert!(trace.len() >= 5, "needs at least 5 cycles, got {}", trace.len());
+                assert!(
+                    trace.len() >= 5,
+                    "needs at least 5 cycles, got {}",
+                    trace.len()
+                );
             }
             other => panic!("expected counter-example, got {other:?}"),
         }
@@ -432,8 +442,10 @@ mod tests {
         let reaches = monitor::reaches_value(&mut nl, q, &Bv::from_u64(4, 3));
         let property = Property::eventually(&nl, "reach_3", reaches);
         let verification = Verification::new(nl, property);
-        let mut options = CheckerOptions::default();
-        options.max_frames = 8;
+        let options = CheckerOptions {
+            max_frames: 8,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&verification);
         match report.result {
             CheckResult::WitnessFound { trace } => assert_eq!(trace.len(), 4),
@@ -452,13 +464,12 @@ mod tests {
         let reaches = monitor::reaches_value(&mut nl, q, &Bv::from_u64(4, 9));
         let property = Property::eventually(&nl, "reach_9", reaches);
         let verification = Verification::new(nl, property);
-        let mut options = CheckerOptions::default();
-        options.max_frames = 10;
+        let options = CheckerOptions {
+            max_frames: 10,
+            ..CheckerOptions::default()
+        };
         let report = AssertionChecker::new(options).check(&verification);
-        assert_eq!(
-            report.result,
-            CheckResult::WitnessNotFound { frames: 10 }
-        );
+        assert_eq!(report.result, CheckResult::WitnessNotFound { frames: 10 });
     }
 
     #[test]
@@ -477,10 +488,12 @@ mod tests {
         nl.mark_output("ok", ok);
 
         let property = Property::always(&nl, "q_zero", ok);
-        let with_env = Verification::new(nl.clone(), property.clone())
-            .with_environment(input_is_zero);
-        let mut options = CheckerOptions::default();
-        options.max_frames = 4;
+        let with_env =
+            Verification::new(nl.clone(), property.clone()).with_environment(input_is_zero);
+        let options = CheckerOptions {
+            max_frames: 4,
+            ..CheckerOptions::default()
+        };
         let checker = AssertionChecker::new(options);
         assert!(checker.check(&with_env).result.is_pass());
 

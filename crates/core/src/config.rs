@@ -1,6 +1,46 @@
-//! Checker configuration.
+//! Checker configuration and cooperative cancellation.
 
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A cooperative cancellation token shared between a checker run and its
+/// supervisor (e.g. the portfolio engine racing several strategies).
+///
+/// Cloning a token yields a handle to the **same** flag: cancelling any clone
+/// cancels them all. The search loops poll [`CancelToken::is_cancelled`] and
+/// abort with an `Unknown`/inconclusive outcome, so a race supervisor can
+/// stop losing engines as soon as a winner produces a definitive answer.
+#[derive(Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
 
 /// Options controlling the word-level ATPG search and the arithmetic solver.
 ///
@@ -8,7 +48,7 @@ use std::time::Duration;
 /// bias-ordered decisions, the extended-state-transition-graph heuristic for
 /// decision ordering, the modular arithmetic solver enabled, and induction
 /// attempted before bounded search.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CheckerOptions {
     /// Maximum number of time-frames explored for bounded checks.
     pub max_frames: usize,
@@ -38,7 +78,46 @@ pub struct CheckerOptions {
     pub solution_samples: usize,
     /// Candidate enumeration budget for nonlinear (multiplier) constraints.
     pub nonlinear_enumeration_limit: usize,
+    /// Cooperative cancellation token polled by the search loop. Ignored by
+    /// equality comparisons: two configurations with different tokens are
+    /// still "the same configuration".
+    pub cancel: CancelToken,
 }
+
+// `cancel` is runtime wiring, not configuration: comparisons ignore it.
+// The exhaustive destructuring (no `..`) makes adding a field without
+// deciding its equality role a compile error.
+impl PartialEq for CheckerOptions {
+    fn eq(&self, other: &Self) -> bool {
+        let CheckerOptions {
+            max_frames,
+            backtrack_limit,
+            decision_limit,
+            candidate_limit,
+            time_limit,
+            use_induction,
+            use_bias_ordering,
+            use_estg,
+            use_arithmetic_solver,
+            solution_samples,
+            nonlinear_enumeration_limit,
+            cancel: _,
+        } = self;
+        *max_frames == other.max_frames
+            && *backtrack_limit == other.backtrack_limit
+            && *decision_limit == other.decision_limit
+            && *candidate_limit == other.candidate_limit
+            && *time_limit == other.time_limit
+            && *use_induction == other.use_induction
+            && *use_bias_ordering == other.use_bias_ordering
+            && *use_estg == other.use_estg
+            && *use_arithmetic_solver == other.use_arithmetic_solver
+            && *solution_samples == other.solution_samples
+            && *nonlinear_enumeration_limit == other.nonlinear_enumeration_limit
+    }
+}
+
+impl Eq for CheckerOptions {}
 
 impl CheckerOptions {
     /// Creates the default configuration.
@@ -55,6 +134,7 @@ impl CheckerOptions {
             use_arithmetic_solver: true,
             solution_samples: 16,
             nonlinear_enumeration_limit: 256,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -63,6 +143,13 @@ impl CheckerOptions {
     /// likely-to-exist objectives).
     pub fn for_witness(mut self) -> Self {
         self.use_induction = false;
+        self
+    }
+
+    /// Replaces the cancellation token, wiring this configuration into an
+    /// externally controlled race or batch run.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -91,5 +178,25 @@ mod tests {
     fn witness_configuration_disables_induction() {
         let opts = CheckerOptions::new().for_witness();
         assert!(!opts.use_induction);
+    }
+
+    #[test]
+    fn cancel_tokens_are_shared_between_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(format!("{token:?}").contains("true"));
+    }
+
+    #[test]
+    fn cancel_token_does_not_affect_option_equality() {
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let a = CheckerOptions::new().with_cancel(cancelled);
+        let b = CheckerOptions::new();
+        assert_eq!(a, b);
+        assert!(a.cancel.is_cancelled());
     }
 }

@@ -142,7 +142,8 @@ fn build_islands(netlist: &Netlist, unjustified: &[GateId]) -> Vec<Island> {
     for seed in unjustified {
         let seed_gate = netlist.gate(*seed);
         let width = netlist.net_width(seed_gate.output);
-        if !is_island_gate(&seed_gate.kind) || width > 64 || width < 2 || assigned.contains(seed) {
+        if !is_island_gate(&seed_gate.kind) || !(2..=64).contains(&width) || assigned.contains(seed)
+        {
             continue;
         }
         let mut gates = Vec::new();
@@ -227,7 +228,11 @@ fn solve_island(
                 }
             }
             GateKind::Mul => {
-                system.add_product(var(&gate.inputs[0]), var(&gate.inputs[1]), var(&gate.output));
+                system.add_product(
+                    var(&gate.inputs[0]),
+                    var(&gate.inputs[1]),
+                    var(&gate.output),
+                );
             }
             _ => {}
         }
@@ -252,7 +257,11 @@ fn solve_island(
                 }
             }
             let shift = (island.width - known_low) as u32;
-            let factor = if shift >= 64 { 0 } else { ring.reduce(1u64 << shift) };
+            let factor = if shift >= 64 {
+                0
+            } else {
+                ring.reduce(1u64 << shift)
+            };
             if factor != 0 {
                 let mut coeffs = vec![0u64; island.nets.len()];
                 coeffs[index[net]] = factor;
@@ -316,8 +325,11 @@ pub(crate) fn concretize_and_check(
             .collect();
         for gate_id in &order {
             let gate = netlist.gate(*gate_id);
-            let inputs: Vec<Bv> =
-                gate.inputs.iter().map(|n| values[n.index()].clone()).collect();
+            let inputs: Vec<Bv> = gate
+                .inputs
+                .iter()
+                .map(|n| values[n.index()].clone())
+                .collect();
             let out_w = netlist.net_width(gate.output);
             values[gate.output.index()] = eval_gate(&gate.kind, &inputs, out_w);
         }

@@ -237,7 +237,10 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
                 if unknown.len() == 1 {
                     let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
                     let needed = target != (ones % 2 == 1);
-                    out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::from_bool(needed))));
+                    out.push((
+                        gate.inputs[0],
+                        v.with_bit(unknown[0], Tv::from_bool(needed)),
+                    ));
                 }
             }
         }
@@ -312,8 +315,16 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
                 let (min_a, max_a) = (a.min_value(), a.max_value());
                 let (min_b, max_b) = (b.min_value(), b.max_value());
                 // a <(=) b: a <= max_b (- 1 if strict), b >= min_a (+ 1 if strict).
-                let a_hi = if strict { saturating_dec(&max_b) } else { max_b.clone() };
-                let b_lo = if strict { saturating_inc(&min_a) } else { min_a.clone() };
+                let a_hi = if strict {
+                    saturating_dec(&max_b)
+                } else {
+                    max_b.clone()
+                };
+                let b_lo = if strict {
+                    saturating_inc(&min_a)
+                } else {
+                    min_a.clone()
+                };
                 let a_hi = if a_hi < max_a { a_hi } else { max_a };
                 let b_lo = if b_lo > min_b { b_lo } else { min_b };
                 match refine_to_range(&a, &min_a, &a_hi) {
@@ -507,7 +518,7 @@ mod tests {
         let mut prop = Propagator::new(netlist);
         let mut stats = ImplicationStats::default();
         for (net, value) in seeds {
-            asg.refine(*net, value).map_err(|c| c)?;
+            asg.refine(*net, value)?;
             prop.enqueue_net(netlist, *net);
         }
         prop.enqueue_all(netlist);
@@ -573,14 +584,7 @@ mod tests {
         let e = nl.input("e", 4);
         let y = nl.mux(sel, t, e);
         // Output 5 is incompatible with the then-input forced to 0, so sel = 0.
-        let asg = settle(
-            &nl,
-            &[
-                (t, cube("4'b0000")),
-                (y, cube("4'b0101")),
-            ],
-        )
-        .unwrap();
+        let asg = settle(&nl, &[(t, cube("4'b0000")), (y, cube("4'b0101"))]).unwrap();
         assert_eq!(asg.value(sel).to_tv(), Tv::Zero);
         assert_eq!(asg.value(e), &cube("4'b0101"));
     }

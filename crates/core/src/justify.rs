@@ -16,8 +16,8 @@ pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment) -> Vec<Gate
             continue;
         }
         let forward = forward_eval(netlist, gate, asg);
-        let unjustified = (0..required.width())
-            .any(|i| required.bit(i).is_known() && !forward.bit(i).is_known());
+        let unjustified =
+            (0..required.width()).any(|i| required.bit(i).is_known() && !forward.bit(i).is_known());
         if unjustified {
             out.push(id);
         }
@@ -36,9 +36,7 @@ fn is_decision_candidate(netlist: &Netlist, asg: &Assignment, net: NetId) -> boo
     }
     match netlist.driver(net) {
         None => true, // primary input or frame-0 state variable
-        Some(gate) => {
-            netlist.gate(gate).kind.is_comparator() || netlist.fanouts(net).len() > 1
-        }
+        Some(gate) => netlist.gate(gate).kind.is_comparator() || netlist.fanouts(net).len() > 1,
     }
 }
 
@@ -168,9 +166,23 @@ pub(crate) fn assignment_bias(p1: f64) -> (f64, bool) {
     const CAP: f64 = 1.0e9;
     if p1 >= 0.5 {
         let denom = 1.0 - p1;
-        (if denom <= 0.0 { CAP } else { (p1 / denom).min(CAP) }, true)
+        (
+            if denom <= 0.0 {
+                CAP
+            } else {
+                (p1 / denom).min(CAP)
+            },
+            true,
+        )
     } else {
-        (if p1 <= 0.0 { CAP } else { ((1.0 - p1) / p1).min(CAP) }, false)
+        (
+            if p1 <= 0.0 {
+                CAP
+            } else {
+                ((1.0 - p1) / p1).min(CAP)
+            },
+            false,
+        )
     }
 }
 

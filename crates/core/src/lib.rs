@@ -61,7 +61,7 @@ mod trace;
 pub mod property;
 
 pub use checker::{AssertionChecker, CheckReport, CheckResult};
-pub use config::CheckerOptions;
+pub use config::{CancelToken, CheckerOptions};
 pub use estg::Estg;
 pub use implication::ImplicationStats;
 pub use property::{Property, PropertyKind, Verification};

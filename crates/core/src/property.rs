@@ -118,7 +118,11 @@ pub mod monitor {
         assert!(!signals.is_empty(), "at_most_one_hot needs signals");
         let mut violation: Option<NetId> = None;
         for (i, a) in signals.iter().enumerate() {
-            assert_eq!(netlist.net_width(*a), 1, "one-hot signals must be single-bit");
+            assert_eq!(
+                netlist.net_width(*a),
+                1,
+                "one-hot signals must be single-bit"
+            );
             for b in signals.iter().skip(i + 1) {
                 let both = netlist.and2(*a, *b);
                 violation = Some(match violation {
@@ -175,16 +179,16 @@ pub mod monitor {
     ///
     /// Panics when `enables` and `data` differ in length, are empty, or an
     /// enable is not single-bit.
-    pub fn bus_contention_free(
-        netlist: &mut Netlist,
-        enables: &[NetId],
-        data: &[NetId],
-    ) -> NetId {
+    pub fn bus_contention_free(netlist: &mut Netlist, enables: &[NetId], data: &[NetId]) -> NetId {
         assert_eq!(enables.len(), data.len(), "one enable per data source");
         assert!(!enables.is_empty(), "bus needs at least one driver");
         let mut violation: Option<NetId> = None;
         for i in 0..enables.len() {
-            assert_eq!(netlist.net_width(enables[i]), 1, "enables must be single-bit");
+            assert_eq!(
+                netlist.net_width(enables[i]),
+                1,
+                "enables must be single-bit"
+            );
             for j in i + 1..enables.len() {
                 let both = netlist.and2(enables[i], enables[j]);
                 let differ = netlist.ne(data[i], data[j]);
@@ -317,8 +321,9 @@ mod tests {
         let imp = monitor::implies(&mut nl, a, b);
         nl.mark_output("imp", imp);
         for (av, bv, expect) in [(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 1)] {
-            let inputs: HashMap<_, _> =
-                [(a, Bv::from_u64(1, av)), (b, Bv::from_u64(1, bv))].into_iter().collect();
+            let inputs: HashMap<_, _> = [(a, Bv::from_u64(1, av)), (b, Bv::from_u64(1, bv))]
+                .into_iter()
+                .collect();
             let run = simulate(&nl, &[], &[inputs]).unwrap();
             assert_eq!(run.value(0, imp).to_u64(), Some(expect));
         }

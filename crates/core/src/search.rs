@@ -97,10 +97,14 @@ impl<'a> SearchEngine<'a> {
             }
         }
         propagator.enqueue_all(self.netlist);
-        if propagator
+        let implication_ok = propagator
             .run(self.netlist, &mut asg, &mut stats.implication)
-            .is_err()
-        {
+            .is_ok();
+        // Account for the expanded netlist + assignment even when the run is
+        // settled by this initial implication pass alone (e.g. an Unsat bound
+        // never reaches the datapath handoff below).
+        stats.peak_memory_bytes = stats.peak_memory_bytes.max(self.memory_estimate(&asg));
+        if !implication_ok {
             return SearchOutcome::Unsat;
         }
 
@@ -108,6 +112,9 @@ impl<'a> SearchEngine<'a> {
         let mut inconclusive: Option<String> = None;
 
         loop {
+            if self.options.cancel.is_cancelled() {
+                return SearchOutcome::Inconclusive("cancelled".into());
+            }
             if Instant::now() > self.deadline {
                 return SearchOutcome::Inconclusive("time limit exceeded".into());
             }
@@ -133,16 +140,9 @@ impl<'a> SearchEngine<'a> {
             if unjustified.is_empty() || candidates.is_empty() {
                 // Control constraints satisfied (or only datapath obligations
                 // remain): hand over to the arithmetic constraint solver.
-                stats.peak_memory_bytes = stats
-                    .peak_memory_bytes
-                    .max(self.memory_estimate(&asg));
-                match resolve_datapath(
-                    self.netlist,
-                    &asg,
-                    &self.requirements,
-                    self.options,
-                    stats,
-                ) {
+                stats.peak_memory_bytes = stats.peak_memory_bytes.max(self.memory_estimate(&asg));
+                match resolve_datapath(self.netlist, &asg, &self.requirements, self.options, stats)
+                {
                     DatapathOutcome::Consistent(values) => return SearchOutcome::Sat(values),
                     DatapathOutcome::Infeasible => {}
                     DatapathOutcome::Inconclusive => {
@@ -302,7 +302,8 @@ mod tests {
         let mut estg = Estg::new();
         let mut stats = CheckStats::default();
         let deadline = Instant::now() + Duration::from_secs(30);
-        let mut engine = SearchEngine::new(netlist, &options, goal, requirements, &mut estg, deadline);
+        let mut engine =
+            SearchEngine::new(netlist, &options, goal, requirements, &mut estg, deadline);
         engine.run(&mut stats)
     }
 
@@ -317,7 +318,8 @@ mod tests {
         let y = nl.or2(ab, c);
         match run(&nl, vec![(y, cube("1'b1"))], SearchGoal::Witness) {
             SearchOutcome::Sat(values) => {
-                let ab_v = values[a.index()].to_u64().unwrap() & values[b.index()].to_u64().unwrap();
+                let ab_v =
+                    values[a.index()].to_u64().unwrap() & values[b.index()].to_u64().unwrap();
                 let y_v = ab_v | values[c.index()].to_u64().unwrap();
                 assert_eq!(y_v, 1);
             }
@@ -332,7 +334,10 @@ mod tests {
         let a = nl.input("a", 1);
         let na = nl.not(a);
         let y = nl.and2(a, na);
-        assert_eq!(run(&nl, vec![(y, cube("1'b1"))], SearchGoal::Prove), SearchOutcome::Unsat);
+        assert_eq!(
+            run(&nl, vec![(y, cube("1'b1"))], SearchGoal::Prove),
+            SearchOutcome::Unsat
+        );
     }
 
     #[test]

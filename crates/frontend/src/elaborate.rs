@@ -129,9 +129,7 @@ impl<'a> Elaborator<'a> {
 
     fn declare_internal(&mut self, name: &str, width: usize, is_reg: bool) -> Signal {
         if is_reg {
-            let (q, ff) = self
-                .netlist
-                .dff_deferred(width, Some(Bv::zero(width)));
+            let (q, ff) = self.netlist.dff_deferred(width, Some(Bv::zero(width)));
             self.registers.insert(name.to_string(), ff);
             Signal {
                 net: q,
@@ -202,9 +200,9 @@ impl<'a> Elaborator<'a> {
                 Statement::NonBlocking { target, expr } => {
                     let signal = self.lookup(target)?;
                     if !signal.is_reg {
-                        return Err(self.error(format!(
-                            "non-blocking assignment to non-reg `{target}`"
-                        )));
+                        return Err(
+                            self.error(format!("non-blocking assignment to non-reg `{target}`"))
+                        );
                     }
                     let value = self.expr(expr)?;
                     let value = self.coerce(value, signal.width);
@@ -216,7 +214,7 @@ impl<'a> Elaborator<'a> {
                     else_body,
                 } => {
                     let cond = self.expr(condition)?;
-                    let cond = self.to_bool(cond);
+                    let cond = self.bool_net(cond);
                     let mut then_map = current.clone();
                     let mut else_map = current.clone();
                     self.apply_statements(then_body, &mut then_map)?;
@@ -247,7 +245,7 @@ impl<'a> Elaborator<'a> {
         }
     }
 
-    fn to_bool(&mut self, net: NetId) -> NetId {
+    fn bool_net(&mut self, net: NetId) -> NetId {
         if self.netlist.net_width(net) == 1 {
             net
         } else {
@@ -258,9 +256,9 @@ impl<'a> Elaborator<'a> {
     fn expr(&mut self, expr: &Expr) -> Result<NetId, FrontendError> {
         match expr {
             Expr::Identifier(name) => Ok(self.lookup(name)?.net),
-            Expr::Literal { width, value } => {
-                Ok(self.netlist.constant(&Bv::from_u64((*width).max(1), *value)))
-            }
+            Expr::Literal { width, value } => Ok(self
+                .netlist
+                .constant(&Bv::from_u64((*width).max(1), *value))),
             Expr::Select { name, high, low } => {
                 let signal = self.lookup(name)?;
                 if *high < *low || *high >= signal.width {
@@ -277,7 +275,9 @@ impl<'a> Elaborator<'a> {
                     nets.push(self.expr(part)?);
                 }
                 let mut iter = nets.into_iter();
-                let mut acc = iter.next().ok_or_else(|| self.error("empty concatenation"))?;
+                let mut acc = iter
+                    .next()
+                    .ok_or_else(|| self.error("empty concatenation"))?;
                 for low in iter {
                     acc = self.netlist.concat(acc, low);
                 }
@@ -288,7 +288,7 @@ impl<'a> Elaborator<'a> {
                 Ok(match op {
                     UnaryOp::Not => self.netlist.not(value),
                     UnaryOp::LogicalNot => {
-                        let b = self.to_bool(value);
+                        let b = self.bool_net(value);
                         self.netlist.not(b)
                     }
                     UnaryOp::ReduceAnd => self.netlist.reduce_and(value),
@@ -307,7 +307,7 @@ impl<'a> Elaborator<'a> {
                 else_value,
             } => {
                 let cond = self.expr(condition)?;
-                let cond = self.to_bool(cond);
+                let cond = self.bool_net(cond);
                 let t = self.expr(then_value)?;
                 let e = self.expr(else_value)?;
                 let width = self.netlist.net_width(t).max(self.netlist.net_width(e));
@@ -377,13 +377,13 @@ impl<'a> Elaborator<'a> {
             BinaryOp::Shl => self.netlist.shl(l, r),
             BinaryOp::Shr => self.netlist.shr(l, r),
             BinaryOp::LogicalAnd => {
-                let lb = self.to_bool(l);
-                let rb = self.to_bool(r);
+                let lb = self.bool_net(l);
+                let rb = self.bool_net(r);
                 self.netlist.and2(lb, rb)
             }
             BinaryOp::LogicalOr => {
-                let lb = self.to_bool(l);
-                let rb = self.to_bool(r);
+                let lb = self.bool_net(l);
+                let rb = self.bool_net(r);
                 self.netlist.or2(lb, rb)
             }
         })
@@ -411,8 +411,9 @@ mod tests {
         let b = nl.find_net("b").unwrap();
         let y = nl.find_net("y").unwrap();
         for (av, bv, expect) in [(9u64, 3u64, 6u64), (3, 9, 0), (200, 200, 0)] {
-            let inputs: Map<_, _> =
-                [(a, Bv::from_u64(8, av)), (b, Bv::from_u64(8, bv))].into_iter().collect();
+            let inputs: Map<_, _> = [(a, Bv::from_u64(8, av)), (b, Bv::from_u64(8, bv))]
+                .into_iter()
+                .collect();
             let run = simulate(&nl, &[], &[inputs]).unwrap();
             assert_eq!(run.value(0, y).to_u64(), Some(expect), "{av} - {bv}");
         }
@@ -442,7 +443,8 @@ mod tests {
         let zero = Bv::from_u64(1, 0);
         sim.step(&[(rst, zero.clone()), (en, one.clone())]).unwrap();
         sim.step(&[(rst, zero.clone()), (en, one.clone())]).unwrap();
-        sim.step(&[(rst, zero.clone()), (en, zero.clone())]).unwrap();
+        sim.step(&[(rst, zero.clone()), (en, zero.clone())])
+            .unwrap();
         assert_eq!(sim.net_value(q).to_u64(), Some(2));
         sim.step(&[(rst, one), (en, zero)]).unwrap();
         assert_eq!(sim.net_value(q).to_u64(), Some(0));
@@ -465,8 +467,9 @@ mod tests {
         let s = nl.find_net("s").unwrap();
         let y = nl.find_net("y").unwrap();
         let msb = nl.find_net("msb").unwrap();
-        let inputs: Map<_, _> =
-            [(a, Bv::from_u64(8, 0xa5)), (s, Bv::from_u64(3, 1))].into_iter().collect();
+        let inputs: Map<_, _> = [(a, Bv::from_u64(8, 0xa5)), (s, Bv::from_u64(3, 1))]
+            .into_iter()
+            .collect();
         let run = simulate(&nl, &[], &[inputs]).unwrap();
         let rotated = ((0xa5u64 << 1) | (0xa5 >> 4)) & 0xff;
         let expect = ((rotated & 0xf) << 4) | (0xa5 >> 4);
@@ -476,19 +479,15 @@ mod tests {
 
     #[test]
     fn undeclared_signal_is_an_error() {
-        let err = compile(
-            "module bad(input a, output y); assign y = a & missing; endmodule",
-        )
-        .unwrap_err();
+        let err = compile("module bad(input a, output y); assign y = a & missing; endmodule")
+            .unwrap_err();
         assert!(err.to_string().contains("undeclared"));
     }
 
     #[test]
     fn assign_to_reg_is_an_error() {
-        let err = compile(
-            "module bad(input clk, output reg q); assign q = 1'd1; endmodule",
-        )
-        .unwrap_err();
+        let err =
+            compile("module bad(input clk, output reg q); assign q = 1'd1; endmodule").unwrap_err();
         assert!(err.to_string().contains("always block"));
     }
 
@@ -515,8 +514,10 @@ mod tests {
         let ok = design.lt(cnt, five);
         let property = wlac_atpg::Property::always(&design, "cnt_below_5", ok);
         let verification = wlac_atpg::Verification::new(design, property);
-        let mut options = wlac_atpg::CheckerOptions::default();
-        options.max_frames = 5;
+        let options = wlac_atpg::CheckerOptions {
+            max_frames: 5,
+            ..wlac_atpg::CheckerOptions::default()
+        };
         let report = wlac_atpg::AssertionChecker::new(options).check(&verification);
         assert!(report.result.is_pass(), "got {:?}", report.result);
     }

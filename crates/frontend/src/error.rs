@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn display_with_and_without_line() {
-        assert_eq!(FrontendError::new("bad token", 3).to_string(), "line 3: bad token");
+        assert_eq!(
+            FrontendError::new("bad token", 3).to_string(),
+            "line 3: bad token"
+        );
         assert_eq!(FrontendError::new("no module", 0).to_string(), "no module");
         assert_eq!(FrontendError::new("x", 7).line(), 7);
     }

@@ -14,8 +14,19 @@ enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "posedge",
-    "begin", "end", "if", "else",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "posedge",
+    "begin",
+    "end",
+    "if",
+    "else",
 ];
 
 const SYMBOLS: &[&str] = &[
@@ -31,7 +42,11 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, pos: 0, line: 1 }
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> FrontendError {
@@ -46,7 +61,10 @@ impl<'a> Lexer<'a> {
         loop {
             let rest = self.rest();
             if rest.starts_with("//") {
-                let end = rest.find('\n').map(|i| self.pos + i).unwrap_or(self.src.len());
+                let end = rest
+                    .find('\n')
+                    .map(|i| self.pos + i)
+                    .unwrap_or(self.src.len());
                 self.pos = end;
             } else if rest.starts_with("/*") {
                 if let Some(end) = rest.find("*/") {
@@ -114,8 +132,7 @@ impl<'a> Lexer<'a> {
                     let end2 = rest2
                         .find(|ch: char| !(ch.is_ascii_alphanumeric() || ch == '_'))
                         .unwrap_or(rest2.len());
-                    let digits2: String =
-                        rest2[..end2].chars().filter(|c| *c != '_').collect();
+                    let digits2: String = rest2[..end2].chars().filter(|c| *c != '_').collect();
                     self.pos += end2;
                     let radix = match base {
                         'b' => 2,
@@ -262,7 +279,9 @@ impl Parser {
                 }
                 Some(Token::Keyword("assign")) => assigns.push(self.assign()?),
                 Some(Token::Keyword("always")) => always_blocks.push(self.always_block()?),
-                other => return Err(self.error(format!("unexpected token {other:?} in module body"))),
+                other => {
+                    return Err(self.error(format!("unexpected token {other:?} in module body")))
+                }
             }
         }
         Ok(Module {
@@ -609,9 +628,23 @@ mod tests {
         let module = parse_module(src).unwrap();
         // == binds weaker than + and *.
         match &module.assigns[0].expr {
-            Expr::Binary { op: BinaryOp::Eq, left, .. } => match left.as_ref() {
-                Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                    assert!(matches!(right.as_ref(), Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Eq,
+                left,
+                ..
+            } => match left.as_ref() {
+                Expr::Binary {
+                    op: BinaryOp::Add,
+                    right,
+                    ..
+                } => {
+                    assert!(matches!(
+                        right.as_ref(),
+                        Expr::Binary {
+                            op: BinaryOp::Mul,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("unexpected {other:?}"),
             },
@@ -631,7 +664,10 @@ mod tests {
         assert!(matches!(module.assigns[0].expr, Expr::Concat(_)));
         assert!(matches!(
             module.assigns[1].expr,
-            Expr::Unary { op: UnaryOp::ReduceOr, .. }
+            Expr::Unary {
+                op: UnaryOp::ReduceOr,
+                ..
+            }
         ));
     }
 

@@ -86,7 +86,7 @@ impl InverseSet {
             return true;
         }
         let diff = self.ring.sub(x, self.base);
-        diff % self.step == 0 && (diff / self.step) < self.count
+        diff.is_multiple_of(self.step) && (diff / self.step) < self.count
     }
 }
 
@@ -234,8 +234,7 @@ mod tests {
             let modulus = ring.modulus() as u64;
             for a in 0..modulus {
                 for k in 0..modulus {
-                    let brute: Vec<u64> =
-                        (0..modulus).filter(|x| ring.mul(a, *x) == k).collect();
+                    let brute: Vec<u64> = (0..modulus).filter(|x| ring.mul(a, *x) == k).collect();
                     match inverse_with_product(ring, a, k) {
                         None => assert!(brute.is_empty(), "w={width} a={a} k={k}"),
                         Some(set) => {

@@ -13,6 +13,9 @@
 //! substitution then produces the closed form; pivots with valuation `v > 0`
 //! contribute an extra degree of freedom `2^{n-v}·t` exactly as in Theorem 2.
 
+// Gaussian elimination reads clearest with explicit row/column indices.
+#![allow(clippy::needless_range_loop)]
+
 use crate::modint::Ring;
 use std::error::Error;
 use std::fmt;
@@ -492,9 +495,7 @@ mod tests {
                                 sys.add_equation(&[a10, a11], rhs1);
                                 let brute: Vec<Vec<u64>> = (0..modulus)
                                     .flat_map(|x| {
-                                        (0..modulus)
-                                            .map(move |y| vec![x, y])
-                                            .collect::<Vec<_>>()
+                                        (0..modulus).map(move |y| vec![x, y]).collect::<Vec<_>>()
                                     })
                                     .filter(|xy| sys.is_solution(xy))
                                     .collect();

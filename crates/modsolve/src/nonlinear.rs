@@ -252,10 +252,7 @@ fn pinned_value(linear: &LinearSystem, var: usize) -> Option<u64> {
     // independent of all free variables is the most robust way to detect a
     // pinned value.
     let sol = linear.solve().ok()?;
-    let fixed = sol
-        .null_matrix()
-        .iter()
-        .all(|column| column[var] == 0);
+    let fixed = sol.null_matrix().iter().all(|column| column[var] == 0);
     if fixed {
         Some(sol.particular()[var])
     } else {
@@ -344,7 +341,10 @@ mod tests {
         // Force a to a value the tiny enumeration will not try.
         sys.add_equation(&[1, 0, 0], 0x0100_0000);
         let out = sys.solve();
-        assert!(matches!(out, MixedOutcome::Unknown | MixedOutcome::Solution(_)));
+        assert!(matches!(
+            out,
+            MixedOutcome::Unknown | MixedOutcome::Solution(_)
+        ));
     }
 
     #[test]

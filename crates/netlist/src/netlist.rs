@@ -340,7 +340,11 @@ impl Netlist {
                 inputs.len() == 2 && w(inputs[0]) == out_w,
                 "shift gate expects [value, amount] with value of the output width".into(),
             ),
-            GateKind::Eq | GateKind::Ne | GateKind::Lt | GateKind::Le | GateKind::Gt
+            GateKind::Eq
+            | GateKind::Ne
+            | GateKind::Lt
+            | GateKind::Le
+            | GateKind::Gt
             | GateKind::Ge => expect(
                 inputs.len() == 2 && w(inputs[0]) == w(inputs[1]) && out_w == 1,
                 "comparator expects two equal-width inputs and a 1-bit output".into(),
@@ -729,11 +733,7 @@ impl Netlist {
                 }
             }
         }
-        let comb_total = self
-            .gates
-            .iter()
-            .filter(|g| !g.kind.is_flip_flop())
-            .count();
+        let comb_total = self.gates.iter().filter(|g| !g.kind.is_flip_flop()).count();
         if order.len() != comb_total {
             // Find a gate still blocked to report a cycle witness.
             let blocked = (0..self.gates.len())
@@ -767,11 +767,7 @@ impl Netlist {
         CircuitStats {
             name: self.name.clone(),
             lines: self.source_lines,
-            gates: self
-                .gates
-                .iter()
-                .filter(|g| !g.kind.is_flip_flop())
-                .count(),
+            gates: self.gates.iter().filter(|g| !g.kind.is_flip_flop()).count(),
             flip_flop_bits: self
                 .gates
                 .iter()
@@ -848,8 +844,7 @@ mod tests {
         let nl = demo();
         let order = nl.combinational_order().unwrap();
         assert_eq!(order.len(), 3);
-        let pos =
-            |id: GateId| order.iter().position(|g| *g == id).expect("gate in order");
+        let pos = |id: GateId| order.iter().position(|g| *g == id).expect("gate in order");
         // The comparator reads the adder output, so the adder must come first.
         let over = nl.outputs()[0].1;
         let cmp = nl.driver(over).unwrap();

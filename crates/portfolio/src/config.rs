@@ -1,0 +1,85 @@
+//! Portfolio configuration.
+
+use crate::engines::Engine;
+use std::num::NonZeroUsize;
+use std::time::Duration;
+use wlac_atpg::CheckerOptions;
+
+/// Configuration of a [`crate::Portfolio`].
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// The strategies to run, in spawn order. Defaults to all three.
+    pub engines: Vec<Engine>,
+    /// ATPG checker options; `max_frames` also bounds the BMC unrolling so
+    /// bounded verdicts from both engines talk about the same depth.
+    pub checker: CheckerOptions,
+    /// DPLL decision budget per BMC bound.
+    pub bmc_decision_budget: u64,
+    /// Random-simulation runs per property.
+    pub random_runs: usize,
+    /// Cycles per random-simulation run.
+    pub random_cycles: usize,
+    /// Seed of the random-simulation engine (reports are reproducible).
+    pub random_seed: u64,
+    /// Worker threads used by [`crate::Portfolio::check_batch`].
+    pub workers: usize,
+    /// When `true`, batch checks run every engine to completion and
+    /// cross-validate all verdicts instead of racing to the first one.
+    pub cross_validate: bool,
+}
+
+impl PortfolioConfig {
+    /// Defaults: all three engines, 8 frames, 30 s per property per engine,
+    /// and one batch worker per available CPU.
+    pub fn new() -> Self {
+        let checker = CheckerOptions {
+            max_frames: 8,
+            time_limit: Duration::from_secs(30),
+            ..CheckerOptions::default()
+        };
+        PortfolioConfig {
+            engines: vec![Engine::Atpg, Engine::SatBmc, Engine::RandomSim],
+            checker,
+            bmc_decision_budget: 500_000,
+            random_runs: 16,
+            random_cycles: 64,
+            random_seed: 0xDAC2000,
+            workers: std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4),
+            cross_validate: false,
+        }
+    }
+
+    /// Replaces the engine list.
+    pub fn with_engines(mut self, engines: Vec<Engine>) -> Self {
+        self.engines = engines;
+        self
+    }
+
+    /// Enables cross-validation mode (run everything, compare all verdicts).
+    pub fn with_cross_validation(mut self) -> Self {
+        self.cross_validate = true;
+        self
+    }
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_run_all_engines() {
+        let config = PortfolioConfig::default();
+        assert_eq!(config.engines.len(), 3);
+        assert!(config.workers >= 1);
+        assert!(!config.cross_validate);
+        assert!(config.with_cross_validation().cross_validate);
+    }
+}

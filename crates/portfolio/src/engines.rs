@@ -1,0 +1,373 @@
+//! Engine adapters: run one strategy on one property and normalise its
+//! result into the shared [`Verdict`] vocabulary.
+//!
+//! Every trace-producing verdict is re-simulated with [`wlac_sim`] (via
+//! [`wlac_atpg::Trace::replay_monitor`]) before it is trusted: an engine bug
+//! can at worst demote a result to `Unknown`, never smuggle in a bogus
+//! counter-example.
+
+use crate::config::PortfolioConfig;
+use crate::verdict::Verdict;
+use std::fmt;
+use std::time::{Duration, Instant};
+use wlac_atpg::{
+    AssertionChecker, CancelToken, CheckResult, CheckStats, PropertyKind, Trace, Verification,
+};
+use wlac_baselines::{bounded_model_check_cancellable, random_simulation_cancellable, BmcOutcome};
+
+/// One verification strategy of the portfolio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Word-level ATPG + modular arithmetic (the paper's engine).
+    Atpg,
+    /// Bit-level SAT bounded model checking (Tseitin + DPLL).
+    SatBmc,
+    /// Random-input simulation (only ever finds traces, never proves).
+    RandomSim,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Atpg => "atpg",
+            Engine::SatBmc => "sat-bmc",
+            Engine::RandomSim => "random-sim",
+        })
+    }
+}
+
+/// Engine-specific effort statistics, for attribution in reports.
+#[derive(Debug, Clone)]
+pub enum EngineStats {
+    /// ATPG search counters.
+    Atpg(CheckStats),
+    /// CNF size and memory of the BMC run.
+    Bmc {
+        /// Total CNF variables across all bounds.
+        variables: usize,
+        /// Total CNF clauses across all bounds.
+        clauses: usize,
+        /// Peak CNF memory in bytes.
+        peak_memory_bytes: usize,
+    },
+    /// Random simulation effort.
+    RandomSim {
+        /// Runs simulated.
+        runs: usize,
+        /// Cycles per run.
+        cycles_per_run: usize,
+    },
+}
+
+/// The outcome of one engine on one property.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// Which strategy ran.
+    pub engine: Engine,
+    /// Its normalised, re-simulation-validated conclusion.
+    pub verdict: Verdict,
+    /// Wall-clock time the engine spent.
+    pub elapsed: Duration,
+    /// `true` when the run was stopped by the race supervisor before it
+    /// reached a definitive verdict.
+    pub cancelled: bool,
+    /// Effort statistics for attribution.
+    pub stats: EngineStats,
+}
+
+/// Runs `engine` on `verification`, polling `cancel` cooperatively.
+pub fn run_engine(
+    engine: Engine,
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+) -> EngineRun {
+    let start = Instant::now();
+    let (verdict, stats) = match engine {
+        Engine::Atpg => run_atpg(verification, config, cancel),
+        Engine::SatBmc => run_bmc(verification, config, cancel),
+        Engine::RandomSim => run_random(verification, config, cancel),
+    };
+    let verdict = validate_trace(verdict, verification);
+    EngineRun {
+        engine,
+        cancelled: cancel.is_cancelled() && !verdict.is_definitive(),
+        verdict,
+        elapsed: start.elapsed(),
+        stats,
+    }
+}
+
+fn run_atpg(
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+) -> (Verdict, EngineStats) {
+    let options = config.checker.clone().with_cancel(cancel.clone());
+    let report = AssertionChecker::new(options).check(verification);
+    let verdict = match report.result {
+        CheckResult::Proved => Verdict::Holds {
+            proved: true,
+            frames: report.stats.frames_explored.max(1),
+        },
+        CheckResult::HoldsUpToBound { frames } => Verdict::Holds {
+            proved: false,
+            frames,
+        },
+        CheckResult::CounterExample { trace } => Verdict::Violated { trace },
+        CheckResult::WitnessFound { trace } => Verdict::WitnessFound { trace },
+        CheckResult::WitnessNotFound { frames } => Verdict::WitnessAbsent { frames },
+        CheckResult::Unknown { reason } => Verdict::Unknown { reason },
+    };
+    // A proof covers every frame, not just the explored ones; keep the
+    // explored count for reporting but treat the bound as unlimited when
+    // comparing. (`conflicts_with` already special-cases `proved`.)
+    (verdict, EngineStats::Atpg(report.stats))
+}
+
+fn run_bmc(
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+) -> (Verdict, EngineStats) {
+    let max_frames = config.checker.max_frames;
+    let report = bounded_model_check_cancellable(
+        verification,
+        max_frames,
+        config.bmc_decision_budget,
+        cancel,
+    );
+    let kind = verification.property.kind;
+    let verdict = match (report.outcome, report.trace) {
+        (BmcOutcome::Found { .. }, Some(trace)) => match kind {
+            PropertyKind::Always => Verdict::Violated { trace },
+            PropertyKind::Eventually => Verdict::WitnessFound { trace },
+        },
+        (BmcOutcome::Found { depth }, None) => Verdict::Unknown {
+            reason: format!("BMC model at depth {depth} carried no trace"),
+        },
+        (BmcOutcome::HoldsUpToBound, _) => match kind {
+            PropertyKind::Always => Verdict::Holds {
+                proved: false,
+                frames: max_frames,
+            },
+            PropertyKind::Eventually => Verdict::WitnessAbsent { frames: max_frames },
+        },
+        (BmcOutcome::Unknown, _) => Verdict::Unknown {
+            reason: if cancel.is_cancelled() {
+                "cancelled".into()
+            } else {
+                "SAT budget exhausted or unsupported gate".into()
+            },
+        },
+    };
+    (
+        verdict,
+        EngineStats::Bmc {
+            variables: report.variables,
+            clauses: report.clauses,
+            peak_memory_bytes: report.peak_memory_bytes,
+        },
+    )
+}
+
+fn run_random(
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+) -> (Verdict, EngineStats) {
+    let report = random_simulation_cancellable(
+        verification,
+        config.random_runs,
+        config.random_cycles,
+        config.random_seed,
+        cancel,
+    );
+    let verdict = match (report.target_hit, report.trace) {
+        (true, Some(trace)) => match verification.property.kind {
+            PropertyKind::Always => Verdict::Violated { trace },
+            PropertyKind::Eventually => Verdict::WitnessFound { trace },
+        },
+        _ => Verdict::Unknown {
+            reason: if cancel.is_cancelled() {
+                "cancelled".into()
+            } else {
+                format!(
+                    "no hit in {} runs x {} cycles",
+                    report.runs, report.cycles_per_run
+                )
+            },
+        },
+    };
+    (
+        verdict,
+        EngineStats::RandomSim {
+            runs: report.runs,
+            cycles_per_run: report.cycles_per_run,
+        },
+    )
+}
+
+/// Re-simulates any trace-backed verdict on the original design; a trace that
+/// does not reproduce the claimed behaviour — or that violates an environment
+/// constraint in any cycle — demotes the verdict to `Unknown`.
+fn validate_trace(verdict: Verdict, verification: &Verification) -> Verdict {
+    let expected_last = match &verdict {
+        Verdict::Violated { .. } => false,
+        Verdict::WitnessFound { .. } => true,
+        _ => return verdict,
+    };
+    let trace = verdict.trace().expect("trace-backed verdict");
+    match replay(trace, verification) {
+        Ok((last, env_ok)) if last == expected_last && env_ok => verdict,
+        Ok((_, false)) => Verdict::Unknown {
+            reason: "trace violates an environment constraint".into(),
+        },
+        Ok(_) => Verdict::Unknown {
+            reason: "trace failed re-simulation cross-check".into(),
+        },
+        Err(e) => Verdict::Unknown {
+            reason: format!("trace replay error: {e}"),
+        },
+    }
+}
+
+/// Replays the trace; returns the final monitor value and whether every
+/// environment constraint held in every cycle.
+fn replay(
+    trace: &Trace,
+    verification: &Verification,
+) -> Result<(bool, bool), wlac_sim::SimulateError> {
+    let values = trace.replay_monitor(&verification.netlist, verification.property.monitor)?;
+    let last = *values.last().unwrap_or(&true);
+    let mut env_ok = true;
+    for env in &verification.environment {
+        let held = trace.replay_monitor(&verification.netlist, *env)?;
+        env_ok &= held.iter().all(|v| *v);
+    }
+    Ok((last, env_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PortfolioConfig;
+    use wlac_atpg::Property;
+    use wlac_bv::Bv;
+    use wlac_netlist::Netlist;
+
+    /// A counter wrapping at `wrap`, asserted to stay below `limit`.
+    fn counter(limit: u64, wrap: u64) -> Verification {
+        let mut nl = Netlist::new("counter");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let plus = nl.add(q, one);
+        let wrap_net = nl.constant(&Bv::from_u64(4, wrap));
+        let at_wrap = nl.eq(q, wrap_net);
+        let zero = nl.constant(&Bv::zero(4));
+        let next = nl.mux(at_wrap, zero, plus);
+        nl.connect_dff_data(ff, next);
+        let limit_net = nl.constant(&Bv::from_u64(4, limit));
+        let ok = nl.lt(q, limit_net);
+        nl.mark_output("ok", ok);
+        let property = Property::always(&nl, format!("below_{limit}"), ok);
+        Verification::new(nl, property)
+    }
+
+    #[test]
+    fn all_three_engines_find_the_same_violation() {
+        let verification = counter(5, 12);
+        let config = PortfolioConfig::default();
+        let cancel = CancelToken::new();
+        for engine in [Engine::Atpg, Engine::SatBmc] {
+            let run = run_engine(engine, &verification, &config, &cancel);
+            match &run.verdict {
+                Verdict::Violated { trace } => {
+                    assert!(trace.len() >= 5, "{engine}: needs 5 cycles to reach 5");
+                }
+                other => panic!("{engine}: expected violation, got {other:?}"),
+            }
+            assert!(!run.cancelled);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_a_passing_property() {
+        let verification = counter(12, 5);
+        let config = PortfolioConfig::default();
+        let cancel = CancelToken::new();
+        let atpg = run_engine(Engine::Atpg, &verification, &config, &cancel);
+        let bmc = run_engine(Engine::SatBmc, &verification, &config, &cancel);
+        assert!(atpg.verdict.is_pass(), "{:?}", atpg.verdict);
+        assert!(bmc.verdict.is_pass(), "{:?}", bmc.verdict);
+        assert!(!atpg.verdict.conflicts_with(&bmc.verdict));
+        // Attribution carries engine-specific stats.
+        assert!(matches!(atpg.stats, EngineStats::Atpg(_)));
+        assert!(matches!(bmc.stats, EngineStats::Bmc { clauses, .. } if clauses > 0));
+    }
+
+    #[test]
+    fn cancelled_engine_reports_unknown() {
+        let verification = counter(5, 12);
+        let config = PortfolioConfig::default();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        for engine in [Engine::Atpg, Engine::SatBmc, Engine::RandomSim] {
+            let run = run_engine(engine, &verification, &config, &cancel);
+            assert!(!run.verdict.is_definitive(), "{engine}: {:?}", run.verdict);
+            assert!(run.cancelled, "{engine} should report cancellation");
+        }
+    }
+
+    #[test]
+    fn env_violating_random_hits_are_rejected() {
+        // q' = i with env constraint i == 0: the assertion q == 0 holds under
+        // the environment. Unconstrained random inputs drive i = 1 (breaking
+        // the env), pollute q, and would "observe" a violation one cycle
+        // later — that pseudo-hit must not survive as a Violated verdict.
+        let mut nl = Netlist::new("env");
+        let i = nl.input("i", 1);
+        let (q, ff) = nl.dff_deferred(1, Some(Bv::zero(1)));
+        nl.connect_dff_data(ff, i);
+        let zero = nl.constant(&Bv::zero(1));
+        let ok = nl.eq(q, zero);
+        let env = nl.eq(i, zero);
+        nl.mark_output("ok", ok);
+        let property = Property::always(&nl, "q_zero", ok);
+        let verification = Verification::new(nl, property).with_environment(env);
+
+        let config = PortfolioConfig::default();
+        let cancel = CancelToken::new();
+        let random = run_engine(Engine::RandomSim, &verification, &config, &cancel);
+        assert!(
+            !matches!(random.verdict, Verdict::Violated { .. }),
+            "env-violating trace must not count: {:?}",
+            random.verdict
+        );
+        // The deterministic engines agree the assertion holds under the env.
+        let atpg = run_engine(Engine::Atpg, &verification, &config, &cancel);
+        assert!(atpg.verdict.is_pass(), "{:?}", atpg.verdict);
+        assert!(!atpg.verdict.conflicts_with(&random.verdict));
+    }
+
+    #[test]
+    fn bmc_trace_survives_validation() {
+        // The BMC counter-example is decoded from a SAT model and must replay
+        // to a real monitor violation — `run_engine` would demote it
+        // otherwise.
+        let verification = counter(3, 12);
+        let run = run_engine(
+            Engine::SatBmc,
+            &verification,
+            &PortfolioConfig::default(),
+            &CancelToken::new(),
+        );
+        let Verdict::Violated { trace } = &run.verdict else {
+            panic!("expected violation, got {:?}", run.verdict);
+        };
+        let replay = trace
+            .replay_monitor(&verification.netlist, verification.property.monitor)
+            .expect("replay");
+        assert_eq!(replay.last(), Some(&false));
+    }
+}

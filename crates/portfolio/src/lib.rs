@@ -1,0 +1,407 @@
+//! # wlac-portfolio — concurrent multi-strategy verification
+//!
+//! The paper's core observation is that word-level ATPG + modular arithmetic
+//! and bit-blasted SAT shine on *different* workload shapes. This crate turns
+//! that observation into an engine: a [`Portfolio`] races the ATPG checker
+//! ([`wlac_atpg::AssertionChecker`]), SAT bounded model checking
+//! ([`wlac_baselines::bounded_model_check`]) and random simulation on each
+//! property, takes the first definitive answer, and cooperatively cancels the
+//! losers through [`wlac_atpg::CancelToken`].
+//!
+//! Beyond single-property racing, [`Portfolio::check_batch`] shards a whole
+//! suite of properties across a worker-thread pool, and every trace-backed
+//! verdict is re-simulated against the design before it is trusted —
+//! disagreements between engines are detected and flagged rather than
+//! silently resolved.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_portfolio::{Portfolio, Verdict};
+//! use wlac_atpg::{Property, Verification};
+//! use wlac_bv::Bv;
+//! use wlac_netlist::Netlist;
+//!
+//! // An 8-bit register that saturates at 10 must stay below 11.
+//! let mut nl = Netlist::new("sat_counter");
+//! let (q, ff) = nl.dff_deferred(8, Some(Bv::zero(8)));
+//! let one = nl.constant(&Bv::from_u64(8, 1));
+//! let plus = nl.add(q, one);
+//! let ten = nl.constant(&Bv::from_u64(8, 10));
+//! let at_ten = nl.eq(q, ten);
+//! let next = nl.mux(at_ten, ten, plus);
+//! nl.connect_dff_data(ff, next);
+//! let eleven = nl.constant(&Bv::from_u64(8, 11));
+//! let ok = nl.lt(q, eleven);
+//!
+//! let property = Property::always(&nl, "below_11", ok);
+//! let report = Portfolio::with_defaults().race(&Verification::new(nl, property));
+//! assert!(report.verdict.is_pass());
+//! assert!(report.winner.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engines;
+mod verdict;
+
+pub use config::PortfolioConfig;
+pub use engines::{run_engine, Engine, EngineRun, EngineStats};
+pub use verdict::Verdict;
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use wlac_atpg::{CancelToken, Verification};
+
+/// The result of checking one property with the portfolio.
+#[derive(Debug, Clone)]
+pub struct PortfolioReport {
+    /// Property name (e.g. `p7`).
+    pub property: String,
+    /// The combined verdict: the winner's in racing mode, the first
+    /// definitive one in cross-validation mode.
+    pub verdict: Verdict,
+    /// The engine that produced [`PortfolioReport::verdict`], when any
+    /// engine was definitive.
+    pub winner: Option<Engine>,
+    /// Wall-clock time from dispatch to the last engine finishing.
+    pub wall_clock: Duration,
+    /// Every engine's run, in finish order, with per-engine attribution.
+    pub runs: Vec<EngineRun>,
+    /// Human-readable descriptions of cross-engine contradictions. Empty
+    /// when all definitive verdicts agree.
+    pub disagreements: Vec<String>,
+}
+
+impl PortfolioReport {
+    /// `true` when every pair of definitive verdicts is consistent.
+    pub fn agreed(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+
+    /// The run of a particular engine, if it participated.
+    pub fn run_of(&self, engine: Engine) -> Option<&EngineRun> {
+        self.runs.iter().find(|r| r.engine == engine)
+    }
+}
+
+impl fmt::Display for PortfolioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} in {:.3}s",
+            self.property,
+            self.verdict.label(),
+            self.wall_clock.as_secs_f64()
+        )?;
+        if let Some(winner) = self.winner {
+            write!(f, " (won by {winner})")?;
+        }
+        for run in &self.runs {
+            write!(
+                f,
+                "\n    {:<11} {:<13} {:.3}s{}",
+                run.engine.to_string(),
+                run.verdict.label(),
+                run.elapsed.as_secs_f64(),
+                if run.cancelled { " [cancelled]" } else { "" },
+            )?;
+        }
+        for d in &self.disagreements {
+            write!(f, "\n    DISAGREEMENT: {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A concurrent multi-strategy verification engine.
+///
+/// See the crate-level docs for an example; [`Portfolio::race`] checks one
+/// property with first-definitive-answer-wins semantics,
+/// [`Portfolio::check_all`] runs every engine to completion for maximum
+/// cross-validation, and [`Portfolio::check_batch`] shards many properties
+/// over a worker pool.
+#[derive(Debug, Clone, Default)]
+pub struct Portfolio {
+    config: PortfolioConfig,
+}
+
+impl Portfolio {
+    /// Creates a portfolio with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Self {
+        Portfolio { config }
+    }
+
+    /// Creates a portfolio with the default configuration (all engines).
+    pub fn with_defaults() -> Self {
+        Portfolio::new(PortfolioConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Races every configured engine on one property; the first definitive
+    /// verdict wins and the losing engines are cancelled cooperatively.
+    pub fn race(&self, verification: &Verification) -> PortfolioReport {
+        self.run_portfolio(verification, true)
+    }
+
+    /// Runs every configured engine to completion (no cancellation) and
+    /// cross-validates all verdicts against each other.
+    pub fn check_all(&self, verification: &Verification) -> PortfolioReport {
+        self.run_portfolio(verification, false)
+    }
+
+    /// Checks a batch of properties, sharding them across
+    /// [`PortfolioConfig::workers`] worker threads. Each job is checked with
+    /// [`Portfolio::race`] (or [`Portfolio::check_all`] when
+    /// [`PortfolioConfig::cross_validate`] is set); results come back in job
+    /// order.
+    pub fn check_batch(&self, jobs: &[Verification]) -> Vec<PortfolioReport> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<PortfolioReport>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.config.workers.clamp(1, jobs.len());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let report = if self.config.cross_validate {
+                        self.check_all(job)
+                    } else {
+                        self.race(job)
+                    };
+                    *slots[index].lock().expect("result slot") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every job produced a report")
+            })
+            .collect()
+    }
+
+    fn run_portfolio(&self, verification: &Verification, cancel_losers: bool) -> PortfolioReport {
+        let start = Instant::now();
+        let token = CancelToken::new();
+        let (tx, rx) = mpsc::channel::<EngineRun>();
+        let mut runs: Vec<EngineRun> = Vec::with_capacity(self.config.engines.len());
+        let mut winner: Option<usize> = None;
+        thread::scope(|scope| {
+            for &engine in &self.config.engines {
+                let tx = tx.clone();
+                let token = token.clone();
+                let config = &self.config;
+                scope.spawn(move || {
+                    let run = run_engine(engine, verification, config, &token);
+                    // The receiver outlives the scope; a send only fails if
+                    // the supervisor panicked, in which case the scope
+                    // propagates that panic anyway.
+                    let _ = tx.send(run);
+                });
+            }
+            drop(tx);
+            // Collect results in finish order; the first definitive one wins
+            // and (in racing mode) cancels everyone still searching.
+            while let Ok(run) = rx.recv() {
+                if winner.is_none() && run.verdict.is_definitive() {
+                    winner = Some(runs.len());
+                    if cancel_losers {
+                        token.cancel();
+                    }
+                }
+                runs.push(run);
+            }
+        });
+        let disagreements = cross_validate(&runs);
+        if !cancel_losers {
+            // Cross-validation mode: every engine ran to completion, so pick
+            // the most informative verdict instead of the earliest one — a
+            // validated trace from a deep engine (e.g. a random-simulation
+            // hit beyond the unrolling bound) beats a bounded hold.
+            winner = runs
+                .iter()
+                .enumerate()
+                .filter(|(_, run)| run.verdict.is_definitive())
+                .max_by_key(|(index, run)| (run.verdict.rank(), usize::MAX - index))
+                .map(|(index, _)| index);
+        }
+        let verdict = match winner {
+            Some(index) => runs[index].verdict.clone(),
+            None => Verdict::Unknown {
+                reason: runs
+                    .iter()
+                    .map(|r| {
+                        let reason = match &r.verdict {
+                            Verdict::Unknown { reason } => reason.as_str(),
+                            _ => "?",
+                        };
+                        format!("{}: {}", r.engine, reason)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            },
+        };
+        PortfolioReport {
+            property: verification.property.name.clone(),
+            verdict,
+            winner: winner.map(|index| runs[index].engine),
+            wall_clock: start.elapsed(),
+            runs,
+            disagreements,
+        }
+    }
+}
+
+/// Pairwise consistency check over all definitive verdicts.
+fn cross_validate(runs: &[EngineRun]) -> Vec<String> {
+    let mut disagreements = Vec::new();
+    for (i, a) in runs.iter().enumerate() {
+        for b in &runs[i + 1..] {
+            if a.verdict.conflicts_with(&b.verdict) {
+                disagreements.push(format!(
+                    "{} says {} but {} says {}",
+                    a.engine,
+                    a.verdict.label(),
+                    b.engine,
+                    b.verdict.label(),
+                ));
+            }
+        }
+    }
+    disagreements
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_atpg::Property;
+    use wlac_bv::Bv;
+    use wlac_netlist::Netlist;
+
+    fn counter(limit: u64, wrap: u64, name: &str) -> Verification {
+        let mut nl = Netlist::new("counter");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let plus = nl.add(q, one);
+        let wrap_net = nl.constant(&Bv::from_u64(4, wrap));
+        let at_wrap = nl.eq(q, wrap_net);
+        let zero = nl.constant(&Bv::zero(4));
+        let next = nl.mux(at_wrap, zero, plus);
+        nl.connect_dff_data(ff, next);
+        let limit_net = nl.constant(&Bv::from_u64(4, limit));
+        let ok = nl.lt(q, limit_net);
+        nl.mark_output("ok", ok);
+        let property = Property::always(&nl, name, ok);
+        Verification::new(nl, property)
+    }
+
+    #[test]
+    fn race_produces_a_winner_and_attribution() {
+        let report = Portfolio::with_defaults().race(&counter(12, 5, "holds"));
+        assert!(report.verdict.is_pass(), "{:?}", report.verdict);
+        assert!(report.winner.is_some());
+        assert!(report.agreed(), "{:?}", report.disagreements);
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.property, "holds");
+        let text = report.to_string();
+        assert!(text.contains("won by"), "{text}");
+    }
+
+    #[test]
+    fn race_on_a_violation_returns_a_validated_trace() {
+        let report = Portfolio::with_defaults().race(&counter(5, 12, "fails"));
+        match &report.verdict {
+            Verdict::Violated { trace } => assert!(trace.len() >= 5),
+            other => panic!("expected violation, got {other:?}"),
+        }
+        assert!(report.agreed(), "{:?}", report.disagreements);
+    }
+
+    #[test]
+    fn check_all_runs_every_engine_to_completion() {
+        let portfolio = Portfolio::new(PortfolioConfig::default().with_cross_validation());
+        let report = portfolio.check_all(&counter(12, 5, "holds"));
+        // Racing cancels losers; check_all must not.
+        assert!(report.runs.iter().all(|r| !r.cancelled));
+        // ATPG and BMC both reach a definitive pass verdict.
+        for engine in [Engine::Atpg, Engine::SatBmc] {
+            let run = report.run_of(engine).expect("engine ran");
+            assert!(run.verdict.is_pass(), "{engine}: {:?}", run.verdict);
+        }
+        assert!(report.agreed());
+    }
+
+    #[test]
+    fn batch_returns_reports_in_job_order() {
+        let jobs = vec![
+            counter(12, 5, "j0"),
+            counter(5, 12, "j1"),
+            counter(3, 12, "j2"),
+            counter(9, 4, "j3"),
+        ];
+        let reports = Portfolio::with_defaults().check_batch(&jobs);
+        assert_eq!(reports.len(), 4);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.property, format!("j{i}"));
+            assert!(
+                report.agreed(),
+                "{}: {:?}",
+                report.property,
+                report.disagreements
+            );
+        }
+        assert!(reports[0].verdict.is_pass());
+        assert!(matches!(reports[1].verdict, Verdict::Violated { .. }));
+        assert!(matches!(reports[2].verdict, Verdict::Violated { .. }));
+        assert!(reports[3].verdict.is_pass());
+    }
+
+    #[test]
+    fn deep_violation_beyond_the_bound_wins_cross_validation() {
+        // The counter wraps at 9, so q = 8 violates "q < 8" — but only at
+        // cycle 8, beyond an 8-frame unrolling (the violation needs 9
+        // frames). The bounded engines correctly report holds-up-to-bound;
+        // the 64-cycle random simulation finds the real violation, which is
+        // not a disagreement (the trace is longer than the bound) and must
+        // win the combined verdict.
+        let portfolio = Portfolio::new(PortfolioConfig::default().with_cross_validation());
+        let report = portfolio.check_all(&counter(8, 9, "deep"));
+        assert!(report.agreed(), "{:?}", report.disagreements);
+        assert_eq!(report.winner, Some(Engine::RandomSim));
+        match &report.verdict {
+            Verdict::Violated { trace } => assert!(trace.len() > 8),
+            other => panic!("expected the deep violation, got {other:?}"),
+        }
+        let bounded = report.run_of(Engine::Atpg).expect("atpg ran");
+        assert!(bounded.verdict.is_pass(), "{:?}", bounded.verdict);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(Portfolio::with_defaults().check_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_engine_portfolio_works() {
+        let config = PortfolioConfig::default().with_engines(vec![Engine::Atpg]);
+        let report = Portfolio::new(config).race(&counter(12, 5, "solo"));
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.winner, Some(Engine::Atpg));
+    }
+}

@@ -1,0 +1,177 @@
+//! The engine-independent verdict vocabulary.
+//!
+//! Every strategy in the portfolio — word-level ATPG, bit-level SAT BMC,
+//! random simulation — reports its conclusion as a [`Verdict`], so results
+//! can be raced, compared and cross-validated without knowing which engine
+//! produced them.
+
+use wlac_atpg::Trace;
+
+/// The conclusion of one engine about one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The assertion holds: outright (`proved`) or within `frames`
+    /// time-frames of bounded search.
+    Holds {
+        /// `true` for a full (inductive) proof, `false` for a bounded result.
+        proved: bool,
+        /// Number of time-frames covered by the result.
+        frames: usize,
+    },
+    /// The assertion fails; a concrete counter-example is attached.
+    Violated {
+        /// The failing execution (validated by re-simulation).
+        trace: Trace,
+    },
+    /// A witness satisfying the `Eventually` objective was found.
+    WitnessFound {
+        /// The satisfying execution (validated by re-simulation).
+        trace: Trace,
+    },
+    /// No witness exists within `frames` time-frames.
+    WitnessAbsent {
+        /// Number of time-frames exhaustively explored.
+        frames: usize,
+    },
+    /// The engine reached no conclusion (limit, cancellation, unsupported
+    /// construct, failed trace validation, ...).
+    Unknown {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// `true` when the verdict settles the property (anything but
+    /// [`Verdict::Unknown`]). The first definitive verdict wins a race.
+    pub fn is_definitive(&self) -> bool {
+        !matches!(self, Verdict::Unknown { .. })
+    }
+
+    /// `true` for the "assertion passes" outcomes (proved, bounded hold, or
+    /// witness exhaustively absent).
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Holds { .. } | Verdict::WitnessAbsent { .. })
+    }
+
+    /// The attached concrete execution, when one exists.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            Verdict::Violated { trace } | Verdict::WitnessFound { trace } => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// `true` when two verdicts about the *same* property contradict each
+    /// other.
+    ///
+    /// Bounded semantics are respected: a trace of length `n` only
+    /// contradicts a bounded hold that claims to cover at least `n` frames,
+    /// and always contradicts a full proof. `Unknown` contradicts nothing.
+    pub fn conflicts_with(&self, other: &Verdict) -> bool {
+        use Verdict::*;
+        match (self, other) {
+            (Holds { proved, frames }, Violated { trace })
+            | (Violated { trace }, Holds { proved, frames }) => *proved || trace.len() <= *frames,
+            (WitnessAbsent { frames }, WitnessFound { trace })
+            | (WitnessFound { trace }, WitnessAbsent { frames }) => trace.len() <= *frames,
+            _ => false,
+        }
+    }
+
+    /// Informativeness rank used to combine verdicts in cross-validation
+    /// mode: a validated concrete trace beats a full proof (it can reach
+    /// beyond the bounded engines' horizon, as a deep random-simulation hit
+    /// does), a proof beats a bounded hold, anything beats `Unknown`.
+    pub(crate) fn rank(&self) -> u8 {
+        match self {
+            Verdict::Violated { .. } | Verdict::WitnessFound { .. } => 3,
+            Verdict::Holds { proved: true, .. } => 2,
+            Verdict::Holds { proved: false, .. } | Verdict::WitnessAbsent { .. } => 1,
+            Verdict::Unknown { .. } => 0,
+        }
+    }
+
+    /// Compact label used in reports (`holds`, `proved`, `violated`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Holds { proved: true, .. } => "proved",
+            Verdict::Holds { proved: false, .. } => "holds(bound)",
+            Verdict::Violated { .. } => "violated",
+            Verdict::WitnessFound { .. } => "witness",
+            Verdict::WitnessAbsent { .. } => "no witness",
+            Verdict::Unknown { .. } => "unknown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(cycles: usize) -> Trace {
+        Trace {
+            initial_state: Vec::new(),
+            inputs: vec![Vec::new(); cycles],
+        }
+    }
+
+    #[test]
+    fn definitive_and_pass_classification() {
+        assert!(Verdict::Holds {
+            proved: true,
+            frames: 1
+        }
+        .is_definitive());
+        assert!(Verdict::Holds {
+            proved: false,
+            frames: 4
+        }
+        .is_pass());
+        assert!(Verdict::WitnessAbsent { frames: 4 }.is_pass());
+        assert!(!Verdict::Violated { trace: trace(2) }.is_pass());
+        let unknown = Verdict::Unknown {
+            reason: "cancelled".into(),
+        };
+        assert!(!unknown.is_definitive());
+        assert!(unknown.trace().is_none());
+    }
+
+    #[test]
+    fn conflicts_respect_bounds() {
+        let holds4 = Verdict::Holds {
+            proved: false,
+            frames: 4,
+        };
+        let proved = Verdict::Holds {
+            proved: true,
+            frames: 1,
+        };
+        let violated3 = Verdict::Violated { trace: trace(3) };
+        let violated9 = Verdict::Violated { trace: trace(9) };
+        // A 3-cycle counter-example contradicts a 4-frame hold...
+        assert!(holds4.conflicts_with(&violated3));
+        assert!(violated3.conflicts_with(&holds4));
+        // ...but a 9-cycle one lies beyond the bound.
+        assert!(!holds4.conflicts_with(&violated9));
+        // A proof is contradicted by any counter-example.
+        assert!(proved.conflicts_with(&violated9));
+        // Unknown contradicts nothing.
+        let unknown = Verdict::Unknown {
+            reason: "limit".into(),
+        };
+        assert!(!unknown.conflicts_with(&violated3));
+        assert!(!holds4.conflicts_with(&unknown));
+    }
+
+    #[test]
+    fn witness_conflicts() {
+        let absent4 = Verdict::WitnessAbsent { frames: 4 };
+        let found2 = Verdict::WitnessFound { trace: trace(2) };
+        let found8 = Verdict::WitnessFound { trace: trace(8) };
+        assert!(absent4.conflicts_with(&found2));
+        assert!(!absent4.conflicts_with(&found8));
+        assert_eq!(found2.label(), "witness");
+        assert_eq!(absent4.label(), "no witness");
+    }
+}

@@ -132,8 +132,7 @@ impl<'a> Simulator<'a> {
         for (_, gate) in self.netlist.gates() {
             if let GateKind::Dff { init } = &gate.kind {
                 let width = self.netlist.net_width(gate.output);
-                self.values[gate.output.index()] =
-                    init.clone().unwrap_or_else(|| Bv::zero(width));
+                self.values[gate.output.index()] = init.clone().unwrap_or_else(|| Bv::zero(width));
             }
         }
         self.pending_state.clear();
@@ -256,8 +255,7 @@ pub fn simulate(
     }
     let mut frames = Vec::with_capacity(inputs_per_cycle.len());
     for cycle_inputs in inputs_per_cycle {
-        let inputs: Vec<(NetId, Bv)> =
-            cycle_inputs.iter().map(|(n, v)| (*n, v.clone())).collect();
+        let inputs: Vec<(NetId, Bv)> = cycle_inputs.iter().map(|(n, v)| (*n, v.clone())).collect();
         // Record the pre-clock (combinational) view of the cycle.
         let values = sim.evaluate_combinational(&inputs)?;
         frames.push(values);

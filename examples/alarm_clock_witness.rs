@@ -10,11 +10,16 @@ use wlac::circuits::AlarmClock;
 
 fn main() {
     let clock = AlarmClock::new();
-    let mut options = CheckerOptions::default();
-    options.max_frames = 6;
+    let options = CheckerOptions {
+        max_frames: 6,
+        ..CheckerOptions::default()
+    };
     let checker = AssertionChecker::new(options);
 
-    for verification in [clock.p7_rollover_to_twelve(), clock.p9_hour_never_thirteen()] {
+    for verification in [
+        clock.p7_rollover_to_twelve(),
+        clock.p9_hour_never_thirteen(),
+    ] {
         let report = checker.check(&verification);
         println!("[{}] {:?}", report.property, report.result);
         println!("    effort: {}", report.stats);

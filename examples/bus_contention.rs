@@ -9,14 +9,25 @@ use wlac::baselines::{bounded_model_check, BmcOutcome};
 use wlac::circuits::{industry_02, industry_03, industry_04};
 
 fn main() {
-    let mut options = CheckerOptions::default();
-    options.max_frames = 4;
+    let options = CheckerOptions {
+        max_frames: 4,
+        ..CheckerOptions::default()
+    };
     let checker = AssertionChecker::new(options);
 
     let fabrics = [
-        ("industry_02 (152-bit, registered)", industry_02(4).contention_free("p11")),
-        ("industry_03 (128-bit, broadcast)", industry_03(4).contention_free("p12")),
-        ("industry_04 (32-bit)", industry_04(4).contention_free("p13")),
+        (
+            "industry_02 (152-bit, registered)",
+            industry_02(4).contention_free("p11"),
+        ),
+        (
+            "industry_03 (128-bit, broadcast)",
+            industry_03(4).contention_free("p12"),
+        ),
+        (
+            "industry_04 (32-bit)",
+            industry_04(4).contention_free("p13"),
+        ),
     ];
     for (name, verification) in fabrics {
         let report = checker.check(&verification);

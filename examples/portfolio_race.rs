@@ -1,0 +1,55 @@
+//! Portfolio racing: check one property with three engines concurrently,
+//! then verify a whole batch of properties across a worker pool.
+//!
+//! Run with `cargo run --example portfolio_race`.
+
+use wlac::atpg::{Property, Verification};
+use wlac::bv::Bv;
+use wlac::netlist::Netlist;
+use wlac::portfolio::{Portfolio, PortfolioConfig};
+
+/// Builds a modulo-`wrap` counter asserted to stay below `limit`.
+fn counter_with_limit(wrap: u64, limit: u64) -> Verification {
+    let mut nl = Netlist::new("counter");
+    let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+    let one = nl.constant(&Bv::from_u64(4, 1));
+    let plus = nl.add(q, one);
+    let wrap_value = nl.constant(&Bv::from_u64(4, wrap));
+    let at_wrap = nl.eq(q, wrap_value);
+    let zero = nl.constant(&Bv::zero(4));
+    let next = nl.mux(at_wrap, zero, plus);
+    nl.connect_dff_data(ff, next);
+    let limit_value = nl.constant(&Bv::from_u64(4, limit));
+    let ok = nl.lt(q, limit_value);
+    nl.mark_output("ok", ok);
+    let property = Property::always(&nl, format!("counter_below_{limit}"), ok);
+    Verification::new(nl, property)
+}
+
+fn main() {
+    let portfolio = Portfolio::with_defaults();
+
+    // Race all three engines on a single passing property: the first
+    // definitive verdict wins and the losers are cancelled.
+    println!("-- racing one property --");
+    let report = portfolio.race(&counter_with_limit(9, 12));
+    println!("{report}\n");
+
+    // A failing property: whoever finds the counter-example first wins, and
+    // the trace is re-simulated before being trusted.
+    println!("-- racing a violated property --");
+    let report = portfolio.race(&counter_with_limit(9, 5));
+    println!("{report}");
+    if let wlac::portfolio::Verdict::Violated { trace } = &report.verdict {
+        println!("counter-example:\n{trace}");
+    }
+
+    // Batch mode: shard a list of properties across worker threads, with
+    // full cross-validation (every engine runs to completion).
+    println!("-- batch with cross-validation --");
+    let jobs: Vec<Verification> = (3..9).map(|limit| counter_with_limit(9, limit)).collect();
+    let batch = Portfolio::new(PortfolioConfig::default().with_cross_validation());
+    for report in batch.check_batch(&jobs) {
+        println!("{report}");
+    }
+}

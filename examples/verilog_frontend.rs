@@ -37,8 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ok = netlist.ne(grant, all_ones);
     let property = Property::always(&netlist, "never_all_ones", ok);
 
-    let mut options = CheckerOptions::default();
-    options.max_frames = 6;
+    let options = CheckerOptions {
+        max_frames: 6,
+        ..CheckerOptions::default()
+    };
     let report = AssertionChecker::new(options).check(&Verification::new(netlist, property));
     println!("[{}] {:?}", report.property, report.result);
     println!("    effort: {}", report.stats);

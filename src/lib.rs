@@ -15,7 +15,9 @@
 //! * [`atpg`] — the assertion checker itself (word-level implication,
 //!   justification, ESTG, datapath resolution),
 //! * [`circuits`] — the paper's benchmark designs and properties p1–p14,
-//! * [`baselines`] — SAT BMC, integral solving and random simulation.
+//! * [`baselines`] — SAT BMC, integral solving and random simulation,
+//! * [`portfolio`] — concurrent multi-strategy racing and batch checking
+//!   across the ATPG, SAT BMC and random-simulation engines.
 //!
 //! # Quickstart
 //!
@@ -51,4 +53,5 @@ pub use wlac_circuits as circuits;
 pub use wlac_frontend as frontend;
 pub use wlac_modsolve as modsolve;
 pub use wlac_netlist as netlist;
+pub use wlac_portfolio as portfolio;
 pub use wlac_sim as sim;

@@ -11,10 +11,11 @@ use wlac::frontend::compile;
 use wlac::netlist::Netlist;
 
 fn quick_options() -> CheckerOptions {
-    let mut options = CheckerOptions::default();
-    options.max_frames = 6;
-    options.time_limit = Duration::from_secs(30);
-    options
+    CheckerOptions {
+        max_frames: 6,
+        time_limit: Duration::from_secs(30),
+        ..CheckerOptions::default()
+    }
 }
 
 /// Every property of the paper's Table 2 produces the expected outcome at the
@@ -58,7 +59,10 @@ fn atpg_and_sat_bmc_agree() {
                 panic!("{}: ATPG passed but BMC found a trace", case.property)
             }
             (CheckResult::CounterExample { .. }, BmcOutcome::HoldsUpToBound) => {
-                panic!("{}: ATPG found a counter-example but BMC did not", case.property)
+                panic!(
+                    "{}: ATPG found a counter-example but BMC did not",
+                    case.property
+                )
             }
             _ => {}
         }
@@ -111,8 +115,7 @@ fn verilog_to_checker_flow() {
     let avoided = design.constant(&Bv::from_u64(2, 0b10));
     let ok = design.ne(state, avoided);
     let property = Property::always(&design, "avoids_10", ok);
-    let report =
-        AssertionChecker::new(quick_options()).check(&Verification::new(design, property));
+    let report = AssertionChecker::new(quick_options()).check(&Verification::new(design, property));
     assert!(
         matches!(report.result, CheckResult::CounterExample { .. }),
         "got {:?}",

@@ -1,0 +1,166 @@
+//! Portfolio integration tests: cross-engine agreement on the paper suite,
+//! first-definitive-answer racing and prompt cooperative cancellation.
+
+use std::time::Duration;
+use wlac::atpg::{CheckerOptions, Property, Verification};
+use wlac::bv::Bv;
+use wlac::circuits::{paper_suite, Expectation, Scale};
+use wlac::netlist::Netlist;
+use wlac::portfolio::{Engine, Portfolio, PortfolioConfig, Verdict};
+
+/// Bounded configuration keeping full-suite runs predictable, mirroring the
+/// bench harness: 6 frames, generous SAT budget.
+fn suite_config() -> PortfolioConfig {
+    let checker = CheckerOptions {
+        max_frames: 6,
+        time_limit: Duration::from_secs(60),
+        ..CheckerOptions::default()
+    };
+    PortfolioConfig {
+        checker,
+        bmc_decision_budget: 2_000_000,
+        ..PortfolioConfig::default()
+    }
+}
+
+/// `Portfolio::check_batch` verifies all fourteen paper-suite properties at
+/// `Scale::Small` with zero engine disagreements, and ATPG and SAT BMC reach
+/// the same verdict on every case both can decide.
+#[test]
+fn batch_checks_paper_suite_with_zero_disagreements() {
+    let suite = paper_suite(Scale::Small);
+    let jobs: Vec<Verification> = suite.iter().map(|c| c.verification.clone()).collect();
+    let portfolio = Portfolio::new(suite_config().with_cross_validation());
+    let reports = portfolio.check_batch(&jobs);
+    assert_eq!(reports.len(), 14);
+
+    for (case, report) in suite.iter().zip(&reports) {
+        assert_eq!(report.property, case.property);
+        assert!(
+            report.agreed(),
+            "{}: engines disagree: {:?}",
+            case.property,
+            report.disagreements
+        );
+        // The portfolio verdict is definitive and matches the paper's
+        // Table 2 expectation.
+        match case.expectation {
+            Expectation::Pass => assert!(
+                report.verdict.is_pass(),
+                "{} expected to pass, got {:?}",
+                case.property,
+                report.verdict
+            ),
+            Expectation::Witness => assert!(
+                matches!(report.verdict, Verdict::WitnessFound { .. }),
+                "{} expected a witness, got {:?}",
+                case.property,
+                report.verdict
+            ),
+        }
+        // ATPG and BMC both reach a verdict on every small-scale case, with
+        // the same pass/fail polarity and no bounded-semantics conflict.
+        let atpg = report.run_of(Engine::Atpg).expect("atpg ran");
+        let bmc = report.run_of(Engine::SatBmc).expect("bmc ran");
+        assert!(
+            atpg.verdict.is_definitive(),
+            "{}: ATPG inconclusive: {:?}",
+            case.property,
+            atpg.verdict
+        );
+        assert!(
+            bmc.verdict.is_definitive(),
+            "{}: BMC inconclusive: {:?}",
+            case.property,
+            bmc.verdict
+        );
+        assert!(
+            !atpg.verdict.conflicts_with(&bmc.verdict),
+            "{}: ATPG {:?} vs BMC {:?}",
+            case.property,
+            atpg.verdict,
+            bmc.verdict
+        );
+        assert_eq!(
+            atpg.verdict.is_pass(),
+            bmc.verdict.is_pass(),
+            "{}: ATPG {} vs BMC {}",
+            case.property,
+            atpg.verdict.label(),
+            bmc.verdict.label()
+        );
+    }
+}
+
+/// Racing returns the first definitive verdict and cooperatively cancels the
+/// losing engines instead of waiting for them.
+#[test]
+fn race_cancels_losers_promptly() {
+    // A corner-case witness: a 32-bit input must equal a magic constant.
+    // The word-level engines find it immediately; random simulation has a
+    // 2^-32 chance per cycle and would churn through 200k runs for minutes
+    // without cooperative cancellation.
+    let mut nl = Netlist::new("corner");
+    let wide = nl.input("wide", 32);
+    let magic = nl.constant(&Bv::from_u64(32, 0xDEAD_BEEF));
+    let hit = nl.eq(wide, magic);
+    nl.mark_output("hit", hit);
+    let property = Property::eventually(&nl, "corner", hit);
+    let verification = Verification::new(nl, property);
+
+    let mut config = suite_config();
+    config.checker.max_frames = 2;
+    config.random_runs = 200_000;
+    config.random_cycles = 50;
+    let report = Portfolio::new(config).race(&verification);
+
+    assert!(
+        matches!(report.verdict, Verdict::WitnessFound { .. }),
+        "got {:?}",
+        report.verdict
+    );
+    let winner = report.winner.expect("a definitive winner");
+    assert_ne!(winner, Engine::RandomSim, "deterministic engines must win");
+    let random = report.run_of(Engine::RandomSim).expect("random-sim ran");
+    assert!(
+        random.cancelled,
+        "random simulation should have been cancelled, got {:?}",
+        random.verdict
+    );
+    assert!(
+        report.wall_clock < Duration::from_secs(30),
+        "cancellation was not prompt: {:?}",
+        report.wall_clock
+    );
+}
+
+/// In racing mode the reported verdict is exactly the winning engine's, with
+/// a validated trace for violations.
+#[test]
+fn race_attributes_the_winner() {
+    // A counter wrapping at 12 violates "always below 5" after five steps.
+    let mut nl = Netlist::new("cex");
+    let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+    let one = nl.constant(&Bv::from_u64(4, 1));
+    let next = nl.add(q, one);
+    nl.connect_dff_data(ff, next);
+    let five = nl.constant(&Bv::from_u64(4, 5));
+    let ok = nl.lt(q, five);
+    nl.mark_output("ok", ok);
+    let property = Property::always(&nl, "below_5", ok);
+    let verification = Verification::new(nl, property);
+
+    let report = Portfolio::new(suite_config()).race(&verification);
+    let winner = report.winner.expect("someone wins");
+    let winning_run = report.run_of(winner).expect("winner ran");
+    assert_eq!(winning_run.verdict, report.verdict);
+    match &report.verdict {
+        Verdict::Violated { trace } => {
+            let replay = trace
+                .replay_monitor(&verification.netlist, verification.property.monitor)
+                .expect("replay");
+            assert_eq!(replay.last(), Some(&false), "validated counter-example");
+        }
+        other => panic!("expected a violation, got {other:?}"),
+    }
+}
