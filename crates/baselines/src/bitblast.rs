@@ -400,6 +400,8 @@ pub struct BmcReport {
     /// primary inputs, replayable with [`Trace::replay_monitor`] for
     /// cross-engine validation.
     pub trace: Option<Trace>,
+    /// CDCL effort counters accumulated across all unrolling depths.
+    pub sat: crate::sat::SatStats,
 }
 
 /// Runs SAT-based bounded model checking on a verification problem.
@@ -466,23 +468,25 @@ pub fn bounded_model_check_cancellable(
     let mut peak = 0usize;
     let mut variables = 0usize;
     let mut clauses = 0usize;
-    let report = |outcome, peak, variables, clauses, trace| BmcReport {
+    let mut sat = crate::sat::SatStats::default();
+    let report = |outcome, peak, variables, clauses, trace, sat| BmcReport {
         outcome,
         elapsed: start.elapsed(),
         peak_memory_bytes: peak,
         variables,
         clauses,
         trace,
+        sat,
     };
     for frames in 1..=max_frames {
         if cancel.is_cancelled() {
-            return report(BmcOutcome::Unknown, peak, variables, clauses, None);
+            return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat);
         }
         let unrolling = Unrolling::new(&verification.netlist, frames);
         let encoded = BitBlaster::encode(unrolling.circuit());
         let mut blaster = match encoded {
             Ok(b) => b,
-            Err(_) => return report(BmcOutcome::Unknown, peak, variables, clauses, None),
+            Err(_) => return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat),
         };
         for init in unrolling.initial_states() {
             if let Some(value) = &init.init {
@@ -504,7 +508,8 @@ pub fn bounded_model_check_cancellable(
         peak = peak.max(blaster.cnf.memory_bytes());
         variables += blaster.cnf.num_vars();
         clauses += blaster.cnf.num_clauses();
-        let (model, complete) = blaster.cnf.solve_cancellable(decision_budget, cancel);
+        let (model, complete, depth_stats) = blaster.cnf.solve_with_stats(decision_budget, cancel);
+        sat.absorb(&depth_stats);
         if let Some(model) = model {
             let trace = model_to_trace(verification, &unrolling, &blaster, &model);
             return report(
@@ -513,13 +518,21 @@ pub fn bounded_model_check_cancellable(
                 variables,
                 clauses,
                 Some(trace),
+                sat,
             );
         }
         if !complete {
-            return report(BmcOutcome::Unknown, peak, variables, clauses, None);
+            return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat);
         }
     }
-    report(BmcOutcome::HoldsUpToBound, peak, variables, clauses, None)
+    report(
+        BmcOutcome::HoldsUpToBound,
+        peak,
+        variables,
+        clauses,
+        None,
+        sat,
+    )
 }
 
 #[cfg(test)]

@@ -30,4 +30,4 @@ pub use bitblast::{
 };
 pub use integral::{IntegralLinearSystem, IntegralOutcome};
 pub use random_sim::{random_simulation, random_simulation_cancellable, RandomSimReport};
-pub use sat::{Cnf, Lit};
+pub use sat::{Cnf, Lit, SatStats};

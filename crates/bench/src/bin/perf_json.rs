@@ -1,0 +1,287 @@
+//! JSON performance reporter for the implication / CDCL / portfolio hot paths.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p wlac-bench --release --bin perf_json               # print metrics JSON
+//! cargo run -p wlac-bench --release --bin perf_json -- --check BENCH_2.json
+//! cargo run -p wlac-bench --release --bin perf_json -- --industry01-paper
+//! ```
+//!
+//! Without arguments the reporter runs the paper Small suite through the
+//! word-level ATPG checker, a pigeonhole CDCL workload and a portfolio batch,
+//! and prints one flat JSON object of metrics. With `--check <baseline>` it
+//! additionally loads the committed baseline (the `"after"` object of
+//! `BENCH_2.json`), compares every regression-tracked metric and exits
+//! non-zero when a live metric is more than 3x worse than the baseline —
+//! this is the CI bench smoke gate.
+//!
+//! The binary installs a counting global allocator so `allocs_per_gate_eval`
+//! measures real heap traffic of the implication hot path.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use wlac_baselines::{Cnf, Lit};
+use wlac_bench::run_case;
+use wlac_circuits::{paper_suite, Scale};
+use wlac_portfolio::Portfolio;
+
+/// Wraps the system allocator and counts allocation calls.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// One named measurement. `tracked` metrics participate in the CI regression
+/// gate (larger = worse); untracked ones are informational.
+struct Metric {
+    name: &'static str,
+    value: f64,
+    tracked: bool,
+}
+
+#[allow(clippy::needless_range_loop)]
+fn php_cnf(pigeons: usize, holes: usize) -> Cnf {
+    let mut cnf = Cnf::new();
+    let p: Vec<Vec<usize>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| cnf.fresh_var()).collect())
+        .collect();
+    for row in &p {
+        cnf.add_clause(row.iter().map(|v| Lit::positive(*v)).collect());
+    }
+    for j in 0..holes {
+        for i1 in 0..pigeons {
+            for i2 in i1 + 1..pigeons {
+                cnf.add_clause(vec![Lit::negative(p[i1][j]), Lit::negative(p[i2][j])]);
+            }
+        }
+    }
+    cnf
+}
+
+fn measure_small_suite() -> Vec<Metric> {
+    let suite = paper_suite(Scale::Small);
+    // Warm up so lazily-initialised runtime structures do not count.
+    let _ = run_case(suite.last().expect("non-empty suite"));
+
+    let allocs_before = alloc_calls();
+    let start = Instant::now();
+    let mut gate_evals = 0u64;
+    let mut refinements = 0u64;
+    for case in &suite {
+        let report = run_case(case);
+        gate_evals += report.stats.implication.gate_evaluations;
+        refinements += report.stats.implication.refinements;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = (alloc_calls() - allocs_before) as f64;
+    let evals = gate_evals.max(1) as f64;
+    vec![
+        Metric {
+            name: "atpg_small_wall_s",
+            value: wall,
+            tracked: true,
+        },
+        Metric {
+            name: "atpg_gate_evals",
+            value: evals,
+            tracked: false,
+        },
+        Metric {
+            name: "atpg_refinements",
+            value: refinements as f64,
+            tracked: false,
+        },
+        Metric {
+            name: "implication_ns_per_gate_eval",
+            value: wall * 1e9 / evals,
+            tracked: true,
+        },
+        Metric {
+            name: "allocs_per_gate_eval",
+            value: allocs / evals,
+            tracked: true,
+        },
+    ]
+}
+
+fn measure_cdcl() -> Vec<Metric> {
+    // PHP(8,7): unsatisfiable, solved only through clause learning; a good
+    // end-to-end proxy for propagation + analysis + DB management speed.
+    let cnf = php_cnf(8, 7);
+    let start = Instant::now();
+    let (model, complete) = cnf.solve(2_000_000);
+    let wall = start.elapsed().as_secs_f64();
+    assert!(complete && model.is_none(), "PHP(8,7) must be proved UNSAT");
+    vec![Metric {
+        name: "cdcl_php87_wall_s",
+        value: wall,
+        tracked: true,
+    }]
+}
+
+fn measure_portfolio() -> Vec<Metric> {
+    let suite = paper_suite(Scale::Small);
+    let jobs: Vec<_> = suite.iter().map(|c| c.verification.clone()).collect();
+    let start = Instant::now();
+    let reports = Portfolio::with_defaults().check_batch(&jobs);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), jobs.len());
+    vec![Metric {
+        name: "portfolio_small_wall_s",
+        value: wall,
+        tracked: true,
+    }]
+}
+
+fn measure_industry01_paper() -> Vec<Metric> {
+    let suite = paper_suite(Scale::Paper);
+    let case = suite
+        .iter()
+        .find(|c| c.circuit == "industry_01")
+        .expect("industry_01 case");
+    let start = Instant::now();
+    let report = Portfolio::with_defaults().race(&case.verification);
+    let wall = start.elapsed().as_secs_f64();
+    eprintln!(
+        "industry_01 paper-scale race: {} in {:.3}s",
+        report.verdict.label(),
+        wall
+    );
+    vec![Metric {
+        name: "portfolio_industry01_paper_wall_s",
+        value: wall,
+        tracked: false,
+    }]
+}
+
+fn render_json(metrics: &[Metric]) -> String {
+    let mut out = String::from("{\n");
+    for (i, m) in metrics.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {:.6}{}\n",
+            m.name,
+            m.value,
+            if i + 1 == metrics.len() { "" } else { "," }
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// Extracts `"key": number` pairs from the `"after"` object of a baseline
+/// file (or from the whole file when no `"after"` object exists). The format
+/// is our own flat reporter output, so a scanning parser suffices.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let body = match text.find("\"after\"") {
+        Some(pos) => {
+            let open = text[pos..].find('{').map(|o| pos + o).unwrap_or(0);
+            let close = text[open..]
+                .find('}')
+                .map(|c| open + c)
+                .unwrap_or(text.len());
+            &text[open..close]
+        }
+        None => text,
+    };
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let mut halves = part.splitn(2, ':');
+        let (Some(key), Some(value)) = (halves.next(), halves.next()) else {
+            continue;
+        };
+        let key = key
+            .trim()
+            .trim_matches(|c| c == '"' || c == '{' || c == '\n' || c == ' ');
+        if let Ok(v) = value.trim().trim_end_matches('}').trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut industry01 = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = iter.next().cloned(),
+            "--industry01-paper" => industry01 = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut metrics = Vec::new();
+    metrics.extend(measure_small_suite());
+    metrics.extend(measure_cdcl());
+    metrics.extend(measure_portfolio());
+    if industry01 {
+        metrics.extend(measure_industry01_paper());
+    }
+    println!("{}", render_json(&metrics));
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse_baseline(&text);
+        let mut failures = Vec::new();
+        for m in metrics.iter().filter(|m| m.tracked) {
+            let Some((_, base)) = baseline.iter().find(|(k, _)| k == m.name) else {
+                continue;
+            };
+            // Noise floors keep the gate robust on slow shared CI runners:
+            // tiny wall-clock workloads and per-eval latencies vary with
+            // machine class, while allocs_per_gate_eval is deterministic and
+            // carries the gate with no floor at all.
+            let floor = if m.name.ends_with("_wall_s") {
+                0.05
+            } else if m.name.ends_with("_ns_per_gate_eval") {
+                1500.0
+            } else {
+                0.0
+            };
+            if m.value > (base.max(floor)) * 3.0 {
+                failures.push(format!(
+                    "{}: live {:.6} > 3x baseline {:.6}",
+                    m.name, m.value, base
+                ));
+            }
+        }
+        if failures.is_empty() {
+            eprintln!("perf check OK against {path}");
+        } else {
+            for f in &failures {
+                eprintln!("PERF REGRESSION: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -42,15 +42,28 @@ pub fn add3(a: &Bv3, b: &Bv3) -> (Bv3, Tv) {
 ///
 /// Panics if the operand widths differ.
 pub fn add3_with_carry(a: &Bv3, b: &Bv3, carry_in: Tv) -> (Bv3, Tv) {
-    assert_eq!(a.width(), b.width(), "width mismatch");
     let mut out = Bv3::all_x(a.width());
+    let carry = add3_into(a, b, carry_in, &mut out);
+    (out, carry)
+}
+
+/// Three-valued addition written into a caller-provided scratch cube;
+/// returns the carry-out. The in-place form of [`add3_with_carry`] used by
+/// the implication hot path to avoid constructing fresh cubes.
+///
+/// # Panics
+///
+/// Panics if the widths of `a`, `b` and `out` differ.
+pub fn add3_into(a: &Bv3, b: &Bv3, carry_in: Tv, out: &mut Bv3) -> Tv {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.width(), out.width(), "width mismatch");
     let mut carry = carry_in;
     for i in 0..a.width() {
         let (s, c) = full_add(a.bit(i), b.bit(i), carry);
         out.set_bit(i, s);
         carry = c;
     }
-    (out, carry)
+    carry
 }
 
 /// Three-valued subtraction `a - b`: returns `(difference, borrow_out)`.
@@ -76,15 +89,27 @@ pub fn add3_with_carry(a: &Bv3, b: &Bv3, carry_in: Tv) -> (Bv3, Tv) {
 /// # }
 /// ```
 pub fn sub3(a: &Bv3, b: &Bv3) -> (Bv3, Tv) {
-    assert_eq!(a.width(), b.width(), "width mismatch");
     let mut out = Bv3::all_x(a.width());
+    let borrow = sub3_into(a, b, &mut out);
+    (out, borrow)
+}
+
+/// Three-valued subtraction written into a caller-provided scratch cube;
+/// returns the borrow-out. The in-place form of [`sub3`].
+///
+/// # Panics
+///
+/// Panics if the widths of `a`, `b` and `out` differ.
+pub fn sub3_into(a: &Bv3, b: &Bv3, out: &mut Bv3) -> Tv {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.width(), out.width(), "width mismatch");
     let mut borrow = Tv::Zero;
     for i in 0..a.width() {
         let (d, bo) = full_sub(a.bit(i), b.bit(i), borrow);
         out.set_bit(i, d);
         borrow = bo;
     }
-    (out, borrow)
+    borrow
 }
 
 /// Three-valued negation (two's complement).

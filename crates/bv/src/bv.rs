@@ -1,6 +1,7 @@
 //! Concrete fixed-width bit-vectors of arbitrary width.
 
 use crate::error::ParseBvError;
+use crate::small::SmallWords;
 use crate::{last_word_mask, words_for, WORD_BITS};
 use std::cmp::Ordering;
 use std::fmt;
@@ -15,7 +16,8 @@ use std::str::FromStr;
 ///
 /// Widths may exceed 64 bits (the industrial designs in the paper carry
 /// 152-bit buses); values that fit in a `u64` can be extracted with
-/// [`Bv::to_u64`].
+/// [`Bv::to_u64`]. Values up to 128 bits are stored inline (no heap
+/// allocation); wider values spill to a heap buffer.
 ///
 /// # Examples
 ///
@@ -31,7 +33,7 @@ use std::str::FromStr;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Bv {
     width: usize,
-    words: Vec<u64>,
+    words: SmallWords,
 }
 
 impl Bv {
@@ -44,14 +46,14 @@ impl Bv {
         assert!(width > 0, "bit-vector width must be positive");
         Bv {
             width,
-            words: vec![0; words_for(width)],
+            words: SmallWords::zeroed(words_for(width)),
         }
     }
 
     /// Creates an all-ones bit-vector of the given width.
     pub fn ones(width: usize) -> Self {
         let mut v = Bv::zero(width);
-        for w in &mut v.words {
+        for w in v.words.iter_mut() {
             *w = u64::MAX;
         }
         v.normalize();
@@ -82,9 +84,20 @@ impl Bv {
         Bv::from_u64(1, b as u64)
     }
 
-    fn normalize(&mut self) {
+    pub(crate) fn normalize(&mut self) {
         let n = self.words.len();
         self.words[n - 1] &= last_word_mask(self.width);
+    }
+
+    /// Mutable view of the underlying words (crate-internal: callers must
+    /// re-[`normalize`](Bv::normalize) after writing the last word).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// `true` when the words are stored inline (width ≤ 128 bits).
+    pub fn is_inline(&self) -> bool {
+        self.words.is_inline()
     }
 
     /// The width in bits.
@@ -146,7 +159,7 @@ impl Bv {
     /// Number of trailing zero bits (equals `width` when the value is zero).
     pub fn trailing_zeros(&self) -> usize {
         let mut total = 0;
-        for w in &self.words {
+        for w in self.words.iter() {
             if *w == 0 {
                 total += WORD_BITS;
             } else {
@@ -201,20 +214,17 @@ impl Bv {
     pub fn mul(&self, rhs: &Bv) -> Bv {
         self.check_width(rhs);
         let n = self.words.len();
-        let mut acc = vec![0u64; n];
+        let mut out = Bv::zero(self.width);
         for i in 0..n {
             let mut carry = 0u128;
             for j in 0..n - i {
                 let idx = i + j;
-                let prod = self.words[i] as u128 * rhs.words[j] as u128 + acc[idx] as u128 + carry;
-                acc[idx] = prod as u64;
+                let prod =
+                    self.words[i] as u128 * rhs.words[j] as u128 + out.words[idx] as u128 + carry;
+                out.words[idx] = prod as u64;
                 carry = prod >> 64;
             }
         }
-        let mut out = Bv {
-            width: self.width,
-            words: acc,
-        };
         out.normalize();
         out
     }
@@ -251,10 +261,10 @@ impl Bv {
 
     /// Bitwise NOT.
     pub fn not(&self) -> Bv {
-        let mut out = Bv {
-            width: self.width,
-            words: self.words.iter().map(|w| !w).collect(),
-        };
+        let mut out = Bv::zero(self.width);
+        for (dst, src) in out.words.iter_mut().zip(self.words.iter()) {
+            *dst = !src;
+        }
         out.normalize();
         out
     }

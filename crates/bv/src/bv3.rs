@@ -2,6 +2,7 @@
 
 use crate::bv::split_literal;
 use crate::error::ParseBvError;
+use crate::small::SmallWords;
 use crate::{last_word_mask, words_for, Bv, Tv, WORD_BITS};
 use std::fmt;
 use std::str::FromStr;
@@ -15,7 +16,9 @@ use std::str::FromStr;
 ///
 /// Internally two planes of `u64` words are kept: `known` (bit is not `x`)
 /// and `value` (bit value, only meaningful where `known` is set), with the
-/// invariant `value & !known == 0`.
+/// invariant `value & !known == 0`. Both planes are stored inline for widths
+/// up to 128 bits, so constructing or cloning narrow cubes never touches the
+/// heap — the property the word-level implication hot path depends on.
 ///
 /// # Examples
 ///
@@ -37,9 +40,9 @@ use std::str::FromStr;
 pub struct Bv3 {
     width: usize,
     /// Bit is known (not x).
-    known: Vec<u64>,
+    known: SmallWords,
     /// Bit value; only meaningful where `known` is set.
-    value: Vec<u64>,
+    value: SmallWords,
 }
 
 impl Bv3 {
@@ -53,8 +56,8 @@ impl Bv3 {
         let n = words_for(width);
         Bv3 {
             width,
-            known: vec![0; n],
-            value: vec![0; n],
+            known: SmallWords::zeroed(n),
+            value: SmallWords::zeroed(n),
         }
     }
 
@@ -197,13 +200,16 @@ impl Bv3 {
 
     /// Largest concrete value in the cube (all `x` bits set to 1).
     pub fn max_value(&self) -> Bv {
-        let words: Vec<u64> = self
-            .value
-            .iter()
-            .zip(self.known.iter())
-            .map(|(v, k)| v | !k)
-            .collect();
-        Bv::from_words(self.width, &words)
+        let mut out = Bv::zero(self.width);
+        for (dst, (v, k)) in out
+            .words_mut()
+            .iter_mut()
+            .zip(self.value.iter().zip(self.known.iter()))
+        {
+            *dst = v | !k;
+        }
+        out.normalize();
+        out
     }
 
     /// `true` if the concrete value `v` is a member of the cube.
@@ -303,6 +309,103 @@ impl Bv3 {
         }
         self.normalize();
         Ok(changed)
+    }
+
+    /// Like [`Bv3::refine`], but reports each changed word through
+    /// `on_change(word_index, previous_known, previous_value)` *before*
+    /// overwriting it — the building block of a delta undo trail that stores
+    /// only the words a refinement actually touched instead of a full copy of
+    /// the previous cube.
+    ///
+    /// Runs in two passes so that on a conflict `self` is left unchanged and
+    /// nothing is reported.
+    pub fn refine_recording(
+        &mut self,
+        other: &Bv3,
+        mut on_change: impl FnMut(usize, u64, u64),
+    ) -> Result<bool, CubeConflict> {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for i in 0..self.known.len() {
+            let both = self.known[i] & other.known[i];
+            if (self.value[i] ^ other.value[i]) & both != 0 {
+                return Err(CubeConflict);
+            }
+        }
+        let mask = last_word_mask(self.width);
+        let last = self.known.len() - 1;
+        let mut changed = false;
+        for i in 0..self.known.len() {
+            let word_mask = if i == last { mask } else { u64::MAX };
+            let new_known = (self.known[i] | other.known[i]) & word_mask;
+            if new_known == self.known[i] {
+                continue;
+            }
+            on_change(i, self.known[i], self.value[i]);
+            self.value[i] = (self.value[i] | other.value[i]) & new_known;
+            self.known[i] = new_known;
+            changed = true;
+        }
+        Ok(changed)
+    }
+
+    /// Number of `u64` words per plane.
+    pub fn word_count(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Restores one word of both planes to previously observed values, as
+    /// reported by [`Bv3::refine_recording`]. Low-level trail support: the
+    /// caller must pass plane words that were valid for this cube (the
+    /// `value & !known == 0` invariant is re-imposed defensively).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn restore_word(&mut self, word: usize, known: u64, value: u64) {
+        self.known[word] = known;
+        self.value[word] = value & known;
+    }
+
+    /// `true` when both planes are stored inline (width ≤ 128 bits).
+    pub fn is_inline(&self) -> bool {
+        self.known.is_inline() && self.value.is_inline()
+    }
+
+    /// In-place cube union: keeps a bit known only when both operands agree
+    /// on it. The in-place form of [`Bv3::union`] for scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn union_assign(&mut self, other: &Bv3) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for i in 0..self.known.len() {
+            let agree = self.known[i] & other.known[i] & !(self.value[i] ^ other.value[i]);
+            self.known[i] = agree;
+            self.value[i] &= agree;
+        }
+    }
+
+    /// In-place cube intersection (meet): merges `other`'s known bits into
+    /// `self`. Returns `false` (leaving `self` in a partially-merged but
+    /// still-invariant state) when the cubes are disjoint. The in-place form
+    /// of [`Bv3::intersect`] for scratch buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn intersect_assign(&mut self, other: &Bv3) -> bool {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for i in 0..self.known.len() {
+            let both = self.known[i] & other.known[i];
+            if (self.value[i] ^ other.value[i]) & both != 0 {
+                return false;
+            }
+            self.known[i] |= other.known[i];
+            self.value[i] |= other.value[i];
+        }
+        self.normalize();
+        true
     }
 
     /// Bitwise three-valued AND.

@@ -41,6 +41,7 @@
 mod bv;
 mod bv3;
 mod error;
+mod small;
 mod tv;
 
 pub mod arith;

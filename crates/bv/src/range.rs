@@ -83,32 +83,53 @@ impl Error for EmptyRangeError {}
 ///
 /// Panics if the widths of `cube`, `lo` and `hi` differ.
 pub fn refine_to_range(cube: &Bv3, lo: &Bv, hi: &Bv) -> Result<Bv3, EmptyRangeError> {
+    let mut out = cube.clone();
+    refine_to_range_in_place(&mut out, lo, hi)?;
+    Ok(out)
+}
+
+/// In-place form of [`refine_to_range`]: tightens `cube` directly, so hot
+/// paths can reuse a scratch cube instead of constructing a new one. On error
+/// the cube may hold a partially tightened (but still sound) value.
+///
+/// # Errors
+///
+/// Returns [`EmptyRangeError`] when no value of the cube can lie in
+/// `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if the widths of `cube`, `lo` and `hi` differ.
+pub fn refine_to_range_in_place(cube: &mut Bv3, lo: &Bv, hi: &Bv) -> Result<(), EmptyRangeError> {
     assert_eq!(cube.width(), lo.width(), "width mismatch");
     assert_eq!(cube.width(), hi.width(), "width mismatch");
-    let mut out = cube.clone();
     if lo > hi {
         return Err(EmptyRangeError);
     }
     // Overall feasibility check first.
-    if !intervals_overlap(&out.min_value(), &out.max_value(), lo, hi) {
+    if !intervals_overlap(&cube.min_value(), &cube.max_value(), lo, hi) {
         return Err(EmptyRangeError);
     }
-    for i in (0..out.width()).rev() {
-        if out.bit(i) != Tv::X {
+    for i in (0..cube.width()).rev() {
+        if cube.bit(i) != Tv::X {
             continue;
         }
-        let zero_branch = out.with_bit(i, Tv::Zero);
-        let one_branch = out.with_bit(i, Tv::One);
-        let zero_ok = intervals_overlap(&zero_branch.min_value(), &zero_branch.max_value(), lo, hi);
-        let one_ok = intervals_overlap(&one_branch.min_value(), &one_branch.max_value(), lo, hi);
+        cube.set_bit(i, Tv::Zero);
+        let zero_ok = intervals_overlap(&cube.min_value(), &cube.max_value(), lo, hi);
+        cube.set_bit(i, Tv::One);
+        let one_ok = intervals_overlap(&cube.min_value(), &cube.max_value(), lo, hi);
         match (zero_ok, one_ok) {
-            (true, true) => break, // Rule 2: stop at the first ambiguous bit.
-            (true, false) => out = zero_branch,
-            (false, true) => out = one_branch,
+            (true, true) => {
+                // Rule 2: stop at the first ambiguous bit.
+                cube.set_bit(i, Tv::X);
+                break;
+            }
+            (true, false) => cube.set_bit(i, Tv::Zero),
+            (false, true) => {} // already set to One
             (false, false) => return Err(EmptyRangeError),
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// `true` when `[a_lo, a_hi]` and `[b_lo, b_hi]` intersect.

@@ -1,0 +1,206 @@
+//! Differential tests: the word-parallel `Bv3` operations must agree with a
+//! naive per-bit three-valued reference model across the inline/spilled
+//! representation boundary (widths 1, 63, 64, 65, 128, 129).
+//!
+//! Widths up to 128 bits use the inline small-vector storage; 129 bits spills
+//! to the heap. Every operation must produce identical logical results on
+//! both sides of that boundary.
+
+use wlac_bv::{Bv, Bv3, Tv};
+use wlac_rng::Rng64 as Rng;
+
+/// The widths straddling every storage boundary: one word, two words
+/// (inline), and three words (spilled).
+const WIDTHS: [usize; 6] = [1, 63, 64, 65, 128, 129];
+
+/// Deterministic random cube: each bit independently 0, 1 or x.
+fn random_cube(rng: &mut Rng, width: usize) -> Bv3 {
+    let mut out = Bv3::all_x(width);
+    for i in 0..width {
+        let t = match rng.next_u64() % 3 {
+            0 => Tv::Zero,
+            1 => Tv::One,
+            _ => Tv::X,
+        };
+        out.set_bit(i, t);
+    }
+    out
+}
+
+fn random_bv(rng: &mut Rng, width: usize) -> Bv {
+    let mut out = Bv::zero(width);
+    for i in 0..width {
+        out = out.with_bit(i, rng.next_u64() & 1 == 1);
+    }
+    out
+}
+
+/// Per-bit reference for the bitwise three-valued operations.
+fn ref_bitwise(a: &Bv3, b: &Bv3, f: impl Fn(Tv, Tv) -> Tv) -> Bv3 {
+    let mut out = Bv3::all_x(a.width());
+    for i in 0..a.width() {
+        out.set_bit(i, f(a.bit(i), b.bit(i)));
+    }
+    out
+}
+
+#[test]
+fn representation_matches_width_boundary() {
+    for &w in &WIDTHS {
+        let cube = Bv3::all_x(w);
+        let value = Bv::zero(w);
+        assert_eq!(cube.is_inline(), w <= 128, "Bv3 width {w}");
+        assert_eq!(value.is_inline(), w <= 128, "Bv width {w}");
+    }
+}
+
+#[test]
+fn bitwise_ops_match_per_bit_reference() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0001);
+    for &w in &WIDTHS {
+        for _ in 0..16 {
+            let a = random_cube(&mut rng, w);
+            let b = random_cube(&mut rng, w);
+            assert_eq!(a.and3(&b), ref_bitwise(&a, &b, |x, y| x & y), "and3 w={w}");
+            assert_eq!(a.or3(&b), ref_bitwise(&a, &b, |x, y| x | y), "or3 w={w}");
+            assert_eq!(a.xor3(&b), ref_bitwise(&a, &b, |x, y| x ^ y), "xor3 w={w}");
+            assert_eq!(a.not3(), ref_bitwise(&a, &a, |x, _| !x), "not3 w={w}");
+        }
+    }
+}
+
+#[test]
+fn intersect_union_refine_match_per_bit_reference() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0002);
+    for &w in &WIDTHS {
+        for _ in 0..16 {
+            let a = random_cube(&mut rng, w);
+            let b = random_cube(&mut rng, w);
+
+            // Reference intersection: per-bit Tv::intersect, None on clash.
+            let mut ref_meet = Some(Bv3::all_x(w));
+            for i in 0..w {
+                match a.bit(i).intersect(b.bit(i)) {
+                    Some(t) => {
+                        if let Some(m) = ref_meet.as_mut() {
+                            m.set_bit(i, t);
+                        }
+                    }
+                    None => ref_meet = None,
+                }
+                if ref_meet.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(a.intersect(&b), ref_meet, "intersect w={w}");
+
+            // In-place meet agrees with the functional form.
+            let mut meet_in_place = a.clone();
+            let compatible = meet_in_place.intersect_assign(&b);
+            assert_eq!(compatible, ref_meet.is_some(), "intersect_assign w={w}");
+            if let Some(m) = &ref_meet {
+                assert_eq!(&meet_in_place, m, "intersect_assign value w={w}");
+            }
+
+            // Union: per-bit Tv::union.
+            let ref_union = ref_bitwise(&a, &b, |x, y| x.union(y));
+            assert_eq!(a.union(&b), ref_union, "union w={w}");
+            let mut union_in_place = a.clone();
+            union_in_place.union_assign(&b);
+            assert_eq!(union_in_place, ref_union, "union_assign w={w}");
+
+            // Refine == intersect (same lattice meet, conflict == disjoint).
+            let mut refined = a.clone();
+            match refined.refine(&b) {
+                Ok(_) => assert_eq!(Some(refined), ref_meet, "refine w={w}"),
+                Err(_) => assert!(ref_meet.is_none(), "refine conflict w={w}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn refine_recording_deltas_restore_exactly() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0003);
+    for &w in &WIDTHS {
+        for _ in 0..8 {
+            let original = random_cube(&mut rng, w);
+            let other = random_cube(&mut rng, w);
+            let mut cube = original.clone();
+            let mut deltas: Vec<(usize, u64, u64)> = Vec::new();
+            match cube.refine_recording(&other, |i, k, v| deltas.push((i, k, v))) {
+                Ok(changed) => {
+                    assert_eq!(changed, !deltas.is_empty(), "w={w}");
+                    // Replaying the recorded deltas in reverse restores the
+                    // original cube exactly.
+                    for (i, k, v) in deltas.into_iter().rev() {
+                        cube.restore_word(i, k, v);
+                    }
+                    assert_eq!(cube, original, "restore w={w}");
+                }
+                Err(_) => {
+                    // On conflict nothing may have been reported or changed.
+                    assert!(deltas.is_empty(), "w={w}");
+                    assert_eq!(cube, original, "conflict leaves cube intact w={w}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn min_max_matches_and_members_are_covered() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0004);
+    for &w in &WIDTHS {
+        for _ in 0..8 {
+            let a = random_cube(&mut rng, w);
+            let (lo, hi) = (a.min_value(), a.max_value());
+            assert!(lo <= hi, "w={w}");
+            assert!(a.matches(&lo), "min member w={w}");
+            assert!(a.matches(&hi), "max member w={w}");
+            // A random member obtained by filling x bits stays in range.
+            let mut member = lo.clone();
+            for i in 0..w {
+                if a.bit(i) == Tv::X {
+                    member = member.with_bit(i, rng.next_u64() & 1 == 1);
+                }
+            }
+            assert!(a.matches(&member), "member w={w}");
+            assert!(lo <= member && member <= hi, "member range w={w}");
+        }
+    }
+}
+
+#[test]
+fn concrete_roundtrip_across_widths() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0005);
+    for &w in &WIDTHS {
+        for _ in 0..8 {
+            let v = random_bv(&mut rng, w);
+            let cube = Bv3::from_bv(&v);
+            assert!(cube.is_fully_known(), "w={w}");
+            assert_eq!(cube.to_bv(), Some(v.clone()), "roundtrip w={w}");
+            assert_eq!(cube.min_value(), v, "min w={w}");
+            assert_eq!(cube.max_value(), v, "max w={w}");
+        }
+    }
+}
+
+#[test]
+fn slicing_across_the_word_boundary() {
+    let mut rng = Rng::seed_from_u64(0xD1FF_0006);
+    // Slicing a spilled 129-bit cube down to inline widths and back up.
+    let wide = random_cube(&mut rng, 129);
+    for lo in [0usize, 1, 63, 64, 65] {
+        let slice = wide.slice(lo, 64);
+        assert!(slice.is_inline());
+        for i in 0..64 {
+            assert_eq!(slice.bit(i), wide.bit(lo + i), "lo={lo} bit={i}");
+        }
+    }
+    let back = wide.slice(1, 128).concat(&wide.slice(0, 1));
+    assert_eq!(back.width(), 129);
+    for i in 0..129 {
+        assert_eq!(back.bit(i), wide.bit(i), "concat bit={i}");
+    }
+}

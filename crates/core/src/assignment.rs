@@ -1,10 +1,13 @@
-//! Word-level value assignment with a backtrackable trail.
+//! Word-level value assignment with a backtrackable delta trail.
 //!
 //! Unlike bit-level ATPG, a word-level signal can be implied several times
 //! (each time refining more bits), so backtracking cannot simply reset nets
 //! to `x` — it must restore the *previous partially-implied value*
-//! (Section 3.1 of the paper). The [`Assignment`] keeps a trail of previous
-//! cube values for exactly this purpose.
+//! (Section 3.1 of the paper). The [`Assignment`] keeps an undo trail for
+//! exactly this purpose; instead of a full copy of the previous cube, each
+//! trail entry records only one plane *word* a refinement overwrote (the
+//! delta), so refining one bit of a wide bus costs a single 24-byte entry
+//! and no heap allocation.
 
 use wlac_bv::Bv3;
 use wlac_netlist::{NetId, Netlist};
@@ -16,11 +19,21 @@ pub struct Conflict {
     pub net: NetId,
 }
 
-/// The current three-valued value of every net plus an undo trail.
+/// One overwritten plane word: enough to restore a net's previous value when
+/// popped in reverse order.
+#[derive(Debug, Clone, Copy)]
+struct TrailEntry {
+    net: NetId,
+    word: u32,
+    known: u64,
+    value: u64,
+}
+
+/// The current three-valued value of every net plus a word-delta undo trail.
 #[derive(Debug, Clone)]
 pub struct Assignment {
     values: Vec<Bv3>,
-    trail: Vec<(NetId, Bv3)>,
+    trail: Vec<TrailEntry>,
     peak_trail: usize,
 }
 
@@ -42,28 +55,28 @@ impl Assignment {
         &self.values[net.index()]
     }
 
-    /// Refines the value of `net` with `new`, recording the previous value on
-    /// the trail. Returns `Ok(true)` when at least one bit became newly
-    /// known.
+    /// Refines the value of `net` with `new`, recording the overwritten plane
+    /// words on the trail. Returns `Ok(true)` when at least one bit became
+    /// newly known.
     ///
     /// # Errors
     ///
     /// Returns [`Conflict`] when a known bit of `new` contradicts the current
     /// value; the assignment is left unchanged in that case.
     pub fn refine(&mut self, net: NetId, new: &Bv3) -> Result<bool, Conflict> {
-        let current = &self.values[net.index()];
-        if current.covers(new) && new.covers(current) {
-            return Ok(false);
-        }
-        let mut merged = current.clone();
-        match merged.refine(new) {
-            Ok(true) => {
-                self.trail.push((net, self.values[net.index()].clone()));
+        let trail = &mut self.trail;
+        match self.values[net.index()].refine_recording(new, |word, known, value| {
+            trail.push(TrailEntry {
+                net,
+                word: word as u32,
+                known,
+                value,
+            });
+        }) {
+            Ok(changed) => {
                 self.peak_trail = self.peak_trail.max(self.trail.len());
-                self.values[net.index()] = merged;
-                Ok(true)
+                Ok(changed)
             }
-            Ok(false) => Ok(false),
             Err(_) => Err(Conflict { net }),
         }
     }
@@ -81,8 +94,12 @@ impl Assignment {
     pub fn backtrack_to(&mut self, mark: usize) {
         assert!(mark <= self.trail.len(), "mark beyond trail");
         while self.trail.len() > mark {
-            let (net, previous) = self.trail.pop().expect("non-empty trail");
-            self.values[net.index()] = previous;
+            let entry = self.trail.pop().expect("non-empty trail");
+            self.values[entry.net.index()].restore_word(
+                entry.word as usize,
+                entry.known,
+                entry.value,
+            );
         }
     }
 
@@ -101,14 +118,9 @@ impl Assignment {
     /// Approximate number of bytes held by the assignment and its trail at
     /// its peak, used to reproduce the paper's memory column.
     pub fn peak_memory_bytes(&self) -> usize {
-        let cube_bytes = |c: &Bv3| 2 * c.width().div_ceil(64) * 8 + 16;
+        let cube_bytes = |c: &Bv3| 2 * c.width().div_ceil(64).max(2) * 8 + 16;
         let values: usize = self.values.iter().map(cube_bytes).sum();
-        let avg = if self.values.is_empty() {
-            0
-        } else {
-            values / self.values.len()
-        };
-        values + self.peak_trail * (avg + 8)
+        values + self.peak_trail * std::mem::size_of::<TrailEntry>()
     }
 
     /// Number of nets tracked.
@@ -127,6 +139,7 @@ impl Assignment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wlac_bv::Tv;
     use wlac_netlist::Netlist;
 
     fn cube(s: &str) -> Bv3 {
@@ -185,6 +198,61 @@ mod tests {
         assert_eq!(asg.peak_trail(), 2);
         assert_eq!(asg.len(), nl.net_count());
         assert!(!asg.is_empty());
+    }
+
+    #[test]
+    fn interleaved_multi_refinement_backtracking() {
+        // Regression test for the delta trail: two nets are each refined
+        // several times (including refinements touching several words of a
+        // wide bus) with their refinements interleaved, then restored level
+        // by level. Every mark must restore the exact partially-implied
+        // values of both nets, not just the latest one.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let w = nl.input("w", 130); // three words: exercises multi-word deltas
+        let mut asg = Assignment::new(&nl);
+
+        let m0 = asg.mark();
+        asg.refine(a, &cube("4'b1xxx")).unwrap();
+        let mut w_lo = Bv3::all_x(130);
+        w_lo.set_bit(0, Tv::One);
+        asg.refine(w, &w_lo).unwrap();
+
+        let m1 = asg.mark();
+        let mut w_mid_hi = Bv3::all_x(130);
+        w_mid_hi.set_bit(64, Tv::Zero); // second word
+        w_mid_hi.set_bit(129, Tv::One); // third word — same refinement
+        asg.refine(w, &w_mid_hi).unwrap();
+        asg.refine(a, &cube("4'bxx0x")).unwrap();
+
+        let m2 = asg.mark();
+        asg.refine(a, &cube("4'bxxx1")).unwrap();
+        let mut w_more = Bv3::all_x(130);
+        w_more.set_bit(1, Tv::Zero); // first word again, at a deeper level
+        asg.refine(w, &w_more).unwrap();
+
+        assert_eq!(asg.value(a), &cube("4'b1x01"));
+        assert_eq!(asg.value(w).bit(0), Tv::One);
+        assert_eq!(asg.value(w).bit(1), Tv::Zero);
+        assert_eq!(asg.value(w).bit(64), Tv::Zero);
+        assert_eq!(asg.value(w).bit(129), Tv::One);
+
+        asg.backtrack_to(m2);
+        assert_eq!(asg.value(a), &cube("4'b1x0x"));
+        assert_eq!(asg.value(w).bit(0), Tv::One);
+        assert_eq!(asg.value(w).bit(1), Tv::X);
+        assert_eq!(asg.value(w).bit(64), Tv::Zero);
+        assert_eq!(asg.value(w).bit(129), Tv::One);
+
+        asg.backtrack_to(m1);
+        assert_eq!(asg.value(a), &cube("4'b1xxx"));
+        assert_eq!(asg.value(w).bit(0), Tv::One);
+        assert_eq!(asg.value(w).bit(64), Tv::X);
+        assert_eq!(asg.value(w).bit(129), Tv::X);
+
+        asg.backtrack_to(m0);
+        assert_eq!(asg.value(a), &Bv3::all_x(4));
+        assert!(asg.value(w).is_all_x());
     }
 
     #[test]

@@ -269,7 +269,7 @@ fn solve_island(
             }
         }
     }
-    match system.solve() {
+    match system.solve_interruptible(&mut || options.cancel.is_cancelled()) {
         MixedOutcome::Solution(values) => IslandOutcome::Assignment(
             island
                 .nets

@@ -13,13 +13,18 @@
 //! * frame-connection buffers (the unrolled form of registers) propagate in
 //!   both directions.
 //!
-//! The [`Propagator`] runs these rules to a fixed point over an event queue;
-//! any contradiction surfaces as a [`Conflict`].
+//! The [`Propagator`] runs these rules to a fixed point over a levelized
+//! event queue (gates bucketed by topological depth, so forward implications
+//! sweep the circuit in evaluation order and each gate is typically visited
+//! once per wave); any contradiction surfaces as a [`Conflict`].
+//!
+//! The whole loop is allocation-free at steady state for nets up to 128 bits:
+//! cubes are stored inline ([`wlac_bv::Bv3`]), proposals go through reusable
+//! scratch buffers, and the assignment trail records word deltas.
 
 use crate::assignment::{Assignment, Conflict};
-use std::collections::VecDeque;
 use wlac_bv::arith::{add3, eq3, ge3, gt3, le3, lt3, mul3, ne3, shift3_var, sub3};
-use wlac_bv::range::{refine_to_range, saturating_dec, saturating_inc};
+use wlac_bv::range::{refine_to_range_in_place, saturating_dec, saturating_inc};
 use wlac_bv::{Bv, Bv3, Tv};
 use wlac_netlist::{Gate, GateId, GateKind, NetId, Netlist};
 
@@ -104,7 +109,11 @@ pub(crate) fn forward_eval(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> 
             match sel {
                 Tv::One => input(1),
                 Tv::Zero => input(2),
-                Tv::X => input(1).union(&input(2)),
+                Tv::X => {
+                    let mut union = input(1);
+                    union.union_assign(asg.value(gate.inputs[2]));
+                    union
+                }
             }
         }
         GateKind::Concat => input(0).concat(&input(1)),
@@ -116,21 +125,40 @@ pub(crate) fn forward_eval(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> 
 /// Proposed refinements (net, cube) produced by one gate implication step.
 type Proposals = Vec<(NetId, Bv3)>;
 
-/// Computes forward and backward implications for one gate.
-///
-/// The returned proposals are merged into the assignment by the caller; a
-/// proposal never *weakens* a value (merging is monotone), and conflicting
-/// proposals are detected by [`Assignment::refine`].
-pub(crate) fn imply_gate(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> Proposals {
-    let mut out = Vec::new();
-    // Forward.
-    out.push((gate.output, forward_eval(netlist, gate, asg)));
-    // Backward.
-    backward(netlist, gate, asg, &mut out);
-    out
+/// Reusable buffers threaded through gate implication so that steady-state
+/// propagation performs no heap allocation: `proposals` collects the
+/// refinements of one gate evaluation, `cubes` holds per-input working copies
+/// for the variadic Boolean gates. Both keep their capacity across gates.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    proposals: Proposals,
+    cubes: Vec<Bv3>,
 }
 
-fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposals) {
+/// Computes forward and backward implications for one gate into
+/// `scratch.proposals` (cleared first).
+///
+/// The proposals are merged into the assignment by the caller; a proposal
+/// never *weakens* a value (merging is monotone), and conflicting proposals
+/// are detected by [`Assignment::refine`].
+pub(crate) fn imply_gate(netlist: &Netlist, gate: &Gate, asg: &Assignment, scratch: &mut Scratch) {
+    scratch.proposals.clear();
+    // Forward.
+    scratch
+        .proposals
+        .push((gate.output, forward_eval(netlist, gate, asg)));
+    // Backward.
+    let Scratch { proposals, cubes } = scratch;
+    backward(netlist, gate, asg, proposals, cubes);
+}
+
+fn backward(
+    netlist: &Netlist,
+    gate: &Gate,
+    asg: &Assignment,
+    out: &mut Proposals,
+    cubes: &mut Vec<Bv3>,
+) {
     let y = asg.value(gate.output).clone();
     let input = |i: usize| asg.value(gate.inputs[i]).clone();
     match &gate.kind {
@@ -140,63 +168,71 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
         GateKind::And | GateKind::Or => {
             let is_and = gate.kind == GateKind::And;
             let width = y.width();
-            let values: Vec<Bv3> = gate.inputs.iter().map(|n| asg.value(*n).clone()).collect();
-            let mut proposals: Vec<Bv3> = values.clone();
+            // Working copies double as both the "current value" snapshot and
+            // the refined proposal: every mutation below touches only the bit
+            // position currently being decided, which is read before it is
+            // written, so no stale reads can occur.
+            cubes.clear();
+            cubes.extend(gate.inputs.iter().map(|n| asg.value(*n).clone()));
+            let controlling = if is_and { Tv::Zero } else { Tv::One };
+            let passive = !controlling;
             for bit in 0..width {
-                let controlling = if is_and { Tv::Zero } else { Tv::One };
-                let passive = !controlling;
                 match y.bit(bit) {
                     t if t == passive => {
                         // AND output 1 / OR output 0: every input takes the passive value.
-                        for p in proposals.iter_mut() {
+                        for p in cubes.iter_mut() {
                             p.set_bit(bit, passive);
                         }
                     }
                     t if t == controlling => {
                         // Exactly one undetermined input left while all others
                         // are passive: it must take the controlling value.
-                        let undecided: Vec<usize> = values
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, v)| v.bit(bit) != passive)
-                            .map(|(i, _)| i)
-                            .collect();
-                        if undecided.len() == 1 && values[undecided[0]].bit(bit) == Tv::X {
-                            proposals[undecided[0]].set_bit(bit, controlling);
+                        let mut undecided = 0usize;
+                        let mut last = 0usize;
+                        for (i, v) in cubes.iter().enumerate() {
+                            if v.bit(bit) != passive {
+                                undecided += 1;
+                                last = i;
+                            }
+                        }
+                        if undecided == 1 && cubes[last].bit(bit) == Tv::X {
+                            cubes[last].set_bit(bit, controlling);
                         }
                     }
                     _ => {}
                 }
             }
-            for (net, cube) in gate.inputs.iter().zip(proposals) {
+            for (net, cube) in gate.inputs.iter().zip(cubes.drain(..)) {
                 out.push((*net, cube));
             }
         }
         GateKind::Xor => {
             let width = y.width();
-            let values: Vec<Bv3> = gate.inputs.iter().map(|n| asg.value(*n).clone()).collect();
-            let mut proposals: Vec<Bv3> = values.clone();
+            cubes.clear();
+            cubes.extend(gate.inputs.iter().map(|n| asg.value(*n).clone()));
             for bit in 0..width {
                 if !y.bit(bit).is_known() {
                     continue;
                 }
-                let unknown: Vec<usize> = values
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, v)| !v.bit(bit).is_known())
-                    .map(|(i, _)| i)
-                    .collect();
-                if unknown.len() == 1 {
+                let mut unknown = 0usize;
+                let mut last = 0usize;
+                for (i, v) in cubes.iter().enumerate() {
+                    if !v.bit(bit).is_known() {
+                        unknown += 1;
+                        last = i;
+                    }
+                }
+                if unknown == 1 {
                     let mut parity = y.bit(bit);
-                    for (i, v) in values.iter().enumerate() {
-                        if i != unknown[0] {
+                    for (i, v) in cubes.iter().enumerate() {
+                        if i != last {
                             parity = parity ^ v.bit(bit);
                         }
                     }
-                    proposals[unknown[0]].set_bit(bit, parity);
+                    cubes[last].set_bit(bit, parity);
                 }
             }
-            for (net, cube) in gate.inputs.iter().zip(proposals) {
+            for (net, cube) in gate.inputs.iter().zip(cubes.drain(..)) {
                 out.push((*net, cube));
             }
         }
@@ -205,11 +241,10 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
             match y.to_tv() {
                 Tv::One => out.push((gate.inputs[0], Bv3::from_bv(&Bv::ones(v.width())))),
                 Tv::Zero => {
-                    let unknown: Vec<usize> =
-                        (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
-                    let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
-                    if unknown.len() == 1 && ones == v.width() - 1 {
-                        out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::Zero)));
+                    let (unknown, first_unknown) = count_bits(&v, Tv::X);
+                    let (ones, _) = count_bits(&v, Tv::One);
+                    if unknown == 1 && ones == v.width() - 1 {
+                        out.push((gate.inputs[0], v.with_bit(first_unknown, Tv::Zero)));
                     }
                 }
                 Tv::X => {}
@@ -220,11 +255,10 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
             match y.to_tv() {
                 Tv::Zero => out.push((gate.inputs[0], Bv3::from_bv(&Bv::zero(v.width())))),
                 Tv::One => {
-                    let unknown: Vec<usize> =
-                        (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
-                    let zeros = (0..v.width()).filter(|i| v.bit(*i) == Tv::Zero).count();
-                    if unknown.len() == 1 && zeros == v.width() - 1 {
-                        out.push((gate.inputs[0], v.with_bit(unknown[0], Tv::One)));
+                    let (unknown, first_unknown) = count_bits(&v, Tv::X);
+                    let (zeros, _) = count_bits(&v, Tv::Zero);
+                    if unknown == 1 && zeros == v.width() - 1 {
+                        out.push((gate.inputs[0], v.with_bit(first_unknown, Tv::One)));
                     }
                 }
                 Tv::X => {}
@@ -233,13 +267,13 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
         GateKind::ReduceXor => {
             let v = input(0);
             if let Some(target) = y.to_tv().to_bool() {
-                let unknown: Vec<usize> = (0..v.width()).filter(|i| v.bit(*i) == Tv::X).collect();
-                if unknown.len() == 1 {
-                    let ones = (0..v.width()).filter(|i| v.bit(*i) == Tv::One).count();
+                let (unknown, first_unknown) = count_bits(&v, Tv::X);
+                if unknown == 1 {
+                    let (ones, _) = count_bits(&v, Tv::One);
                     let needed = target != (ones % 2 == 1);
                     out.push((
                         gate.inputs[0],
-                        v.with_bit(unknown[0], Tv::from_bool(needed)),
+                        v.with_bit(first_unknown, Tv::from_bool(needed)),
                     ));
                 }
             }
@@ -286,7 +320,8 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
                 _ => None,
             };
             if equal_required == Some(true) {
-                if let Some(meet) = input(0).intersect(&input(1)) {
+                let mut meet = input(0);
+                if meet.intersect_assign(asg.value(gate.inputs[1])) {
                     out.push((gate.inputs[0], meet.clone()));
                     out.push((gate.inputs[1], meet));
                 } else {
@@ -327,15 +362,17 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
                 };
                 let a_hi = if a_hi < max_a { a_hi } else { max_a };
                 let b_lo = if b_lo > min_b { b_lo } else { min_b };
-                match refine_to_range(&a, &min_a, &a_hi) {
-                    Ok(refined) => out.push((gate.inputs[a_idx], refined)),
+                let mut refined_a = a.clone();
+                match refine_to_range_in_place(&mut refined_a, &min_a, &a_hi) {
+                    Ok(()) => out.push((gate.inputs[a_idx], refined_a)),
                     Err(_) => {
                         // No member of `a` satisfies the relation: force a conflict.
                         out.push((gate.output, Bv3::from_tv(Tv::from_bool(!truth))));
                     }
                 }
-                match refine_to_range(&b, &b_lo, &b.max_value()) {
-                    Ok(refined) => out.push((gate.inputs[b_idx], refined)),
+                let mut refined_b = b.clone();
+                match refine_to_range_in_place(&mut refined_b, &b_lo, &max_b) {
+                    Ok(()) => out.push((gate.inputs[b_idx], refined_b)),
                     Err(_) => {
                         out.push((gate.output, Bv3::from_tv(Tv::from_bool(!truth))));
                     }
@@ -348,12 +385,14 @@ fn backward(netlist: &Netlist, gate: &Gate, asg: &Assignment, out: &mut Proposal
             let e = input(2);
             match sel.to_tv() {
                 Tv::One => {
-                    if let Some(meet) = t.intersect(&y) {
+                    let mut meet = t;
+                    if meet.intersect_assign(&y) {
                         out.push((gate.inputs[1], meet));
                     }
                 }
                 Tv::Zero => {
-                    if let Some(meet) = e.intersect(&y) {
+                    let mut meet = e;
+                    if meet.intersect_assign(&y) {
                         out.push((gate.inputs[2], meet));
                     }
                 }
@@ -429,18 +468,73 @@ fn backward_mul(y: &Bv3, a: &Bv3, b: &Bv3, gate: &Gate, out: &mut Proposals) {
     }
 }
 
+/// Counts bits of `cube` equal to `t`, also returning the index of the last
+/// such bit (0 when there is none). Used by the reduction-gate backward rules
+/// without building index vectors.
+fn count_bits(cube: &Bv3, t: Tv) -> (usize, usize) {
+    let mut count = 0;
+    let mut last = 0;
+    for i in 0..cube.width() {
+        if cube.bit(i) == t {
+            count += 1;
+            last = i;
+        }
+    }
+    (count, last)
+}
+
 /// Event-driven fixed-point implication over a netlist.
+///
+/// Pending gates are kept in a *levelized bucket queue* ordered by
+/// topological depth: forward implications are processed as one sweep from
+/// inputs to outputs instead of FIFO interleaving, which minimises repeated
+/// re-evaluation of deep gates. Backward implications re-activate shallower
+/// buckets by moving the scan cursor back. All buffers (buckets, queued
+/// flags, proposal scratch) are allocated once per netlist and reused across
+/// runs, so a `Propagator` should be created once per search and shared by
+/// every decision/backtrack cycle.
 #[derive(Debug)]
 pub(crate) struct Propagator {
-    queue: VecDeque<GateId>,
+    /// Pending gates, bucketed by topological depth.
+    buckets: Vec<Vec<GateId>>,
+    /// Topological depth per gate (flip-flops and sources at depth 0).
+    depth: Vec<u32>,
     queued: Vec<bool>,
+    /// Lowest bucket index that may be non-empty.
+    active_min: usize,
+    /// Total number of queued gates.
+    pending: usize,
+    scratch: Scratch,
 }
 
 impl Propagator {
     pub(crate) fn new(netlist: &Netlist) -> Self {
+        let mut depth = vec![0u32; netlist.gate_count()];
+        // Combinational cycles cannot happen in well-formed netlists; if they
+        // do, every gate stays at depth 0 and the queue degenerates to a
+        // single LIFO bucket, which is still correct.
+        if let Ok(order) = netlist.combinational_order() {
+            for gate_id in order {
+                let gate = netlist.gate(gate_id);
+                let d = gate
+                    .inputs
+                    .iter()
+                    .filter_map(|n| netlist.driver(*n))
+                    .filter(|g| !netlist.gate(*g).kind.is_flip_flop())
+                    .map(|g| depth[g.index()] + 1)
+                    .max()
+                    .unwrap_or(0);
+                depth[gate_id.index()] = d;
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0) as usize;
         Propagator {
-            queue: VecDeque::new(),
+            buckets: vec![Vec::new(); max_depth + 1],
+            depth,
             queued: vec![false; netlist.gate_count()],
+            active_min: max_depth + 1,
+            pending: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -454,8 +548,36 @@ impl Propagator {
     fn enqueue(&mut self, gate: GateId) {
         if !self.queued[gate.index()] {
             self.queued[gate.index()] = true;
-            self.queue.push_back(gate);
+            let d = self.depth[gate.index()] as usize;
+            self.buckets[d].push(gate);
+            self.pending += 1;
+            self.active_min = self.active_min.min(d);
         }
+    }
+
+    fn pop(&mut self) -> Option<GateId> {
+        if self.pending == 0 {
+            return None;
+        }
+        while self.buckets[self.active_min].is_empty() {
+            self.active_min += 1;
+        }
+        let gate = self.buckets[self.active_min]
+            .pop()
+            .expect("non-empty bucket");
+        self.queued[gate.index()] = false;
+        self.pending -= 1;
+        Some(gate)
+    }
+
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            for gate in bucket.drain(..) {
+                self.queued[gate.index()] = false;
+            }
+        }
+        self.pending = 0;
+        self.active_min = self.buckets.len();
     }
 
     /// Enqueues the driver and readers of a net whose value changed.
@@ -481,26 +603,125 @@ impl Propagator {
         asg: &mut Assignment,
         stats: &mut ImplicationStats,
     ) -> Result<(), Conflict> {
-        while let Some(gate_id) = self.queue.pop_front() {
-            self.queued[gate_id.index()] = false;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self.run_inner(netlist, asg, stats, &mut scratch);
+        self.scratch = scratch;
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        netlist: &Netlist,
+        asg: &mut Assignment,
+        stats: &mut ImplicationStats,
+        scratch: &mut Scratch,
+    ) -> Result<(), Conflict> {
+        while let Some(gate_id) = self.pop() {
             let gate = netlist.gate(gate_id);
             stats.gate_evaluations += 1;
-            for (net, cube) in imply_gate(netlist, gate, asg) {
-                match asg.refine(net, &cube) {
+            imply_gate(netlist, gate, asg, scratch);
+            for (net, cube) in &scratch.proposals {
+                match asg.refine(*net, cube) {
                     Ok(true) => {
                         stats.refinements += 1;
-                        self.enqueue_net(netlist, net);
+                        self.enqueue_net(netlist, *net);
                     }
                     Ok(false) => {}
                     Err(conflict) => {
-                        self.queue.clear();
-                        self.queued.iter_mut().for_each(|q| *q = false);
+                        self.clear();
                         return Err(conflict);
                     }
                 }
             }
         }
         Ok(())
+    }
+}
+
+/// A standalone word-level implication engine: an [`Assignment`] plus a
+/// levelized [`Propagator`] behind a small public API.
+///
+/// This exposes the checker's innermost loop — refine a net, propagate to a
+/// fixed point, backtrack — for diagnostics, benchmarking and embedding. At
+/// steady state (after the first propagation has warmed the internal
+/// buffers) the engine performs **zero heap allocations** for nets up to
+/// 128 bits wide; `crates/core/tests/alloc_free.rs` enforces this with a
+/// counting allocator.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_atpg::ImplicationEngine;
+/// use wlac_netlist::Netlist;
+///
+/// let mut nl = Netlist::new("demo");
+/// let a = nl.input("a", 4);
+/// let b = nl.input("b", 4);
+/// let y = nl.add(a, b);
+/// let mut engine = ImplicationEngine::new(&nl);
+/// engine.assume(&nl, y, &"4'b0111".parse().unwrap()).unwrap();
+/// engine.assume(&nl, a, &"4'b1x1x".parse().unwrap()).unwrap();
+/// engine.propagate(&nl).unwrap();
+/// assert_eq!(engine.value(b).to_string(), "4'b1x0x");
+/// ```
+#[derive(Debug)]
+pub struct ImplicationEngine {
+    asg: Assignment,
+    propagator: Propagator,
+    stats: ImplicationStats,
+}
+
+impl ImplicationEngine {
+    /// Creates an engine with every net unknown.
+    pub fn new(netlist: &Netlist) -> Self {
+        ImplicationEngine {
+            asg: Assignment::new(netlist),
+            propagator: Propagator::new(netlist),
+            stats: ImplicationStats::default(),
+        }
+    }
+
+    /// Refines `net` with `cube` and schedules the affected gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Conflict`] when the cube contradicts the current value.
+    pub fn assume(&mut self, netlist: &Netlist, net: NetId, cube: &Bv3) -> Result<bool, Conflict> {
+        let changed = self.asg.refine(net, cube)?;
+        if changed {
+            self.propagator.enqueue_net(netlist, net);
+        }
+        Ok(changed)
+    }
+
+    /// Runs implication to a fixed point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Conflict`]; the caller is expected to
+    /// [`backtrack`](ImplicationEngine::backtrack_to) past it.
+    pub fn propagate(&mut self, netlist: &Netlist) -> Result<(), Conflict> {
+        self.propagator.run(netlist, &mut self.asg, &mut self.stats)
+    }
+
+    /// Current value of a net.
+    pub fn value(&self, net: NetId) -> &Bv3 {
+        self.asg.value(net)
+    }
+
+    /// Takes a trail mark for later backtracking.
+    pub fn mark(&self) -> usize {
+        self.asg.mark()
+    }
+
+    /// Restores every net to its value at `mark`.
+    pub fn backtrack_to(&mut self, mark: usize) {
+        self.asg.backtrack_to(mark);
+    }
+
+    /// Accumulated implication statistics.
+    pub fn stats(&self) -> ImplicationStats {
+        self.stats
     }
 }
 

@@ -60,10 +60,11 @@ mod trace;
 
 pub mod property;
 
+pub use assignment::Conflict;
 pub use checker::{AssertionChecker, CheckReport, CheckResult};
 pub use config::{CancelToken, CheckerOptions};
 pub use estg::Estg;
-pub use implication::ImplicationStats;
+pub use implication::{ImplicationEngine, ImplicationStats};
 pub use property::{Property, PropertyKind, Verification};
 pub use stats::CheckStats;
 pub use trace::Trace;

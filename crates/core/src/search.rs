@@ -89,7 +89,7 @@ impl<'a> SearchEngine<'a> {
 
         // Initial assignments from the property, environment and initial
         // state, followed by a full implication pass.
-        for (net, cube) in &self.requirements.clone() {
+        for (net, cube) in &self.requirements {
             match asg.refine(*net, cube) {
                 Ok(true) => propagator.enqueue_net(self.netlist, *net),
                 Ok(false) => {}
@@ -150,7 +150,7 @@ impl<'a> SearchEngine<'a> {
                             .get_or_insert_with(|| "unresolved datapath constraints".into());
                     }
                 }
-                if !self.backtrack(&mut stack, &mut asg, stats) {
+                if !self.backtrack(&mut propagator, &mut stack, &mut asg, stats) {
                     return match inconclusive {
                         Some(reason) => SearchOutcome::Inconclusive(reason),
                         None => SearchOutcome::Unsat,
@@ -163,7 +163,7 @@ impl<'a> SearchEngine<'a> {
             let (net, value) = self.pick_decision(&asg, &unjustified, &candidates);
             stats.decisions += 1;
             let mark = asg.mark();
-            if self.assign(&mut asg, net, value, stats) {
+            if self.assign(&mut propagator, &mut asg, net, value, stats) {
                 stack.push(Decision {
                     net,
                     alternative: Some(!value),
@@ -175,7 +175,7 @@ impl<'a> SearchEngine<'a> {
                 self.estg.record_conflict(net, value);
                 asg.backtrack_to(mark);
                 stats.backtracks += 1;
-                if self.assign(&mut asg, net, !value, stats) {
+                if self.assign(&mut propagator, &mut asg, net, !value, stats) {
                     stack.push(Decision {
                         net,
                         alternative: None,
@@ -185,7 +185,7 @@ impl<'a> SearchEngine<'a> {
                 } else {
                     self.estg.record_conflict(net, !value);
                     asg.backtrack_to(mark);
-                    if !self.backtrack(&mut stack, &mut asg, stats) {
+                    if !self.backtrack(&mut propagator, &mut stack, &mut asg, stats) {
                         return match inconclusive {
                             Some(reason) => SearchOutcome::Inconclusive(reason),
                             None => SearchOutcome::Unsat,
@@ -198,15 +198,18 @@ impl<'a> SearchEngine<'a> {
 
     /// Assigns a single-bit decision and runs implication; returns `false` on
     /// conflict (the assignment is *not* rolled back by this function).
+    ///
+    /// The propagator is created once per search and reused here so its
+    /// buckets and scratch buffers stay warm across decisions.
     fn assign(
         &mut self,
+        propagator: &mut Propagator,
         asg: &mut Assignment,
         net: NetId,
         value: bool,
         stats: &mut CheckStats,
     ) -> bool {
         let cube = Bv3::from_tv(Tv::from_bool(value));
-        let mut propagator = Propagator::new(self.netlist);
         match asg.refine(net, &cube) {
             Ok(_) => propagator.enqueue_net(self.netlist, net),
             Err(_) => return false,
@@ -220,6 +223,7 @@ impl<'a> SearchEngine<'a> {
     /// untried alternative that survives implication.
     fn backtrack(
         &mut self,
+        propagator: &mut Propagator,
         stack: &mut Vec<Decision>,
         asg: &mut Assignment,
         stats: &mut CheckStats,
@@ -232,7 +236,7 @@ impl<'a> SearchEngine<'a> {
             asg.backtrack_to(top.mark);
             stats.backtracks += 1;
             if let Some(alt) = top.alternative.take() {
-                if self.assign(asg, top.net, alt, stats) {
+                if self.assign(propagator, asg, top.net, alt, stats) {
                     stack.push(Decision {
                         net: top.net,
                         alternative: None,

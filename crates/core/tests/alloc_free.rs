@@ -1,0 +1,130 @@
+//! Enforces the hot-path allocation contract: steady-state word-level
+//! implication (refine → propagate to fixed point → backtrack) performs
+//! **zero heap allocations** for nets up to 128 bits wide.
+//!
+//! A counting global allocator wraps the system allocator; after one warm-up
+//! cycle has grown every reusable buffer (propagator buckets, proposal
+//! scratch, assignment trail), one hundred further decision/backtrack cycles
+//! must not allocate at all.
+//!
+//! This file intentionally holds a single `#[test]` so no concurrent test in
+//! the same process can perturb the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use wlac_atpg::ImplicationEngine;
+use wlac_bv::{Bv, Bv3, Tv};
+use wlac_netlist::{NetId, Netlist};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A mixed control/datapath circuit using only ≤128-bit nets: adders,
+/// subtractor, mux, comparators, wide Boolean gates, slices, concat, zext
+/// and reductions — every implication rule the hot loop exercises.
+fn build_circuit() -> (Netlist, Vec<(NetId, Bv3)>) {
+    let mut nl = Netlist::new("hot_path");
+    let a = nl.input("a", 64);
+    let b = nl.input("b", 64);
+    let sel = nl.input("sel", 1);
+    let sum = nl.add(a, b);
+    let diff = nl.sub(a, b);
+    let m = nl.mux(sel, sum, diff);
+    let limit = nl.constant(&Bv::from_u64(64, 1 << 40));
+    let below = nl.lt(m, limit);
+
+    let wa = nl.input("wa", 128);
+    let wb = nl.input("wb", 128);
+    let wand = nl.and2(wa, wb);
+    let wor = nl.or2(wa, wb);
+    let wx = nl.xor2(wand, wor);
+    let low = nl.slice(wx, 0, 64);
+    let high = nl.slice(wx, 64, 64);
+    let mixed = nl.xor2(low, high);
+    let any = nl.reduce_or(mixed);
+    let ok = nl.and2(below, any);
+    nl.mark_output("ok", ok);
+
+    // Seeds chosen to drive forward and backward implication without ever
+    // conflicting: the requirement on `ok`, partial operand knowledge, and a
+    // known select.
+    let mut wa_seed = Bv3::all_x(128);
+    for i in 0..32 {
+        wa_seed.set_bit(i, Tv::from_bool(i % 3 == 0));
+    }
+    wa_seed.set_bit(127, Tv::One);
+    let mut a_seed = Bv3::all_x(64);
+    for i in 20..36 {
+        a_seed.set_bit(i, Tv::from_bool(i % 2 == 0));
+    }
+    let seeds = vec![
+        (ok, Bv3::from_tv(Tv::One)),
+        (sel, Bv3::from_tv(Tv::One)),
+        (a, a_seed),
+        (wa, wa_seed),
+    ];
+    (nl, seeds)
+}
+
+fn cycle(engine: &mut ImplicationEngine, netlist: &Netlist, seeds: &[(NetId, Bv3)]) {
+    let mark = engine.mark();
+    for (net, cube) in seeds {
+        engine
+            .assume(netlist, *net, cube)
+            .expect("seeds are conflict-free");
+    }
+    engine.propagate(netlist).expect("propagation succeeds");
+    engine.backtrack_to(mark);
+}
+
+#[test]
+fn steady_state_propagation_allocates_nothing_for_narrow_nets() {
+    let (netlist, seeds) = build_circuit();
+    let mut engine = ImplicationEngine::new(&netlist);
+
+    // Warm-up: grows the trail, the propagator buckets and the proposal
+    // scratch to their steady-state capacities.
+    cycle(&mut engine, &netlist, &seeds);
+    cycle(&mut engine, &netlist, &seeds);
+
+    let evals_before = engine.stats().gate_evaluations;
+    let before = allocs();
+    for _ in 0..100 {
+        cycle(&mut engine, &netlist, &seeds);
+    }
+    let delta = allocs() - before;
+    let evals = engine.stats().gate_evaluations - evals_before;
+    assert!(
+        evals >= 1_000,
+        "the workload must exercise the hot loop (got {evals} gate evaluations)"
+    );
+    assert_eq!(
+        delta, 0,
+        "steady-state propagation must not allocate (saw {delta} allocations \
+         over {evals} gate evaluations)"
+    );
+}

@@ -43,6 +43,6 @@ mod modint;
 mod nonlinear;
 
 pub use inverse::{inverse, inverse_with_product, InverseSet};
-pub use matrix::{InfeasibleError, LinearSystem, SolutionIter, SolutionSet};
+pub use matrix::{InfeasibleError, LinearSystem, SolutionIter, SolutionSet, SolveAbort};
 pub use modint::Ring;
 pub use nonlinear::{MixedOutcome, MixedSystem, ProductConstraint};

@@ -60,6 +60,31 @@ impl fmt::Display for InfeasibleError {
 
 impl Error for InfeasibleError {}
 
+/// Why an interruptible solve ended without a solution set.
+///
+/// `wlac-modsolve` has no dependency on the checker's `CancelToken`, so
+/// interruption is expressed as a plain polling closure; `Interrupted` is the
+/// cooperative-cancellation outcome, distinct from a genuine `Infeasible`
+/// proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveAbort {
+    /// The system has no solution in the modular ring.
+    Infeasible,
+    /// The interrupt poll returned `true` before a conclusion was reached.
+    Interrupted,
+}
+
+impl fmt::Display for SolveAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveAbort::Infeasible => write!(f, "{InfeasibleError}"),
+            SolveAbort::Interrupted => write!(f, "linear solve interrupted"),
+        }
+    }
+}
+
+impl Error for SolveAbort {}
+
 impl LinearSystem {
     /// Creates an empty system with `num_vars` variables in the given ring.
     pub fn new(ring: Ring, num_vars: usize) -> Self {
@@ -132,6 +157,24 @@ impl LinearSystem {
     /// modular ring. (Unlike an integral solver this never reports a false
     /// negative caused by wrap-around — the paper's motivating observation.)
     pub fn solve(&self) -> Result<SolutionSet, InfeasibleError> {
+        self.solve_with_interrupt(&mut || false).map_err(|abort| {
+            debug_assert_eq!(abort, SolveAbort::Infeasible);
+            InfeasibleError
+        })
+    }
+
+    /// Like [`LinearSystem::solve`], but polls `is_interrupted` once per
+    /// Gauss–Jordan elimination round so a race supervisor (e.g. the
+    /// portfolio engine's `CancelToken`) can stop a long-running leaf solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveAbort::Infeasible`] when the system has no solution and
+    /// [`SolveAbort::Interrupted`] when the poll fired first.
+    pub fn solve_with_interrupt(
+        &self,
+        is_interrupted: &mut dyn FnMut() -> bool,
+    ) -> Result<SolutionSet, SolveAbort> {
         let ring = self.ring;
         let nv = self.num_vars;
         let m = self.rows.len();
@@ -142,6 +185,9 @@ impl LinearSystem {
 
         let mut r = 0usize;
         while r < m {
+            if is_interrupted() {
+                return Err(SolveAbort::Interrupted);
+            }
             // Complete pivoting: pick the entry with the smallest 2-adic
             // valuation among the remaining rows and unused columns.
             let mut best: Option<(usize, usize, u32)> = None;
@@ -190,7 +236,7 @@ impl LinearSystem {
         // side must be zero.
         for i in r..m {
             if b[i] != 0 {
-                return Err(InfeasibleError);
+                return Err(SolveAbort::Infeasible);
             }
         }
         // Each pivot equation 2^v·x_j + Σ (coeffs with valuation >= v)·x = b
@@ -198,7 +244,7 @@ impl LinearSystem {
         for (row, _, v) in &pivots {
             if *v > 0 {
                 match ring.valuation(b[*row]) {
-                    Some(bv) if bv < *v => return Err(InfeasibleError),
+                    Some(bv) if bv < *v => return Err(SolveAbort::Infeasible),
                     _ => {}
                 }
             }
@@ -435,6 +481,25 @@ mod tests {
         xs.sort();
         xs.dedup();
         assert_eq!(xs, vec![3, 11]);
+    }
+
+    #[test]
+    fn interrupted_elimination_is_distinguished_from_infeasible() {
+        let mut sys = LinearSystem::new(Ring::new(8), 2);
+        sys.add_equation(&[1, 1], 5);
+        sys.add_equation(&[2, 7], 4);
+        assert_eq!(
+            sys.solve_with_interrupt(&mut || true),
+            Err(SolveAbort::Interrupted)
+        );
+        assert!(sys.solve_with_interrupt(&mut || false).is_ok());
+        // An infeasible system still reports Infeasible when not interrupted.
+        let mut bad = LinearSystem::new(Ring::new(4), 1);
+        bad.add_equation(&[2], 5);
+        assert_eq!(
+            bad.solve_with_interrupt(&mut || false),
+            Err(SolveAbort::Infeasible)
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! is available), each candidate producing a purely linear system solved by
 //! [`LinearSystem::solve`].
 
-use crate::matrix::{LinearSystem, SolutionSet};
+use crate::matrix::{LinearSystem, SolutionSet, SolveAbort};
 use crate::modint::Ring;
 
 /// A product constraint `x_a · x_b ≡ x_c (mod 2ⁿ)` between three variables.
@@ -153,24 +153,44 @@ impl MixedSystem {
     /// Solves the system by linearising product constraints through candidate
     /// enumeration.
     pub fn solve(&self) -> MixedOutcome {
-        self.solve_rec(&self.linear, &self.products)
+        self.solve_interruptible(&mut || false)
     }
 
-    fn solve_rec(&self, linear: &LinearSystem, products: &[ProductConstraint]) -> MixedOutcome {
+    /// Like [`MixedSystem::solve`], but polls `is_interrupted` inside the
+    /// candidate-enumeration outer loop and inside every Gaussian-elimination
+    /// leaf solve. An interrupted run returns [`MixedOutcome::Unknown`] — a
+    /// sound "no conclusion" answer, exactly like budget exhaustion — so a
+    /// portfolio race supervisor can stop losing engines mid-solve.
+    pub fn solve_interruptible(&self, is_interrupted: &mut dyn FnMut() -> bool) -> MixedOutcome {
+        self.solve_rec(&self.linear, &self.products, is_interrupted)
+    }
+
+    fn solve_rec(
+        &self,
+        linear: &LinearSystem,
+        products: &[ProductConstraint],
+        is_interrupted: &mut dyn FnMut() -> bool,
+    ) -> MixedOutcome {
         let Some((first, rest)) = products.split_first() else {
-            return match linear.solve() {
+            return match linear.solve_with_interrupt(is_interrupted) {
                 Ok(sol) => MixedOutcome::Solution(self.pick_assignment(&sol, &[])),
-                Err(_) => MixedOutcome::Infeasible,
+                Err(SolveAbort::Infeasible) => MixedOutcome::Infeasible,
+                Err(SolveAbort::Interrupted) => MixedOutcome::Unknown,
             };
         };
         // Is the linear part alone already infeasible? Then so is the whole.
-        if linear.solve().is_err() {
-            return MixedOutcome::Infeasible;
+        match linear.solve_with_interrupt(is_interrupted) {
+            Err(SolveAbort::Infeasible) => return MixedOutcome::Infeasible,
+            Err(SolveAbort::Interrupted) => return MixedOutcome::Unknown,
+            Ok(_) => {}
         }
         let candidates = self.candidates_for(first, linear);
         let exhaustive = candidates.len() as u128 >= self.ring.modulus();
         let mut saw_unknown = false;
         for value in candidates {
+            if is_interrupted() {
+                return MixedOutcome::Unknown;
+            }
             let mut narrowed = linear.clone();
             narrowed.fix_variable(first.a, value);
             // value·x_b - x_c ≡ 0 becomes linear once x_a is fixed.
@@ -178,7 +198,7 @@ impl MixedSystem {
             coeffs[first.b] = value;
             coeffs[first.c] = self.ring.neg(1);
             narrowed.add_equation(&coeffs, 0);
-            match self.solve_rec(&narrowed, rest) {
+            match self.solve_rec(&narrowed, rest, is_interrupted) {
                 MixedOutcome::Solution(x) => {
                     if self.is_solution(&x) {
                         return MixedOutcome::Solution(x);
@@ -345,6 +365,35 @@ mod tests {
             out,
             MixedOutcome::Unknown | MixedOutcome::Solution(_)
         ));
+    }
+
+    #[test]
+    fn interrupted_solve_reports_unknown() {
+        // An already-set interrupt flag must surface as `Unknown` — never as
+        // a (false) infeasibility proof.
+        let mut sys = MixedSystem::new(Ring::new(8), 3);
+        sys.add_product(0, 1, 2);
+        sys.fix_variable(2, 77);
+        assert_eq!(sys.solve_interruptible(&mut || true), MixedOutcome::Unknown);
+        // The same system solves normally without the interrupt.
+        assert!(sys.solve().is_solution());
+    }
+
+    #[test]
+    fn interrupt_mid_enumeration_reports_unknown() {
+        // Let a few candidate enumerations pass, then interrupt: the solver
+        // must stop with `Unknown` instead of finishing the enumeration.
+        let mut sys = MixedSystem::new(Ring::new(10), 3);
+        sys.add_product(0, 1, 2);
+        sys.fix_variable(2, 999);
+        // Rule out every candidate so the enumeration would run long.
+        sys.add_equation(&[1, 0, 0], 0);
+        let mut polls = 0u32;
+        let out = sys.solve_interruptible(&mut || {
+            polls += 1;
+            polls > 5
+        });
+        assert_eq!(out, MixedOutcome::Unknown);
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl fmt::Display for Engine {
 pub enum EngineStats {
     /// ATPG search counters.
     Atpg(CheckStats),
-    /// CNF size and memory of the BMC run.
+    /// CNF size, memory and CDCL effort of the BMC run.
     Bmc {
         /// Total CNF variables across all bounds.
         variables: usize,
@@ -49,6 +49,9 @@ pub enum EngineStats {
         clauses: usize,
         /// Peak CNF memory in bytes.
         peak_memory_bytes: usize,
+        /// CDCL solver counters (propagations, conflicts, restarts, learned
+        /// and deleted clauses) accumulated across all unrolling depths.
+        sat: wlac_baselines::SatStats,
     },
     /// Random simulation effort.
     RandomSim {
@@ -167,6 +170,7 @@ fn run_bmc(
             variables: report.variables,
             clauses: report.clauses,
             peak_memory_bytes: report.peak_memory_bytes,
+            sat: report.sat,
         },
     )
 }
