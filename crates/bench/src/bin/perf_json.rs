@@ -1,30 +1,34 @@
-//! JSON performance reporter for the implication / CDCL / portfolio hot paths.
+//! JSON performance reporter for the implication / datapath / CDCL /
+//! portfolio hot paths.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run -p wlac-bench --release --bin perf_json               # print metrics JSON
-//! cargo run -p wlac-bench --release --bin perf_json -- --check BENCH_2.json
+//! cargo run -p wlac-bench --release --bin perf_json -- --check BENCH_3.json
 //! cargo run -p wlac-bench --release --bin perf_json -- --industry01-paper
 //! ```
 //!
 //! Without arguments the reporter runs the paper Small suite through the
-//! word-level ATPG checker, a pigeonhole CDCL workload and a portfolio batch,
-//! and prints one flat JSON object of metrics. With `--check <baseline>` it
-//! additionally loads the committed baseline (the `"after"` object of
-//! `BENCH_2.json`), compares every regression-tracked metric and exits
-//! non-zero when a live metric is more than 3x worse than the baseline —
-//! this is the CI bench smoke gate.
+//! word-level ATPG checker, a datapath-heavy island workload, a pigeonhole
+//! CDCL workload and a portfolio batch, and prints one flat JSON object of
+//! metrics. With `--check <baseline>` it additionally loads the committed
+//! baseline (the `"after"` object of `BENCH_3.json`), compares every
+//! regression-tracked metric and exits non-zero when a live metric is more
+//! than 3x worse than the baseline — this is the CI bench smoke gate.
 //!
 //! The binary installs a counting global allocator so `allocs_per_gate_eval`
 //! measures real heap traffic of the implication hot path.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+use wlac_atpg::{AssertionChecker, CheckStats, CheckerOptions, Property, Verification};
 use wlac_baselines::{Cnf, Lit};
 use wlac_bench::run_case;
+use wlac_bv::Bv;
 use wlac_circuits::{paper_suite, Scale};
+use wlac_netlist::Netlist;
 use wlac_portfolio::Portfolio;
 
 /// Wraps the system allocator and counts allocation calls.
@@ -91,15 +95,17 @@ fn measure_small_suite() -> Vec<Metric> {
     let start = Instant::now();
     let mut gate_evals = 0u64;
     let mut refinements = 0u64;
+    let mut arith_calls = 0u64;
     for case in &suite {
         let report = run_case(case);
         gate_evals += report.stats.implication.gate_evaluations;
         refinements += report.stats.implication.refinements;
+        arith_calls += report.stats.arithmetic_calls;
     }
     let wall = start.elapsed().as_secs_f64();
     let allocs = (alloc_calls() - allocs_before) as f64;
     let evals = gate_evals.max(1) as f64;
-    vec![
+    let mut metrics = vec![
         Metric {
             name: "atpg_small_wall_s",
             value: wall,
@@ -124,6 +130,98 @@ fn measure_small_suite() -> Vec<Metric> {
             name: "allocs_per_gate_eval",
             value: allocs / evals,
             tracked: true,
+        },
+    ];
+    // The Small suite is control-bound (historically zero arithmetic calls);
+    // informational only — the dedicated datapath workload below carries the
+    // per-call regression gate.
+    metrics.push(Metric {
+        name: "atpg_arith_calls",
+        value: arith_calls as f64,
+        tracked: false,
+    });
+    metrics
+}
+
+/// A datapath-heavy design: a 24-bit adder chain folded into `2·(a+…+f)`
+/// compared against an odd constant (every island solve is an infeasibility
+/// proof), guarded by four OR-pair control constraints so one check walks
+/// dozens of control leaves, each triggering a modular island solve.
+fn datapath_bench_verification() -> Verification {
+    let mut nl = Netlist::new("datapath_bench");
+    let width = 24;
+    let a = nl.input("a", width);
+    let b = nl.input("b", width);
+    let c = nl.input("c", width);
+    let d = nl.input("d", width);
+    let e = nl.input("e", width);
+    let f = nl.input("f", width);
+    let s1 = nl.add(a, b);
+    let s2 = nl.add(s1, c);
+    let s3 = nl.add(s2, d);
+    let s4 = nl.add(s3, e);
+    let s5 = nl.add(s4, f);
+    let dbl = nl.add(s5, s5); // always even
+    let odd = nl.constant(&Bv::from_u64(width, 0x15_5555)); // odd target
+    let hit = nl.eq(dbl, odd);
+    let controls: Vec<_> = (0..8).map(|i| nl.input(format!("c{i}"), 1)).collect();
+    let pairs: Vec<_> = controls.chunks(2).map(|p| nl.or2(p[0], p[1])).collect();
+    let ctrl = nl.and_many(&pairs);
+    let bad = nl.and2(ctrl, hit);
+    let ok = nl.not(bad);
+    nl.mark_output("ok", ok);
+    let property = Property::always(&nl, "even_sum_never_odd", ok);
+    Verification::new(nl, property)
+}
+
+fn measure_datapath() -> Vec<Metric> {
+    let verification = datapath_bench_verification();
+    let options = |incremental| CheckerOptions {
+        max_frames: 1,
+        use_induction: false,
+        time_limit: Duration::from_secs(60),
+        incremental_datapath: incremental,
+        ..CheckerOptions::default()
+    };
+    let run = |incremental| {
+        let checker = AssertionChecker::new(options(incremental));
+        // Warm-up, then aggregate a fixed number of checks.
+        let _ = checker.check(&verification);
+        let mut stats = CheckStats::default();
+        for _ in 0..10 {
+            let report = checker.check(&verification);
+            assert!(
+                report.result.is_pass(),
+                "2·sum is even and can never equal the odd target"
+            );
+            stats.absorb(&report.stats);
+        }
+        stats
+    };
+    let incremental = run(true);
+    let scratch = run(false);
+    vec![
+        Metric {
+            name: "datapath_ns_per_arith_call",
+            value: incremental.ns_per_arith_call().unwrap_or(f64::NAN),
+            tracked: true,
+        },
+        Metric {
+            name: "datapath_arith_calls",
+            value: incremental.arithmetic_calls as f64,
+            tracked: false,
+        },
+        Metric {
+            name: "datapath_island_cache_hit_rate",
+            value: incremental.island_cache_hit_rate().unwrap_or(0.0),
+            tracked: false,
+        },
+        // The from-scratch oracle path on the same workload: the ratio to
+        // `datapath_ns_per_arith_call` is the incremental-resolution speedup.
+        Metric {
+            name: "datapath_scratch_ns_per_arith_call",
+            value: scratch.ns_per_arith_call().unwrap_or(f64::NAN),
+            tracked: false,
         },
     ]
 }
@@ -241,6 +339,7 @@ fn main() {
 
     let mut metrics = Vec::new();
     metrics.extend(measure_small_suite());
+    metrics.extend(measure_datapath());
     metrics.extend(measure_cdcl());
     metrics.extend(measure_portfolio());
     if industry01 {
@@ -254,6 +353,13 @@ fn main() {
         let baseline = parse_baseline(&text);
         let mut failures = Vec::new();
         for m in metrics.iter().filter(|m| m.tracked) {
+            // A tracked metric that degenerated to NaN/inf (e.g. a workload
+            // that stopped exercising its hot path, making the denominator
+            // zero) must fail the gate, not silently pass every comparison.
+            if !m.value.is_finite() {
+                failures.push(format!("{}: live value {} is not finite", m.name, m.value));
+                continue;
+            }
             let Some((_, base)) = baseline.iter().find(|(k, _)| k == m.name) else {
                 continue;
             };
@@ -265,6 +371,8 @@ fn main() {
                 0.05
             } else if m.name.ends_with("_ns_per_gate_eval") {
                 1500.0
+            } else if m.name.ends_with("_ns_per_arith_call") {
+                3000.0
             } else {
                 0.0
             };

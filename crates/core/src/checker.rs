@@ -11,7 +11,7 @@
 use crate::config::CheckerOptions;
 use crate::estg::Estg;
 use crate::property::{PropertyKind, Verification};
-use crate::search::{SearchEngine, SearchGoal, SearchOutcome};
+use crate::search::{SearchContext, SearchGoal, SearchOutcome};
 use crate::stats::CheckStats;
 use crate::trace::Trace;
 use std::time::Instant;
@@ -133,6 +133,9 @@ impl AssertionChecker {
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> CheckResult {
+        // One unrolling grows monotonically across bounds: deepening by one
+        // frame appends to the expanded circuit instead of rebuilding it.
+        let mut unrolling = Unrolling::new(&verification.netlist, 1);
         for frames in 1..=self.options.max_frames {
             if self.options.cancel.is_cancelled() {
                 return CheckResult::Unknown {
@@ -140,8 +143,10 @@ impl AssertionChecker {
                 };
             }
             stats.frames_explored = frames;
-            let (outcome, unrolling) = self.solve_bound(
+            unrolling.extend_to(&verification.netlist, frames);
+            let outcome = self.solve_bound(
                 verification,
+                &unrolling,
                 frames,
                 true,
                 false,
@@ -169,15 +174,19 @@ impl AssertionChecker {
                 }
                 SearchOutcome::Unsat => {}
                 SearchOutcome::Inconclusive(reason) => {
-                    return CheckResult::Unknown { reason };
+                    return CheckResult::Unknown {
+                        reason: reason.into(),
+                    };
                 }
             }
             // After establishing the base case, try to close the proof with a
             // one-step induction: no state satisfying the monitor may have a
             // successor violating it.
             if frames == 1 && self.options.use_induction {
-                let (outcome, _) = self.solve_bound(
+                unrolling.extend_to(&verification.netlist, 2);
+                let outcome = self.solve_bound(
                     verification,
+                    &unrolling,
                     2,
                     true,
                     true,
@@ -203,6 +212,7 @@ impl AssertionChecker {
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> CheckResult {
+        let mut unrolling = Unrolling::new(&verification.netlist, 1);
         for frames in 1..=self.options.max_frames {
             if self.options.cancel.is_cancelled() {
                 return CheckResult::Unknown {
@@ -210,8 +220,10 @@ impl AssertionChecker {
                 };
             }
             stats.frames_explored = frames;
-            let (outcome, unrolling) = self.solve_bound(
+            unrolling.extend_to(&verification.netlist, frames);
+            let outcome = self.solve_bound(
                 verification,
+                &unrolling,
                 frames,
                 false,
                 false,
@@ -239,7 +251,9 @@ impl AssertionChecker {
                 }
                 SearchOutcome::Unsat => {}
                 SearchOutcome::Inconclusive(reason) => {
-                    return CheckResult::Unknown { reason };
+                    return CheckResult::Unknown {
+                        reason: reason.into(),
+                    };
                 }
             }
         }
@@ -248,8 +262,8 @@ impl AssertionChecker {
         }
     }
 
-    /// Unrolls the design over `frames` time-frames, seeds the requirements
-    /// and runs the justification search.
+    /// Seeds the requirements over `frames` time-frames of the (already
+    /// extended) unrolling and runs the justification search.
     ///
     /// `violation` selects the monitor value required at the last frame
     /// (`true` ⇒ require 0 for a counter-example, `false` ⇒ require 1 for a
@@ -259,6 +273,7 @@ impl AssertionChecker {
     fn solve_bound(
         &self,
         verification: &Verification,
+        unrolling: &Unrolling,
         frames: usize,
         violation: bool,
         induction: bool,
@@ -266,8 +281,8 @@ impl AssertionChecker {
         estg: &mut Estg,
         deadline: Instant,
         stats: &mut CheckStats,
-    ) -> (SearchOutcome, Unrolling) {
-        let unrolling = Unrolling::new(&verification.netlist, frames);
+    ) -> SearchOutcome {
+        debug_assert_eq!(unrolling.frames(), frames, "bound/unrolling mismatch");
         let expanded = unrolling.circuit();
         let mut requirements: Vec<(NetId, Bv3)> = Vec::new();
         let one = Bv3::from_tv(Tv::One);
@@ -303,10 +318,16 @@ impl AssertionChecker {
             target,
         ));
 
-        let mut engine =
-            SearchEngine::new(expanded, &self.options, goal, requirements, estg, deadline);
-        let outcome = engine.run(stats);
-        (outcome, unrolling)
+        let mut context = SearchContext::new(expanded);
+        context.search(
+            expanded,
+            &self.options,
+            goal,
+            &requirements,
+            estg,
+            deadline,
+            stats,
+        )
     }
 
     /// Converts a satisfying assignment of the expanded circuit into a trace

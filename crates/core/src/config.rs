@@ -73,6 +73,12 @@ pub struct CheckerOptions {
     /// Use the modular arithmetic constraint solver for residual datapath
     /// constraints; when disabled the checker falls back to sampling.
     pub use_arithmetic_solver: bool,
+    /// Reuse cached island topology and pre-reduced solver templates across
+    /// the decision search. When disabled every datapath resolution rebuilds
+    /// its state from scratch — slower, but byte-for-byte the same
+    /// transcription and solving code, which makes this the differential
+    /// oracle for the incremental path.
+    pub incremental_datapath: bool,
     /// Number of closed-form solution samples instantiated per datapath
     /// feasibility check.
     pub solution_samples: usize,
@@ -99,6 +105,7 @@ impl PartialEq for CheckerOptions {
             use_bias_ordering,
             use_estg,
             use_arithmetic_solver,
+            incremental_datapath,
             solution_samples,
             nonlinear_enumeration_limit,
             cancel: _,
@@ -112,6 +119,7 @@ impl PartialEq for CheckerOptions {
             && *use_bias_ordering == other.use_bias_ordering
             && *use_estg == other.use_estg
             && *use_arithmetic_solver == other.use_arithmetic_solver
+            && *incremental_datapath == other.incremental_datapath
             && *solution_samples == other.solution_samples
             && *nonlinear_enumeration_limit == other.nonlinear_enumeration_limit
     }
@@ -132,6 +140,7 @@ impl CheckerOptions {
             use_bias_ordering: true,
             use_estg: true,
             use_arithmetic_solver: true,
+            incremental_datapath: true,
             solution_samples: 16,
             nonlinear_enumeration_limit: 256,
             cancel: CancelToken::new(),
@@ -170,6 +179,7 @@ mod tests {
         assert!(opts.use_bias_ordering);
         assert!(opts.use_arithmetic_solver);
         assert!(opts.use_estg);
+        assert!(opts.incremental_datapath);
         assert!(opts.max_frames >= 8);
         assert_eq!(opts, CheckerOptions::new());
     }

@@ -3,23 +3,54 @@
 //! Once the control constraints are justified, the remaining requirements sit
 //! on arithmetic units in the datapath. Following Section 4 of the paper,
 //! the still-unjustified arithmetic gates are grouped into width-homogeneous
-//! *islands*, each island is transcribed into a [`MixedSystem`] over ℤ/2ʷℤ
-//! (adders and subtractors as linear equations, multipliers as product
-//! constraints, partially-known values as low-bit congruences) and solved by
-//! the modular arithmetic solver. A feasible closed-form solution is then
-//! instantiated, propagated back into the word-level assignment and finally
-//! validated by concrete evaluation of the whole (unrolled) circuit.
+//! *islands*, each island is transcribed into a modular constraint system
+//! over ℤ/2ʷℤ (adders and subtractors as linear equations, multipliers as
+//! product constraints, partially-known values as low-bit congruences) and
+//! solved by the modular arithmetic solver. A feasible closed-form solution
+//! is then instantiated, propagated back into the word-level assignment and
+//! finally validated by concrete evaluation of the whole (unrolled) circuit.
+//!
+//! # Incremental resolution
+//!
+//! The datapath leaf runs once per candidate control solution — it is the
+//! inner loop of the whole search — so everything that does not depend on the
+//! current decision level is computed once per search and cached in
+//! [`DatapathContext`]:
+//!
+//! * **island topology** depends only on the gate structure, not on values:
+//!   the width-homogeneous components are flood-filled once and re-sliced per
+//!   decision by which gates are currently unjustified;
+//! * **structural equations** of each island are kept pre-reduced to echelon
+//!   form in a [`CheckpointedSystem`]; a per-decision solve only pushes the
+//!   current value rows (fixed variables and low-bit congruences) under a
+//!   checkpoint and resumes elimination from the saved pivots;
+//! * **speculative refinement** reuses the search's own assignment and
+//!   propagator through the word-level delta trail (mark / refine /
+//!   backtrack) instead of cloning the assignment per call;
+//! * the **concretization pass** reuses a cached combinational order and a
+//!   persistent value buffer instead of rebuilding both per attempt.
+//!
+//! Setting [`crate::CheckerOptions::incremental_datapath`] to `false` rebuilds
+//! all cached state on every call through the *same* code path — the
+//! from-scratch oracle used by the differential tests.
 
 use crate::assignment::Assignment;
 use crate::config::CheckerOptions;
-use crate::implication::{ImplicationStats, Propagator};
-use crate::justify::unjustified_gates;
+use crate::implication::Propagator;
+use crate::justify::bump_generation;
 use crate::stats::CheckStats;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+use std::time::Instant;
 use wlac_bv::{Bv, Bv3, Tv};
-use wlac_modsolve::{MixedOutcome, MixedSystem, Ring};
+use wlac_modsolve::{
+    solve_products_checkpointed, CheckpointedSystem, MixedOutcome, ProductConstraint, Ring,
+    SolveAbort,
+};
 use wlac_netlist::{GateId, GateKind, NetId, Netlist};
 use wlac_sim::eval_gate;
+
+/// Sentinel for "not part of any island" in the dense gate/net maps.
+const NONE: u32 = u32::MAX;
 
 /// Result of trying to discharge the residual datapath constraints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,96 +66,374 @@ pub(crate) enum DatapathOutcome {
     Inconclusive,
 }
 
-/// An island of width-homogeneous arithmetic gates.
+/// An island of width-homogeneous arithmetic gates with its pre-reduced
+/// constraint template.
 #[derive(Debug)]
-struct Island {
+struct CachedIsland {
     width: usize,
+    ring: Ring,
+    /// Island nets in ascending id order; the solver variable of `nets[i]`
+    /// is `i` (the dense `net_var` map holds the inverse).
     nets: Vec<NetId>,
-    gates: Vec<GateId>,
-}
-
-/// Attempts to complete the current (control-justified) assignment into a
-/// concrete solution satisfying `requirements`.
-pub(crate) fn resolve_datapath(
-    netlist: &Netlist,
-    asg: &Assignment,
-    requirements: &[(NetId, Bv3)],
-    options: &CheckerOptions,
-    stats: &mut CheckStats,
-) -> DatapathOutcome {
-    let unjustified = unjustified_gates(netlist, asg);
-    if unjustified.is_empty() {
-        // Every requirement is already implied by the input cubes: any
-        // completion works; use the minimum value of every free input.
-        return match concretize_and_check(netlist, asg, requirements) {
-            Some(values) => DatapathOutcome::Consistent(values),
-            None => DatapathOutcome::Inconclusive,
-        };
-    }
-    if !options.use_arithmetic_solver {
-        // Ablation mode: fall back to trying the min/max completions only.
-        return match concretize_and_check(netlist, asg, requirements) {
-            Some(values) => DatapathOutcome::Consistent(values),
-            None => DatapathOutcome::Inconclusive,
-        };
-    }
-
-    let islands = build_islands(netlist, &unjustified);
-    if islands.is_empty() {
-        return match concretize_and_check(netlist, asg, requirements) {
-            Some(values) => DatapathOutcome::Consistent(values),
-            None => DatapathOutcome::Inconclusive,
-        };
-    }
-
-    let mut refined = asg.clone();
-    let mut saw_unknown = false;
-    for island in &islands {
-        stats.arithmetic_calls += 1;
-        match solve_island(netlist, &refined, island, options) {
-            IslandOutcome::Assignment(values) => {
-                // Merge the island solution into the assignment and re-run
-                // implication so the rest of the circuit sees it.
-                let mut prop = Propagator::new(netlist);
-                let mut imp_stats = ImplicationStats::default();
-                for (net, value) in values {
-                    let cube = Bv3::from_bv(&value);
-                    match refined.refine(net, &cube) {
-                        Ok(true) => prop.enqueue_net(netlist, net),
-                        Ok(false) => {}
-                        Err(_) => return DatapathOutcome::Inconclusive,
-                    }
-                }
-                if prop.run(netlist, &mut refined, &mut imp_stats).is_err() {
-                    return DatapathOutcome::Inconclusive;
-                }
-                stats.implication.gate_evaluations += imp_stats.gate_evaluations;
-                stats.implication.refinements += imp_stats.refinements;
-            }
-            IslandOutcome::Infeasible => return DatapathOutcome::Infeasible,
-            IslandOutcome::Unknown => saw_unknown = true,
-        }
-    }
-    match concretize_and_check(netlist, &refined, requirements) {
-        Some(values) => DatapathOutcome::Consistent(values),
-        None => {
-            if saw_unknown {
-                DatapathOutcome::Inconclusive
-            } else {
-                // The islands were individually satisfiable but the sampled
-                // combination did not extend to a full solution; without an
-                // exhaustive combination search this is inconclusive.
-                DatapathOutcome::Inconclusive
-            }
-        }
-    }
+    /// Multiplier constraints, linearised by candidate enumeration at solve
+    /// time.
+    products: Vec<ProductConstraint>,
+    /// Structural equations pre-reduced to echelon form; per-decision value
+    /// rows are pushed under a checkpoint.
+    system: CheckpointedSystem,
 }
 
 /// Result of solving one island.
 enum IslandOutcome {
-    Assignment(Vec<(NetId, Bv)>),
+    Assignment(Vec<u64>),
     Infeasible,
     Unknown,
+}
+
+/// Per-search datapath state: cached island topology, pre-reduced solver
+/// templates and reusable concretization buffers. Created once per (unrolled)
+/// netlist and shared by every decision of the search.
+#[derive(Debug)]
+pub(crate) struct DatapathContext {
+    /// Lazily built island cache (`islands_built` gates it so control-only
+    /// searches never pay for it).
+    islands_built: bool,
+    islands: Vec<CachedIsland>,
+    /// Gate index → island id ([`NONE`] when the gate is in no island).
+    gate_island: Vec<u32>,
+    /// Net index → variable index within its owning island. Valid only for
+    /// island nets; islands never share a net (same-width adjacency merges
+    /// components, and the width filter excludes everything else).
+    net_var: Vec<u32>,
+    /// Scratch: ids of islands containing a currently-unjustified gate.
+    active: Vec<usize>,
+    island_stamp: Vec<u32>,
+    active_gen: u32,
+    /// Cached combinational evaluation order for concretization.
+    order_built: bool,
+    order_ok: bool,
+    order: Vec<GateId>,
+    /// Concrete value per net (the candidate completion being validated).
+    values: Vec<Bv>,
+    /// Per-gate input scratch for [`eval_gate`].
+    inputs: Vec<Bv>,
+    /// Flood-fill worklist.
+    queue: VecDeque<GateId>,
+}
+
+impl DatapathContext {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
+        DatapathContext {
+            islands_built: false,
+            islands: Vec::new(),
+            gate_island: vec![NONE; netlist.gate_count()],
+            net_var: vec![NONE; netlist.net_count()],
+            active: Vec::new(),
+            island_stamp: Vec::new(),
+            active_gen: 0,
+            order_built: false,
+            order_ok: false,
+            order: Vec::new(),
+            values: Vec::new(),
+            inputs: Vec::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Attempts to complete the current (control-justified) assignment into a
+    /// concrete solution satisfying `requirements`.
+    ///
+    /// `unjustified` is the caller's current unjustified-gate list (the
+    /// search already maintains it — recomputing here would double the scan).
+    /// Speculative island solutions are merged into `asg` through the shared
+    /// `propagator` and rolled back via the delta trail before returning, so
+    /// the assignment is left exactly as it was on entry.
+    #[allow(clippy::too_many_arguments)] // the full leaf-call contract of the search
+    pub(crate) fn resolve(
+        &mut self,
+        netlist: &Netlist,
+        asg: &mut Assignment,
+        propagator: &mut Propagator,
+        unjustified: &[GateId],
+        requirements: &[(NetId, Bv3)],
+        options: &CheckerOptions,
+        stats: &mut CheckStats,
+    ) -> DatapathOutcome {
+        let start = Instant::now();
+        if !options.incremental_datapath {
+            self.invalidate();
+        }
+        let outcome = self.resolve_inner(
+            netlist,
+            asg,
+            propagator,
+            unjustified,
+            requirements,
+            options,
+            stats,
+        );
+        stats.datapath_nanos += start.elapsed().as_nanos() as u64;
+        outcome
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_inner(
+        &mut self,
+        netlist: &Netlist,
+        asg: &mut Assignment,
+        propagator: &mut Propagator,
+        unjustified: &[GateId],
+        requirements: &[(NetId, Bv3)],
+        options: &CheckerOptions,
+        stats: &mut CheckStats,
+    ) -> DatapathOutcome {
+        // With nothing unjustified every requirement is already implied by
+        // the input cubes and any completion works; in ablation mode
+        // (`use_arithmetic_solver` off) fall back to sampling completions.
+        if unjustified.is_empty() || !options.use_arithmetic_solver {
+            return self.concretize_outcome(netlist, asg, requirements);
+        }
+
+        self.ensure_islands(netlist, stats);
+        self.collect_active(unjustified);
+        if self.active.is_empty() {
+            return self.concretize_outcome(netlist, asg, requirements);
+        }
+
+        // Speculative refinement: island solutions are merged into the shared
+        // assignment under a trail mark instead of cloning it.
+        let mark = asg.mark();
+        for idx in 0..self.active.len() {
+            let island_id = self.active[idx];
+            stats.arithmetic_calls += 1;
+            let outcome = solve_island(&mut self.islands[island_id], &self.net_var, asg, options);
+            match outcome {
+                IslandOutcome::Assignment(values) => {
+                    // Merge the island solution into the assignment and re-run
+                    // implication so the rest of the circuit sees it.
+                    let island = &self.islands[island_id];
+                    for (net, value) in island.nets.iter().zip(values) {
+                        let cube = Bv3::from_bv(&Bv::from_u64(island.width, value));
+                        match asg.refine(*net, &cube) {
+                            Ok(true) => propagator.enqueue_net(netlist, *net),
+                            Ok(false) => {}
+                            Err(_) => {
+                                // Drop events enqueued for the rolled-back
+                                // merge so the propagator, like the
+                                // assignment, is left as it was on entry.
+                                propagator.clear();
+                                asg.backtrack_to(mark);
+                                return DatapathOutcome::Inconclusive;
+                            }
+                        }
+                    }
+                    if propagator
+                        .run(netlist, asg, &mut stats.implication)
+                        .is_err()
+                    {
+                        asg.backtrack_to(mark);
+                        return DatapathOutcome::Inconclusive;
+                    }
+                }
+                IslandOutcome::Infeasible => {
+                    asg.backtrack_to(mark);
+                    return DatapathOutcome::Infeasible;
+                }
+                // An exhausted enumeration budget and a failed concretization
+                // are both inconclusive, so nothing distinguishes this case
+                // downstream: fall through to concretization regardless.
+                IslandOutcome::Unknown => {}
+            }
+        }
+        let outcome = self.concretize_outcome(netlist, asg, requirements);
+        asg.backtrack_to(mark);
+        outcome
+    }
+
+    /// Runs the concretization pass and wraps it as a [`DatapathOutcome`].
+    ///
+    /// When the islands were individually satisfiable but the sampled
+    /// combination does not extend to a full solution, the result is
+    /// inconclusive (not a refutation) — same as an exhausted sample budget.
+    fn concretize_outcome(
+        &mut self,
+        netlist: &Netlist,
+        asg: &Assignment,
+        requirements: &[(NetId, Bv3)],
+    ) -> DatapathOutcome {
+        if self.concretize_and_check(netlist, asg, requirements) {
+            DatapathOutcome::Consistent(self.values.clone())
+        } else {
+            DatapathOutcome::Inconclusive
+        }
+    }
+
+    /// Drops every cached artefact (islands, templates, evaluation order) so
+    /// the next resolution rebuilds from scratch — the differential oracle
+    /// path of [`CheckerOptions::incremental_datapath`]` = false`.
+    fn invalidate(&mut self) {
+        self.islands_built = false;
+        self.islands.clear();
+        self.gate_island.fill(NONE);
+        self.net_var.fill(NONE);
+        self.order_built = false;
+        self.order_ok = false;
+        self.order.clear();
+    }
+
+    /// Builds the island cache on first use (island topology depends only on
+    /// the gate structure, never on values).
+    fn ensure_islands(&mut self, netlist: &Netlist, stats: &mut CheckStats) {
+        if self.islands_built {
+            stats.island_cache_hits += 1;
+            return;
+        }
+        stats.island_cache_misses += 1;
+        self.islands_built = true;
+        for (seed, seed_gate) in netlist.gates() {
+            let width = netlist.net_width(seed_gate.output);
+            if !is_island_gate(&seed_gate.kind)
+                || !(2..=64).contains(&width)
+                || self.gate_island[seed.index()] != NONE
+            {
+                continue;
+            }
+            let id = self.islands.len() as u32;
+            let mut gates: Vec<GateId> = Vec::new();
+            let mut nets: Vec<NetId> = Vec::new();
+            self.queue.clear();
+            self.queue.push_back(seed);
+            self.gate_island[seed.index()] = id;
+            while let Some(gate_id) = self.queue.pop_front() {
+                let gate = netlist.gate(gate_id);
+                gates.push(gate_id);
+                for net in gate.inputs.iter().chain(std::iter::once(&gate.output)) {
+                    if netlist.net_width(*net) != width || self.net_var[net.index()] != NONE {
+                        continue;
+                    }
+                    self.net_var[net.index()] = 0; // claimed; final index assigned below
+                    nets.push(*net);
+                    // Explore neighbouring arithmetic gates of the same width.
+                    let driver = netlist.driver(*net);
+                    for n in netlist.fanouts(*net).iter().copied().chain(driver) {
+                        let g = netlist.gate(n);
+                        if is_island_gate(&g.kind)
+                            && netlist.net_width(g.output) == width
+                            && self.gate_island[n.index()] == NONE
+                        {
+                            self.gate_island[n.index()] = id;
+                            self.queue.push_back(n);
+                        }
+                    }
+                }
+            }
+            nets.sort();
+            for (var, net) in nets.iter().enumerate() {
+                self.net_var[net.index()] = var as u32;
+            }
+            gates.sort();
+            let island = build_island_template(netlist, width, nets, &gates, &self.net_var);
+            self.islands.push(island);
+        }
+        self.island_stamp = vec![0; self.islands.len()];
+        self.active_gen = 0;
+    }
+
+    /// Re-slices the cached topology by the current justification frontier:
+    /// an island is *active* when it contains at least one unjustified gate.
+    /// Active ids are collected in ascending order (deterministic solve
+    /// order, identical to a from-scratch rebuild).
+    fn collect_active(&mut self, unjustified: &[GateId]) {
+        self.active.clear();
+        if self.islands.is_empty() {
+            return;
+        }
+        self.active_gen = bump_generation(&mut self.island_stamp, self.active_gen);
+        for gate_id in unjustified {
+            let island = self.gate_island[gate_id.index()];
+            if island != NONE && self.island_stamp[island as usize] != self.active_gen {
+                self.island_stamp[island as usize] = self.active_gen;
+                self.active.push(island as usize);
+            }
+        }
+        self.active.sort_unstable();
+    }
+
+    fn ensure_order(&mut self, netlist: &Netlist) {
+        if self.order_built {
+            return;
+        }
+        self.order_built = true;
+        match netlist.combinational_order() {
+            Ok(order) => {
+                self.order = order;
+                self.order_ok = true;
+            }
+            Err(_) => self.order_ok = false,
+        }
+    }
+
+    /// Completes the assignment with concrete values into [`Self::values`]
+    /// and evaluates the whole circuit; `true` when all requirements hold.
+    ///
+    /// Several completions of the still-unknown primary-input bits are tried:
+    /// all-zero, all-one and a sequence of deterministic pseudo-random
+    /// patterns. This covers residual *disequality* requirements (e.g. "the
+    /// register must differ from 0") that are not expressible as modular
+    /// linear equations.
+    fn concretize_and_check(
+        &mut self,
+        netlist: &Netlist,
+        asg: &Assignment,
+        requirements: &[(NetId, Bv3)],
+    ) -> bool {
+        self.ensure_order(netlist);
+        if !self.order_ok {
+            return false;
+        }
+        self.values.resize(netlist.net_count(), Bv::zero(1));
+        const ATTEMPTS: u64 = 24;
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        for attempt in 0..ATTEMPTS {
+            for n in netlist.nets() {
+                let cube = asg.value(n);
+                self.values[n.index()] = match attempt {
+                    0 => cube.min_value(),
+                    1 => cube.max_value(),
+                    _ => {
+                        // Fill unknown bits with a pseudo-random pattern
+                        // (xorshift), keeping every known bit.
+                        let mut v = cube.min_value();
+                        for bit in 0..cube.width() {
+                            if !cube.bit(bit).is_known() {
+                                seed ^= seed << 13;
+                                seed ^= seed >> 7;
+                                seed ^= seed << 17;
+                                v = v.with_bit(bit, seed & 1 == 1);
+                            }
+                        }
+                        v
+                    }
+                };
+            }
+            for gate_id in &self.order {
+                let gate = netlist.gate(*gate_id);
+                self.inputs.clear();
+                for n in &gate.inputs {
+                    self.inputs.push(self.values[n.index()].clone());
+                }
+                let out_w = netlist.net_width(gate.output);
+                self.values[gate.output.index()] = eval_gate(&gate.kind, &self.inputs, out_w);
+            }
+            let ok = requirements
+                .iter()
+                .all(|(net, cube)| cube.matches(&self.values[net.index()]));
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Gate kinds participating in arithmetic islands.
@@ -135,115 +444,82 @@ fn is_island_gate(kind: &GateKind) -> bool {
     )
 }
 
-/// Flood-fills width-homogeneous islands around the unjustified arithmetic gates.
-fn build_islands(netlist: &Netlist, unjustified: &[GateId]) -> Vec<Island> {
-    let mut assigned: HashSet<GateId> = HashSet::new();
-    let mut islands = Vec::new();
-    for seed in unjustified {
-        let seed_gate = netlist.gate(*seed);
-        let width = netlist.net_width(seed_gate.output);
-        if !is_island_gate(&seed_gate.kind) || !(2..=64).contains(&width) || assigned.contains(seed)
-        {
-            continue;
-        }
-        let mut gates = Vec::new();
-        let mut nets: HashSet<NetId> = HashSet::new();
-        let mut queue = VecDeque::from([*seed]);
-        assigned.insert(*seed);
-        while let Some(gate_id) = queue.pop_front() {
-            let gate = netlist.gate(gate_id);
-            gates.push(gate_id);
-            for net in gate.inputs.iter().chain(std::iter::once(&gate.output)) {
-                if netlist.net_width(*net) != width || !nets.insert(*net) {
-                    continue;
-                }
-                // Explore neighbouring arithmetic gates of the same width.
-                let mut neighbours: Vec<GateId> = netlist.fanouts(*net).to_vec();
-                if let Some(driver) = netlist.driver(*net) {
-                    neighbours.push(driver);
-                }
-                for n in neighbours {
-                    let g = netlist.gate(n);
-                    if is_island_gate(&g.kind)
-                        && netlist.net_width(g.output) == width
-                        && assigned.insert(n)
-                    {
-                        queue.push_back(n);
-                    }
-                }
-            }
-        }
-        let mut net_list: Vec<NetId> = nets.into_iter().collect();
-        net_list.sort();
-        islands.push(Island {
-            width,
-            nets: net_list,
-            gates,
-        });
-    }
-    islands
-}
-
-/// Transcribes one island into a [`MixedSystem`] and solves it.
-fn solve_island(
+/// Transcribes the structural equations of one island into a pre-reduced
+/// [`CheckpointedSystem`] template (adders/subtractors/buffers as linear
+/// rows, constants as fixed variables, multipliers as product constraints).
+/// `gates` must be in ascending id order (canonical template row order).
+fn build_island_template(
     netlist: &Netlist,
-    asg: &Assignment,
-    island: &Island,
-    options: &CheckerOptions,
-) -> IslandOutcome {
-    let ring = Ring::new(island.width as u32);
-    let index: HashMap<NetId, usize> = island
-        .nets
-        .iter()
-        .enumerate()
-        .map(|(i, n)| (*n, i))
-        .collect();
-    let mut system = MixedSystem::new(ring, island.nets.len());
-    system.set_enumeration_limit(options.nonlinear_enumeration_limit);
-    let var = |net: &NetId| index[net];
-    for gate_id in &island.gates {
+    width: usize,
+    nets: Vec<NetId>,
+    gates: &[GateId],
+    net_var: &[u32],
+) -> CachedIsland {
+    let ring = Ring::new(width as u32);
+    let mut system = CheckpointedSystem::new(ring, nets.len());
+    let mut products = Vec::new();
+    let var = |net: &NetId| net_var[net.index()] as usize;
+    for gate_id in gates {
         let gate = netlist.gate(*gate_id);
-        let mut coeffs = vec![0u64; island.nets.len()];
         match &gate.kind {
-            GateKind::Add => {
-                coeffs[var(&gate.inputs[0])] = ring.add(coeffs[var(&gate.inputs[0])], 1);
-                coeffs[var(&gate.inputs[1])] = ring.add(coeffs[var(&gate.inputs[1])], 1);
-                coeffs[var(&gate.output)] = ring.sub(coeffs[var(&gate.output)], 1);
-                system.add_equation(&coeffs, 0);
-            }
-            GateKind::Sub => {
-                coeffs[var(&gate.inputs[0])] = ring.add(coeffs[var(&gate.inputs[0])], 1);
-                coeffs[var(&gate.inputs[1])] = ring.sub(coeffs[var(&gate.inputs[1])], 1);
-                coeffs[var(&gate.output)] = ring.sub(coeffs[var(&gate.output)], 1);
-                system.add_equation(&coeffs, 0);
-            }
-            GateKind::Buf => {
-                coeffs[var(&gate.inputs[0])] = 1;
-                coeffs[var(&gate.output)] = ring.neg(1);
-                system.add_equation(&coeffs, 0);
-            }
+            GateKind::Add => system.add_sparse_equation(
+                &[
+                    (var(&gate.inputs[0]), 1),
+                    (var(&gate.inputs[1]), 1),
+                    (var(&gate.output), ring.neg(1)),
+                ],
+                0,
+            ),
+            GateKind::Sub => system.add_sparse_equation(
+                &[
+                    (var(&gate.inputs[0]), 1),
+                    (var(&gate.inputs[1]), ring.neg(1)),
+                    (var(&gate.output), ring.neg(1)),
+                ],
+                0,
+            ),
+            GateKind::Buf => system.add_sparse_equation(
+                &[(var(&gate.inputs[0]), 1), (var(&gate.output), ring.neg(1))],
+                0,
+            ),
             GateKind::Const(v) => {
                 if let Some(value) = v.to_u64() {
                     system.fix_variable(var(&gate.output), value);
                 }
             }
-            GateKind::Mul => {
-                system.add_product(
-                    var(&gate.inputs[0]),
-                    var(&gate.inputs[1]),
-                    var(&gate.output),
-                );
-            }
+            GateKind::Mul => products.push(ProductConstraint {
+                a: var(&gate.inputs[0]),
+                b: var(&gate.inputs[1]),
+                c: var(&gate.output),
+            }),
             _ => {}
         }
     }
-    // Encode what is already known about the island nets: fully-known values
-    // become fixed variables, known low-order bits become congruences
-    // (x ≡ c (mod 2^k)  ⇔  2^{w-k}·x ≡ 2^{w-k}·c (mod 2^w)).
+    CachedIsland {
+        width,
+        ring,
+        nets,
+        products,
+        system,
+    }
+}
+
+/// Pushes the current value rows onto the island's checkpointed template and
+/// solves: fully-known values become fixed variables, known low-order bits
+/// become congruences (x ≡ c (mod 2^k) ⇔ 2^{w-k}·x ≡ 2^{w-k}·c (mod 2^w)).
+fn solve_island(
+    island: &mut CachedIsland,
+    net_var: &[u32],
+    asg: &Assignment,
+    options: &CheckerOptions,
+) -> IslandOutcome {
+    let ring = island.ring;
+    island.system.push_checkpoint();
     for net in &island.nets {
+        let var = net_var[net.index()] as usize;
         let cube = asg.value(*net);
         if let Some(value) = cube.to_bv().and_then(|v| v.to_u64()) {
-            system.fix_variable(index[net], value);
+            island.system.fix_variable(var, value);
             continue;
         }
         let known_low = (0..cube.width())
@@ -263,84 +539,33 @@ fn solve_island(
                 ring.reduce(1u64 << shift)
             };
             if factor != 0 {
-                let mut coeffs = vec![0u64; island.nets.len()];
-                coeffs[index[net]] = factor;
-                system.add_equation(&coeffs, ring.mul(factor, low_value));
+                island
+                    .system
+                    .add_sparse_equation(&[(var, factor)], ring.mul(factor, low_value));
             }
         }
     }
-    match system.solve_interruptible(&mut || options.cancel.is_cancelled()) {
-        MixedOutcome::Solution(values) => IslandOutcome::Assignment(
-            island
-                .nets
-                .iter()
-                .zip(values)
-                .map(|(net, v)| (*net, Bv::from_u64(island.width, v)))
-                .collect(),
-        ),
-        MixedOutcome::Infeasible => IslandOutcome::Infeasible,
-        MixedOutcome::Unknown => IslandOutcome::Unknown,
-    }
-}
-
-/// Completes the assignment with concrete values and evaluates the whole
-/// circuit; returns the concrete values when all requirements hold.
-///
-/// Several completions of the still-unknown primary-input bits are tried:
-/// all-zero, all-one and a sequence of deterministic pseudo-random patterns.
-/// This covers residual *disequality* requirements (e.g. "the register must
-/// differ from 0") that are not expressible as modular linear equations.
-pub(crate) fn concretize_and_check(
-    netlist: &Netlist,
-    asg: &Assignment,
-    requirements: &[(NetId, Bv3)],
-) -> Option<Vec<Bv>> {
-    let order = netlist.combinational_order().ok()?;
-    const ATTEMPTS: u64 = 24;
-    let mut seed = 0x9e37_79b9_7f4a_7c15u64;
-    for attempt in 0..ATTEMPTS {
-        let mut values: Vec<Bv> = netlist
-            .nets()
-            .map(|n| {
-                let cube = asg.value(n);
-                match attempt {
-                    0 => cube.min_value(),
-                    1 => cube.max_value(),
-                    _ => {
-                        // Fill unknown bits with a pseudo-random pattern
-                        // (xorshift), keeping every known bit.
-                        let mut v = cube.min_value();
-                        for bit in 0..cube.width() {
-                            if !cube.bit(bit).is_known() {
-                                seed ^= seed << 13;
-                                seed ^= seed >> 7;
-                                seed ^= seed << 17;
-                                v = v.with_bit(bit, seed & 1 == 1);
-                            }
-                        }
-                        v
-                    }
-                }
-            })
-            .collect();
-        for gate_id in &order {
-            let gate = netlist.gate(*gate_id);
-            let inputs: Vec<Bv> = gate
-                .inputs
-                .iter()
-                .map(|n| values[n.index()].clone())
-                .collect();
-            let out_w = netlist.net_width(gate.output);
-            values[gate.output.index()] = eval_gate(&gate.kind, &inputs, out_w);
+    let mut poll = || options.cancel.is_cancelled();
+    let outcome = if island.products.is_empty() {
+        match island.system.solve_interruptible(&mut poll) {
+            Ok(sol) => IslandOutcome::Assignment(sol.instantiate(&vec![0; sol.num_free()])),
+            Err(SolveAbort::Infeasible) => IslandOutcome::Infeasible,
+            Err(SolveAbort::Interrupted) => IslandOutcome::Unknown,
         }
-        let ok = requirements
-            .iter()
-            .all(|(net, cube)| cube.matches(&values[net.index()]));
-        if ok {
-            return Some(values);
+    } else {
+        match solve_products_checkpointed(
+            &mut island.system,
+            &island.products,
+            options.nonlinear_enumeration_limit,
+            &mut poll,
+        ) {
+            MixedOutcome::Solution(values) => IslandOutcome::Assignment(values),
+            MixedOutcome::Infeasible => IslandOutcome::Infeasible,
+            MixedOutcome::Unknown => IslandOutcome::Unknown,
         }
-    }
-    None
+    };
+    island.system.pop_checkpoint();
+    outcome
 }
 
 #[cfg(test)]
@@ -349,6 +574,30 @@ mod tests {
 
     fn cube(s: &str) -> Bv3 {
         s.parse().unwrap()
+    }
+
+    /// One-shot resolution through a fresh context (mirrors the old
+    /// free-function API for the focused unit tests below).
+    fn resolve_once(
+        netlist: &Netlist,
+        asg: &mut Assignment,
+        requirements: &[(NetId, Bv3)],
+        options: &CheckerOptions,
+        stats: &mut CheckStats,
+    ) -> DatapathOutcome {
+        let mut ctx = DatapathContext::new(netlist);
+        let mut propagator = Propagator::new(netlist);
+        let mut unjustified = Vec::new();
+        crate::justify::unjustified_gates(netlist, asg, &mut unjustified);
+        ctx.resolve(
+            netlist,
+            asg,
+            &mut propagator,
+            &unjustified,
+            requirements,
+            options,
+            stats,
+        )
     }
 
     #[test]
@@ -362,9 +611,9 @@ mod tests {
         asg.refine(b, &cube("4'b0001")).unwrap();
         asg.refine(y, &cube("4'b0100")).unwrap();
         let reqs = vec![(y, cube("4'b0100"))];
-        let out = resolve_datapath(
+        let out = resolve_once(
             &nl,
-            &asg,
+            &mut asg,
             &reqs,
             &CheckerOptions::default(),
             &mut CheckStats::default(),
@@ -389,7 +638,7 @@ mod tests {
         asg.refine(y, &cube("4'b1100")).unwrap();
         let reqs = vec![(y, cube("4'b1100"))];
         let mut stats = CheckStats::default();
-        let out = resolve_datapath(&nl, &asg, &reqs, &CheckerOptions::default(), &mut stats);
+        let out = resolve_once(&nl, &mut asg, &reqs, &CheckerOptions::default(), &mut stats);
         match out {
             DatapathOutcome::Consistent(values) => {
                 let av = values[a.index()].to_u64().unwrap();
@@ -399,6 +648,11 @@ mod tests {
             other => panic!("expected consistent, got {other:?}"),
         }
         assert!(stats.arithmetic_calls >= 1);
+        assert!(stats.datapath_nanos > 0);
+        // The assignment must be restored: speculative refinements are
+        // backtracked through the delta trail, never cloned away.
+        assert_eq!(asg.value(a), &Bv3::all_x(4));
+        assert_eq!(asg.value(b), &Bv3::all_x(4));
     }
 
     #[test]
@@ -414,9 +668,9 @@ mod tests {
         asg.refine(y, &cube("4'b0000")).unwrap();
         asg.refine(b, &cube("4'b1001")).unwrap();
         let reqs = vec![(y, cube("4'b0000")), (b, cube("4'b1001"))];
-        let out = resolve_datapath(
+        let out = resolve_once(
             &nl,
-            &asg,
+            &mut asg,
             &reqs,
             &CheckerOptions::default(),
             &mut CheckStats::default(),
@@ -438,9 +692,9 @@ mod tests {
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("4'b0101")).unwrap();
         let reqs = vec![(y, cube("4'b0101"))];
-        let out = resolve_datapath(
+        let out = resolve_once(
             &nl,
-            &asg,
+            &mut asg,
             &reqs,
             &CheckerOptions::default(),
             &mut CheckStats::default(),
@@ -459,9 +713,9 @@ mod tests {
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("4'b1100")).unwrap();
         let reqs = vec![(y, cube("4'b1100"))];
-        let out = resolve_datapath(
+        let out = resolve_once(
             &nl,
-            &asg,
+            &mut asg,
             &reqs,
             &CheckerOptions::default(),
             &mut CheckStats::default(),
@@ -487,9 +741,9 @@ mod tests {
         asg.refine(a, &cube("4'bxx11")).unwrap();
         asg.refine(y, &cube("4'b1000")).unwrap();
         let reqs = vec![(y, cube("4'b1000")), (a, cube("4'bxx11"))];
-        let out = resolve_datapath(
+        let out = resolve_once(
             &nl,
-            &asg,
+            &mut asg,
             &reqs,
             &CheckerOptions::default(),
             &mut CheckStats::default(),
@@ -500,6 +754,75 @@ mod tests {
                 assert_eq!(av & 0b11, 0b11);
             }
             other => panic!("expected consistent, got {other:?}"),
+        }
+    }
+
+    /// Interleaves island solving with decision-style refinements and
+    /// backtracking: the persistent context must return exactly what a fresh
+    /// context returns at every step.
+    #[test]
+    fn incremental_context_matches_scratch_across_interleaved_decisions() {
+        // Two independent islands: s = a + b (4-bit), t = c - d (4-bit),
+        // plus a multiplier island m = 4·e.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let c = nl.input("c", 4);
+        let d = nl.input("d", 4);
+        let e = nl.input("e", 4);
+        let s = nl.add(a, b);
+        let t = nl.sub(c, d);
+        let four = nl.constant(&Bv::from_u64(4, 4));
+        let m = nl.mul(four, e);
+        let options = CheckerOptions::default();
+
+        let mut ctx = DatapathContext::new(&nl);
+        let mut propagator = Propagator::new(&nl);
+        let mut unjustified = Vec::new();
+
+        // Decision levels: progressively refine requirements, resolving at
+        // each level through BOTH the persistent context and a fresh one.
+        let levels: Vec<Vec<(NetId, Bv3)>> = vec![
+            vec![(s, cube("4'b1100"))],
+            vec![(s, cube("4'b1100")), (t, cube("4'b0011"))],
+            vec![
+                (s, cube("4'b1100")),
+                (t, cube("4'b0011")),
+                (m, cube("4'b1000")),
+            ],
+            vec![(s, cube("4'b1100")), (a, cube("4'bxx01"))],
+            vec![(m, cube("4'b0101"))], // 4·e = 5 is infeasible (odd)
+        ];
+        for (level, reqs) in levels.iter().enumerate() {
+            let mut asg = Assignment::new(&nl);
+            for (net, value) in reqs {
+                asg.refine(*net, value).unwrap();
+            }
+            crate::justify::unjustified_gates(&nl, &asg, &mut unjustified);
+            let mut stats = CheckStats::default();
+            let incremental = ctx.resolve(
+                &nl,
+                &mut asg,
+                &mut propagator,
+                &unjustified,
+                reqs,
+                &options,
+                &mut stats,
+            );
+            let mut scratch_ctx = DatapathContext::new(&nl);
+            let mut scratch_prop = Propagator::new(&nl);
+            let mut scratch_stats = CheckStats::default();
+            let scratch = scratch_ctx.resolve(
+                &nl,
+                &mut asg,
+                &mut scratch_prop,
+                &unjustified,
+                reqs,
+                &options,
+                &mut scratch_stats,
+            );
+            assert_eq!(incremental, scratch, "level {level}");
+            assert_eq!(stats.arithmetic_calls, scratch_stats.arithmetic_calls);
         }
     }
 }

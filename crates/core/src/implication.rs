@@ -570,7 +570,8 @@ impl Propagator {
         Some(gate)
     }
 
-    fn clear(&mut self) {
+    /// Drops all pending events (also used to reset a context between runs).
+    pub(crate) fn clear(&mut self) {
         for bucket in &mut self.buckets {
             for gate in bucket.drain(..) {
                 self.queued[gate.index()] = false;

@@ -1,15 +1,21 @@
 //! Justification support: unjustified-gate detection, decision-point cuts and
 //! the legal-1 / legal-0 probability heuristic (Section 3.2 of the paper).
+//!
+//! All per-decision bookkeeping lives in [`JustifyBuffers`]: dense,
+//! generation-stamped arrays indexed by net replace the per-call
+//! `HashSet`/`HashMap`s, so the steady-state decision loop performs no heap
+//! allocation (the buffers are created once per search and reused).
 
 use crate::assignment::Assignment;
 use crate::implication::forward_eval;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use wlac_netlist::{GateId, GateKind, NetId, Netlist};
 
 /// A gate is *unjustified* when its output carries required (known) bits that
-/// are not yet implied by its current input values.
-pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment) -> Vec<GateId> {
-    let mut out = Vec::new();
+/// are not yet implied by its current input values. Fills `out` (cleared
+/// first) with every such gate.
+pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment, out: &mut Vec<GateId>) {
+    out.clear();
     for (id, gate) in netlist.gates() {
         let required = asg.value(gate.output);
         if required.is_all_x() {
@@ -22,7 +28,6 @@ pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment) -> Vec<Gate
             out.push(id);
         }
     }
-    out
 }
 
 /// `true` when a net can serve as a decision point: a single-bit *control*
@@ -40,124 +45,210 @@ fn is_decision_candidate(netlist: &Netlist, asg: &Assignment, net: NetId) -> boo
     }
 }
 
-/// Backward breadth-first traversal from the unjustified gates to a cut of
-/// candidate decision points. When the cut exceeds `limit`, the candidates
-/// with the highest fanout count are kept (as the paper prescribes).
-pub(crate) fn decision_cut(
-    netlist: &Netlist,
-    asg: &Assignment,
-    unjustified: &[GateId],
-    limit: usize,
-) -> Vec<NetId> {
-    let mut visited: HashSet<NetId> = HashSet::new();
-    let mut queue: VecDeque<NetId> = VecDeque::new();
-    let mut candidates: Vec<NetId> = Vec::new();
-    for gate_id in unjustified {
-        for input in &netlist.gate(*gate_id).inputs {
-            if visited.insert(*input) {
-                queue.push_back(*input);
-            }
+/// Advances a generation counter, wiping the stamp array on the (practically
+/// unreachable) wrap-around so stale stamps can never alias a fresh one.
+/// Shared by every stamped frontier (decision cuts, probabilities, active
+/// datapath islands).
+pub(crate) fn bump_generation(stamps: &mut [u32], current: u32) -> u32 {
+    if current == u32::MAX {
+        stamps.fill(0);
+        1
+    } else {
+        current + 1
+    }
+}
+
+/// Reusable dense state for the justification frontier of one search:
+/// the unjustified-gate list, the decision-cut scratch and the legal-1
+/// probability arrays. Indexed by net/gate id; generations avoid O(nets)
+/// clears between decisions.
+#[derive(Debug)]
+pub(crate) struct JustifyBuffers {
+    /// Gates whose required output bits are not yet implied (recomputed each
+    /// decision round by [`Self::compute_unjustified`]).
+    pub(crate) unjustified: Vec<GateId>,
+    /// Decision-point candidates of the latest cut.
+    pub(crate) candidates: Vec<NetId>,
+    net_stamp: Vec<u32>,
+    cut_gen: u32,
+    queue: VecDeque<NetId>,
+    prob_sum: Vec<f64>,
+    prob_count: Vec<u32>,
+    prob_stamp: Vec<u32>,
+    prob_gen: u32,
+    frontier: VecDeque<(NetId, f64)>,
+}
+
+impl JustifyBuffers {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
+        let nets = netlist.net_count();
+        JustifyBuffers {
+            unjustified: Vec::new(),
+            candidates: Vec::new(),
+            net_stamp: vec![0; nets],
+            cut_gen: 0,
+            queue: VecDeque::new(),
+            prob_sum: vec![0.0; nets],
+            prob_count: vec![0; nets],
+            prob_stamp: vec![0; nets],
+            prob_gen: 0,
+            frontier: VecDeque::new(),
         }
     }
-    while let Some(net) = queue.pop_front() {
-        if is_decision_candidate(netlist, asg, net) {
-            candidates.push(net);
-            continue;
+
+    /// Recomputes [`Self::unjustified`] for the current assignment.
+    pub(crate) fn compute_unjustified(&mut self, netlist: &Netlist, asg: &Assignment) {
+        unjustified_gates(netlist, asg, &mut self.unjustified);
+    }
+
+    /// Backward breadth-first traversal from the unjustified gates to a cut
+    /// of candidate decision points, into [`Self::candidates`]. When the cut
+    /// exceeds `limit`, the candidates with the highest fanout count are kept
+    /// (as the paper prescribes).
+    pub(crate) fn compute_decision_cut(
+        &mut self,
+        netlist: &Netlist,
+        asg: &Assignment,
+        limit: usize,
+    ) {
+        self.candidates.clear();
+        self.cut_gen = bump_generation(&mut self.net_stamp, self.cut_gen);
+        let gen = self.cut_gen;
+        self.queue.clear();
+        for gate_id in &self.unjustified {
+            for input in &netlist.gate(*gate_id).inputs {
+                if self.net_stamp[input.index()] != gen {
+                    self.net_stamp[input.index()] = gen;
+                    self.queue.push_back(*input);
+                }
+            }
         }
-        if let Some(driver) = netlist.driver(net) {
-            for input in &netlist.gate(driver).inputs {
-                if visited.insert(*input) {
-                    queue.push_back(*input);
+        while let Some(net) = self.queue.pop_front() {
+            if is_decision_candidate(netlist, asg, net) {
+                self.candidates.push(net);
+                continue;
+            }
+            if let Some(driver) = netlist.driver(net) {
+                for input in &netlist.gate(driver).inputs {
+                    if self.net_stamp[input.index()] != gen {
+                        self.net_stamp[input.index()] = gen;
+                        self.queue.push_back(*input);
+                    }
+                }
+            }
+        }
+        if self.candidates.len() > limit {
+            // sort_unstable: the stable sort allocates its merge buffer.
+            self.candidates
+                .sort_unstable_by_key(|n| std::cmp::Reverse(netlist.fanouts(*n).len()));
+            self.candidates.truncate(limit);
+        }
+    }
+
+    /// Legal-1 probabilities (Definition 1) for single-bit signals between
+    /// the unjustified gates and the decision points, computed backward with
+    /// Rules 3–5 of the paper into the dense probability arrays (read back
+    /// through [`Self::probability`]).
+    pub(crate) fn compute_probabilities(&mut self, netlist: &Netlist, asg: &Assignment) {
+        self.prob_gen = bump_generation(&mut self.prob_stamp, self.prob_gen);
+        let gen = self.prob_gen;
+        self.frontier.clear();
+        // Seed: required output values of unjustified single-bit gates (Rule 3).
+        for gate_id in &self.unjustified {
+            let gate = netlist.gate(*gate_id);
+            let required = asg.value(gate.output);
+            if required.width() == 1 {
+                if let Some(bit) = required.bit(0).to_bool() {
+                    let p = if bit { 1.0 } else { 0.0 };
+                    record(
+                        &mut self.prob_sum,
+                        &mut self.prob_count,
+                        &mut self.prob_stamp,
+                        gen,
+                        gate.output,
+                        p,
+                    );
+                    self.frontier.push_back((gate.output, p));
+                }
+            }
+        }
+        // Backward propagation with a visit budget to keep the computation
+        // local to the justification region.
+        let mut budget = 4 * netlist.gate_count().max(64);
+        while let Some((net, p1)) = self.frontier.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let Some(driver) = netlist.driver(net) else {
+                continue;
+            };
+            let gate = netlist.gate(driver);
+            let is_unknown_bit =
+                |n: &NetId| netlist.net_width(*n) == 1 && !asg.value(*n).is_fully_known();
+            let unknown_inputs = gate.inputs.iter().filter(|n| is_unknown_bit(n)).count();
+            if unknown_inputs == 0 {
+                continue;
+            }
+            let n = unknown_inputs as f64;
+            let p0 = 1.0 - p1;
+            let q1 = match gate.kind {
+                GateKind::Not => p0,
+                GateKind::Buf | GateKind::Dff { .. } => p1,
+                GateKind::And => {
+                    // Output 1 forces every input to 1; output 0 admits
+                    // (2^{n-1} - 1) / (2^n - 1) assignments with this input at 1.
+                    let pow_n = (2f64).powf(n);
+                    let frac = (pow_n / 2.0 - 1.0) / (pow_n - 1.0);
+                    p1 + p0 * frac
+                }
+                GateKind::Or => {
+                    // Output 0 forces every input to 0; output 1 admits
+                    // 2^{n-1} / (2^n - 1) assignments with this input at 1.
+                    let pow_n = (2f64).powf(n);
+                    let frac = (pow_n / 2.0) / (pow_n - 1.0);
+                    p1 * frac
+                }
+                GateKind::Xor => 0.5,
+                _ => 0.5,
+            };
+            for input in &gate.inputs {
+                if is_unknown_bit(input) {
+                    record(
+                        &mut self.prob_sum,
+                        &mut self.prob_count,
+                        &mut self.prob_stamp,
+                        gen,
+                        *input,
+                        q1,
+                    );
+                    self.frontier.push_back((*input, q1));
                 }
             }
         }
     }
-    if candidates.len() > limit {
-        candidates.sort_by_key(|n| std::cmp::Reverse(netlist.fanouts(*n).len()));
-        candidates.truncate(limit);
+
+    /// Legal-1 probability of `net` from the latest
+    /// [`Self::compute_probabilities`] pass. Rule 5: a fanout stem takes the
+    /// average of its branch probabilities.
+    pub(crate) fn probability(&self, net: NetId) -> Option<f64> {
+        let i = net.index();
+        (self.prob_stamp[i] == self.prob_gen)
+            .then(|| self.prob_sum[i] / f64::from(self.prob_count[i]))
     }
-    candidates
 }
 
-/// Legal-1 probabilities (Definition 1) for single-bit signals between the
-/// unjustified gates and the decision points, computed backward with
-/// Rules 3–5 of the paper.
-pub(crate) fn legal_one_probabilities(
-    netlist: &Netlist,
-    asg: &Assignment,
-    unjustified: &[GateId],
-) -> HashMap<NetId, f64> {
-    // Seed: required output values of unjustified single-bit gates (Rule 3).
-    let mut sums: HashMap<NetId, (f64, usize)> = HashMap::new();
-    let record = |map: &mut HashMap<NetId, (f64, usize)>, net: NetId, p: f64| {
-        let entry = map.entry(net).or_insert((0.0, 0));
-        entry.0 += p;
-        entry.1 += 1;
-    };
-    let mut frontier: VecDeque<(NetId, f64)> = VecDeque::new();
-    for gate_id in unjustified {
-        let gate = netlist.gate(*gate_id);
-        let required = asg.value(gate.output);
-        if required.width() == 1 {
-            if let Some(bit) = required.bit(0).to_bool() {
-                let p = if bit { 1.0 } else { 0.0 };
-                record(&mut sums, gate.output, p);
-                frontier.push_back((gate.output, p));
-            }
-        }
+/// Accumulates one branch probability into the dense sum/count arrays.
+fn record(sum: &mut [f64], count: &mut [u32], stamp: &mut [u32], gen: u32, net: NetId, p: f64) {
+    let i = net.index();
+    if stamp[i] != gen {
+        stamp[i] = gen;
+        sum[i] = p;
+        count[i] = 1;
+    } else {
+        sum[i] += p;
+        count[i] += 1;
     }
-    // Backward propagation with a visit budget to keep the computation local
-    // to the justification region.
-    let mut budget = 4 * netlist.gate_count().max(64);
-    while let Some((net, p1)) = frontier.pop_front() {
-        if budget == 0 {
-            break;
-        }
-        budget -= 1;
-        let Some(driver) = netlist.driver(net) else {
-            continue;
-        };
-        let gate = netlist.gate(driver);
-        let unknown_inputs: Vec<NetId> = gate
-            .inputs
-            .iter()
-            .copied()
-            .filter(|n| netlist.net_width(*n) == 1 && !asg.value(*n).is_fully_known())
-            .collect();
-        if unknown_inputs.is_empty() {
-            continue;
-        }
-        let n = unknown_inputs.len() as f64;
-        let p0 = 1.0 - p1;
-        let q1 = match gate.kind {
-            GateKind::Not => p0,
-            GateKind::Buf | GateKind::Dff { .. } => p1,
-            GateKind::And => {
-                // Output 1 forces every input to 1; output 0 admits
-                // (2^{n-1} - 1) / (2^n - 1) assignments with this input at 1.
-                let pow_n = (2f64).powf(n);
-                let frac = (pow_n / 2.0 - 1.0) / (pow_n - 1.0);
-                p1 + p0 * frac
-            }
-            GateKind::Or => {
-                // Output 0 forces every input to 0; output 1 admits
-                // 2^{n-1} / (2^n - 1) assignments with this input at 1.
-                let pow_n = (2f64).powf(n);
-                let frac = (pow_n / 2.0) / (pow_n - 1.0);
-                p1 * frac
-            }
-            GateKind::Xor => 0.5,
-            _ => 0.5,
-        };
-        for input in unknown_inputs {
-            record(&mut sums, input, q1);
-            frontier.push_back((input, q1));
-        }
-    }
-    // Rule 5: a fanout stem takes the average of its branch probabilities.
-    sums.into_iter()
-        .map(|(net, (sum, count))| (net, sum / count as f64))
-        .collect()
 }
 
 /// The legal assignment bias of Definition 2: `p1/(1-p1)` when `p1 >= 0.5`,
@@ -195,6 +286,26 @@ mod tests {
         s.parse().unwrap()
     }
 
+    fn unjustified(netlist: &Netlist, asg: &Assignment) -> Vec<GateId> {
+        let mut out = Vec::new();
+        unjustified_gates(netlist, asg, &mut out);
+        out
+    }
+
+    fn cut(netlist: &Netlist, asg: &Assignment, limit: usize) -> Vec<NetId> {
+        let mut bufs = JustifyBuffers::new(netlist);
+        bufs.compute_unjustified(netlist, asg);
+        bufs.compute_decision_cut(netlist, asg, limit);
+        bufs.candidates.clone()
+    }
+
+    fn probabilities(netlist: &Netlist, asg: &Assignment) -> JustifyBuffers {
+        let mut bufs = JustifyBuffers::new(netlist);
+        bufs.compute_unjustified(netlist, asg);
+        bufs.compute_probabilities(netlist, asg);
+        bufs
+    }
+
     #[test]
     fn unjustified_detection() {
         let mut nl = Netlist::new("t");
@@ -203,13 +314,13 @@ mod tests {
         let y = nl.and2(a, b);
         let mut asg = Assignment::new(&nl);
         // Nothing required: nothing unjustified.
-        assert!(unjustified_gates(&nl, &asg).is_empty());
+        assert!(unjustified(&nl, &asg).is_empty());
         // Require y = 0 with unknown inputs: the AND gate is unjustified.
         asg.refine(y, &cube("1'b0")).unwrap();
-        assert_eq!(unjustified_gates(&nl, &asg).len(), 1);
+        assert_eq!(unjustified(&nl, &asg).len(), 1);
         // Assign a = 0: the requirement becomes justified.
         asg.refine(a, &cube("1'b0")).unwrap();
-        assert!(unjustified_gates(&nl, &asg).is_empty());
+        assert!(unjustified(&nl, &asg).is_empty());
     }
 
     #[test]
@@ -224,8 +335,7 @@ mod tests {
         let y = nl.and2(inner, cmp);
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b1")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let cut = decision_cut(&nl, &asg, &unjust, 16);
+        let cut = cut(&nl, &asg, 16);
         // Candidates are the comparator output and the primary inputs a, b
         // (reached through the non-candidate internal AND).
         assert!(cut.contains(&cmp));
@@ -249,9 +359,40 @@ mod tests {
         let y = nl.or2(g1, g2);
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b1")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let cut = decision_cut(&nl, &asg, &unjust, 1);
-        assert_eq!(cut, vec![popular]);
+        assert_eq!(cut(&nl, &asg, 1), vec![popular]);
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_decision_rounds() {
+        // Two rounds against different assignments through the same buffers:
+        // the generation stamps must fully isolate the rounds.
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let y = nl.and2(a, b);
+        let z = nl.or2(a, b);
+        let mut bufs = JustifyBuffers::new(&nl);
+
+        let mut asg = Assignment::new(&nl);
+        asg.refine(y, &cube("1'b1")).unwrap();
+        bufs.compute_unjustified(&nl, &asg);
+        assert_eq!(bufs.unjustified.len(), 1); // only the AND carries a requirement
+        bufs.compute_decision_cut(&nl, &asg, 16);
+        let first: Vec<NetId> = bufs.candidates.clone();
+        assert!(first.contains(&a) && first.contains(&b));
+        bufs.compute_probabilities(&nl, &asg);
+        assert!((bufs.probability(a).unwrap() - 1.0).abs() < 1e-9);
+
+        let mut asg = Assignment::new(&nl);
+        asg.refine(z, &cube("1'b0")).unwrap();
+        asg.refine(a, &cube("1'b0")).unwrap();
+        bufs.compute_unjustified(&nl, &asg);
+        bufs.compute_decision_cut(&nl, &asg, 16);
+        assert_eq!(bufs.candidates, vec![b]);
+        bufs.compute_probabilities(&nl, &asg);
+        assert!((bufs.probability(b).unwrap() - 0.0).abs() < 1e-9);
+        // `a` was seeded in round one only; its stamp must now be stale.
+        assert_eq!(bufs.probability(a), None);
     }
 
     #[test]
@@ -263,17 +404,15 @@ mod tests {
         let y = nl.and2(a, b);
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b0")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let probs = legal_one_probabilities(&nl, &asg, &unjust);
-        assert!((probs[&a] - 1.0 / 3.0).abs() < 1e-9);
-        assert!((probs[&b] - 1.0 / 3.0).abs() < 1e-9);
+        let bufs = probabilities(&nl, &asg);
+        assert!((bufs.probability(a).unwrap() - 1.0 / 3.0).abs() < 1e-9);
+        assert!((bufs.probability(b).unwrap() - 1.0 / 3.0).abs() < 1e-9);
 
         // Requiring output 1 forces probability 1.
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b1")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let probs = legal_one_probabilities(&nl, &asg, &unjust);
-        assert!((probs[&a] - 1.0).abs() < 1e-9);
+        let bufs = probabilities(&nl, &asg);
+        assert!((bufs.probability(a).unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -285,9 +424,8 @@ mod tests {
         let y = nl.or2(a, b);
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b1")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let probs = legal_one_probabilities(&nl, &asg, &unjust);
-        assert!((probs[&a] - 2.0 / 3.0).abs() < 1e-9);
+        let bufs = probabilities(&nl, &asg);
+        assert!((bufs.probability(a).unwrap() - 2.0 / 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -302,9 +440,8 @@ mod tests {
         let mut asg = Assignment::new(&nl);
         asg.refine(and_out, &cube("1'b1")).unwrap();
         asg.refine(inv_out, &cube("1'b1")).unwrap();
-        let unjust = unjustified_gates(&nl, &asg);
-        let probs = legal_one_probabilities(&nl, &asg, &unjust);
-        assert!((probs[&stem] - 0.5).abs() < 1e-9);
+        let bufs = probabilities(&nl, &asg);
+        assert!((bufs.probability(stem).unwrap() - 0.5).abs() < 1e-9);
     }
 
     #[test]

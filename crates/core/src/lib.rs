@@ -66,5 +66,6 @@ pub use config::{CancelToken, CheckerOptions};
 pub use estg::Estg;
 pub use implication::{ImplicationEngine, ImplicationStats};
 pub use property::{Property, PropertyKind, Verification};
+pub use search::{SearchContext, SearchGoal, SearchOutcome};
 pub use stats::CheckStats;
 pub use trace::Trace;

@@ -5,13 +5,22 @@
 //! making, chronological backtracking over the word-level value trail, and —
 //! once the control constraints are satisfied — the modular arithmetic
 //! datapath resolution of [`crate::datapath`].
+//!
+//! All search state lives in a reusable [`SearchContext`]: the assignment and
+//! its delta trail, the levelized propagator, the dense justification
+//! buffers, the cached datapath islands and the decision stack. At steady
+//! state (after the first search on a netlist has warmed the buffers) a whole
+//! decision/backtrack cycle — including an unsatisfiable search from seeding
+//! to exhaustion — performs **zero heap allocations** on control-only
+//! circuits with nets up to 128 bits; `crates/core/tests/alloc_free.rs`
+//! enforces this with a counting allocator.
 
 use crate::assignment::Assignment;
 use crate::config::CheckerOptions;
-use crate::datapath::{resolve_datapath, DatapathOutcome};
+use crate::datapath::{DatapathContext, DatapathOutcome};
 use crate::estg::Estg;
 use crate::implication::Propagator;
-use crate::justify::{assignment_bias, decision_cut, legal_one_probabilities, unjustified_gates};
+use crate::justify::{assignment_bias, JustifyBuffers};
 use crate::stats::CheckStats;
 use std::time::Instant;
 use wlac_bv::{Bv, Bv3, Tv};
@@ -19,7 +28,7 @@ use wlac_netlist::{NetId, Netlist};
 
 /// Outcome of one justification run over an unrolled circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum SearchOutcome {
+pub enum SearchOutcome {
     /// A concrete assignment (value per expanded net) satisfying every
     /// requirement.
     Sat(Vec<Bv>),
@@ -27,14 +36,14 @@ pub(crate) enum SearchOutcome {
     Unsat,
     /// The search was aborted (limit reached) or ended with unresolved
     /// datapath obligations; no conclusion may be drawn.
-    Inconclusive(String),
+    Inconclusive(&'static str),
 }
 
 /// The goal of the search, controlling the decision-value ordering
 /// (Section 3.2: complement of the bias when proving, the bias itself when
 /// hunting for a witness that likely exists).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum SearchGoal {
+pub enum SearchGoal {
     /// Proving an assertion: counter-examples are expected not to exist.
     Prove,
     /// Generating a witness expected to exist.
@@ -53,104 +62,172 @@ struct Decision {
     mark: usize,
 }
 
-/// The justification engine for one (already unrolled) combinational circuit.
-pub(crate) struct SearchEngine<'a> {
-    netlist: &'a Netlist,
-    options: &'a CheckerOptions,
-    goal: SearchGoal,
-    requirements: Vec<(NetId, Bv3)>,
-    estg: &'a mut Estg,
-    deadline: Instant,
+/// Reusable state of the justification engine for one (already unrolled)
+/// combinational circuit.
+///
+/// Create it once per netlist and call [`SearchContext::search`] as many
+/// times as needed — every internal buffer (assignment trail, propagator
+/// buckets, justification frontiers, datapath island cache, decision stack)
+/// is retained across runs, which is what makes repeated steady-state
+/// searches allocation-free.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use wlac_atpg::{CheckStats, CheckerOptions, Estg, SearchContext, SearchGoal, SearchOutcome};
+/// use wlac_netlist::Netlist;
+///
+/// // y = a & !a can never be 1.
+/// let mut nl = Netlist::new("t");
+/// let a = nl.input("a", 1);
+/// let na = nl.not(a);
+/// let y = nl.and2(a, na);
+/// let requirements = vec![(y, "1'b1".parse().unwrap())];
+///
+/// let mut ctx = SearchContext::new(&nl);
+/// let mut estg = Estg::new();
+/// let mut stats = CheckStats::default();
+/// let outcome = ctx.search(
+///     &nl,
+///     &CheckerOptions::default(),
+///     SearchGoal::Prove,
+///     &requirements,
+///     &mut estg,
+///     Instant::now() + Duration::from_secs(5),
+///     &mut stats,
+/// );
+/// assert_eq!(outcome, SearchOutcome::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct SearchContext {
+    asg: Assignment,
+    propagator: Propagator,
+    justify: JustifyBuffers,
+    datapath: DatapathContext,
+    stack: Vec<Decision>,
 }
 
-impl<'a> SearchEngine<'a> {
-    pub(crate) fn new(
-        netlist: &'a Netlist,
-        options: &'a CheckerOptions,
-        goal: SearchGoal,
-        requirements: Vec<(NetId, Bv3)>,
-        estg: &'a mut Estg,
-        deadline: Instant,
-    ) -> Self {
-        SearchEngine {
-            netlist,
-            options,
-            goal,
-            requirements,
-            estg,
-            deadline,
+impl SearchContext {
+    /// Creates a context sized for `netlist`. The context must only ever be
+    /// used with this same netlist.
+    pub fn new(netlist: &Netlist) -> Self {
+        SearchContext {
+            asg: Assignment::new(netlist),
+            propagator: Propagator::new(netlist),
+            justify: JustifyBuffers::new(netlist),
+            datapath: DatapathContext::new(netlist),
+            stack: Vec::new(),
         }
     }
 
-    /// Runs the search to completion (or until a limit is hit).
-    pub(crate) fn run(&mut self, stats: &mut CheckStats) -> SearchOutcome {
-        let mut asg = Assignment::new(self.netlist);
-        let mut propagator = Propagator::new(self.netlist);
+    /// Runs one justification search to completion (or until a limit is hit).
+    ///
+    /// `requirements` are the word-level value constraints to justify
+    /// simultaneously; `estg` carries conflict history across searches of the
+    /// same property (it is external so a checker can share it across
+    /// unrolling bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when `netlist` is not the netlist this
+    /// context was created for.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's engine inputs
+    pub fn search(
+        &mut self,
+        netlist: &Netlist,
+        options: &CheckerOptions,
+        goal: SearchGoal,
+        requirements: &[(NetId, Bv3)],
+        estg: &mut Estg,
+        deadline: Instant,
+        stats: &mut CheckStats,
+    ) -> SearchOutcome {
+        debug_assert_eq!(
+            self.asg.len(),
+            netlist.net_count(),
+            "SearchContext reused with a different netlist"
+        );
+        // Reset reusable state through the delta trail (restores all-x).
+        self.asg.backtrack_to(0);
+        self.stack.clear();
+        self.propagator.clear();
 
         // Initial assignments from the property, environment and initial
         // state, followed by a full implication pass.
-        for (net, cube) in &self.requirements {
-            match asg.refine(*net, cube) {
-                Ok(true) => propagator.enqueue_net(self.netlist, *net),
+        for (net, cube) in requirements {
+            match self.asg.refine(*net, cube) {
+                Ok(true) => self.propagator.enqueue_net(netlist, *net),
                 Ok(false) => {}
-                Err(_) => return SearchOutcome::Unsat,
+                Err(_) => {
+                    self.asg.backtrack_to(0);
+                    return SearchOutcome::Unsat;
+                }
             }
         }
-        propagator.enqueue_all(self.netlist);
-        let implication_ok = propagator
-            .run(self.netlist, &mut asg, &mut stats.implication)
+        self.propagator.enqueue_all(netlist);
+        let implication_ok = self
+            .propagator
+            .run(netlist, &mut self.asg, &mut stats.implication)
             .is_ok();
         // Account for the expanded netlist + assignment even when the run is
         // settled by this initial implication pass alone (e.g. an Unsat bound
         // never reaches the datapath handoff below).
-        stats.peak_memory_bytes = stats.peak_memory_bytes.max(self.memory_estimate(&asg));
+        stats.peak_memory_bytes = stats
+            .peak_memory_bytes
+            .max(self.memory_estimate(netlist, estg));
         if !implication_ok {
+            self.asg.backtrack_to(0);
             return SearchOutcome::Unsat;
         }
 
-        let mut stack: Vec<Decision> = Vec::new();
-        let mut inconclusive: Option<String> = None;
+        let mut inconclusive: Option<&'static str> = None;
 
         loop {
-            if self.options.cancel.is_cancelled() {
-                return SearchOutcome::Inconclusive("cancelled".into());
+            if options.cancel.is_cancelled() {
+                return SearchOutcome::Inconclusive("cancelled");
             }
-            if Instant::now() > self.deadline {
-                return SearchOutcome::Inconclusive("time limit exceeded".into());
+            if Instant::now() > deadline {
+                return SearchOutcome::Inconclusive("time limit exceeded");
             }
-            if stats.backtracks > self.options.backtrack_limit as u64 {
-                return SearchOutcome::Inconclusive("backtrack limit exceeded".into());
+            if stats.backtracks > options.backtrack_limit as u64 {
+                return SearchOutcome::Inconclusive("backtrack limit exceeded");
             }
-            if stats.decisions > self.options.decision_limit as u64 {
-                return SearchOutcome::Inconclusive("decision limit exceeded".into());
+            if stats.decisions > options.decision_limit as u64 {
+                return SearchOutcome::Inconclusive("decision limit exceeded");
             }
 
-            let unjustified = unjustified_gates(self.netlist, &asg);
-            let candidates = if unjustified.is_empty() {
-                Vec::new()
+            self.justify.compute_unjustified(netlist, &self.asg);
+            let fully_justified = self.justify.unjustified.is_empty();
+            if fully_justified {
+                self.justify.candidates.clear();
             } else {
-                decision_cut(
-                    self.netlist,
-                    &asg,
-                    &unjustified,
-                    self.options.candidate_limit,
-                )
-            };
+                self.justify
+                    .compute_decision_cut(netlist, &self.asg, options.candidate_limit);
+            }
 
-            if unjustified.is_empty() || candidates.is_empty() {
+            if fully_justified || self.justify.candidates.is_empty() {
                 // Control constraints satisfied (or only datapath obligations
                 // remain): hand over to the arithmetic constraint solver.
-                stats.peak_memory_bytes = stats.peak_memory_bytes.max(self.memory_estimate(&asg));
-                match resolve_datapath(self.netlist, &asg, &self.requirements, self.options, stats)
-                {
+                stats.peak_memory_bytes = stats
+                    .peak_memory_bytes
+                    .max(self.memory_estimate(netlist, estg));
+                match self.datapath.resolve(
+                    netlist,
+                    &mut self.asg,
+                    &mut self.propagator,
+                    &self.justify.unjustified,
+                    requirements,
+                    options,
+                    stats,
+                ) {
                     DatapathOutcome::Consistent(values) => return SearchOutcome::Sat(values),
                     DatapathOutcome::Infeasible => {}
                     DatapathOutcome::Inconclusive => {
-                        inconclusive
-                            .get_or_insert_with(|| "unresolved datapath constraints".into());
+                        inconclusive.get_or_insert("unresolved datapath constraints");
                     }
                 }
-                if !self.backtrack(&mut propagator, &mut stack, &mut asg, stats) {
+                if !self.backtrack(netlist, estg, stats) {
                     return match inconclusive {
                         Some(reason) => SearchOutcome::Inconclusive(reason),
                         None => SearchOutcome::Unsat,
@@ -160,11 +237,11 @@ impl<'a> SearchEngine<'a> {
             }
 
             // Pick the decision with the strongest bias (Definition 2).
-            let (net, value) = self.pick_decision(&asg, &unjustified, &candidates);
+            let (net, value) = self.pick_decision(netlist, options, goal, estg);
             stats.decisions += 1;
-            let mark = asg.mark();
-            if self.assign(&mut propagator, &mut asg, net, value, stats) {
-                stack.push(Decision {
+            let mark = self.asg.mark();
+            if self.assign(netlist, net, value, stats) {
+                self.stack.push(Decision {
                     net,
                     alternative: Some(!value),
                     current: value,
@@ -172,20 +249,20 @@ impl<'a> SearchEngine<'a> {
                 });
             } else {
                 // Immediate conflict: try the opposite value at this level.
-                self.estg.record_conflict(net, value);
-                asg.backtrack_to(mark);
+                estg.record_conflict(net, value);
+                self.asg.backtrack_to(mark);
                 stats.backtracks += 1;
-                if self.assign(&mut propagator, &mut asg, net, !value, stats) {
-                    stack.push(Decision {
+                if self.assign(netlist, net, !value, stats) {
+                    self.stack.push(Decision {
                         net,
                         alternative: None,
                         current: !value,
                         mark,
                     });
                 } else {
-                    self.estg.record_conflict(net, !value);
-                    asg.backtrack_to(mark);
-                    if !self.backtrack(&mut propagator, &mut stack, &mut asg, stats) {
+                    estg.record_conflict(net, !value);
+                    self.asg.backtrack_to(mark);
+                    if !self.backtrack(netlist, estg, stats) {
                         return match inconclusive {
                             Some(reason) => SearchOutcome::Inconclusive(reason),
                             None => SearchOutcome::Unsat,
@@ -199,45 +276,38 @@ impl<'a> SearchEngine<'a> {
     /// Assigns a single-bit decision and runs implication; returns `false` on
     /// conflict (the assignment is *not* rolled back by this function).
     ///
-    /// The propagator is created once per search and reused here so its
-    /// buckets and scratch buffers stay warm across decisions.
+    /// The propagator is part of the context so its buckets and scratch
+    /// buffers stay warm across decisions.
     fn assign(
         &mut self,
-        propagator: &mut Propagator,
-        asg: &mut Assignment,
+        netlist: &Netlist,
         net: NetId,
         value: bool,
         stats: &mut CheckStats,
     ) -> bool {
         let cube = Bv3::from_tv(Tv::from_bool(value));
-        match asg.refine(net, &cube) {
-            Ok(_) => propagator.enqueue_net(self.netlist, net),
+        match self.asg.refine(net, &cube) {
+            Ok(_) => self.propagator.enqueue_net(netlist, net),
             Err(_) => return false,
         }
-        propagator
-            .run(self.netlist, asg, &mut stats.implication)
+        self.propagator
+            .run(netlist, &mut self.asg, &mut stats.implication)
             .is_ok()
     }
 
     /// Chronological backtracking: undo decisions until one still has an
     /// untried alternative that survives implication.
-    fn backtrack(
-        &mut self,
-        propagator: &mut Propagator,
-        stack: &mut Vec<Decision>,
-        asg: &mut Assignment,
-        stats: &mut CheckStats,
-    ) -> bool {
+    fn backtrack(&mut self, netlist: &Netlist, estg: &mut Estg, stats: &mut CheckStats) -> bool {
         loop {
-            let Some(mut top) = stack.pop() else {
+            let Some(mut top) = self.stack.pop() else {
                 return false;
             };
-            self.estg.record_conflict(top.net, top.current);
-            asg.backtrack_to(top.mark);
+            estg.record_conflict(top.net, top.current);
+            self.asg.backtrack_to(top.mark);
             stats.backtracks += 1;
             if let Some(alt) = top.alternative.take() {
-                if self.assign(propagator, asg, top.net, alt, stats) {
-                    stack.push(Decision {
+                if self.assign(netlist, top.net, alt, stats) {
+                    self.stack.push(Decision {
                         net: top.net,
                         alternative: None,
                         current: alt,
@@ -245,38 +315,40 @@ impl<'a> SearchEngine<'a> {
                     });
                     return true;
                 }
-                self.estg.record_conflict(top.net, alt);
-                asg.backtrack_to(top.mark);
+                estg.record_conflict(top.net, alt);
+                self.asg.backtrack_to(top.mark);
             }
         }
     }
 
-    /// Picks the next decision (net, value) among the candidates.
+    /// Picks the next decision (net, value) among the candidates of the
+    /// latest cut.
     fn pick_decision(
-        &self,
-        asg: &Assignment,
-        unjustified: &[wlac_netlist::GateId],
-        candidates: &[NetId],
+        &mut self,
+        netlist: &Netlist,
+        options: &CheckerOptions,
+        goal: SearchGoal,
+        estg: &Estg,
     ) -> (NetId, bool) {
-        if !self.options.use_bias_ordering {
-            let net = candidates[0];
+        if !options.use_bias_ordering {
+            let net = self.justify.candidates[0];
             return (net, false);
         }
-        let probabilities = legal_one_probabilities(self.netlist, asg, unjustified);
+        self.justify.compute_probabilities(netlist, &self.asg);
         let mut best: Option<(f64, NetId, bool)> = None;
-        for net in candidates {
-            let p1 = probabilities.get(net).copied().unwrap_or(0.5);
+        for net in &self.justify.candidates {
+            let p1 = self.justify.probability(*net).unwrap_or(0.5);
             let (mut bias, bias_value) = assignment_bias(p1);
-            if self.options.use_estg {
+            if options.use_estg {
                 // Prefer assignments with fewer recorded conflicts.
-                bias -= self.estg.penalty(*net, bias_value).min(bias * 0.5);
+                bias -= estg.penalty(*net, bias_value).min(bias * 0.5);
             }
             if best.map(|(b, _, _)| bias > b).unwrap_or(true) {
                 best = Some((bias, *net, bias_value));
             }
         }
         let (_, net, bias_value) = best.expect("non-empty candidate list");
-        let value = match self.goal {
+        let value = match goal {
             // Proving: take the complement of the bias value first so that
             // conflicts (and thus pruning) happen early.
             SearchGoal::Prove => !bias_value,
@@ -286,9 +358,9 @@ impl<'a> SearchEngine<'a> {
     }
 
     /// Approximate live memory of the search data structures.
-    fn memory_estimate(&self, asg: &Assignment) -> usize {
-        let netlist_bytes = self.netlist.gate_count() * 96 + self.netlist.net_count() * 48;
-        asg.peak_memory_bytes() + netlist_bytes + self.estg.memory_bytes()
+    fn memory_estimate(&self, netlist: &Netlist, estg: &Estg) -> usize {
+        let netlist_bytes = netlist.gate_count() * 96 + netlist.net_count() * 48;
+        self.asg.peak_memory_bytes() + netlist_bytes + estg.memory_bytes()
     }
 }
 
@@ -306,9 +378,16 @@ mod tests {
         let mut estg = Estg::new();
         let mut stats = CheckStats::default();
         let deadline = Instant::now() + Duration::from_secs(30);
-        let mut engine =
-            SearchEngine::new(netlist, &options, goal, requirements, &mut estg, deadline);
-        engine.run(&mut stats)
+        let mut ctx = SearchContext::new(netlist);
+        ctx.search(
+            netlist,
+            &options,
+            goal,
+            &requirements,
+            &mut estg,
+            deadline,
+            &mut stats,
+        )
     }
 
     #[test]
@@ -417,5 +496,50 @@ mod tests {
         let y = nl.buf(a);
         let reqs = vec![(y, cube("1'b1")), (a, cube("1'b0"))];
         assert_eq!(run(&nl, reqs, SearchGoal::Prove), SearchOutcome::Unsat);
+    }
+
+    #[test]
+    fn context_reuse_across_searches_is_consistent() {
+        // The same context must answer a SAT, an UNSAT and again the SAT
+        // query identically when reused (buffers fully isolated per run).
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let y = nl.and2(a, b);
+        let na = nl.not(a);
+        let z = nl.and2(a, na);
+        let mut ctx = SearchContext::new(&nl);
+        let options = CheckerOptions::default();
+        let mut estg = Estg::new();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let sat_req = vec![(y, cube("1'b1"))];
+        let unsat_req = vec![(z, cube("1'b1"))];
+        for round in 0..3 {
+            let mut stats = CheckStats::default();
+            let outcome = ctx.search(
+                &nl,
+                &options,
+                SearchGoal::Witness,
+                &sat_req,
+                &mut estg,
+                deadline,
+                &mut stats,
+            );
+            assert!(
+                matches!(outcome, SearchOutcome::Sat(_)),
+                "round {round}: {outcome:?}"
+            );
+            let mut stats = CheckStats::default();
+            let outcome = ctx.search(
+                &nl,
+                &options,
+                SearchGoal::Prove,
+                &unsat_req,
+                &mut estg,
+                deadline,
+                &mut stats,
+            );
+            assert_eq!(outcome, SearchOutcome::Unsat, "round {round}");
+        }
     }
 }

@@ -16,6 +16,14 @@ pub struct CheckStats {
     pub implication: ImplicationStats,
     /// Number of modular arithmetic solver invocations.
     pub arithmetic_calls: u64,
+    /// Wall-clock nanoseconds spent resolving residual datapath constraints
+    /// (island solving plus concretization), the denominator-side of the
+    /// `ns_per_arith_call` performance metric.
+    pub datapath_nanos: u64,
+    /// Datapath resolutions served by an already-built island cache.
+    pub island_cache_hits: u64,
+    /// Datapath resolutions that had to build the island topology first.
+    pub island_cache_misses: u64,
     /// Number of time-frames of the deepest unrolling explored.
     pub frames_explored: usize,
     /// Wall-clock time spent on the check.
@@ -35,6 +43,20 @@ impl CheckStats {
         self.elapsed.as_secs_f64()
     }
 
+    /// Average wall-clock nanoseconds per modular arithmetic solver call
+    /// (`None` when the datapath solver never ran).
+    pub fn ns_per_arith_call(&self) -> Option<f64> {
+        (self.arithmetic_calls > 0)
+            .then(|| self.datapath_nanos as f64 / self.arithmetic_calls as f64)
+    }
+
+    /// Fraction of datapath resolutions that reused a cached island topology
+    /// (`None` when the datapath solver never ran).
+    pub fn island_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.island_cache_hits + self.island_cache_misses;
+        (total > 0).then(|| self.island_cache_hits as f64 / total as f64)
+    }
+
     /// Merges the counters of a sub-check (e.g. one bound of the bounded
     /// search) into an aggregate.
     pub fn absorb(&mut self, other: &CheckStats) {
@@ -43,6 +65,9 @@ impl CheckStats {
         self.implication.gate_evaluations += other.implication.gate_evaluations;
         self.implication.refinements += other.implication.refinements;
         self.arithmetic_calls += other.arithmetic_calls;
+        self.datapath_nanos += other.datapath_nanos;
+        self.island_cache_hits += other.island_cache_hits;
+        self.island_cache_misses += other.island_cache_misses;
         self.frames_explored = self.frames_explored.max(other.frames_explored);
         self.elapsed += other.elapsed;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
@@ -91,10 +116,37 @@ mod tests {
         assert_eq!(a.decisions, 15);
         assert_eq!(a.backtracks, 3);
         assert_eq!(a.frames_explored, 7);
+        assert_eq!(a.ns_per_arith_call(), None);
+        assert_eq!(a.island_cache_hit_rate(), None);
         assert!((a.peak_memory_mb() - 2.0).abs() < 1e-9);
         assert!((a.cpu_seconds() - 0.75).abs() < 1e-9);
         let text = a.to_string();
         assert!(text.contains("decisions"));
         assert!(text.contains("MB"));
+    }
+
+    #[test]
+    fn datapath_metrics() {
+        let mut a = CheckStats {
+            arithmetic_calls: 4,
+            datapath_nanos: 1000,
+            island_cache_hits: 3,
+            island_cache_misses: 1,
+            ..CheckStats::default()
+        };
+        assert_eq!(a.ns_per_arith_call(), Some(250.0));
+        assert_eq!(a.island_cache_hit_rate(), Some(0.75));
+        let b = CheckStats {
+            arithmetic_calls: 4,
+            datapath_nanos: 600,
+            island_cache_hits: 4,
+            island_cache_misses: 0,
+            ..CheckStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.arithmetic_calls, 8);
+        assert_eq!(a.datapath_nanos, 1600);
+        assert_eq!(a.ns_per_arith_call(), Some(200.0));
+        assert_eq!(a.island_cache_hit_rate(), Some(0.875));
     }
 }

@@ -15,8 +15,14 @@
 //!   Theorems 1–2), returned in closed form as an [`InverseSet`],
 //! * [`LinearSystem`] — Gauss–Jordan elimination over ℤ/2ⁿℤ producing **all**
 //!   solutions as `x = x0 + N·f` ([`SolutionSet`]),
+//! * [`CheckpointedSystem`] — the same elimination kept in *incremental
+//!   echelon form*: rows are reduced as they are pushed and
+//!   `push_checkpoint`/`pop_checkpoint` bracket speculative rows, so a hot
+//!   caller (the checker's per-decision datapath leaf) re-solves by back
+//!   substitution alone,
 //! * [`MixedSystem`] — linear systems plus multiplier product constraints,
-//!   linearised by heuristic candidate enumeration.
+//!   linearised by heuristic candidate enumeration
+//!   ([`solve_products_checkpointed`] is the clone-free incremental variant).
 //!
 //! # Examples
 //!
@@ -43,6 +49,8 @@ mod modint;
 mod nonlinear;
 
 pub use inverse::{inverse, inverse_with_product, InverseSet};
-pub use matrix::{InfeasibleError, LinearSystem, SolutionIter, SolutionSet, SolveAbort};
+pub use matrix::{
+    CheckpointedSystem, InfeasibleError, LinearSystem, SolutionIter, SolutionSet, SolveAbort,
+};
 pub use modint::Ring;
-pub use nonlinear::{MixedOutcome, MixedSystem, ProductConstraint};
+pub use nonlinear::{solve_products_checkpointed, MixedOutcome, MixedSystem, ProductConstraint};

@@ -175,141 +175,507 @@ impl LinearSystem {
         &self,
         is_interrupted: &mut dyn FnMut() -> bool,
     ) -> Result<SolutionSet, SolveAbort> {
-        let ring = self.ring;
-        let nv = self.num_vars;
-        let m = self.rows.len();
-        let mut a: Vec<Vec<u64>> = self.rows.iter().map(|(c, _)| c.clone()).collect();
-        let mut b: Vec<u64> = self.rows.iter().map(|(_, r)| *r).collect();
-        let mut col_used = vec![false; nv];
-        let mut pivots: Vec<(usize, usize, u32)> = Vec::new();
+        let a: Vec<Vec<u64>> = self.rows.iter().map(|(c, _)| c.clone()).collect();
+        let b: Vec<u64> = self.rows.iter().map(|(_, r)| *r).collect();
+        batch_solve(self.ring, self.num_vars, a, b, is_interrupted)
+    }
+}
 
-        let mut r = 0usize;
-        while r < m {
-            if is_interrupted() {
-                return Err(SolveAbort::Interrupted);
-            }
-            // Complete pivoting: pick the entry with the smallest 2-adic
-            // valuation among the remaining rows and unused columns.
-            let mut best: Option<(usize, usize, u32)> = None;
-            for i in r..m {
-                for (j, used) in col_used.iter().enumerate() {
-                    if *used || a[i][j] == 0 {
-                        continue;
-                    }
-                    let v = ring.valuation(a[i][j]).expect("non-zero");
-                    if best.map(|(_, _, bv)| v < bv).unwrap_or(true) {
-                        best = Some((i, j, v));
-                    }
+/// Full Gauss–Jordan elimination with complete pivoting over owned rows.
+///
+/// This is the batch solver behind [`LinearSystem::solve`]; it is also the
+/// fallback of [`CheckpointedSystem`] when a pushed row cannot be reduced
+/// incrementally (a pivot with positive 2-adic valuation followed by a row
+/// with a smaller valuation in that column).
+fn batch_solve(
+    ring: Ring,
+    nv: usize,
+    mut a: Vec<Vec<u64>>,
+    mut b: Vec<u64>,
+    is_interrupted: &mut dyn FnMut() -> bool,
+) -> Result<SolutionSet, SolveAbort> {
+    let m = a.len();
+    let mut col_used = vec![false; nv];
+    let mut pivots: Vec<(usize, usize, u32)> = Vec::new();
+
+    let mut r = 0usize;
+    while r < m {
+        if is_interrupted() {
+            return Err(SolveAbort::Interrupted);
+        }
+        // Complete pivoting: pick the entry with the smallest 2-adic
+        // valuation among the remaining rows and unused columns.
+        let mut best: Option<(usize, usize, u32)> = None;
+        for i in r..m {
+            for (j, used) in col_used.iter().enumerate() {
+                if *used || a[i][j] == 0 {
+                    continue;
+                }
+                let v = ring.valuation(a[i][j]).expect("non-zero");
+                if best.map(|(_, _, bv)| v < bv).unwrap_or(true) {
+                    best = Some((i, j, v));
                 }
             }
-            let Some((pi, pj, v)) = best else { break };
-            a.swap(r, pi);
-            b.swap(r, pi);
-            // Scale the pivot row by the inverse of the pivot's odd part so
-            // the pivot becomes exactly 2^v.
-            let (odd, _) = ring.odd_part(a[r][pj]);
-            let inv = ring.inverse_odd(odd).expect("odd part invertible");
-            for c in 0..nv {
-                a[r][c] = ring.mul(a[r][c], inv);
+        }
+        let Some((pi, pj, v)) = best else { break };
+        a.swap(r, pi);
+        b.swap(r, pi);
+        // Scale the pivot row by the inverse of the pivot's odd part so
+        // the pivot becomes exactly 2^v.
+        let (odd, _) = ring.odd_part(a[r][pj]);
+        let inv = ring.inverse_odd(odd).expect("odd part invertible");
+        for c in 0..nv {
+            a[r][c] = ring.mul(a[r][c], inv);
+        }
+        b[r] = ring.mul(b[r], inv);
+        // Eliminate the pivot column below the pivot. Every entry below
+        // has valuation >= v by the pivot choice, so the factor is exact.
+        for i in r + 1..m {
+            let e = a[i][pj];
+            if e == 0 {
+                continue;
             }
-            b[r] = ring.mul(b[r], inv);
-            // Eliminate the pivot column below the pivot. Every entry below
-            // has valuation >= v by the pivot choice, so the factor is exact.
-            for i in r + 1..m {
-                let e = a[i][pj];
+            let factor = e >> v;
+            for c in 0..nv {
+                let sub = ring.mul(factor, a[r][c]);
+                a[i][c] = ring.sub(a[i][c], sub);
+            }
+            b[i] = ring.sub(b[i], ring.mul(factor, b[r]));
+        }
+        col_used[pj] = true;
+        pivots.push((r, pj, v));
+        r += 1;
+    }
+
+    // Rows without a pivot are all-zero on the left; their right-hand
+    // side must be zero.
+    for i in r..m {
+        if b[i] != 0 {
+            return Err(SolveAbort::Infeasible);
+        }
+    }
+    // Each pivot equation 2^v·x_j + Σ (coeffs with valuation >= v)·x = b
+    // is solvable iff 2^v divides b — independent of the free variables.
+    for (row, _, v) in &pivots {
+        if *v > 0 {
+            match ring.valuation(b[*row]) {
+                Some(bv) if bv < *v => return Err(SolveAbort::Infeasible),
+                _ => {}
+            }
+        }
+    }
+
+    Ok(closed_form(ring, nv, &a, &b, &col_used, &pivots))
+}
+
+/// Back substitution over an echelon form: computes the closed form
+/// `x = x0 + N·f` from the pivot rows.
+///
+/// Requirements (established by both the batch and the incremental
+/// eliminators): pivot `k`'s row has zero entries in the columns of pivots
+/// *earlier* in the list, every entry of a pivot row (and its right-hand
+/// side) has 2-adic valuation at least the pivot's, and rows without a pivot
+/// are all-zero with zero right-hand side.
+fn closed_form(
+    ring: Ring,
+    nv: usize,
+    a: &[Vec<u64>],
+    b: &[u64],
+    col_used: &[bool],
+    pivots: &[(usize, usize, u32)],
+) -> SolutionSet {
+    // Assign parameter slots: one per unused column, plus one per pivot
+    // with positive valuation (Theorem 2's extra freedom).
+    let free_cols: Vec<usize> = (0..nv).filter(|j| !col_used[*j]).collect();
+    let extra_pivots: Vec<usize> = (0..pivots.len()).filter(|i| pivots[*i].2 > 0).collect();
+    let num_params = free_cols.len() + extra_pivots.len();
+
+    // Affine form per variable: constant + Σ coeff_k · f_k.
+    let mut affine: Vec<(u64, Vec<u64>)> = vec![(0, vec![0; num_params]); nv];
+    for (k, j) in free_cols.iter().enumerate() {
+        affine[*j].1[k] = 1;
+    }
+    let mut log2_count = (free_cols.len() as u32) * ring.width();
+
+    for (pivot_idx, (row, j, v)) in pivots.iter().enumerate().rev() {
+        let shift = *v;
+        let mut const_term = b[*row] >> shift;
+        let mut coeffs = vec![0u64; num_params];
+        for c in 0..nv {
+            if c == *j || a[*row][c] == 0 {
+                continue;
+            }
+            let ac = a[*row][c] >> shift;
+            let (x_const, x_coeffs) = &affine[c];
+            const_term = ring.sub(const_term, ring.mul(ac, *x_const));
+            for (dst, src) in coeffs.iter_mut().zip(x_coeffs.iter()) {
+                *dst = ring.sub(*dst, ring.mul(ac, *src));
+            }
+        }
+        if shift > 0 {
+            let param = free_cols.len()
+                + extra_pivots
+                    .iter()
+                    .position(|p| *p == pivot_idx)
+                    .expect("registered extra pivot");
+            let step = if shift >= ring.width() {
+                0
+            } else {
+                1u64 << (ring.width() - shift)
+            };
+            coeffs[param] = ring.add(coeffs[param], step);
+            log2_count += shift;
+        }
+        affine[*j] = (ring.reduce(const_term), coeffs);
+    }
+
+    let particular: Vec<u64> = affine.iter().map(|(c, _)| *c).collect();
+    let mut basis = vec![vec![0u64; nv]; num_params];
+    for (var, (_, coeffs)) in affine.iter().enumerate() {
+        for (k, coeff) in coeffs.iter().enumerate() {
+            basis[k][var] = *coeff;
+        }
+    }
+
+    SolutionSet {
+        ring,
+        num_vars: nv,
+        particular,
+        basis,
+        log2_count,
+    }
+}
+
+/// A linear system over ℤ/2ⁿℤ kept in *incremental echelon form* with
+/// checkpointed row pushes.
+///
+/// Rows are reduced against the existing pivots as they are inserted, so
+/// re-solving after pushing a handful of rows costs back substitution only —
+/// the already-eliminated prefix is never re-processed. [`Self::push_checkpoint`]
+/// / [`Self::pop_checkpoint`] bracket speculative rows exactly like the
+/// word-level assignment's delta trail brackets speculative refinements:
+/// popping restores the echelon state bit-for-bit (rows are never mutated
+/// after insertion, so undo is pure truncation).
+///
+/// This is the solver behind the checker's per-decision datapath leaf calls:
+/// the island's structural equations are inserted once (the *template*) and
+/// every decision only pushes the current value rows under a checkpoint.
+///
+/// # Examples
+///
+/// ```
+/// use wlac_modsolve::{CheckpointedSystem, Ring};
+///
+/// let mut sys = CheckpointedSystem::new(Ring::new(4), 2);
+/// sys.add_sparse_equation(&[(0, 1), (1, 1)], 5); // x + y = 5 (template)
+/// sys.push_checkpoint();
+/// sys.add_sparse_equation(&[(0, 1)], 12); // speculative: x = 12
+/// assert_eq!(sys.solve().unwrap().particular(), &[12, 9]);
+/// sys.pop_checkpoint();
+/// sys.push_checkpoint();
+/// sys.add_sparse_equation(&[(0, 1)], 3); // a different speculation
+/// assert_eq!(sys.solve().unwrap().particular(), &[3, 2]);
+/// sys.pop_checkpoint();
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckpointedSystem {
+    ring: Ring,
+    num_vars: usize,
+    /// Reduced coefficient rows. Never mutated after insertion.
+    rows: Vec<Vec<u64>>,
+    rhs: Vec<u64>,
+    /// `(row, col, valuation)` in insertion order.
+    pivots: Vec<(usize, usize, u32)>,
+    col_used: Vec<bool>,
+    /// Row count at which infeasibility was first detected.
+    infeasible_at: Option<usize>,
+    /// Row count at which incremental reduction first failed; from there on
+    /// rows are appended raw and [`Self::solve`] falls back to batch
+    /// elimination (row operations preserve the solution set, so the
+    /// already-reduced prefix stays valid input).
+    dirty_at: Option<usize>,
+    /// `(rows.len(), pivots.len())` marks.
+    checkpoints: Vec<(usize, usize)>,
+    /// Row buffer pool so steady-state push/pop cycles do not allocate.
+    spare: Vec<Vec<u64>>,
+}
+
+impl CheckpointedSystem {
+    /// Builds the incremental echelon form of an existing batch system's
+    /// equations (in insertion order).
+    pub fn from_linear(linear: &LinearSystem) -> Self {
+        let mut system = CheckpointedSystem::new(linear.ring(), linear.num_vars());
+        for (coeffs, rhs) in &linear.rows {
+            system.add_equation(coeffs, *rhs);
+        }
+        system
+    }
+
+    /// Creates an empty system with `num_vars` variables in the given ring.
+    pub fn new(ring: Ring, num_vars: usize) -> Self {
+        CheckpointedSystem {
+            ring,
+            num_vars,
+            rows: Vec::new(),
+            rhs: Vec::new(),
+            pivots: Vec::new(),
+            col_used: vec![false; num_vars],
+            infeasible_at: None,
+            dirty_at: None,
+            checkpoints: Vec::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// The ring the system lives in.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of equations inserted (including redundant all-zero rows).
+    pub fn num_equations(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` once an inserted row proved the system unsatisfiable.
+    ///
+    /// This is an *early* verdict — [`Self::solve`] reports the same result —
+    /// and it is undone by [`Self::pop_checkpoint`] when the offending row
+    /// was pushed after the checkpoint. While the system is in batch-fallback
+    /// mode (see [`Self::is_incremental`]) infeasibility is only discovered
+    /// by `solve`, so `false` here is not a feasibility promise.
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible_at.is_some()
+    }
+
+    /// `true` while every inserted row has been reduced incrementally; when
+    /// `false`, solving falls back to batch elimination until the raw rows
+    /// are popped.
+    pub fn is_incremental(&self) -> bool {
+        self.dirty_at.is_none()
+    }
+
+    /// Marks the current state; [`Self::pop_checkpoint`] restores it.
+    pub fn push_checkpoint(&mut self) {
+        self.checkpoints.push((self.rows.len(), self.pivots.len()));
+    }
+
+    /// Restores the state at the matching [`Self::push_checkpoint`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no checkpoint is active.
+    pub fn pop_checkpoint(&mut self) {
+        let (rows, pivots) = self.checkpoints.pop().expect("no checkpoint to pop");
+        for (_, col, _) in self.pivots.drain(pivots..) {
+            self.col_used[col] = false;
+        }
+        for mut row in self.rows.drain(rows..) {
+            row.clear();
+            self.spare.push(row);
+        }
+        self.rhs.truncate(rows);
+        if self.infeasible_at.is_some_and(|at| at >= rows) {
+            self.infeasible_at = None;
+        }
+        if self.dirty_at.is_some_and(|at| at >= rows) {
+            self.dirty_at = None;
+        }
+    }
+
+    /// Adds the equation `Σ coeffs[i]·x_i ≡ rhs (mod 2ⁿ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len() != num_vars`.
+    pub fn add_equation(&mut self, coeffs: &[u64], rhs: u64) {
+        assert_eq!(coeffs.len(), self.num_vars, "coefficient count mismatch");
+        let mut row = self.fresh_row();
+        for (dst, c) in row.iter_mut().zip(coeffs.iter()) {
+            *dst = self.ring.reduce(*c);
+        }
+        self.insert_row(row, self.ring.reduce(rhs));
+    }
+
+    /// Adds the equation `Σ coeff·x_var ≡ rhs` from sparse `(var, coeff)`
+    /// terms; duplicate variables accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable index is out of range.
+    pub fn add_sparse_equation(&mut self, terms: &[(usize, u64)], rhs: u64) {
+        let mut row = self.fresh_row();
+        for (var, coeff) in terms {
+            assert!(*var < self.num_vars, "variable index out of range");
+            row[*var] = self.ring.add(row[*var], self.ring.reduce(*coeff));
+        }
+        self.insert_row(row, self.ring.reduce(rhs));
+    }
+
+    /// Adds the equation `x_var ≡ value`.
+    pub fn fix_variable(&mut self, var: usize, value: u64) {
+        self.add_sparse_equation(&[(var, 1)], value);
+    }
+
+    /// `true` when `x` satisfies every inserted equation (in reduced form —
+    /// row operations preserve the solution set, so this is equivalent to
+    /// checking the originally inserted equations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars`.
+    pub fn is_solution(&self, x: &[u64]) -> bool {
+        assert_eq!(x.len(), self.num_vars, "assignment length mismatch");
+        self.rows.iter().zip(self.rhs.iter()).all(|(coeffs, rhs)| {
+            let mut acc = 0u64;
+            for (c, v) in coeffs.iter().zip(x.iter()) {
+                acc = self.ring.add(acc, self.ring.mul(*c, *v));
+            }
+            acc == *rhs
+        })
+    }
+
+    /// Solves the current system, returning all solutions in closed form.
+    ///
+    /// On the incremental path this is back substitution only; elimination
+    /// work happened at insertion time and is shared by every solve between
+    /// checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InfeasibleError`] when the system has no solution.
+    pub fn solve(&self) -> Result<SolutionSet, InfeasibleError> {
+        self.solve_interruptible(&mut || false).map_err(|abort| {
+            debug_assert_eq!(abort, SolveAbort::Infeasible);
+            InfeasibleError
+        })
+    }
+
+    /// Like [`Self::solve`], but polls `is_interrupted` so a portfolio race
+    /// supervisor can stop a long-running leaf solve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveAbort::Infeasible`] when the system has no solution and
+    /// [`SolveAbort::Interrupted`] when the poll fired first.
+    pub fn solve_interruptible(
+        &self,
+        is_interrupted: &mut dyn FnMut() -> bool,
+    ) -> Result<SolutionSet, SolveAbort> {
+        if self.dirty_at.is_some() {
+            // A row escaped incremental reduction: solve the (equivalent)
+            // current rows from scratch.
+            return batch_solve(
+                self.ring,
+                self.num_vars,
+                self.rows.clone(),
+                self.rhs.clone(),
+                is_interrupted,
+            );
+        }
+        if self.infeasible_at.is_some() {
+            return Err(SolveAbort::Infeasible);
+        }
+        if is_interrupted() {
+            return Err(SolveAbort::Interrupted);
+        }
+        Ok(closed_form(
+            self.ring,
+            self.num_vars,
+            &self.rows,
+            &self.rhs,
+            &self.col_used,
+            &self.pivots,
+        ))
+    }
+
+    fn fresh_row(&mut self) -> Vec<u64> {
+        match self.spare.pop() {
+            Some(mut row) => {
+                row.resize(self.num_vars, 0);
+                row
+            }
+            None => vec![0; self.num_vars],
+        }
+    }
+
+    /// Reduces `row` against the existing pivots and registers it (as a new
+    /// pivot, a redundant zero row, or an infeasibility witness).
+    fn insert_row(&mut self, mut row: Vec<u64>, mut rhs: u64) {
+        let ring = self.ring;
+        if self.dirty_at.is_none() {
+            // Reduce in pivot-insertion order: pivot k's row is zero in all
+            // earlier pivot columns, so a cleared column never re-fills.
+            for &(prow, pcol, pv) in &self.pivots {
+                let e = row[pcol];
                 if e == 0 {
                     continue;
                 }
-                let factor = e >> v;
-                for c in 0..nv {
-                    let sub = ring.mul(factor, a[r][c]);
-                    a[i][c] = ring.sub(a[i][c], sub);
+                let ve = ring.valuation(e).expect("non-zero");
+                if ve < pv {
+                    // The new row would be a *better* pivot for this column;
+                    // rewriting history is not worth the complexity (this
+                    // needs a positive-valuation pivot first, which datapath
+                    // islands essentially never produce). Fall back to batch
+                    // solves until this row is popped.
+                    self.dirty_at = Some(self.rows.len());
+                    break;
                 }
-                b[i] = ring.sub(b[i], ring.mul(factor, b[r]));
-            }
-            col_used[pj] = true;
-            pivots.push((r, pj, v));
-            r += 1;
-        }
-
-        // Rows without a pivot are all-zero on the left; their right-hand
-        // side must be zero.
-        for i in r..m {
-            if b[i] != 0 {
-                return Err(SolveAbort::Infeasible);
-            }
-        }
-        // Each pivot equation 2^v·x_j + Σ (coeffs with valuation >= v)·x = b
-        // is solvable iff 2^v divides b — independent of the free variables.
-        for (row, _, v) in &pivots {
-            if *v > 0 {
-                match ring.valuation(b[*row]) {
-                    Some(bv) if bv < *v => return Err(SolveAbort::Infeasible),
-                    _ => {}
+                let factor = e >> pv;
+                let pivot_row = &self.rows[prow];
+                for (dst, src) in row.iter_mut().zip(pivot_row.iter()) {
+                    *dst = ring.sub(*dst, ring.mul(factor, *src));
                 }
+                rhs = ring.sub(rhs, ring.mul(factor, self.rhs[prow]));
             }
         }
-
-        // Assign parameter slots: one per unused column, plus one per pivot
-        // with positive valuation (Theorem 2's extra freedom).
-        let free_cols: Vec<usize> = (0..nv).filter(|j| !col_used[*j]).collect();
-        let extra_pivots: Vec<usize> = (0..pivots.len()).filter(|i| pivots[*i].2 > 0).collect();
-        let num_params = free_cols.len() + extra_pivots.len();
-
-        // Affine form per variable: constant + Σ coeff_k · f_k.
-        let mut affine: Vec<(u64, Vec<u64>)> = vec![(0, vec![0; num_params]); nv];
-        for (k, j) in free_cols.iter().enumerate() {
-            affine[*j].1[k] = 1;
-        }
-        let mut log2_count = (free_cols.len() as u32) * ring.width();
-
-        for (pivot_idx, (row, j, v)) in pivots.iter().enumerate().rev() {
-            let shift = *v;
-            let mut const_term = b[*row] >> shift;
-            let mut coeffs = vec![0u64; num_params];
-            for c in 0..nv {
-                if c == *j || a[*row][c] == 0 {
+        if self.dirty_at.is_none() {
+            // Choose this row's pivot: minimal 2-adic valuation among unused
+            // columns (ensures every other entry is divisible by the pivot).
+            let mut best: Option<(usize, u32)> = None;
+            for (j, used) in self.col_used.iter().enumerate() {
+                if *used || row[j] == 0 {
                     continue;
                 }
-                let ac = a[*row][c] >> shift;
-                let (x_const, x_coeffs) = &affine[c];
-                const_term = ring.sub(const_term, ring.mul(ac, *x_const));
-                for (dst, src) in coeffs.iter_mut().zip(x_coeffs.iter()) {
-                    *dst = ring.sub(*dst, ring.mul(ac, *src));
+                let v = ring.valuation(row[j]).expect("non-zero");
+                if best.map(|(_, bv)| v < bv).unwrap_or(true) {
+                    best = Some((j, v));
                 }
             }
-            if shift > 0 {
-                let param = free_cols.len()
-                    + extra_pivots
-                        .iter()
-                        .position(|p| *p == pivot_idx)
-                        .expect("registered extra pivot");
-                let step = if shift >= ring.width() {
-                    0
-                } else {
-                    1u64 << (ring.width() - shift)
-                };
-                coeffs[param] = ring.add(coeffs[param], step);
-                log2_count += shift;
+            match best {
+                None => {
+                    // All-zero on the left: redundant, or an infeasibility proof.
+                    if rhs != 0 && self.infeasible_at.is_none() {
+                        self.infeasible_at = Some(self.rows.len());
+                    }
+                }
+                Some((j, v)) => {
+                    let (odd, _) = ring.odd_part(row[j]);
+                    let inv = ring.inverse_odd(odd).expect("odd part invertible");
+                    for c in row.iter_mut() {
+                        *c = ring.mul(*c, inv);
+                    }
+                    rhs = ring.mul(rhs, inv);
+                    // 2^v·x_j + … = rhs is solvable iff 2^v divides rhs.
+                    if v > 0
+                        && rhs != 0
+                        && ring.valuation(rhs).expect("non-zero") < v
+                        && self.infeasible_at.is_none()
+                    {
+                        self.infeasible_at = Some(self.rows.len());
+                    }
+                    self.pivots.push((self.rows.len(), j, v));
+                    self.col_used[j] = true;
+                }
             }
-            affine[*j] = (ring.reduce(const_term), coeffs);
         }
-
-        let particular: Vec<u64> = affine.iter().map(|(c, _)| *c).collect();
-        let mut basis = vec![vec![0u64; nv]; num_params];
-        for (var, (_, coeffs)) in affine.iter().enumerate() {
-            for (k, coeff) in coeffs.iter().enumerate() {
-                basis[k][var] = *coeff;
-            }
-        }
-
-        Ok(SolutionSet {
-            ring,
-            num_vars: nv,
-            particular,
-            basis,
-            log2_count,
-        })
+        self.rows.push(row);
+        self.rhs.push(rhs);
     }
 }
 
@@ -587,6 +953,164 @@ mod tests {
                                 }
                                 checked += 1;
                             }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(checked > 500);
+    }
+
+    #[test]
+    fn checkpointed_matches_batch_on_template_plus_value_rows() {
+        // The structural template x + y + z = 6 / y - z = 2 (mod 16) with a
+        // rotating set of speculative value rows: every checkpointed solve
+        // must agree with a from-scratch batch solve of the same equations.
+        let ring = Ring::new(4);
+        let mut inc = CheckpointedSystem::new(ring, 3);
+        inc.add_sparse_equation(&[(0, 1), (1, 1), (2, 1)], 6);
+        inc.add_sparse_equation(&[(1, 1), (2, ring.neg(1))], 2);
+        for fixed in 0..16u64 {
+            inc.push_checkpoint();
+            inc.fix_variable(0, fixed);
+            let mut batch = LinearSystem::new(ring, 3);
+            batch.add_equation(&[1, 1, 1], 6);
+            batch.add_equation(&[0, 1, ring.neg(1)], 2);
+            batch.fix_variable(0, fixed);
+            match (inc.solve(), batch.solve()) {
+                (Ok(got), Ok(want)) => {
+                    assert_eq!(got.log2_count(), want.log2_count(), "fixed = {fixed}");
+                    let x = got.instantiate(&vec![0; got.num_free()]);
+                    assert!(batch.is_solution(&x), "fixed = {fixed}: {x:?}");
+                    assert!(inc.is_solution(&x));
+                }
+                // x even determines 2y = 8 - x; odd x is infeasible mod 16.
+                (Err(_), Err(_)) => assert_eq!(fixed % 2, 1, "fixed = {fixed}"),
+                (got, want) => {
+                    panic!("feasibility disagreement for x = {fixed}: {got:?} vs {want:?}")
+                }
+            }
+            inc.pop_checkpoint();
+        }
+    }
+
+    #[test]
+    fn checkpoint_rollback_interleaves_push_solve_pop() {
+        // Mirrors the PR 2 delta-trail regression test: nested speculative
+        // levels with solves at every depth; each pop must restore the exact
+        // solution set of the outer level.
+        let ring = Ring::new(5);
+        let mut sys = CheckpointedSystem::new(ring, 4);
+        sys.add_sparse_equation(&[(0, 1), (1, 1)], 10); // a + b = 10
+        sys.add_sparse_equation(&[(2, 1), (3, ring.neg(1))], 1); // c - d = 1
+        let base = sys.solve().unwrap();
+        assert_eq!(base.num_free(), 2);
+
+        sys.push_checkpoint(); // level 1: a = 3
+        sys.fix_variable(0, 3);
+        let l1 = sys.solve().unwrap();
+        assert_eq!(l1.particular()[0], 3);
+        assert_eq!(l1.particular()[1], 7);
+        assert_eq!(l1.num_free(), 1);
+
+        sys.push_checkpoint(); // level 2: d = 5 (and an infeasible probe)
+        sys.fix_variable(3, 5);
+        let l2 = sys.solve().unwrap();
+        assert_eq!(l2.particular()[2], 6);
+        assert_eq!(l2.num_free(), 0);
+        sys.push_checkpoint(); // level 3: contradict c
+        sys.fix_variable(2, 0);
+        assert!(sys.is_infeasible());
+        assert_eq!(sys.solve(), Err(InfeasibleError));
+        sys.pop_checkpoint();
+        assert!(!sys.is_infeasible());
+        let l2_again = sys.solve().unwrap();
+        assert_eq!(l2_again.particular(), l2.particular());
+
+        sys.pop_checkpoint(); // back to level 1
+        let l1_again = sys.solve().unwrap();
+        assert_eq!(l1_again.particular(), l1.particular());
+        assert_eq!(l1_again.num_free(), 1);
+
+        sys.pop_checkpoint(); // back to the template
+        let base_again = sys.solve().unwrap();
+        assert_eq!(base_again.num_free(), 2);
+        assert_eq!(base_again.particular(), base.particular());
+    }
+
+    #[test]
+    fn low_valuation_row_after_even_pivot_falls_back_to_batch() {
+        // Template 2x ≡ 6 (mod 16) pivots with valuation 1; pushing x ≡ 11
+        // cannot be reduced incrementally (valuation 0 < 1) and must flip the
+        // system into batch mode — and still produce the right answer.
+        let ring = Ring::new(4);
+        let mut sys = CheckpointedSystem::new(ring, 1);
+        sys.add_equation(&[2], 6); // x ∈ {3, 11}
+        assert!(sys.is_incremental());
+        sys.push_checkpoint();
+        sys.fix_variable(0, 11);
+        assert!(!sys.is_incremental());
+        let sol = sys.solve().expect("11 is a solution of 2x = 6 mod 16");
+        assert_eq!(sol.particular(), &[11]);
+        sys.pop_checkpoint();
+        assert!(sys.is_incremental());
+        // And an infeasible member of the coset is rejected by the fallback.
+        sys.push_checkpoint();
+        sys.fix_variable(0, 4);
+        assert_eq!(sys.solve(), Err(InfeasibleError));
+        sys.pop_checkpoint();
+        let mut back: Vec<u64> = sys
+            .solve()
+            .unwrap()
+            .iter_solutions()
+            .map(|v| v[0])
+            .collect();
+        back.sort();
+        back.dedup();
+        assert_eq!(back, vec![3, 11]);
+    }
+
+    #[test]
+    fn checkpointed_differential_against_batch_small_systems() {
+        // Insert the same equation sets into a CheckpointedSystem (template +
+        // one checkpointed row) and a LinearSystem; feasibility and solution
+        // counts must agree everywhere, and particular solutions must satisfy
+        // both systems.
+        let ring = Ring::new(3);
+        let modulus = ring.modulus() as u64;
+        let mut checked = 0u32;
+        for a00 in 0..modulus {
+            for a01 in [1u64, 2, 5] {
+                for rhs0 in 0..modulus {
+                    for a10 in [0u64, 2, 4, 7] {
+                        for rhs1 in [0u64, 3, 5] {
+                            let mut inc = CheckpointedSystem::new(ring, 2);
+                            inc.add_equation(&[a00, a01], rhs0);
+                            inc.push_checkpoint();
+                            inc.add_equation(&[a10, 1], rhs1);
+                            let mut batch = LinearSystem::new(ring, 2);
+                            batch.add_equation(&[a00, a01], rhs0);
+                            batch.add_equation(&[a10, 1], rhs1);
+                            match (inc.solve(), batch.solve()) {
+                                (Ok(got), Ok(want)) => {
+                                    assert_eq!(
+                                        got.log2_count(),
+                                        want.log2_count(),
+                                        "[{a00},{a01};{a10},1]=[{rhs0},{rhs1}]"
+                                    );
+                                    let x = got.instantiate(&vec![0; got.num_free()]);
+                                    assert!(batch.is_solution(&x));
+                                }
+                                (Err(_), Err(_)) => {}
+                                (got, want) => panic!(
+                                    "feasibility disagreement for \
+                                     [{a00},{a01};{a10},1]=[{rhs0},{rhs1}]: \
+                                     incremental {got:?} vs batch {want:?}"
+                                ),
+                            }
+                            inc.pop_checkpoint();
+                            assert_eq!(inc.num_equations(), 1);
+                            checked += 1;
                         }
                     }
                 }

@@ -7,13 +7,14 @@
 //! substitutes them into the equations so the system becomes linear, and
 //! hands the result to the linear solver.
 //!
-//! [`MixedSystem`] implements exactly that loop: product constraints
-//! `x_a · x_b = x_c` are linearised by enumerating candidate values for one
-//! operand (guided by the 2-adic valuation of a known product value when one
-//! is available), each candidate producing a purely linear system solved by
-//! [`LinearSystem::solve`].
+//! [`MixedSystem`] (and its clone-free engine [`solve_products_checkpointed`])
+//! implements exactly that loop: product constraints `x_a · x_b = x_c` are
+//! linearised by enumerating candidate values for one operand (guided by the
+//! 2-adic valuation of a known product value when one is available), each
+//! candidate pushing two checkpointed rows onto the incremental echelon form
+//! of the linear system.
 
-use crate::matrix::{LinearSystem, SolutionSet, SolveAbort};
+use crate::matrix::{CheckpointedSystem, LinearSystem, SolveAbort};
 use crate::modint::Ring;
 
 /// A product constraint `x_a · x_b ≡ x_c (mod 2ⁿ)` between three variables.
@@ -161,46 +162,132 @@ impl MixedSystem {
     /// leaf solve. An interrupted run returns [`MixedOutcome::Unknown`] — a
     /// sound "no conclusion" answer, exactly like budget exhaustion — so a
     /// portfolio race supervisor can stop losing engines mid-solve.
+    ///
+    /// Internally this builds the incremental echelon form of the linear part
+    /// once and delegates to [`solve_products_checkpointed`] — a single
+    /// implementation of the enumeration decision procedure serves both this
+    /// convenience API and the checker's hot path.
     pub fn solve_interruptible(&self, is_interrupted: &mut dyn FnMut() -> bool) -> MixedOutcome {
-        self.solve_rec(&self.linear, &self.products, is_interrupted)
+        let mut system = CheckpointedSystem::from_linear(&self.linear);
+        solve_products_checkpointed(
+            &mut system,
+            &self.products,
+            self.enumeration_limit,
+            is_interrupted,
+        )
     }
+}
 
-    fn solve_rec(
+/// Candidate values for the left operand of a product constraint.
+///
+/// If the whole ring fits in the budget the full ring is enumerated (making
+/// the search exhaustive); otherwise values consistent with a known product
+/// value are preferred — useful `x_a` values have 2-adic valuation at most
+/// that of the product (factor enumeration), so odd values and small powers
+/// of two times odd values are sampled first.
+fn product_candidates(ring: Ring, enumeration_limit: usize, known_c: Option<u64>) -> Vec<u64> {
+    let modulus = ring.modulus();
+    let limit = enumeration_limit as u128;
+    if modulus <= limit {
+        return (0..modulus as u64).collect();
+    }
+    let mut out = Vec::new();
+    match known_c {
+        Some(k) if k != 0 => {
+            let max_val = ring.valuation(k).unwrap_or(0);
+            'outer: for shift in 0..=max_val {
+                let mut odd = 1u64;
+                while (out.len() as u128) < limit {
+                    let candidate = ring.reduce(odd << shift);
+                    if candidate != 0 && !out.contains(&candidate) {
+                        out.push(candidate);
+                    }
+                    odd += 2;
+                    if (odd as u128) >= modulus {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        _ => {
+            out.extend((0..enumeration_limit as u64).map(|v| ring.reduce(v)));
+            out.dedup();
+        }
+    }
+    out
+}
+
+/// Solves the linear equations held by `system` together with `products` by
+/// checkpointed candidate enumeration.
+///
+/// This is the incremental counterpart of [`MixedSystem::solve_interruptible`]:
+/// instead of cloning the linear system per candidate, each candidate pushes
+/// two rows (`x_a ≡ value` and `value·x_b − x_c ≡ 0`) under a
+/// [`CheckpointedSystem`] checkpoint and pops them afterwards, so the shared
+/// elimination prefix — typically an island's structural template — is reused
+/// across the whole enumeration. The checkpoint state of `system` is restored
+/// before returning.
+pub fn solve_products_checkpointed(
+    system: &mut CheckpointedSystem,
+    products: &[ProductConstraint],
+    enumeration_limit: usize,
+    is_interrupted: &mut dyn FnMut() -> bool,
+) -> MixedOutcome {
+    let search = ProductSearch {
+        ring: system.ring(),
+        enumeration_limit: enumeration_limit.max(1),
+        all: products,
+    };
+    search.solve(system, 0, is_interrupted)
+}
+
+/// Recursive state of the checkpointed product enumeration.
+struct ProductSearch<'a> {
+    ring: Ring,
+    enumeration_limit: usize,
+    all: &'a [ProductConstraint],
+}
+
+impl ProductSearch<'_> {
+    fn solve(
         &self,
-        linear: &LinearSystem,
-        products: &[ProductConstraint],
+        system: &mut CheckpointedSystem,
+        next: usize,
         is_interrupted: &mut dyn FnMut() -> bool,
     ) -> MixedOutcome {
-        let Some((first, rest)) = products.split_first() else {
-            return match linear.solve_with_interrupt(is_interrupted) {
-                Ok(sol) => MixedOutcome::Solution(self.pick_assignment(&sol, &[])),
-                Err(SolveAbort::Infeasible) => MixedOutcome::Infeasible,
-                Err(SolveAbort::Interrupted) => MixedOutcome::Unknown,
-            };
-        };
-        // Is the linear part alone already infeasible? Then so is the whole.
-        match linear.solve_with_interrupt(is_interrupted) {
+        // One solve per level serves three purposes: the linear-feasibility
+        // pruning check, pinned-product detection, and (at the leaf) the
+        // concrete assignment.
+        let sol = match system.solve_interruptible(is_interrupted) {
+            Ok(sol) => sol,
             Err(SolveAbort::Infeasible) => return MixedOutcome::Infeasible,
             Err(SolveAbort::Interrupted) => return MixedOutcome::Unknown,
-            Ok(_) => {}
-        }
-        let candidates = self.candidates_for(first, linear);
+        };
+        let Some(product) = self.all.get(next) else {
+            return MixedOutcome::Solution(sol.instantiate(&vec![0; sol.num_free()]));
+        };
+        let pinned_c = if sol.null_matrix().iter().all(|col| col[product.c] == 0) {
+            Some(sol.particular()[product.c])
+        } else {
+            None
+        };
+        let candidates = product_candidates(self.ring, self.enumeration_limit, pinned_c);
         let exhaustive = candidates.len() as u128 >= self.ring.modulus();
         let mut saw_unknown = false;
         for value in candidates {
             if is_interrupted() {
                 return MixedOutcome::Unknown;
             }
-            let mut narrowed = linear.clone();
-            narrowed.fix_variable(first.a, value);
+            system.push_checkpoint();
+            system.add_sparse_equation(&[(product.a, 1)], value);
             // value·x_b - x_c ≡ 0 becomes linear once x_a is fixed.
-            let mut coeffs = vec![0u64; self.num_vars];
-            coeffs[first.b] = value;
-            coeffs[first.c] = self.ring.neg(1);
-            narrowed.add_equation(&coeffs, 0);
-            match self.solve_rec(&narrowed, rest, is_interrupted) {
+            system.add_sparse_equation(&[(product.b, value), (product.c, self.ring.neg(1))], 0);
+            let outcome = self.solve(system, next + 1, is_interrupted);
+            system.pop_checkpoint();
+            match outcome {
                 MixedOutcome::Solution(x) => {
-                    if self.is_solution(&x) {
+                    if self.products_satisfied(&x) {
                         return MixedOutcome::Solution(x);
                     }
                     // A spurious candidate (free variables chosen badly);
@@ -218,65 +305,10 @@ impl MixedSystem {
         }
     }
 
-    /// Candidate values for the left operand of a product constraint.
-    fn candidates_for(&self, product: &ProductConstraint, linear: &LinearSystem) -> Vec<u64> {
-        let modulus = self.ring.modulus();
-        let limit = self.enumeration_limit as u128;
-        // If the whole ring fits in the budget, enumerate it (this makes the
-        // search exhaustive and lets us conclude infeasibility).
-        if modulus <= limit {
-            return (0..modulus as u64).collect();
-        }
-        // Otherwise prefer values consistent with a known product value: when
-        // x_c is pinned to k, useful x_a values have 2-adic valuation at most
-        // val(k) (factor enumeration); sample odd values and small powers of
-        // two times odd values first.
-        let known_c = pinned_value(linear, product.c);
-        let mut out = Vec::new();
-        match known_c {
-            Some(k) if k != 0 => {
-                let max_val = self.ring.valuation(k).unwrap_or(0);
-                'outer: for shift in 0..=max_val {
-                    let mut odd = 1u64;
-                    while (out.len() as u128) < limit {
-                        let candidate = self.ring.reduce(odd << shift);
-                        if candidate != 0 && !out.contains(&candidate) {
-                            out.push(candidate);
-                        }
-                        odd += 2;
-                        if (odd as u128) >= modulus {
-                            continue 'outer;
-                        }
-                    }
-                    break;
-                }
-            }
-            _ => {
-                out.extend((0..self.enumeration_limit as u64).map(|v| self.ring.reduce(v)));
-                out.dedup();
-            }
-        }
-        out
-    }
-
-    /// Picks a concrete assignment from a solution set (free variables zero).
-    fn pick_assignment(&self, sol: &SolutionSet, _hint: &[u64]) -> Vec<u64> {
-        sol.instantiate(&vec![0; sol.num_free()])
-    }
-}
-
-/// If some equation pins `var` to a constant (a single odd coefficient on
-/// `var` and zeros elsewhere), returns that constant.
-fn pinned_value(linear: &LinearSystem, var: usize) -> Option<u64> {
-    // Solving the linear system and checking whether the variable is
-    // independent of all free variables is the most robust way to detect a
-    // pinned value.
-    let sol = linear.solve().ok()?;
-    let fixed = sol.null_matrix().iter().all(|column| column[var] == 0);
-    if fixed {
-        Some(sol.particular()[var])
-    } else {
-        None
+    fn products_satisfied(&self, x: &[u64]) -> bool {
+        self.all
+            .iter()
+            .all(|p| self.ring.mul(x[p.a], x[p.b]) == x[p.c])
     }
 }
 
@@ -394,6 +426,87 @@ mod tests {
             polls > 5
         });
         assert_eq!(out, MixedOutcome::Unknown);
+    }
+
+    /// Runs the same constraints through the cloning and the checkpointed
+    /// enumeration paths; outcome kinds must match and solutions must satisfy
+    /// the original mixed system.
+    fn assert_checkpointed_agrees(build: impl Fn(&mut MixedSystem, &mut CheckpointedSystem)) {
+        let ring = Ring::new(4);
+        let mut mixed = MixedSystem::new(ring, 3);
+        mixed.add_product(0, 1, 2);
+        let mut inc = CheckpointedSystem::new(ring, 3);
+        build(&mut mixed, &mut inc);
+        let products = [ProductConstraint { a: 0, b: 1, c: 2 }];
+        let got = solve_products_checkpointed(&mut inc, &products, 256, &mut || false);
+        let want = mixed.solve();
+        match (&got, &want) {
+            (MixedOutcome::Solution(x), MixedOutcome::Solution(_)) => {
+                assert!(mixed.is_solution(x), "checkpointed solution invalid: {x:?}");
+            }
+            (a, b) => assert_eq!(
+                std::mem::discriminant(a),
+                std::mem::discriminant(b),
+                "outcome kind mismatch: {got:?} vs {want:?}"
+            ),
+        }
+        // The enumeration must leave the checkpoint state balanced.
+        inc.push_checkpoint();
+        inc.pop_checkpoint();
+    }
+
+    #[test]
+    fn checkpointed_product_enumeration_matches_cloning_path() {
+        // Pinned product with a side constraint ruling out the integral root.
+        assert_checkpointed_agrees(|mixed, inc| {
+            mixed.add_equation(&[0, 1, 0], 7);
+            mixed.fix_variable(0, 4);
+            mixed.fix_variable(2, 12);
+            inc.add_equation(&[0, 1, 0], 7);
+            inc.fix_variable(0, 4);
+            inc.fix_variable(2, 12);
+        });
+        // Infeasible: even factor, odd product.
+        assert_checkpointed_agrees(|mixed, inc| {
+            mixed.fix_variable(0, 2);
+            mixed.fix_variable(2, 5);
+            inc.fix_variable(0, 2);
+            inc.fix_variable(2, 5);
+        });
+        // Unconstrained: any product triple.
+        assert_checkpointed_agrees(|_, _| {});
+    }
+
+    #[test]
+    fn checkpointed_chained_products() {
+        // a·b = c, c·d = e with e = 9 over 4 bits (all factors odd).
+        let ring = Ring::new(4);
+        let mut sys = CheckpointedSystem::new(ring, 5);
+        sys.fix_variable(4, 9);
+        let products = [
+            ProductConstraint { a: 0, b: 1, c: 2 },
+            ProductConstraint { a: 2, b: 3, c: 4 },
+        ];
+        let out = solve_products_checkpointed(&mut sys, &products, 256, &mut || false);
+        let MixedOutcome::Solution(x) = out else {
+            panic!("expected a solution, got {out:?}");
+        };
+        assert_eq!(x[4], 9);
+        assert_eq!(ring.mul(x[0], x[1]), x[2]);
+        assert_eq!(ring.mul(x[2], x[3]), x[4]);
+    }
+
+    #[test]
+    fn checkpointed_interrupt_reports_unknown() {
+        let ring = Ring::new(8);
+        let mut sys = CheckpointedSystem::new(ring, 3);
+        sys.fix_variable(2, 77);
+        let products = [ProductConstraint { a: 0, b: 1, c: 2 }];
+        assert_eq!(
+            solve_products_checkpointed(&mut sys, &products, 256, &mut || true),
+            MixedOutcome::Unknown
+        );
+        assert!(solve_products_checkpointed(&mut sys, &products, 256, &mut || false).is_solution());
     }
 
     #[test]

@@ -15,7 +15,6 @@
 use crate::gate::GateKind;
 use crate::ids::{GateId, NetId};
 use crate::netlist::Netlist;
-use std::collections::HashMap;
 use wlac_bv::Bv;
 
 /// An initial-state variable of the expanded circuit.
@@ -58,7 +57,9 @@ pub struct Unrolling {
     /// `net_map[frame][orig.index()]` is the expanded copy of `orig`.
     net_map: Vec<Vec<NetId>>,
     initial_states: Vec<InitialState>,
-    origin: HashMap<NetId, (usize, NetId)>,
+    /// `origin[expanded.index()]` is `(frame, original net)` — expanded nets
+    /// are created densely, so a flat vector replaces the old hash map.
+    origin: Vec<(usize, NetId)>,
 }
 
 impl Unrolling {
@@ -69,71 +70,96 @@ impl Unrolling {
     /// Panics if `frames` is zero.
     pub fn new(source: &Netlist, frames: usize) -> Self {
         assert!(frames > 0, "at least one time-frame is required");
-        let mut circuit = Netlist::new(format!("{}#x{}", source.name(), frames));
-        let mut net_map: Vec<Vec<NetId>> = Vec::with_capacity(frames);
-        let mut origin = HashMap::new();
-        let mut initial_states = Vec::new();
+        let mut unrolling = Unrolling {
+            circuit: Netlist::new(format!("{}#x", source.name())),
+            frames: 0,
+            net_map: Vec::with_capacity(frames),
+            initial_states: Vec::new(),
+            origin: Vec::new(),
+        };
+        unrolling.extend_to(source, frames);
+        unrolling
+    }
 
-        for frame in 0..frames {
-            let mut frame_nets = Vec::with_capacity(source.net_count());
-            for orig in source.nets() {
-                let name = source
-                    .net_name(orig)
-                    .map(|n| format!("{n}@{frame}"))
-                    .unwrap_or_else(|| format!("{orig}@{frame}"));
-                let new = circuit.add_named_net(source.net_width(orig), Some(name));
-                origin.insert(new, (frame, orig));
-                frame_nets.push(new);
-            }
-            net_map.push(frame_nets);
+    /// Extends the expansion to at least `frames` time-frames by appending
+    /// whole frames; existing expanded nets and gates are untouched, so every
+    /// previously returned [`Unrolling::net`] id stays valid.
+    ///
+    /// A bounded checker deepening its unrolling bound by one frame per
+    /// iteration pays the expansion cost once overall instead of once per
+    /// bound (the construction used to be quadratic in the final bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not the netlist this unrolling was created from
+    /// (detected by net count).
+    pub fn extend_to(&mut self, source: &Netlist, frames: usize) {
+        assert!(
+            self.net_map.is_empty() || self.net_map[0].len() == source.net_count(),
+            "extend_to called with a different source netlist"
+        );
+        while self.frames < frames {
+            self.append_frame(source);
         }
+    }
 
-        for frame in 0..frames {
-            for (gate_id, gate) in source.gates() {
-                let out = net_map[frame][gate.output.index()];
-                match &gate.kind {
-                    GateKind::Dff { init } => {
-                        if frame == 0 {
-                            circuit.mark_input(out);
-                            initial_states.push(InitialState {
-                                net: out,
-                                flip_flop: gate_id,
-                                init: init.clone(),
-                            });
-                        } else {
-                            let d_prev = net_map[frame - 1][gate.inputs[0].index()];
-                            circuit
-                                .add_gate(GateKind::Buf, vec![d_prev], out)
-                                .expect("frame-connection buffer");
-                        }
-                    }
-                    kind => {
-                        let inputs = gate
-                            .inputs
-                            .iter()
-                            .map(|n| net_map[frame][n.index()])
-                            .collect();
+    /// Appends one time-frame to the expanded circuit.
+    ///
+    /// Expanded nets deliberately carry no names — nothing consumes them, and
+    /// naming every copy of every net dominated the construction cost; use
+    /// [`Unrolling::origin`] to map an expanded net back to its source.
+    fn append_frame(&mut self, source: &Netlist) {
+        let frame = self.frames;
+        let circuit = &mut self.circuit;
+        let mut frame_nets = Vec::with_capacity(source.net_count());
+        for orig in source.nets() {
+            let new = circuit.add_net(source.net_width(orig));
+            debug_assert_eq!(new.index(), self.origin.len());
+            self.origin.push((frame, orig));
+            frame_nets.push(new);
+        }
+        self.net_map.push(frame_nets);
+
+        for (gate_id, gate) in source.gates() {
+            let out = self.net_map[frame][gate.output.index()];
+            match &gate.kind {
+                GateKind::Dff { init } => {
+                    if frame == 0 {
+                        circuit.mark_input(out);
+                        self.initial_states.push(InitialState {
+                            net: out,
+                            flip_flop: gate_id,
+                            init: init.clone(),
+                        });
+                    } else {
+                        let d_prev = self.net_map[frame - 1][gate.inputs[0].index()];
                         circuit
-                            .add_gate(kind.clone(), inputs, out)
-                            .expect("expanded gate");
+                            .add_gate(GateKind::Buf, vec![d_prev], out)
+                            .expect("frame-connection buffer");
                     }
                 }
-            }
-            for orig_input in source.inputs() {
-                circuit.mark_input(net_map[frame][orig_input.index()]);
-            }
-            for (name, orig_out) in source.outputs() {
-                circuit.mark_output(format!("{name}@{frame}"), net_map[frame][orig_out.index()]);
+                kind => {
+                    let inputs = gate
+                        .inputs
+                        .iter()
+                        .map(|n| self.net_map[frame][n.index()])
+                        .collect();
+                    circuit
+                        .add_gate(kind.clone(), inputs, out)
+                        .expect("expanded gate");
+                }
             }
         }
-
-        Unrolling {
-            circuit,
-            frames,
-            net_map,
-            initial_states,
-            origin,
+        for orig_input in source.inputs() {
+            circuit.mark_input(self.net_map[frame][orig_input.index()]);
         }
+        for (name, orig_out) in source.outputs() {
+            circuit.mark_output(
+                format!("{name}@{frame}"),
+                self.net_map[frame][orig_out.index()],
+            );
+        }
+        self.frames += 1;
     }
 
     /// The purely combinational expanded circuit.
@@ -157,7 +183,7 @@ impl Unrolling {
 
     /// Maps an expanded net back to `(frame, original net)`.
     pub fn origin(&self, expanded: NetId) -> Option<(usize, NetId)> {
-        self.origin.get(&expanded).copied()
+        self.origin.get(expanded.index()).copied()
     }
 
     /// The initial-state variables (frame-0 flip-flop outputs).
@@ -237,13 +263,54 @@ mod tests {
     }
 
     #[test]
-    fn names_carry_frame_suffix() {
+    fn expanded_nets_resolve_through_origin_not_names() {
+        // Expanded nets carry no names (naming every per-frame copy dominated
+        // construction cost); the origin map is the supported way back.
         let nl = counter();
         let un = Unrolling::new(&nl, 2);
         let ff = nl.flip_flops()[0];
         let q = nl.gate(ff).output;
         let q1 = un.net(1, q);
-        // The original q is unnamed, so the expanded name is derived from the id.
-        assert!(un.circuit().net_name(q1).unwrap().ends_with("@1"));
+        assert_eq!(un.circuit().net_name(q1), None);
+        assert_eq!(un.origin(q1), Some((1, q)));
+    }
+
+    #[test]
+    fn extending_preserves_existing_frames() {
+        let nl = counter();
+        let ff = nl.flip_flops()[0];
+        let q = nl.gate(ff).output;
+        let d = nl.gate(ff).inputs[0];
+
+        let mut incremental = Unrolling::new(&nl, 1);
+        let q0 = incremental.net(0, q);
+        incremental.extend_to(&nl, 3);
+        incremental.extend_to(&nl, 2); // no-op: already deeper
+        assert_eq!(incremental.frames(), 3);
+        // Ids handed out before the extension stay valid.
+        assert_eq!(incremental.net(0, q), q0);
+
+        // The incrementally grown expansion matches a one-shot expansion.
+        let oneshot = Unrolling::new(&nl, 3);
+        assert_eq!(
+            incremental.circuit().gate_count(),
+            oneshot.circuit().gate_count()
+        );
+        assert_eq!(
+            incremental.circuit().net_count(),
+            oneshot.circuit().net_count()
+        );
+        assert_eq!(
+            incremental.initial_states().len(),
+            oneshot.initial_states().len()
+        );
+        for frame in 1..3 {
+            let q_f = incremental.net(frame, q);
+            let driver = incremental.circuit().driver(q_f).expect("driven");
+            let gate = incremental.circuit().gate(driver);
+            assert_eq!(gate.kind, GateKind::Buf);
+            assert_eq!(gate.inputs[0], incremental.net(frame - 1, d));
+        }
+        assert!(incremental.circuit().combinational_order().is_ok());
     }
 }
