@@ -38,6 +38,10 @@ pub struct BitBlaster {
     /// The CNF formula.
     pub cnf: Cnf,
     bits: HashMap<NetId, Vec<Lit>>,
+    /// `var_origin[var] = (net, bit)` for the net-bit variables (a contiguous
+    /// prefix of the variable space — Tseitin auxiliaries come later and have
+    /// no entry). Used to lift learned clauses back to net level.
+    var_origin: Vec<(NetId, u32)>,
 }
 
 impl BitBlaster {
@@ -50,10 +54,16 @@ impl BitBlaster {
         let mut this = BitBlaster {
             cnf: Cnf::new(),
             bits: HashMap::new(),
+            var_origin: Vec::new(),
         };
         for net in netlist.nets() {
             let lits = (0..netlist.net_width(net))
-                .map(|_| Lit::positive(this.cnf.fresh_var()))
+                .map(|bit| {
+                    let var = this.cnf.fresh_var();
+                    debug_assert_eq!(var, this.var_origin.len());
+                    this.var_origin.push((net, bit as u32));
+                    Lit::positive(var)
+                })
                 .collect();
             this.bits.insert(net, lits);
         }
@@ -66,6 +76,12 @@ impl BitBlaster {
     /// The literal of bit `bit` of `net`.
     pub fn bit(&self, net: NetId, bit: usize) -> Lit {
         self.bits[&net][bit]
+    }
+
+    /// Maps a CNF variable back to its `(net, bit)` origin; `None` for
+    /// Tseitin auxiliary variables.
+    pub fn net_bit_of_var(&self, var: usize) -> Option<(NetId, u32)> {
+        self.var_origin.get(var).copied()
     }
 
     /// Reads the value of `net` out of a SAT model (one truth value per CNF
@@ -94,39 +110,39 @@ impl BitBlaster {
     }
 
     fn equal(&mut self, a: Lit, b: Lit) {
-        self.cnf.add_clause(vec![a.negated(), b]);
-        self.cnf.add_clause(vec![a, b.negated()]);
+        self.cnf.add_structural_clause(vec![a.negated(), b]);
+        self.cnf.add_structural_clause(vec![a, b.negated()]);
     }
 
     fn constant(&mut self, lit: Lit, value: bool) {
         self.cnf
-            .add_clause(vec![if value { lit } else { lit.negated() }]);
+            .add_structural_clause(vec![if value { lit } else { lit.negated() }]);
     }
 
     fn and_gate(&mut self, out: Lit, inputs: &[Lit]) {
         let mut clause = vec![out];
         for i in inputs {
-            self.cnf.add_clause(vec![out.negated(), *i]);
+            self.cnf.add_structural_clause(vec![out.negated(), *i]);
             clause.push(i.negated());
         }
-        self.cnf.add_clause(clause);
+        self.cnf.add_structural_clause(clause);
     }
 
     fn or_gate(&mut self, out: Lit, inputs: &[Lit]) {
         let mut clause = vec![out.negated()];
         for i in inputs {
-            self.cnf.add_clause(vec![out, i.negated()]);
+            self.cnf.add_structural_clause(vec![out, i.negated()]);
             clause.push(*i);
         }
-        self.cnf.add_clause(clause);
+        self.cnf.add_structural_clause(clause);
     }
 
     fn xor_gate(&mut self, out: Lit, a: Lit, b: Lit) {
-        self.cnf.add_clause(vec![out.negated(), a, b]);
+        self.cnf.add_structural_clause(vec![out.negated(), a, b]);
         self.cnf
-            .add_clause(vec![out.negated(), a.negated(), b.negated()]);
-        self.cnf.add_clause(vec![out, a.negated(), b]);
-        self.cnf.add_clause(vec![out, a, b.negated()]);
+            .add_structural_clause(vec![out.negated(), a.negated(), b.negated()]);
+        self.cnf.add_structural_clause(vec![out, a.negated(), b]);
+        self.cnf.add_structural_clause(vec![out, a, b.negated()]);
     }
 
     fn fresh(&mut self) -> Lit {
@@ -167,8 +183,9 @@ impl BitBlaster {
             // Majority carry-out.
             let cout = self.fresh();
             for (x, y) in [(a[i], b[i]), (a[i], carry), (b[i], carry)] {
-                self.cnf.add_clause(vec![cout, x.negated(), y.negated()]);
-                self.cnf.add_clause(vec![cout.negated(), x, y]);
+                self.cnf
+                    .add_structural_clause(vec![cout, x.negated(), y.negated()]);
+                self.cnf.add_structural_clause(vec![cout.negated(), x, y]);
             }
             out.push(sum);
             carry = cout;
@@ -304,10 +321,12 @@ impl BitBlaster {
                 for (bit, o) in out_bits.iter().enumerate() {
                     let a = in_bits[1][bit];
                     let b = in_bits[2][bit];
-                    self.cnf.add_clause(vec![sel.negated(), a.negated(), *o]);
-                    self.cnf.add_clause(vec![sel.negated(), a, o.negated()]);
-                    self.cnf.add_clause(vec![sel, b.negated(), *o]);
-                    self.cnf.add_clause(vec![sel, b, o.negated()]);
+                    self.cnf
+                        .add_structural_clause(vec![sel.negated(), a.negated(), *o]);
+                    self.cnf
+                        .add_structural_clause(vec![sel.negated(), a, o.negated()]);
+                    self.cnf.add_structural_clause(vec![sel, b.negated(), *o]);
+                    self.cnf.add_structural_clause(vec![sel, b, o.negated()]);
                 }
             }
             GateKind::Concat => {
@@ -455,6 +474,153 @@ fn model_to_trace(
     }
 }
 
+/// One literal of a frame-relative learned clause: bit `bit` of the copy of
+/// `net` (a net of the **original** sequential design) at time-frame `frame`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameLit {
+    /// Time-frame the literal lives in (0-based, `< FrameClause::depth`).
+    pub frame: u32,
+    /// Net of the original (un-expanded) design.
+    pub net: NetId,
+    /// Bit index within the net.
+    pub bit: u32,
+    /// `true` when the literal asserts the bit is 0.
+    pub negated: bool,
+}
+
+/// A design-valid learned clause lifted out of a bounded-model-checking run,
+/// expressed over frame-relative net bits of the original design so it can be
+/// replayed into any later unrolling of the same design.
+///
+/// `depth` records the unrolling depth the clause was learned at. The clause
+/// is implied by the transition structure of frames `0..depth`; because the
+/// structure of frames `s..s+depth` in any deeper unrolling is a superset of
+/// that (frame 0 state variables are unconstrained pseudo-inputs, later
+/// frames only add the connecting buffers), the clause shifted **up** by any
+/// `s ≥ 0` remains valid in every unrolling of at least `depth + s` frames.
+/// Shifting *down* would be unsound — the derivation may have relied on a
+/// frame's state being driven by its predecessor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FrameClause {
+    /// Unrolling depth (number of frames) at learn time.
+    pub depth: u32,
+    /// The literals; the clause asserts their disjunction.
+    pub lits: Vec<FrameLit>,
+}
+
+impl FrameClause {
+    /// Structural well-formedness against the design the clause claims to
+    /// describe: every literal must name an existing net, a bit within its
+    /// width and a frame below the recorded depth. Malformed clauses (e.g. a
+    /// corrupted or poisoned knowledge base) must be rejected by callers
+    /// before replay.
+    pub fn is_well_formed(&self, netlist: &Netlist) -> bool {
+        self.depth >= 1
+            && !self.lits.is_empty()
+            && self.lits.iter().all(|lit| {
+                lit.frame < self.depth
+                    && lit.net.index() < netlist.net_count()
+                    && (lit.bit as usize) < netlist.net_width(lit.net)
+            })
+    }
+}
+
+/// Maximum length of a lifted clause: short clauses prune the most per byte,
+/// and every extra literal must survive the net-bit lifting anyway.
+const MAX_LIFT_LEN: usize = 8;
+
+/// Like [`bounded_model_check_cancellable`], but warm-started and learning:
+/// `seeds` are design-valid [`FrameClause`]s from earlier runs on the *same*
+/// design, injected (at every sound shift) into each unrolling before
+/// solving; the second return value is the new design-valid clauses learned
+/// by this run, lifted back to frame-relative form.
+///
+/// Malformed seed clauses are skipped, never trusted — use
+/// [`FrameClause::is_well_formed`] plus a design-identity check upstream to
+/// reject a poisoned store outright.
+pub fn bounded_model_check_learning(
+    verification: &Verification,
+    max_frames: usize,
+    decision_budget: u64,
+    cancel: &CancelToken,
+    seeds: &[FrameClause],
+) -> (BmcReport, Vec<FrameClause>) {
+    bmc_impl(
+        verification,
+        max_frames,
+        decision_budget,
+        cancel,
+        seeds,
+        true,
+    )
+}
+
+/// Injects every sound shift of each seed clause into the blasted formula.
+fn inject_seeds(
+    blaster: &mut BitBlaster,
+    unrolling: &Unrolling,
+    source: &Netlist,
+    frames: usize,
+    seeds: &[FrameClause],
+) {
+    for seed in seeds {
+        if !seed.is_well_formed(source) || seed.depth as usize > frames {
+            continue;
+        }
+        for shift in 0..=(frames as u32 - seed.depth) {
+            let clause = seed
+                .lits
+                .iter()
+                .map(|lit| {
+                    let expanded = unrolling.net((lit.frame + shift) as usize, lit.net);
+                    let sat_lit = blaster.bit(expanded, lit.bit as usize);
+                    if lit.negated {
+                        sat_lit.negated()
+                    } else {
+                        sat_lit
+                    }
+                })
+                .collect();
+            // Seeds are design-valid, so they are structural clauses: new
+            // clauses learned from them stay exportable.
+            blaster.cnf.add_structural_clause(clause);
+        }
+    }
+}
+
+/// Lifts the solver's exported clauses to frame-relative form. A clause
+/// survives only when every literal maps to a net bit of the expanded circuit
+/// (no Tseitin auxiliaries) whose net traces back to the original design.
+fn lift_learned(
+    blaster: &BitBlaster,
+    unrolling: &Unrolling,
+    frames: usize,
+    exported: &[Vec<Lit>],
+    out: &mut Vec<FrameClause>,
+) {
+    'clauses: for clause in exported {
+        let mut lits = Vec::with_capacity(clause.len());
+        for lit in clause {
+            let Some((expanded, bit)) = blaster.net_bit_of_var(lit.var()) else {
+                continue 'clauses;
+            };
+            let Some((frame, net)) = unrolling.origin(expanded) else {
+                continue 'clauses;
+            };
+            lits.push(FrameLit {
+                frame: frame as u32,
+                net,
+                bit,
+                negated: lit.is_negative(),
+            });
+        }
+        out.push(FrameClause {
+            depth: frames as u32,
+            lits,
+        });
+    }
+}
+
 /// Like [`bounded_model_check`], but polls `cancel` between unrolling depths
 /// and inside the SAT search, so a portfolio supervisor can stop a losing BMC
 /// run promptly. A cancelled run reports [`BmcOutcome::Unknown`].
@@ -464,11 +630,31 @@ pub fn bounded_model_check_cancellable(
     decision_budget: u64,
     cancel: &CancelToken,
 ) -> BmcReport {
+    bmc_impl(
+        verification,
+        max_frames,
+        decision_budget,
+        cancel,
+        &[],
+        false,
+    )
+    .0
+}
+
+fn bmc_impl(
+    verification: &Verification,
+    max_frames: usize,
+    decision_budget: u64,
+    cancel: &CancelToken,
+    seeds: &[FrameClause],
+    learn: bool,
+) -> (BmcReport, Vec<FrameClause>) {
     let start = Instant::now();
     let mut peak = 0usize;
     let mut variables = 0usize;
     let mut clauses = 0usize;
     let mut sat = crate::sat::SatStats::default();
+    let mut harvest: Vec<FrameClause> = Vec::new();
     let report = |outcome, peak, variables, clauses, trace, sat| BmcReport {
         outcome,
         elapsed: start.elapsed(),
@@ -480,14 +666,29 @@ pub fn bounded_model_check_cancellable(
     };
     for frames in 1..=max_frames {
         if cancel.is_cancelled() {
-            return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat);
+            return (
+                report(BmcOutcome::Unknown, peak, variables, clauses, None, sat),
+                harvest,
+            );
         }
         let unrolling = Unrolling::new(&verification.netlist, frames);
         let encoded = BitBlaster::encode(unrolling.circuit());
         let mut blaster = match encoded {
             Ok(b) => b,
-            Err(_) => return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat),
+            Err(_) => {
+                return (
+                    report(BmcOutcome::Unknown, peak, variables, clauses, None, sat),
+                    harvest,
+                )
+            }
         };
+        inject_seeds(
+            &mut blaster,
+            &unrolling,
+            &verification.netlist,
+            frames,
+            seeds,
+        );
         for init in unrolling.initial_states() {
             if let Some(value) = &init.init {
                 blaster.constrain_value(init.net, value);
@@ -508,30 +709,45 @@ pub fn bounded_model_check_cancellable(
         peak = peak.max(blaster.cnf.memory_bytes());
         variables += blaster.cnf.num_vars();
         clauses += blaster.cnf.num_clauses();
-        let (model, complete, depth_stats) = blaster.cnf.solve_with_stats(decision_budget, cancel);
-        sat.absorb(&depth_stats);
-        if let Some(model) = model {
+        let max_export = if learn { MAX_LIFT_LEN } else { 0 };
+        let outcome = blaster
+            .cnf
+            .solve_learning(decision_budget, cancel, max_export);
+        sat.absorb(&outcome.stats);
+        if learn {
+            lift_learned(&blaster, &unrolling, frames, &outcome.learned, &mut harvest);
+        }
+        if let Some(model) = outcome.model {
             let trace = model_to_trace(verification, &unrolling, &blaster, &model);
-            return report(
-                BmcOutcome::Found { depth: frames },
-                peak,
-                variables,
-                clauses,
-                Some(trace),
-                sat,
+            return (
+                report(
+                    BmcOutcome::Found { depth: frames },
+                    peak,
+                    variables,
+                    clauses,
+                    Some(trace),
+                    sat,
+                ),
+                harvest,
             );
         }
-        if !complete {
-            return report(BmcOutcome::Unknown, peak, variables, clauses, None, sat);
+        if !outcome.complete {
+            return (
+                report(BmcOutcome::Unknown, peak, variables, clauses, None, sat),
+                harvest,
+            );
         }
     }
-    report(
-        BmcOutcome::HoldsUpToBound,
-        peak,
-        variables,
-        clauses,
-        None,
-        sat,
+    (
+        report(
+            BmcOutcome::HoldsUpToBound,
+            peak,
+            variables,
+            clauses,
+            None,
+            sat,
+        ),
+        harvest,
     )
 }
 
@@ -600,6 +816,88 @@ mod tests {
                 assert!(model.is_none(), "inconsistent encoding for {av}+{bv}");
             }
         }
+    }
+
+    #[test]
+    fn learning_bmc_harvests_and_replays_clauses_without_changing_verdicts() {
+        // A counter with a structural impossibility (q + q is always even,
+        // so bit 0 of the doubled value is 0): plenty of design-valid
+        // learning material.
+        let mut nl = Netlist::new("cnt");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let next = nl.add(q, one);
+        nl.connect_dff_data(ff, next);
+        let five = nl.constant(&Bv::from_u64(4, 5));
+        let ok = nl.ne(q, five);
+        let property = Property::always(&nl, "never5", ok);
+        let verification = Verification::new(nl, property);
+
+        let cancel = CancelToken::new();
+        let cold = bounded_model_check_cancellable(&verification, 8, 1_000_000, &cancel);
+        let (warm_report, harvest) =
+            bounded_model_check_learning(&verification, 8, 1_000_000, &cancel, &[]);
+        assert_eq!(cold.outcome, warm_report.outcome);
+        // Everything harvested is structurally well-formed for this design.
+        for clause in &harvest {
+            assert!(clause.is_well_formed(&verification.netlist), "{clause:?}");
+        }
+
+        // Replaying the harvest must reproduce the identical outcome (the
+        // clauses are implied, so the per-depth SAT answers cannot move).
+        let (seeded, _) =
+            bounded_model_check_learning(&verification, 8, 1_000_000, &cancel, &harvest);
+        assert_eq!(seeded.outcome, warm_report.outcome);
+        match (&warm_report.trace, &seeded.trace) {
+            (Some(a), Some(b)) => assert_eq!(a.len(), b.len(), "violation depth must match"),
+            (None, None) => {}
+            other => panic!("trace presence diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_seed_clauses_are_skipped_not_trusted() {
+        // A tautological design (y = a | !a): holds at every bound.
+        let mut nl = Netlist::new("taut");
+        let a = nl.input("a", 1);
+        let na = nl.not(a);
+        let y = nl.or2(a, na);
+        let property = Property::always(&nl, "taut", y);
+        let verification = Verification::new(nl, property);
+        let poison = vec![
+            // Net id far out of range.
+            FrameClause {
+                depth: 1,
+                lits: vec![FrameLit {
+                    frame: 0,
+                    net: NetId::from_index(999),
+                    bit: 0,
+                    negated: true,
+                }],
+            },
+            // Frame beyond the recorded depth.
+            FrameClause {
+                depth: 1,
+                lits: vec![FrameLit {
+                    frame: 3,
+                    net: verification.netlist.inputs()[0],
+                    bit: 0,
+                    negated: false,
+                }],
+            },
+            // Empty clause (would be instant UNSAT if trusted).
+            FrameClause {
+                depth: 1,
+                lits: Vec::new(),
+            },
+        ];
+        let (report, _) =
+            bounded_model_check_learning(&verification, 3, 100_000, &CancelToken::new(), &poison);
+        assert_eq!(
+            report.outcome,
+            BmcOutcome::HoldsUpToBound,
+            "poisoned seeds must be skipped, not trusted"
+        );
     }
 
     #[test]

@@ -25,9 +25,9 @@ mod random_sim;
 mod sat;
 
 pub use bitblast::{
-    bounded_model_check, bounded_model_check_cancellable, BitBlaster, BmcOutcome, BmcReport,
-    UnsupportedGateError,
+    bounded_model_check, bounded_model_check_cancellable, bounded_model_check_learning, BitBlaster,
+    BmcOutcome, BmcReport, FrameClause, FrameLit, UnsupportedGateError,
 };
 pub use integral::{IntegralLinearSystem, IntegralOutcome};
 pub use random_sim::{random_simulation, random_simulation_cancellable, RandomSimReport};
-pub use sat::{Cnf, Lit, SatStats};
+pub use sat::{Cnf, Lit, SatOutcome, SatStats};

@@ -30,6 +30,7 @@ use wlac_bv::Bv;
 use wlac_circuits::{paper_suite, Scale};
 use wlac_netlist::Netlist;
 use wlac_portfolio::Portfolio;
+use wlac_service::{ServiceConfig, VerificationService};
 
 /// Wraps the system allocator and counts allocation calls.
 struct CountingAlloc;
@@ -255,6 +256,67 @@ fn measure_portfolio() -> Vec<Metric> {
     }]
 }
 
+/// Repeated-batch workload through the verification service: the Small
+/// suite submitted twice to one session. The cold run races warm-started
+/// engines and fills the knowledge base + verdict cache; the warm run must
+/// be answered from the cache. `service_warm_speedup` (cold wall / warm
+/// wall) and the cache hit rate are the service's headline numbers.
+fn measure_service() -> Vec<Metric> {
+    let mut config = ServiceConfig::default();
+    config.portfolio.checker.max_frames = 6;
+    config.portfolio.bmc_decision_budget = 2_000_000;
+    let service = VerificationService::new(config);
+    let jobs: Vec<_> = paper_suite(Scale::Small)
+        .into_iter()
+        .map(|case| case.verification)
+        .collect();
+
+    let start = Instant::now();
+    let cold = service.wait(service.submit_batch(jobs.clone()));
+    let cold_wall = start.elapsed().as_secs_f64();
+    assert!(
+        cold.iter().all(|r| r.verdict.is_definitive()),
+        "cold service run must decide the whole suite"
+    );
+
+    let start = Instant::now();
+    let warm = service.wait(service.submit_batch(jobs));
+    let warm_wall = start.elapsed().as_secs_f64();
+    assert!(
+        warm.iter().all(|r| r.from_cache),
+        "repeated batch must be served from the verdict cache"
+    );
+
+    let stats = service.stats();
+    vec![
+        Metric {
+            name: "service_cold_wall_s",
+            value: cold_wall,
+            tracked: true,
+        },
+        Metric {
+            name: "service_warm_wall_s",
+            value: warm_wall,
+            tracked: true,
+        },
+        Metric {
+            name: "service_warm_speedup",
+            value: cold_wall / warm_wall.max(1e-9),
+            tracked: false,
+        },
+        Metric {
+            name: "service_cache_hit_rate",
+            value: stats.cache_hit_rate(),
+            tracked: false,
+        },
+        Metric {
+            name: "service_clauses_banked",
+            value: stats.clauses_banked as f64,
+            tracked: false,
+        },
+    ]
+}
+
 fn measure_industry01_paper() -> Vec<Metric> {
     let suite = paper_suite(Scale::Paper);
     let case = suite
@@ -342,6 +404,7 @@ fn main() {
     metrics.extend(measure_datapath());
     metrics.extend(measure_cdcl());
     metrics.extend(measure_portfolio());
+    metrics.extend(measure_service());
     if industry01 {
         metrics.extend(measure_industry01_paper());
     }

@@ -9,7 +9,9 @@
 //! extension over the paper) can upgrade a bounded result into a full proof.
 
 use crate::config::CheckerOptions;
+use crate::datapath::DatapathFacts;
 use crate::estg::Estg;
+use crate::knowledge::SearchKnowledge;
 use crate::property::{PropertyKind, Verification};
 use crate::search::{SearchContext, SearchGoal, SearchOutcome};
 use crate::stats::CheckStats;
@@ -105,17 +107,57 @@ impl AssertionChecker {
     }
 
     /// Checks one property of a design.
+    ///
+    /// Runs cold: no cross-property knowledge is consulted or recorded (use
+    /// [`AssertionChecker::check_learned`] for warm-started checks). Keeping
+    /// the cold path free of the fact-memo bookkeeping preserves its exact
+    /// allocation profile and makes it the oracle the learning-soundness
+    /// differential tests compare against.
     pub fn check(&self, verification: &Verification) -> CheckReport {
+        let mut estg = Estg::new();
+        self.check_inner(verification, &mut estg, None)
+    }
+
+    /// Checks one property, seeded with (and feeding back into) a
+    /// cross-property [`SearchKnowledge`] bundle for the same design.
+    ///
+    /// The ESTG conflict cubes bias decision ordering towards historically
+    /// conflict-free assignments and the datapath facts short-circuit
+    /// already-refuted island solves; neither can change a verdict, only the
+    /// effort to reach it (the learning-soundness differential tests in
+    /// `tests/service.rs` enforce this). On return the bundle additionally
+    /// holds everything this run learned.
+    ///
+    /// The caller is responsible for only ever passing knowledge gathered on
+    /// a **structurally identical** netlist — bind bundles to a design hash
+    /// and reject mismatches.
+    pub fn check_learned(
+        &self,
+        verification: &Verification,
+        knowledge: &mut SearchKnowledge,
+    ) -> CheckReport {
+        let SearchKnowledge {
+            estg,
+            datapath_facts,
+        } = knowledge;
+        self.check_inner(verification, estg, Some(datapath_facts))
+    }
+
+    fn check_inner(
+        &self,
+        verification: &Verification,
+        estg: &mut Estg,
+        facts: Option<&mut DatapathFacts>,
+    ) -> CheckReport {
         let start = Instant::now();
         let deadline = start + self.options.time_limit;
         let mut stats = CheckStats::default();
-        let mut estg = Estg::new();
         let result = match verification.property.kind {
             PropertyKind::Always => {
-                self.check_always(verification, &mut estg, deadline, &mut stats)
+                self.check_always(verification, estg, facts, deadline, &mut stats)
             }
             PropertyKind::Eventually => {
-                self.check_eventually(verification, &mut estg, deadline, &mut stats)
+                self.check_eventually(verification, estg, facts, deadline, &mut stats)
             }
         };
         stats.elapsed = start.elapsed();
@@ -130,6 +172,7 @@ impl AssertionChecker {
         &self,
         verification: &Verification,
         estg: &mut Estg,
+        mut facts: Option<&mut DatapathFacts>,
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> CheckResult {
@@ -152,6 +195,7 @@ impl AssertionChecker {
                 false,
                 SearchGoal::Prove,
                 estg,
+                facts.as_deref_mut(),
                 deadline,
                 stats,
             );
@@ -192,6 +236,7 @@ impl AssertionChecker {
                     true,
                     SearchGoal::Prove,
                     estg,
+                    facts.as_deref_mut(),
                     deadline,
                     stats,
                 );
@@ -209,6 +254,7 @@ impl AssertionChecker {
         &self,
         verification: &Verification,
         estg: &mut Estg,
+        mut facts: Option<&mut DatapathFacts>,
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> CheckResult {
@@ -229,6 +275,7 @@ impl AssertionChecker {
                 false,
                 SearchGoal::Witness,
                 estg,
+                facts.as_deref_mut(),
                 deadline,
                 stats,
             );
@@ -279,6 +326,7 @@ impl AssertionChecker {
         induction: bool,
         goal: SearchGoal,
         estg: &mut Estg,
+        facts: Option<&mut DatapathFacts>,
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> SearchOutcome {
@@ -319,12 +367,13 @@ impl AssertionChecker {
         ));
 
         let mut context = SearchContext::new(expanded);
-        context.search(
+        context.search_with_facts(
             expanded,
             &self.options,
             goal,
             &requirements,
             estg,
+            facts,
             deadline,
             stats,
         )

@@ -52,6 +52,35 @@ impl Estg {
     pub fn memory_bytes(&self) -> usize {
         self.conflicts.len() * 32 + 32
     }
+
+    /// Number of distinct `(net, value)` assignments with recorded conflicts.
+    pub fn len(&self) -> usize {
+        self.conflicts.len()
+    }
+
+    /// `true` when no conflicts have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// Iterates over the recorded conflict cubes as `((net, value), count)`.
+    pub fn entries(&self) -> impl Iterator<Item = ((NetId, bool), u64)> + '_ {
+        self.conflicts.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another store's conflict history into this one (used by the
+    /// cross-property knowledge base to accumulate ATPG conflict cubes across
+    /// runs on the same design). The store only ever influences decision
+    /// *ordering*, so merging histories from different properties of the same
+    /// design is always sound. Counts saturate instead of overflowing — at
+    /// that magnitude they are pure ordering pressure anyway.
+    pub fn merge(&mut self, other: &Estg) {
+        for (key, count) in other.entries() {
+            let entry = self.conflicts.entry(key).or_insert(0);
+            *entry = entry.saturating_add(count);
+        }
+        self.recorded = self.recorded.saturating_add(other.recorded);
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,7 @@ mod datapath;
 mod estg;
 mod implication;
 mod justify;
+mod knowledge;
 mod search;
 mod stats;
 mod trace;
@@ -63,8 +64,10 @@ pub mod property;
 pub use assignment::Conflict;
 pub use checker::{AssertionChecker, CheckReport, CheckResult};
 pub use config::{CancelToken, CheckerOptions};
+pub use datapath::DatapathFacts;
 pub use estg::Estg;
 pub use implication::{ImplicationEngine, ImplicationStats};
+pub use knowledge::SearchKnowledge;
 pub use property::{Property, PropertyKind, Verification};
 pub use search::{SearchContext, SearchGoal, SearchOutcome};
 pub use stats::CheckStats;

@@ -17,7 +17,7 @@
 
 use crate::assignment::Assignment;
 use crate::config::CheckerOptions;
-use crate::datapath::{DatapathContext, DatapathOutcome};
+use crate::datapath::{DatapathContext, DatapathFacts, DatapathOutcome};
 use crate::estg::Estg;
 use crate::implication::Propagator;
 use crate::justify::{assignment_bias, JustifyBuffers};
@@ -143,6 +143,35 @@ impl SearchContext {
         deadline: Instant,
         stats: &mut CheckStats,
     ) -> SearchOutcome {
+        self.search_with_facts(
+            netlist,
+            options,
+            goal,
+            requirements,
+            estg,
+            None,
+            deadline,
+            stats,
+        )
+    }
+
+    /// Like [`SearchContext::search`], but consulting (and extending) a
+    /// cross-run [`DatapathFacts`] store: island configurations already
+    /// proven infeasible by an earlier search on the same expanded netlist
+    /// are refuted without re-invoking the modular solver, and new
+    /// infeasibility proofs are recorded for later runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with_facts(
+        &mut self,
+        netlist: &Netlist,
+        options: &CheckerOptions,
+        goal: SearchGoal,
+        requirements: &[(NetId, Bv3)],
+        estg: &mut Estg,
+        mut facts: Option<&mut DatapathFacts>,
+        deadline: Instant,
+        stats: &mut CheckStats,
+    ) -> SearchOutcome {
         debug_assert_eq!(
             self.asg.len(),
             netlist.net_count(),
@@ -219,6 +248,7 @@ impl SearchContext {
                     &self.justify.unjustified,
                     requirements,
                     options,
+                    facts.as_deref_mut(),
                     stats,
                 ) {
                     DatapathOutcome::Consistent(values) => return SearchOutcome::Sat(values),

@@ -24,6 +24,9 @@ pub struct CheckStats {
     pub island_cache_hits: u64,
     /// Datapath resolutions that had to build the island topology first.
     pub island_cache_misses: u64,
+    /// Island solves skipped because a warm-started knowledge base already
+    /// held an infeasibility proof for the exact solve input.
+    pub datapath_fact_hits: u64,
     /// Number of time-frames of the deepest unrolling explored.
     pub frames_explored: usize,
     /// Wall-clock time spent on the check.
@@ -68,6 +71,7 @@ impl CheckStats {
         self.datapath_nanos += other.datapath_nanos;
         self.island_cache_hits += other.island_cache_hits;
         self.island_cache_misses += other.island_cache_misses;
+        self.datapath_fact_hits += other.datapath_fact_hits;
         self.frames_explored = self.frames_explored.max(other.frames_explored);
         self.elapsed += other.elapsed;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);

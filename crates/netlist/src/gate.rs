@@ -1,5 +1,6 @@
 //! Word-level primitive gates.
 
+use crate::inputs::GateInputs;
 use crate::NetId;
 use std::fmt;
 use wlac_bv::Bv;
@@ -158,7 +159,9 @@ pub struct Gate {
     /// The primitive implemented by this gate.
     pub kind: GateKind,
     /// Input nets, in positional order (see [`GateKind`] for conventions).
-    pub inputs: Vec<NetId>,
+    /// Stored inline for up to [`GateInputs::INLINE`] pins; dereferences to
+    /// `[NetId]`.
+    pub inputs: GateInputs,
     /// The single output net driven by this gate.
     pub output: NetId,
 }

@@ -1,0 +1,214 @@
+//! Inline small-vector storage for gate input pins.
+//!
+//! Almost every word-level primitive has at most three inputs (the mux), so
+//! storing them in a `Vec<NetId>` pays one heap allocation per gate — which
+//! shows up as per-bound setup cost when a bounded checker expands thousands
+//! of gates per time-frame. [`GateInputs`] keeps up to [`GateInputs::INLINE`]
+//! pins inline and only spills wider fan-in gates (e.g. `and_many` monitors)
+//! to the heap. It dereferences to `[NetId]`, so all slice-style consumers
+//! (indexing, iteration, `len`) are unaffected.
+
+use crate::ids::NetId;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [NetId; GateInputs::INLINE],
+    },
+    Spilled(Vec<NetId>),
+}
+
+/// The input pins of a gate: inline up to [`GateInputs::INLINE`] nets,
+/// heap-allocated beyond that.
+#[derive(Clone)]
+pub struct GateInputs {
+    repr: Repr,
+}
+
+impl GateInputs {
+    /// Number of pins stored without a heap allocation. Three covers every
+    /// fixed-arity primitive (mux); the fourth slot absorbs small n-ary
+    /// Boolean gates.
+    pub const INLINE: usize = 4;
+
+    /// Creates an empty pin list (e.g. for constant drivers).
+    pub fn new() -> Self {
+        GateInputs {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [NetId(0); GateInputs::INLINE],
+            },
+        }
+    }
+
+    /// Appends one pin, spilling to the heap when the inline capacity is
+    /// exceeded.
+    pub fn push(&mut self, net: NetId) {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => {
+                if (*len as usize) < GateInputs::INLINE {
+                    buf[*len as usize] = net;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(GateInputs::INLINE * 2);
+                    spilled.extend_from_slice(&buf[..]);
+                    spilled.push(net);
+                    self.repr = Repr::Spilled(spilled);
+                }
+            }
+            Repr::Spilled(v) => v.push(net),
+        }
+    }
+
+    /// `true` when the pins live inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+
+    /// The pins as a slice.
+    pub fn as_slice(&self) -> &[NetId] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [NetId] {
+        match &mut self.repr {
+            Repr::Inline { len, buf } => &mut buf[..*len as usize],
+            Repr::Spilled(v) => v,
+        }
+    }
+}
+
+impl Default for GateInputs {
+    fn default() -> Self {
+        GateInputs::new()
+    }
+}
+
+impl Deref for GateInputs {
+    type Target = [NetId];
+
+    fn deref(&self) -> &[NetId] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for GateInputs {
+    fn deref_mut(&mut self) -> &mut [NetId] {
+        self.as_mut_slice()
+    }
+}
+
+impl PartialEq for GateInputs {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for GateInputs {}
+
+impl fmt::Debug for GateInputs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<NetId> for GateInputs {
+    fn from_iter<I: IntoIterator<Item = NetId>>(iter: I) -> Self {
+        let mut inputs = GateInputs::new();
+        for net in iter {
+            inputs.push(net);
+        }
+        inputs
+    }
+}
+
+impl From<Vec<NetId>> for GateInputs {
+    fn from(v: Vec<NetId>) -> Self {
+        if v.len() <= GateInputs::INLINE {
+            v.into_iter().collect()
+        } else {
+            GateInputs {
+                repr: Repr::Spilled(v),
+            }
+        }
+    }
+}
+
+impl From<&[NetId]> for GateInputs {
+    fn from(s: &[NetId]) -> Self {
+        s.iter().copied().collect()
+    }
+}
+
+impl<const N: usize> From<[NetId; N]> for GateInputs {
+    fn from(a: [NetId; N]) -> Self {
+        a.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a GateInputs {
+    type Item = &'a NetId;
+    type IntoIter = std::slice::Iter<'a, NetId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut pins = GateInputs::new();
+        assert!(pins.is_inline());
+        assert!(pins.is_empty());
+        for i in 0..GateInputs::INLINE {
+            pins.push(n(i));
+            assert!(pins.is_inline(), "{i} pins must stay inline");
+        }
+        pins.push(n(99));
+        assert!(!pins.is_inline());
+        assert_eq!(pins.len(), GateInputs::INLINE + 1);
+        assert_eq!(pins[GateInputs::INLINE], n(99));
+    }
+
+    #[test]
+    fn slice_views_and_equality() {
+        let a: GateInputs = vec![n(1), n(2), n(3)].into();
+        let b: GateInputs = [n(1), n(2), n(3)].into();
+        assert!(a.is_inline());
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice(), &[n(1), n(2), n(3)]);
+        assert_eq!(a.iter().count(), 3);
+        // Mutation through DerefMut (used by `connect_dff_data`).
+        let mut c = a.clone();
+        c[0] = n(7);
+        assert_ne!(c, a);
+        assert_eq!(c[0], n(7));
+        assert_eq!(format!("{c:?}"), format!("{:?}", c.as_slice()));
+    }
+
+    #[test]
+    fn conversions_preserve_order_across_the_spill_boundary() {
+        let wide: Vec<NetId> = (0..9).map(n).collect();
+        let from_vec: GateInputs = wide.clone().into();
+        let from_slice: GateInputs = wide.as_slice().into();
+        let collected: GateInputs = wide.iter().copied().collect();
+        assert!(!from_vec.is_inline());
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(from_vec, collected);
+        assert_eq!(from_vec.as_slice(), wide.as_slice());
+    }
+}

@@ -34,12 +34,14 @@
 
 mod gate;
 mod ids;
+mod inputs;
 mod netlist;
 mod stats;
 mod unroll;
 
 pub use gate::{Gate, GateKind};
 pub use ids::{GateId, NetId};
+pub use inputs::GateInputs;
 pub use netlist::{CombinationalCycleError, GateShapeError, NetInfo, Netlist};
 pub use stats::CircuitStats;
 pub use unroll::{InitialState, Unrolling};

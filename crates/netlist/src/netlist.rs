@@ -2,6 +2,7 @@
 
 use crate::gate::{Gate, GateKind};
 use crate::ids::{GateId, NetId};
+use crate::inputs::GateInputs;
 use crate::stats::CircuitStats;
 use std::collections::VecDeque;
 use std::error::Error;
@@ -270,6 +271,10 @@ impl Netlist {
 
     /// Adds a gate after validating its shape (pin count and widths).
     ///
+    /// Inputs are anything convertible into [`GateInputs`] — a `Vec`, a
+    /// slice, or a fixed-size array (`[a, b]`), the latter avoiding a heap
+    /// allocation for gates of up to [`GateInputs::INLINE`] pins.
+    ///
     /// # Errors
     ///
     /// Returns [`GateShapeError`] when the pin count or widths are
@@ -278,9 +283,10 @@ impl Netlist {
     pub fn add_gate(
         &mut self,
         kind: GateKind,
-        inputs: Vec<NetId>,
+        inputs: impl Into<GateInputs>,
         output: NetId,
     ) -> Result<GateId, GateShapeError> {
+        let inputs = inputs.into();
         self.validate_gate(&kind, &inputs, output)?;
         let id = GateId(self.gates.len() as u32);
         if self.driver[output.index()].is_some() {
@@ -386,7 +392,7 @@ impl Netlist {
     /// Adds a constant gate and returns its output net.
     pub fn constant(&mut self, value: &Bv) -> NetId {
         let out = self.add_net(value.width());
-        self.add_gate(GateKind::Const(value.clone()), vec![], out)
+        self.add_gate(GateKind::Const(value.clone()), GateInputs::new(), out)
             .expect("const gate");
         out
     }
@@ -398,7 +404,7 @@ impl Netlist {
 
     fn binary(&mut self, kind: GateKind, a: NetId, b: NetId, out_width: usize) -> NetId {
         let out = self.add_net(out_width);
-        self.add_gate(kind, vec![a, b], out)
+        self.add_gate(kind, [a, b], out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -422,7 +428,7 @@ impl Netlist {
         assert!(nets.len() >= 2, "and_many needs at least two nets");
         let w = self.net_width(nets[0]);
         let out = self.add_net(w);
-        self.add_gate(GateKind::And, nets.to_vec(), out)
+        self.add_gate(GateKind::And, nets, out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -446,7 +452,7 @@ impl Netlist {
         assert!(nets.len() >= 2, "or_many needs at least two nets");
         let w = self.net_width(nets[0]);
         let out = self.add_net(w);
-        self.add_gate(GateKind::Or, nets.to_vec(), out)
+        self.add_gate(GateKind::Or, nets, out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -465,8 +471,7 @@ impl Netlist {
     pub fn not(&mut self, a: NetId) -> NetId {
         let w = self.net_width(a);
         let out = self.add_net(w);
-        self.add_gate(GateKind::Not, vec![a], out)
-            .expect("not gate");
+        self.add_gate(GateKind::Not, [a], out).expect("not gate");
         out
     }
 
@@ -474,14 +479,14 @@ impl Netlist {
     pub fn buf(&mut self, a: NetId) -> NetId {
         let w = self.net_width(a);
         let out = self.add_net(w);
-        self.add_gate(GateKind::Buf, vec![a], out).expect("buf");
+        self.add_gate(GateKind::Buf, [a], out).expect("buf");
         out
     }
 
     /// Reduction OR (any bit set).
     pub fn reduce_or(&mut self, a: NetId) -> NetId {
         let out = self.add_net(1);
-        self.add_gate(GateKind::ReduceOr, vec![a], out)
+        self.add_gate(GateKind::ReduceOr, [a], out)
             .expect("reduce_or");
         out
     }
@@ -489,7 +494,7 @@ impl Netlist {
     /// Reduction AND (all bits set).
     pub fn reduce_and(&mut self, a: NetId) -> NetId {
         let out = self.add_net(1);
-        self.add_gate(GateKind::ReduceAnd, vec![a], out)
+        self.add_gate(GateKind::ReduceAnd, [a], out)
             .expect("reduce_and");
         out
     }
@@ -497,7 +502,7 @@ impl Netlist {
     /// Reduction XOR (parity).
     pub fn reduce_xor(&mut self, a: NetId) -> NetId {
         let out = self.add_net(1);
-        self.add_gate(GateKind::ReduceXor, vec![a], out)
+        self.add_gate(GateKind::ReduceXor, [a], out)
             .expect("reduce_xor");
         out
     }
@@ -606,7 +611,7 @@ impl Netlist {
     pub fn mux(&mut self, sel: NetId, then_value: NetId, else_value: NetId) -> NetId {
         let w = self.net_width(then_value);
         let out = self.add_net(w);
-        self.add_gate(GateKind::Mux, vec![sel, then_value, else_value], out)
+        self.add_gate(GateKind::Mux, [sel, then_value, else_value], out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -624,7 +629,7 @@ impl Netlist {
     /// Panics if the slice exceeds the input width.
     pub fn slice(&mut self, a: NetId, lo: usize, width: usize) -> NetId {
         let out = self.add_net(width);
-        self.add_gate(GateKind::Slice { lo }, vec![a], out)
+        self.add_gate(GateKind::Slice { lo }, [a], out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -641,7 +646,7 @@ impl Netlist {
     /// Panics if `width` is smaller than the input width.
     pub fn zext(&mut self, a: NetId, width: usize) -> NetId {
         let out = self.add_net(width);
-        self.add_gate(GateKind::ZeroExt, vec![a], out)
+        self.add_gate(GateKind::ZeroExt, [a], out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -654,7 +659,7 @@ impl Netlist {
     pub fn dff(&mut self, d: NetId, init: Option<Bv>) -> NetId {
         let w = self.net_width(d);
         let out = self.add_net(w);
-        self.add_gate(GateKind::Dff { init }, vec![d], out)
+        self.add_gate(GateKind::Dff { init }, [d], out)
             .unwrap_or_else(|e| panic!("{e}"));
         out
     }
@@ -666,7 +671,7 @@ impl Netlist {
         let d_placeholder = self.add_net(width);
         let out = self.add_net(width);
         let gate = self
-            .add_gate(GateKind::Dff { init }, vec![d_placeholder], out)
+            .add_gate(GateKind::Dff { init }, [d_placeholder], out)
             .expect("dff");
         (out, gate)
     }
@@ -835,7 +840,7 @@ mod tests {
         let drv = nl.driver(c).unwrap();
         assert!(nl.gate(drv).inputs.is_empty());
         assert!(nl
-            .add_gate(GateKind::Const(Bv::from_u64(4, 2)), vec![], c)
+            .add_gate(GateKind::Const(Bv::from_u64(4, 2)), GateInputs::new(), c)
             .is_err());
     }
 

@@ -134,12 +134,14 @@ impl Unrolling {
                     } else {
                         let d_prev = self.net_map[frame - 1][gate.inputs[0].index()];
                         circuit
-                            .add_gate(GateKind::Buf, vec![d_prev], out)
+                            .add_gate(GateKind::Buf, [d_prev], out)
                             .expect("frame-connection buffer");
                     }
                 }
                 kind => {
-                    let inputs = gate
+                    // Collected straight into the inline small-vector: no
+                    // per-gate heap allocation for ≤4-pin primitives.
+                    let inputs: crate::GateInputs = gate
                         .inputs
                         .iter()
                         .map(|n| self.net_map[frame][n.index()])

@@ -8,12 +8,17 @@
 
 use crate::config::PortfolioConfig;
 use crate::verdict::Verdict;
+use crate::warm::WarmStart;
 use std::fmt;
 use std::time::{Duration, Instant};
 use wlac_atpg::{
-    AssertionChecker, CancelToken, CheckResult, CheckStats, PropertyKind, Trace, Verification,
+    AssertionChecker, CancelToken, CheckResult, CheckStats, PropertyKind, SearchKnowledge, Trace,
+    Verification,
 };
-use wlac_baselines::{bounded_model_check_cancellable, random_simulation_cancellable, BmcOutcome};
+use wlac_baselines::{
+    bounded_model_check_cancellable, bounded_model_check_learning, random_simulation_cancellable,
+    BmcOutcome, FrameClause,
+};
 
 /// One verification strategy of the portfolio.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,6 +83,16 @@ pub struct EngineRun {
     pub stats: EngineStats,
 }
 
+/// Knowledge an engine learned during one run, for the owner's knowledge
+/// base. Empty for cold (unseeded) runs and for the random-simulation engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineHarvest {
+    /// New design-valid frame-relative clauses from the BMC engine's CDCL.
+    pub clauses: Vec<FrameClause>,
+    /// The ATPG engine's post-run search knowledge (seed plus new learning).
+    pub knowledge: Option<SearchKnowledge>,
+}
+
 /// Runs `engine` on `verification`, polling `cancel` cooperatively.
 pub fn run_engine(
     engine: Engine,
@@ -85,29 +100,57 @@ pub fn run_engine(
     config: &PortfolioConfig,
     cancel: &CancelToken,
 ) -> EngineRun {
+    run_engine_seeded(engine, verification, config, cancel, None).0
+}
+
+/// Like [`run_engine`], but warm-started: `warm` seeds the SAT BMC engine
+/// with replayed design-valid clauses and the ATPG engine with conflict
+/// cubes and datapath facts, and the run's own learning comes back in the
+/// [`EngineHarvest`]. Passing `Some(&WarmStart::new())` runs cold but still
+/// harvests.
+pub fn run_engine_seeded(
+    engine: Engine,
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+    warm: Option<&WarmStart>,
+) -> (EngineRun, EngineHarvest) {
     let start = Instant::now();
-    let (verdict, stats) = match engine {
-        Engine::Atpg => run_atpg(verification, config, cancel),
-        Engine::SatBmc => run_bmc(verification, config, cancel),
+    let (verdict, stats, harvest) = match engine {
+        Engine::Atpg => run_atpg(verification, config, cancel, warm),
+        Engine::SatBmc => run_bmc(verification, config, cancel, warm),
         Engine::RandomSim => run_random(verification, config, cancel),
     };
     let verdict = validate_trace(verdict, verification);
-    EngineRun {
-        engine,
-        cancelled: cancel.is_cancelled() && !verdict.is_definitive(),
-        verdict,
-        elapsed: start.elapsed(),
-        stats,
-    }
+    (
+        EngineRun {
+            engine,
+            cancelled: cancel.is_cancelled() && !verdict.is_definitive(),
+            verdict,
+            elapsed: start.elapsed(),
+            stats,
+        },
+        harvest,
+    )
 }
 
 fn run_atpg(
     verification: &Verification,
     config: &PortfolioConfig,
     cancel: &CancelToken,
-) -> (Verdict, EngineStats) {
+    warm: Option<&WarmStart>,
+) -> (Verdict, EngineStats, EngineHarvest) {
     let options = config.checker.clone().with_cancel(cancel.clone());
-    let report = AssertionChecker::new(options).check(verification);
+    let mut harvest = EngineHarvest::default();
+    let report = match warm {
+        Some(warm) => {
+            let mut knowledge = warm.knowledge.clone();
+            let report = AssertionChecker::new(options).check_learned(verification, &mut knowledge);
+            harvest.knowledge = Some(knowledge);
+            report
+        }
+        None => AssertionChecker::new(options).check(verification),
+    };
     let verdict = match report.result {
         CheckResult::Proved => Verdict::Holds {
             proved: true,
@@ -125,21 +168,36 @@ fn run_atpg(
     // A proof covers every frame, not just the explored ones; keep the
     // explored count for reporting but treat the bound as unlimited when
     // comparing. (`conflicts_with` already special-cases `proved`.)
-    (verdict, EngineStats::Atpg(report.stats))
+    (verdict, EngineStats::Atpg(report.stats), harvest)
 }
 
 fn run_bmc(
     verification: &Verification,
     config: &PortfolioConfig,
     cancel: &CancelToken,
-) -> (Verdict, EngineStats) {
+    warm: Option<&WarmStart>,
+) -> (Verdict, EngineStats, EngineHarvest) {
     let max_frames = config.checker.max_frames;
-    let report = bounded_model_check_cancellable(
-        verification,
-        max_frames,
-        config.bmc_decision_budget,
-        cancel,
-    );
+    let mut harvest = EngineHarvest::default();
+    let report = match warm {
+        Some(warm) => {
+            let (report, clauses) = bounded_model_check_learning(
+                verification,
+                max_frames,
+                config.bmc_decision_budget,
+                cancel,
+                &warm.clauses,
+            );
+            harvest.clauses = clauses;
+            report
+        }
+        None => bounded_model_check_cancellable(
+            verification,
+            max_frames,
+            config.bmc_decision_budget,
+            cancel,
+        ),
+    };
     let kind = verification.property.kind;
     let verdict = match (report.outcome, report.trace) {
         (BmcOutcome::Found { .. }, Some(trace)) => match kind {
@@ -172,6 +230,7 @@ fn run_bmc(
             peak_memory_bytes: report.peak_memory_bytes,
             sat: report.sat,
         },
+        harvest,
     )
 }
 
@@ -179,7 +238,7 @@ fn run_random(
     verification: &Verification,
     config: &PortfolioConfig,
     cancel: &CancelToken,
-) -> (Verdict, EngineStats) {
+) -> (Verdict, EngineStats, EngineHarvest) {
     let report = random_simulation_cancellable(
         verification,
         config.random_runs,
@@ -209,6 +268,7 @@ fn run_random(
             runs: report.runs,
             cycles_per_run: report.cycles_per_run,
         },
+        EngineHarvest::default(),
     )
 }
 

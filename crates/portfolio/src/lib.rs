@@ -45,11 +45,15 @@
 
 mod config;
 mod engines;
+mod predictor;
 mod verdict;
+mod warm;
 
 pub use config::PortfolioConfig;
-pub use engines::{run_engine, Engine, EngineRun, EngineStats};
+pub use engines::{run_engine, run_engine_seeded, Engine, EngineHarvest, EngineRun, EngineStats};
+pub use predictor::{predict_engines, EngineHistory, NetlistFeatures};
 pub use verdict::Verdict;
+pub use warm::{Harvest, WarmStart};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -150,13 +154,29 @@ impl Portfolio {
     /// Races every configured engine on one property; the first definitive
     /// verdict wins and the losing engines are cancelled cooperatively.
     pub fn race(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, true)
+        self.run_portfolio(verification, true, None).0
     }
 
     /// Runs every configured engine to completion (no cancellation) and
     /// cross-validates all verdicts against each other.
     pub fn check_all(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, false)
+        self.run_portfolio(verification, false, None).0
+    }
+
+    /// Like [`Portfolio::race`], but warm-started from a knowledge base:
+    /// `warm` seeds the engines (replayed CDCL clauses into BMC, conflict
+    /// cubes and datapath facts into ATPG) and may narrow the engine list to
+    /// the scheduling predictor's choice. The returned [`Harvest`] carries
+    /// everything this race learned, for merging back into the base.
+    ///
+    /// Seeds must come from runs on a structurally identical netlist — the
+    /// knowledge-base owner enforces that by keying on a design hash.
+    pub fn race_warm(
+        &self,
+        verification: &Verification,
+        warm: &WarmStart,
+    ) -> (PortfolioReport, Harvest) {
+        self.run_portfolio(verification, true, Some(warm))
     }
 
     /// Checks a batch of properties, sharding them across
@@ -196,19 +216,28 @@ impl Portfolio {
             .collect()
     }
 
-    fn run_portfolio(&self, verification: &Verification, cancel_losers: bool) -> PortfolioReport {
+    fn run_portfolio(
+        &self,
+        verification: &Verification,
+        cancel_losers: bool,
+        warm: Option<&WarmStart>,
+    ) -> (PortfolioReport, Harvest) {
         let start = Instant::now();
         let token = CancelToken::new();
-        let (tx, rx) = mpsc::channel::<EngineRun>();
-        let mut runs: Vec<EngineRun> = Vec::with_capacity(self.config.engines.len());
+        let engines: &[Engine] = warm
+            .and_then(|w| w.engines.as_deref())
+            .unwrap_or(&self.config.engines);
+        let (tx, rx) = mpsc::channel::<(EngineRun, EngineHarvest)>();
+        let mut runs: Vec<EngineRun> = Vec::with_capacity(engines.len());
+        let mut harvest = Harvest::default();
         let mut winner: Option<usize> = None;
         thread::scope(|scope| {
-            for &engine in &self.config.engines {
+            for &engine in engines {
                 let tx = tx.clone();
                 let token = token.clone();
                 let config = &self.config;
                 scope.spawn(move || {
-                    let run = run_engine(engine, verification, config, &token);
+                    let run = run_engine_seeded(engine, verification, config, &token, warm);
                     // The receiver outlives the scope; a send only fails if
                     // the supervisor panicked, in which case the scope
                     // propagates that panic anyway.
@@ -218,13 +247,18 @@ impl Portfolio {
             drop(tx);
             // Collect results in finish order; the first definitive one wins
             // and (in racing mode) cancels everyone still searching.
-            while let Ok(run) = rx.recv() {
+            while let Ok((run, engine_harvest)) = rx.recv() {
                 if winner.is_none() && run.verdict.is_definitive() {
                     winner = Some(runs.len());
                     if cancel_losers {
                         token.cancel();
                     }
                 }
+                harvest.clauses.extend(engine_harvest.clauses);
+                if engine_harvest.knowledge.is_some() {
+                    harvest.knowledge = engine_harvest.knowledge;
+                }
+                harvest.ran.push(run.engine);
                 runs.push(run);
             }
         });
@@ -257,14 +291,16 @@ impl Portfolio {
                     .join("; "),
             },
         };
-        PortfolioReport {
+        harvest.winner = winner.map(|index| runs[index].engine);
+        let report = PortfolioReport {
             property: verification.property.name.clone(),
             verdict,
-            winner: winner.map(|index| runs[index].engine),
+            winner: harvest.winner,
             wall_clock: start.elapsed(),
             runs,
             disagreements,
-        }
+        };
+        (report, harvest)
     }
 }
 

@@ -1,0 +1,51 @@
+//! Warm-start seeds and learning harvests for portfolio runs.
+//!
+//! A [`WarmStart`] carries everything a knowledge base knows about a design
+//! into one race: frame-relative CDCL clauses for the SAT BMC engine, the
+//! ATPG search knowledge (ESTG conflict cubes + datapath infeasibility
+//! facts), and an optional engine-selection override from the scheduling
+//! predictor. A [`Harvest`] carries everything the race learned back out.
+//!
+//! Seeds are performance hints with a hard soundness contract: they must have
+//! been gathered on a **structurally identical** netlist. The owner of the
+//! knowledge base enforces that by keying stores on a design hash; the
+//! engines additionally skip malformed clauses rather than trust them.
+
+use crate::engines::Engine;
+use wlac_atpg::SearchKnowledge;
+use wlac_baselines::FrameClause;
+
+/// Knowledge seeded into one portfolio run.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// Design-valid frame-relative clauses replayed into every BMC unrolling.
+    pub clauses: Vec<FrameClause>,
+    /// ATPG search knowledge (conflict cubes, datapath infeasibility facts).
+    pub knowledge: SearchKnowledge,
+    /// Engines to spawn instead of the configured list (predictor output);
+    /// `None` keeps the configured portfolio.
+    pub engines: Option<Vec<Engine>>,
+}
+
+impl WarmStart {
+    /// An empty warm start: no seeds, full configured portfolio — behaves
+    /// like a cold run except that the engines still *harvest* learning.
+    pub fn new() -> Self {
+        WarmStart::default()
+    }
+}
+
+/// Knowledge harvested from one portfolio run.
+#[derive(Debug, Clone, Default)]
+pub struct Harvest {
+    /// New design-valid clauses lifted out of the BMC engine's CDCL runs.
+    pub clauses: Vec<FrameClause>,
+    /// The ATPG engine's post-run knowledge (seed plus everything new), when
+    /// the ATPG engine ran.
+    pub knowledge: Option<SearchKnowledge>,
+    /// The engine that produced the winning verdict, for the scheduling
+    /// history.
+    pub winner: Option<Engine>,
+    /// The engines that actually ran.
+    pub ran: Vec<Engine>,
+}

@@ -1,0 +1,255 @@
+//! Structural identity of designs, properties and configurations.
+//!
+//! Everything the learning store knows is only valid for a *structurally
+//! identical* netlist: the ESTG and datapath facts key on nets of the
+//! deterministic time-frame expansion, and frame-relative clauses name
+//! original net ids. [`design_hash`] fingerprints exactly the structure those
+//! stores depend on — net widths, gate kinds/pins/outputs, primary inputs and
+//! outputs — so a knowledge base bound to a hash can be safely rejected when
+//! presented with any other design.
+
+use std::fmt;
+use wlac_atpg::Verification;
+use wlac_netlist::{GateKind, Netlist};
+use wlac_portfolio::PortfolioConfig;
+
+/// 64-bit FNV-1a, the workspace-standard offline hash.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Structural fingerprint of a design. Two netlists with the same hash are
+/// treated as the same design by the registry and may share a knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DesignHash(pub u64);
+
+impl fmt::Display for DesignHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{:016x}", self.0)
+    }
+}
+
+/// Fingerprint of a property (monitor, temporal kind, environment) *within*
+/// a particular design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropertyHash(pub u64);
+
+impl fmt::Display for PropertyHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{:016x}", self.0)
+    }
+}
+
+fn hash_gate_kind(h: &mut Fnv, kind: &GateKind) {
+    // A stable tag per kind plus every semantic payload bit.
+    let tag: u8 = match kind {
+        GateKind::Const(_) => 0,
+        GateKind::Not => 1,
+        GateKind::And => 2,
+        GateKind::Or => 3,
+        GateKind::Xor => 4,
+        GateKind::Buf => 5,
+        GateKind::ReduceAnd => 6,
+        GateKind::ReduceOr => 7,
+        GateKind::ReduceXor => 8,
+        GateKind::Add => 9,
+        GateKind::Sub => 10,
+        GateKind::Mul => 11,
+        GateKind::Shl => 12,
+        GateKind::Shr => 13,
+        GateKind::Eq => 14,
+        GateKind::Ne => 15,
+        GateKind::Lt => 16,
+        GateKind::Le => 17,
+        GateKind::Gt => 18,
+        GateKind::Ge => 19,
+        GateKind::Mux => 20,
+        GateKind::Concat => 21,
+        GateKind::Slice { .. } => 22,
+        GateKind::ZeroExt => 23,
+        GateKind::Dff { .. } => 24,
+    };
+    h.byte(tag);
+    match kind {
+        GateKind::Const(v) => {
+            h.usize(v.width());
+            for bit in 0..v.width() {
+                h.byte(v.bit(bit) as u8);
+            }
+        }
+        GateKind::Slice { lo } => h.usize(*lo),
+        GateKind::Dff { init } => match init {
+            None => h.byte(0),
+            Some(v) => {
+                h.byte(1);
+                h.usize(v.width());
+                for bit in 0..v.width() {
+                    h.byte(v.bit(bit) as u8);
+                }
+            }
+        },
+        _ => {}
+    }
+}
+
+/// Structural hash of a netlist: net widths, gates (kind, pins, output),
+/// primary inputs and outputs. Names are deliberately excluded — they do not
+/// affect checking semantics.
+pub fn design_hash(netlist: &Netlist) -> DesignHash {
+    let mut h = Fnv::new();
+    h.usize(netlist.net_count());
+    for net in netlist.nets() {
+        h.usize(netlist.net_width(net));
+    }
+    h.usize(netlist.gate_count());
+    for (_, gate) in netlist.gates() {
+        hash_gate_kind(&mut h, &gate.kind);
+        h.usize(gate.inputs.len());
+        for input in gate.inputs.iter() {
+            h.usize(input.index());
+        }
+        h.usize(gate.output.index());
+    }
+    h.usize(netlist.inputs().len());
+    for input in netlist.inputs() {
+        h.usize(input.index());
+    }
+    h.usize(netlist.outputs().len());
+    for (_, net) in netlist.outputs() {
+        h.usize(net.index());
+    }
+    DesignHash(h.finish())
+}
+
+/// Hash of the property-specific part of a verification job: the monitor
+/// net, the temporal kind and the environment constraints (the design itself
+/// is keyed separately by [`design_hash`]).
+pub fn property_hash(verification: &Verification) -> PropertyHash {
+    let mut h = Fnv::new();
+    h.byte(match verification.property.kind {
+        wlac_atpg::PropertyKind::Always => 0,
+        wlac_atpg::PropertyKind::Eventually => 1,
+    });
+    h.usize(verification.property.monitor.index());
+    h.usize(verification.environment.len());
+    for env in &verification.environment {
+        h.usize(env.index());
+    }
+    PropertyHash(h.finish())
+}
+
+/// Fingerprint of the verdict-affecting parts of a portfolio configuration.
+/// Two jobs may share a cached verdict only when this matches: the bound,
+/// induction, budgets and random-simulation parameters all shape what a
+/// verdict can say.
+pub fn config_fingerprint(config: &PortfolioConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.usize(config.checker.max_frames);
+    h.byte(config.checker.use_induction as u8);
+    h.byte(config.checker.use_arithmetic_solver as u8);
+    h.usize(config.checker.backtrack_limit);
+    h.usize(config.checker.decision_limit);
+    h.u64(config.checker.time_limit.as_millis() as u64);
+    h.u64(config.bmc_decision_budget);
+    h.usize(config.random_runs);
+    h.usize(config.random_cycles);
+    h.u64(config.random_seed);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_atpg::Property;
+    use wlac_bv::Bv;
+
+    fn counter(wrap: u64) -> Netlist {
+        let mut nl = Netlist::new("counter");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let plus = nl.add(q, one);
+        let wrap_net = nl.constant(&Bv::from_u64(4, wrap));
+        let at_wrap = nl.eq(q, wrap_net);
+        let zero = nl.constant(&Bv::zero(4));
+        let next = nl.mux(at_wrap, zero, plus);
+        nl.connect_dff_data(ff, next);
+        nl.mark_output("q", q);
+        nl
+    }
+
+    #[test]
+    fn identical_structure_hashes_identically() {
+        assert_eq!(design_hash(&counter(5)), design_hash(&counter(5)));
+        // A different constant is a different design.
+        assert_ne!(design_hash(&counter(5)), design_hash(&counter(6)));
+    }
+
+    #[test]
+    fn names_do_not_affect_the_hash() {
+        // Same structure under different design/net names hashes identically.
+        let mut a = Netlist::new("first");
+        let x = a.input("x", 4);
+        let y = a.input("y", 4);
+        let sum = a.add(x, y);
+        a.mark_output("sum", sum);
+        let mut b = Netlist::new("second");
+        let p = b.input("p", 4);
+        let q = b.input("q", 4);
+        let total = b.add(p, q);
+        b.mark_output("total", total);
+        assert_eq!(design_hash(&a), design_hash(&b));
+    }
+
+    #[test]
+    fn property_hash_distinguishes_kind_and_monitor() {
+        let mut nl = counter(5);
+        let q = nl.outputs()[0].1;
+        let three = nl.constant(&Bv::from_u64(4, 3));
+        let m1 = nl.eq(q, three);
+        let m2 = nl.ne(q, three);
+        let v1 = Verification::new(nl.clone(), Property::always(&nl, "a", m1));
+        let v2 = Verification::new(nl.clone(), Property::always(&nl, "b", m2));
+        let v3 = Verification::new(nl.clone(), Property::eventually(&nl, "c", m1));
+        let v4 = Verification::new(nl.clone(), Property::always(&nl, "d", m1)).with_environment(m2);
+        assert_ne!(property_hash(&v1), property_hash(&v2));
+        assert_ne!(property_hash(&v1), property_hash(&v3));
+        assert_ne!(property_hash(&v1), property_hash(&v4));
+        assert_eq!(property_hash(&v1), property_hash(&v1.clone()));
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_the_bound() {
+        let a = PortfolioConfig::default();
+        let mut b = PortfolioConfig::default();
+        b.checker.max_frames += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+    }
+}

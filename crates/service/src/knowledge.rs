@@ -1,0 +1,405 @@
+//! The per-design cross-property knowledge base.
+//!
+//! One [`KnowledgeBase`] accumulates everything every engine learns about one
+//! design, across all properties and batches of a session:
+//!
+//! * a [`ClauseBank`] of design-valid, frame-relative CDCL clauses lifted out
+//!   of SAT BMC runs (deduplicated, depth-minimised, capacity-capped),
+//! * the ATPG [`SearchKnowledge`] — ESTG conflict cubes and modular-solver
+//!   infeasibility facts,
+//! * the [`EngineHistory`] feeding the scheduling predictor.
+//!
+//! Every knowledge base is **bound to a design hash**. Imports are validated
+//! against both the hash and the netlist structure; anything malformed — a
+//! clause naming a non-existent net, a bit beyond a net's width, a frame
+//! beyond its recorded depth, or a store claiming to describe a different
+//! design — is rejected with [`KnowledgeError`] rather than trusted.
+
+use crate::hash::DesignHash;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use wlac_atpg::SearchKnowledge;
+use wlac_baselines::{FrameClause, FrameLit};
+use wlac_netlist::Netlist;
+use wlac_portfolio::{EngineHistory, Harvest};
+
+/// Why a knowledge import was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnowledgeError {
+    /// The store is bound to a different design than the target.
+    DesignMismatch {
+        /// Hash the store claims to describe.
+        found: DesignHash,
+        /// Hash of the design it was offered to.
+        expected: DesignHash,
+    },
+    /// A frame clause fails structural validation against the design.
+    MalformedClause {
+        /// Index of the offending clause in the imported store.
+        index: usize,
+    },
+}
+
+impl fmt::Display for KnowledgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnowledgeError::DesignMismatch { found, expected } => write!(
+                f,
+                "knowledge base is bound to design {found}, not {expected}"
+            ),
+            KnowledgeError::MalformedClause { index } => {
+                write!(f, "frame clause #{index} fails structural validation")
+            }
+        }
+    }
+}
+
+impl Error for KnowledgeError {}
+
+/// Deduplicating, capacity-capped store of design-valid frame clauses.
+///
+/// Clauses are canonicalised (literals sorted) before lookup; a duplicate
+/// keeps the **smaller** learn depth only when it was genuinely learned at
+/// that depth (smaller depth ⇒ valid at more shifts, and the recorded depth
+/// is part of the clause's validity claim, so it is never invented).
+#[derive(Debug, Clone)]
+pub struct ClauseBank {
+    clauses: HashMap<Box<[FrameLit]>, u32>,
+    cap: usize,
+}
+
+impl ClauseBank {
+    /// Creates an empty bank holding at most `cap` clauses.
+    pub fn new(cap: usize) -> Self {
+        ClauseBank {
+            clauses: HashMap::new(),
+            cap,
+        }
+    }
+
+    /// Number of banked clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` when the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Inserts one clause; returns `true` when it was new (or improved an
+    /// existing clause's depth). Full banks reject new entries — pruning
+    /// power saturates long before the cap, and a bounded bank keeps
+    /// warm-start injection cost predictable.
+    ///
+    /// The bank is dumb storage: structural validation against the design is
+    /// the owner's job ([`KnowledgeBase::absorb`] validates before banking,
+    /// [`KnowledgeBase::import`] rejects a store containing anything
+    /// malformed).
+    pub fn insert(&mut self, clause: &FrameClause) -> bool {
+        let mut lits: Vec<FrameLit> = clause.lits.clone();
+        lits.sort_by_key(|l| (l.frame, l.net, l.bit, l.negated));
+        lits.dedup();
+        let key: Box<[FrameLit]> = lits.into_boxed_slice();
+        if let Some(depth) = self.clauses.get_mut(&key) {
+            return if clause.depth < *depth {
+                *depth = clause.depth;
+                true
+            } else {
+                false
+            };
+        }
+        if self.clauses.len() < self.cap {
+            self.clauses.insert(key, clause.depth);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Materialises the bank as replayable seed clauses.
+    pub fn to_seeds(&self) -> Vec<FrameClause> {
+        let mut seeds: Vec<FrameClause> = self
+            .clauses
+            .iter()
+            .map(|(lits, depth)| FrameClause {
+                depth: *depth,
+                lits: lits.to_vec(),
+            })
+            .collect();
+        // Deterministic injection order regardless of hash-map iteration.
+        seeds.sort_by(|a, b| (a.depth, &a.lits).cmp(&(b.depth, &b.lits)));
+        seeds
+    }
+}
+
+/// Aggregate effectiveness counters of one knowledge base.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KnowledgeStats {
+    /// Clauses offered by harvests (before deduplication).
+    pub clauses_offered: u64,
+    /// Clauses actually banked (new or depth-improved).
+    pub clauses_banked: u64,
+    /// Harvest clauses dropped by structural validation (should be zero for
+    /// honest engines; counted rather than trusted).
+    pub clauses_rejected: u64,
+    /// Races absorbed into this base.
+    pub races_absorbed: u64,
+}
+
+/// The per-design learning store. See the module docs.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    design: DesignHash,
+    /// Design-valid frame-relative CDCL clauses for BMC warm starts.
+    pub clauses: ClauseBank,
+    /// ATPG search knowledge (ESTG conflict cubes, datapath facts).
+    pub search: SearchKnowledge,
+    /// Engine win/loss history for the scheduling predictor.
+    pub history: EngineHistory,
+    /// Effectiveness counters.
+    pub stats: KnowledgeStats,
+}
+
+/// Default clause-bank capacity per design.
+pub const DEFAULT_CLAUSE_CAP: usize = 1024;
+
+impl KnowledgeBase {
+    /// Creates an empty knowledge base bound to `design`.
+    pub fn new(design: DesignHash) -> Self {
+        KnowledgeBase {
+            design,
+            clauses: ClauseBank::new(DEFAULT_CLAUSE_CAP),
+            search: SearchKnowledge::new(),
+            history: EngineHistory::new(),
+            stats: KnowledgeStats::default(),
+        }
+    }
+
+    /// The design this base is bound to.
+    pub fn design(&self) -> DesignHash {
+        self.design
+    }
+
+    /// Absorbs one race's harvest. Harvested clauses are re-validated against
+    /// the design structure before banking — an engine bug can at worst drop
+    /// a clause, never poison the bank.
+    pub fn absorb(&mut self, harvest: &Harvest, netlist: &Netlist) {
+        self.stats.races_absorbed += 1;
+        for clause in &harvest.clauses {
+            self.stats.clauses_offered += 1;
+            if !clause.is_well_formed(netlist) {
+                self.stats.clauses_rejected += 1;
+                continue;
+            }
+            if self.clauses.insert(clause) {
+                self.stats.clauses_banked += 1;
+            }
+        }
+        if let Some(knowledge) = &harvest.knowledge {
+            // The harvest bundle is the seed the race started from *plus*
+            // this run's delta, so the ESTG is replaced, not merged —
+            // merging would re-add the seed counts on every race and grow
+            // them geometrically. (Concurrent races on one design may each
+            // replace with their own seed+delta; losing a rival's delta is
+            // fine for an ordering heuristic and keeps counts bounded by
+            // real conflict work.) The facts set is a union: idempotent.
+            self.search.estg = knowledge.estg.clone();
+            self.search.datapath_facts.merge(&knowledge.datapath_facts);
+        }
+        self.history.record(&harvest.ran, harvest.winner);
+    }
+
+    /// Imports a knowledge base (e.g. persisted from an earlier session)
+    /// after full validation: the design binding must match and every clause
+    /// must be structurally well-formed for `netlist`.
+    ///
+    /// Only the clause bank and the ESTG history cross the trust boundary.
+    /// Datapath infeasibility facts are **not** imported: they replay
+    /// verdict-affecting conclusions without re-solving and cannot be
+    /// re-validated structurally here, so an external store — whose design
+    /// binding is ultimately self-asserted — is never trusted with them.
+    /// They are cheap to re-derive on the first warm race.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnowledgeError`] — and leaves `self` untouched — when the
+    /// store is bound to a different design or contains a malformed clause.
+    pub fn import(
+        &mut self,
+        other: &KnowledgeBase,
+        netlist: &Netlist,
+    ) -> Result<(), KnowledgeError> {
+        if other.design != self.design {
+            return Err(KnowledgeError::DesignMismatch {
+                found: other.design,
+                expected: self.design,
+            });
+        }
+        let seeds = other.clauses.to_seeds();
+        for (index, clause) in seeds.iter().enumerate() {
+            if !clause.is_well_formed(netlist) {
+                return Err(KnowledgeError::MalformedClause { index });
+            }
+        }
+        for clause in &seeds {
+            if self.clauses.insert(clause) {
+                self.stats.clauses_banked += 1;
+            }
+            self.stats.clauses_offered += 1;
+        }
+        // ESTG conflict counts only reorder decisions, so a foreign history
+        // is at worst useless — merge it. Datapath facts are deliberately
+        // NOT imported: a fact replays an infeasibility verdict without
+        // re-solving, the design binding of an external store is
+        // self-asserted, and facts (unlike clauses) cannot be structurally
+        // re-validated here — trusting them would let a forged store flip
+        // verdicts. They are cheap to re-derive, so the session re-learns
+        // them on the first warm race instead.
+        self.search.estg.merge(&other.search.estg);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wlac_bv::Bv;
+    use wlac_netlist::NetId;
+
+    fn tiny_netlist() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 4);
+        let b = nl.input("b", 4);
+        let s = nl.add(a, b);
+        nl.mark_output("s", s);
+        nl
+    }
+
+    fn lit(frame: u32, net: usize, bit: u32, negated: bool) -> FrameLit {
+        FrameLit {
+            frame,
+            net: NetId::from_index(net),
+            bit,
+            negated,
+        }
+    }
+
+    fn clause(depth: u32, lits: Vec<FrameLit>) -> FrameClause {
+        FrameClause { depth, lits }
+    }
+
+    #[test]
+    fn bank_dedups_and_keeps_the_smaller_depth() {
+        let mut bank = ClauseBank::new(8);
+        let c = clause(3, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
+        assert!(bank.insert(&c));
+        // Same literals in a different order: a duplicate.
+        let shuffled = clause(3, vec![lit(1, 1, 0, true), lit(0, 0, 1, false)]);
+        assert!(!bank.insert(&shuffled));
+        assert_eq!(bank.len(), 1);
+        // Learned again at a smaller depth: the stronger claim wins.
+        let earlier = clause(2, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
+        assert!(bank.insert(&earlier));
+        assert_eq!(bank.to_seeds()[0].depth, 2);
+        // A larger depth never weakens the stored claim.
+        let later = clause(5, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
+        assert!(!bank.insert(&later));
+        assert_eq!(bank.to_seeds()[0].depth, 2);
+    }
+
+    #[test]
+    fn bank_cap_is_enforced() {
+        let mut bank = ClauseBank::new(2);
+        for i in 0..5 {
+            bank.insert(&clause(1, vec![lit(0, 0, i, false)]));
+        }
+        assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn absorb_rejects_malformed_clauses_quietly() {
+        let nl = tiny_netlist();
+        let mut kb = KnowledgeBase::new(crate::hash::design_hash(&nl));
+        let harvest = Harvest {
+            clauses: vec![
+                clause(1, vec![lit(0, 0, 1, false)]),  // fine: bit 1 of 4-bit a
+                clause(1, vec![lit(0, 99, 0, false)]), // net out of range
+                clause(1, vec![lit(0, 0, 9, false)]),  // bit beyond width
+                clause(1, vec![lit(5, 0, 0, false)]),  // frame beyond depth
+            ],
+            knowledge: None,
+            winner: None,
+            ran: Vec::new(),
+        };
+        kb.absorb(&harvest, &nl);
+        assert_eq!(kb.clauses.len(), 1);
+        assert_eq!(kb.stats.clauses_rejected, 3);
+        assert_eq!(kb.stats.clauses_banked, 1);
+    }
+
+    #[test]
+    fn absorbing_a_seeded_harvest_replaces_rather_than_doubles_the_estg() {
+        use wlac_atpg::SearchKnowledge;
+        use wlac_netlist::NetId;
+
+        let nl = tiny_netlist();
+        let mut kb = KnowledgeBase::new(crate::hash::design_hash(&nl));
+        let net = NetId::from_index(0);
+        // Simulate many races: each harvest is "seed + delta", i.e. the
+        // knowledge base's current ESTG plus one new conflict.
+        for round in 1..=50u64 {
+            let mut bundle = SearchKnowledge::new();
+            bundle.estg = kb.search.estg.clone();
+            bundle.estg.record_conflict(net, true);
+            let harvest = Harvest {
+                clauses: Vec::new(),
+                knowledge: Some(bundle),
+                winner: None,
+                ran: Vec::new(),
+            };
+            kb.absorb(&harvest, &nl);
+            // Linear growth (one new conflict per race), never geometric.
+            assert_eq!(
+                kb.search.estg.conflict_count(net, true),
+                round,
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn import_rejects_wrong_design_and_poisoned_clauses() {
+        let nl = tiny_netlist();
+        let hash = crate::hash::design_hash(&nl);
+        let mut kb = KnowledgeBase::new(hash);
+
+        // Wrong design binding.
+        let mut other_nl = tiny_netlist();
+        let extra = other_nl.constant(&Bv::from_u64(4, 7));
+        other_nl.mark_output("extra", extra);
+        let foreign = KnowledgeBase::new(crate::hash::design_hash(&other_nl));
+        assert!(matches!(
+            kb.import(&foreign, &nl),
+            Err(KnowledgeError::DesignMismatch { .. })
+        ));
+
+        // Right binding but a poisoned clause: rejected, nothing imported.
+        let mut poisoned = KnowledgeBase::new(hash);
+        poisoned
+            .clauses
+            .insert(&clause(1, vec![lit(0, 99, 0, false)]));
+        assert!(matches!(
+            kb.import(&poisoned, &nl),
+            Err(KnowledgeError::MalformedClause { .. })
+        ));
+        assert!(kb.clauses.is_empty());
+
+        // A clean store imports.
+        let mut clean = KnowledgeBase::new(hash);
+        clean.clauses.insert(&clause(1, vec![lit(0, 0, 0, true)]));
+        assert!(kb.import(&clean, &nl).is_ok());
+        assert_eq!(kb.clauses.len(), 1);
+    }
+}

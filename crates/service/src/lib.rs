@@ -1,0 +1,232 @@
+//! # wlac-service — persistent verification sessions with cross-property
+//! learning
+//!
+//! The paper's checker decides one assertion at a time; real deployments
+//! check hundreds of properties against the same design, and every cold
+//! `check_batch` re-derives the same structural facts per property. This
+//! crate is the layer that amortises that work: a long-lived
+//! [`VerificationService`] owns
+//!
+//! * a **design registry** keyed by structural hash ([`design_hash`]) — a
+//!   netlist registered twice is the same design and shares everything
+//!   below;
+//! * a per-design [`KnowledgeBase`]: design-valid CDCL clauses lifted to
+//!   frame-relative form (replayable at any unrolling bound), ESTG conflict
+//!   cubes and modular-solver infeasibility facts from the ATPG search, and
+//!   the per-design engine win/loss history driving the scheduling
+//!   predictor;
+//! * a **verdict cache** keyed by (design hash, property hash, config) that
+//!   answers repeat queries without spawning a single engine;
+//! * a **work-queue front door** — [`VerificationService::submit_batch`],
+//!   [`VerificationService::poll`], [`VerificationService::results`] — with
+//!   a worker pool sharding jobs across CPUs.
+//!
+//! Learning is strictly effort-shaping, never verdict-shaping: clauses are
+//! only exported when their derivation stayed inside the design's transition
+//! structure (taint-tracked in the CDCL solver), datapath facts replay only
+//! exact-keyed infeasibility proofs, and the ESTG merely reorders decisions.
+//! `tests/service.rs` (workspace root) proves warm and cold runs agree on
+//! every verdict across the circuits suite. A knowledge base offered from
+//! outside is validated against the design hash and structure and rejected
+//! — [`KnowledgeError`] — rather than trusted.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_service::{ServiceConfig, VerificationService};
+//! use wlac_atpg::{Property, Verification};
+//! use wlac_bv::Bv;
+//! use wlac_netlist::Netlist;
+//!
+//! // One design, two properties sharing its knowledge base.
+//! let mut nl = Netlist::new("sat_counter");
+//! let (q, ff) = nl.dff_deferred(8, Some(Bv::zero(8)));
+//! let one = nl.constant(&Bv::from_u64(8, 1));
+//! let plus = nl.add(q, one);
+//! let ten = nl.constant(&Bv::from_u64(8, 10));
+//! let at_ten = nl.eq(q, ten);
+//! let next = nl.mux(at_ten, ten, plus);
+//! nl.connect_dff_data(ff, next);
+//! let eleven = nl.constant(&Bv::from_u64(8, 11));
+//! let below = nl.lt(q, eleven);
+//! let five = nl.constant(&Bv::from_u64(8, 5));
+//! let hits_five = nl.eq(q, five);
+//!
+//! let p1 = Verification::new(nl.clone(), Property::always(&nl, "below_11", below));
+//! let p2 = Verification::new(nl.clone(), Property::eventually(&nl, "reach_5", hits_five));
+//!
+//! let service = VerificationService::new(ServiceConfig::default());
+//! let batch = service.submit_batch(vec![p1.clone(), p2]);
+//! let results = service.wait(batch);
+//! assert!(results[0].verdict.is_pass());
+//! assert!(!results[0].from_cache);
+//!
+//! // The same query again is a pure cache hit: no engine spawns.
+//! let again = service.submit_batch(vec![p1]);
+//! let results = service.wait(again);
+//! assert!(results[0].from_cache);
+//! assert_eq!(results[0].engines_spawned, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod knowledge;
+mod session;
+
+pub use hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
+pub use knowledge::{
+    ClauseBank, KnowledgeBase, KnowledgeError, KnowledgeStats, DEFAULT_CLAUSE_CAP,
+};
+pub use session::{
+    BatchId, BatchStatus, JobResult, ServiceConfig, ServiceStats, VerificationService,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use wlac_atpg::{Property, Verification};
+    use wlac_bv::Bv;
+    use wlac_netlist::Netlist;
+    use wlac_portfolio::{PortfolioConfig, Verdict};
+
+    /// A counter wrapping at `wrap`, asserted to stay below `limit`.
+    fn counter(limit: u64, wrap: u64, name: &str) -> Verification {
+        let mut nl = Netlist::new("counter");
+        let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+        let one = nl.constant(&Bv::from_u64(4, 1));
+        let plus = nl.add(q, one);
+        let wrap_net = nl.constant(&Bv::from_u64(4, wrap));
+        let at_wrap = nl.eq(q, wrap_net);
+        let zero = nl.constant(&Bv::zero(4));
+        let next = nl.mux(at_wrap, zero, plus);
+        nl.connect_dff_data(ff, next);
+        let limit_net = nl.constant(&Bv::from_u64(4, limit));
+        let ok = nl.lt(q, limit_net);
+        nl.mark_output("ok", ok);
+        let property = Property::always(&nl, name, ok);
+        Verification::new(nl, property)
+    }
+
+    fn quick_config() -> ServiceConfig {
+        let mut config = ServiceConfig::default();
+        config.portfolio.checker.time_limit = Duration::from_secs(20);
+        config.workers = 2;
+        config
+    }
+
+    #[test]
+    fn batch_results_come_back_in_job_order() {
+        let service = VerificationService::new(quick_config());
+        let batch = service.submit_batch(vec![
+            counter(12, 5, "j0"),
+            counter(5, 12, "j1"),
+            counter(9, 4, "j2"),
+        ]);
+        let results = service.wait(batch);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].property, "j0");
+        assert!(results[0].verdict.is_pass());
+        assert!(matches!(results[1].verdict, Verdict::Violated { .. }));
+        assert!(results[2].verdict.is_pass());
+        let status = service.poll(batch).expect("known batch");
+        assert!(status.done());
+        assert_eq!(status.total, 3);
+    }
+
+    #[test]
+    fn repeat_submission_hits_the_cache_without_engines() {
+        let service = VerificationService::new(quick_config());
+        let first = service.submit_batch(vec![counter(12, 5, "p"), counter(5, 12, "q")]);
+        let cold = service.wait(first);
+        assert!(cold.iter().all(|r| !r.from_cache));
+
+        let second = service.submit_batch(vec![counter(12, 5, "p"), counter(5, 12, "q")]);
+        let warm = service.wait(second);
+        assert!(warm.iter().all(|r| r.from_cache));
+        assert!(warm.iter().all(|r| r.engines_spawned == 0));
+        // Cached verdicts agree with the raced ones.
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(
+                std::mem::discriminant(&c.verdict),
+                std::mem::discriminant(&w.verdict)
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 2);
+        assert!(stats.cache_hit_rate() > 0.0);
+        assert_eq!(stats.designs, 2, "two distinct structures were registered");
+    }
+
+    #[test]
+    fn same_structure_shares_one_design_entry() {
+        let service = VerificationService::new(quick_config());
+        let a = service.register_design(&counter(12, 5, "x").netlist);
+        let b = service.register_design(&counter(12, 5, "y").netlist);
+        assert_eq!(a, b);
+        assert_eq!(service.stats().designs, 1);
+    }
+
+    #[test]
+    fn racing_accumulates_knowledge_for_the_design() {
+        let service = VerificationService::new(quick_config());
+        let verification = counter(5, 12, "v");
+        let design = design_hash(&verification.netlist);
+        let batch = service.submit_batch(vec![verification]);
+        let _ = service.wait(batch);
+        let kb = service.export_knowledge(design).expect("registered design");
+        assert_eq!(kb.design(), design);
+        // The ATPG engine ran and contributed search knowledge.
+        let stats = service.knowledge_stats(design).expect("stats");
+        assert_eq!(stats.races_absorbed, 1);
+        assert_eq!(stats.clauses_rejected, 0);
+    }
+
+    #[test]
+    fn poll_reports_progress_and_unknown_batches() {
+        let service = VerificationService::new(quick_config());
+        let batch = service.submit_batch(Vec::new());
+        let status = service.poll(batch).expect("known batch");
+        assert!(status.done());
+        assert_eq!(status.total, 0);
+        assert!(service.results(batch).expect("empty batch done").is_empty());
+        let bogus = service.poll(BatchId::from_raw(9999));
+        assert!(bogus.is_none());
+    }
+
+    #[test]
+    fn import_of_a_poisoned_store_is_rejected() {
+        let service = VerificationService::new(quick_config());
+        let verification = counter(12, 5, "v");
+        let design = service.register_design(&verification.netlist);
+
+        // A store bound to a different design is rejected outright.
+        let other = counter(12, 6, "w");
+        let foreign = KnowledgeBase::new(design_hash(&other.netlist));
+        assert!(matches!(
+            service.import_knowledge(design, &foreign),
+            Err(KnowledgeError::DesignMismatch { .. })
+        ));
+
+        // A clean round-trip works.
+        let exported = service.export_knowledge(design).expect("registered");
+        assert!(service.import_knowledge(design, &exported).is_ok());
+    }
+
+    #[test]
+    fn prediction_can_be_disabled() {
+        let mut config = quick_config();
+        config.predict = false;
+        config.portfolio = PortfolioConfig::default();
+        let service = VerificationService::new(config);
+        let batch = service.submit_batch(vec![counter(12, 5, "p")]);
+        let results = service.wait(batch);
+        assert_eq!(
+            results[0].engines_spawned, 3,
+            "full portfolio without predictor"
+        );
+    }
+}

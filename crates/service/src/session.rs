@@ -1,0 +1,586 @@
+//! The long-lived verification session: design registry, work queue, worker
+//! pool and verdict cache.
+//!
+//! A [`VerificationService`] is the front door for batch traffic. Callers
+//! [`VerificationService::submit_batch`] jobs, [`VerificationService::poll`]
+//! for progress and fetch [`VerificationService::results`]; a pool of worker
+//! threads drains the queue. Per job the worker
+//!
+//! 1. answers from the **verdict cache** when the exact (design hash,
+//!    property hash, config) triple was decided before — no engine spawns at
+//!    all;
+//! 2. otherwise builds a [`WarmStart`] from the design's [`KnowledgeBase`]
+//!    (replayed CDCL clauses, ESTG conflict cubes, datapath infeasibility
+//!    facts) and asks the scheduling predictor which engines to spawn
+//!    (falling back to full racing while the design has no history);
+//! 3. races the portfolio, absorbs the harvest back into the knowledge base
+//!    and caches the verdict.
+
+use crate::hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
+use crate::knowledge::{KnowledgeBase, KnowledgeError, KnowledgeStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use wlac_atpg::Verification;
+use wlac_netlist::Netlist;
+use wlac_portfolio::{
+    predict_engines, Engine, NetlistFeatures, Portfolio, PortfolioConfig, Verdict, WarmStart,
+};
+
+/// Handle to a submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchId(u64);
+
+impl BatchId {
+    /// The raw handle value (stable within one session), e.g. for logging or
+    /// an RPC wire format.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from [`BatchId::raw`]. A value that never came from
+    /// this session simply resolves to no batch.
+    pub fn from_raw(raw: u64) -> Self {
+        BatchId(raw)
+    }
+}
+
+impl std::fmt::Display for BatchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch#{}", self.0)
+    }
+}
+
+/// Progress of one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStatus {
+    /// Jobs in the batch.
+    pub total: usize,
+    /// Jobs finished (from cache or by racing).
+    pub completed: usize,
+}
+
+impl BatchStatus {
+    /// `true` when every job has a result.
+    pub fn done(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+/// The result of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Property name (from the submitted verification).
+    pub property: String,
+    /// Design the job ran against.
+    pub design: DesignHash,
+    /// The combined verdict.
+    pub verdict: Verdict,
+    /// Engine that produced the verdict (`None` for cache hits and undecided
+    /// jobs).
+    pub winner: Option<Engine>,
+    /// `true` when the verdict came straight from the cache.
+    pub from_cache: bool,
+    /// Engines actually spawned (0 for cache hits; fewer than the full
+    /// portfolio once the predictor has history).
+    pub engines_spawned: usize,
+    /// Wall-clock time from dequeue to result.
+    pub wall: Duration,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Portfolio configuration used for every race (its `workers` field is
+    /// ignored — sharding happens at the service level).
+    pub portfolio: PortfolioConfig,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Consult the scheduling predictor (`false` always races the full
+    /// configured portfolio).
+    pub predict: bool,
+}
+
+impl ServiceConfig {
+    /// Defaults: the default portfolio, one worker per available CPU,
+    /// prediction on.
+    pub fn new() -> Self {
+        ServiceConfig {
+            portfolio: PortfolioConfig::default(),
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            predict: true,
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new()
+    }
+}
+
+/// Aggregate service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Registered designs.
+    pub designs: usize,
+    /// Jobs answered from the verdict cache.
+    pub cache_hits: u64,
+    /// Jobs that had to race engines.
+    pub cache_misses: u64,
+    /// Races that ran a predictor-trimmed portfolio.
+    pub predicted_races: u64,
+    /// Clauses currently banked across all designs.
+    pub clauses_banked: u64,
+    /// Datapath infeasibility facts recorded across all designs.
+    pub datapath_facts: u64,
+    /// ESTG conflicts recorded across all designs.
+    pub estg_conflicts: u64,
+}
+
+impl ServiceStats {
+    /// Cache hit rate over all completed jobs (0 when nothing completed).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One registered design: the canonical netlist, its predictor features and
+/// its learning store.
+struct DesignEntry {
+    netlist: Netlist,
+    features: NetlistFeatures,
+    knowledge: Mutex<KnowledgeBase>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    design: DesignHash,
+    property: PropertyHash,
+    config: u64,
+}
+
+#[derive(Clone)]
+struct CachedVerdict {
+    verdict: Verdict,
+    winner: Option<Engine>,
+}
+
+struct QueuedJob {
+    batch: u64,
+    index: usize,
+    design: DesignHash,
+    verification: Arc<Verification>,
+    key: CacheKey,
+}
+
+struct BatchState {
+    results: Vec<Option<JobResult>>,
+    completed: usize,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    registry: Mutex<HashMap<DesignHash, Arc<DesignEntry>>>,
+    cache: Mutex<HashMap<CacheKey, CachedVerdict>>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cv: Condvar,
+    batches: Mutex<HashMap<u64, BatchState>>,
+    batch_cv: Condvar,
+    next_batch: AtomicU64,
+    shutdown: AtomicBool,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    predicted_races: AtomicU64,
+}
+
+/// A persistent verification session. See the module docs.
+///
+/// Dropping the service shuts the worker pool down; queued-but-unstarted
+/// jobs are abandoned (their batches never complete), so [`wait`] for any
+/// batch whose results matter before dropping.
+///
+/// [`wait`]: VerificationService::wait
+pub struct VerificationService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VerificationService {
+    /// Starts a session with the given configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            config,
+            registry: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            batches: Mutex::new(HashMap::new()),
+            batch_cv: Condvar::new(),
+            next_batch: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            predicted_races: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        VerificationService {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Starts a session with the default configuration.
+    pub fn with_defaults() -> Self {
+        VerificationService::new(ServiceConfig::default())
+    }
+
+    /// Registers a design and returns its structural hash. Re-registering an
+    /// identical structure is a no-op returning the same hash; submitting a
+    /// job registers its design automatically.
+    pub fn register_design(&self, netlist: &Netlist) -> DesignHash {
+        let hash = design_hash(netlist);
+        let mut registry = self.shared.registry.lock().expect("registry lock");
+        registry.entry(hash).or_insert_with(|| {
+            Arc::new(DesignEntry {
+                netlist: netlist.clone(),
+                features: NetlistFeatures::of(netlist),
+                knowledge: Mutex::new(KnowledgeBase::new(hash)),
+            })
+        });
+        hash
+    }
+
+    /// Submits a batch of verification jobs; returns immediately with a
+    /// handle for [`VerificationService::poll`] /
+    /// [`VerificationService::results`] / [`VerificationService::wait`].
+    pub fn submit_batch(&self, jobs: Vec<Verification>) -> BatchId {
+        let batch = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
+        let config_hash = config_fingerprint(&self.shared.config.portfolio);
+        {
+            let mut batches = self.shared.batches.lock().expect("batches lock");
+            batches.insert(
+                batch,
+                BatchState {
+                    results: (0..jobs.len()).map(|_| None).collect(),
+                    completed: 0,
+                },
+            );
+        }
+        if jobs.is_empty() {
+            self.shared.batch_cv.notify_all();
+            return BatchId(batch);
+        }
+        let mut queued = Vec::with_capacity(jobs.len());
+        for (index, verification) in jobs.into_iter().enumerate() {
+            let design = self.register_design(&verification.netlist);
+            let key = CacheKey {
+                design,
+                property: property_hash(&verification),
+                config: config_hash,
+            };
+            queued.push(QueuedJob {
+                batch,
+                index,
+                design,
+                verification: Arc::new(verification),
+                key,
+            });
+        }
+        {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.extend(queued);
+        }
+        self.shared.queue_cv.notify_all();
+        BatchId(batch)
+    }
+
+    /// Progress of a batch; `None` for an unknown handle.
+    pub fn poll(&self, batch: BatchId) -> Option<BatchStatus> {
+        let batches = self.shared.batches.lock().expect("batches lock");
+        batches.get(&batch.0).map(|state| BatchStatus {
+            total: state.results.len(),
+            completed: state.completed,
+        })
+    }
+
+    /// The results of a finished batch in job order; `None` while any job is
+    /// still pending (or for an unknown handle).
+    pub fn results(&self, batch: BatchId) -> Option<Vec<JobResult>> {
+        let batches = self.shared.batches.lock().expect("batches lock");
+        let state = batches.get(&batch.0)?;
+        if state.completed < state.results.len() {
+            return None;
+        }
+        Some(
+            state
+                .results
+                .iter()
+                .map(|r| r.clone().expect("completed job has a result"))
+                .collect(),
+        )
+    }
+
+    /// Blocks until every job of the batch has a result, then returns them
+    /// in job order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown batch handle.
+    pub fn wait(&self, batch: BatchId) -> Vec<JobResult> {
+        let mut batches = self.shared.batches.lock().expect("batches lock");
+        loop {
+            {
+                let state = batches.get(&batch.0).expect("known batch");
+                if state.completed == state.results.len() {
+                    return state
+                        .results
+                        .iter()
+                        .map(|r| r.clone().expect("completed job has a result"))
+                        .collect();
+                }
+            }
+            batches = self
+                .shared
+                .batch_cv
+                .wait(batches)
+                .expect("batch condvar wait");
+        }
+    }
+
+    /// A snapshot of the session counters.
+    pub fn stats(&self) -> ServiceStats {
+        let registry = self.shared.registry.lock().expect("registry lock");
+        let mut stats = ServiceStats {
+            designs: registry.len(),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            predicted_races: self.shared.predicted_races.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        };
+        for entry in registry.values() {
+            let kb = entry.knowledge.lock().expect("knowledge lock");
+            stats.clauses_banked += kb.clauses.len() as u64;
+            stats.datapath_facts += kb.search.datapath_facts.len() as u64;
+            stats.estg_conflicts += kb.search.estg.recorded();
+        }
+        stats
+    }
+
+    /// The per-design knowledge statistics (clauses offered/banked/rejected,
+    /// races absorbed) for a registered design.
+    pub fn knowledge_stats(&self, design: DesignHash) -> Option<KnowledgeStats> {
+        let registry = self.shared.registry.lock().expect("registry lock");
+        registry
+            .get(&design)
+            .map(|e| e.knowledge.lock().expect("knowledge lock").stats)
+    }
+
+    /// Exports a clone of a design's knowledge base (e.g. to persist across
+    /// sessions).
+    pub fn export_knowledge(&self, design: DesignHash) -> Option<KnowledgeBase> {
+        let registry = self.shared.registry.lock().expect("registry lock");
+        registry
+            .get(&design)
+            .map(|e| e.knowledge.lock().expect("knowledge lock").clone())
+    }
+
+    /// Imports an externally persisted knowledge base for a registered
+    /// design, after full validation (design-hash binding plus structural
+    /// well-formedness of every clause).
+    ///
+    /// # Errors
+    ///
+    /// [`KnowledgeError`] when the store is bound to another design, fails
+    /// validation, or the design is not registered (reported as a mismatch
+    /// against the offered binding).
+    pub fn import_knowledge(
+        &self,
+        design: DesignHash,
+        knowledge: &KnowledgeBase,
+    ) -> Result<(), KnowledgeError> {
+        let entry = {
+            let registry = self.shared.registry.lock().expect("registry lock");
+            registry
+                .get(&design)
+                .cloned()
+                .ok_or(KnowledgeError::DesignMismatch {
+                    found: knowledge.design(),
+                    expected: design,
+                })?
+        };
+        let mut kb = entry.knowledge.lock().expect("knowledge lock");
+        kb.import(knowledge, &entry.netlist)
+    }
+}
+
+impl Drop for VerificationService {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.queue_cv.wait(queue).expect("queue condvar wait");
+            }
+        };
+        process_job(shared, job);
+    }
+}
+
+fn process_job(shared: &Shared, job: QueuedJob) {
+    let start = Instant::now();
+
+    // 1. Verdict cache: a repeat query spawns no engine at all.
+    let cached = {
+        let cache = shared.cache.lock().expect("cache lock");
+        cache.get(&job.key).cloned()
+    };
+    if let Some(hit) = cached {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        complete_job(
+            shared,
+            &job,
+            JobResult {
+                property: job.verification.property.name.clone(),
+                design: job.design,
+                verdict: hit.verdict,
+                winner: hit.winner,
+                from_cache: true,
+                engines_spawned: 0,
+                wall: start.elapsed(),
+            },
+        );
+        return;
+    }
+    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let entry = {
+        let registry = shared.registry.lock().expect("registry lock");
+        Arc::clone(registry.get(&job.design).expect("registered design"))
+    };
+
+    // 2. Warm start from the knowledge base + predictor scheduling.
+    let full_portfolio = shared.config.portfolio.engines.len();
+    let warm = {
+        let kb = entry.knowledge.lock().expect("knowledge lock");
+        let engines = if shared.config.predict {
+            Some(predict_engines(&entry.features, Some(&kb.history)))
+        } else {
+            None
+        };
+        WarmStart {
+            clauses: kb.clauses.to_seeds(),
+            knowledge: kb.search.clone(),
+            engines,
+        }
+    };
+    let engines_spawned = warm
+        .engines
+        .as_ref()
+        .map(|e| e.len())
+        .unwrap_or(full_portfolio);
+    if engines_spawned < full_portfolio {
+        shared.predicted_races.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // 3. Race, absorb, cache. The race is fenced with `catch_unwind`: an
+    // engine panic (propagated through the portfolio's scoped threads) must
+    // complete the job as `Unknown` instead of killing this worker — a dead
+    // worker would shrink the pool for the rest of the session and leave
+    // the batch incomplete, hanging every `wait` on it. No service lock is
+    // held across the race, so unwinding cannot poison shared state.
+    let raced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let portfolio = Portfolio::new(shared.config.portfolio.clone());
+        portfolio.race_warm(&job.verification, &warm)
+    }));
+    let (report, harvest) = match raced {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            complete_job(
+                shared,
+                &job,
+                JobResult {
+                    property: job.verification.property.name.clone(),
+                    design: job.design,
+                    verdict: Verdict::Unknown {
+                        reason: "engine panicked".into(),
+                    },
+                    winner: None,
+                    from_cache: false,
+                    engines_spawned,
+                    wall: start.elapsed(),
+                },
+            );
+            return;
+        }
+    };
+    {
+        let mut kb = entry.knowledge.lock().expect("knowledge lock");
+        kb.absorb(&harvest, &entry.netlist);
+    }
+    // Only definitive verdicts are worth replaying; an `Unknown` (budget,
+    // cancellation) must not shadow a future run that could decide the job.
+    if report.verdict.is_definitive() {
+        let mut cache = shared.cache.lock().expect("cache lock");
+        cache.insert(
+            job.key,
+            CachedVerdict {
+                verdict: report.verdict.clone(),
+                winner: report.winner,
+            },
+        );
+    }
+    complete_job(
+        shared,
+        &job,
+        JobResult {
+            property: report.property,
+            design: job.design,
+            verdict: report.verdict,
+            winner: report.winner,
+            from_cache: false,
+            engines_spawned,
+            wall: start.elapsed(),
+        },
+    );
+}
+
+fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult) {
+    let mut batches = shared.batches.lock().expect("batches lock");
+    let state = batches.get_mut(&job.batch).expect("known batch");
+    debug_assert!(state.results[job.index].is_none(), "job completed twice");
+    state.results[job.index] = Some(result);
+    state.completed += 1;
+    drop(batches);
+    shared.batch_cv.notify_all();
+}

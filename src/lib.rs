@@ -17,7 +17,12 @@
 //! * [`circuits`] — the paper's benchmark designs and properties p1–p14,
 //! * [`baselines`] — SAT BMC, integral solving and random simulation,
 //! * [`portfolio`] — concurrent multi-strategy racing and batch checking
-//!   across the ATPG, SAT BMC and random-simulation engines.
+//!   across the ATPG, SAT BMC and random-simulation engines,
+//! * [`service`] — persistent verification sessions: a design registry, a
+//!   per-design cross-property learning store (replayed CDCL clauses, ESTG
+//!   conflict cubes, datapath infeasibility facts, engine win/loss history)
+//!   and a `submit_batch`/`poll`/`results` work-queue front door with a
+//!   verdict cache.
 //!
 //! # Quickstart
 //!
@@ -54,4 +59,5 @@ pub use wlac_frontend as frontend;
 pub use wlac_modsolve as modsolve;
 pub use wlac_netlist as netlist;
 pub use wlac_portfolio as portfolio;
+pub use wlac_service as service;
 pub use wlac_sim as sim;
