@@ -11,11 +11,15 @@
 //!
 //! Without arguments the reporter runs the paper Small suite through the
 //! word-level ATPG checker, a datapath-heavy island workload, a pigeonhole
-//! CDCL workload and a portfolio batch, and prints one flat JSON object of
-//! metrics. With `--check <baseline>` it additionally loads the committed
-//! baseline (the `"after"` object of `BENCH_3.json`), compares every
-//! regression-tracked metric and exits non-zero when a live metric is more
-//! than 3x worse than the baseline — this is the CI bench smoke gate.
+//! CDCL workload, a portfolio batch, the repeated-batch service workload
+//! and a cold-vs-restart-warm workload through the network server (which
+//! *asserts* that a server rebooted from its snapshots answers the repeat
+//! batch from the persisted verdict cache with identical verdicts), and
+//! prints one flat JSON object of metrics. With `--check <baseline>` it
+//! additionally loads the committed baseline (the `"after"` object of
+//! `BENCH_5.json`), compares every regression-tracked metric and exits
+//! non-zero when a live metric is more than 3x worse than the baseline —
+//! this is the CI bench smoke gate.
 //!
 //! The binary installs a counting global allocator so `allocs_per_gate_eval`
 //! measures real heap traffic of the implication hot path.
@@ -97,11 +101,15 @@ fn measure_small_suite() -> Vec<Metric> {
     let mut gate_evals = 0u64;
     let mut refinements = 0u64;
     let mut arith_calls = 0u64;
+    let mut decisions = 0u64;
+    let mut justify_rechecks = 0u64;
     for case in &suite {
         let report = run_case(case);
         gate_evals += report.stats.implication.gate_evaluations;
         refinements += report.stats.implication.refinements;
         arith_calls += report.stats.arithmetic_calls;
+        decisions += report.stats.decisions;
+        justify_rechecks += report.stats.justify_gates_rechecked;
     }
     let wall = start.elapsed().as_secs_f64();
     let allocs = (alloc_calls() - allocs_before) as f64;
@@ -140,6 +148,15 @@ fn measure_small_suite() -> Vec<Metric> {
         name: "atpg_arith_calls",
         value: arith_calls as f64,
         tracked: false,
+    });
+    // Unjustified-gate maintenance cost per decision round. A full rescan
+    // per decision would put this near the expanded gate count (hundreds to
+    // thousands); the dirty worklist keeps it at the size of the changed
+    // region.
+    metrics.push(Metric {
+        name: "justify_rechecks_per_decision",
+        value: justify_rechecks as f64 / decisions.max(1) as f64,
+        tracked: true,
     });
     metrics
 }
@@ -317,6 +334,199 @@ fn measure_service() -> Vec<Metric> {
     ]
 }
 
+/// Cold-vs-restart-warm workload through the network server: a design and
+/// its properties are checked over a real TCP socket, the server is shut
+/// down gracefully (drain + snapshot), a fresh server boots from the same
+/// data directory, and the identical batch is re-submitted. The restarted
+/// server must answer every job from the persisted verdict cache with the
+/// same verdicts the cold run produced.
+fn measure_server_restart() -> Vec<Metric> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::{SocketAddr, TcpStream};
+    use wlac_server::{Json, Server, ServerConfig};
+
+    const PIPELINE_V: &str = r#"
+        module pipeline(input clk, input [7:0] a, input [7:0] b, input start,
+                        output ok, output busy, output idle);
+          reg [7:0] acc;
+          reg [1:0] stage;
+          always @(posedge clk) begin
+            if (stage == 0) begin
+              if (start) begin
+                acc <= a + b;
+                stage <= 1;
+              end
+            end else if (stage == 1) begin
+              acc <= acc + acc;
+              stage <= 2;
+            end else
+              stage <= 0;
+          end
+          assign busy = stage != 0;
+          assign idle = stage == 0;
+          assign ok = stage != 3;  // stage encoding 3 is unreachable
+        endmodule
+    "#;
+
+    struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let writer = TcpStream::connect(addr).expect("connect to bench server");
+            let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+            Client { writer, reader }
+        }
+
+        fn call(&mut self, request: Json) -> Json {
+            self.writer
+                .write_all(format!("{request}\n").as_bytes())
+                .expect("send");
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("receive");
+            let reply = Json::parse(line.trim_end()).expect("valid reply");
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{request} failed: {reply}"
+            );
+            reply
+        }
+    }
+
+    let data_dir = std::env::temp_dir().join(format!("wlac-bench-server-{}", std::process::id()));
+    std::fs::remove_dir_all(&data_dir).ok();
+    let boot = |dir: &std::path::Path| {
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: Some(dir.to_path_buf()),
+            ..ServerConfig::default()
+        };
+        config.service.portfolio.checker.max_frames = 6;
+        let server = Server::bind(config).expect("bind bench server");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    };
+    let run_batch = |addr: SocketAddr, expect_cached: bool| -> (Vec<String>, bool) {
+        let mut client = Client::connect(addr);
+        let reply = client.call(Json::obj(vec![
+            ("op", Json::str("register_design")),
+            ("source", Json::str(PIPELINE_V)),
+        ]));
+        let design = reply
+            .get("design")
+            .and_then(Json::as_str)
+            .expect("design")
+            .to_string();
+        let job = |kind: &str, monitor: &str| {
+            Json::obj(vec![
+                ("design", Json::str(design.clone())),
+                (
+                    "property",
+                    Json::obj(vec![
+                        ("kind", Json::str(kind)),
+                        ("monitor", Json::str(monitor)),
+                    ]),
+                ),
+            ])
+        };
+        let reply = client.call(Json::obj(vec![
+            ("op", Json::str("submit_batch")),
+            (
+                "jobs",
+                Json::Arr(vec![
+                    job("always", "ok"),
+                    job("eventually", "busy"),
+                    job("eventually", "idle"),
+                ]),
+            ),
+        ]));
+        let batch = reply.get("batch").and_then(Json::as_u64).expect("batch");
+        let reply = client.call(Json::obj(vec![
+            ("op", Json::str("wait")),
+            ("batch", Json::num(batch)),
+        ]));
+        let results = reply
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results");
+        let labels = results
+            .iter()
+            .map(|r| {
+                r.get("verdict")
+                    .and_then(|v| v.get("label"))
+                    .and_then(Json::as_str)
+                    .expect("label")
+                    .to_string()
+            })
+            .collect();
+        let all_cached = results
+            .iter()
+            .all(|r| r.get("from_cache").and_then(Json::as_bool) == Some(true));
+        if expect_cached && !all_cached {
+            eprintln!("expected cached results, got: {results:?}");
+        }
+        client.call(Json::obj(vec![("op", Json::str("shutdown"))]));
+        (labels, all_cached)
+    };
+
+    // Cold session: race, persist, shut down.
+    let (addr, handle) = boot(&data_dir);
+    let start = Instant::now();
+    let (cold_labels, cold_cached) = run_batch(addr, false);
+    let cold_wall = start.elapsed().as_secs_f64();
+    handle.join().expect("cold server thread");
+    assert!(!cold_cached, "cold run must race");
+    assert!(
+        cold_labels.iter().all(|l| l != "unknown"),
+        "cold run must decide every property: {cold_labels:?}"
+    );
+
+    // Warm session: a different process-equivalent restarted from disk.
+    let (addr, handle) = boot(&data_dir);
+    let start = Instant::now();
+    let (warm_labels, warm_cached) = run_batch(addr, true);
+    let warm_wall = start.elapsed().as_secs_f64();
+    handle.join().expect("warm server thread");
+    assert!(
+        warm_cached,
+        "restarted server must answer the repeat batch from the persisted cache"
+    );
+    assert_eq!(
+        cold_labels, warm_labels,
+        "verdicts must be identical across the restart"
+    );
+    let cache_hits = warm_labels.len() as f64;
+    std::fs::remove_dir_all(&data_dir).ok();
+
+    vec![
+        Metric {
+            name: "server_cold_wall_s",
+            value: cold_wall,
+            tracked: true,
+        },
+        Metric {
+            name: "server_restart_warm_wall_s",
+            value: warm_wall,
+            tracked: true,
+        },
+        Metric {
+            name: "server_restart_speedup",
+            value: cold_wall / warm_wall.max(1e-9),
+            tracked: false,
+        },
+        // > 0 is asserted above; recorded so the committed baseline shows it.
+        Metric {
+            name: "server_restart_cache_hits",
+            value: cache_hits,
+            tracked: false,
+        },
+    ]
+}
+
 fn measure_industry01_paper() -> Vec<Metric> {
     let suite = paper_suite(Scale::Paper);
     let case = suite
@@ -405,6 +615,7 @@ fn main() {
     metrics.extend(measure_cdcl());
     metrics.extend(measure_portfolio());
     metrics.extend(measure_service());
+    metrics.extend(measure_server_restart());
     if industry01 {
         metrics.extend(measure_industry01_paper());
     }

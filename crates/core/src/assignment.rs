@@ -35,6 +35,13 @@ pub struct Assignment {
     values: Vec<Bv3>,
     trail: Vec<TrailEntry>,
     peak_trail: usize,
+    /// Nets whose value changed (by refinement *or* backtracking) since the
+    /// last [`Assignment::drain_dirty`]; may contain duplicates. Only filled
+    /// when dirty tracking is enabled — the list backs the incremental
+    /// unjustified-gate worklist, and untracked users (simulation replay,
+    /// standalone implication) should not pay for it.
+    dirty: Vec<NetId>,
+    track_dirty: bool,
 }
 
 impl Assignment {
@@ -47,7 +54,28 @@ impl Assignment {
                 .collect(),
             trail: Vec::new(),
             peak_trail: 0,
+            dirty: Vec::new(),
+            track_dirty: false,
         }
+    }
+
+    /// Starts recording every net-value change (refinements and backtrack
+    /// restores) for [`Assignment::drain_dirty`]. The recording vector is
+    /// reused across drains, so steady-state tracking allocates nothing once
+    /// it has reached its peak.
+    pub fn enable_dirty_tracking(&mut self) {
+        self.track_dirty = true;
+    }
+
+    /// `true` when change tracking is on.
+    pub fn dirty_tracking(&self) -> bool {
+        self.track_dirty
+    }
+
+    /// Drains the nets changed since the last drain (with possible
+    /// duplicates). Empty — and meaningless — while tracking is disabled.
+    pub fn drain_dirty(&mut self) -> std::vec::Drain<'_, NetId> {
+        self.dirty.drain(..)
     }
 
     /// Current value of a net.
@@ -75,6 +103,9 @@ impl Assignment {
         }) {
             Ok(changed) => {
                 self.peak_trail = self.peak_trail.max(self.trail.len());
+                if changed && self.track_dirty {
+                    self.dirty.push(net);
+                }
                 Ok(changed)
             }
             Err(_) => Err(Conflict { net }),
@@ -100,6 +131,9 @@ impl Assignment {
                 entry.known,
                 entry.value,
             );
+            if self.track_dirty {
+                self.dirty.push(entry.net);
+            }
         }
     }
 

@@ -32,6 +32,16 @@ impl Estg {
         self.recorded += 1;
     }
 
+    /// Accumulates `count` conflicts against one assignment in one step
+    /// (saturating). Used to rebuild a store from its [`Estg::entries`]
+    /// serialization; counts only shape decision ordering, so a wrong count
+    /// can never make the search unsound.
+    pub fn record_conflicts(&mut self, net: NetId, value: bool, count: u64) {
+        let entry = self.conflicts.entry((net, value)).or_insert(0);
+        *entry = entry.saturating_add(count);
+        self.recorded = self.recorded.saturating_add(count);
+    }
+
     /// Number of conflicts recorded against assigning `value` to `net`.
     pub fn conflict_count(&self, net: NetId, value: bool) -> u64 {
         self.conflicts.get(&(net, value)).copied().unwrap_or(0)

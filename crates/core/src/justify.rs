@@ -11,20 +11,25 @@ use crate::implication::forward_eval;
 use std::collections::VecDeque;
 use wlac_netlist::{GateId, GateKind, NetId, Netlist};
 
+/// Whether one gate's output carries required (known) bits that are not yet
+/// implied by its current input values.
+fn gate_is_unjustified(netlist: &Netlist, id: GateId, asg: &Assignment) -> bool {
+    let gate = netlist.gate(id);
+    let required = asg.value(gate.output);
+    if required.is_all_x() {
+        return false;
+    }
+    let forward = forward_eval(netlist, gate, asg);
+    (0..required.width()).any(|i| required.bit(i).is_known() && !forward.bit(i).is_known())
+}
+
 /// A gate is *unjustified* when its output carries required (known) bits that
 /// are not yet implied by its current input values. Fills `out` (cleared
 /// first) with every such gate.
 pub(crate) fn unjustified_gates(netlist: &Netlist, asg: &Assignment, out: &mut Vec<GateId>) {
     out.clear();
-    for (id, gate) in netlist.gates() {
-        let required = asg.value(gate.output);
-        if required.is_all_x() {
-            continue;
-        }
-        let forward = forward_eval(netlist, gate, asg);
-        let unjustified =
-            (0..required.width()).any(|i| required.bit(i).is_known() && !forward.bit(i).is_known());
-        if unjustified {
+    for (id, _) in netlist.gates() {
+        if gate_is_unjustified(netlist, id, asg) {
             out.push(id);
         }
     }
@@ -77,6 +82,18 @@ pub(crate) struct JustifyBuffers {
     prob_stamp: Vec<u32>,
     prob_gen: u32,
     frontier: VecDeque<(NetId, f64)>,
+    /// Per-gate membership flag mirroring [`Self::unjustified`] (the list
+    /// holds exactly the gates whose flag is set, in ascending id order).
+    in_unjustified: Vec<bool>,
+    /// Dedup stamps for the per-round dirty-gate worklist.
+    gate_stamp: Vec<u32>,
+    gate_gen: u32,
+    dirty_gates: Vec<GateId>,
+    /// `false` until the first full scan has seeded the membership flags —
+    /// incremental maintenance is only sound on top of a complete baseline.
+    warmed: bool,
+    #[cfg(debug_assertions)]
+    debug_scratch: Vec<GateId>,
 }
 
 impl JustifyBuffers {
@@ -93,12 +110,94 @@ impl JustifyBuffers {
             prob_stamp: vec![0; nets],
             prob_gen: 0,
             frontier: VecDeque::new(),
+            in_unjustified: vec![false; netlist.gate_count()],
+            gate_stamp: vec![0; netlist.gate_count()],
+            gate_gen: 0,
+            dirty_gates: Vec::new(),
+            warmed: false,
+            #[cfg(debug_assertions)]
+            debug_scratch: Vec::new(),
         }
     }
 
-    /// Recomputes [`Self::unjustified`] for the current assignment.
+    /// Recomputes [`Self::unjustified`] for the current assignment by a full
+    /// gate scan, reseeding the incremental membership flags.
     pub(crate) fn compute_unjustified(&mut self, netlist: &Netlist, asg: &Assignment) {
+        for gate in &self.unjustified {
+            self.in_unjustified[gate.index()] = false;
+        }
         unjustified_gates(netlist, asg, &mut self.unjustified);
+        for gate in &self.unjustified {
+            self.in_unjustified[gate.index()] = true;
+        }
+        self.warmed = true;
+    }
+
+    /// Updates [`Self::unjustified`] from the assignment's dirty-net log:
+    /// only gates adjacent to a changed net (its driver and its fanouts) are
+    /// re-examined, so the per-decision cost is proportional to the changed
+    /// region instead of the whole netlist. Falls back to the full scan when
+    /// the assignment is not tracking changes or the flags are not yet
+    /// seeded. Returns the number of gates re-examined (the full gate count
+    /// for a fallback scan).
+    pub(crate) fn update_unjustified(&mut self, netlist: &Netlist, asg: &mut Assignment) -> u64 {
+        if !asg.dirty_tracking() || !self.warmed {
+            asg.drain_dirty();
+            self.compute_unjustified(netlist, asg);
+            return netlist.gate_count() as u64;
+        }
+        // Phase 1: changed nets -> dirty gates, deduplicated by stamp.
+        self.gate_gen = bump_generation(&mut self.gate_stamp, self.gate_gen);
+        let gen = self.gate_gen;
+        self.dirty_gates.clear();
+        for net in asg.drain_dirty() {
+            let driver = netlist.driver(net);
+            for gate in driver.iter().chain(netlist.fanouts(net)) {
+                if self.gate_stamp[gate.index()] != gen {
+                    self.gate_stamp[gate.index()] = gen;
+                    self.dirty_gates.push(*gate);
+                }
+            }
+        }
+        // Phase 2: re-examine exactly the dirty gates and patch the list.
+        let mut removed = false;
+        let mut added = false;
+        for i in 0..self.dirty_gates.len() {
+            let gate = self.dirty_gates[i];
+            let now = gate_is_unjustified(netlist, gate, asg);
+            let flag = &mut self.in_unjustified[gate.index()];
+            if now && !*flag {
+                *flag = true;
+                self.unjustified.push(gate);
+                added = true;
+            } else if !now && *flag {
+                *flag = false;
+                removed = true;
+            }
+        }
+        if removed {
+            let flags = &self.in_unjustified;
+            self.unjustified.retain(|g| flags[g.index()]);
+        }
+        if added {
+            // Keep the full-scan order (ascending gate id) so incremental
+            // and from-scratch maintenance are behaviourally identical all
+            // the way down to decision ordering.
+            self.unjustified.sort_unstable();
+        }
+        #[cfg(debug_assertions)]
+        {
+            // Differential oracle in debug/test builds: the worklist result
+            // must be indistinguishable from a full rescan. The scratch
+            // buffer is reused so the check itself stays allocation-free at
+            // steady state (the alloc_free contract also covers debug runs).
+            unjustified_gates(netlist, asg, &mut self.debug_scratch);
+            debug_assert_eq!(
+                self.debug_scratch, self.unjustified,
+                "incremental unjustified set diverged from the full rescan"
+            );
+        }
+        self.dirty_gates.len() as u64
     }
 
     /// Backward breadth-first traversal from the unjustified gates to a cut
@@ -360,6 +459,64 @@ mod tests {
         let mut asg = Assignment::new(&nl);
         asg.refine(y, &cube("1'b1")).unwrap();
         assert_eq!(cut(&nl, &asg, 1), vec![popular]);
+    }
+
+    #[test]
+    fn incremental_worklist_tracks_refines_and_backtracks() {
+        // A chain of gates; refine and backtrack in several interleaved
+        // rounds and require the incremental set to equal a full rescan at
+        // every step (the debug_assert inside update_unjustified re-checks
+        // this too, but this test also exercises the untracked fallback and
+        // the recheck accounting).
+        let mut nl = Netlist::new("t");
+        let a = nl.input("a", 1);
+        let b = nl.input("b", 1);
+        let c = nl.input("c", 1);
+        let ab = nl.and2(a, b);
+        let y = nl.or2(ab, c);
+        let z = nl.xor2(a, c);
+        let mut bufs = JustifyBuffers::new(&nl);
+        let mut asg = Assignment::new(&nl);
+        asg.enable_dirty_tracking();
+
+        let check = |bufs: &JustifyBuffers, asg: &Assignment, nl: &Netlist| {
+            let mut full = Vec::new();
+            unjustified_gates(nl, asg, &mut full);
+            assert_eq!(full, bufs.unjustified);
+        };
+
+        // First call falls back to the full scan (flags not seeded yet).
+        let rechecked = bufs.update_unjustified(&nl, &mut asg);
+        assert_eq!(rechecked, nl.gate_count() as u64);
+        check(&bufs, &asg, &nl);
+
+        asg.refine(y, &"1'b1".parse().unwrap()).unwrap();
+        let m1 = asg.mark();
+        let rechecked = bufs.update_unjustified(&nl, &mut asg);
+        // Only gates adjacent to `y` were re-examined, not the whole netlist.
+        assert!(rechecked < nl.gate_count() as u64);
+        check(&bufs, &asg, &nl);
+        assert_eq!(bufs.unjustified, vec![nl.driver(y).unwrap()]);
+
+        // Justify the OR through c, making z's XOR requirement appear too.
+        asg.refine(c, &"1'b1".parse().unwrap()).unwrap();
+        asg.refine(z, &"1'b1".parse().unwrap()).unwrap();
+        bufs.update_unjustified(&nl, &mut asg);
+        check(&bufs, &asg, &nl);
+
+        // Backtrack: the restores land on the dirty log and the set reverts.
+        asg.backtrack_to(m1);
+        bufs.update_unjustified(&nl, &mut asg);
+        check(&bufs, &asg, &nl);
+        assert_eq!(bufs.unjustified, vec![nl.driver(y).unwrap()]);
+
+        // An untracked assignment always takes the full-scan fallback.
+        let mut cold = Assignment::new(&nl);
+        cold.refine(ab, &"1'b1".parse().unwrap()).unwrap();
+        let mut cold_bufs = JustifyBuffers::new(&nl);
+        let rechecked = cold_bufs.update_unjustified(&nl, &mut cold);
+        assert_eq!(rechecked, nl.gate_count() as u64);
+        check(&cold_bufs, &cold, &nl);
     }
 
     #[test]

@@ -112,8 +112,13 @@ impl SearchContext {
     /// Creates a context sized for `netlist`. The context must only ever be
     /// used with this same netlist.
     pub fn new(netlist: &Netlist) -> Self {
+        let mut asg = Assignment::new(netlist);
+        // Change events drive the incremental unjustified-gate worklist: the
+        // per-decision scan touches only gates adjacent to nets that actually
+        // changed since the last decision round.
+        asg.enable_dirty_tracking();
         SearchContext {
-            asg: Assignment::new(netlist),
+            asg,
             propagator: Propagator::new(netlist),
             justify: JustifyBuffers::new(netlist),
             datapath: DatapathContext::new(netlist),
@@ -226,7 +231,8 @@ impl SearchContext {
                 return SearchOutcome::Inconclusive("decision limit exceeded");
             }
 
-            self.justify.compute_unjustified(netlist, &self.asg);
+            stats.justify_gates_rechecked +=
+                self.justify.update_unjustified(netlist, &mut self.asg);
             let fully_justified = self.justify.unjustified.is_empty();
             if fully_justified {
                 self.justify.candidates.clear();

@@ -27,6 +27,10 @@ pub struct CheckStats {
     /// Island solves skipped because a warm-started knowledge base already
     /// held an infeasibility proof for the exact solve input.
     pub datapath_fact_hits: u64,
+    /// Gates re-examined by unjustified-gate maintenance. With the dirty
+    /// worklist this is proportional to the changed region per decision;
+    /// a full rescan per decision would put it near `decisions × gates`.
+    pub justify_gates_rechecked: u64,
     /// Number of time-frames of the deepest unrolling explored.
     pub frames_explored: usize,
     /// Wall-clock time spent on the check.
@@ -72,6 +76,7 @@ impl CheckStats {
         self.island_cache_hits += other.island_cache_hits;
         self.island_cache_misses += other.island_cache_misses;
         self.datapath_fact_hits += other.datapath_fact_hits;
+        self.justify_gates_rechecked += other.justify_gates_rechecked;
         self.frames_explored = self.frames_explored.max(other.frames_explored);
         self.elapsed += other.elapsed;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);

@@ -9,7 +9,7 @@
 
 use crate::ast::*;
 use crate::error::FrontendError;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use wlac_bv::Bv;
 use wlac_netlist::{GateId, GateKind, NetId, Netlist};
 
@@ -173,7 +173,7 @@ impl<'a> Elaborator<'a> {
         // The clock must at least be a declared signal.
         self.lookup(&block.clock)?;
         // Start from "hold": every register keeps its value.
-        let mut current: HashMap<String, NetId> = self
+        let mut current: BTreeMap<String, NetId> = self
             .signals
             .iter()
             .filter(|(_, s)| s.is_reg)
@@ -193,7 +193,7 @@ impl<'a> Elaborator<'a> {
     fn apply_statements(
         &mut self,
         statements: &[Statement],
-        current: &mut HashMap<String, NetId>,
+        current: &mut BTreeMap<String, NetId>,
     ) -> Result<(), FrontendError> {
         for statement in statements {
             match statement {
@@ -520,5 +520,42 @@ mod tests {
         };
         let report = wlac_atpg::AssertionChecker::new(options).check(&verification);
         assert!(report.result.is_pass(), "got {:?}", report.result);
+    }
+
+    #[test]
+    fn elaboration_is_deterministic_across_compiles() {
+        // Multi-register always blocks exercise the register-map merge; the
+        // same source must elaborate to the identical netlist every time
+        // (hash-keyed consumers — the verification service's design
+        // registry, on-disk snapshots — depend on it).
+        let source = r#"
+            module two_regs(input clk, input go, output ok);
+              reg [7:0] acc;
+              reg [1:0] stage;
+              always @(posedge clk) begin
+                if (stage == 0) begin
+                  if (go) begin
+                    acc <= acc + 8'd1;
+                    stage <= 1;
+                  end
+                end else
+                  stage <= 0;
+              end
+              assign ok = stage != 3;
+            endmodule
+            "#;
+        let first = compile(source).unwrap();
+        for _ in 0..10 {
+            let again = compile(source).unwrap();
+            assert_eq!(again.net_count(), first.net_count());
+            assert_eq!(again.gate_count(), first.gate_count());
+            for ((_, a), (_, b)) in again.gates().zip(first.gates()) {
+                assert_eq!(a.kind, b.kind);
+                assert_eq!(a.output, b.output);
+                assert_eq!(a.inputs.to_vec(), b.inputs.to_vec());
+            }
+            assert_eq!(again.inputs(), first.inputs());
+            assert_eq!(again.outputs(), first.outputs());
+        }
     }
 }

@@ -1,0 +1,317 @@
+//! The binary frame: little-endian primitives, a magic/version header and a
+//! trailing FNV-64 checksum, with a bounds-checked reader.
+
+use std::error::Error;
+use std::fmt;
+
+/// First eight bytes of every snapshot file.
+pub const MAGIC: &[u8; 8] = b"WLACSNAP";
+
+/// Current format version; files written by a different version are
+/// rejected rather than guessed at.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file-system failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The trailing checksum does not match the frame contents (bit rot,
+    /// truncation past the length field, or tampering).
+    ChecksumMismatch,
+    /// The file ends before the declared frame does.
+    Truncated,
+    /// The frame decoded, but its contents are not a valid snapshot.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a wlac snapshot (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {FORMAT_VERSION})"
+                )
+            }
+            PersistError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            PersistError::Truncated => write!(f, "snapshot truncated"),
+            PersistError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// 64-bit FNV-1a over a byte slice (the workspace-standard offline hash).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Writer::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over one frame's payload.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or(PersistError::Truncated)?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PersistError::Malformed("boolean out of range")),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A scalar encoded as u64 (an index, a width, a frame count). Unlike
+    /// [`Reader::len`] it carries no relation to the remaining bytes.
+    pub(crate) fn scalar(&mut self) -> Result<usize, PersistError> {
+        self.u64()?
+            .try_into()
+            .map_err(|_| PersistError::Malformed("scalar out of range"))
+    }
+
+    /// A length/count field. Validated against `unit_bytes` (the minimum
+    /// encoded size of one element) and the bytes actually remaining, so a
+    /// corrupt count can never drive a huge allocation.
+    pub(crate) fn len(&mut self, unit_bytes: usize) -> Result<usize, PersistError> {
+        let n = self.u64()?;
+        let n: usize = n.try_into().map_err(|_| PersistError::Truncated)?;
+        if n.checked_mul(unit_bytes.max(1))
+            .filter(|need| *need <= self.bytes.len() - self.pos)
+            .is_none()
+        {
+            return Err(PersistError::Truncated);
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, PersistError> {
+        let n = self.len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PersistError::Malformed("string is not utf-8"))
+    }
+}
+
+/// Wraps a payload in the on-disk frame: magic, version, payload length,
+/// payload, FNV-64 checksum over everything preceding the checksum.
+pub(crate) fn seal(payload: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + MAGIC.len() + 20);
+    frame.extend_from_slice(MAGIC);
+    frame.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let checksum = fnv64(&frame);
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame
+}
+
+/// Validates a frame and returns its payload slice.
+pub(crate) fn unseal(frame: &[u8]) -> Result<&[u8], PersistError> {
+    let header = MAGIC.len() + 4 + 8;
+    if frame.len() < header + 8 {
+        return Err(PersistError::Truncated);
+    }
+    if &frame[..MAGIC.len()] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let payload_len = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+    let payload_len: usize = payload_len
+        .try_into()
+        .map_err(|_| PersistError::Truncated)?;
+    let expected_total = header
+        .checked_add(payload_len)
+        .and_then(|n| n.checked_add(8))
+        .ok_or(PersistError::Truncated)?;
+    if frame.len() != expected_total {
+        return Err(PersistError::Truncated);
+    }
+    let body_end = header + payload_len;
+    let stored = u64::from_le_bytes(frame[body_end..].try_into().expect("8 bytes"));
+    if fnv64(&frame[..body_end]) != stored {
+        return Err(PersistError::ChecksumMismatch);
+    }
+    Ok(&frame[header..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDAC2000);
+        w.u64(u64::MAX);
+        w.str("snapshot");
+        let frame = seal(w.into_bytes());
+        let payload = unseal(&frame).expect("valid frame");
+        let mut r = Reader::new(payload);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDAC2000);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.str().unwrap(), "snapshot");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut w = Writer::new();
+        w.str("payload of a reasonable length");
+        let frame = seal(w.into_bytes());
+        for len in 0..frame.len() {
+            assert!(unseal(&frame[..len]).is_err(), "truncated to {len} bytes");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let frame = seal(w.into_bytes());
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut corrupt = frame.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert!(
+                    unseal(&corrupt).is_err(),
+                    "flip of byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_and_future_files_are_rejected() {
+        assert!(matches!(unseal(b""), Err(PersistError::Truncated)));
+        let other = seal(vec![1, 2, 3]);
+        let mut wrong_magic = other.clone();
+        wrong_magic[..8].copy_from_slice(b"NOTASNAP");
+        assert!(matches!(unseal(&wrong_magic), Err(PersistError::BadMagic)));
+        let mut future = other;
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            unseal(&future),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_drive_huge_allocations() {
+        // A payload claiming a 2^60-element string must fail fast.
+        let mut w = Writer::new();
+        w.u64(1 << 60);
+        let frame = seal(w.into_bytes());
+        let payload = unseal(&frame).expect("frame itself is fine");
+        let mut r = Reader::new(payload);
+        assert!(matches!(r.str(), Err(PersistError::Truncated)));
+    }
+}

@@ -1,0 +1,69 @@
+//! # wlac-persist — versioned, checksummed on-disk knowledge snapshots
+//!
+//! PR 4's [`wlac_service::VerificationService`] accumulates a per-design
+//! [`wlac_service::KnowledgeBase`] and a verdict cache — and loses both on
+//! every process exit. This crate is the durability layer: a [`Snapshot`]
+//! bundles one design's canonical netlist, its learning store and its cached
+//! verdicts into a self-contained binary file that a restarted server reads
+//! back to answer repeat queries warm.
+//!
+//! The format is deliberately paranoid, because a snapshot crosses a trust
+//! boundary (the file system) between sessions:
+//!
+//! * **magic + version** — a foreign or future file is rejected before any
+//!   payload is touched;
+//! * **FNV-64 checksum** over the entire frame — truncation or bit rot is
+//!   detected instead of decoded;
+//! * **bounds-checked decoding** — every length is validated against the
+//!   remaining bytes, so a corrupt length field cannot trigger huge
+//!   allocations;
+//! * **structural re-validation** — the netlist is *rebuilt* through the
+//!   ordinary [`wlac_netlist::Netlist`] constructors (which re-run all gate
+//!   shape checks) and must reproduce the design hash recorded in the file;
+//!   clauses and verdicts are then re-validated again by the service's
+//!   [`wlac_service::KnowledgeError`] import path before anything is
+//!   trusted. Datapath infeasibility facts are excluded from snapshots
+//!   entirely, mirroring the import policy of PR 4 (they replay
+//!   verdict-affecting conclusions and cannot be structurally re-validated).
+//!
+//! Writes are atomic: the snapshot is written to a temporary file in the
+//! destination directory, flushed, and renamed over the target, so a crash
+//! mid-write leaves the previous snapshot intact and never a partial file
+//! under the target name.
+//!
+//! # Examples
+//!
+//! ```
+//! use wlac_netlist::Netlist;
+//! use wlac_persist::{load_snapshot, save_snapshot, Snapshot};
+//! use wlac_service::{design_hash, KnowledgeBase};
+//!
+//! let mut nl = Netlist::new("adder");
+//! let a = nl.input("a", 4);
+//! let b = nl.input("b", 4);
+//! let s = nl.add(a, b);
+//! nl.mark_output("s", s);
+//! let snapshot = Snapshot {
+//!     netlist: nl.clone(),
+//!     knowledge: KnowledgeBase::new(design_hash(&nl)),
+//!     verdicts: Vec::new(),
+//! };
+//!
+//! let path = std::env::temp_dir().join(format!("doc-{}.wlacsnap", std::process::id()));
+//! save_snapshot(&path, &snapshot)?;
+//! let restored = load_snapshot(&path)?;
+//! assert_eq!(design_hash(&restored.netlist), design_hash(&nl));
+//! std::fs::remove_file(&path).ok();
+//! # Ok::<(), wlac_persist::PersistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod snapshot;
+
+pub use format::{PersistError, FORMAT_VERSION, MAGIC};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, snapshot_file_name, Snapshot,
+};

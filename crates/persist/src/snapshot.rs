@@ -1,0 +1,504 @@
+//! Snapshot encoding/decoding and atomic file i/o.
+
+use crate::format::{seal, unseal, PersistError, Reader, Writer};
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use wlac_atpg::Trace;
+use wlac_baselines::{FrameClause, FrameLit};
+use wlac_bv::Bv;
+use wlac_netlist::{GateKind, NetId, Netlist};
+use wlac_portfolio::{Engine, EngineHistory, Verdict};
+use wlac_service::{design_hash, DesignHash, KnowledgeBase, PropertyHash, VerdictRecord};
+
+/// One design's durable state: the canonical netlist (so a restarted server
+/// can re-register the design without any client round-trip), the learning
+/// store, and the cached verdicts.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The canonical netlist; its [`design_hash`] must match the knowledge
+    /// base's binding (checked on load).
+    pub netlist: Netlist,
+    /// The design's learning store. Datapath infeasibility facts are never
+    /// written (matching the service's import trust policy); everything else
+    /// — frame-relative clauses, ESTG conflict cubes, engine history —
+    /// round-trips.
+    pub knowledge: KnowledgeBase,
+    /// Cached (always definitive) verdicts of this design.
+    pub verdicts: Vec<VerdictRecord>,
+}
+
+/// Canonical snapshot file name for a design: `d<hash>.wlacsnap`.
+pub fn snapshot_file_name(design: DesignHash) -> String {
+    format!("{design}.wlacsnap")
+}
+
+// --- encoding ----------------------------------------------------------------
+
+fn write_bv(w: &mut Writer, value: &Bv) {
+    w.usize(value.width());
+    for word in value.words() {
+        w.u64(*word);
+    }
+}
+
+fn read_bv(r: &mut Reader<'_>) -> Result<Bv, PersistError> {
+    let width = r.scalar()?;
+    if width == 0 {
+        return Err(PersistError::Malformed("zero-width value"));
+    }
+    let words = width.div_ceil(64);
+    if words * 8 > 1 << 20 {
+        return Err(PersistError::Malformed("value impossibly wide"));
+    }
+    let mut buf = Vec::with_capacity(words);
+    for _ in 0..words {
+        buf.push(r.u64()?);
+    }
+    Ok(Bv::from_words(width, &buf))
+}
+
+/// Stable tag per gate kind (shared vocabulary with the service's design
+/// hash, which uses the same numbering).
+fn gate_kind_tag(kind: &GateKind) -> u8 {
+    match kind {
+        GateKind::Const(_) => 0,
+        GateKind::Not => 1,
+        GateKind::And => 2,
+        GateKind::Or => 3,
+        GateKind::Xor => 4,
+        GateKind::Buf => 5,
+        GateKind::ReduceAnd => 6,
+        GateKind::ReduceOr => 7,
+        GateKind::ReduceXor => 8,
+        GateKind::Add => 9,
+        GateKind::Sub => 10,
+        GateKind::Mul => 11,
+        GateKind::Shl => 12,
+        GateKind::Shr => 13,
+        GateKind::Eq => 14,
+        GateKind::Ne => 15,
+        GateKind::Lt => 16,
+        GateKind::Le => 17,
+        GateKind::Gt => 18,
+        GateKind::Ge => 19,
+        GateKind::Mux => 20,
+        GateKind::Concat => 21,
+        GateKind::Slice { .. } => 22,
+        GateKind::ZeroExt => 23,
+        GateKind::Dff { .. } => 24,
+    }
+}
+
+fn write_gate_kind(w: &mut Writer, kind: &GateKind) {
+    w.u8(gate_kind_tag(kind));
+    match kind {
+        GateKind::Const(v) => write_bv(w, v),
+        GateKind::Slice { lo } => w.usize(*lo),
+        GateKind::Dff { init } => match init {
+            None => w.bool(false),
+            Some(v) => {
+                w.bool(true);
+                write_bv(w, v);
+            }
+        },
+        _ => {}
+    }
+}
+
+fn read_gate_kind(r: &mut Reader<'_>) -> Result<GateKind, PersistError> {
+    Ok(match r.u8()? {
+        0 => GateKind::Const(read_bv(r)?),
+        1 => GateKind::Not,
+        2 => GateKind::And,
+        3 => GateKind::Or,
+        4 => GateKind::Xor,
+        5 => GateKind::Buf,
+        6 => GateKind::ReduceAnd,
+        7 => GateKind::ReduceOr,
+        8 => GateKind::ReduceXor,
+        9 => GateKind::Add,
+        10 => GateKind::Sub,
+        11 => GateKind::Mul,
+        12 => GateKind::Shl,
+        13 => GateKind::Shr,
+        14 => GateKind::Eq,
+        15 => GateKind::Ne,
+        16 => GateKind::Lt,
+        17 => GateKind::Le,
+        18 => GateKind::Gt,
+        19 => GateKind::Ge,
+        20 => GateKind::Mux,
+        21 => GateKind::Concat,
+        22 => GateKind::Slice { lo: r.scalar()? },
+        23 => GateKind::ZeroExt,
+        24 => GateKind::Dff {
+            init: if r.bool()? { Some(read_bv(r)?) } else { None },
+        },
+        _ => return Err(PersistError::Malformed("unknown gate kind")),
+    })
+}
+
+fn write_netlist(w: &mut Writer, netlist: &Netlist) {
+    w.str(netlist.name());
+    w.usize(netlist.net_count());
+    for net in netlist.nets() {
+        w.usize(netlist.net_width(net));
+        match netlist.net_name(net) {
+            Some(name) => {
+                w.bool(true);
+                w.str(name);
+            }
+            None => w.bool(false),
+        }
+    }
+    w.usize(netlist.inputs().len());
+    for input in netlist.inputs() {
+        w.usize(input.index());
+    }
+    w.usize(netlist.gate_count());
+    for (_, gate) in netlist.gates() {
+        write_gate_kind(w, &gate.kind);
+        w.usize(gate.inputs.len());
+        for input in gate.inputs.iter() {
+            w.usize(input.index());
+        }
+        w.usize(gate.output.index());
+    }
+    w.usize(netlist.outputs().len());
+    for (name, net) in netlist.outputs() {
+        w.str(name);
+        w.usize(net.index());
+    }
+}
+
+fn read_net_id(r: &mut Reader<'_>, net_count: usize) -> Result<NetId, PersistError> {
+    let index = r.scalar()?;
+    if index >= net_count {
+        return Err(PersistError::Malformed("net id out of range"));
+    }
+    Ok(NetId::from_index(index))
+}
+
+/// Rebuilds the netlist through the ordinary constructors, re-running every
+/// gate shape validation — a snapshot can describe an ill-typed circuit only
+/// if the builder itself would accept it.
+fn read_netlist(r: &mut Reader<'_>) -> Result<Netlist, PersistError> {
+    let name = r.str()?;
+    let mut netlist = Netlist::new(name);
+    let net_count = r.len(9)?;
+    for _ in 0..net_count {
+        let width = r.scalar()?;
+        if width == 0 || width > 1 << 20 {
+            return Err(PersistError::Malformed("net width out of range"));
+        }
+        let name = if r.bool()? { Some(r.str()?) } else { None };
+        netlist.add_named_net(width, name);
+    }
+    let input_count = r.len(8)?;
+    for _ in 0..input_count {
+        let net = read_net_id(r, net_count)?;
+        netlist.mark_input(net);
+    }
+    let gate_count = r.len(2)?;
+    for _ in 0..gate_count {
+        let kind = read_gate_kind(r)?;
+        let pin_count = r.len(8)?;
+        let mut inputs = Vec::with_capacity(pin_count);
+        for _ in 0..pin_count {
+            inputs.push(read_net_id(r, net_count)?);
+        }
+        let output = read_net_id(r, net_count)?;
+        if netlist.driver(output).is_some() || netlist.is_input(output) {
+            return Err(PersistError::Malformed("net driven twice"));
+        }
+        netlist
+            .add_gate(kind, inputs, output)
+            .map_err(|_| PersistError::Malformed("ill-shaped gate"))?;
+    }
+    let output_count = r.len(9)?;
+    for _ in 0..output_count {
+        let name = r.str()?;
+        let net = read_net_id(r, net_count)?;
+        netlist.mark_output(name, net);
+    }
+    Ok(netlist)
+}
+
+fn write_knowledge(w: &mut Writer, knowledge: &KnowledgeBase) {
+    let seeds = knowledge.clauses.to_seeds();
+    w.usize(seeds.len());
+    for clause in &seeds {
+        w.u32(clause.depth);
+        w.usize(clause.lits.len());
+        for lit in &clause.lits {
+            w.u32(lit.frame);
+            w.usize(lit.net.index());
+            w.u32(lit.bit);
+            w.bool(lit.negated);
+        }
+    }
+    let mut entries: Vec<((NetId, bool), u64)> = knowledge.search.estg.entries().collect();
+    entries.sort_unstable(); // deterministic bytes for identical stores
+    w.usize(entries.len());
+    for ((net, value), count) in entries {
+        w.usize(net.index());
+        w.bool(value);
+        w.u64(count);
+    }
+    let (wins, runs) = knowledge.history.counts();
+    for v in wins.iter().chain(runs.iter()) {
+        w.u64(*v);
+    }
+}
+
+fn read_knowledge(r: &mut Reader<'_>, design: DesignHash) -> Result<KnowledgeBase, PersistError> {
+    let mut knowledge = KnowledgeBase::new(design);
+    let clause_count = r.len(12)?;
+    for _ in 0..clause_count {
+        let depth = r.u32()?;
+        let lit_count = r.len(17)?;
+        let mut lits = Vec::with_capacity(lit_count);
+        for _ in 0..lit_count {
+            lits.push(FrameLit {
+                frame: r.u32()?,
+                net: NetId::from_index(r.scalar()?),
+                bit: r.u32()?,
+                negated: r.bool()?,
+            });
+        }
+        knowledge.clauses.insert(&FrameClause { depth, lits });
+    }
+    let estg_count = r.len(10)?;
+    for _ in 0..estg_count {
+        let net = NetId::from_index(r.scalar()?);
+        let value = r.bool()?;
+        let count = r.u64()?;
+        knowledge.search.estg.record_conflicts(net, value, count);
+    }
+    let mut wins = [0u64; 3];
+    let mut runs = [0u64; 3];
+    for v in wins.iter_mut().chain(runs.iter_mut()) {
+        *v = r.u64()?;
+    }
+    knowledge.history = EngineHistory::from_counts(wins, runs);
+    Ok(knowledge)
+}
+
+fn write_trace(w: &mut Writer, trace: &Trace) {
+    w.usize(trace.initial_state.len());
+    for (net, value) in &trace.initial_state {
+        w.usize(net.index());
+        write_bv(w, value);
+    }
+    w.usize(trace.inputs.len());
+    for cycle in &trace.inputs {
+        w.usize(cycle.len());
+        for (net, value) in cycle {
+            w.usize(net.index());
+            write_bv(w, value);
+        }
+    }
+}
+
+fn read_trace(r: &mut Reader<'_>) -> Result<Trace, PersistError> {
+    let read_pairs = |r: &mut Reader<'_>| -> Result<Vec<(NetId, Bv)>, PersistError> {
+        let count = r.len(16)?;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let net = NetId::from_index(r.scalar()?);
+            pairs.push((net, read_bv(r)?));
+        }
+        Ok(pairs)
+    };
+    let initial_state = read_pairs(r)?;
+    let cycle_count = r.len(8)?;
+    let mut inputs = Vec::with_capacity(cycle_count);
+    for _ in 0..cycle_count {
+        inputs.push(read_pairs(r)?);
+    }
+    Ok(Trace {
+        initial_state,
+        inputs,
+    })
+}
+
+fn write_verdict(w: &mut Writer, verdict: &Verdict) -> Result<(), PersistError> {
+    match verdict {
+        Verdict::Holds { proved, frames } => {
+            w.u8(0);
+            w.bool(*proved);
+            w.usize(*frames);
+        }
+        Verdict::Violated { trace } => {
+            w.u8(1);
+            write_trace(w, trace);
+        }
+        Verdict::WitnessFound { trace } => {
+            w.u8(2);
+            write_trace(w, trace);
+        }
+        Verdict::WitnessAbsent { frames } => {
+            w.u8(3);
+            w.usize(*frames);
+        }
+        Verdict::Unknown { .. } => {
+            return Err(PersistError::Malformed(
+                "non-definitive verdicts are never persisted",
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn read_verdict(r: &mut Reader<'_>) -> Result<Verdict, PersistError> {
+    Ok(match r.u8()? {
+        0 => Verdict::Holds {
+            proved: r.bool()?,
+            frames: r.scalar()?,
+        },
+        1 => Verdict::Violated {
+            trace: read_trace(r)?,
+        },
+        2 => Verdict::WitnessFound {
+            trace: read_trace(r)?,
+        },
+        3 => Verdict::WitnessAbsent {
+            frames: r.scalar()?,
+        },
+        _ => return Err(PersistError::Malformed("unknown verdict tag")),
+    })
+}
+
+fn encode(snapshot: &Snapshot) -> Result<Vec<u8>, PersistError> {
+    let mut w = Writer::new();
+    w.u64(snapshot.knowledge.design().0);
+    write_netlist(&mut w, &snapshot.netlist);
+    write_knowledge(&mut w, &snapshot.knowledge);
+    w.usize(snapshot.verdicts.len());
+    for record in &snapshot.verdicts {
+        w.u64(record.property.0);
+        w.u64(record.config);
+        w.u8(record.winner.map(Engine::code).unwrap_or(u8::MAX));
+        write_verdict(&mut w, &record.verdict)?;
+    }
+    Ok(w.into_bytes())
+}
+
+fn decode(payload: &[u8]) -> Result<Snapshot, PersistError> {
+    let mut r = Reader::new(payload);
+    let design = DesignHash(r.u64()?);
+    let netlist = read_netlist(&mut r)?;
+    if design_hash(&netlist) != design {
+        return Err(PersistError::Malformed(
+            "netlist does not reproduce the recorded design hash",
+        ));
+    }
+    let knowledge = read_knowledge(&mut r, design)?;
+    let verdict_count = r.len(17)?;
+    let mut verdicts = Vec::with_capacity(verdict_count);
+    for _ in 0..verdict_count {
+        let property = PropertyHash(r.u64()?);
+        let config = r.u64()?;
+        let winner = match r.u8()? {
+            u8::MAX => None,
+            code => Some(
+                Engine::from_code(code).ok_or(PersistError::Malformed("unknown engine code"))?,
+            ),
+        };
+        verdicts.push(VerdictRecord {
+            property,
+            config,
+            verdict: read_verdict(&mut r)?,
+            winner,
+        });
+    }
+    if !r.is_done() {
+        return Err(PersistError::Malformed("trailing bytes after snapshot"));
+    }
+    Ok(Snapshot {
+        netlist,
+        knowledge,
+        verdicts,
+    })
+}
+
+/// Encodes a snapshot as a complete sealed frame (header + payload +
+/// checksum) — the same bytes [`save_snapshot`] writes. Used when a snapshot
+/// travels over a transport other than the file system (e.g. the network
+/// server's `export_knowledge`).
+///
+/// # Errors
+///
+/// [`PersistError::Malformed`] when the snapshot contains a non-persistable
+/// (non-definitive) verdict.
+pub fn encode_snapshot(snapshot: &Snapshot) -> Result<Vec<u8>, PersistError> {
+    Ok(seal(encode(snapshot)?))
+}
+
+/// Validates and decodes a sealed frame produced by [`encode_snapshot`] /
+/// [`save_snapshot`].
+///
+/// # Errors
+///
+/// Any [`PersistError`]; nothing about the input is trusted.
+pub fn decode_snapshot(frame: &[u8]) -> Result<Snapshot, PersistError> {
+    decode(unseal(frame)?)
+}
+
+// --- file i/o ----------------------------------------------------------------
+
+/// Writes a snapshot atomically: the frame goes to a temporary file in the
+/// target directory, is flushed to disk, and is renamed over `path`. A crash
+/// at any point leaves either the old snapshot or no file under `path` —
+/// never a partial one.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] on file-system failure (the temporary file is
+/// cleaned up best-effort), [`PersistError::Malformed`] when the snapshot
+/// contains a non-persistable (non-definitive) verdict.
+pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), PersistError> {
+    // Unique per save, not just per process: concurrent saves of the same
+    // design (two server threads autosaving after their batches) must not
+    // share a temp file, or one thread's rename could publish the other's
+    // half-written frame. With distinct temp files the last complete rename
+    // wins and every published frame is whole.
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let frame = encode_snapshot(snapshot)?;
+    let file_name = path
+        .file_name()
+        .ok_or(PersistError::Malformed("snapshot path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp{}.{}",
+        std::process::id(),
+        SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = (|| -> Result<(), PersistError> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&frame)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Reads and fully validates a snapshot file. See the crate docs for the
+/// validation layers; everything this returns has at least passed the
+/// checksum, the bounds-checked decode, the netlist shape checks and the
+/// design-hash reproduction check.
+///
+/// # Errors
+///
+/// Any [`PersistError`]; the caller should treat every variant as "this
+/// snapshot does not exist" and fall back to a cold start.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+    let frame = fs::read(path)?;
+    decode(unseal(&frame)?)
+}

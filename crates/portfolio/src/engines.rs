@@ -31,6 +31,26 @@ pub enum Engine {
     RandomSim,
 }
 
+impl Engine {
+    /// Every engine, in the canonical (spawn and serialization) order.
+    pub const ALL: [Engine; 3] = [Engine::Atpg, Engine::SatBmc, Engine::RandomSim];
+
+    /// Stable wire/disk code of this engine (the index in [`Engine::ALL`]).
+    pub fn code(self) -> u8 {
+        match self {
+            Engine::Atpg => 0,
+            Engine::SatBmc => 1,
+            Engine::RandomSim => 2,
+        }
+    }
+
+    /// Inverse of [`Engine::code`]; `None` for a code no engine owns (a
+    /// corrupt or future snapshot).
+    pub fn from_code(code: u8) -> Option<Engine> {
+        Engine::ALL.get(code as usize).copied()
+    }
+}
+
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

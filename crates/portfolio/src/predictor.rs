@@ -113,7 +113,7 @@ fn engine_index(engine: Engine) -> usize {
     }
 }
 
-const ENGINES: [Engine; 3] = [Engine::Atpg, Engine::SatBmc, Engine::RandomSim];
+const ENGINES: [Engine; 3] = Engine::ALL;
 
 impl EngineHistory {
     /// Creates an empty history.
@@ -135,6 +135,28 @@ impl EngineHistory {
     /// Races recorded so far (with any definitive winner).
     pub fn total_wins(&self) -> u64 {
         self.wins.iter().sum()
+    }
+
+    /// The raw `(wins, runs)` counters in [`Engine::ALL`] order, for
+    /// serialization (e.g. an on-disk knowledge snapshot).
+    pub fn counts(&self) -> ([u64; 3], [u64; 3]) {
+        (self.wins, self.runs)
+    }
+
+    /// Rebuilds a history from [`EngineHistory::counts`]. Counters are
+    /// scheduling pressure only, so a forged history is at worst a slow
+    /// first race, never an unsound verdict.
+    pub fn from_counts(wins: [u64; 3], runs: [u64; 3]) -> Self {
+        EngineHistory { wins, runs }
+    }
+
+    /// Accumulates another history into this one (counts saturate). Used
+    /// when a persisted history is folded into a live session's.
+    pub fn merge(&mut self, other: &EngineHistory) {
+        for i in 0..3 {
+            self.wins[i] = self.wins[i].saturating_add(other.wins[i]);
+            self.runs[i] = self.runs[i].saturating_add(other.runs[i]);
+        }
     }
 
     /// Wins attributed to `engine`.
@@ -314,6 +336,27 @@ mod tests {
         assert_eq!(predict_engines(&f, Some(&history)), ENGINES.to_vec());
         history.record(&[Engine::Atpg], Some(Engine::Atpg));
         assert!(predict_engines(&f, Some(&history)).len() < 3);
+    }
+
+    #[test]
+    fn history_counts_round_trip_and_merge() {
+        let mut h = EngineHistory::new();
+        h.record(&ENGINES, Some(Engine::SatBmc));
+        h.record(&[Engine::Atpg], Some(Engine::Atpg));
+        let (wins, runs) = h.counts();
+        assert_eq!(EngineHistory::from_counts(wins, runs), h);
+        let mut merged = EngineHistory::from_counts(wins, runs);
+        merged.merge(&h);
+        assert_eq!(merged.wins(Engine::Atpg), 2 * h.wins(Engine::Atpg));
+        assert_eq!(
+            merged.runs(Engine::RandomSim),
+            2 * h.runs(Engine::RandomSim)
+        );
+        assert_eq!(
+            Engine::from_code(Engine::SatBmc.code()),
+            Some(Engine::SatBmc)
+        );
+        assert_eq!(Engine::from_code(9), None);
     }
 
     #[test]

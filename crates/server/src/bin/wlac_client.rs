@@ -1,0 +1,281 @@
+//! Command-line client for `wlac-server`.
+//!
+//! ```text
+//! wlac-client [--addr HOST:PORT] ping
+//! wlac-client [--addr HOST:PORT] register DESIGN.v
+//! wlac-client [--addr HOST:PORT] check DESIGN.v [--always OUT]... [--eventually OUT]...
+//! wlac-client [--addr HOST:PORT] stats
+//! wlac-client [--addr HOST:PORT] export DESIGN_HASH FILE.wlacsnap
+//! wlac-client [--addr HOST:PORT] import FILE.wlacsnap
+//! wlac-client [--addr HOST:PORT] shutdown
+//! ```
+//!
+//! `check` registers the design, submits one job per `--always`/
+//! `--eventually` monitor (default: one `always` job per design output) and
+//! waits for the results. Exit codes: 0 all passed, 1 some property
+//! violated/unknown, 2 usage or protocol error.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use wlac_server::{Json, JsonError};
+
+struct Connection {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Connection {
+    fn open(addr: &str) -> std::io::Result<Connection> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Connection { writer, reader })
+    }
+
+    fn call(&mut self, request: &Json) -> Result<Json, String> {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if line.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        let reply =
+            Json::parse(line.trim_end()).map_err(|e: JsonError| format!("bad reply frame: {e}"))?;
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(reply)
+        } else {
+            let error = reply.get("error");
+            let code = error
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("unknown");
+            let message = error
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("no message");
+            Err(format!("server error [{code}]: {message}"))
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wlac-client [--addr HOST:PORT] \
+         (ping | register FILE.v | check FILE.v [--always OUT]... [--eventually OUT]... \
+         | stats | export DESIGN FILE | import FILE | shutdown)"
+    );
+    std::process::exit(2);
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("wlac-client: {message}");
+    std::process::exit(2);
+}
+
+fn read_source(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn register(conn: &mut Connection, path: &str) -> Result<(String, Vec<String>), String> {
+    let request = Json::obj(vec![
+        ("op", Json::str("register_design")),
+        ("source", Json::Str(read_source(path))),
+    ]);
+    let reply = conn.call(&request)?;
+    let design = reply
+        .get("design")
+        .and_then(Json::as_str)
+        .ok_or("reply missing `design`")?
+        .to_string();
+    let outputs = reply
+        .get("outputs")
+        .and_then(Json::as_arr)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|i| i.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok((design, outputs))
+}
+
+fn print_results(reply: &Json) -> i32 {
+    let mut failures = 0;
+    let results = reply.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    for result in results {
+        let property = result.get("property").and_then(Json::as_str).unwrap_or("?");
+        let verdict = result.get("verdict");
+        let label = verdict
+            .and_then(|v| v.get("label"))
+            .and_then(Json::as_str)
+            .unwrap_or("?");
+        let cached = result
+            .get("from_cache")
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let engines = result
+            .get("engines_spawned")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        let wall = result
+            .get("wall_ms")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        println!(
+            "{property:<16} {label:<13} {} engines={engines} wall={wall:.2}ms",
+            if cached { "cached" } else { "raced " },
+        );
+        if !matches!(label, "proved" | "holds(bound)" | "no witness" | "witness") {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_check(conn: &mut Connection, path: &str, rest: &[String]) -> Result<i32, String> {
+    let (design, outputs) = register(conn, path)?;
+    println!("design {design}");
+    let mut jobs: Vec<(String, String)> = Vec::new(); // (kind, monitor)
+    let mut iter = rest.iter();
+    while let Some(flag) = iter.next() {
+        let monitor = iter
+            .next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a monitor name")));
+        match flag.as_str() {
+            "--always" => jobs.push(("always".into(), monitor.clone())),
+            "--eventually" => jobs.push(("eventually".into(), monitor.clone())),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    if jobs.is_empty() {
+        // Default: every marked output is an `always` assertion.
+        jobs = outputs
+            .iter()
+            .map(|o| ("always".into(), o.clone()))
+            .collect();
+    }
+    if jobs.is_empty() {
+        return Err("design has no outputs and no monitors were named".into());
+    }
+    let job_values: Vec<Json> = jobs
+        .iter()
+        .map(|(kind, monitor)| {
+            Json::obj(vec![
+                ("design", Json::str(design.clone())),
+                (
+                    "property",
+                    Json::obj(vec![
+                        ("kind", Json::str(kind.clone())),
+                        ("monitor", Json::str(monitor.clone())),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let submit = Json::obj(vec![
+        ("op", Json::str("submit_batch")),
+        ("jobs", Json::Arr(job_values)),
+    ]);
+    let reply = conn.call(&submit)?;
+    let batch = reply
+        .get("batch")
+        .and_then(Json::as_u64)
+        .ok_or("reply missing `batch`")?;
+    let wait = Json::obj(vec![("op", Json::str("wait")), ("batch", Json::num(batch))]);
+    let reply = conn.call(&wait)?;
+    Ok(print_results(&reply))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut rest: &[String] = &args;
+    if rest.first().map(String::as_str) == Some("--addr") {
+        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+        rest = &rest[2..];
+    }
+    let Some(command) = rest.first() else { usage() };
+    let mut conn =
+        Connection::open(&addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+
+    let outcome: Result<i32, String> = match (command.as_str(), &rest[1..]) {
+        ("ping", []) => conn
+            .call(&Json::obj(vec![("op", Json::str("ping"))]))
+            .map(|_| {
+                println!("pong");
+                0
+            }),
+        ("register", [path]) => register(&mut conn, path).map(|(design, outputs)| {
+            println!("design {design} outputs [{}]", outputs.join(", "));
+            0
+        }),
+        ("check", [path, flags @ ..]) => cmd_check(&mut conn, path, flags),
+        ("stats", []) => conn
+            .call(&Json::obj(vec![("op", Json::str("stats"))]))
+            .map(|reply| {
+                println!("{}", reply.get("stats").cloned().unwrap_or(Json::Null));
+                0
+            }),
+        ("export", [design, file]) => conn
+            .call(&Json::obj(vec![
+                ("op", Json::str("export_knowledge")),
+                ("design", Json::str(design.clone())),
+            ]))
+            .and_then(|reply| {
+                let hex = reply
+                    .get("snapshot")
+                    .and_then(Json::as_str)
+                    .ok_or("reply missing `snapshot`")?;
+                let bytes = wlac_server::proto::hex_decode(hex).ok_or("reply snapshot not hex")?;
+                std::fs::write(file, bytes).map_err(|e| format!("cannot write {file}: {e}"))?;
+                println!("exported {design} to {file}");
+                Ok(0)
+            }),
+        ("import", [file]) => {
+            let bytes =
+                std::fs::read(file).unwrap_or_else(|e| fail(&format!("cannot read {file}: {e}")));
+            conn.call(&Json::obj(vec![
+                ("op", Json::str("import_knowledge")),
+                (
+                    "snapshot",
+                    Json::str(wlac_server::proto::hex_encode(&bytes)),
+                ),
+            ]))
+            .map(|reply| {
+                println!(
+                    "imported design {} ({} cached verdicts)",
+                    reply.get("design").and_then(Json::as_str).unwrap_or("?"),
+                    reply.get("verdicts").and_then(Json::as_u64).unwrap_or(0)
+                );
+                0
+            })
+        }
+        ("shutdown", []) => conn
+            .call(&Json::obj(vec![("op", Json::str("shutdown"))]))
+            .map(|reply| {
+                println!(
+                    "server drained, {} design(s) saved",
+                    reply
+                        .get("saved_designs")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0)
+                );
+                0
+            }),
+        _ => usage(),
+    };
+
+    match outcome {
+        Ok(code) => std::process::exit(code),
+        Err(message) => fail(&message),
+    }
+}

@@ -1,0 +1,67 @@
+//! The verification-server daemon.
+//!
+//! ```text
+//! wlac-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]
+//!             [--max-frames N] [--time-limit-secs N] [--cache-capacity N]
+//! ```
+//!
+//! Prints `listening on <addr>` once ready (scripts parse this line — with
+//! `--addr 127.0.0.1:0` it carries the ephemeral port), then serves until a
+//! `shutdown` request drains and persists everything.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use wlac_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wlac-server [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
+         [--max-frames N] [--time-limit-secs N] [--cache-capacity N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => config.addr = value(),
+            "--data-dir" => config.data_dir = Some(PathBuf::from(value())),
+            "--workers" => {
+                config.service.workers = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--max-frames" => {
+                config.service.portfolio.checker.max_frames =
+                    value().parse().unwrap_or_else(|_| usage());
+            }
+            "--time-limit-secs" => {
+                config.service.portfolio.checker.time_limit =
+                    Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--cache-capacity" => {
+                config.service.cache_capacity = value().parse().unwrap_or_else(|_| usage());
+            }
+            _ => usage(),
+        }
+    }
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("wlac-server: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound socket has an address");
+    if server.loaded_snapshots() > 0 {
+        eprintln!(
+            "wlac-server: warm boot, {} snapshot(s) loaded",
+            server.loaded_snapshots()
+        );
+    }
+    println!("listening on {addr}");
+    server.run();
+    println!("wlac-server: drained and saved, bye");
+}

@@ -1,0 +1,56 @@
+//! # wlac-server — the network front end of the verification service
+//!
+//! PR 4's [`wlac_service::VerificationService`] made checking a long-lived,
+//! learning session — but only for callers inside the same process. This
+//! crate puts it on the network and on disk:
+//!
+//! * **Wire protocol** — a thread-per-connection TCP listener speaking
+//!   line-delimited JSON (hand-rolled [`Json`]; the workspace builds offline,
+//!   so no serde/tokio). Requests: `register_design` (Verilog-subset source,
+//!   compiled by `wlac-frontend`), `submit_batch`, `poll`, `results`,
+//!   `wait`, `stats`, `export_knowledge`, `import_knowledge`, `ping`,
+//!   `shutdown`. Malformed frames get structured `{"ok":false,"error":{…}}`
+//!   replies on the same connection instead of a dropped socket.
+//! * **Persistence** — every design autosaves to a
+//!   [`wlac_persist::Snapshot`] after each finished batch and again on the
+//!   graceful-shutdown drain; on boot the server reloads every snapshot in
+//!   its data directory through the service's validating import, so a
+//!   restarted server answers repeat queries from the persisted verdict
+//!   cache with zero engine spawns.
+//! * **Tooling** — the `wlac-server` binary runs the daemon, `wlac-client`
+//!   drives it from scripts and CI (`register` / `check` / `stats` /
+//!   `export` / `import` / `shutdown`).
+//!
+//! See the README's "Server" section for the full protocol reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//! use wlac_server::{Server, ServerConfig};
+//!
+//! let mut config = ServerConfig::default();
+//! config.addr = "127.0.0.1:0".into(); // ephemeral port
+//! let server = Server::bind(config)?;
+//! let addr = server.local_addr()?;
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut stream = TcpStream::connect(addr)?;
+//! stream.write_all(b"{\"op\":\"ping\"}\n{\"op\":\"shutdown\"}\n")?;
+//! let mut lines = BufReader::new(stream).lines();
+//! assert!(lines.next().unwrap()?.contains("\"ok\":true"));
+//! handle.join().unwrap();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+mod server;
+
+pub use json::{Json, JsonError};
+pub use proto::ErrorCode;
+pub use server::{Server, ServerConfig};

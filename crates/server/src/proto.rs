@@ -1,0 +1,204 @@
+//! Wire-protocol vocabulary: request decoding helpers, response encoding,
+//! and the hex transport for binary snapshots.
+//!
+//! Every frame is one line of JSON. Requests carry an `"op"` member naming
+//! the operation; responses always carry `"ok"` — `true` with the payload
+//! inline, or `false` with an `"error": {"code", "message"}` object. A
+//! malformed frame is answered with a structured error on the same
+//! connection, never a dropped socket: batch tooling on the other end wants
+//! a diagnosis, not a reconnect loop.
+
+use crate::json::Json;
+use std::time::Duration;
+use wlac_service::{DesignHash, JobResult, ServiceStats};
+
+/// Machine-readable error codes of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The line was not valid JSON.
+    BadJson,
+    /// The frame was valid JSON but not a valid request.
+    BadRequest,
+    /// The `op` is not one the server knows.
+    UnknownOp,
+    /// A named design is not registered.
+    UnknownDesign,
+    /// A named batch handle does not exist.
+    UnknownBatch,
+    /// The design source failed to compile.
+    CompileError,
+    /// A property references something the design does not have.
+    BadProperty,
+    /// A knowledge snapshot failed validation.
+    BadSnapshot,
+    /// The batch is still running (for `results`).
+    NotDone,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An internal failure (e.g. persistence i/o).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownDesign => "unknown_design",
+            ErrorCode::UnknownBatch => "unknown_batch",
+            ErrorCode::CompileError => "compile_error",
+            ErrorCode::BadProperty => "bad_property",
+            ErrorCode::BadSnapshot => "bad_snapshot",
+            ErrorCode::NotDone => "not_done",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A structured failure reply.
+pub fn error_reply(code: ErrorCode, message: impl Into<String>) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::str(code.as_str())),
+                ("message", Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// A success reply with the given payload members.
+pub fn ok_reply(mut payload: Vec<(&str, Json)>) -> Json {
+    let mut members = vec![("ok", Json::Bool(true))];
+    members.append(&mut payload);
+    Json::obj(members)
+}
+
+/// Formats a design hash for the wire (`d` + 16 hex digits — the same
+/// spelling `DesignHash` displays as).
+pub fn design_to_wire(design: DesignHash) -> String {
+    design.to_string()
+}
+
+/// Parses the wire spelling of a design hash.
+pub fn design_from_wire(text: &str) -> Option<DesignHash> {
+    let digits = text.strip_prefix('d')?;
+    if digits.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(digits, 16).ok().map(DesignHash)
+}
+
+/// Lower-case hex of a binary blob (snapshot transport).
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`].
+pub fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(text.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+fn duration_ms(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e3)
+}
+
+/// Encodes one job result for the wire.
+pub fn job_result_to_wire(result: &JobResult) -> Json {
+    let verdict = &result.verdict;
+    let mut v = vec![("label", Json::str(verdict.label()))];
+    match verdict {
+        wlac_portfolio::Verdict::Holds { proved, frames } => {
+            v.push(("proved", Json::Bool(*proved)));
+            v.push(("frames", Json::num(*frames as u64)));
+        }
+        wlac_portfolio::Verdict::WitnessAbsent { frames } => {
+            v.push(("frames", Json::num(*frames as u64)));
+        }
+        wlac_portfolio::Verdict::Violated { trace }
+        | wlac_portfolio::Verdict::WitnessFound { trace } => {
+            v.push(("trace_cycles", Json::num(trace.len() as u64)));
+        }
+        wlac_portfolio::Verdict::Unknown { reason } => {
+            v.push(("reason", Json::str(reason.clone())));
+        }
+    }
+    Json::obj(vec![
+        ("property", Json::str(result.property.clone())),
+        ("design", Json::str(design_to_wire(result.design))),
+        ("verdict", Json::obj(v)),
+        (
+            "winner",
+            result
+                .winner
+                .map(|w| Json::str(w.to_string()))
+                .unwrap_or(Json::Null),
+        ),
+        ("from_cache", Json::Bool(result.from_cache)),
+        ("engines_spawned", Json::num(result.engines_spawned as u64)),
+        ("wall_ms", duration_ms(result.wall)),
+    ])
+}
+
+/// Encodes the service counters for the wire.
+pub fn stats_to_wire(stats: &ServiceStats, loaded_snapshots: usize) -> Json {
+    Json::obj(vec![
+        ("designs", Json::num(stats.designs as u64)),
+        ("cache_hits", Json::num(stats.cache_hits)),
+        ("cache_misses", Json::num(stats.cache_misses)),
+        ("cache_evictions", Json::num(stats.cache_evictions)),
+        ("cached_verdicts", Json::num(stats.cached_verdicts as u64)),
+        ("predicted_races", Json::num(stats.predicted_races)),
+        ("clauses_banked", Json::num(stats.clauses_banked)),
+        ("datapath_facts", Json::num(stats.datapath_facts)),
+        ("estg_conflicts", Json::num(stats.estg_conflicts)),
+        ("loaded_snapshots", Json::num(loaded_snapshots as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_wire_round_trip() {
+        let design = DesignHash(0x0123_4567_89ab_cdef);
+        assert_eq!(design_from_wire(&design_to_wire(design)), Some(design));
+        assert_eq!(design_from_wire("nonsense"), None);
+        assert_eq!(design_from_wire("d123"), None);
+        assert_eq!(design_from_wire("dzzzzzzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn error_replies_are_structured() {
+        let reply = error_reply(ErrorCode::BadJson, "expected a value at byte 0");
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+        let error = reply.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("bad_json"));
+        assert!(error.get("message").unwrap().as_str().is_some());
+    }
+}

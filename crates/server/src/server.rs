@@ -1,0 +1,638 @@
+//! The TCP front end: listener, per-connection handlers, request dispatch,
+//! autosave and restart-warm boot.
+
+use crate::json::Json;
+use crate::proto::{
+    design_from_wire, design_to_wire, error_reply, hex_decode, hex_encode, job_result_to_wire,
+    ok_reply, stats_to_wire, ErrorCode,
+};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use wlac_atpg::{Property, PropertyKind, Verification};
+use wlac_netlist::{NetId, Netlist};
+use wlac_persist::{
+    decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, snapshot_file_name, Snapshot,
+};
+use wlac_service::{BatchId, DesignHash, JobResult, ServiceConfig, VerificationService};
+
+/// How the server comes up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Snapshot directory. `None` disables persistence: the server still
+    /// serves traffic but restarts cold.
+    pub data_dir: Option<PathBuf>,
+    /// The verification-service configuration behind the front end.
+    pub service: ServiceConfig,
+}
+
+impl ServerConfig {
+    /// Defaults: loopback on port 7117, no persistence, default service.
+    pub fn new() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            data_dir: None,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new()
+    }
+}
+
+struct ServerState {
+    service: VerificationService,
+    /// Canonical netlist per design, for monitor-name resolution and
+    /// snapshot assembly (the service's own registry is private to it).
+    designs: Mutex<HashMap<DesignHash, Netlist>>,
+    data_dir: Option<PathBuf>,
+    shutting_down: AtomicBool,
+    loaded_snapshots: AtomicUsize,
+    /// Requests currently being dispatched or having their reply written.
+    /// The shutdown path waits for this to reach zero so no client loses an
+    /// already-earned reply (or its autosave) to the process exiting.
+    active_requests: AtomicUsize,
+}
+
+/// A running verification server.
+///
+/// [`Server::bind`] loads any snapshots found in the data directory (a
+/// restarted server answers repeat queries warm), then [`Server::run`]
+/// accepts connections until a `shutdown` request arrives; the shutdown path
+/// drains in-flight jobs and saves every design before returning.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and warm-loads persisted state.
+    ///
+    /// Snapshot files that fail validation (truncated, corrupt, foreign) are
+    /// skipped with a diagnostic on stderr — a bad snapshot costs warmth,
+    /// never integrity.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the address or creating the data directory.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        if let Some(dir) = &config.data_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            service: VerificationService::new(config.service),
+            designs: Mutex::new(HashMap::new()),
+            data_dir: config.data_dir,
+            shutting_down: AtomicBool::new(false),
+            loaded_snapshots: AtomicUsize::new(0),
+            active_requests: AtomicUsize::new(0),
+        });
+        load_all_snapshots(&state);
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's failure to report its address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Number of snapshots successfully loaded at boot.
+    pub fn loaded_snapshots(&self) -> usize {
+        self.state.loaded_snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Serves connections until a `shutdown` request completes. Each
+    /// connection gets its own thread; the accept loop polls so it can
+    /// observe the shutdown flag. On exit every in-flight job has finished
+    /// and every design has been saved.
+    pub fn run(self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || handle_connection(&state, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.state.shutting_down.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => {
+                    eprintln!("wlac-server: accept failed: {e}");
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+            }
+        }
+        // Connection threads are detached, so wait for every in-flight
+        // request (a reply mid-write on another connection, its autosave)
+        // to finish before the final sweep; readers idling on their sockets
+        // don't count and don't block exit. Bounded so a pathological
+        // handler cannot wedge shutdown forever.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.state.active_requests.load(Ordering::Acquire) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The shutdown request already drained and saved; a second pass here
+        // catches anything submitted on other connections in the window
+        // between that drain and the accept loop noticing the flag.
+        self.state.service.drain();
+        save_all_designs(&self.state);
+    }
+}
+
+fn load_all_snapshots(state: &ServerState) {
+    let Some(dir) = &state.data_dir else {
+        return;
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("wlac-server: cannot scan {}: {e}", dir.display());
+            return;
+        }
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wlacsnap") {
+            continue;
+        }
+        let snapshot = match load_snapshot(&path) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                eprintln!("wlac-server: skipping snapshot {}: {e}", path.display());
+                continue;
+            }
+        };
+        let design = state.service.register_design(&snapshot.netlist);
+        if design != snapshot.knowledge.design() {
+            // decode_snapshot re-derives the hash, so this means the service
+            // and the snapshot disagree about identity — do not trust it.
+            eprintln!(
+                "wlac-server: skipping snapshot {}: design hash mismatch",
+                path.display()
+            );
+            continue;
+        }
+        if let Err(e) = state.service.import_knowledge(design, &snapshot.knowledge) {
+            eprintln!(
+                "wlac-server: snapshot {} failed knowledge validation: {e}",
+                path.display()
+            );
+            continue;
+        }
+        if let Err(e) = state.service.import_verdicts(design, &snapshot.verdicts) {
+            eprintln!(
+                "wlac-server: snapshot {} failed verdict validation: {e}",
+                path.display()
+            );
+            continue;
+        }
+        state
+            .designs
+            .lock()
+            .expect("designs lock")
+            .insert(design, snapshot.netlist);
+        state.loaded_snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn assemble_snapshot(state: &ServerState, design: DesignHash) -> Option<Snapshot> {
+    let netlist = state
+        .designs
+        .lock()
+        .expect("designs lock")
+        .get(&design)?
+        .clone();
+    Some(Snapshot {
+        netlist,
+        knowledge: state.service.export_knowledge(design)?,
+        verdicts: state.service.export_verdicts(design)?,
+    })
+}
+
+fn save_design(state: &ServerState, design: DesignHash) {
+    let Some(dir) = &state.data_dir else {
+        return;
+    };
+    let Some(snapshot) = assemble_snapshot(state, design) else {
+        return;
+    };
+    let path = dir.join(snapshot_file_name(design));
+    if let Err(e) = save_snapshot(&path, &snapshot) {
+        eprintln!("wlac-server: autosave of {design} failed: {e}");
+    }
+}
+
+fn save_all_designs(state: &ServerState) -> usize {
+    let designs: Vec<DesignHash> = state
+        .designs
+        .lock()
+        .expect("designs lock")
+        .keys()
+        .copied()
+        .collect();
+    for design in &designs {
+        save_design(state, *design);
+    }
+    designs.len()
+}
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.active_requests.fetch_add(1, Ordering::AcqRel);
+        let reply = dispatch(state, &line);
+        let sent = writer
+            .write_all(format!("{reply}\n").as_bytes())
+            .and_then(|()| writer.flush());
+        state.active_requests.fetch_sub(1, Ordering::AcqRel);
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(state: &ServerState, line: &str) -> Json {
+    let frame = match Json::parse(line) {
+        Ok(frame) => frame,
+        Err(e) => return error_reply(ErrorCode::BadJson, e.to_string()),
+    };
+    let Some(op) = frame.get("op").and_then(Json::as_str) else {
+        return error_reply(ErrorCode::BadRequest, "missing string member `op`");
+    };
+    if state.shutting_down.load(Ordering::Acquire)
+        && matches!(op, "register_design" | "submit_batch" | "import_knowledge")
+    {
+        return error_reply(ErrorCode::ShuttingDown, "server is draining");
+    }
+    match op {
+        "ping" => ok_reply(Vec::new()),
+        "register_design" => op_register_design(state, &frame),
+        "submit_batch" => op_submit_batch(state, &frame),
+        "poll" => op_poll(state, &frame),
+        "results" => op_results(state, &frame),
+        "wait" => op_wait(state, &frame),
+        "stats" => ok_reply(vec![(
+            "stats",
+            stats_to_wire(
+                &state.service.stats(),
+                state.loaded_snapshots.load(Ordering::Relaxed),
+            ),
+        )]),
+        "export_knowledge" => op_export_knowledge(state, &frame),
+        "import_knowledge" => op_import_knowledge(state, &frame),
+        "shutdown" => op_shutdown(state),
+        _ => error_reply(ErrorCode::UnknownOp, format!("unknown op `{op}`")),
+    }
+}
+
+fn op_register_design(state: &ServerState, frame: &Json) -> Json {
+    let Some(source) = frame.get("source").and_then(Json::as_str) else {
+        return error_reply(ErrorCode::BadRequest, "missing string member `source`");
+    };
+    let netlist = match wlac_frontend::compile(source) {
+        Ok(netlist) => netlist,
+        Err(e) => return error_reply(ErrorCode::CompileError, e.to_string()),
+    };
+    let design = state.service.register_design(&netlist);
+    let outputs = Json::Arr(
+        netlist
+            .outputs()
+            .iter()
+            .map(|(name, _)| Json::str(name.clone()))
+            .collect(),
+    );
+    let name = netlist.name().to_string();
+    state
+        .designs
+        .lock()
+        .expect("designs lock")
+        .entry(design)
+        .or_insert(netlist);
+    ok_reply(vec![
+        ("design", Json::str(design_to_wire(design))),
+        ("module", Json::str(name)),
+        ("outputs", outputs),
+    ])
+}
+
+/// Resolves a monitor reference: a marked output name first, then any named
+/// net. Must be a single-bit net.
+fn resolve_monitor(netlist: &Netlist, name: &str) -> Result<NetId, String> {
+    let net = netlist
+        .outputs()
+        .iter()
+        .find(|(output, _)| output == name)
+        .map(|(_, net)| *net)
+        .or_else(|| netlist.find_net(name))
+        .ok_or_else(|| format!("no output or named net `{name}`"))?;
+    if netlist.net_width(net) != 1 {
+        return Err(format!(
+            "`{name}` is {} bits wide; monitors must be single-bit",
+            netlist.net_width(net)
+        ));
+    }
+    Ok(net)
+}
+
+fn parse_job(state: &ServerState, job: &Json, index: usize) -> Result<Verification, Json> {
+    let bad = |message: String| Err(error_reply(ErrorCode::BadProperty, message));
+    let Some(design_text) = job.get("design").and_then(Json::as_str) else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            format!("job #{index}: missing string member `design`"),
+        ));
+    };
+    let Some(design) = design_from_wire(design_text) else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            format!("job #{index}: `{design_text}` is not a design hash"),
+        ));
+    };
+    let netlist = {
+        let designs = state.designs.lock().expect("designs lock");
+        match designs.get(&design) {
+            Some(netlist) => netlist.clone(),
+            None => {
+                return Err(error_reply(
+                    ErrorCode::UnknownDesign,
+                    format!("job #{index}: design {design_text} is not registered"),
+                ))
+            }
+        }
+    };
+    let Some(property) = job.get("property") else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            format!("job #{index}: missing member `property`"),
+        ));
+    };
+    let kind = match property.get("kind").and_then(Json::as_str) {
+        Some("always") | None => PropertyKind::Always,
+        Some("eventually") => PropertyKind::Eventually,
+        Some(other) => {
+            return bad(format!(
+                "job #{index}: property kind `{other}` (expected `always` or `eventually`)"
+            ))
+        }
+    };
+    let Some(monitor_name) = property.get("monitor").and_then(Json::as_str) else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            format!("job #{index}: property is missing string member `monitor`"),
+        ));
+    };
+    let monitor = match resolve_monitor(&netlist, monitor_name) {
+        Ok(net) => net,
+        Err(message) => return bad(format!("job #{index}: {message}")),
+    };
+    let name = property
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or(monitor_name)
+        .to_string();
+    let mut environment = Vec::new();
+    if let Some(env) = job.get("environment") {
+        let Some(items) = env.as_arr() else {
+            return bad(format!("job #{index}: `environment` must be an array"));
+        };
+        for item in items {
+            let Some(env_name) = item.as_str() else {
+                return bad(format!("job #{index}: environment entries must be strings"));
+            };
+            match resolve_monitor(&netlist, env_name) {
+                Ok(net) => environment.push(net),
+                Err(message) => return bad(format!("job #{index}: {message}")),
+            }
+        }
+    }
+    let property = Property {
+        name,
+        kind,
+        monitor,
+    };
+    Ok(Verification {
+        netlist,
+        property,
+        environment,
+    })
+}
+
+fn op_submit_batch(state: &ServerState, frame: &Json) -> Json {
+    let Some(jobs) = frame.get("jobs").and_then(Json::as_arr) else {
+        return error_reply(ErrorCode::BadRequest, "missing array member `jobs`");
+    };
+    let mut verifications = Vec::with_capacity(jobs.len());
+    for (index, job) in jobs.iter().enumerate() {
+        match parse_job(state, job, index) {
+            Ok(verification) => verifications.push(verification),
+            Err(reply) => return reply,
+        }
+    }
+    let batch = state.service.submit_batch(verifications);
+    ok_reply(vec![("batch", Json::num(batch.raw()))])
+}
+
+fn batch_from(frame: &Json) -> Result<BatchId, Json> {
+    frame
+        .get("batch")
+        .and_then(Json::as_u64)
+        .map(BatchId::from_raw)
+        .ok_or_else(|| error_reply(ErrorCode::BadRequest, "missing integer member `batch`"))
+}
+
+fn op_poll(state: &ServerState, frame: &Json) -> Json {
+    let batch = match batch_from(frame) {
+        Ok(batch) => batch,
+        Err(reply) => return reply,
+    };
+    match state.service.poll(batch) {
+        Some(status) => ok_reply(vec![
+            ("total", Json::num(status.total as u64)),
+            ("completed", Json::num(status.completed as u64)),
+            ("done", Json::Bool(status.done())),
+        ]),
+        None => error_reply(ErrorCode::UnknownBatch, format!("no batch {}", batch.raw())),
+    }
+}
+
+fn results_reply(state: &ServerState, results: Vec<JobResult>) -> Json {
+    // Autosave every design this batch actually raced on, so even a kill -9
+    // after the reply keeps the warmth. A design whose jobs were all
+    // answered from the verdict cache learned nothing — skipping it keeps
+    // the warm path free of redundant snapshot writes.
+    let mut saved: Vec<DesignHash> = results
+        .iter()
+        .filter(|r| !r.from_cache)
+        .map(|r| r.design)
+        .collect();
+    saved.sort_unstable_by_key(|d| d.0);
+    saved.dedup();
+    for design in saved {
+        save_design(state, design);
+    }
+    ok_reply(vec![(
+        "results",
+        Json::Arr(results.iter().map(job_result_to_wire).collect()),
+    )])
+}
+
+fn op_results(state: &ServerState, frame: &Json) -> Json {
+    let batch = match batch_from(frame) {
+        Ok(batch) => batch,
+        Err(reply) => return reply,
+    };
+    match state.service.results(batch) {
+        Some(results) => results_reply(state, results),
+        None => match state.service.poll(batch) {
+            Some(_) => error_reply(ErrorCode::NotDone, "batch is still running; poll or wait"),
+            None => error_reply(ErrorCode::UnknownBatch, format!("no batch {}", batch.raw())),
+        },
+    }
+}
+
+fn op_wait(state: &ServerState, frame: &Json) -> Json {
+    let batch = match batch_from(frame) {
+        Ok(batch) => batch,
+        Err(reply) => return reply,
+    };
+    if state.service.poll(batch).is_none() {
+        return error_reply(ErrorCode::UnknownBatch, format!("no batch {}", batch.raw()));
+    }
+    let results = state.service.wait(batch);
+    results_reply(state, results)
+}
+
+fn design_from(state: &ServerState, frame: &Json) -> Result<DesignHash, Json> {
+    let Some(text) = frame.get("design").and_then(Json::as_str) else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            "missing string member `design`",
+        ));
+    };
+    let Some(design) = design_from_wire(text) else {
+        return Err(error_reply(
+            ErrorCode::BadRequest,
+            format!("`{text}` is not a design hash"),
+        ));
+    };
+    if !state
+        .designs
+        .lock()
+        .expect("designs lock")
+        .contains_key(&design)
+    {
+        return Err(error_reply(
+            ErrorCode::UnknownDesign,
+            format!("design {text} is not registered"),
+        ));
+    }
+    Ok(design)
+}
+
+fn op_export_knowledge(state: &ServerState, frame: &Json) -> Json {
+    let design = match design_from(state, frame) {
+        Ok(design) => design,
+        Err(reply) => return reply,
+    };
+    let Some(snapshot) = assemble_snapshot(state, design) else {
+        return error_reply(ErrorCode::Internal, "design vanished mid-export");
+    };
+    match encode_snapshot(&snapshot) {
+        Ok(bytes) => ok_reply(vec![
+            ("design", Json::str(design_to_wire(design))),
+            ("snapshot", Json::str(hex_encode(&bytes))),
+        ]),
+        Err(e) => error_reply(ErrorCode::Internal, e.to_string()),
+    }
+}
+
+fn op_import_knowledge(state: &ServerState, frame: &Json) -> Json {
+    let Some(hex) = frame.get("snapshot").and_then(Json::as_str) else {
+        return error_reply(ErrorCode::BadRequest, "missing string member `snapshot`");
+    };
+    let Some(bytes) = hex_decode(hex) else {
+        return error_reply(ErrorCode::BadRequest, "`snapshot` is not hex");
+    };
+    let snapshot = match decode_snapshot(&bytes) {
+        Ok(snapshot) => snapshot,
+        Err(e) => return error_reply(ErrorCode::BadSnapshot, e.to_string()),
+    };
+    // When the caller names a design, the snapshot must describe it — this
+    // is how a client warm-starting a specific design finds out it sent the
+    // wrong file.
+    if let Some(text) = frame.get("design").and_then(Json::as_str) {
+        match design_from_wire(text) {
+            Some(design) if design == snapshot.knowledge.design() => {}
+            Some(_) | None => {
+                return error_reply(
+                    ErrorCode::BadSnapshot,
+                    format!(
+                        "snapshot describes design {}, not {text}",
+                        design_to_wire(snapshot.knowledge.design())
+                    ),
+                )
+            }
+        }
+    }
+    let design = state.service.register_design(&snapshot.netlist);
+    if design != snapshot.knowledge.design() {
+        return error_reply(ErrorCode::BadSnapshot, "design hash mismatch");
+    }
+    if let Err(e) = state.service.import_knowledge(design, &snapshot.knowledge) {
+        return error_reply(ErrorCode::BadSnapshot, e.to_string());
+    }
+    let verdicts = match state.service.import_verdicts(design, &snapshot.verdicts) {
+        Ok(count) => count,
+        Err(e) => return error_reply(ErrorCode::BadSnapshot, e.to_string()),
+    };
+    state
+        .designs
+        .lock()
+        .expect("designs lock")
+        .entry(design)
+        .or_insert(snapshot.netlist);
+    ok_reply(vec![
+        ("design", Json::str(design_to_wire(design))),
+        ("verdicts", Json::num(verdicts as u64)),
+    ])
+}
+
+fn op_shutdown(state: &ServerState) -> Json {
+    state.shutting_down.store(true, Ordering::Release);
+    // Drain before replying: when the client sees this reply, every job it
+    // (or anyone else) submitted has a result and is on disk.
+    state.service.drain();
+    let saved = save_all_designs(state);
+    ok_reply(vec![("saved_designs", Json::num(saved as u64))])
+}

@@ -1,0 +1,385 @@
+//! End-to-end socket tests: a real `Server` on an ephemeral port, driven by
+//! a real `TcpStream` — protocol behaviour, error replies, concurrency, and
+//! the restart-warm persistence loop.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use wlac_server::{Json, Server, ServerConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "wlac-server-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// A saturating counter in the Verilog subset the frontend compiles
+/// (registers reset to zero); `ok` asserts it stays below 11 (holds),
+/// `bad` asserts it stays below 5 (violated around cycle 5).
+const COUNTER_V: &str = r#"
+    module counter(input clk, output ok, output bad);
+      reg [7:0] q;
+      always @(posedge clk) begin
+        if (q == 10)
+          q <= 10;
+        else
+          q <= q + 1;
+      end
+      assign ok = q < 11;
+      assign bad = q < 5;
+    endmodule
+"#;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    /// Sends one raw line and reads one reply line.
+    fn raw(&mut self, line: &str) -> Json {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("receive");
+        assert!(!reply.is_empty(), "server closed the connection");
+        Json::parse(reply.trim_end()).expect("reply is valid JSON")
+    }
+
+    fn call(&mut self, request: Json) -> Json {
+        let reply = self.raw(&request.to_string());
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {request} failed: {reply}"
+        );
+        reply
+    }
+
+    fn call_err(&mut self, line: &str) -> String {
+        let reply = self.raw(line);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "expected an error reply for {line}, got {reply}"
+        );
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .expect("error reply carries a code")
+            .to_string()
+    }
+
+    fn register_counter(&mut self) -> String {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("register_design")),
+            ("source", Json::str(COUNTER_V)),
+        ]));
+        reply
+            .get("design")
+            .and_then(Json::as_str)
+            .expect("design hash")
+            .to_string()
+    }
+
+    fn submit_both(&mut self, design: &str) -> u64 {
+        let job = |monitor: &str| {
+            Json::obj(vec![
+                ("design", Json::str(design)),
+                (
+                    "property",
+                    Json::obj(vec![
+                        ("kind", Json::str("always")),
+                        ("monitor", Json::str(monitor)),
+                    ]),
+                ),
+            ])
+        };
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("submit_batch")),
+            ("jobs", Json::Arr(vec![job("ok"), job("bad")])),
+        ]));
+        reply.get("batch").and_then(Json::as_u64).expect("batch id")
+    }
+
+    fn wait(&mut self, batch: u64) -> Vec<Json> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("wait")),
+            ("batch", Json::num(batch)),
+        ]));
+        reply
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results array")
+            .to_vec()
+    }
+
+    fn shutdown(&mut self) {
+        self.call(Json::obj(vec![("op", Json::str("shutdown"))]));
+    }
+}
+
+fn quick_config() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    config.service.workers = 2;
+    config.service.portfolio.checker.max_frames = 6;
+    config.service.portfolio.checker.time_limit = Duration::from_secs(30);
+    config
+}
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>, usize) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let loaded = server.loaded_snapshots();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle, loaded)
+}
+
+fn label_of(result: &Json) -> String {
+    result
+        .get("verdict")
+        .and_then(|v| v.get("label"))
+        .and_then(Json::as_str)
+        .expect("verdict label")
+        .to_string()
+}
+
+fn cached(result: &Json) -> bool {
+    result
+        .get("from_cache")
+        .and_then(Json::as_bool)
+        .expect("from_cache")
+}
+
+#[test]
+fn protocol_round_trip_and_errors() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+
+    // Malformed frames get structured error replies, and the connection
+    // survives every one of them.
+    assert_eq!(client.call_err("this is not json"), "bad_json");
+    assert_eq!(client.call_err("[1,2,3]"), "bad_request");
+    assert_eq!(client.call_err("{\"op\":\"frobnicate\"}"), "unknown_op");
+    assert_eq!(
+        client.call_err("{\"op\":\"register_design\",\"source\":\"module m(; endmodule\"}"),
+        "compile_error"
+    );
+    assert_eq!(
+        client.call_err("{\"op\":\"poll\",\"batch\":123456}"),
+        "unknown_batch"
+    );
+    assert_eq!(client.call_err("{\"op\":\"results\"}"), "bad_request");
+
+    // The connection is still healthy: full verification round-trip.
+    client.call(Json::obj(vec![("op", Json::str("ping"))]));
+    let design = client.register_counter();
+    assert!(design.starts_with('d'), "wire hash: {design}");
+
+    // Property referencing a missing / wide monitor.
+    let bad_job = format!(
+        "{{\"op\":\"submit_batch\",\"jobs\":[{{\"design\":\"{design}\",\
+         \"property\":{{\"monitor\":\"nope\"}}}}]}}"
+    );
+    assert_eq!(client.call_err(&bad_job), "bad_property");
+    let wide_job = format!(
+        "{{\"op\":\"submit_batch\",\"jobs\":[{{\"design\":\"{design}\",\
+         \"property\":{{\"monitor\":\"q\"}}}}]}}"
+    );
+    assert_eq!(client.call_err(&wide_job), "bad_property");
+
+    let batch = client.submit_both(&design);
+    // poll until done, then fetch results both ways.
+    loop {
+        let reply = client.call(Json::obj(vec![
+            ("op", Json::str("poll")),
+            ("batch", Json::num(batch)),
+        ]));
+        if reply.get("done").and_then(Json::as_bool) == Some(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 2);
+    assert_eq!(label_of(&results[0]), "holds(bound)");
+    assert_eq!(label_of(&results[1]), "violated");
+    assert!(results[1]
+        .get("verdict")
+        .and_then(|v| v.get("trace_cycles"))
+        .and_then(Json::as_u64)
+        .is_some());
+
+    // A second identical submission is answered from the verdict cache.
+    let batch = client.submit_both(&design);
+    let warm = client.wait(batch);
+    assert!(warm.iter().all(cached), "{warm:?}");
+
+    // Two clients at once multiplex onto the same service.
+    let mut second = Client::connect(addr);
+    let design2 = second.register_counter();
+    assert_eq!(design, design2, "same structure, same design");
+    let stats = second.call(Json::obj(vec![("op", Json::str("stats"))]));
+    let designs = stats
+        .get("stats")
+        .and_then(|s| s.get("designs"))
+        .and_then(Json::as_u64);
+    assert_eq!(designs, Some(1));
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn restart_warm_serves_persisted_verdicts() {
+    let dir = TempDir::new();
+
+    // Session 1: cold run, then graceful shutdown (drain + save).
+    let mut config = quick_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 0, "first boot is cold");
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+    let cold = client.wait(batch);
+    assert!(cold.iter().all(|r| !cached(r)));
+    let cold_labels: Vec<String> = cold.iter().map(label_of).collect();
+    client.shutdown();
+    handle.join().expect("server thread");
+    let snapshots: Vec<_> = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        snapshots.len(),
+        1,
+        "one design, one snapshot: {snapshots:?}"
+    );
+    assert!(snapshots[0].ends_with(".wlacsnap"));
+
+    // Session 2: a fresh process-equivalent (new Server, same data dir)
+    // answers the same batch from the persisted verdict cache.
+    let mut config = quick_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 1, "snapshot reloaded at boot");
+    let mut client = Client::connect(addr);
+    // Note: re-registration is idempotent (the boot reload already brought
+    // the design in) — clients do not need to know the server restarted.
+    let design2 = client.register_counter();
+    assert_eq!(design, design2);
+    let batch = client.submit_both(&design2);
+    let warm = client.wait(batch);
+    assert!(
+        warm.iter().all(cached),
+        "restart-warm batch must hit the persisted cache: {warm:?}"
+    );
+    assert!(warm
+        .iter()
+        .all(|r| r.get("engines_spawned").and_then(Json::as_u64) == Some(0)));
+    let warm_labels: Vec<String> = warm.iter().map(label_of).collect();
+    assert_eq!(
+        cold_labels, warm_labels,
+        "verdicts identical across restart"
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+
+    // Session 3: a corrupted snapshot is skipped, not trusted — the boot is
+    // cold but clean.
+    let snap_path = dir.0.join(&snapshots[0]);
+    let mut bytes = fs::read(&snap_path).expect("snapshot bytes");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&snap_path, &bytes).expect("corrupt snapshot");
+    let mut config = quick_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 0, "corrupt snapshot must be skipped");
+    let mut client = Client::connect(addr);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn knowledge_export_import_over_the_wire() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+    let _ = client.wait(batch);
+
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("export_knowledge")),
+        ("design", Json::str(design.clone())),
+    ]));
+    let hex = reply
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .expect("snapshot hex")
+        .to_string();
+    client.shutdown();
+    handle.join().expect("server thread");
+
+    // A second, completely unrelated server warm-starts from the exported
+    // blob alone: import registers the design and fills its caches.
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("import_knowledge")),
+        ("snapshot", Json::str(hex.clone())),
+    ]));
+    assert_eq!(
+        reply.get("design").and_then(Json::as_str),
+        Some(design.as_str())
+    );
+    assert_eq!(reply.get("verdicts").and_then(Json::as_u64), Some(2));
+    let batch = client.submit_both(&design);
+    let warm = client.wait(batch);
+    assert!(warm.iter().all(cached), "{warm:?}");
+
+    // Importing a truncated blob is rejected with a structured error.
+    let truncated = &hex[..(hex.len() / 2) & !1];
+    let line = format!("{{\"op\":\"import_knowledge\",\"snapshot\":\"{truncated}\"}}");
+    assert_eq!(client.call_err(&line), "bad_snapshot");
+    // Importing under the wrong design name is rejected too.
+    let line = format!(
+        "{{\"op\":\"import_knowledge\",\"design\":\"d0000000000000000\",\"snapshot\":\"{hex}\"}}"
+    );
+    assert_eq!(client.call_err(&line), "bad_snapshot");
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}

@@ -39,6 +39,13 @@ pub enum KnowledgeError {
         /// Index of the offending clause in the imported store.
         index: usize,
     },
+    /// An imported cached verdict fails structural validation against the
+    /// design (a trace naming a non-existent net, a value of the wrong
+    /// width, or a non-definitive verdict).
+    MalformedVerdict {
+        /// Index of the offending record in the imported batch.
+        index: usize,
+    },
 }
 
 impl fmt::Display for KnowledgeError {
@@ -51,22 +58,55 @@ impl fmt::Display for KnowledgeError {
             KnowledgeError::MalformedClause { index } => {
                 write!(f, "frame clause #{index} fails structural validation")
             }
+            KnowledgeError::MalformedVerdict { index } => {
+                write!(f, "cached verdict #{index} fails structural validation")
+            }
         }
     }
 }
 
 impl Error for KnowledgeError {}
 
-/// Deduplicating, capacity-capped store of design-valid frame clauses.
+/// Deduplicating, subsuming, capacity-capped store of design-valid frame
+/// clauses.
 ///
 /// Clauses are canonicalised (literals sorted) before lookup; a duplicate
 /// keeps the **smaller** learn depth only when it was genuinely learned at
 /// that depth (smaller depth ⇒ valid at more shifts, and the recorded depth
 /// is part of the clause's validity claim, so it is never invented).
+///
+/// On insert the bank also runs subsumption both ways: a new clause whose
+/// literal set is a superset of a banked clause (at a depth no smaller than
+/// the banked one, so the banked clause replays at every shift the new one
+/// would) adds no pruning power and is rejected; conversely a new clause
+/// drops every banked clause it subsumes, so each banked clause is a
+/// maximal-pruning representative.
 #[derive(Debug, Clone)]
 pub struct ClauseBank {
     clauses: HashMap<Box<[FrameLit]>, u32>,
     cap: usize,
+    subsumed: u64,
+}
+
+/// `true` when every literal of `sub` occurs in `sup` (both sorted,
+/// duplicate-free). The clause `sub` then implies the clause `sup`.
+fn lits_subsume(sub: &[FrameLit], sup: &[FrameLit]) -> bool {
+    if sub.len() > sup.len() {
+        return false;
+    }
+    let mut it = sup.iter();
+    'outer: for lit in sub {
+        for candidate in it.by_ref() {
+            if candidate == lit {
+                continue 'outer;
+            }
+            if candidate > lit {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
 }
 
 impl ClauseBank {
@@ -75,7 +115,14 @@ impl ClauseBank {
         ClauseBank {
             clauses: HashMap::new(),
             cap,
+            subsumed: 0,
         }
+    }
+
+    /// Banked clauses dropped so far because a newly inserted clause
+    /// subsumed them.
+    pub fn subsumed_drops(&self) -> u64 {
+        self.subsumed
     }
 
     /// Number of banked clauses.
@@ -102,13 +149,35 @@ impl ClauseBank {
         lits.sort_by_key(|l| (l.frame, l.net, l.bit, l.negated));
         lits.dedup();
         let key: Box<[FrameLit]> = lits.into_boxed_slice();
-        if let Some(depth) = self.clauses.get_mut(&key) {
-            return if clause.depth < *depth {
+        let improved = match self.clauses.get_mut(&key) {
+            Some(depth) if clause.depth < *depth => {
                 *depth = clause.depth;
                 true
-            } else {
+            }
+            Some(_) => return false,
+            None => {
+                // A banked clause that subsumes the new one (subset of its
+                // literals, replayable at least as widely) makes it
+                // redundant.
+                if self
+                    .clauses
+                    .iter()
+                    .any(|(banked, depth)| *depth <= clause.depth && lits_subsume(banked, &key))
+                {
+                    return false;
+                }
                 false
-            };
+            }
+        };
+        // Drop every banked clause the new (or newly deepened) one subsumes
+        // — each is weaker (superset of literals) and no more replayable.
+        let before = self.clauses.len();
+        self.clauses.retain(|banked, depth| {
+            **banked == *key || !(clause.depth <= *depth && lits_subsume(&key, banked))
+        });
+        self.subsumed += (before - self.clauses.len()) as u64;
+        if improved {
+            return true;
         }
         if self.clauses.len() < self.cap {
             self.clauses.insert(key, clause.depth);
@@ -258,6 +327,10 @@ impl KnowledgeBase {
         // verdicts. They are cheap to re-derive, so the session re-learns
         // them on the first warm race instead.
         self.search.estg.merge(&other.search.estg);
+        // Engine win/loss history is scheduling pressure only (the predictor
+        // always keeps a complete engine), so a persisted history merges —
+        // this is what lets a restarted server skip the exploration races.
+        self.history.merge(&other.history);
         Ok(())
     }
 }
@@ -307,6 +380,39 @@ mod tests {
         let later = clause(5, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
         assert!(!bank.insert(&later));
         assert_eq!(bank.to_seeds()[0].depth, 2);
+    }
+
+    #[test]
+    fn bank_subsumption_drops_weaker_clauses() {
+        let mut bank = ClauseBank::new(8);
+        // Hand-built pair: the longer clause is banked first, then a shorter
+        // clause over a subset of its literals arrives at the same depth.
+        let long = clause(2, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
+        let short = clause(2, vec![lit(0, 0, 1, false)]);
+        assert!(bank.insert(&long));
+        assert!(bank.insert(&short));
+        // The short clause implies the long one and replays at the same
+        // shifts, so only the short one survives.
+        assert_eq!(bank.len(), 1);
+        assert_eq!(bank.to_seeds(), vec![short.clone()]);
+        assert_eq!(bank.subsumed_drops(), 1);
+
+        // Re-offering the long clause is now rejected as redundant.
+        assert!(!bank.insert(&long));
+        assert_eq!(bank.len(), 1);
+
+        // A superset clause at a *smaller* depth is NOT subsumed: the banked
+        // subset cannot be injected into unrollings shallower than its own
+        // learn depth, so the wider-replayable clause must be kept.
+        let shallow_long = clause(1, vec![lit(0, 0, 1, false), lit(1, 1, 0, true)]);
+        assert!(bank.insert(&shallow_long));
+        assert_eq!(bank.len(), 2);
+
+        // And a shallow subset sweeps out both: it is stronger than the
+        // superset and at least as replayable as everything banked.
+        let shallow_short = clause(1, vec![lit(0, 0, 1, false)]);
+        assert!(bank.insert(&shallow_short));
+        assert_eq!(bank.to_seeds(), vec![shallow_short]);
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub use knowledge::{
     ClauseBank, KnowledgeBase, KnowledgeError, KnowledgeStats, DEFAULT_CLAUSE_CAP,
 };
 pub use session::{
-    BatchId, BatchStatus, JobResult, ServiceConfig, ServiceStats, VerificationService,
+    BatchId, BatchStatus, JobResult, ServiceConfig, ServiceStats, VerdictRecord,
+    VerificationService, DEFAULT_CACHE_CAPACITY, DEFAULT_RETAINED_BATCHES,
 };
 
 #[cfg(test)]
@@ -214,6 +215,96 @@ mod tests {
         // A clean round-trip works.
         let exported = service.export_knowledge(design).expect("registered");
         assert!(service.import_knowledge(design, &exported).is_ok());
+    }
+
+    #[test]
+    fn verdict_cache_is_lru_bounded() {
+        let mut config = quick_config();
+        config.cache_capacity = 2;
+        let service = VerificationService::new(config);
+        // Three distinct queries through a 2-entry cache: one eviction.
+        let batch = service.submit_batch(vec![
+            counter(12, 5, "a"),
+            counter(9, 4, "b"),
+            counter(5, 12, "c"),
+        ]);
+        let _ = service.wait(batch);
+        let stats = service.stats();
+        assert_eq!(stats.cached_verdicts, 2);
+        assert_eq!(stats.cache_evictions, 1);
+        assert_eq!(stats.cache_misses, 3);
+    }
+
+    #[test]
+    fn retrieved_batches_are_retired_beyond_the_bound() {
+        let mut config = quick_config();
+        config.retained_batches = 1;
+        let service = VerificationService::new(config);
+        let first = service.submit_batch(vec![counter(12, 5, "a")]);
+        let _ = service.wait(first);
+        assert!(service.poll(first).is_some(), "within the retention bound");
+        let second = service.submit_batch(vec![counter(12, 5, "b")]);
+        let _ = service.wait(second);
+        // Retrieving the second batch pushed the first past the bound.
+        assert!(service.poll(first).is_none(), "oldest retrieved evicted");
+        assert!(service.poll(second).is_some());
+        // An unretrieved batch is never evicted, no matter how many
+        // retrievals happen after it.
+        let third = service.submit_batch(vec![counter(12, 5, "c")]);
+        for _ in 0..3 {
+            let again = service.submit_batch(vec![counter(12, 5, "b")]);
+            let _ = service.wait(again);
+        }
+        assert!(service.poll(third).is_some(), "unretrieved batch survives");
+        let _ = service.wait(third);
+    }
+
+    #[test]
+    fn verdicts_export_and_reimport_across_sessions() {
+        let service = VerificationService::new(quick_config());
+        let pass = counter(12, 5, "p");
+        let fail = counter(5, 12, "q");
+        let design_pass = design_hash(&pass.netlist);
+        let design_fail = design_hash(&fail.netlist);
+        let cold = service.wait(service.submit_batch(vec![pass.clone(), fail.clone()]));
+        let pass_records = service.export_verdicts(design_pass).expect("registered");
+        let fail_records = service.export_verdicts(design_fail).expect("registered");
+        assert_eq!(pass_records.len(), 1);
+        assert_eq!(fail_records.len(), 1);
+        assert!(fail_records[0].verdict.trace().is_some(), "violation trace");
+
+        // A fresh session warm-started from the exported records answers the
+        // same queries from the cache, with identical verdicts.
+        let restarted = VerificationService::new(quick_config());
+        restarted.register_design(&pass.netlist);
+        restarted.register_design(&fail.netlist);
+        assert_eq!(restarted.import_verdicts(design_pass, &pass_records), Ok(1));
+        assert_eq!(restarted.import_verdicts(design_fail, &fail_records), Ok(1));
+        let warm = restarted.wait(restarted.submit_batch(vec![pass, fail]));
+        assert!(warm.iter().all(|r| r.from_cache));
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(
+                std::mem::discriminant(&c.verdict),
+                std::mem::discriminant(&w.verdict)
+            );
+        }
+
+        // A record whose trace names a foreign net is rejected outright.
+        let mut poisoned = fail_records.clone();
+        if let Verdict::Violated { trace } = &mut poisoned[0].verdict {
+            trace
+                .initial_state
+                .push((wlac_netlist::NetId::from_index(9999), Bv::zero(4)));
+        }
+        assert!(matches!(
+            restarted.import_verdicts(design_fail, &poisoned),
+            Err(KnowledgeError::MalformedVerdict { index: 0 })
+        ));
+
+        // Unregistered designs cannot receive verdicts.
+        assert!(restarted
+            .import_verdicts(DesignHash(42), &pass_records)
+            .is_err());
     }
 
     #[test]

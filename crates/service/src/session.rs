@@ -90,6 +90,13 @@ pub struct JobResult {
     pub wall: Duration,
 }
 
+/// Default bound of the verdict cache (entries across all designs).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Default number of already-retrieved batches kept for late `poll` /
+/// `results` calls.
+pub const DEFAULT_RETAINED_BATCHES: usize = 1024;
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -101,11 +108,18 @@ pub struct ServiceConfig {
     /// Consult the scheduling predictor (`false` always races the full
     /// configured portfolio).
     pub predict: bool,
+    /// Verdict-cache bound; the least-recently-used entry is evicted when a
+    /// new verdict would exceed it. Zero disables caching entirely.
+    pub cache_capacity: usize,
+    /// How many already-retrieved batches to keep for late `poll`/`results`
+    /// calls before the oldest are evicted. Unretrieved batches are never
+    /// evicted.
+    pub retained_batches: usize,
 }
 
 impl ServiceConfig {
     /// Defaults: the default portfolio, one worker per available CPU,
-    /// prediction on.
+    /// prediction on, a [`DEFAULT_CACHE_CAPACITY`]-entry verdict cache.
     pub fn new() -> Self {
         ServiceConfig {
             portfolio: PortfolioConfig::default(),
@@ -113,6 +127,8 @@ impl ServiceConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             predict: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            retained_batches: DEFAULT_RETAINED_BATCHES,
         }
     }
 }
@@ -134,6 +150,10 @@ pub struct ServiceStats {
     pub cache_misses: u64,
     /// Races that ran a predictor-trimmed portfolio.
     pub predicted_races: u64,
+    /// Verdicts evicted from the cache by the LRU bound.
+    pub cache_evictions: u64,
+    /// Verdicts currently cached (≤ the configured capacity).
+    pub cached_verdicts: usize,
     /// Clauses currently banked across all designs.
     pub clauses_banked: u64,
     /// Datapath infeasibility facts recorded across all designs.
@@ -175,6 +195,114 @@ struct CachedVerdict {
     winner: Option<Engine>,
 }
 
+/// One exported verdict-cache entry: everything needed to re-answer the
+/// exact (design, property, config) query in a later session.
+#[derive(Debug, Clone)]
+pub struct VerdictRecord {
+    /// Hash of the property within the design.
+    pub property: PropertyHash,
+    /// Fingerprint of the verdict-affecting portfolio configuration.
+    pub config: u64,
+    /// The cached (always definitive) verdict.
+    pub verdict: Verdict,
+    /// The engine that produced it, when known.
+    pub winner: Option<Engine>,
+}
+
+/// Structural validation of a verdict offered from outside (a persisted
+/// snapshot): any attached trace must name existing nets with values of the
+/// exact net width, and only definitive verdicts are cacheable. An `Unknown`
+/// must never shadow a future run that could decide the job, and a trace
+/// over foreign nets would panic (or silently lie) on replay.
+pub(crate) fn verdict_is_well_formed(verdict: &Verdict, netlist: &Netlist) -> bool {
+    if !verdict.is_definitive() {
+        return false;
+    }
+    let Some(trace) = verdict.trace() else {
+        return true;
+    };
+    let ok = |pairs: &[(wlac_netlist::NetId, wlac_bv::Bv)]| {
+        pairs.iter().all(|(net, value)| {
+            net.index() < netlist.net_count() && value.width() == netlist.net_width(*net)
+        })
+    };
+    ok(&trace.initial_state) && trace.inputs.iter().all(|cycle| ok(cycle))
+}
+
+/// Bounded verdict cache with least-recently-used eviction.
+///
+/// Lookups and inserts stamp the entry with a logical clock; when an insert
+/// would exceed the capacity, the entry with the oldest stamp is evicted.
+/// The eviction scan is linear, which is fine at cache-bound sizes: one scan
+/// per insert-at-capacity is noise next to the race the insert just
+/// absorbed.
+struct VerdictCache {
+    entries: HashMap<CacheKey, (CachedVerdict, u64)>,
+    capacity: usize,
+    clock: u64,
+    evictions: u64,
+}
+
+impl VerdictCache {
+    fn new(capacity: usize) -> Self {
+        VerdictCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<CachedVerdict> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(cached, stamp)| {
+            *stamp = clock;
+            cached.clone()
+        })
+    }
+
+    fn insert(&mut self, key: CacheKey, cached: CachedVerdict) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (cached, self.clock));
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn export_design(&self, design: DesignHash) -> Vec<VerdictRecord> {
+        let mut records: Vec<VerdictRecord> = self
+            .entries
+            .iter()
+            .filter(|(key, _)| key.design == design)
+            .map(|(key, (cached, _))| VerdictRecord {
+                property: key.property,
+                config: key.config,
+                verdict: cached.verdict.clone(),
+                winner: cached.winner,
+            })
+            .collect();
+        // Deterministic order regardless of hash-map iteration.
+        records.sort_by_key(|r| (r.property.0, r.config));
+        records
+    }
+}
+
 struct QueuedJob {
     batch: u64,
     index: usize,
@@ -186,15 +314,61 @@ struct QueuedJob {
 struct BatchState {
     results: Vec<Option<JobResult>>,
     completed: usize,
+    /// Results have been handed out at least once; only retrieved batches
+    /// are eligible for retirement.
+    retrieved: bool,
+    /// Threads currently blocked in [`VerificationService::wait`] on this
+    /// batch; retirement never evicts a batch someone is waiting on.
+    waiters: usize,
+}
+
+/// Batch bookkeeping: the live states plus a retirement queue bounding how
+/// many already-retrieved batches stay around for late `poll`/`results`
+/// calls. Without the bound a long-lived server leaks one `BatchState`
+/// (including full counter-example traces) per submission, forever.
+struct BatchTable {
+    states: HashMap<u64, BatchState>,
+    retired: VecDeque<u64>,
+}
+
+impl BatchTable {
+    fn new() -> Self {
+        BatchTable {
+            states: HashMap::new(),
+            retired: VecDeque::new(),
+        }
+    }
+
+    /// Marks a batch as retrieved and evicts the oldest retrieved batches
+    /// beyond `cap` (skipping any with active waiters).
+    fn retire(&mut self, batch: u64, cap: usize) {
+        if let Some(state) = self.states.get_mut(&batch) {
+            if !state.retrieved {
+                state.retrieved = true;
+                self.retired.push_back(batch);
+            }
+        }
+        let mut scan = self.retired.len();
+        while self.retired.len() > cap && scan > 0 {
+            scan -= 1;
+            let oldest = self.retired.pop_front().expect("non-empty queue");
+            match self.states.get(&oldest) {
+                Some(state) if state.waiters > 0 => self.retired.push_back(oldest),
+                _ => {
+                    self.states.remove(&oldest);
+                }
+            }
+        }
+    }
 }
 
 struct Shared {
     config: ServiceConfig,
     registry: Mutex<HashMap<DesignHash, Arc<DesignEntry>>>,
-    cache: Mutex<HashMap<CacheKey, CachedVerdict>>,
+    cache: Mutex<VerdictCache>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
-    batches: Mutex<HashMap<u64, BatchState>>,
+    batches: Mutex<BatchTable>,
     batch_cv: Condvar,
     next_batch: AtomicU64,
     shutdown: AtomicBool,
@@ -219,13 +393,14 @@ impl VerificationService {
     /// Starts a session with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
         let workers = config.workers.max(1);
+        let cache = VerdictCache::new(config.cache_capacity);
         let shared = Arc::new(Shared {
             config,
             registry: Mutex::new(HashMap::new()),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(cache),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
-            batches: Mutex::new(HashMap::new()),
+            batches: Mutex::new(BatchTable::new()),
             batch_cv: Condvar::new(),
             next_batch: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -274,11 +449,13 @@ impl VerificationService {
         let config_hash = config_fingerprint(&self.shared.config.portfolio);
         {
             let mut batches = self.shared.batches.lock().expect("batches lock");
-            batches.insert(
+            batches.states.insert(
                 batch,
                 BatchState {
                     results: (0..jobs.len()).map(|_| None).collect(),
                     completed: 0,
+                    retrieved: false,
+                    waiters: 0,
                 },
             );
         }
@@ -310,10 +487,10 @@ impl VerificationService {
         BatchId(batch)
     }
 
-    /// Progress of a batch; `None` for an unknown handle.
+    /// Progress of a batch; `None` for an unknown (or retired) handle.
     pub fn poll(&self, batch: BatchId) -> Option<BatchStatus> {
         let batches = self.shared.batches.lock().expect("batches lock");
-        batches.get(&batch.0).map(|state| BatchStatus {
+        batches.states.get(&batch.0).map(|state| BatchStatus {
             total: state.results.len(),
             completed: state.completed,
         })
@@ -321,38 +498,53 @@ impl VerificationService {
 
     /// The results of a finished batch in job order; `None` while any job is
     /// still pending (or for an unknown handle).
+    ///
+    /// Retrieving results marks the batch *retrieved*; the service keeps at
+    /// most [`ServiceConfig::retained_batches`] retrieved batches around for
+    /// late `poll`/`results` calls, evicting the oldest beyond that — a
+    /// long-lived server would otherwise leak every batch (traces included)
+    /// it ever answered.
     pub fn results(&self, batch: BatchId) -> Option<Vec<JobResult>> {
-        let batches = self.shared.batches.lock().expect("batches lock");
-        let state = batches.get(&batch.0)?;
+        let mut batches = self.shared.batches.lock().expect("batches lock");
+        let state = batches.states.get(&batch.0)?;
         if state.completed < state.results.len() {
             return None;
         }
-        Some(
-            state
-                .results
-                .iter()
-                .map(|r| r.clone().expect("completed job has a result"))
-                .collect(),
-        )
+        let results = state
+            .results
+            .iter()
+            .map(|r| r.clone().expect("completed job has a result"))
+            .collect();
+        batches.retire(batch.0, self.shared.config.retained_batches);
+        Some(results)
     }
 
     /// Blocks until every job of the batch has a result, then returns them
-    /// in job order.
+    /// in job order (retiring the batch like
+    /// [`VerificationService::results`]).
     ///
     /// # Panics
     ///
-    /// Panics on an unknown batch handle.
+    /// Panics on an unknown (or already retired-and-evicted) batch handle.
     pub fn wait(&self, batch: BatchId) -> Vec<JobResult> {
         let mut batches = self.shared.batches.lock().expect("batches lock");
+        batches
+            .states
+            .get_mut(&batch.0)
+            .expect("known batch")
+            .waiters += 1;
         loop {
             {
-                let state = batches.get(&batch.0).expect("known batch");
+                let state = batches.states.get_mut(&batch.0).expect("known batch");
                 if state.completed == state.results.len() {
-                    return state
+                    state.waiters -= 1;
+                    let results = state
                         .results
                         .iter()
                         .map(|r| r.clone().expect("completed job has a result"))
                         .collect();
+                    batches.retire(batch.0, self.shared.config.retained_batches);
+                    return results;
                 }
             }
             batches = self
@@ -365,12 +557,18 @@ impl VerificationService {
 
     /// A snapshot of the session counters.
     pub fn stats(&self) -> ServiceStats {
+        let (cache_evictions, cached_verdicts) = {
+            let cache = self.shared.cache.lock().expect("cache lock");
+            (cache.evictions, cache.len())
+        };
         let registry = self.shared.registry.lock().expect("registry lock");
         let mut stats = ServiceStats {
             designs: registry.len(),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
             predicted_races: self.shared.predicted_races.load(Ordering::Relaxed),
+            cache_evictions,
+            cached_verdicts,
             ..ServiceStats::default()
         };
         for entry in registry.values() {
@@ -427,6 +625,96 @@ impl VerificationService {
         let mut kb = entry.knowledge.lock().expect("knowledge lock");
         kb.import(knowledge, &entry.netlist)
     }
+
+    /// Exports the cached verdicts of one design (deterministic order), e.g.
+    /// to persist alongside its knowledge base. `None` for an unregistered
+    /// design.
+    pub fn export_verdicts(&self, design: DesignHash) -> Option<Vec<VerdictRecord>> {
+        {
+            let registry = self.shared.registry.lock().expect("registry lock");
+            registry.get(&design)?;
+        }
+        let cache = self.shared.cache.lock().expect("cache lock");
+        Some(cache.export_design(design))
+    }
+
+    /// Imports externally persisted verdicts for a registered design after
+    /// structural validation (traces must name existing nets at their exact
+    /// widths; only definitive verdicts are accepted). Returns the number of
+    /// verdicts now cached.
+    ///
+    /// Imported entries populate the same LRU cache as live verdicts, so the
+    /// capacity bound applies to them too.
+    ///
+    /// # Errors
+    ///
+    /// [`KnowledgeError::DesignMismatch`] when the design is not registered,
+    /// [`KnowledgeError::MalformedVerdict`] (nothing imported) when any
+    /// record fails validation.
+    pub fn import_verdicts(
+        &self,
+        design: DesignHash,
+        records: &[VerdictRecord],
+    ) -> Result<usize, KnowledgeError> {
+        let entry = {
+            let registry = self.shared.registry.lock().expect("registry lock");
+            registry
+                .get(&design)
+                .cloned()
+                .ok_or(KnowledgeError::DesignMismatch {
+                    found: design,
+                    expected: design,
+                })?
+        };
+        for (index, record) in records.iter().enumerate() {
+            if !verdict_is_well_formed(&record.verdict, &entry.netlist) {
+                return Err(KnowledgeError::MalformedVerdict { index });
+            }
+        }
+        let mut cache = self.shared.cache.lock().expect("cache lock");
+        for record in records {
+            cache.insert(
+                CacheKey {
+                    design,
+                    property: record.property,
+                    config: record.config,
+                },
+                CachedVerdict {
+                    verdict: record.verdict.clone(),
+                    winner: record.winner,
+                },
+            );
+        }
+        Ok(records.len())
+    }
+
+    /// Blocks until the job queue is empty and every dequeued job has
+    /// completed — the graceful-shutdown drain: no submission is abandoned
+    /// half-raced, and everything learned has been absorbed.
+    ///
+    /// New submissions during the drain extend it.
+    pub fn drain(&self) {
+        let mut batches = self.shared.batches.lock().expect("batches lock");
+        loop {
+            let queued = {
+                let queue = self.shared.queue.lock().expect("queue lock");
+                queue.len()
+            };
+            let pending: usize = batches
+                .states
+                .values()
+                .map(|state| state.results.len() - state.completed)
+                .sum();
+            if queued == 0 && pending == 0 {
+                return;
+            }
+            batches = self
+                .shared
+                .batch_cv
+                .wait(batches)
+                .expect("batch condvar wait");
+        }
+    }
 }
 
 impl Drop for VerificationService {
@@ -462,8 +750,8 @@ fn process_job(shared: &Shared, job: QueuedJob) {
 
     // 1. Verdict cache: a repeat query spawns no engine at all.
     let cached = {
-        let cache = shared.cache.lock().expect("cache lock");
-        cache.get(&job.key).cloned()
+        let mut cache = shared.cache.lock().expect("cache lock");
+        cache.get(&job.key)
     };
     if let Some(hit) = cached {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -551,8 +839,7 @@ fn process_job(shared: &Shared, job: QueuedJob) {
     // Only definitive verdicts are worth replaying; an `Unknown` (budget,
     // cancellation) must not shadow a future run that could decide the job.
     if report.verdict.is_definitive() {
-        let mut cache = shared.cache.lock().expect("cache lock");
-        cache.insert(
+        shared.cache.lock().expect("cache lock").insert(
             job.key,
             CachedVerdict {
                 verdict: report.verdict.clone(),
@@ -577,7 +864,7 @@ fn process_job(shared: &Shared, job: QueuedJob) {
 
 fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult) {
     let mut batches = shared.batches.lock().expect("batches lock");
-    let state = batches.get_mut(&job.batch).expect("known batch");
+    let state = batches.states.get_mut(&job.batch).expect("known batch");
     debug_assert!(state.results[job.index].is_none(), "job completed twice");
     state.results[job.index] = Some(result);
     state.completed += 1;

@@ -1,0 +1,177 @@
+//! A full network round-trip against the verification server: boot it on an
+//! ephemeral port with a persistence directory, drive it over a real TCP
+//! socket (register a Verilog design, submit a batch, wait), then restart
+//! the server from its snapshots and show the same batch answered from the
+//! persisted verdict cache.
+//!
+//! Run with `cargo run --release --example remote_batch`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+use wlac::server::{Json, Server, ServerConfig};
+
+const TRAFFIC_LIGHT_V: &str = r#"
+    module traffic(input clk, input go, output ok, output live);
+      reg [1:0] state;
+      always @(posedge clk) begin
+        if (state == 2)
+          state <= 0;
+        else if (go)
+          state <= state + 1;
+      end
+      assign ok = state != 3;     // the fourth encoding is unreachable
+      assign live = state == 2;   // green is reachable
+    endmodule
+"#;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    fn call(&mut self, request: Json) -> Json {
+        self.writer
+            .write_all(format!("{request}\n").as_bytes())
+            .expect("send");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("receive");
+        let reply = Json::parse(line.trim_end()).expect("valid reply");
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{request} failed: {reply}"
+        );
+        reply
+    }
+}
+
+fn boot(data_dir: &std::path::Path) -> (SocketAddr, std::thread::JoinHandle<()>, usize) {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    config.service.portfolio.checker.max_frames = 6;
+    let server = Server::bind(config).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let loaded = server.loaded_snapshots();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle, loaded)
+}
+
+fn run_batch(addr: SocketAddr) -> Vec<(String, String, bool)> {
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("register_design")),
+        ("source", Json::str(TRAFFIC_LIGHT_V)),
+    ]));
+    let design = reply
+        .get("design")
+        .and_then(Json::as_str)
+        .expect("design hash")
+        .to_string();
+
+    let job = |kind: &str, monitor: &str| {
+        Json::obj(vec![
+            ("design", Json::str(design.clone())),
+            (
+                "property",
+                Json::obj(vec![
+                    ("kind", Json::str(kind)),
+                    ("monitor", Json::str(monitor)),
+                ]),
+            ),
+        ])
+    };
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("submit_batch")),
+        (
+            "jobs",
+            Json::Arr(vec![job("always", "ok"), job("eventually", "live")]),
+        ),
+    ]));
+    let batch = reply.get("batch").and_then(Json::as_u64).expect("batch");
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("wait")),
+        ("batch", Json::num(batch)),
+    ]));
+    reply
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results")
+        .iter()
+        .map(|result| {
+            (
+                result
+                    .get("property")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                result
+                    .get("verdict")
+                    .and_then(|v| v.get("label"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                result
+                    .get("from_cache")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            )
+        })
+        .collect()
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.call(Json::obj(vec![("op", Json::str("shutdown"))]));
+}
+
+fn main() {
+    let data_dir = std::env::temp_dir().join(format!("wlac-remote-batch-{}", std::process::id()));
+
+    // Session 1: cold — every property races engines; results are saved to
+    // the data directory as the batch completes.
+    let (addr, handle, loaded) = boot(&data_dir);
+    println!("server 1 on {addr} ({loaded} snapshots loaded)");
+    let start = Instant::now();
+    let cold = run_batch(addr);
+    let cold_wall = start.elapsed();
+    for (property, label, from_cache) in &cold {
+        assert!(!from_cache, "first run must race");
+        println!("  {property:<6} {label:<13} raced");
+    }
+    shutdown(addr);
+    handle.join().expect("server 1 thread");
+    println!("server 1 drained + saved in {}", data_dir.display());
+
+    // Session 2: a brand-new server process-equivalent, warm from disk.
+    let (addr, handle, loaded) = boot(&data_dir);
+    println!("\nserver 2 on {addr} ({loaded} snapshots loaded)");
+    let start = Instant::now();
+    let warm = run_batch(addr);
+    let warm_wall = start.elapsed();
+    for ((property, label, from_cache), (_, cold_label, _)) in warm.iter().zip(&cold) {
+        assert!(from_cache, "restarted server must answer from the cache");
+        assert_eq!(label, cold_label, "verdicts must survive the restart");
+        println!("  {property:<6} {label:<13} cached");
+    }
+    shutdown(addr);
+    handle.join().expect("server 2 thread");
+
+    println!(
+        "\ncold {:?} -> restart-warm {:?} ({:.0}x)",
+        cold_wall,
+        warm_wall,
+        cold_wall.as_secs_f64() / warm_wall.as_secs_f64().max(1e-9)
+    );
+    std::fs::remove_dir_all(&data_dir).ok();
+}

@@ -22,7 +22,12 @@
 //!   per-design cross-property learning store (replayed CDCL clauses, ESTG
 //!   conflict cubes, datapath infeasibility facts, engine win/loss history)
 //!   and a `submit_batch`/`poll`/`results` work-queue front door with a
-//!   verdict cache.
+//!   bounded (LRU) verdict cache,
+//! * [`persist`] — versioned, checksummed on-disk snapshots of a design's
+//!   knowledge base and verdict cache, written atomically,
+//! * [`server`] — the TCP front end: line-delimited JSON protocol,
+//!   per-design autosave and restart-warm boot, plus the `wlac-server` and
+//!   `wlac-client` binaries.
 //!
 //! # Quickstart
 //!
@@ -58,6 +63,8 @@ pub use wlac_circuits as circuits;
 pub use wlac_frontend as frontend;
 pub use wlac_modsolve as modsolve;
 pub use wlac_netlist as netlist;
+pub use wlac_persist as persist;
 pub use wlac_portfolio as portfolio;
+pub use wlac_server as server;
 pub use wlac_service as service;
 pub use wlac_sim as sim;
