@@ -35,6 +35,7 @@ use wlac_circuits::{paper_suite, Scale};
 use wlac_netlist::Netlist;
 use wlac_portfolio::Portfolio;
 use wlac_service::{ServiceConfig, VerificationService};
+use wlac_telemetry::MetricsRegistry;
 
 /// Wraps the system allocator and counts allocation calls.
 struct CountingAlloc;
@@ -548,18 +549,19 @@ fn measure_industry01_paper() -> Vec<Metric> {
     }]
 }
 
+/// Renders the measurements through the shared telemetry registry: each
+/// metric becomes a gauge and the output is
+/// [`MetricsRegistry::render_json`]'s flat object — the same exposition
+/// machinery the server's `metrics` op uses, so the baseline files and the
+/// live endpoint speak one format. (A side effect worth keeping: non-finite
+/// values render as `0` instead of producing invalid JSON; the regression
+/// gate still sees the raw value and fails on it.)
 fn render_json(metrics: &[Metric]) -> String {
-    let mut out = String::from("{\n");
-    for (i, m) in metrics.iter().enumerate() {
-        out.push_str(&format!(
-            "  \"{}\": {:.6}{}\n",
-            m.name,
-            m.value,
-            if i + 1 == metrics.len() { "" } else { "," }
-        ));
+    let registry = MetricsRegistry::new();
+    for m in metrics {
+        registry.gauge(m.name).set(m.value);
     }
-    out.push('}');
-    out
+    registry.render_json()
 }
 
 /// Extracts `"key": number` pairs from the `"after"` object of a baseline

@@ -161,6 +161,14 @@ impl AssertionChecker {
             }
         };
         stats.elapsed = start.elapsed();
+        if self.options.trace {
+            // The search loop attributed its own time; everything else this
+            // check did (unrolling, requirement seeding, trace extraction and
+            // replay validation) is the remainder, charged to `other` so the
+            // phase breakdown partitions `elapsed`.
+            let attributed = stats.phases.total() - stats.phases.other;
+            stats.phases.other = (stats.elapsed.as_nanos() as u64).saturating_sub(attributed);
+        }
         CheckReport {
             property: verification.property.name.clone(),
             result,
@@ -187,6 +195,11 @@ impl AssertionChecker {
             }
             stats.frames_explored = frames;
             unrolling.extend_to(&verification.netlist, frames);
+            if self.options.trace {
+                self.options
+                    .trace_sink
+                    .event("bound", wlac_telemetry::SpanId::ROOT, frames as u64);
+            }
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,
@@ -267,6 +280,11 @@ impl AssertionChecker {
             }
             stats.frames_explored = frames;
             unrolling.extend_to(&verification.netlist, frames);
+            if self.options.trace {
+                self.options
+                    .trace_sink
+                    .event("bound", wlac_telemetry::SpanId::ROOT, frames as u64);
+            }
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use wlac_telemetry::{SpanId, Tracer};
 
 /// A cooperative cancellation token shared between a checker run and its
 /// supervisor (e.g. the portfolio engine racing several strategies).
@@ -38,6 +39,72 @@ impl fmt::Debug for CancelToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CancelToken")
             .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// Destination for structured span events emitted by a traced check.
+///
+/// Like [`CancelToken`], this is runtime wiring rather than configuration:
+/// cloning a sink yields a handle to the **same** tracer ring, and a sink
+/// with no tracer attached (the default) swallows every event. The search
+/// only emits when [`CheckerOptions::trace`] is set, so the default path
+/// pays nothing.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl TraceSink {
+    /// A sink that discards every event (the default).
+    pub fn disabled() -> Self {
+        TraceSink::default()
+    }
+
+    /// A sink recording into `tracer`.
+    pub fn to(tracer: Arc<Tracer>) -> Self {
+        TraceSink {
+            tracer: Some(tracer),
+        }
+    }
+
+    /// `true` when a tracer is attached.
+    pub fn is_active(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Opens a span (no-op returning [`SpanId::ROOT`] when inactive).
+    pub fn span_start(&self, name: &'static str, parent: SpanId) -> SpanId {
+        match &self.tracer {
+            Some(t) => t.span_start(name, parent),
+            None => SpanId::ROOT,
+        }
+    }
+
+    /// Closes a span (no-op when inactive).
+    pub fn span_end(&self, span: SpanId, name: &'static str) {
+        if let Some(t) = &self.tracer {
+            t.span_end(span, name);
+        }
+    }
+
+    /// Records an instantaneous event (no-op when inactive).
+    pub fn event(&self, name: &'static str, parent: SpanId, value: u64) {
+        if let Some(t) = &self.tracer {
+            t.event(name, parent, value);
+        }
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("active", &self.is_active())
             .finish()
     }
 }
@@ -88,9 +155,19 @@ pub struct CheckerOptions {
     /// equality comparisons: two configurations with different tokens are
     /// still "the same configuration".
     pub cancel: CancelToken,
+    /// Record phase-attributed wall-clock time ([`crate::PhaseNanos`]) and
+    /// emit per-decision span events into [`CheckerOptions::trace_sink`].
+    /// Pure observability: verdicts and decision sequences are byte-identical
+    /// with tracing on or off (enforced by a differential test), so — like
+    /// `cancel` — this is ignored by equality comparisons.
+    pub trace: bool,
+    /// Span-event destination used when [`CheckerOptions::trace`] is set.
+    /// Runtime wiring, ignored by equality comparisons.
+    pub trace_sink: TraceSink,
 }
 
-// `cancel` is runtime wiring, not configuration: comparisons ignore it.
+// `cancel`, `trace` and `trace_sink` are runtime/observability wiring, not
+// configuration: comparisons ignore them (tracing cannot change a verdict).
 // The exhaustive destructuring (no `..`) makes adding a field without
 // deciding its equality role a compile error.
 impl PartialEq for CheckerOptions {
@@ -109,6 +186,8 @@ impl PartialEq for CheckerOptions {
             solution_samples,
             nonlinear_enumeration_limit,
             cancel: _,
+            trace: _,
+            trace_sink: _,
         } = self;
         *max_frames == other.max_frames
             && *backtrack_limit == other.backtrack_limit
@@ -144,6 +223,8 @@ impl CheckerOptions {
             solution_samples: 16,
             nonlinear_enumeration_limit: 256,
             cancel: CancelToken::new(),
+            trace: false,
+            trace_sink: TraceSink::disabled(),
         }
     }
 
@@ -159,6 +240,13 @@ impl CheckerOptions {
     /// externally controlled race or batch run.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Enables phase-attributed timing and routes span events to `sink`.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = true;
+        self.trace_sink = sink;
         self
     }
 }
@@ -198,6 +286,32 @@ mod tests {
         token.cancel();
         assert!(clone.is_cancelled());
         assert!(format!("{token:?}").contains("true"));
+    }
+
+    #[test]
+    fn trace_wiring_does_not_affect_option_equality() {
+        use std::sync::Arc;
+        let traced = CheckerOptions::new().with_trace(TraceSink::to(Arc::new(Tracer::new(16))));
+        assert!(traced.trace);
+        assert!(traced.trace_sink.is_active());
+        assert_eq!(traced, CheckerOptions::new());
+        assert!(!TraceSink::disabled().is_active());
+        assert!(format!("{:?}", traced.trace_sink).contains("true"));
+    }
+
+    #[test]
+    fn inactive_sink_swallows_events() {
+        let sink = TraceSink::disabled();
+        let span = sink.span_start("search", SpanId::ROOT);
+        assert_eq!(span, SpanId::ROOT);
+        sink.event("decision", span, 1);
+        sink.span_end(span, "search");
+        let tracer = Arc::new(Tracer::new(8));
+        let sink = TraceSink::to(tracer.clone());
+        let span = sink.span_start("search", SpanId::ROOT);
+        sink.event("decision", span, 1);
+        sink.span_end(span, "search");
+        assert_eq!(tracer.events().len(), 3);
     }
 
     #[test]

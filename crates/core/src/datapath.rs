@@ -229,6 +229,34 @@ impl DatapathContext {
         }
     }
 
+    /// Approximate heap bytes held by the datapath context: the dense
+    /// gate/net maps, the cached islands (net lists, product constraints and
+    /// pre-reduced solver templates) and the concretization scratch. Feeds
+    /// the search's memory estimate for the paper's Table 2 column.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let bv_heap = |v: &Bv| v.width().div_ceil(64) * 8 + 16;
+        let islands: usize = self
+            .islands
+            .iter()
+            .map(|island| {
+                island.nets.capacity() * size_of::<NetId>()
+                    + island.products.capacity() * size_of::<ProductConstraint>()
+                    // Echelon rows: one u64 per variable per retained row.
+                    + island.system.num_equations() * (island.system.num_vars() * 8 + 32)
+            })
+            .sum();
+        islands
+            + self.gate_island.capacity() * size_of::<u32>()
+            + self.net_var.capacity() * size_of::<u32>()
+            + self.active.capacity() * size_of::<usize>()
+            + self.island_stamp.capacity() * size_of::<u32>()
+            + self.order.capacity() * size_of::<GateId>()
+            + self.values.iter().map(bv_heap).sum::<usize>()
+            + self.inputs.iter().map(bv_heap).sum::<usize>()
+            + self.queue.capacity() * size_of::<GateId>()
+    }
+
     /// Attempts to complete the current (control-justified) assignment into a
     /// concrete solution satisfying `requirements`.
     ///

@@ -37,6 +37,22 @@ pub struct ImplicationStats {
     pub refinements: u64,
 }
 
+impl ImplicationStats {
+    /// Merges the counters of another implication run into this one.
+    ///
+    /// `CheckStats::absorb` delegates here; the exhaustive destructuring
+    /// means a counter added to this struct cannot be silently dropped from
+    /// aggregation — forgetting to merge it is a compile error.
+    pub fn absorb(&mut self, other: &ImplicationStats) {
+        let ImplicationStats {
+            gate_evaluations,
+            refinements,
+        } = other;
+        self.gate_evaluations += gate_evaluations;
+        self.refinements += refinements;
+    }
+}
+
 /// Forward 3-valued evaluation of a gate from its current input cubes.
 pub(crate) fn forward_eval(netlist: &Netlist, gate: &Gate, asg: &Assignment) -> Bv3 {
     let input = |i: usize| asg.value(gate.inputs[i]).clone();
@@ -133,6 +149,23 @@ type Proposals = Vec<(NetId, Bv3)>;
 pub(crate) struct Scratch {
     proposals: Proposals,
     cubes: Vec<Bv3>,
+}
+
+impl Scratch {
+    /// Approximate heap bytes held by the scratch buffers (the spines plus
+    /// the cube payloads currently parked in them).
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let cube_heap = |c: &Bv3| 2 * c.width().div_ceil(64).max(2) * 8;
+        self.proposals.capacity() * size_of::<(NetId, Bv3)>()
+            + self
+                .proposals
+                .iter()
+                .map(|(_, c)| cube_heap(c))
+                .sum::<usize>()
+            + self.cubes.capacity() * size_of::<Bv3>()
+            + self.cubes.iter().map(cube_heap).sum::<usize>()
+    }
 }
 
 /// Computes forward and backward implications for one gate into
@@ -579,6 +612,22 @@ impl Propagator {
         }
         self.pending = 0;
         self.active_min = self.buckets.len();
+    }
+
+    /// Approximate heap bytes held by the propagator: depth/queued tables,
+    /// the bucketed worklist and the implication scratch. Feeds the search's
+    /// memory estimate for the paper's Table 2 column.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .map(|b| b.capacity() * size_of::<GateId>() + size_of::<Vec<GateId>>())
+            .sum();
+        buckets
+            + self.depth.capacity() * size_of::<u32>()
+            + self.queued.capacity() * size_of::<bool>()
+            + self.scratch.memory_bytes()
     }
 
     /// Enqueues the driver and readers of a net whose value changed.

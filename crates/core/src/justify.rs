@@ -120,6 +120,25 @@ impl JustifyBuffers {
         }
     }
 
+    /// Approximate heap bytes held by the justification buffers: the dense
+    /// per-net/per-gate tables plus the worklists and frontiers at their
+    /// current capacity. Feeds the search's memory estimate for the paper's
+    /// Table 2 column.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.unjustified.capacity() * size_of::<GateId>()
+            + self.candidates.capacity() * size_of::<NetId>()
+            + self.net_stamp.capacity() * size_of::<u32>()
+            + self.queue.capacity() * size_of::<NetId>()
+            + self.prob_sum.capacity() * size_of::<f64>()
+            + self.prob_count.capacity() * size_of::<u32>()
+            + self.prob_stamp.capacity() * size_of::<u32>()
+            + self.frontier.capacity() * size_of::<(NetId, f64)>()
+            + self.in_unjustified.capacity() * size_of::<bool>()
+            + self.gate_stamp.capacity() * size_of::<u32>()
+            + self.dirty_gates.capacity() * size_of::<GateId>()
+    }
+
     /// Recomputes [`Self::unjustified`] for the current assignment by a full
     /// gate scan, reseeding the incremental membership flags.
     pub(crate) fn compute_unjustified(&mut self, netlist: &Netlist, asg: &Assignment) {

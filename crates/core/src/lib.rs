@@ -63,12 +63,12 @@ pub mod property;
 
 pub use assignment::Conflict;
 pub use checker::{AssertionChecker, CheckReport, CheckResult};
-pub use config::{CancelToken, CheckerOptions};
+pub use config::{CancelToken, CheckerOptions, TraceSink};
 pub use datapath::DatapathFacts;
 pub use estg::Estg;
 pub use implication::{ImplicationEngine, ImplicationStats};
 pub use knowledge::SearchKnowledge;
 pub use property::{Property, PropertyKind, Verification};
 pub use search::{SearchContext, SearchGoal, SearchOutcome};
-pub use stats::CheckStats;
+pub use stats::{CheckStats, PhaseNanos};
 pub use trace::Trace;

@@ -25,6 +25,7 @@ use crate::stats::CheckStats;
 use std::time::Instant;
 use wlac_bv::{Bv, Bv3, Tv};
 use wlac_netlist::{NetId, Netlist};
+use wlac_telemetry::SpanId;
 
 /// Outcome of one justification run over an unrolled circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +49,32 @@ pub enum SearchGoal {
     Prove,
     /// Generating a witness expected to exist.
     Witness,
+}
+
+/// Wall-clock phase attribution for the search loop: every [`Self::tick`]
+/// charges the time since the previous tick to one bucket of
+/// [`crate::PhaseNanos`]. Construction with `enabled == false` yields a dead
+/// clock — no monotonic-clock reads at all — so the untraced default path
+/// keeps its exact cost and allocation profile.
+struct PhaseClock {
+    last: Option<Instant>,
+}
+
+impl PhaseClock {
+    fn new(enabled: bool) -> Self {
+        PhaseClock {
+            last: enabled.then(Instant::now),
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, bucket: &mut u64) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            *bucket += now.duration_since(last).as_nanos() as u64;
+            self.last = Some(now);
+        }
+    }
 }
 
 /// One pending decision on the search stack.
@@ -173,9 +200,49 @@ impl SearchContext {
         goal: SearchGoal,
         requirements: &[(NetId, Bv3)],
         estg: &mut Estg,
+        facts: Option<&mut DatapathFacts>,
+        deadline: Instant,
+        stats: &mut CheckStats,
+    ) -> SearchOutcome {
+        // The span wraps the whole run; per-decision events nest under it.
+        // Both are inert unless tracing is on, keeping the default path
+        // byte-identical in behaviour and allocation profile.
+        let span = if options.trace {
+            options.trace_sink.span_start("search", SpanId::ROOT)
+        } else {
+            SpanId::ROOT
+        };
+        let outcome = self.run_search(
+            netlist,
+            options,
+            goal,
+            requirements,
+            estg,
+            facts,
+            deadline,
+            stats,
+            span,
+        );
+        if options.trace {
+            options.trace_sink.span_end(span, "search");
+        }
+        outcome
+    }
+
+    /// The search loop proper; `span` is the enclosing trace span (only used
+    /// when `options.trace` is set).
+    #[allow(clippy::too_many_arguments)]
+    fn run_search(
+        &mut self,
+        netlist: &Netlist,
+        options: &CheckerOptions,
+        goal: SearchGoal,
+        requirements: &[(NetId, Bv3)],
+        estg: &mut Estg,
         mut facts: Option<&mut DatapathFacts>,
         deadline: Instant,
         stats: &mut CheckStats,
+        span: SpanId,
     ) -> SearchOutcome {
         debug_assert_eq!(
             self.asg.len(),
@@ -186,6 +253,7 @@ impl SearchContext {
         self.asg.backtrack_to(0);
         self.stack.clear();
         self.propagator.clear();
+        let mut clock = PhaseClock::new(options.trace);
 
         // Initial assignments from the property, environment and initial
         // state, followed by a full implication pass.
@@ -204,6 +272,7 @@ impl SearchContext {
             .propagator
             .run(netlist, &mut self.asg, &mut stats.implication)
             .is_ok();
+        clock.tick(&mut stats.phases.implication);
         // Account for the expanded netlist + assignment even when the run is
         // settled by this initial implication pass alone (e.g. an Unsat bound
         // never reaches the datapath handoff below).
@@ -240,6 +309,7 @@ impl SearchContext {
                 self.justify
                     .compute_decision_cut(netlist, &self.asg, options.candidate_limit);
             }
+            clock.tick(&mut stats.phases.justification);
 
             if fully_justified || self.justify.candidates.is_empty() {
                 // Control constraints satisfied (or only datapath obligations
@@ -247,7 +317,7 @@ impl SearchContext {
                 stats.peak_memory_bytes = stats
                     .peak_memory_bytes
                     .max(self.memory_estimate(netlist, estg));
-                match self.datapath.resolve(
+                let outcome = self.datapath.resolve(
                     netlist,
                     &mut self.asg,
                     &mut self.propagator,
@@ -256,14 +326,40 @@ impl SearchContext {
                     options,
                     facts.as_deref_mut(),
                     stats,
-                ) {
-                    DatapathOutcome::Consistent(values) => return SearchOutcome::Sat(values),
-                    DatapathOutcome::Infeasible => {}
+                );
+                // A consistent resolution is the satisfiable leaf (model
+                // concretization + validation); anything else is ordinary
+                // datapath constraint solving.
+                match &outcome {
+                    DatapathOutcome::Consistent(_) => clock.tick(&mut stats.phases.sat_leaf),
+                    _ => clock.tick(&mut stats.phases.datapath),
+                }
+                match outcome {
+                    DatapathOutcome::Consistent(values) => {
+                        if options.trace {
+                            options.trace_sink.event("sat_leaf", span, stats.decisions);
+                        }
+                        return SearchOutcome::Sat(values);
+                    }
+                    DatapathOutcome::Infeasible => {
+                        if options.trace {
+                            options
+                                .trace_sink
+                                .event("datapath_infeasible", span, stats.decisions);
+                        }
+                    }
                     DatapathOutcome::Inconclusive => {
                         inconclusive.get_or_insert("unresolved datapath constraints");
                     }
                 }
-                if !self.backtrack(netlist, estg, stats) {
+                let exhausted = !self.backtrack(netlist, estg, stats);
+                clock.tick(&mut stats.phases.backtrack);
+                if options.trace {
+                    options
+                        .trace_sink
+                        .event("backtrack", span, self.stack.len() as u64);
+                }
+                if exhausted {
                     return match inconclusive {
                         Some(reason) => SearchOutcome::Inconclusive(reason),
                         None => SearchOutcome::Unsat,
@@ -275,8 +371,15 @@ impl SearchContext {
             // Pick the decision with the strongest bias (Definition 2).
             let (net, value) = self.pick_decision(netlist, options, goal, estg);
             stats.decisions += 1;
+            clock.tick(&mut stats.phases.decision);
+            if options.trace {
+                options
+                    .trace_sink
+                    .event("decision", span, net.index() as u64);
+            }
             let mark = self.asg.mark();
             if self.assign(netlist, net, value, stats) {
+                clock.tick(&mut stats.phases.implication);
                 self.stack.push(Decision {
                     net,
                     alternative: Some(!value),
@@ -284,11 +387,18 @@ impl SearchContext {
                     mark,
                 });
             } else {
+                clock.tick(&mut stats.phases.implication);
                 // Immediate conflict: try the opposite value at this level.
                 estg.record_conflict(net, value);
                 self.asg.backtrack_to(mark);
                 stats.backtracks += 1;
+                if options.trace {
+                    options
+                        .trace_sink
+                        .event("conflict", span, net.index() as u64);
+                }
                 if self.assign(netlist, net, !value, stats) {
+                    clock.tick(&mut stats.phases.implication);
                     self.stack.push(Decision {
                         net,
                         alternative: None,
@@ -296,9 +406,17 @@ impl SearchContext {
                         mark,
                     });
                 } else {
+                    clock.tick(&mut stats.phases.implication);
                     estg.record_conflict(net, !value);
                     self.asg.backtrack_to(mark);
-                    if !self.backtrack(netlist, estg, stats) {
+                    let exhausted = !self.backtrack(netlist, estg, stats);
+                    clock.tick(&mut stats.phases.backtrack);
+                    if options.trace {
+                        options
+                            .trace_sink
+                            .event("backtrack", span, self.stack.len() as u64);
+                    }
+                    if exhausted {
                         return match inconclusive {
                             Some(reason) => SearchOutcome::Inconclusive(reason),
                             None => SearchOutcome::Unsat,
@@ -393,10 +511,20 @@ impl SearchContext {
         (net, value)
     }
 
-    /// Approximate live memory of the search data structures.
+    /// Approximate live memory of the search data structures: the expanded
+    /// netlist, the assignment with its delta trail, the ESTG, the
+    /// justification buffers, the cached datapath islands and the
+    /// propagator's worklist/scratch. Every component the search keeps live
+    /// is counted — the paper's Table 2 memory column must not silently
+    /// exclude the solver-side state.
     fn memory_estimate(&self, netlist: &Netlist, estg: &Estg) -> usize {
         let netlist_bytes = netlist.gate_count() * 96 + netlist.net_count() * 48;
-        self.asg.peak_memory_bytes() + netlist_bytes + estg.memory_bytes()
+        self.asg.peak_memory_bytes()
+            + netlist_bytes
+            + estg.memory_bytes()
+            + self.justify.memory_bytes()
+            + self.datapath.memory_bytes()
+            + self.propagator.memory_bytes()
     }
 }
 

@@ -4,6 +4,75 @@ use crate::implication::ImplicationStats;
 use std::fmt;
 use std::time::Duration;
 
+/// Phase-attributed wall-clock breakdown of a check, in nanoseconds.
+///
+/// Populated only when [`crate::CheckerOptions::trace`] is set: the phase
+/// clock costs two monotonic-clock reads per attribution point, which the
+/// zero-overhead default path must not pay. When populated, the fields
+/// partition [`CheckStats::elapsed`]: everything the search loop does lands
+/// in a named phase and the checker charges the remainder (unrolling,
+/// requirement seeding, trace extraction and validation) to `other`, so
+/// `total()` tracks `elapsed` to within clock-read slack.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseNanos {
+    /// Word-level implication: initial propagation plus the fixed-point run
+    /// after every decision and backtrack re-assignment.
+    pub implication: u64,
+    /// Unjustified-gate maintenance and decision-cut computation.
+    pub justification: u64,
+    /// Decision-point selection (bias ordering, ESTG penalties).
+    pub decision: u64,
+    /// Modular arithmetic datapath resolution that ended in infeasibility or
+    /// an inconclusive verdict (island solving, fact lookups).
+    pub datapath: u64,
+    /// The satisfiable leaf: the final datapath resolution that concretized a
+    /// model, including solution sampling and full-circuit validation.
+    pub sat_leaf: u64,
+    /// Chronological backtracking (trail restores, alternative re-assignment
+    /// up to the implication hand-off).
+    pub backtrack: u64,
+    /// Everything outside the search loop: time-frame expansion, requirement
+    /// seeding, trace extraction/replay and induction bookkeeping.
+    pub other: u64,
+}
+
+impl PhaseNanos {
+    /// Sum of all phases.
+    pub fn total(&self) -> u64 {
+        let PhaseNanos {
+            implication,
+            justification,
+            decision,
+            datapath,
+            sat_leaf,
+            backtrack,
+            other,
+        } = self;
+        implication + justification + decision + datapath + sat_leaf + backtrack + other
+    }
+
+    /// Merges another breakdown into this one. Exhaustive destructuring: a
+    /// new phase cannot be added without being merged here.
+    pub fn absorb(&mut self, other: &PhaseNanos) {
+        let PhaseNanos {
+            implication,
+            justification,
+            decision,
+            datapath,
+            sat_leaf,
+            backtrack,
+            other: other_nanos,
+        } = other;
+        self.implication += implication;
+        self.justification += justification;
+        self.decision += decision;
+        self.datapath += datapath;
+        self.sat_leaf += sat_leaf;
+        self.backtrack += backtrack;
+        self.other += other_nanos;
+    }
+}
+
 /// Effort and resource statistics for one property check, mirroring the
 /// columns of the paper's Table 2 (CPU time, memory) plus search counters.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,6 +102,9 @@ pub struct CheckStats {
     pub justify_gates_rechecked: u64,
     /// Number of time-frames of the deepest unrolling explored.
     pub frames_explored: usize,
+    /// Phase-attributed wall-clock breakdown (all zero unless the check ran
+    /// with [`crate::CheckerOptions::trace`] enabled).
+    pub phases: PhaseNanos,
     /// Wall-clock time spent on the check.
     pub elapsed: Duration,
     /// Peak estimated live memory of the solver data structures, in bytes.
@@ -69,8 +141,7 @@ impl CheckStats {
     pub fn absorb(&mut self, other: &CheckStats) {
         self.decisions += other.decisions;
         self.backtracks += other.backtracks;
-        self.implication.gate_evaluations += other.implication.gate_evaluations;
-        self.implication.refinements += other.implication.refinements;
+        self.implication.absorb(&other.implication);
         self.arithmetic_calls += other.arithmetic_calls;
         self.datapath_nanos += other.datapath_nanos;
         self.island_cache_hits += other.island_cache_hits;
@@ -78,6 +149,7 @@ impl CheckStats {
         self.datapath_fact_hits += other.datapath_fact_hits;
         self.justify_gates_rechecked += other.justify_gates_rechecked;
         self.frames_explored = self.frames_explored.max(other.frames_explored);
+        self.phases.absorb(&other.phases);
         self.elapsed += other.elapsed;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
     }
@@ -87,13 +159,15 @@ impl fmt::Display for CheckStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cpu {:.2}s, mem {:.2}MB, {} decisions, {} backtracks, {} implications, {} arith calls, {} frames",
+            "cpu {:.2}s, mem {:.2}MB, {} decisions, {} backtracks, {} implications, {} arith calls, {} fact hits, {} justify rechecks, {} frames",
             self.cpu_seconds(),
             self.peak_memory_mb(),
             self.decisions,
             self.backtracks,
             self.implication.gate_evaluations,
             self.arithmetic_calls,
+            self.datapath_fact_hits,
+            self.justify_gates_rechecked,
             self.frames_explored
         )
     }
@@ -132,6 +206,56 @@ mod tests {
         let text = a.to_string();
         assert!(text.contains("decisions"));
         assert!(text.contains("MB"));
+    }
+
+    #[test]
+    fn display_includes_fact_hits_and_justify_rechecks() {
+        let stats = CheckStats {
+            datapath_fact_hits: 11,
+            justify_gates_rechecked: 22,
+            ..CheckStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("11 fact hits"), "{text}");
+        assert!(text.contains("22 justify rechecks"), "{text}");
+    }
+
+    #[test]
+    fn implication_absorb_flows_through_check_stats() {
+        let mut a = CheckStats::default();
+        a.implication.gate_evaluations = 5;
+        a.implication.refinements = 2;
+        let mut b = CheckStats::default();
+        b.implication.gate_evaluations = 7;
+        b.implication.refinements = 3;
+        a.absorb(&b);
+        assert_eq!(a.implication.gate_evaluations, 12);
+        assert_eq!(a.implication.refinements, 5);
+    }
+
+    #[test]
+    fn phase_nanos_total_and_absorb() {
+        let mut a = PhaseNanos {
+            implication: 10,
+            justification: 20,
+            decision: 5,
+            datapath: 30,
+            sat_leaf: 15,
+            backtrack: 8,
+            other: 2,
+        };
+        assert_eq!(a.total(), 90);
+        a.absorb(&a.clone());
+        assert_eq!(a.total(), 180);
+        assert_eq!(a.implication, 20);
+        // Phases ride along in CheckStats::absorb.
+        let mut outer = CheckStats::default();
+        let inner = CheckStats {
+            phases: a,
+            ..CheckStats::default()
+        };
+        outer.absorb(&inner);
+        assert_eq!(outer.phases.total(), 180);
     }
 
     #[test]

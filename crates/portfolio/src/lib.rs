@@ -57,10 +57,39 @@ pub use warm::{Harvest, WarmStart};
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 use wlac_atpg::{CancelToken, Verification};
+use wlac_telemetry::MetricsRegistry;
+
+/// What happened at one point of an engine race, for the
+/// [`PortfolioReport::timeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceEventKind {
+    /// An engine thread was dispatched.
+    Spawned,
+    /// An engine delivered its verdict to the supervisor.
+    Answered {
+        /// `true` when the verdict was definitive (could decide the race).
+        definitive: bool,
+    },
+    /// The supervisor told the remaining engines to stop.
+    CancelIssued,
+}
+
+/// One entry of the race timeline: *when* (relative to dispatch) *which*
+/// engine did *what*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceEvent {
+    /// Offset from race dispatch.
+    pub at: Duration,
+    /// The engine concerned; `None` for supervisor-wide events
+    /// ([`RaceEventKind::CancelIssued`]).
+    pub engine: Option<Engine>,
+    /// What happened.
+    pub kind: RaceEventKind,
+}
 
 /// The result of checking one property with the portfolio.
 #[derive(Debug, Clone)]
@@ -80,6 +109,9 @@ pub struct PortfolioReport {
     /// Human-readable descriptions of cross-engine contradictions. Empty
     /// when all definitive verdicts agree.
     pub disagreements: Vec<String>,
+    /// The race as it unfolded: engine spawns, answers in arrival order and
+    /// the cancellation point, all timestamped relative to dispatch.
+    pub timeline: Vec<RaceEvent>,
 }
 
 impl PortfolioReport {
@@ -133,12 +165,26 @@ impl fmt::Display for PortfolioReport {
 #[derive(Debug, Clone, Default)]
 pub struct Portfolio {
     config: PortfolioConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Portfolio {
     /// Creates a portfolio with the given configuration.
     pub fn new(config: PortfolioConfig) -> Self {
-        Portfolio { config }
+        Portfolio {
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Publishes race telemetry (win counters, per-engine wall-clock
+    /// histograms, win-margin distribution) into `registry`. Purely
+    /// observational: metrics never influence scheduling or verdicts, which
+    /// is why the registry lives on the portfolio, not on
+    /// [`PortfolioConfig`].
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// Creates a portfolio with the default configuration (all engines).
@@ -231,11 +277,19 @@ impl Portfolio {
         let mut runs: Vec<EngineRun> = Vec::with_capacity(engines.len());
         let mut harvest = Harvest::default();
         let mut winner: Option<usize> = None;
+        let mut timeline: Vec<RaceEvent> = Vec::with_capacity(2 * engines.len() + 1);
+        let mut first_definitive_at: Option<Duration> = None;
+        let mut win_margin: Option<Duration> = None;
         thread::scope(|scope| {
             for &engine in engines {
                 let tx = tx.clone();
                 let token = token.clone();
                 let config = &self.config;
+                timeline.push(RaceEvent {
+                    at: start.elapsed(),
+                    engine: Some(engine),
+                    kind: RaceEventKind::Spawned,
+                });
                 scope.spawn(move || {
                     let run = run_engine_seeded(engine, verification, config, &token, warm);
                     // The receiver outlives the scope; a send only fails if
@@ -248,10 +302,29 @@ impl Portfolio {
             // Collect results in finish order; the first definitive one wins
             // and (in racing mode) cancels everyone still searching.
             while let Ok((run, engine_harvest)) = rx.recv() {
-                if winner.is_none() && run.verdict.is_definitive() {
+                let at = start.elapsed();
+                let definitive = run.verdict.is_definitive();
+                timeline.push(RaceEvent {
+                    at,
+                    engine: Some(run.engine),
+                    kind: RaceEventKind::Answered { definitive },
+                });
+                match first_definitive_at {
+                    None if definitive => first_definitive_at = Some(at),
+                    Some(won_at) if win_margin.is_none() => {
+                        win_margin = Some(at.saturating_sub(won_at));
+                    }
+                    _ => {}
+                }
+                if winner.is_none() && definitive {
                     winner = Some(runs.len());
                     if cancel_losers {
                         token.cancel();
+                        timeline.push(RaceEvent {
+                            at: start.elapsed(),
+                            engine: None,
+                            kind: RaceEventKind::CancelIssued,
+                        });
                     }
                 }
                 harvest.clauses.extend(engine_harvest.clauses);
@@ -299,8 +372,65 @@ impl Portfolio {
             wall_clock: start.elapsed(),
             runs,
             disagreements,
+            timeline,
         };
+        if let Some(registry) = &self.metrics {
+            record_race_metrics(registry, &report, win_margin);
+        }
         (report, harvest)
+    }
+}
+
+/// Engine name as a metric-name component (Prometheus forbids `-`).
+fn metric_suffix(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Atpg => "atpg",
+        Engine::SatBmc => "sat_bmc",
+        Engine::RandomSim => "random_sim",
+    }
+}
+
+/// Publishes one race's attribution into the shared registry: race and
+/// per-engine win counters, per-engine wall-clock and race wall-clock
+/// histograms, cancelled-run and disagreement counters, and the win margin
+/// (first definitive answer to the next engine's answer — how much racing
+/// actually bought).
+fn record_race_metrics(
+    registry: &MetricsRegistry,
+    report: &PortfolioReport,
+    win_margin: Option<Duration>,
+) {
+    registry.counter("portfolio_races_total").inc();
+    registry
+        .histogram("portfolio_race_wall_ns")
+        .record(report.wall_clock.as_nanos() as u64);
+    if let Some(winner) = report.winner {
+        registry
+            .counter(&format!("portfolio_wins_{}_total", metric_suffix(winner)))
+            .inc();
+    } else {
+        registry.counter("portfolio_no_winner_total").inc();
+    }
+    for run in &report.runs {
+        registry
+            .histogram(&format!(
+                "portfolio_engine_{}_wall_ns",
+                metric_suffix(run.engine)
+            ))
+            .record(run.elapsed.as_nanos() as u64);
+        if run.cancelled {
+            registry.counter("portfolio_cancelled_runs_total").inc();
+        }
+    }
+    if !report.disagreements.is_empty() {
+        registry
+            .counter("portfolio_disagreements_total")
+            .add(report.disagreements.len() as u64);
+    }
+    if let Some(margin) = win_margin {
+        registry
+            .histogram("portfolio_win_margin_ns")
+            .record(margin.as_nanos() as u64);
     }
 }
 
@@ -431,6 +561,65 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(Portfolio::with_defaults().check_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn race_timeline_orders_spawns_before_answers() {
+        let report = Portfolio::with_defaults().race(&counter(12, 5, "timed"));
+        let spawns = report
+            .timeline
+            .iter()
+            .filter(|e| e.kind == RaceEventKind::Spawned)
+            .count();
+        assert_eq!(spawns, 3, "{:?}", report.timeline);
+        let answers = report
+            .timeline
+            .iter()
+            .filter(|e| matches!(e.kind, RaceEventKind::Answered { .. }))
+            .count();
+        assert_eq!(answers, 3, "{:?}", report.timeline);
+        // Racing mode cancels as soon as someone is definitive.
+        assert!(report
+            .timeline
+            .iter()
+            .any(|e| e.kind == RaceEventKind::CancelIssued));
+        // Timestamps are monotone within the supervisor's view.
+        for pair in report.timeline.windows(2) {
+            assert!(pair[0].at <= pair[1].at, "{:?}", report.timeline);
+        }
+        // Every Answered names an engine; CancelIssued is supervisor-wide.
+        for event in &report.timeline {
+            match event.kind {
+                RaceEventKind::CancelIssued => assert!(event.engine.is_none()),
+                _ => assert!(event.engine.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_registry_sees_races_and_wins() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let portfolio = Portfolio::with_defaults().with_metrics(registry.clone());
+        let won = portfolio.race(&counter(12, 5, "m0"));
+        let winner = won.winner.expect("definitive race");
+        portfolio.race(&counter(5, 12, "m1"));
+        assert_eq!(registry.counter("portfolio_races_total").get(), 2);
+        let wins = registry
+            .counter(&format!("portfolio_wins_{}_total", metric_suffix(winner)))
+            .get();
+        assert!(wins >= 1, "winner {winner} should be counted");
+        assert_eq!(registry.histogram("portfolio_race_wall_ns").count(), 2);
+        // Each race runs all three engines; every run's wall clock lands in
+        // its per-engine histogram.
+        let per_engine: u64 = Engine::ALL
+            .iter()
+            .map(|&e| {
+                registry
+                    .histogram(&format!("portfolio_engine_{}_wall_ns", metric_suffix(e)))
+                    .count()
+            })
+            .sum();
+        assert_eq!(per_engine, 6);
     }
 
     #[test]

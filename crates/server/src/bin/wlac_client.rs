@@ -5,10 +5,14 @@
 //! wlac-client [--addr HOST:PORT] register DESIGN.v
 //! wlac-client [--addr HOST:PORT] check DESIGN.v [--always OUT]... [--eventually OUT]...
 //! wlac-client [--addr HOST:PORT] stats
+//! wlac-client [--addr HOST:PORT] metrics
 //! wlac-client [--addr HOST:PORT] export DESIGN_HASH FILE.wlacsnap
 //! wlac-client [--addr HOST:PORT] import FILE.wlacsnap
 //! wlac-client [--addr HOST:PORT] shutdown
 //! ```
+//!
+//! `metrics` prints the server's Prometheus-style exposition to stdout (for
+//! scrapers and CI smoke checks).
 //!
 //! `check` registers the design, submits one job per `--always`/
 //! `--eventually` monitor (default: one `always` job per design output) and
@@ -66,7 +70,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: wlac-client [--addr HOST:PORT] \
          (ping | register FILE.v | check FILE.v [--always OUT]... [--eventually OUT]... \
-         | stats | export DESIGN FILE | import FILE | shutdown)"
+         | stats | metrics | export DESIGN FILE | import FILE | shutdown)"
     );
     std::process::exit(2);
 }
@@ -223,6 +227,15 @@ fn main() {
             .call(&Json::obj(vec![("op", Json::str("stats"))]))
             .map(|reply| {
                 println!("{}", reply.get("stats").cloned().unwrap_or(Json::Null));
+                0
+            }),
+        ("metrics", []) => conn
+            .call(&Json::obj(vec![("op", Json::str("metrics"))]))
+            .map(|reply| {
+                print!(
+                    "{}",
+                    reply.get("prometheus").and_then(Json::as_str).unwrap_or("")
+                );
                 0
             }),
         ("export", [design, file]) => conn

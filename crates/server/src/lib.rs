@@ -8,9 +8,18 @@
 //!   line-delimited JSON (hand-rolled [`Json`]; the workspace builds offline,
 //!   so no serde/tokio). Requests: `register_design` (Verilog-subset source,
 //!   compiled by `wlac-frontend`), `submit_batch`, `poll`, `results`,
-//!   `wait`, `stats`, `export_knowledge`, `import_knowledge`, `ping`,
-//!   `shutdown`. Malformed frames get structured `{"ok":false,"error":{…}}`
-//!   replies on the same connection instead of a dropped socket.
+//!   `wait`, `stats`, `export_knowledge`, `import_knowledge`, `metrics`,
+//!   `trace_check`, `ping`, `shutdown`. Malformed frames get structured
+//!   `{"ok":false,"error":{…}}` replies on the same connection instead of a
+//!   dropped socket.
+//! * **Observability** — one [`wlac_telemetry::MetricsRegistry`] is shared
+//!   by the whole stack (service gauges and counters, portfolio race
+//!   attribution, aggregated core search effort, per-op request counters and
+//!   latency histograms). The `metrics` op exposes it as Prometheus text and
+//!   flat JSON; `trace_check` runs one property with search tracing on and
+//!   returns the phase-attributed time breakdown plus span events; requests
+//!   slower than [`ServerConfig::slow_request_threshold`] get a structured
+//!   stderr line.
 //! * **Persistence** — every design autosaves to a
 //!   [`wlac_persist::Snapshot`] after each finished batch and again on the
 //!   graceful-shutdown drain; on boot the server reloads every snapshot in

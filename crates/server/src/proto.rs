@@ -40,6 +40,22 @@ pub enum ErrorCode {
 }
 
 impl ErrorCode {
+    /// Every code, in wire order — the enumeration behind the per-code error
+    /// counters of the `stats` and `metrics` replies.
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::BadJson,
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownOp,
+        ErrorCode::UnknownDesign,
+        ErrorCode::UnknownBatch,
+        ErrorCode::CompileError,
+        ErrorCode::BadProperty,
+        ErrorCode::BadSnapshot,
+        ErrorCode::NotDone,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ];
+
     /// The wire spelling of the code.
     pub fn as_str(self) -> &'static str {
         match self {

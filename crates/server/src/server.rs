@@ -12,13 +12,47 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
-use wlac_atpg::{Property, PropertyKind, Verification};
+use std::time::{Duration, Instant};
+use wlac_atpg::{
+    AssertionChecker, CheckReport, CheckResult, CheckerOptions, Property, PropertyKind, TraceSink,
+    Verification,
+};
 use wlac_netlist::{NetId, Netlist};
 use wlac_persist::{
     decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, snapshot_file_name, Snapshot,
 };
 use wlac_service::{BatchId, DesignHash, JobResult, ServiceConfig, VerificationService};
+use wlac_telemetry::{MetricsRegistry, SpanId, Tracer};
+
+/// Every op the dispatcher accepts, plus the two catch-all buckets
+/// (`unknown` for an unrecognised `op`, `invalid` for frames with no usable
+/// `op` at all) — the enumeration behind the per-op request counters and
+/// latency histograms.
+const KNOWN_OPS: [&str; 14] = [
+    "ping",
+    "register_design",
+    "submit_batch",
+    "poll",
+    "results",
+    "wait",
+    "stats",
+    "export_knowledge",
+    "import_knowledge",
+    "metrics",
+    "trace_check",
+    "shutdown",
+    "unknown",
+    "invalid",
+];
+
+/// Interns an op string into [`KNOWN_OPS`] (metric names want `'static`).
+fn canonical_op(op: &str) -> &'static str {
+    KNOWN_OPS
+        .iter()
+        .find(|known| **known == op)
+        .copied()
+        .unwrap_or("unknown")
+}
 
 /// How the server comes up.
 #[derive(Debug, Clone)]
@@ -30,15 +64,20 @@ pub struct ServerConfig {
     pub data_dir: Option<PathBuf>,
     /// The verification-service configuration behind the front end.
     pub service: ServiceConfig,
+    /// Requests slower than this get a structured line on stderr (op, wall
+    /// clock, outcome) — the slow-request log.
+    pub slow_request_threshold: Duration,
 }
 
 impl ServerConfig {
-    /// Defaults: loopback on port 7117, no persistence, default service.
+    /// Defaults: loopback on port 7117, no persistence, default service, 1 s
+    /// slow-request threshold.
     pub fn new() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7117".to_string(),
             data_dir: None,
             service: ServiceConfig::default(),
+            slow_request_threshold: Duration::from_secs(1),
         }
     }
 }
@@ -61,6 +100,17 @@ struct ServerState {
     /// The shutdown path waits for this to reach zero so no client loses an
     /// already-earned reply (or its autosave) to the process exiting.
     active_requests: AtomicUsize,
+    /// The shared metrics registry: the service and every portfolio it races
+    /// write into it, the server adds per-op counters and latency
+    /// histograms, and the `metrics` op exposes the whole thing.
+    metrics: Arc<MetricsRegistry>,
+    /// Server-level tracer: one span per connection, one event per request.
+    tracer: Tracer,
+    /// Checker options for on-demand `trace_check` runs (the same options
+    /// the service's portfolio gives its ATPG engine).
+    checker_options: CheckerOptions,
+    /// Threshold of the slow-request log.
+    slow_request_threshold: Duration,
 }
 
 /// A running verification server.
@@ -90,13 +140,19 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let checker_options = config.service.portfolio.checker.clone();
         let state = Arc::new(ServerState {
-            service: VerificationService::new(config.service),
+            service: VerificationService::with_metrics(config.service, Arc::clone(&metrics)),
             designs: Mutex::new(HashMap::new()),
             data_dir: config.data_dir,
             shutting_down: AtomicBool::new(false),
             loaded_snapshots: AtomicUsize::new(0),
             active_requests: AtomicUsize::new(0),
+            metrics,
+            tracer: Tracer::new(16_384),
+            checker_options,
+            slow_request_threshold: config.slow_request_threshold,
         });
         load_all_snapshots(&state);
         Ok(Server { listener, state })
@@ -261,59 +317,171 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    state.metrics.counter("server_connections_total").inc();
+    let connection = state.tracer.span_start("connection", SpanId::ROOT);
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = match line {
             Ok(line) => line,
-            Err(_) => return, // client went away
+            Err(_) => break, // client went away
         };
         if line.trim().is_empty() {
             continue;
         }
         state.active_requests.fetch_add(1, Ordering::AcqRel);
-        let reply = dispatch(state, &line);
+        let started = Instant::now();
+        let (reply, op) = dispatch(state, &line);
+        let elapsed = started.elapsed();
+        record_request(state, connection, op, &reply, elapsed);
         let sent = writer
             .write_all(format!("{reply}\n").as_bytes())
             .and_then(|()| writer.flush());
         state.active_requests.fetch_sub(1, Ordering::AcqRel);
         if sent.is_err() {
-            return;
+            break;
         }
+    }
+    state.tracer.span_end(connection, "connection");
+}
+
+/// Books one finished request: per-op counter and latency histogram, a
+/// per-code error counter when the reply is a failure, a request event in
+/// the connection span, and the slow-request log line.
+fn record_request(
+    state: &ServerState,
+    connection: SpanId,
+    op: &'static str,
+    reply: &Json,
+    elapsed: Duration,
+) {
+    let nanos = elapsed.as_nanos() as u64;
+    state
+        .metrics
+        .counter(&format!("server_requests_{op}_total"))
+        .inc();
+    state
+        .metrics
+        .histogram(&format!("server_op_{op}_wall_ns"))
+        .record(nanos);
+    let error_code = reply
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str);
+    if let Some(code) = error_code {
+        state
+            .metrics
+            .counter(&format!("server_errors_{code}_total"))
+            .inc();
+    }
+    state.tracer.event(op, connection, nanos);
+    if elapsed >= state.slow_request_threshold {
+        eprintln!(
+            "wlac-server: slow request op={op} wall_ms={:.1} outcome={}",
+            elapsed.as_secs_f64() * 1e3,
+            error_code.unwrap_or("ok"),
+        );
     }
 }
 
-fn dispatch(state: &ServerState, line: &str) -> Json {
+fn dispatch(state: &ServerState, line: &str) -> (Json, &'static str) {
     let frame = match Json::parse(line) {
         Ok(frame) => frame,
-        Err(e) => return error_reply(ErrorCode::BadJson, e.to_string()),
+        Err(e) => return (error_reply(ErrorCode::BadJson, e.to_string()), "invalid"),
     };
     let Some(op) = frame.get("op").and_then(Json::as_str) else {
-        return error_reply(ErrorCode::BadRequest, "missing string member `op`");
+        return (
+            error_reply(ErrorCode::BadRequest, "missing string member `op`"),
+            "invalid",
+        );
     };
     if state.shutting_down.load(Ordering::Acquire)
         && matches!(op, "register_design" | "submit_batch" | "import_knowledge")
     {
-        return error_reply(ErrorCode::ShuttingDown, "server is draining");
+        return (
+            error_reply(ErrorCode::ShuttingDown, "server is draining"),
+            canonical_op(op),
+        );
     }
-    match op {
+    let reply = match op {
         "ping" => ok_reply(Vec::new()),
         "register_design" => op_register_design(state, &frame),
         "submit_batch" => op_submit_batch(state, &frame),
         "poll" => op_poll(state, &frame),
         "results" => op_results(state, &frame),
         "wait" => op_wait(state, &frame),
-        "stats" => ok_reply(vec![(
+        "stats" => op_stats(state),
+        "export_knowledge" => op_export_knowledge(state, &frame),
+        "import_knowledge" => op_import_knowledge(state, &frame),
+        "metrics" => op_metrics(state),
+        "trace_check" => op_trace_check(state, &frame),
+        "shutdown" => op_shutdown(state),
+        _ => error_reply(ErrorCode::UnknownOp, format!("unknown op `{op}`")),
+    };
+    (reply, canonical_op(op))
+}
+
+fn op_stats(state: &ServerState) -> Json {
+    // The request-accounting view: how often each op was called and how
+    // often each error code was produced, from the same counters the
+    // `metrics` op exposes (looking one up creates it at zero, so the reply
+    // always enumerates the full vocabulary).
+    let ops = Json::Obj(
+        KNOWN_OPS
+            .iter()
+            .map(|op| {
+                (
+                    (*op).to_string(),
+                    Json::num(
+                        state
+                            .metrics
+                            .counter(&format!("server_requests_{op}_total"))
+                            .get(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let errors = Json::Obj(
+        ErrorCode::ALL
+            .iter()
+            .map(|code| {
+                (
+                    code.as_str().to_string(),
+                    Json::num(
+                        state
+                            .metrics
+                            .counter(&format!("server_errors_{}_total", code.as_str()))
+                            .get(),
+                    ),
+                )
+            })
+            .collect(),
+    );
+    ok_reply(vec![
+        (
             "stats",
             stats_to_wire(
                 &state.service.stats(),
                 state.loaded_snapshots.load(Ordering::Relaxed),
             ),
-        )]),
-        "export_knowledge" => op_export_knowledge(state, &frame),
-        "import_knowledge" => op_import_knowledge(state, &frame),
-        "shutdown" => op_shutdown(state),
-        _ => error_reply(ErrorCode::UnknownOp, format!("unknown op `{op}`")),
-    }
+        ),
+        ("ops", ops),
+        ("errors", errors),
+    ])
+}
+
+fn op_metrics(state: &ServerState) -> Json {
+    // Both exposition formats from one registry snapshot: the Prometheus
+    // text for scrapers, the flat JSON object for tooling that already
+    // speaks the protocol. The JSON text round-trips through the parser so
+    // it lands in the reply as a real object, not a quoted blob.
+    let rendered = state.metrics.render_json();
+    let json = Json::parse(&rendered)
+        .unwrap_or_else(|e| Json::str(format!("metrics rendering failed to parse: {e}")));
+    ok_reply(vec![
+        ("prometheus", Json::str(state.metrics.render_prometheus())),
+        ("metrics", json),
+    ])
 }
 
 fn op_register_design(state: &ServerState, frame: &Json) -> Json {
@@ -626,6 +794,110 @@ fn op_import_knowledge(state: &ServerState, frame: &Json) -> Json {
         ("design", Json::str(design_to_wire(design))),
         ("verdicts", Json::num(verdicts as u64)),
     ])
+}
+
+/// Encodes one trace event for the wire.
+fn trace_event_to_wire(event: &wlac_telemetry::TraceEvent) -> Json {
+    Json::obj(vec![
+        ("at_ns", Json::num(event.at_nanos)),
+        ("kind", Json::str(event.kind.as_str())),
+        ("name", Json::str(event.name)),
+        ("id", Json::num(event.id)),
+        ("parent", Json::num(event.parent)),
+        ("value", Json::num(event.value)),
+    ])
+}
+
+/// On-demand traced check: runs the job once through the paper's ATPG
+/// checker with tracing enabled and returns the phase-attributed time
+/// breakdown plus the span events, instead of just a verdict. The run is
+/// deliberately outside the service (no cache, no warm start, single
+/// engine): the point is a reproducible profile of *this* check, not the
+/// fastest answer.
+fn op_trace_check(state: &ServerState, frame: &Json) -> Json {
+    let verification = match parse_job(state, frame, 0) {
+        Ok(verification) => verification,
+        Err(reply) => return reply,
+    };
+    let tracer = Arc::new(Tracer::new(8192));
+    let options = state
+        .checker_options
+        .clone()
+        .with_trace(TraceSink::to(Arc::clone(&tracer)));
+    let report: CheckReport = AssertionChecker::new(options).check(&verification);
+
+    let mut verdict = vec![("label", Json::str(check_result_label(&report.result)))];
+    match &report.result {
+        CheckResult::HoldsUpToBound { frames } | CheckResult::WitnessNotFound { frames } => {
+            verdict.push(("frames", Json::num(*frames as u64)));
+        }
+        CheckResult::CounterExample { trace } | CheckResult::WitnessFound { trace } => {
+            verdict.push(("trace_cycles", Json::num(trace.len() as u64)));
+        }
+        CheckResult::Unknown { reason } => verdict.push(("reason", Json::str(reason.clone()))),
+        CheckResult::Proved => {}
+    }
+
+    let phases = &report.stats.phases;
+    let phases_wire = Json::obj(vec![
+        ("implication_ns", Json::num(phases.implication)),
+        ("justification_ns", Json::num(phases.justification)),
+        ("decision_ns", Json::num(phases.decision)),
+        ("datapath_ns", Json::num(phases.datapath)),
+        ("sat_leaf_ns", Json::num(phases.sat_leaf)),
+        ("backtrack_ns", Json::num(phases.backtrack)),
+        ("other_ns", Json::num(phases.other)),
+        ("total_ns", Json::num(phases.total())),
+    ]);
+    let stats = &report.stats;
+    let stats_wire = Json::obj(vec![
+        ("decisions", Json::num(stats.decisions)),
+        ("backtracks", Json::num(stats.backtracks)),
+        (
+            "gate_evaluations",
+            Json::num(stats.implication.gate_evaluations),
+        ),
+        ("arithmetic_calls", Json::num(stats.arithmetic_calls)),
+        ("datapath_fact_hits", Json::num(stats.datapath_fact_hits)),
+        (
+            "justify_gates_rechecked",
+            Json::num(stats.justify_gates_rechecked),
+        ),
+        ("frames_explored", Json::num(stats.frames_explored as u64)),
+        (
+            "peak_memory_bytes",
+            Json::num(stats.peak_memory_bytes as u64),
+        ),
+    ]);
+    let events = tracer.events();
+    ok_reply(vec![
+        ("property", Json::str(report.property)),
+        ("verdict", Json::obj(verdict)),
+        (
+            "elapsed_ms",
+            Json::Num(report.stats.elapsed.as_secs_f64() * 1e3),
+        ),
+        ("phases", phases_wire),
+        ("stats", stats_wire),
+        (
+            "events",
+            Json::Arr(events.iter().map(trace_event_to_wire).collect()),
+        ),
+        ("events_dropped", Json::num(tracer.dropped())),
+    ])
+}
+
+/// Wire label of a core check result (the core vocabulary, not the
+/// portfolio's — `trace_check` runs the ATPG engine alone).
+fn check_result_label(result: &CheckResult) -> &'static str {
+    match result {
+        CheckResult::Proved => "proved",
+        CheckResult::HoldsUpToBound { .. } => "holds(bound)",
+        CheckResult::CounterExample { .. } => "violated",
+        CheckResult::WitnessFound { .. } => "witness",
+        CheckResult::WitnessNotFound { .. } => "no witness",
+        CheckResult::Unknown { .. } => "unknown",
+    }
 }
 
 fn op_shutdown(state: &ServerState) -> Json {

@@ -383,3 +383,208 @@ fn knowledge_export_import_over_the_wire() {
     client.shutdown();
     handle.join().expect("server thread");
 }
+
+/// Parses a Prometheus text exposition into (name, value) samples, skipping
+/// `# TYPE` comments; label-bearing samples keep the label block in the
+/// name. Panics on any line that does not scan — the acceptance criterion
+/// is "parseable", not "roughly shaped".
+fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("unparseable exposition line: {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|e| panic!("bad sample value in {line:?}: {e}"));
+        assert!(!name.is_empty(), "empty metric name in {line:?}");
+        samples.push((name.to_string(), value));
+    }
+    samples
+}
+
+fn sample(samples: &[(String, f64)], name: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, value)| *value)
+}
+
+#[test]
+fn stats_reports_per_op_and_error_counters() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    client.call(Json::obj(vec![("op", Json::str("ping"))]));
+    client.call(Json::obj(vec![("op", Json::str("ping"))]));
+    assert_eq!(client.call_err("{\"op\":\"frobnicate\"}"), "unknown_op");
+    assert_eq!(client.call_err("not json"), "bad_json");
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+    let _ = client.wait(batch);
+
+    let reply = client.call(Json::obj(vec![("op", Json::str("stats"))]));
+    let ops = reply.get("ops").expect("ops object");
+    let count = |name: &str| ops.get(name).and_then(Json::as_u64).expect(name);
+    assert_eq!(count("ping"), 2);
+    assert_eq!(count("register_design"), 1);
+    assert_eq!(count("submit_batch"), 1);
+    assert_eq!(count("wait"), 1);
+    assert_eq!(
+        count("unknown"),
+        1,
+        "frobnicate lands in the unknown bucket"
+    );
+    assert_eq!(count("invalid"), 1, "non-JSON lands in the invalid bucket");
+    assert_eq!(count("shutdown"), 0);
+    let errors = reply.get("errors").expect("errors object");
+    let errs = |name: &str| errors.get(name).and_then(Json::as_u64).expect(name);
+    assert_eq!(errs("unknown_op"), 1);
+    assert_eq!(errs("bad_json"), 1);
+    assert_eq!(errs("compile_error"), 0);
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn metrics_exposition_covers_every_layer() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+    let _ = client.wait(batch);
+    // Repeat one property so the cache-hit counter moves too.
+    let batch = client.submit_both(&design);
+    let _ = client.wait(batch);
+
+    let reply = client.call(Json::obj(vec![("op", Json::str("metrics"))]));
+    let text = reply
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prometheus text");
+    let samples = parse_prometheus(text);
+
+    // Core: the raced ATPG engine's search effort is aggregated.
+    assert!(sample(&samples, "core_gate_evaluations_total").expect("core counter") > 0.0);
+    // Portfolio: two raced batches of two jobs, minus cache hits.
+    assert!(sample(&samples, "portfolio_races_total").expect("race counter") >= 2.0);
+    // Service: queue/worker gauges exist and jobs flowed through.
+    assert_eq!(sample(&samples, "service_queue_depth"), Some(0.0));
+    assert!(sample(&samples, "service_jobs_completed_total").expect("jobs") >= 4.0);
+    assert!(sample(&samples, "service_cache_hits_total").expect("hits") >= 2.0);
+    // Server: per-op accounting, including histogram quantile samples.
+    assert_eq!(
+        sample(&samples, "server_requests_submit_batch_total"),
+        Some(2.0)
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|(n, _)| n.starts_with("server_op_wait_wall_ns{quantile=")),
+        "wait latency histogram missing from exposition"
+    );
+    assert!(sample(&samples, "server_connections_total").expect("connections") >= 1.0);
+
+    // The JSON exposition is a real object over the same registry.
+    let json = reply.get("metrics").expect("metrics object");
+    assert!(json
+        .get("service_jobs_completed_total")
+        .and_then(Json::as_f64)
+        .is_some());
+    assert!(json
+        .get("server_op_wait_wall_ns_p50")
+        .and_then(Json::as_f64)
+        .is_some());
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn trace_check_profiles_one_property() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("trace_check")),
+        ("design", Json::str(design.clone())),
+        (
+            "property",
+            Json::obj(vec![
+                ("kind", Json::str("always")),
+                ("monitor", Json::str("bad")),
+            ]),
+        ),
+    ]));
+    let label = reply
+        .get("verdict")
+        .and_then(|v| v.get("label"))
+        .and_then(Json::as_str)
+        .expect("verdict label");
+    assert_eq!(label, "violated");
+    let elapsed_ms = reply
+        .get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .expect("elapsed_ms");
+    let phases = reply.get("phases").expect("phases object");
+    let phase = |name: &str| phases.get(name).and_then(Json::as_f64).expect(name);
+    let total_ns = phase("total_ns");
+    let summed: f64 = [
+        "implication_ns",
+        "justification_ns",
+        "decision_ns",
+        "datapath_ns",
+        "sat_leaf_ns",
+        "backtrack_ns",
+        "other_ns",
+    ]
+    .iter()
+    .map(|n| phase(n))
+    .sum();
+    assert_eq!(summed, total_ns, "total must be the sum of the phases");
+    // The acceptance bound: the phase breakdown accounts for the check's
+    // wall clock to within 10%.
+    let elapsed_ns = elapsed_ms * 1e6;
+    assert!(
+        (total_ns - elapsed_ns).abs() <= (elapsed_ns / 10.0).max(1e6),
+        "phase sum {total_ns}ns diverges from elapsed {elapsed_ns}ns"
+    );
+    // The span events narrate the search.
+    let events = reply.get("events").and_then(Json::as_arr).expect("events");
+    assert!(!events.is_empty());
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(names.contains(&"search"), "{names:?}");
+    assert!(names.contains(&"bound"), "{names:?}");
+    let stats = reply.get("stats").expect("stats object");
+    assert!(
+        stats
+            .get("gate_evaluations")
+            .and_then(Json::as_u64)
+            .expect("gate_evaluations")
+            > 0
+    );
+    assert_eq!(
+        reply.get("events_dropped").and_then(Json::as_u64),
+        Some(0),
+        "8192-event ring must not drop on this tiny check"
+    );
+
+    // A trace_check against an unregistered design fails cleanly.
+    assert_eq!(
+        client.call_err(
+            "{\"op\":\"trace_check\",\"design\":\"d0000000000000000\",\
+             \"property\":{\"monitor\":\"ok\"}}"
+        ),
+        "unknown_design"
+    );
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}

@@ -308,6 +308,43 @@ mod tests {
     }
 
     #[test]
+    fn metrics_registry_tracks_jobs_cache_and_core_effort() {
+        let registry = std::sync::Arc::new(wlac_telemetry::MetricsRegistry::new());
+        let service = VerificationService::with_metrics(quick_config(), registry.clone());
+        let batch = service.submit_batch(vec![counter(12, 5, "p"), counter(5, 12, "q")]);
+        let _ = service.wait(batch);
+        let again = service.submit_batch(vec![counter(12, 5, "p")]);
+        let _ = service.wait(again);
+
+        assert_eq!(registry.counter("service_jobs_submitted_total").get(), 3);
+        assert_eq!(registry.counter("service_jobs_completed_total").get(), 3);
+        assert_eq!(registry.counter("service_cache_hits_total").get(), 1);
+        assert_eq!(registry.counter("service_cache_misses_total").get(), 2);
+        assert_eq!(registry.histogram("service_job_wall_ns").count(), 3);
+        // Idle service: the queue is drained and no worker is mid-job. The
+        // busy gauge is decremented *after* a job's completion is published
+        // (waiters can win that race), so poll briefly for it to settle.
+        let settles_to_zero = |gauge: &str| {
+            for _ in 0..400 {
+                if registry.gauge(gauge).get() == 0.0 {
+                    return true;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            false
+        };
+        assert!(settles_to_zero("service_queue_depth"));
+        assert!(settles_to_zero("service_workers_busy"));
+        // The raced jobs spawned the ATPG engine, whose search effort is
+        // aggregated into the core counters.
+        // (Decisions can legitimately be zero — implication alone decides
+        // these tiny counters — but implication always evaluates gates.)
+        assert!(registry.counter("core_gate_evaluations_total").get() > 0);
+        // The portfolio layer shares the same registry.
+        assert_eq!(registry.counter("portfolio_races_total").get(), 2);
+    }
+
+    #[test]
     fn prediction_can_be_disabled() {
         let mut config = quick_config();
         config.predict = false;

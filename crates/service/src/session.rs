@@ -26,8 +26,10 @@ use std::time::{Duration, Instant};
 use wlac_atpg::Verification;
 use wlac_netlist::Netlist;
 use wlac_portfolio::{
-    predict_engines, Engine, NetlistFeatures, Portfolio, PortfolioConfig, Verdict, WarmStart,
+    predict_engines, Engine, EngineStats, NetlistFeatures, Portfolio, PortfolioConfig,
+    PortfolioReport, Verdict, WarmStart,
 };
+use wlac_telemetry::MetricsRegistry;
 
 /// Handle to a submitted batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -375,6 +377,7 @@ struct Shared {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     predicted_races: AtomicU64,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// A persistent verification session. See the module docs.
@@ -392,6 +395,19 @@ pub struct VerificationService {
 impl VerificationService {
     /// Starts a session with the given configuration.
     pub fn new(config: ServiceConfig) -> Self {
+        VerificationService::start(config, None)
+    }
+
+    /// Starts a session that publishes its telemetry — queue depth and
+    /// worker-utilisation gauges, cache and job counters, per-job wall-clock
+    /// histograms, the raced portfolios' attribution and the aggregated core
+    /// search counters — into `registry`. Metrics are write-only for the
+    /// service: they never influence scheduling, caching or verdicts.
+    pub fn with_metrics(config: ServiceConfig, registry: Arc<MetricsRegistry>) -> Self {
+        VerificationService::start(config, Some(registry))
+    }
+
+    fn start(config: ServiceConfig, metrics: Option<Arc<MetricsRegistry>>) -> Self {
         let workers = config.workers.max(1);
         let cache = VerdictCache::new(config.cache_capacity);
         let shared = Arc::new(Shared {
@@ -407,6 +423,7 @@ impl VerificationService {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             predicted_races: AtomicU64::new(0),
+            metrics,
         });
         let handles = (0..workers)
             .map(|_| {
@@ -478,6 +495,14 @@ impl VerificationService {
                 verification: Arc::new(verification),
                 key,
             });
+        }
+        if let Some(metrics) = &self.shared.metrics {
+            metrics
+                .counter("service_jobs_submitted_total")
+                .add(queued.len() as u64);
+            metrics
+                .gauge("service_queue_depth")
+                .add(queued.len() as f64);
         }
         {
             let mut queue = self.shared.queue.lock().expect("queue lock");
@@ -741,7 +766,55 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.queue_cv.wait(queue).expect("queue condvar wait");
             }
         };
+        if let Some(metrics) = &shared.metrics {
+            metrics.gauge("service_queue_depth").sub(1.0);
+            metrics.gauge("service_workers_busy").add(1.0);
+        }
         process_job(shared, job);
+        if let Some(metrics) = &shared.metrics {
+            metrics.gauge("service_workers_busy").sub(1.0);
+        }
+    }
+}
+
+/// Publishes one finished job into the registry: completion/cache counters,
+/// the job's wall clock, and — for raced jobs — the core search counters
+/// aggregated from every ATPG run of the portfolio.
+fn record_job_metrics(shared: &Shared, result: &JobResult, report: Option<&PortfolioReport>) {
+    let Some(metrics) = &shared.metrics else {
+        return;
+    };
+    metrics.counter("service_jobs_completed_total").inc();
+    if result.from_cache {
+        metrics.counter("service_cache_hits_total").inc();
+    } else {
+        metrics.counter("service_cache_misses_total").inc();
+    }
+    metrics
+        .histogram("service_job_wall_ns")
+        .record(result.wall.as_nanos() as u64);
+    let Some(report) = report else {
+        return;
+    };
+    for run in &report.runs {
+        if let EngineStats::Atpg(stats) = &run.stats {
+            metrics.counter("core_decisions_total").add(stats.decisions);
+            metrics
+                .counter("core_backtracks_total")
+                .add(stats.backtracks);
+            metrics
+                .counter("core_gate_evaluations_total")
+                .add(stats.implication.gate_evaluations);
+            metrics
+                .counter("core_arithmetic_calls_total")
+                .add(stats.arithmetic_calls);
+            metrics
+                .counter("core_datapath_fact_hits_total")
+                .add(stats.datapath_fact_hits);
+            metrics
+                .counter("core_justify_gates_rechecked_total")
+                .add(stats.justify_gates_rechecked);
+        }
     }
 }
 
@@ -755,19 +828,17 @@ fn process_job(shared: &Shared, job: QueuedJob) {
     };
     if let Some(hit) = cached {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-        complete_job(
-            shared,
-            &job,
-            JobResult {
-                property: job.verification.property.name.clone(),
-                design: job.design,
-                verdict: hit.verdict,
-                winner: hit.winner,
-                from_cache: true,
-                engines_spawned: 0,
-                wall: start.elapsed(),
-            },
-        );
+        let result = JobResult {
+            property: job.verification.property.name.clone(),
+            design: job.design,
+            verdict: hit.verdict,
+            winner: hit.winner,
+            from_cache: true,
+            engines_spawned: 0,
+            wall: start.elapsed(),
+        };
+        record_job_metrics(shared, &result, None);
+        complete_job(shared, &job, result);
         return;
     }
     shared.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -808,27 +879,28 @@ fn process_job(shared: &Shared, job: QueuedJob) {
     // the batch incomplete, hanging every `wait` on it. No service lock is
     // held across the race, so unwinding cannot poison shared state.
     let raced = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let portfolio = Portfolio::new(shared.config.portfolio.clone());
+        let mut portfolio = Portfolio::new(shared.config.portfolio.clone());
+        if let Some(metrics) = &shared.metrics {
+            portfolio = portfolio.with_metrics(Arc::clone(metrics));
+        }
         portfolio.race_warm(&job.verification, &warm)
     }));
     let (report, harvest) = match raced {
         Ok(outcome) => outcome,
         Err(_) => {
-            complete_job(
-                shared,
-                &job,
-                JobResult {
-                    property: job.verification.property.name.clone(),
-                    design: job.design,
-                    verdict: Verdict::Unknown {
-                        reason: "engine panicked".into(),
-                    },
-                    winner: None,
-                    from_cache: false,
-                    engines_spawned,
-                    wall: start.elapsed(),
+            let result = JobResult {
+                property: job.verification.property.name.clone(),
+                design: job.design,
+                verdict: Verdict::Unknown {
+                    reason: "engine panicked".into(),
                 },
-            );
+                winner: None,
+                from_cache: false,
+                engines_spawned,
+                wall: start.elapsed(),
+            };
+            record_job_metrics(shared, &result, None);
+            complete_job(shared, &job, result);
             return;
         }
     };
@@ -847,19 +919,17 @@ fn process_job(shared: &Shared, job: QueuedJob) {
             },
         );
     }
-    complete_job(
-        shared,
-        &job,
-        JobResult {
-            property: report.property,
-            design: job.design,
-            verdict: report.verdict,
-            winner: report.winner,
-            from_cache: false,
-            engines_spawned,
-            wall: start.elapsed(),
-        },
-    );
+    let result = JobResult {
+        property: report.property.clone(),
+        design: job.design,
+        verdict: report.verdict.clone(),
+        winner: report.winner,
+        from_cache: false,
+        engines_spawned,
+        wall: start.elapsed(),
+    };
+    record_job_metrics(shared, &result, Some(&report));
+    complete_job(shared, &job, result);
 }
 
 fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult) {

@@ -1,0 +1,254 @@
+//! Hierarchical span/event tracing into a bounded, pre-allocated ring.
+//!
+//! The tracer is opt-in (the core search only emits when
+//! `CheckerOptions::trace` is set), but even when active it must not disturb
+//! the search: event names are `&'static str`, payloads are integers, and
+//! the ring buffer is allocated once at construction — pushing an event
+//! takes a short mutex section and never touches the heap.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identity of a span; `SpanId::ROOT` is the implicit top-level parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The implicit root parent (no enclosing span).
+    pub const ROOT: SpanId = SpanId(0);
+}
+
+/// What a [`TraceEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed.
+    SpanEnd,
+    /// An instantaneous event inside a span.
+    Event,
+}
+
+impl TraceEventKind {
+    /// Stable wire spelling used by the JSONL export and the server.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TraceEventKind::SpanStart => "span_start",
+            TraceEventKind::SpanEnd => "span_end",
+            TraceEventKind::Event => "event",
+        }
+    }
+}
+
+/// One recorded span boundary or event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span id (for span boundaries) or the id allocated to this event.
+    pub id: u64,
+    /// Enclosing span id; 0 when emitted at the root.
+    pub parent: u64,
+    /// Static name, e.g. `"search"`, `"decision"`, `"backtrack"`.
+    pub name: &'static str,
+    /// Boundary or instantaneous event.
+    pub kind: TraceEventKind,
+    /// Nanoseconds since the tracer was created.
+    pub at_nanos: u64,
+    /// Event-specific integer payload (net index, frame number, …).
+    pub value: u64,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Bounded span/event recorder. See the module docs for the design.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// A tracer whose ring retains the most recent `capacity` events
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Tracer {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                capacity,
+                head: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.ring.lock().expect("tracer ring poisoned").push(event);
+    }
+
+    /// Open a span under `parent` and return its id.
+    pub fn span_start(&self, name: &'static str, parent: SpanId) -> SpanId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.push(TraceEvent {
+            id,
+            parent: parent.0,
+            name,
+            kind: TraceEventKind::SpanStart,
+            at_nanos: self.now_nanos(),
+            value: 0,
+        });
+        SpanId(id)
+    }
+
+    /// Close `span`. The name is repeated so a wrapped ring (whose start
+    /// event may have been dropped) still reads meaningfully.
+    pub fn span_end(&self, span: SpanId, name: &'static str) {
+        self.push(TraceEvent {
+            id: span.0,
+            parent: 0,
+            name,
+            kind: TraceEventKind::SpanEnd,
+            at_nanos: self.now_nanos(),
+            value: 0,
+        });
+    }
+
+    /// Record an instantaneous event under `parent` with an integer payload.
+    pub fn event(&self, name: &'static str, parent: SpanId, value: u64) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.push(TraceEvent {
+            id,
+            parent: parent.0,
+            name,
+            kind: TraceEventKind::Event,
+            at_nanos: self.now_nanos(),
+            value,
+        });
+    }
+
+    /// Chronological snapshot of the retained events (oldest first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("tracer ring poisoned");
+        let mut out = Vec::with_capacity(ring.buf.len());
+        out.extend_from_slice(&ring.buf[ring.head..]);
+        out.extend_from_slice(&ring.buf[..ring.head]);
+        out
+    }
+
+    /// Number of events evicted because the ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("tracer ring poisoned").dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer ring poisoned").buf.len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Export the retained events as JSONL: one JSON object per line with
+    /// `at_ns`, `kind`, `name`, `id`, `parent` and `value` members.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in self.events() {
+            out.push_str(&format!(
+                "{{\"at_ns\":{},\"kind\":\"{}\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"value\":{}}}\n",
+                event.at_nanos,
+                event.kind.as_str(),
+                event.name,
+                event.id,
+                event.parent,
+                event.value
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_events_attach() {
+        let tracer = Tracer::new(16);
+        let outer = tracer.span_start("check", SpanId::ROOT);
+        let inner = tracer.span_start("search", outer);
+        tracer.event("decision", inner, 42);
+        tracer.span_end(inner, "search");
+        tracer.span_end(outer, "check");
+
+        let events = tracer.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].kind, TraceEventKind::SpanStart);
+        assert_eq!(events[1].parent, outer.0);
+        assert_eq!(events[2].name, "decision");
+        assert_eq!(events[2].parent, inner.0);
+        assert_eq!(events[2].value, 42);
+        // Timestamps are monotone.
+        for pair in events.windows(2) {
+            assert!(pair[0].at_nanos <= pair[1].at_nanos);
+        }
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let tracer = Tracer::new(4);
+        for value in 0..10u64 {
+            tracer.event("tick", SpanId::ROOT, value);
+        }
+        assert_eq!(tracer.len(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        let values: Vec<u64> = tracer.events().iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![6, 7, 8, 9], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let tracer = Tracer::new(8);
+        let span = tracer.span_start("search", SpanId::ROOT);
+        tracer.event("decision", span, 3);
+        tracer.span_end(span, "search");
+        let jsonl = tracer.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"at_ns\":"));
+        }
+        assert!(lines[0].contains("\"kind\":\"span_start\""));
+        assert!(lines[1].contains("\"value\":3"));
+        assert!(lines[2].contains("\"kind\":\"span_end\""));
+    }
+}
