@@ -3,8 +3,16 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+use wlac_faultinject::FaultPlan;
 use wlac_telemetry::{SpanId, Tracer};
+
+struct CancelInner {
+    flag: AtomicBool,
+    /// Hard wall-clock deadline; once passed, the token reads as cancelled
+    /// forever (the flag is latched on first observation).
+    deadline: Option<Instant>,
+}
 
 /// A cooperative cancellation token shared between a checker run and its
 /// supervisor (e.g. the portfolio engine racing several strategies).
@@ -13,25 +21,79 @@ use wlac_telemetry::{SpanId, Tracer};
 /// cancels them all. The search loops poll [`CancelToken::is_cancelled`] and
 /// abort with an `Unknown`/inconclusive outcome, so a race supervisor can
 /// stop losing engines as soon as a winner produces a definitive answer.
-#[derive(Clone, Default)]
+///
+/// A token may also carry a **deadline** ([`CancelToken::with_deadline`]):
+/// once the wall clock passes it, every clone reads as cancelled — the
+/// mechanism behind per-job time budgets, which guarantees a hung engine
+/// frees its worker instead of occupying it forever.
+#[derive(Clone)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<CancelInner>,
 }
 
 impl CancelToken {
-    /// Creates a fresh, un-cancelled token.
+    /// Creates a fresh, un-cancelled token with no deadline.
     pub fn new() -> Self {
-        CancelToken::default()
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// Creates a token that self-cancels once the wall clock passes
+    /// `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// Creates a token that self-cancels `budget` from now.
+    pub fn deadline_in(budget: Duration) -> Self {
+        CancelToken::with_deadline(Instant::now() + budget)
     }
 
     /// Requests cancellation; every clone of this token observes it.
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
+        self.inner.flag.store(true, Ordering::Release);
     }
 
-    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    /// `true` once [`CancelToken::cancel`] has been called on any clone, or
+    /// once the deadline (when one is set) has passed.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        if self.inner.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch, so later polls skip the clock read.
+                self.inner.flag.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline this token self-cancels at, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// `true` when this token carries a deadline that has already passed —
+    /// distinguishes "ran out of budget" from "a supervisor cancelled us".
+    pub fn deadline_expired(&self) -> bool {
+        matches!(self.inner.deadline, Some(deadline) if Instant::now() >= deadline)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
     }
 }
 
@@ -39,6 +101,7 @@ impl fmt::Debug for CancelToken {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CancelToken")
             .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
             .finish()
     }
 }
@@ -164,6 +227,11 @@ pub struct CheckerOptions {
     /// Span-event destination used when [`CheckerOptions::trace`] is set.
     /// Runtime wiring, ignored by equality comparisons.
     pub trace_sink: TraceSink,
+    /// Deterministic fault-injection plan crossed by the search loop (the
+    /// `engine_hang` site). Disabled by default and — like `cancel` — pure
+    /// runtime wiring: a plan can only make an engine *fail to answer*,
+    /// never change what a definitive answer says, so equality ignores it.
+    pub faults: FaultPlan,
 }
 
 // `cancel`, `trace` and `trace_sink` are runtime/observability wiring, not
@@ -188,6 +256,7 @@ impl PartialEq for CheckerOptions {
             cancel: _,
             trace: _,
             trace_sink: _,
+            faults: _,
         } = self;
         *max_frames == other.max_frames
             && *backtrack_limit == other.backtrack_limit
@@ -225,6 +294,7 @@ impl CheckerOptions {
             cancel: CancelToken::new(),
             trace: false,
             trace_sink: TraceSink::disabled(),
+            faults: FaultPlan::disabled(),
         }
     }
 
@@ -247,6 +317,13 @@ impl CheckerOptions {
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
         self.trace = true;
         self.trace_sink = sink;
+        self
+    }
+
+    /// Arms a fault-injection plan (chaos testing; the default plan is
+    /// disabled and free).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -312,6 +389,34 @@ mod tests {
         sink.event("decision", span, 1);
         sink.span_end(span, "search");
         assert_eq!(tracer.events().len(), 3);
+    }
+
+    #[test]
+    fn deadline_tokens_self_cancel() {
+        let token = CancelToken::deadline_in(Duration::from_millis(10));
+        assert!(!token.is_cancelled());
+        assert!(!token.deadline_expired());
+        assert!(token.deadline().is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        let clone = token.clone();
+        assert!(clone.is_cancelled(), "deadline passed on every clone");
+        assert!(token.deadline_expired());
+        // An explicit cancel is not a deadline expiry.
+        let manual = CancelToken::new();
+        manual.cancel();
+        assert!(manual.is_cancelled());
+        assert!(!manual.deadline_expired());
+        assert!(manual.deadline().is_none());
+    }
+
+    #[test]
+    fn fault_plan_does_not_affect_option_equality() {
+        use wlac_faultinject::FaultSite;
+        let faulted =
+            CheckerOptions::new().with_faults(FaultPlan::new().fire_nth(FaultSite::EngineHang, 1));
+        assert!(faulted.faults.is_armed());
+        assert_eq!(faulted, CheckerOptions::new());
+        assert!(!CheckerOptions::new().faults.is_armed());
     }
 
     #[test]

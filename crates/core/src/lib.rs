@@ -72,3 +72,4 @@ pub use property::{Property, PropertyKind, Verification};
 pub use search::{SearchContext, SearchGoal, SearchOutcome};
 pub use stats::{CheckStats, PhaseNanos};
 pub use trace::Trace;
+pub use wlac_faultinject::{FaultPlan, FaultSite};

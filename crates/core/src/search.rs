@@ -287,6 +287,17 @@ impl SearchContext {
         let mut inconclusive: Option<&'static str> = None;
 
         loop {
+            // Chaos hook: an injected hang blocks here — like a real engine
+            // stuck in a pathological search that still honours its token —
+            // until cancellation (typically a job-budget deadline) releases
+            // it, then falls through to the cancellation check below.
+            if options.faults.is_armed() {
+                options
+                    .faults
+                    .hang_until(wlac_faultinject::FaultSite::EngineHang, || {
+                        options.cancel.is_cancelled()
+                    });
+            }
             if options.cancel.is_cancelled() {
                 return SearchOutcome::Inconclusive("cancelled");
             }

@@ -152,15 +152,19 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        let bytes: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        let bytes: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| PersistError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// A scalar encoded as u64 (an index, a width, a frame count). Unlike
@@ -216,11 +220,17 @@ pub(crate) fn unseal(frame: &[u8]) -> Result<&[u8], PersistError> {
     if &frame[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadMagic);
     }
-    let version = u32::from_le_bytes(frame[8..12].try_into().expect("4 bytes"));
+    let version_bytes: [u8; 4] = frame[8..12]
+        .try_into()
+        .map_err(|_| PersistError::Truncated)?;
+    let version = u32::from_le_bytes(version_bytes);
     if version != FORMAT_VERSION {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    let payload_len = u64::from_le_bytes(frame[12..20].try_into().expect("8 bytes"));
+    let len_bytes: [u8; 8] = frame[12..20]
+        .try_into()
+        .map_err(|_| PersistError::Truncated)?;
+    let payload_len = u64::from_le_bytes(len_bytes);
     let payload_len: usize = payload_len
         .try_into()
         .map_err(|_| PersistError::Truncated)?;
@@ -232,7 +242,10 @@ pub(crate) fn unseal(frame: &[u8]) -> Result<&[u8], PersistError> {
         return Err(PersistError::Truncated);
     }
     let body_end = header + payload_len;
-    let stored = u64::from_le_bytes(frame[body_end..].try_into().expect("8 bytes"));
+    let checksum_bytes: [u8; 8] = frame[body_end..]
+        .try_into()
+        .map_err(|_| PersistError::Truncated)?;
+    let stored = u64::from_le_bytes(checksum_bytes);
     if fnv64(&frame[..body_end]) != stored {
         return Err(PersistError::ChecksumMismatch);
     }

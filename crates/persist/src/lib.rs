@@ -29,7 +29,10 @@
 //! Writes are atomic: the snapshot is written to a temporary file in the
 //! destination directory, flushed, and renamed over the target, so a crash
 //! mid-write leaves the previous snapshot intact and never a partial file
-//! under the target name.
+//! under the target name. Each successful save also keeps the previous
+//! generation as `<file>.bak`, and [`load_snapshot_with_fallback`] boots
+//! from it when the primary is lost or corrupt; [`clean_stale_temp_files`]
+//! sweeps the temp-file debris of writers that died mid-save.
 //!
 //! # Examples
 //!
@@ -59,11 +62,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The serving path must degrade, not die: every fallible unwrap is a
+// potential crash a fault can reach, so they are banned outside tests
+// (see clippy.toml for the test exemption).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod format;
 mod snapshot;
 
 pub use format::{PersistError, FORMAT_VERSION, MAGIC};
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, snapshot_file_name, Snapshot,
+    backup_file_name, clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot,
+    load_snapshot_with_fallback, save_snapshot, save_snapshot_faulted, snapshot_file_name,
+    Snapshot,
 };

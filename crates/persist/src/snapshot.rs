@@ -7,6 +7,7 @@ use std::path::Path;
 use wlac_atpg::Trace;
 use wlac_baselines::{FrameClause, FrameLit};
 use wlac_bv::Bv;
+use wlac_faultinject::{FaultPlan, FaultSite};
 use wlac_netlist::{GateKind, NetId, Netlist};
 use wlac_portfolio::{Engine, EngineHistory, Verdict};
 use wlac_service::{design_hash, DesignHash, KnowledgeBase, PropertyHash, VerdictRecord};
@@ -31,6 +32,14 @@ pub struct Snapshot {
 /// Canonical snapshot file name for a design: `d<hash>.wlacsnap`.
 pub fn snapshot_file_name(design: DesignHash) -> String {
     format!("{design}.wlacsnap")
+}
+
+/// Name of the last-good backup kept beside a design's snapshot:
+/// `d<hash>.wlacsnap.bak`. Written by [`save_snapshot`] just before the new
+/// frame is published, so a snapshot corrupted later (torn write, disk
+/// fault) still leaves one older-but-valid generation to boot from.
+pub fn backup_file_name(design: DesignHash) -> String {
+    format!("{design}.wlacsnap.bak")
 }
 
 // --- encoding ----------------------------------------------------------------
@@ -342,7 +351,7 @@ fn write_verdict(w: &mut Writer, verdict: &Verdict) -> Result<(), PersistError> 
             w.u8(3);
             w.usize(*frames);
         }
-        Verdict::Unknown { .. } => {
+        Verdict::Unknown { .. } | Verdict::Timeout { .. } => {
             return Err(PersistError::Malformed(
                 "non-definitive verdicts are never persisted",
             ))
@@ -459,6 +468,25 @@ pub fn decode_snapshot(frame: &[u8]) -> Result<Snapshot, PersistError> {
 /// cleaned up best-effort), [`PersistError::Malformed`] when the snapshot
 /// contains a non-persistable (non-definitive) verdict.
 pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), PersistError> {
+    save_snapshot_faulted(path, snapshot, &FaultPlan::disabled())
+}
+
+/// [`save_snapshot`] with a fault-injection plan threaded through: a
+/// [`FaultSite::SnapshotWrite`] rule fails the save outright (as a disk
+/// would), a [`FaultSite::SnapshotTorn`] rule simulates a kill mid-write —
+/// half a frame is left in the temporary file, *nothing* is cleaned up, and
+/// the previously published snapshot under `path` is untouched. The disabled
+/// plan makes this exactly [`save_snapshot`].
+///
+/// # Errors
+///
+/// As [`save_snapshot`], plus the injected failures (reported as
+/// [`PersistError::Io`]).
+pub fn save_snapshot_faulted(
+    path: &Path,
+    snapshot: &Snapshot,
+    faults: &FaultPlan,
+) -> Result<(), PersistError> {
     // Unique per save, not just per process: concurrent saves of the same
     // design (two server threads autosaving after their batches) must not
     // share a temp file, or one thread's rename could publish the other's
@@ -471,15 +499,38 @@ pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), PersistErro
         .ok_or(PersistError::Malformed("snapshot path has no file name"))?
         .to_string_lossy()
         .into_owned();
+    if let Some(error) = faults.io_error(FaultSite::SnapshotWrite) {
+        return Err(PersistError::Io(error));
+    }
     let tmp = path.with_file_name(format!(
         ".{file_name}.tmp{}.{}",
         std::process::id(),
         SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     ));
+    if faults.should_fire(FaultSite::SnapshotTorn) {
+        // Simulated kill -9 mid-write: half a frame hits the disk, then the
+        // process is gone — no cleanup, no rename, the published snapshot
+        // survives untouched. `clean_stale_temp_files` sweeps the debris on
+        // the next boot.
+        let torn = &frame[..frame.len() / 2];
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(torn)?;
+        file.sync_all()?;
+        return Err(PersistError::Io(std::io::Error::other(
+            "injected fault: snapshot_torn",
+        )));
+    }
     let result = (|| -> Result<(), PersistError> {
         let mut file = fs::File::create(&tmp)?;
         file.write_all(&frame)?;
         file.sync_all()?;
+        // Keep the previous generation as the last-good backup before
+        // publishing the new one; a later corruption of `path` then still
+        // has somewhere to fall back to.
+        if path.exists() {
+            let backup = path.with_file_name(format!("{file_name}.bak"));
+            fs::copy(path, &backup).ok();
+        }
         fs::rename(&tmp, path)?;
         Ok(())
     })();
@@ -487,6 +538,31 @@ pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), PersistErro
         fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// Removes stale snapshot temp files (`.{name}.tmp{pid}.{seq}` debris from
+/// writers that died mid-save) under `dir`, returning how many were removed.
+/// Call on boot, before scanning for snapshots.
+///
+/// # Errors
+///
+/// [`std::io::Error`] when the directory itself cannot be read; failure to
+/// remove an individual file is ignored (it will be retried next boot).
+pub fn clean_stale_temp_files(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.')
+            && name.contains(".wlacsnap.tmp")
+            && entry.path().is_file()
+            && fs::remove_file(entry.path()).is_ok()
+        {
+            removed += 1;
+        }
+    }
+    Ok(removed)
 }
 
 /// Reads and fully validates a snapshot file. See the crate docs for the
@@ -501,4 +577,29 @@ pub fn save_snapshot(path: &Path, snapshot: &Snapshot) -> Result<(), PersistErro
 pub fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
     let frame = fs::read(path)?;
     decode(unseal(&frame)?)
+}
+
+/// [`load_snapshot`] with degraded-mode recovery: when the primary file is
+/// missing or fails any validation layer, the last-good backup
+/// (`<path>.bak`, kept by [`save_snapshot`]) is tried before giving up. The
+/// `bool` is `true` when the snapshot came from the backup — the caller
+/// should log it and count it, because it means the primary was lost.
+///
+/// # Errors
+///
+/// The *primary's* error when both generations fail — that is the file the
+/// operator should investigate.
+pub fn load_snapshot_with_fallback(path: &Path) -> Result<(Snapshot, bool), PersistError> {
+    let primary = match load_snapshot(path) {
+        Ok(snapshot) => return Ok((snapshot, false)),
+        Err(error) => error,
+    };
+    let Some(file_name) = path.file_name() else {
+        return Err(primary);
+    };
+    let backup = path.with_file_name(format!("{}.bak", file_name.to_string_lossy()));
+    match load_snapshot(&backup) {
+        Ok(snapshot) => Ok((snapshot, true)),
+        Err(_) => Err(primary),
+    }
 }

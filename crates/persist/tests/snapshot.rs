@@ -274,13 +274,25 @@ fn atomic_write_leaves_no_partial_file_behind() {
     save_snapshot(&path, &snapshot).expect("save");
     assert_eq!(dir.entries(), vec!["design.wlacsnap".to_string()]);
 
-    // Overwrite path: the file is replaced in place, still no residue, and
-    // the content is the new snapshot.
+    // Overwrite path: the file is replaced in place with no temp residue;
+    // the previous generation is kept as the last-good backup.
     let mut updated = snapshot.clone();
     updated.verdicts.clear();
     save_snapshot(&path, &updated).expect("overwrite");
-    assert_eq!(dir.entries(), vec!["design.wlacsnap".to_string()]);
+    assert_eq!(
+        dir.entries(),
+        vec![
+            "design.wlacsnap".to_string(),
+            "design.wlacsnap.bak".to_string()
+        ]
+    );
     assert!(load_snapshot(&path).expect("load").verdicts.is_empty());
+    let backup = load_snapshot(&dir.path("design.wlacsnap.bak")).expect("backup loads");
+    assert_eq!(
+        backup.verdicts.len(),
+        snapshot.verdicts.len(),
+        "the backup is the previous generation"
+    );
 
     // Failure path: writing into a missing directory fails without creating
     // anything anywhere (in particular no half-written target).
@@ -289,5 +301,119 @@ fn atomic_write_leaves_no_partial_file_behind() {
         save_snapshot(&missing, &snapshot),
         Err(PersistError::Io(_))
     ));
+    assert_eq!(
+        dir.entries(),
+        vec![
+            "design.wlacsnap".to_string(),
+            "design.wlacsnap.bak".to_string()
+        ]
+    );
+}
+
+#[test]
+fn torn_write_leaves_the_published_snapshot_intact() {
+    use wlac_faultinject::{FaultPlan, FaultSite};
+    use wlac_persist::{clean_stale_temp_files, save_snapshot_faulted};
+
+    let dir = TempDir::new();
+    let snapshot = sample_snapshot();
+    let path = dir.path("design.wlacsnap");
+    save_snapshot(&path, &snapshot).expect("initial save");
+
+    // A kill mid-write (simulated): the save fails, half a frame lands in a
+    // temp file, and the published snapshot is untouched.
+    let faults = FaultPlan::new().fire_nth(FaultSite::SnapshotTorn, 1);
+    let mut updated = snapshot.clone();
+    updated.verdicts.clear();
+    assert!(matches!(
+        save_snapshot_faulted(&path, &updated, &faults),
+        Err(PersistError::Io(_))
+    ));
+    let mut entries = dir.entries();
+    entries.sort();
+    assert!(
+        entries.iter().any(|e| e.contains(".wlacsnap.tmp")),
+        "torn temp file left behind: {entries:?}"
+    );
+    let loaded = load_snapshot(&path).expect("published snapshot still loads");
+    assert_eq!(loaded.verdicts.len(), snapshot.verdicts.len());
+
+    // Boot-time sweep removes the debris and nothing else.
+    let removed = clean_stale_temp_files(&dir.0).expect("sweep");
+    assert_eq!(removed, 1);
+    let mut entries = dir.entries();
+    entries.sort();
+    assert_eq!(entries, vec!["design.wlacsnap".to_string()]);
+}
+
+#[test]
+fn snapshot_write_fault_fails_without_touching_disk() {
+    use wlac_faultinject::{FaultPlan, FaultSite};
+    use wlac_persist::save_snapshot_faulted;
+
+    let dir = TempDir::new();
+    let snapshot = sample_snapshot();
+    let path = dir.path("design.wlacsnap");
+    let faults = FaultPlan::new().fire_nth(FaultSite::SnapshotWrite, 1);
+    assert!(matches!(
+        save_snapshot_faulted(&path, &snapshot, &faults),
+        Err(PersistError::Io(_))
+    ));
+    assert!(dir.entries().is_empty(), "nothing may reach the disk");
+    // The next save (fault exhausted) succeeds normally.
+    save_snapshot_faulted(&path, &snapshot, &faults).expect("second save");
     assert_eq!(dir.entries(), vec!["design.wlacsnap".to_string()]);
+}
+
+#[test]
+fn corrupt_primary_falls_back_to_the_last_good_backup() {
+    use wlac_persist::load_snapshot_with_fallback;
+
+    let dir = TempDir::new();
+    let snapshot = sample_snapshot();
+    let path = dir.path("design.wlacsnap");
+    save_snapshot(&path, &snapshot).expect("generation 1");
+    let mut updated = snapshot.clone();
+    updated.verdicts.clear();
+    save_snapshot(&path, &updated).expect("generation 2 (keeps 1 as .bak)");
+
+    // Healthy primary: no fallback.
+    let (loaded, from_backup) = load_snapshot_with_fallback(&path).expect("load");
+    assert!(!from_backup);
+    assert!(loaded.verdicts.is_empty());
+
+    // Corrupt the primary; the loader reports the backup generation.
+    let mut bytes = fs::read(&path).expect("read frame");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&path, &bytes).expect("corrupt primary");
+    let (loaded, from_backup) = load_snapshot_with_fallback(&path).expect("fallback load");
+    assert!(from_backup, "must boot from the backup");
+    assert_eq!(loaded.verdicts.len(), snapshot.verdicts.len());
+
+    // Both generations gone: the primary's error surfaces.
+    fs::remove_file(dir.path("design.wlacsnap.bak")).expect("drop backup");
+    assert!(matches!(
+        load_snapshot_with_fallback(&path),
+        Err(PersistError::ChecksumMismatch)
+    ));
+}
+
+#[test]
+fn timeout_verdicts_are_never_persisted() {
+    let dir = TempDir::new();
+    let mut snapshot = sample_snapshot();
+    snapshot.verdicts.push(VerdictRecord {
+        property: PropertyHash(0xFEED),
+        config: 1,
+        verdict: Verdict::Timeout {
+            budget: std::time::Duration::from_secs(1),
+        },
+        winner: None,
+    });
+    assert!(matches!(
+        save_snapshot(&dir.path("design.wlacsnap"), &snapshot),
+        Err(PersistError::Malformed(_))
+    ));
+    assert!(dir.entries().is_empty());
 }

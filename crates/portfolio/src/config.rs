@@ -26,6 +26,12 @@ pub struct PortfolioConfig {
     /// When `true`, batch checks run every engine to completion and
     /// cross-validate all verdicts instead of racing to the first one.
     pub cross_validate: bool,
+    /// Hard wall-clock budget per job. When set, the race token carries a
+    /// deadline: every engine reads as cancelled once it passes, and a race
+    /// no engine decided in time reports [`crate::Verdict::Timeout`] instead
+    /// of occupying its worker indefinitely. `None` (the default) preserves
+    /// the unbounded behaviour.
+    pub job_budget: Option<Duration>,
 }
 
 impl PortfolioConfig {
@@ -48,6 +54,7 @@ impl PortfolioConfig {
                 .map(NonZeroUsize::get)
                 .unwrap_or(4),
             cross_validate: false,
+            job_budget: None,
         }
     }
 
@@ -60,6 +67,12 @@ impl PortfolioConfig {
     /// Enables cross-validation mode (run everything, compare all verdicts).
     pub fn with_cross_validation(mut self) -> Self {
         self.cross_validate = true;
+        self
+    }
+
+    /// Sets the hard per-job wall-clock budget.
+    pub fn with_job_budget(mut self, budget: Duration) -> Self {
+        self.job_budget = Some(budget);
         self
     }
 }

@@ -269,7 +269,14 @@ impl Portfolio {
         warm: Option<&WarmStart>,
     ) -> (PortfolioReport, Harvest) {
         let start = Instant::now();
-        let token = CancelToken::new();
+        // A job budget turns the race token into a deadline token: every
+        // engine polls it cooperatively, so even one stuck in a pathological
+        // search (or an injected hang) releases its thread once the budget
+        // is gone — the supervisor then reports a structured timeout below.
+        let token = match self.config.job_budget {
+            Some(budget) => CancelToken::with_deadline(start + budget),
+            None => CancelToken::new(),
+        };
         let engines: &[Engine] = warm
             .and_then(|w| w.engines.as_deref())
             .unwrap_or(&self.config.engines);
@@ -350,18 +357,23 @@ impl Portfolio {
         }
         let verdict = match winner {
             Some(index) => runs[index].verdict.clone(),
-            None => Verdict::Unknown {
-                reason: runs
-                    .iter()
-                    .map(|r| {
-                        let reason = match &r.verdict {
-                            Verdict::Unknown { reason } => reason.as_str(),
-                            _ => "?",
-                        };
-                        format!("{}: {}", r.engine, reason)
-                    })
-                    .collect::<Vec<_>>()
-                    .join("; "),
+            None => match self.config.job_budget {
+                // No engine answered and the budget ran out: the structured
+                // timeout outcome, not a free-form Unknown.
+                Some(budget) if token.deadline_expired() => Verdict::Timeout { budget },
+                _ => Verdict::Unknown {
+                    reason: runs
+                        .iter()
+                        .map(|r| {
+                            let reason = match &r.verdict {
+                                Verdict::Unknown { reason } => reason.as_str(),
+                                _ => "?",
+                            };
+                            format!("{}: {}", r.engine, reason)
+                        })
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                },
             },
         };
         harvest.winner = winner.map(|index| runs[index].engine);
@@ -410,6 +422,9 @@ fn record_race_metrics(
             .inc();
     } else {
         registry.counter("portfolio_no_winner_total").inc();
+    }
+    if matches!(report.verdict, Verdict::Timeout { .. }) {
+        registry.counter("portfolio_timeouts_total").inc();
     }
     for run in &report.runs {
         registry
@@ -620,6 +635,44 @@ mod tests {
             })
             .sum();
         assert_eq!(per_engine, 6);
+    }
+
+    #[test]
+    fn job_budget_times_out_a_hung_engine_within_twice_the_budget() {
+        use wlac_atpg::{FaultPlan, FaultSite};
+        // One engine, hung from its first search step: without a budget this
+        // race would never return. With one, the deadline token releases the
+        // hang and the supervisor reports a structured timeout.
+        let mut config = PortfolioConfig::default().with_engines(vec![Engine::Atpg]);
+        config.job_budget = Some(Duration::from_millis(250));
+        config.checker.faults = FaultPlan::new().fire_from(FaultSite::EngineHang, 1);
+        let registry = Arc::new(MetricsRegistry::new());
+        let started = Instant::now();
+        let report = Portfolio::new(config)
+            .with_metrics(registry.clone())
+            .race(&counter(12, 5, "hung"));
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(report.verdict, Verdict::Timeout { .. }),
+            "{:?}",
+            report.verdict
+        );
+        assert_eq!(report.verdict.label(), "timeout");
+        assert!(!report.verdict.is_definitive());
+        assert!(report.winner.is_none());
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "worker freed within 2x budget, took {elapsed:?}"
+        );
+        assert_eq!(registry.counter("portfolio_timeouts_total").get(), 1);
+    }
+
+    #[test]
+    fn job_budget_leaves_fast_races_untouched() {
+        let config = PortfolioConfig::default().with_job_budget(Duration::from_secs(60));
+        let report = Portfolio::new(config).race(&counter(12, 5, "fast"));
+        assert!(report.verdict.is_pass(), "{:?}", report.verdict);
+        assert!(report.winner.is_some());
     }
 
     #[test]

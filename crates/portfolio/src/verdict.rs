@@ -5,6 +5,7 @@
 //! can be raced, compared and cross-validated without knowing which engine
 //! produced them.
 
+use std::time::Duration;
 use wlac_atpg::Trace;
 
 /// The conclusion of one engine about one property.
@@ -39,13 +40,25 @@ pub enum Verdict {
         /// Human-readable reason.
         reason: String,
     },
+    /// The job exceeded its wall-clock budget ([`job_budget`]) before any
+    /// engine answered: a structured, non-definitive outcome that frees the
+    /// worker instead of occupying it forever. Like [`Verdict::Unknown`] it
+    /// is never cached or persisted — a future run with more budget could
+    /// still decide the property.
+    ///
+    /// [`job_budget`]: crate::PortfolioConfig::job_budget
+    Timeout {
+        /// The budget that was exhausted.
+        budget: Duration,
+    },
 }
 
 impl Verdict {
     /// `true` when the verdict settles the property (anything but
-    /// [`Verdict::Unknown`]). The first definitive verdict wins a race.
+    /// [`Verdict::Unknown`] / [`Verdict::Timeout`]). The first definitive
+    /// verdict wins a race.
     pub fn is_definitive(&self) -> bool {
-        !matches!(self, Verdict::Unknown { .. })
+        !matches!(self, Verdict::Unknown { .. } | Verdict::Timeout { .. })
     }
 
     /// `true` for the "assertion passes" outcomes (proved, bounded hold, or
@@ -88,7 +101,7 @@ impl Verdict {
             Verdict::Violated { .. } | Verdict::WitnessFound { .. } => 3,
             Verdict::Holds { proved: true, .. } => 2,
             Verdict::Holds { proved: false, .. } | Verdict::WitnessAbsent { .. } => 1,
-            Verdict::Unknown { .. } => 0,
+            Verdict::Unknown { .. } | Verdict::Timeout { .. } => 0,
         }
     }
 
@@ -101,6 +114,7 @@ impl Verdict {
             Verdict::WitnessFound { .. } => "witness",
             Verdict::WitnessAbsent { .. } => "no witness",
             Verdict::Unknown { .. } => "unknown",
+            Verdict::Timeout { .. } => "timeout",
         }
     }
 }
@@ -162,6 +176,21 @@ mod tests {
         };
         assert!(!unknown.conflicts_with(&violated3));
         assert!(!holds4.conflicts_with(&unknown));
+    }
+
+    #[test]
+    fn timeout_is_structured_but_not_definitive() {
+        let timeout = Verdict::Timeout {
+            budget: std::time::Duration::from_secs(5),
+        };
+        assert!(!timeout.is_definitive(), "a timeout must never win a race");
+        assert!(!timeout.is_pass());
+        assert!(timeout.trace().is_none());
+        assert_eq!(timeout.label(), "timeout");
+        // A timeout contradicts nothing, in either direction.
+        let violated = Verdict::Violated { trace: trace(3) };
+        assert!(!timeout.conflicts_with(&violated));
+        assert!(!violated.conflicts_with(&timeout));
     }
 
     #[test]

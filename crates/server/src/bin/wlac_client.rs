@@ -1,14 +1,16 @@
 //! Command-line client for `wlac-server`.
 //!
 //! ```text
-//! wlac-client [--addr HOST:PORT] ping
-//! wlac-client [--addr HOST:PORT] register DESIGN.v
-//! wlac-client [--addr HOST:PORT] check DESIGN.v [--always OUT]... [--eventually OUT]...
-//! wlac-client [--addr HOST:PORT] stats
-//! wlac-client [--addr HOST:PORT] metrics
-//! wlac-client [--addr HOST:PORT] export DESIGN_HASH FILE.wlacsnap
-//! wlac-client [--addr HOST:PORT] import FILE.wlacsnap
-//! wlac-client [--addr HOST:PORT] shutdown
+//! wlac-client [--addr HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N]
+//!             [--retries N] COMMAND
+//!
+//! COMMAND: ping
+//!        | register DESIGN.v
+//!        | check DESIGN.v [--always OUT]... [--eventually OUT]...
+//!        | stats | metrics
+//!        | export DESIGN_HASH FILE.wlacsnap
+//!        | import FILE.wlacsnap
+//!        | shutdown
 //! ```
 //!
 //! `metrics` prints the server's Prometheus-style exposition to stdout (for
@@ -18,57 +20,180 @@
 //! `--eventually` monitor (default: one `always` job per design output) and
 //! waits for the results. Exit codes: 0 all passed, 1 some property
 //! violated/unknown, 2 usage or protocol error.
+//!
+//! The client never hangs and never gives up on transient pressure: connects
+//! are bounded by `--connect-timeout-ms` (default 5000) and retried with
+//! exponential back-off, every request is bounded by `--io-timeout-ms`
+//! (default 150000), structured `overloaded` sheds are retried after the
+//! server's `retry_after_ms` hint, and `check` waits in bounded slices so a
+//! long batch cannot outlive the socket timeout.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use wlac_server::{Json, JsonError};
+
+/// How long `check` lets one server-side `wait` slice block before asking
+/// again (the server bounds waits too; this keeps each reply well inside the
+/// socket timeout).
+const WAIT_SLICE_MS: u64 = 30_000;
+
+#[derive(Clone)]
+struct Options {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+    retries: u32,
+}
+
+/// A failed call, with enough structure to decide whether to retry.
+struct CallError {
+    code: Option<String>,
+    message: String,
+    retry_after: Option<Duration>,
+}
+
+impl CallError {
+    fn transport(message: String) -> CallError {
+        CallError {
+            code: None,
+            message,
+            retry_after: None,
+        }
+    }
+
+    fn is(&self, code: &str) -> bool {
+        self.code.as_deref() == Some(code)
+    }
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.code {
+            Some(code) => write!(f, "server error [{code}]: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
 
 struct Connection {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    options: Options,
 }
 
 impl Connection {
-    fn open(addr: &str) -> std::io::Result<Connection> {
-        let writer = TcpStream::connect(addr)?;
+    /// One bounded connect attempt (no retry).
+    fn open_once(options: &Options) -> std::io::Result<Connection> {
+        let mut addrs = options.addr.to_socket_addrs()?;
+        let addr = addrs.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("{} resolves to no address", options.addr),
+            )
+        })?;
+        let writer = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+        writer.set_read_timeout(options.io_timeout)?;
+        writer.set_write_timeout(options.io_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Connection { writer, reader })
+        Ok(Connection {
+            writer,
+            reader,
+            options: options.clone(),
+        })
     }
 
-    fn call(&mut self, request: &Json) -> Result<Json, String> {
+    /// Connects with exponential back-off: transient refusals (server still
+    /// booting, connection cap churn) are absorbed instead of surfaced.
+    fn open(options: &Options) -> std::io::Result<Connection> {
+        let mut delay = Duration::from_millis(100);
+        let mut attempt = 0;
+        loop {
+            match Connection::open_once(options) {
+                Ok(conn) => return Ok(conn),
+                Err(e) if attempt < options.retries => {
+                    eprintln!(
+                        "wlac-client: connect to {} failed ({e}); retrying in {} ms",
+                        options.addr,
+                        delay.as_millis()
+                    );
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn call_once(&mut self, request: &Json) -> Result<Json, CallError> {
         self.writer
             .write_all(format!("{request}\n").as_bytes())
             .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send failed: {e}"))?;
+            .map_err(|e| CallError::transport(format!("send failed: {e}")))?;
         let mut line = String::new();
         self.reader
             .read_line(&mut line)
-            .map_err(|e| format!("receive failed: {e}"))?;
+            .map_err(|e| CallError::transport(format!("receive failed: {e}")))?;
         if line.is_empty() {
-            return Err("server closed the connection".into());
+            return Err(CallError::transport("server closed the connection".into()));
         }
-        let reply =
-            Json::parse(line.trim_end()).map_err(|e: JsonError| format!("bad reply frame: {e}"))?;
+        let reply = Json::parse(line.trim_end())
+            .map_err(|e: JsonError| CallError::transport(format!("bad reply frame: {e}")))?;
         if reply.get("ok").and_then(Json::as_bool) == Some(true) {
             Ok(reply)
         } else {
             let error = reply.get("error");
-            let code = error
-                .and_then(|e| e.get("code"))
-                .and_then(Json::as_str)
-                .unwrap_or("unknown");
-            let message = error
-                .and_then(|e| e.get("message"))
-                .and_then(Json::as_str)
-                .unwrap_or("no message");
-            Err(format!("server error [{code}]: {message}"))
+            Err(CallError {
+                code: error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+                message: error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("no message")
+                    .to_string(),
+                retry_after: error
+                    .and_then(|e| e.get("retry_after_ms"))
+                    .and_then(Json::as_u64)
+                    .map(Duration::from_millis),
+            })
+        }
+    }
+
+    /// One request, absorbing `overloaded` sheds: honours the server's
+    /// `retry_after_ms` hint, reconnects (a shed closes the connection) and
+    /// tries again up to the retry budget.
+    fn call(&mut self, request: &Json) -> Result<Json, CallError> {
+        let mut attempt = 0;
+        loop {
+            match self.call_once(request) {
+                Err(e) if e.is("overloaded") && attempt < self.options.retries => {
+                    let delay = e
+                        .retry_after
+                        .unwrap_or(Duration::from_millis(100 << attempt.min(6)));
+                    eprintln!(
+                        "wlac-client: server overloaded; retrying in {} ms",
+                        delay.as_millis()
+                    );
+                    std::thread::sleep(delay);
+                    *self = Connection::open(&self.options)
+                        .map_err(|e| CallError::transport(format!("reconnect failed: {e}")))?;
+                    attempt += 1;
+                }
+                outcome => return outcome,
+            }
         }
     }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wlac-client [--addr HOST:PORT] \
+        "usage: wlac-client [--addr HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N] \
+         [--retries N] \
          (ping | register FILE.v | check FILE.v [--always OUT]... [--eventually OUT]... \
          | stats | metrics | export DESIGN FILE | import FILE | shutdown)"
     );
@@ -89,7 +214,7 @@ fn register(conn: &mut Connection, path: &str) -> Result<(String, Vec<String>), 
         ("op", Json::str("register_design")),
         ("source", Json::Str(read_source(path))),
     ]);
-    let reply = conn.call(&request)?;
+    let reply = conn.call(&request).map_err(|e| e.to_string())?;
     let design = reply
         .get("design")
         .and_then(Json::as_str)
@@ -189,31 +314,66 @@ fn cmd_check(conn: &mut Connection, path: &str, rest: &[String]) -> Result<i32, 
         ("op", Json::str("submit_batch")),
         ("jobs", Json::Arr(job_values)),
     ]);
-    let reply = conn.call(&submit)?;
+    let reply = conn.call(&submit).map_err(|e| e.to_string())?;
     let batch = reply
         .get("batch")
         .and_then(Json::as_u64)
         .ok_or("reply missing `batch`")?;
-    let wait = Json::obj(vec![("op", Json::str("wait")), ("batch", Json::num(batch))]);
-    let reply = conn.call(&wait)?;
-    Ok(print_results(&reply))
+    // Wait in bounded slices: each server-side wait returns within the
+    // slice (with a structured `timeout` if the batch is still running), so
+    // a long batch can never trip the socket read timeout.
+    let wait = Json::obj(vec![
+        ("op", Json::str("wait")),
+        ("batch", Json::num(batch)),
+        ("timeout_ms", Json::num(WAIT_SLICE_MS)),
+    ]);
+    loop {
+        match conn.call(&wait) {
+            Ok(reply) => return Ok(print_results(&reply)),
+            Err(e) if e.is("timeout") => {
+                eprintln!("wlac-client: batch {batch} still running; waiting again");
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut addr = "127.0.0.1:7117".to_string();
+    let mut options = Options {
+        addr: "127.0.0.1:7117".to_string(),
+        connect_timeout: Duration::from_millis(5_000),
+        io_timeout: Some(Duration::from_millis(150_000)),
+        retries: 5,
+    };
     let mut rest: &[String] = &args;
-    if rest.first().map(String::as_str) == Some("--addr") {
-        addr = rest.get(1).cloned().unwrap_or_else(|| usage());
+    loop {
+        let value = |rest: &[String]| rest.get(1).cloned().unwrap_or_else(|| usage());
+        let millis = |rest: &[String]| -> u64 { value(rest).parse().unwrap_or_else(|_| usage()) };
+        match rest.first().map(String::as_str) {
+            Some("--addr") => options.addr = value(rest),
+            Some("--connect-timeout-ms") => {
+                options.connect_timeout = Duration::from_millis(millis(rest).max(1));
+            }
+            Some("--io-timeout-ms") => {
+                let ms = millis(rest);
+                options.io_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            Some("--retries") => {
+                options.retries = value(rest).parse().unwrap_or_else(|_| usage());
+            }
+            _ => break,
+        }
         rest = &rest[2..];
     }
     let Some(command) = rest.first() else { usage() };
-    let mut conn =
-        Connection::open(&addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let mut conn = Connection::open(&options)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {}: {e}", options.addr)));
 
     let outcome: Result<i32, String> = match (command.as_str(), &rest[1..]) {
         ("ping", []) => conn
             .call(&Json::obj(vec![("op", Json::str("ping"))]))
+            .map_err(|e| e.to_string())
             .map(|_| {
                 println!("pong");
                 0
@@ -225,12 +385,14 @@ fn main() {
         ("check", [path, flags @ ..]) => cmd_check(&mut conn, path, flags),
         ("stats", []) => conn
             .call(&Json::obj(vec![("op", Json::str("stats"))]))
+            .map_err(|e| e.to_string())
             .map(|reply| {
                 println!("{}", reply.get("stats").cloned().unwrap_or(Json::Null));
                 0
             }),
         ("metrics", []) => conn
             .call(&Json::obj(vec![("op", Json::str("metrics"))]))
+            .map_err(|e| e.to_string())
             .map(|reply| {
                 print!(
                     "{}",
@@ -243,6 +405,7 @@ fn main() {
                 ("op", Json::str("export_knowledge")),
                 ("design", Json::str(design.clone())),
             ]))
+            .map_err(|e| e.to_string())
             .and_then(|reply| {
                 let hex = reply
                     .get("snapshot")
@@ -263,6 +426,7 @@ fn main() {
                     Json::str(wlac_server::proto::hex_encode(&bytes)),
                 ),
             ]))
+            .map_err(|e| e.to_string())
             .map(|reply| {
                 println!(
                     "imported design {} ({} cached verdicts)",
@@ -274,6 +438,7 @@ fn main() {
         }
         ("shutdown", []) => conn
             .call(&Json::obj(vec![("op", Json::str("shutdown"))]))
+            .map_err(|e| e.to_string())
             .map(|reply| {
                 println!(
                     "server drained, {} design(s) saved",

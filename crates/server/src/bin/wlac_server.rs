@@ -3,11 +3,16 @@
 //! ```text
 //! wlac-server [--addr HOST:PORT] [--data-dir DIR] [--workers N]
 //!             [--max-frames N] [--time-limit-secs N] [--cache-capacity N]
+//!             [--max-connections N] [--read-timeout-secs N]
+//!             [--wait-timeout-secs N] [--job-budget-secs N]
+//!             [--drain-timeout-secs N]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (scripts parse this line — with
 //! `--addr 127.0.0.1:0` it carries the ephemeral port), then serves until a
 //! `shutdown` request drains and persists everything.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -16,7 +21,9 @@ use wlac_server::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: wlac-server [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
-         [--max-frames N] [--time-limit-secs N] [--cache-capacity N]"
+         [--max-frames N] [--time-limit-secs N] [--cache-capacity N] \
+         [--max-connections N] [--read-timeout-secs N] [--wait-timeout-secs N] \
+         [--job-budget-secs N] [--drain-timeout-secs N]"
     );
     std::process::exit(2);
 }
@@ -43,6 +50,26 @@ fn main() {
             "--cache-capacity" => {
                 config.service.cache_capacity = value().parse().unwrap_or_else(|_| usage());
             }
+            "--max-connections" => {
+                config.max_connections = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--read-timeout-secs" => {
+                let secs: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.read_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--wait-timeout-secs" => {
+                config.wait_timeout =
+                    Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--job-budget-secs" => {
+                config.service.job_budget = Some(Duration::from_secs(
+                    value().parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--drain-timeout-secs" => {
+                config.drain_timeout =
+                    Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
+            }
             _ => usage(),
         }
     }
@@ -54,7 +81,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let addr = server.local_addr().expect("bound socket has an address");
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("wlac-server: bound socket has no address: {e}");
+            std::process::exit(1);
+        }
+    };
     if server.loaded_snapshots() > 0 {
         eprintln!(
             "wlac-server: warm boot, {} snapshot(s) loaded",

@@ -349,7 +349,10 @@ impl<'a> Parser<'a> {
                     // on char boundaries is safe to find).
                     let rest = &self.bytes[self.pos..];
                     let text = std::str::from_utf8(rest).map_err(|_| self.error("bad utf-8"))?;
-                    let c = text.chars().next().expect("non-empty");
+                    let c = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("truncated utf-8"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

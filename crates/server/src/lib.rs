@@ -55,6 +55,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The serving path must degrade, not die: every fallible unwrap is a
+// potential crash a fault can reach, so they are banned outside tests
+// (see clippy.toml for the test exemption).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod json;
 pub mod proto;

@@ -35,6 +35,12 @@ pub enum ErrorCode {
     NotDone,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The server is at its connection cap; the reply carries a
+    /// `retry_after_ms` hint. Back off and reconnect.
+    Overloaded,
+    /// A bounded wait (or a job budget) expired before the batch finished;
+    /// the work is still running — poll again.
+    Timeout,
     /// An internal failure (e.g. persistence i/o).
     Internal,
 }
@@ -42,7 +48,7 @@ pub enum ErrorCode {
 impl ErrorCode {
     /// Every code, in wire order — the enumeration behind the per-code error
     /// counters of the `stats` and `metrics` replies.
-    pub const ALL: [ErrorCode; 11] = [
+    pub const ALL: [ErrorCode; 13] = [
         ErrorCode::BadJson,
         ErrorCode::BadRequest,
         ErrorCode::UnknownOp,
@@ -53,6 +59,8 @@ impl ErrorCode {
         ErrorCode::BadSnapshot,
         ErrorCode::NotDone,
         ErrorCode::ShuttingDown,
+        ErrorCode::Overloaded,
+        ErrorCode::Timeout,
         ErrorCode::Internal,
     ];
 
@@ -69,6 +77,8 @@ impl ErrorCode {
             ErrorCode::BadSnapshot => "bad_snapshot",
             ErrorCode::NotDone => "not_done",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
             ErrorCode::Internal => "internal",
         }
     }
@@ -83,6 +93,26 @@ pub fn error_reply(code: ErrorCode, message: impl Into<String>) -> Json {
             Json::obj(vec![
                 ("code", Json::str(code.as_str())),
                 ("message", Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+/// A structured failure reply carrying a back-off hint: the client should
+/// wait `retry_after` and try again (used by the connection-cap shed path).
+pub fn error_reply_with_retry(
+    code: ErrorCode,
+    message: impl Into<String>,
+    retry_after: Duration,
+) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::obj(vec![
+                ("code", Json::str(code.as_str())),
+                ("message", Json::Str(message.into())),
+                ("retry_after_ms", Json::num(retry_after.as_millis() as u64)),
             ]),
         ),
     ])
@@ -153,6 +183,9 @@ pub fn job_result_to_wire(result: &JobResult) -> Json {
         wlac_portfolio::Verdict::Unknown { reason } => {
             v.push(("reason", Json::str(reason.clone())));
         }
+        wlac_portfolio::Verdict::Timeout { budget } => {
+            v.push(("budget_ms", Json::num(budget.as_millis() as u64)));
+        }
     }
     Json::obj(vec![
         ("property", Json::str(result.property.clone())),
@@ -183,6 +216,9 @@ pub fn stats_to_wire(stats: &ServiceStats, loaded_snapshots: usize) -> Json {
         ("clauses_banked", Json::num(stats.clauses_banked)),
         ("datapath_facts", Json::num(stats.datapath_facts)),
         ("estg_conflicts", Json::num(stats.estg_conflicts)),
+        ("quarantined_jobs", Json::num(stats.quarantined_jobs)),
+        ("timed_out_jobs", Json::num(stats.timed_out_jobs)),
+        ("workers_respawned", Json::num(stats.workers_respawned)),
         ("loaded_snapshots", Json::num(loaded_snapshots as u64)),
     ])
 }

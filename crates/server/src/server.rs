@@ -3,23 +3,25 @@
 
 use crate::json::Json;
 use crate::proto::{
-    design_from_wire, design_to_wire, error_reply, hex_decode, hex_encode, job_result_to_wire,
-    ok_reply, stats_to_wire, ErrorCode,
+    design_from_wire, design_to_wire, error_reply, error_reply_with_retry, hex_decode, hex_encode,
+    job_result_to_wire, ok_reply, stats_to_wire, ErrorCode,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wlac_atpg::{
     AssertionChecker, CheckReport, CheckResult, CheckerOptions, Property, PropertyKind, TraceSink,
     Verification,
 };
+use wlac_faultinject::{CondvarExt, FaultPlan, LockExt};
 use wlac_netlist::{NetId, Netlist};
 use wlac_persist::{
-    decode_snapshot, encode_snapshot, load_snapshot, save_snapshot, snapshot_file_name, Snapshot,
+    clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot_with_fallback,
+    save_snapshot_faulted, snapshot_file_name, Snapshot,
 };
 use wlac_service::{BatchId, DesignHash, JobResult, ServiceConfig, VerificationService};
 use wlac_telemetry::{MetricsRegistry, SpanId, Tracer};
@@ -67,17 +69,48 @@ pub struct ServerConfig {
     /// Requests slower than this get a structured line on stderr (op, wall
     /// clock, outcome) — the slow-request log.
     pub slow_request_threshold: Duration,
+    /// Per-connection socket read timeout: a client that goes silent this
+    /// long has its connection closed (its submitted work keeps running).
+    /// `None` waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout: a client that stops consuming
+    /// its replies this long has its connection closed.
+    pub write_timeout: Option<Duration>,
+    /// Connection cap. Connections beyond it are shed with a structured
+    /// `overloaded` reply carrying a `retry_after_ms` hint, instead of
+    /// letting unbounded accepts exhaust threads.
+    pub max_connections: usize,
+    /// The back-off hint shed connections carry.
+    pub retry_after: Duration,
+    /// Upper bound of a server-side `wait`: a `wait` request blocks at most
+    /// this long (clients may ask for less via `timeout_ms`), then gets a
+    /// structured `timeout` error while the batch keeps running.
+    pub wait_timeout: Duration,
+    /// How long shutdown waits for in-flight requests and queued jobs
+    /// before abandoning them and saving what finished.
+    pub drain_timeout: Duration,
+    /// Fault-injection plan for the server's own I/O (autosave). The
+    /// service's plan is configured separately in [`ServiceConfig`].
+    pub faults: FaultPlan,
 }
 
 impl ServerConfig {
     /// Defaults: loopback on port 7117, no persistence, default service, 1 s
-    /// slow-request threshold.
+    /// slow-request threshold, 120 s read / 30 s write socket timeouts, 256
+    /// connections, 60 s wait bound, 30 s shutdown drain.
     pub fn new() -> Self {
         ServerConfig {
             addr: "127.0.0.1:7117".to_string(),
             data_dir: None,
             service: ServiceConfig::default(),
             slow_request_threshold: Duration::from_secs(1),
+            read_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
+            retry_after: Duration::from_millis(200),
+            wait_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(30),
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -85,6 +118,51 @@ impl ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig::new()
+    }
+}
+
+/// A counted gate: requests enter and exit, shutdown waits (on a condition
+/// variable, not a sleep poll) until the count reaches zero or a deadline
+/// passes.
+struct Gate {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) {
+        *self.count.lock_recover() += 1;
+    }
+
+    fn exit(&self) {
+        let mut count = self.count.lock_recover();
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Waits until the gate is empty; `false` when the deadline passed with
+    /// requests still inside.
+    fn wait_idle(&self, deadline: Instant) -> bool {
+        let mut count = self.count.lock_recover();
+        loop {
+            if *count == 0 {
+                return true;
+            }
+            let (guard, timed_out) = self.cv.wait_deadline_recover(count, deadline);
+            count = guard;
+            if timed_out {
+                return *count == 0;
+            }
+        }
     }
 }
 
@@ -96,10 +174,22 @@ struct ServerState {
     data_dir: Option<PathBuf>,
     shutting_down: AtomicBool,
     loaded_snapshots: AtomicUsize,
+    /// The bound address, kept so `shutdown` can wake the blocking accept
+    /// loop with a loopback connection.
+    addr: SocketAddr,
+    /// Live connection count against [`ServerConfig::max_connections`].
+    connections: AtomicUsize,
     /// Requests currently being dispatched or having their reply written.
-    /// The shutdown path waits for this to reach zero so no client loses an
+    /// The shutdown path waits for this gate so no client loses an
     /// already-earned reply (or its autosave) to the process exiting.
-    active_requests: AtomicUsize,
+    active: Gate,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_connections: usize,
+    retry_after: Duration,
+    wait_timeout: Duration,
+    drain_timeout: Duration,
+    faults: FaultPlan,
     /// The shared metrics registry: the service and every portfolio it races
     /// write into it, the server adds per-op counters and latency
     /// histograms, and the `metrics` op exposes the whole thing.
@@ -139,7 +229,7 @@ impl Server {
             std::fs::create_dir_all(dir)?;
         }
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
         let metrics = Arc::new(MetricsRegistry::new());
         let checker_options = config.service.portfolio.checker.clone();
         let state = Arc::new(ServerState {
@@ -148,7 +238,16 @@ impl Server {
             data_dir: config.data_dir,
             shutting_down: AtomicBool::new(false),
             loaded_snapshots: AtomicUsize::new(0),
-            active_requests: AtomicUsize::new(0),
+            addr,
+            connections: AtomicUsize::new(0),
+            active: Gate::new(),
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_connections: config.max_connections.max(1),
+            retry_after: config.retry_after,
+            wait_timeout: config.wait_timeout,
+            drain_timeout: config.drain_timeout,
+            faults: config.faults,
             metrics,
             tracer: Tracer::new(16_384),
             checker_options,
@@ -173,23 +272,27 @@ impl Server {
     }
 
     /// Serves connections until a `shutdown` request completes. Each
-    /// connection gets its own thread; the accept loop polls so it can
-    /// observe the shutdown flag. On exit every in-flight job has finished
-    /// and every design has been saved.
+    /// connection gets its own thread; the accept loop blocks (no polling)
+    /// and is woken by a loopback connection when `shutdown` flips the flag.
+    /// On exit every in-flight job that finished within the drain budget has
+    /// been saved.
     pub fn run(self) {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    if self.state.shutting_down.load(Ordering::Acquire) {
+                        // Likely the shutdown wake-up connection; either way
+                        // no new connection is served past the flag.
+                        drop(stream);
+                        break;
+                    }
                     let state = Arc::clone(&self.state);
                     std::thread::spawn(move || handle_connection(&state, stream));
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                Err(e) => {
                     if self.state.shutting_down.load(Ordering::Acquire) {
                         break;
                     }
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Err(e) => {
                     eprintln!("wlac-server: accept failed: {e}");
                     std::thread::sleep(Duration::from_millis(100));
                 }
@@ -200,16 +303,16 @@ impl Server {
         // to finish before the final sweep; readers idling on their sockets
         // don't count and don't block exit. Bounded so a pathological
         // handler cannot wedge shutdown forever.
-        let deadline = std::time::Instant::now() + Duration::from_secs(30);
-        while self.state.active_requests.load(Ordering::Acquire) > 0
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(10));
+        let deadline = Instant::now() + self.state.drain_timeout;
+        if !self.state.active.wait_idle(deadline) {
+            eprintln!("wlac-server: shutdown with requests still in flight");
         }
         // The shutdown request already drained and saved; a second pass here
         // catches anything submitted on other connections in the window
         // between that drain and the accept loop noticing the flag.
-        self.state.service.drain();
+        if !self.state.service.drain_timeout(self.state.drain_timeout) {
+            eprintln!("wlac-server: drain timed out; unfinished jobs abandoned");
+        }
         save_all_designs(&self.state);
     }
 }
@@ -218,6 +321,17 @@ fn load_all_snapshots(state: &ServerState) {
     let Some(dir) = &state.data_dir else {
         return;
     };
+    // Sweep the temp-file debris of any writer that died mid-save (kill -9
+    // during autosave) before scanning; the published snapshots themselves
+    // are untouched by a torn write.
+    match clean_stale_temp_files(dir) {
+        Ok(0) => {}
+        Ok(n) => eprintln!("wlac-server: removed {n} stale snapshot temp file(s)"),
+        Err(e) => eprintln!(
+            "wlac-server: temp-file sweep of {} failed: {e}",
+            dir.display()
+        ),
+    }
     let entries = match std::fs::read_dir(dir) {
         Ok(entries) => entries,
         Err(e) => {
@@ -230,8 +344,20 @@ fn load_all_snapshots(state: &ServerState) {
         if path.extension().and_then(|e| e.to_str()) != Some("wlacsnap") {
             continue;
         }
-        let snapshot = match load_snapshot(&path) {
-            Ok(snapshot) => snapshot,
+        let snapshot = match load_snapshot_with_fallback(&path) {
+            Ok((snapshot, from_backup)) => {
+                if from_backup {
+                    state
+                        .metrics
+                        .counter("server_snapshot_fallbacks_total")
+                        .inc();
+                    eprintln!(
+                        "wlac-server: {} was unreadable; booted from last-good backup",
+                        path.display()
+                    );
+                }
+                snapshot
+            }
             Err(e) => {
                 eprintln!("wlac-server: skipping snapshot {}: {e}", path.display());
                 continue;
@@ -263,20 +389,14 @@ fn load_all_snapshots(state: &ServerState) {
         }
         state
             .designs
-            .lock()
-            .expect("designs lock")
+            .lock_recover()
             .insert(design, snapshot.netlist);
         state.loaded_snapshots.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 fn assemble_snapshot(state: &ServerState, design: DesignHash) -> Option<Snapshot> {
-    let netlist = state
-        .designs
-        .lock()
-        .expect("designs lock")
-        .get(&design)?
-        .clone();
+    let netlist = state.designs.lock_recover().get(&design)?.clone();
     Some(Snapshot {
         netlist,
         knowledge: state.service.export_knowledge(design)?,
@@ -292,23 +412,39 @@ fn save_design(state: &ServerState, design: DesignHash) {
         return;
     };
     let path = dir.join(snapshot_file_name(design));
-    if let Err(e) = save_snapshot(&path, &snapshot) {
-        eprintln!("wlac-server: autosave of {design} failed: {e}");
+    // Degraded mode by design: an autosave failure is logged and counted,
+    // and the server keeps answering from memory — durability degrades,
+    // service does not.
+    match save_snapshot_faulted(&path, &snapshot, &state.faults) {
+        Ok(()) => {
+            state.metrics.counter("server_autosaves_total").inc();
+        }
+        Err(e) => {
+            state
+                .metrics
+                .counter("server_autosave_failures_total")
+                .inc();
+            eprintln!("wlac-server: autosave of {design} failed (still serving from memory): {e}");
+        }
     }
 }
 
 fn save_all_designs(state: &ServerState) -> usize {
-    let designs: Vec<DesignHash> = state
-        .designs
-        .lock()
-        .expect("designs lock")
-        .keys()
-        .copied()
-        .collect();
+    let designs: Vec<DesignHash> = state.designs.lock_recover().keys().copied().collect();
     for design in &designs {
         save_design(state, *design);
     }
     designs.len()
+}
+
+/// Decrements the live-connection count when a connection thread exits, no
+/// matter how it exits.
+struct ConnGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 fn handle_connection(state: &ServerState, stream: TcpStream) {
@@ -317,18 +453,39 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         Ok(w) => w,
         Err(_) => return,
     };
+    // Back-pressure: over the cap, shed with a structured reply carrying a
+    // retry hint — the client backs off and reconnects instead of queueing
+    // invisibly behind an exhausted thread pool.
+    let _guard = ConnGuard(&state.connections);
+    if state.connections.fetch_add(1, Ordering::AcqRel) + 1 > state.max_connections {
+        state
+            .metrics
+            .counter("server_connections_rejected_total")
+            .inc();
+        let reply = error_reply_with_retry(
+            ErrorCode::Overloaded,
+            format!("connection cap ({}) reached", state.max_connections),
+            state.retry_after,
+        );
+        writer.write_all(format!("{reply}\n").as_bytes()).ok();
+        writer.flush().ok();
+        return;
+    }
+    // A silent or stalled peer must not hold a connection thread forever.
+    stream.set_read_timeout(state.read_timeout).ok();
+    stream.set_write_timeout(state.write_timeout).ok();
     state.metrics.counter("server_connections_total").inc();
     let connection = state.tracer.span_start("connection", SpanId::ROOT);
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = match line {
             Ok(line) => line,
-            Err(_) => break, // client went away
+            Err(_) => break, // client went away or idled past the timeout
         };
         if line.trim().is_empty() {
             continue;
         }
-        state.active_requests.fetch_add(1, Ordering::AcqRel);
+        state.active.enter();
         let started = Instant::now();
         let (reply, op) = dispatch(state, &line);
         let elapsed = started.elapsed();
@@ -336,7 +493,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         let sent = writer
             .write_all(format!("{reply}\n").as_bytes())
             .and_then(|()| writer.flush());
-        state.active_requests.fetch_sub(1, Ordering::AcqRel);
+        state.active.exit();
         if sent.is_err() {
             break;
         }
@@ -503,8 +660,7 @@ fn op_register_design(state: &ServerState, frame: &Json) -> Json {
     let name = netlist.name().to_string();
     state
         .designs
-        .lock()
-        .expect("designs lock")
+        .lock_recover()
         .entry(design)
         .or_insert(netlist);
     ok_reply(vec![
@@ -548,7 +704,7 @@ fn parse_job(state: &ServerState, job: &Json, index: usize) -> Result<Verificati
         ));
     };
     let netlist = {
-        let designs = state.designs.lock().expect("designs lock");
+        let designs = state.designs.lock_recover();
         match designs.get(&design) {
             Some(netlist) => netlist.clone(),
             None => {
@@ -697,8 +853,25 @@ fn op_wait(state: &ServerState, frame: &Json) -> Json {
     if state.service.poll(batch).is_none() {
         return error_reply(ErrorCode::UnknownBatch, format!("no batch {}", batch.raw()));
     }
-    let results = state.service.wait(batch);
-    results_reply(state, results)
+    // Bounded on the server side no matter what the client asks for: an
+    // unbounded wait would pin a connection thread to a wedged batch forever.
+    // Clients may ask for less via `timeout_ms` and poll again on `timeout`.
+    let timeout = frame
+        .get("timeout_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis)
+        .map_or(state.wait_timeout, |t| t.min(state.wait_timeout));
+    match state.service.wait_timeout(batch, timeout) {
+        Some(results) => results_reply(state, results),
+        None => error_reply(
+            ErrorCode::Timeout,
+            format!(
+                "batch {} not done after {} ms; poll or wait again",
+                batch.raw(),
+                timeout.as_millis()
+            ),
+        ),
+    }
 }
 
 fn design_from(state: &ServerState, frame: &Json) -> Result<DesignHash, Json> {
@@ -714,12 +887,7 @@ fn design_from(state: &ServerState, frame: &Json) -> Result<DesignHash, Json> {
             format!("`{text}` is not a design hash"),
         ));
     };
-    if !state
-        .designs
-        .lock()
-        .expect("designs lock")
-        .contains_key(&design)
-    {
+    if !state.designs.lock_recover().contains_key(&design) {
         return Err(error_reply(
             ErrorCode::UnknownDesign,
             format!("design {text} is not registered"),
@@ -786,8 +954,7 @@ fn op_import_knowledge(state: &ServerState, frame: &Json) -> Json {
     };
     state
         .designs
-        .lock()
-        .expect("designs lock")
+        .lock_recover()
         .entry(design)
         .or_insert(snapshot.netlist);
     ok_reply(vec![
@@ -903,8 +1070,18 @@ fn check_result_label(result: &CheckResult) -> &'static str {
 fn op_shutdown(state: &ServerState) -> Json {
     state.shutting_down.store(true, Ordering::Release);
     // Drain before replying: when the client sees this reply, every job it
-    // (or anyone else) submitted has a result and is on disk.
-    state.service.drain();
+    // (or anyone else) submitted has a result and is on disk. Bounded, so a
+    // wedged job cannot turn shutdown into a hang.
+    let drained = state.service.drain_timeout(state.drain_timeout);
+    if !drained {
+        eprintln!("wlac-server: shutdown drain timed out; unfinished jobs abandoned");
+    }
     let saved = save_all_designs(state);
-    ok_reply(vec![("saved_designs", Json::num(saved as u64))])
+    // Wake the blocking accept loop so `run` notices the flag; the loop
+    // drops this connection without serving it.
+    TcpStream::connect(state.addr).ok();
+    ok_reply(vec![
+        ("saved_designs", Json::num(saved as u64)),
+        ("drained", Json::Bool(drained)),
+    ])
 }

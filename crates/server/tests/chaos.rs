@@ -1,0 +1,631 @@
+//! Deterministic fault-injection ("chaos") suite: a real server on a real
+//! socket with a seeded [`FaultPlan`] arming engine hangs, worker panics,
+//! autosave I/O failures and torn snapshot writes — asserting the stack
+//! degrades exactly as designed and that surviving verdicts are
+//! byte-identical to a fault-free run.
+//!
+//! Determinism: every faulted service runs `workers = 1` and a single-engine
+//! portfolio where verdict bytes are compared, so job order, fault arrival
+//! order and verdict content are all reproducible.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use wlac_faultinject::{FaultPlan, FaultSite};
+use wlac_portfolio::Engine;
+use wlac_server::{Json, Server, ServerConfig};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "wlac-chaos-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Same saturating counter the e2e suite uses: `ok` holds, `bad` is violated
+/// around cycle 5.
+const COUNTER_V: &str = r#"
+    module counter(input clk, output ok, output bad);
+      reg [7:0] q;
+      always @(posedge clk) begin
+        if (q == 10)
+          q <= 10;
+        else
+          q <= q + 1;
+      end
+      assign ok = q < 11;
+      assign bad = q < 5;
+    endmodule
+"#;
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Client { writer, reader }
+    }
+
+    /// Sends one frame and reads one reply line; `Err` when the connection
+    /// died mid-exchange (expected under some faults).
+    fn try_raw(&mut self, line: &str) -> Result<Json, String> {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("receive failed: {e}"))?;
+        if reply.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        Json::parse(reply.trim_end()).map_err(|e| format!("bad reply: {e}"))
+    }
+
+    fn call(&mut self, request: Json) -> Json {
+        let reply = self.try_raw(&request.to_string()).expect("exchange");
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {request} failed: {reply}"
+        );
+        reply
+    }
+
+    /// Reads one unsolicited line (the overload shed arrives before any
+    /// request is sent).
+    fn read_line(&mut self) -> Json {
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("receive");
+        assert!(!reply.is_empty(), "server closed without a reply");
+        Json::parse(reply.trim_end()).expect("reply is valid JSON")
+    }
+
+    fn register_counter(&mut self) -> String {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("register_design")),
+            ("source", Json::str(COUNTER_V)),
+        ]));
+        reply
+            .get("design")
+            .and_then(Json::as_str)
+            .expect("design hash")
+            .to_string()
+    }
+
+    /// Submits jobs as `(kind, monitor)` pairs and returns the batch id.
+    fn submit(&mut self, design: &str, jobs: &[(&str, &str)]) -> u64 {
+        let job_values = jobs
+            .iter()
+            .map(|(kind, monitor)| {
+                Json::obj(vec![
+                    ("design", Json::str(design)),
+                    (
+                        "property",
+                        Json::obj(vec![
+                            ("kind", Json::str(*kind)),
+                            ("monitor", Json::str(*monitor)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("submit_batch")),
+            ("jobs", Json::Arr(job_values)),
+        ]));
+        reply.get("batch").and_then(Json::as_u64).expect("batch id")
+    }
+
+    fn wait(&mut self, batch: u64) -> Vec<Json> {
+        let reply = self.call(Json::obj(vec![
+            ("op", Json::str("wait")),
+            ("batch", Json::num(batch)),
+        ]));
+        reply
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results array")
+            .to_vec()
+    }
+
+    fn stats(&mut self) -> Json {
+        let reply = self.call(Json::obj(vec![("op", Json::str("stats"))]));
+        reply.get("stats").cloned().expect("stats object")
+    }
+
+    fn metric(&mut self, name: &str) -> u64 {
+        let reply = self.call(Json::obj(vec![("op", Json::str("metrics"))]));
+        reply
+            .get("metrics")
+            .and_then(|m| m.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    fn shutdown(&mut self) -> Json {
+        self.call(Json::obj(vec![("op", Json::str("shutdown"))]))
+    }
+}
+
+/// A deterministic single-engine, single-worker config: job order is submit
+/// order and verdict bytes are reproducible run to run.
+fn deterministic_config() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServerConfig::default()
+    };
+    config.service.workers = 1;
+    // The predictor may widen the engine set; determinism wants exactly the
+    // configured engines.
+    config.service.predict = false;
+    config.service.portfolio = config
+        .service
+        .portfolio
+        .clone()
+        .with_engines(vec![Engine::Atpg]);
+    config.service.portfolio.checker.max_frames = 6;
+    config.service.portfolio.checker.time_limit = Duration::from_secs(30);
+    config
+}
+
+fn start(config: ServerConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>, usize) {
+    let server = Server::bind(config).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let loaded = server.loaded_snapshots();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle, loaded)
+}
+
+/// The verdict object alone — label plus its payload (frames, trace length),
+/// no wall-clock or engine-attribution noise — rendered to bytes.
+fn verdict_bytes(result: &Json) -> String {
+    result.get("verdict").expect("verdict").to_string()
+}
+
+fn label_of(result: &Json) -> String {
+    result
+        .get("verdict")
+        .and_then(|v| v.get("label"))
+        .and_then(Json::as_str)
+        .expect("verdict label")
+        .to_string()
+}
+
+/// Runs the three-job batch fault-free and returns its verdict bytes — the
+/// reference the faulted runs are compared against.
+fn fault_free_verdicts(jobs: &[(&str, &str)]) -> Vec<String> {
+    let (addr, handle, _) = start(deterministic_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, jobs);
+    let results = client.wait(batch);
+    let verdicts = results.iter().map(verdict_bytes).collect();
+    client.shutdown();
+    handle.join().expect("server thread");
+    verdicts
+}
+
+const THREE_JOBS: [(&str, &str); 3] = [("always", "ok"), ("always", "bad"), ("eventually", "bad")];
+
+#[test]
+fn deadline_turns_a_hung_engine_into_a_timeout_and_frees_the_worker() {
+    let budget = Duration::from_millis(400);
+    let mut config = deterministic_config();
+    config.service.job_budget = Some(budget);
+    // Every engine run hangs until its cancel token releases it — only the
+    // job-budget deadline can produce an answer.
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::EngineHang, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+
+    let started = Instant::now();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    let elapsed = started.elapsed();
+    assert_eq!(results.len(), 1);
+    assert_eq!(label_of(&results[0]), "timeout");
+    assert_eq!(
+        results[0]
+            .get("verdict")
+            .and_then(|v| v.get("budget_ms"))
+            .and_then(Json::as_u64),
+        Some(budget.as_millis() as u64)
+    );
+    // The acceptance bar: an over-budget job frees its worker within twice
+    // the budget (measured end to end over the socket, so includes queueing
+    // and the reply round-trip).
+    assert!(
+        elapsed < budget * 2,
+        "timeout took {elapsed:?}, budget {budget:?}"
+    );
+
+    // The (sole) worker is genuinely free: a second batch gets an answer too.
+    let batch = client.submit(&design, &[("always", "bad")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "timeout");
+
+    let stats = client.stats();
+    assert_eq!(
+        stats.get("timed_out_jobs").and_then(Json::as_u64),
+        Some(2),
+        "{stats}"
+    );
+    assert!(client.metric("service_jobs_timed_out_total") >= 2);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn worker_panic_quarantines_only_the_faulted_job() {
+    let reference = fault_free_verdicts(&THREE_JOBS);
+
+    let mut config = deterministic_config();
+    // The second job the (single) worker picks up panics mid-processing.
+    config.service.faults = FaultPlan::seeded(7).fire_nth(FaultSite::WorkerPanic, 2);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &THREE_JOBS);
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 3);
+
+    // Job 2 (0-based index 1) is quarantined with a structured error verdict;
+    // the jobs before and after it are byte-identical to the fault-free run.
+    assert_eq!(label_of(&results[1]), "unknown");
+    assert!(
+        verdict_bytes(&results[1]).contains("quarantined"),
+        "{}",
+        verdict_bytes(&results[1])
+    );
+    assert_eq!(verdict_bytes(&results[0]), reference[0]);
+    assert_eq!(verdict_bytes(&results[2]), reference[2]);
+
+    let stats = client.stats();
+    assert_eq!(
+        stats.get("quarantined_jobs").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        stats.get("workers_respawned").and_then(Json::as_u64),
+        Some(0),
+        "the per-job fence holds, so the worker itself survives: {stats}"
+    );
+    assert!(client.metric("service_jobs_quarantined_total") >= 1);
+
+    // The same (fenced) worker serves new work.
+    let batch = client.submit(&design, &[("eventually", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 1);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn a_lost_worker_is_respawned_and_the_pool_keeps_serving() {
+    let mut config = deterministic_config();
+    // A panic that escapes the per-job fence (fires after the job completed,
+    // outside the fence) kills the worker thread itself — the supervision
+    // sentinel must replace it.
+    config.service.faults = FaultPlan::seeded(7).fire_nth(FaultSite::WorkerLoss, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 1);
+    assert_eq!(label_of(&results[0]), "holds(bound)");
+
+    // The sole worker died after that job; without a respawn this second
+    // batch would hang forever.
+    let batch = client.submit(&design, &[("always", "bad")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "violated");
+    let stats = client.stats();
+    assert_eq!(
+        stats.get("workers_respawned").and_then(Json::as_u64),
+        Some(1),
+        "{stats}"
+    );
+    assert_eq!(
+        stats.get("quarantined_jobs").and_then(Json::as_u64),
+        Some(0)
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn portfolio_masks_a_hung_engine() {
+    // Full engine set, ATPG hangs forever: a sibling engine answers, the race
+    // cancels the hung loser, and the verdicts match the fault-free labels.
+    let mut config = deterministic_config();
+    config.service.portfolio = config.service.portfolio.clone().with_engines(vec![
+        Engine::Atpg,
+        Engine::SatBmc,
+        Engine::RandomSim,
+    ]);
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::EngineHang, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok"), ("always", "bad")]);
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 2);
+    assert_eq!(label_of(&results[0]), "holds(bound)");
+    assert_eq!(label_of(&results[1]), "violated");
+    assert_ne!(
+        results[0].get("winner").and_then(Json::as_str),
+        Some("atpg"),
+        "the hung engine cannot win: {}",
+        results[0]
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn autosave_write_failure_degrades_durability_not_service() {
+    let dir = TempDir::new();
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    // Every snapshot write fails before touching the file system.
+    config.faults = FaultPlan::seeded(7).fire_from(FaultSite::SnapshotWrite, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "holds(bound)");
+
+    // The autosave failed (counted) but the server keeps answering, and the
+    // data directory holds no snapshot at all.
+    assert!(client.metric("server_autosave_failures_total") >= 1);
+    assert_eq!(client.metric("server_autosaves_total"), 0);
+    let snapshots = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .filter(|e| {
+            e.as_ref()
+                .expect("entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "wlacsnap")
+        })
+        .count();
+    assert_eq!(snapshots, 0, "failed writes must not publish snapshots");
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "holds(bound)");
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn kill_during_autosave_leaves_a_recoverable_store() {
+    let dir = TempDir::new();
+
+    // Session 1: clean run, graceful shutdown — a good snapshot on disk.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &THREE_JOBS);
+    let reference: Vec<String> = client.wait(batch).iter().map(verdict_bytes).collect();
+    client.shutdown();
+    handle.join().expect("server thread");
+    let snapshot_name = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+        .find(|name| name.ends_with(".wlacsnap"))
+        .expect("session 1 published a snapshot");
+    let good_bytes = fs::read(dir.0.join(&snapshot_name)).expect("snapshot bytes");
+
+    // Session 2: every save is torn mid-write — the process-kill-during-
+    // autosave scenario. The published snapshot must survive untouched, with
+    // only temp-file debris added.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.faults = FaultPlan::seeded(7).fire_from(FaultSite::SnapshotTorn, 1);
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 1, "session 2 boots warm from session 1");
+    let mut client = Client::connect(addr);
+    client.register_counter();
+    client.shutdown(); // the shutdown autosave is the torn write
+    handle.join().expect("server thread");
+    assert_eq!(
+        fs::read(dir.0.join(&snapshot_name)).expect("snapshot bytes"),
+        good_bytes,
+        "a torn write must never reach the published snapshot"
+    );
+    let debris = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+        .filter(|name| name.starts_with('.') && name.contains(".wlacsnap.tmp"))
+        .count();
+    assert!(debris >= 1, "the torn write leaves its temp file behind");
+
+    // Session 3: boot sweeps the debris, loads the last-good snapshot, and
+    // answers the original batch entirely from the persisted cache.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 1, "recovery boot is warm");
+    let swept = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .filter_map(|e| Some(e.ok()?.file_name().to_string_lossy().into_owned()))
+        .filter(|name| name.starts_with('.') && name.contains(".wlacsnap.tmp"))
+        .count();
+    assert_eq!(swept, 0, "boot removes torn temp files");
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &THREE_JOBS);
+    let warm = client.wait(batch);
+    assert!(
+        warm.iter().all(|r| {
+            r.get("from_cache").and_then(Json::as_bool) == Some(true)
+                && r.get("engines_spawned").and_then(Json::as_u64) == Some(0)
+        }),
+        "recovered boot answers from the persisted cache: {warm:?}"
+    );
+    let recovered: Vec<String> = warm.iter().map(verdict_bytes).collect();
+    assert_eq!(recovered, reference, "verdicts identical across the fault");
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn overload_shed_carries_a_retry_hint_and_recovers() {
+    let mut config = deterministic_config();
+    config.max_connections = 1;
+    let (addr, handle, _) = start(config);
+
+    // First client occupies the only slot (a completed request proves its
+    // handler is running and counted).
+    let mut first = Client::connect(addr);
+    first.call(Json::obj(vec![("op", Json::str("ping"))]));
+
+    // Second client is shed immediately with a structured overload reply.
+    let mut second = Client::connect(addr);
+    let shed = second.read_line();
+    assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+    let error = shed.get("error").expect("error object");
+    assert_eq!(
+        error.get("code").and_then(Json::as_str),
+        Some("overloaded"),
+        "{shed}"
+    );
+    assert!(
+        error
+            .get("retry_after_ms")
+            .and_then(Json::as_u64)
+            .is_some_and(|ms| ms > 0),
+        "shed reply carries a back-off hint: {shed}"
+    );
+
+    // Once the first client leaves, the slot frees and new connections serve.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut recovered = loop {
+        let mut client = Client::connect(addr);
+        let reply = client
+            .try_raw("{\"op\":\"ping\"}")
+            .unwrap_or_else(|_| Json::obj(vec![("ok", Json::Bool(false))]));
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            break client;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "slot never freed after the holder disconnected"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    recovered.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn server_side_wait_is_bounded() {
+    let mut config = deterministic_config();
+    config.wait_timeout = Duration::from_millis(300);
+    config.drain_timeout = Duration::from_millis(300);
+    // No job budget: the hung engine stays hung, only the wait bound saves
+    // the connection.
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::EngineHang, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+
+    let started = Instant::now();
+    let reply = client
+        .try_raw(&format!("{{\"op\":\"wait\",\"batch\":{batch}}}"))
+        .expect("exchange");
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("timeout"),
+        "{reply}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "wait returned promptly"
+    );
+
+    // A client-requested slice below the server bound is honoured too.
+    let reply = client
+        .try_raw(&format!(
+            "{{\"op\":\"wait\",\"batch\":{batch},\"timeout_ms\":50}}"
+        ))
+        .expect("exchange");
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("timeout")
+    );
+
+    // Shutdown cannot drain the wedged job; it reports that instead of
+    // hanging forever.
+    let reply = client.shutdown();
+    assert_eq!(reply.get("drained").and_then(Json::as_bool), Some(false));
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn idle_connections_are_reaped_by_the_read_timeout() {
+    let mut config = deterministic_config();
+    config.read_timeout = Some(Duration::from_millis(200));
+    let (addr, handle, _) = start(config);
+
+    let idler = TcpStream::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(700));
+    // The server reaped the idle connection: the next exchange fails (either
+    // the write breaks or the read sees EOF).
+    let mut writer = idler.try_clone().expect("clone");
+    let mut reader = BufReader::new(idler);
+    let died = writer
+        .write_all(b"{\"op\":\"ping\"}\n")
+        .and_then(|()| writer.flush())
+        .and_then(|()| {
+            let mut line = String::new();
+            reader.read_line(&mut line).map(|n| (n, line))
+        })
+        .map(|(n, _)| n == 0)
+        .unwrap_or(true);
+    assert!(died, "idle connection survived the read timeout");
+
+    // A fresh connection serves normally.
+    let mut client = Client::connect(addr);
+    client.call(Json::obj(vec![("op", Json::str("ping"))]));
+    client.shutdown();
+    handle.join().expect("server thread");
+}

@@ -278,16 +278,18 @@ fn restart_warm_serves_persisted_verdicts() {
     let cold_labels: Vec<String> = cold.iter().map(label_of).collect();
     client.shutdown();
     handle.join().expect("server thread");
+    // Each autosave beyond the first also keeps the previous generation as
+    // `<file>.bak`; only the primary counts as "the snapshot".
     let snapshots: Vec<_> = fs::read_dir(&dir.0)
         .expect("data dir")
         .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".wlacsnap"))
         .collect();
     assert_eq!(
         snapshots.len(),
         1,
         "one design, one snapshot: {snapshots:?}"
     );
-    assert!(snapshots[0].ends_with(".wlacsnap"));
 
     // Session 2: a fresh process-equivalent (new Server, same data dir)
     // answers the same batch from the persisted verdict cache.
@@ -317,17 +319,30 @@ fn restart_warm_serves_persisted_verdicts() {
     client.shutdown();
     handle.join().expect("server thread");
 
-    // Session 3: a corrupted snapshot is skipped, not trusted — the boot is
-    // cold but clean.
+    // Session 3: a corrupted snapshot falls back to the last-good `.bak`
+    // generation — the boot stays warm.
     let snap_path = dir.0.join(&snapshots[0]);
-    let mut bytes = fs::read(&snap_path).expect("snapshot bytes");
+    let good_bytes = fs::read(&snap_path).expect("snapshot bytes");
+    let mut bytes = good_bytes.clone();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
     fs::write(&snap_path, &bytes).expect("corrupt snapshot");
     let mut config = quick_config();
     config.data_dir = Some(dir.0.clone());
     let (addr, handle, loaded) = start(config);
-    assert_eq!(loaded, 0, "corrupt snapshot must be skipped");
+    assert_eq!(loaded, 1, "corrupt snapshot boots from last-good backup");
+    let mut client = Client::connect(addr);
+    client.shutdown();
+    handle.join().expect("server thread");
+
+    // Session 4: corrupt primary and no backup — skipped, not trusted; the
+    // boot is cold but clean.
+    fs::write(&snap_path, &bytes).expect("corrupt snapshot");
+    fs::remove_file(dir.0.join(format!("{}.bak", snapshots[0]))).expect("remove backup");
+    let mut config = quick_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, loaded) = start(config);
+    assert_eq!(loaded, 0, "corrupt snapshot without backup must be skipped");
     let mut client = Client::connect(addr);
     client.shutdown();
     handle.join().expect("server thread");

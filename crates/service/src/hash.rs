@@ -181,6 +181,15 @@ pub fn config_fingerprint(config: &PortfolioConfig) -> u64 {
     h.usize(config.random_runs);
     h.usize(config.random_cycles);
     h.u64(config.random_seed);
+    // The job budget bounds what a race can conclude (like the per-engine
+    // time limit above): a verdict earned under one budget must not answer
+    // a query made under another.
+    h.u64(
+        config
+            .job_budget
+            .map(|b| b.as_millis() as u64)
+            .unwrap_or(u64::MAX),
+    );
     h.finish()
 }
 

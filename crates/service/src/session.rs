@@ -24,6 +24,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use wlac_atpg::Verification;
+use wlac_faultinject::{CondvarExt, FaultPlan, FaultSite, LockExt};
 use wlac_netlist::Netlist;
 use wlac_portfolio::{
     predict_engines, Engine, EngineStats, NetlistFeatures, Portfolio, PortfolioConfig,
@@ -117,6 +118,14 @@ pub struct ServiceConfig {
     /// calls before the oldest are evicted. Unretrieved batches are never
     /// evicted.
     pub retained_batches: usize,
+    /// Hard wall-clock budget per job. Applied to the portfolio's
+    /// `job_budget` unless that is already set; a job exceeding it completes
+    /// as [`Verdict::Timeout`] and frees its worker. `None` (the default)
+    /// leaves jobs unbounded.
+    pub job_budget: Option<Duration>,
+    /// Fault-injection plan threaded through workers, engines and autosaves.
+    /// The disabled default is free; chaos tests arm it.
+    pub faults: FaultPlan,
 }
 
 impl ServiceConfig {
@@ -131,6 +140,8 @@ impl ServiceConfig {
             predict: true,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             retained_batches: DEFAULT_RETAINED_BATCHES,
+            job_budget: None,
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -162,6 +173,14 @@ pub struct ServiceStats {
     pub datapath_facts: u64,
     /// ESTG conflicts recorded across all designs.
     pub estg_conflicts: u64,
+    /// Jobs whose processing panicked and were quarantined (completed with
+    /// an error verdict; the worker survived).
+    pub quarantined_jobs: u64,
+    /// Jobs that exceeded their wall-clock budget and completed as
+    /// [`Verdict::Timeout`].
+    pub timed_out_jobs: u64,
+    /// Worker threads the supervisor respawned after a loss.
+    pub workers_respawned: u64,
 }
 
 impl ServiceStats {
@@ -353,7 +372,9 @@ impl BatchTable {
         let mut scan = self.retired.len();
         while self.retired.len() > cap && scan > 0 {
             scan -= 1;
-            let oldest = self.retired.pop_front().expect("non-empty queue");
+            let Some(oldest) = self.retired.pop_front() else {
+                break;
+            };
             match self.states.get(&oldest) {
                 Some(state) if state.waiters > 0 => self.retired.push_back(oldest),
                 _ => {
@@ -377,7 +398,46 @@ struct Shared {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     predicted_races: AtomicU64,
+    quarantined: AtomicU64,
+    timeouts: AtomicU64,
+    respawned: AtomicU64,
+    /// Handles of every worker ever spawned (respawns append). Kept in the
+    /// shared state so the respawn sentinel can register replacements; the
+    /// service's `Drop` pops and joins them without holding the lock.
+    worker_handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// Re-arms the worker pool when a worker thread dies: constructed on the
+/// worker's stack, its `Drop` runs during the unwind of any panic that
+/// escapes the per-job fence (the [`FaultSite::WorkerLoss`] class) and spawns
+/// a replacement — unless the service is shutting down, in which case dying
+/// is the plan.
+struct RespawnSentinel {
+    shared: Arc<Shared>,
+}
+
+impl Drop for RespawnSentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() && !self.shared.shutdown.load(Ordering::Acquire) {
+            self.shared.respawned.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &self.shared.metrics {
+                metrics.counter("service_workers_respawned_total").inc();
+            }
+            spawn_worker(&self.shared);
+        }
+    }
+}
+
+fn spawn_worker(shared: &Arc<Shared>) {
+    let worker = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        let _sentinel = RespawnSentinel {
+            shared: Arc::clone(&worker),
+        };
+        worker_loop(&worker);
+    });
+    shared.worker_handles.lock_recover().push(handle);
 }
 
 /// A persistent verification session. See the module docs.
@@ -389,7 +449,6 @@ struct Shared {
 /// [`wait`]: VerificationService::wait
 pub struct VerificationService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl VerificationService {
@@ -407,7 +466,17 @@ impl VerificationService {
         VerificationService::start(config, Some(registry))
     }
 
-    fn start(config: ServiceConfig, metrics: Option<Arc<MetricsRegistry>>) -> Self {
+    fn start(mut config: ServiceConfig, metrics: Option<Arc<MetricsRegistry>>) -> Self {
+        // Normalise once: the service-level budget and fault plan are
+        // threaded into the portfolio configuration every race (and the
+        // cache fingerprint) will see, so cache keys and effective behaviour
+        // always agree.
+        if config.portfolio.job_budget.is_none() {
+            config.portfolio.job_budget = config.job_budget;
+        }
+        if config.faults.is_armed() && !config.portfolio.checker.faults.is_armed() {
+            config.portfolio.checker.faults = config.faults.clone();
+        }
         let workers = config.workers.max(1);
         let cache = VerdictCache::new(config.cache_capacity);
         let shared = Arc::new(Shared {
@@ -423,18 +492,16 @@ impl VerificationService {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             predicted_races: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            worker_handles: Mutex::new(Vec::new()),
             metrics,
         });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        VerificationService {
-            shared,
-            workers: handles,
+        for _ in 0..workers {
+            spawn_worker(&shared);
         }
+        VerificationService { shared }
     }
 
     /// Starts a session with the default configuration.
@@ -447,7 +514,7 @@ impl VerificationService {
     /// job registers its design automatically.
     pub fn register_design(&self, netlist: &Netlist) -> DesignHash {
         let hash = design_hash(netlist);
-        let mut registry = self.shared.registry.lock().expect("registry lock");
+        let mut registry = self.shared.registry.lock_recover();
         registry.entry(hash).or_insert_with(|| {
             Arc::new(DesignEntry {
                 netlist: netlist.clone(),
@@ -465,7 +532,7 @@ impl VerificationService {
         let batch = self.shared.next_batch.fetch_add(1, Ordering::Relaxed);
         let config_hash = config_fingerprint(&self.shared.config.portfolio);
         {
-            let mut batches = self.shared.batches.lock().expect("batches lock");
+            let mut batches = self.shared.batches.lock_recover();
             batches.states.insert(
                 batch,
                 BatchState {
@@ -505,7 +572,7 @@ impl VerificationService {
                 .add(queued.len() as f64);
         }
         {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = self.shared.queue.lock_recover();
             queue.extend(queued);
         }
         self.shared.queue_cv.notify_all();
@@ -514,7 +581,7 @@ impl VerificationService {
 
     /// Progress of a batch; `None` for an unknown (or retired) handle.
     pub fn poll(&self, batch: BatchId) -> Option<BatchStatus> {
-        let batches = self.shared.batches.lock().expect("batches lock");
+        let batches = self.shared.batches.lock_recover();
         batches.states.get(&batch.0).map(|state| BatchStatus {
             total: state.results.len(),
             completed: state.completed,
@@ -530,16 +597,12 @@ impl VerificationService {
     /// long-lived server would otherwise leak every batch (traces included)
     /// it ever answered.
     pub fn results(&self, batch: BatchId) -> Option<Vec<JobResult>> {
-        let mut batches = self.shared.batches.lock().expect("batches lock");
+        let mut batches = self.shared.batches.lock_recover();
         let state = batches.states.get(&batch.0)?;
         if state.completed < state.results.len() {
             return None;
         }
-        let results = state
-            .results
-            .iter()
-            .map(|r| r.clone().expect("completed job has a result"))
-            .collect();
+        let results = state.results.iter().filter_map(|r| r.clone()).collect();
         batches.retire(batch.0, self.shared.config.retained_batches);
         Some(results)
     }
@@ -552,41 +615,68 @@ impl VerificationService {
     ///
     /// Panics on an unknown (or already retired-and-evicted) batch handle.
     pub fn wait(&self, batch: BatchId) -> Vec<JobResult> {
-        let mut batches = self.shared.batches.lock().expect("batches lock");
-        batches
-            .states
-            .get_mut(&batch.0)
-            .expect("known batch")
-            .waiters += 1;
+        match self.wait_deadline(batch, None) {
+            Some(results) => results,
+            None => panic!("wait on unknown batch {batch}"),
+        }
+    }
+
+    /// Like [`VerificationService::wait`], but gives up after `timeout`.
+    /// Returns `None` when the batch is unknown *or* still incomplete at the
+    /// deadline — the caller's worker is freed either way, which is the
+    /// point: a server thread must never block unboundedly on a batch a hung
+    /// engine may never finish.
+    pub fn wait_timeout(&self, batch: BatchId, timeout: Duration) -> Option<Vec<JobResult>> {
+        self.wait_deadline(batch, Some(Instant::now() + timeout))
+    }
+
+    fn wait_deadline(&self, batch: BatchId, deadline: Option<Instant>) -> Option<Vec<JobResult>> {
+        let mut batches = self.shared.batches.lock_recover();
+        batches.states.get_mut(&batch.0)?.waiters += 1;
         loop {
             {
-                let state = batches.states.get_mut(&batch.0).expect("known batch");
+                // The state cannot be evicted while `waiters > 0`; treat a
+                // missing entry as a timed-out wait rather than panicking in
+                // a worker that holds the batches lock.
+                let state = batches.states.get_mut(&batch.0)?;
                 if state.completed == state.results.len() {
                     state.waiters -= 1;
-                    let results = state
-                        .results
-                        .iter()
-                        .map(|r| r.clone().expect("completed job has a result"))
-                        .collect();
+                    let results = state.results.iter().filter_map(|r| r.clone()).collect();
                     batches.retire(batch.0, self.shared.config.retained_batches);
-                    return results;
+                    return Some(results);
                 }
             }
-            batches = self
-                .shared
-                .batch_cv
-                .wait(batches)
-                .expect("batch condvar wait");
+            match deadline {
+                None => batches = self.shared.batch_cv.wait_recover(batches),
+                Some(deadline) => {
+                    let (guard, timed_out) = self
+                        .shared
+                        .batch_cv
+                        .wait_deadline_recover(batches, deadline);
+                    batches = guard;
+                    if timed_out {
+                        // Final re-check: a completion may have raced the
+                        // deadline.
+                        if let Some(state) = batches.states.get_mut(&batch.0) {
+                            if state.completed == state.results.len() {
+                                continue;
+                            }
+                            state.waiters -= 1;
+                        }
+                        return None;
+                    }
+                }
+            }
         }
     }
 
     /// A snapshot of the session counters.
     pub fn stats(&self) -> ServiceStats {
         let (cache_evictions, cached_verdicts) = {
-            let cache = self.shared.cache.lock().expect("cache lock");
+            let cache = self.shared.cache.lock_recover();
             (cache.evictions, cache.len())
         };
-        let registry = self.shared.registry.lock().expect("registry lock");
+        let registry = self.shared.registry.lock_recover();
         let mut stats = ServiceStats {
             designs: registry.len(),
             cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
@@ -594,10 +684,13 @@ impl VerificationService {
             predicted_races: self.shared.predicted_races.load(Ordering::Relaxed),
             cache_evictions,
             cached_verdicts,
+            quarantined_jobs: self.shared.quarantined.load(Ordering::Relaxed),
+            timed_out_jobs: self.shared.timeouts.load(Ordering::Relaxed),
+            workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
             ..ServiceStats::default()
         };
         for entry in registry.values() {
-            let kb = entry.knowledge.lock().expect("knowledge lock");
+            let kb = entry.knowledge.lock_recover();
             stats.clauses_banked += kb.clauses.len() as u64;
             stats.datapath_facts += kb.search.datapath_facts.len() as u64;
             stats.estg_conflicts += kb.search.estg.recorded();
@@ -608,19 +701,19 @@ impl VerificationService {
     /// The per-design knowledge statistics (clauses offered/banked/rejected,
     /// races absorbed) for a registered design.
     pub fn knowledge_stats(&self, design: DesignHash) -> Option<KnowledgeStats> {
-        let registry = self.shared.registry.lock().expect("registry lock");
+        let registry = self.shared.registry.lock_recover();
         registry
             .get(&design)
-            .map(|e| e.knowledge.lock().expect("knowledge lock").stats)
+            .map(|e| e.knowledge.lock_recover().stats)
     }
 
     /// Exports a clone of a design's knowledge base (e.g. to persist across
     /// sessions).
     pub fn export_knowledge(&self, design: DesignHash) -> Option<KnowledgeBase> {
-        let registry = self.shared.registry.lock().expect("registry lock");
+        let registry = self.shared.registry.lock_recover();
         registry
             .get(&design)
-            .map(|e| e.knowledge.lock().expect("knowledge lock").clone())
+            .map(|e| e.knowledge.lock_recover().clone())
     }
 
     /// Imports an externally persisted knowledge base for a registered
@@ -638,7 +731,7 @@ impl VerificationService {
         knowledge: &KnowledgeBase,
     ) -> Result<(), KnowledgeError> {
         let entry = {
-            let registry = self.shared.registry.lock().expect("registry lock");
+            let registry = self.shared.registry.lock_recover();
             registry
                 .get(&design)
                 .cloned()
@@ -647,7 +740,7 @@ impl VerificationService {
                     expected: design,
                 })?
         };
-        let mut kb = entry.knowledge.lock().expect("knowledge lock");
+        let mut kb = entry.knowledge.lock_recover();
         kb.import(knowledge, &entry.netlist)
     }
 
@@ -656,10 +749,10 @@ impl VerificationService {
     /// design.
     pub fn export_verdicts(&self, design: DesignHash) -> Option<Vec<VerdictRecord>> {
         {
-            let registry = self.shared.registry.lock().expect("registry lock");
+            let registry = self.shared.registry.lock_recover();
             registry.get(&design)?;
         }
-        let cache = self.shared.cache.lock().expect("cache lock");
+        let cache = self.shared.cache.lock_recover();
         Some(cache.export_design(design))
     }
 
@@ -682,7 +775,7 @@ impl VerificationService {
         records: &[VerdictRecord],
     ) -> Result<usize, KnowledgeError> {
         let entry = {
-            let registry = self.shared.registry.lock().expect("registry lock");
+            let registry = self.shared.registry.lock_recover();
             registry
                 .get(&design)
                 .cloned()
@@ -696,7 +789,7 @@ impl VerificationService {
                 return Err(KnowledgeError::MalformedVerdict { index });
             }
         }
-        let mut cache = self.shared.cache.lock().expect("cache lock");
+        let mut cache = self.shared.cache.lock_recover();
         for record in records {
             cache.insert(
                 CacheKey {
@@ -719,10 +812,10 @@ impl VerificationService {
     ///
     /// New submissions during the drain extend it.
     pub fn drain(&self) {
-        let mut batches = self.shared.batches.lock().expect("batches lock");
+        let mut batches = self.shared.batches.lock_recover();
         loop {
             let queued = {
-                let queue = self.shared.queue.lock().expect("queue lock");
+                let queue = self.shared.queue.lock_recover();
                 queue.len()
             };
             let pending: usize = batches
@@ -733,11 +826,41 @@ impl VerificationService {
             if queued == 0 && pending == 0 {
                 return;
             }
-            batches = self
+            batches = self.shared.batch_cv.wait_recover(batches);
+        }
+    }
+
+    /// Like [`VerificationService::drain`], but gives up after `timeout`.
+    /// Returns `true` when the service fully drained, `false` when work was
+    /// still outstanding at the deadline — the bounded-shutdown path: a hung
+    /// job must not hold the process hostage forever.
+    pub fn drain_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut batches = self.shared.batches.lock_recover();
+        loop {
+            let queued = self.shared.queue.lock_recover().len();
+            let pending: usize = batches
+                .states
+                .values()
+                .map(|state| state.results.len() - state.completed)
+                .sum();
+            if queued == 0 && pending == 0 {
+                return true;
+            }
+            let (guard, timed_out) = self
                 .shared
                 .batch_cv
-                .wait(batches)
-                .expect("batch condvar wait");
+                .wait_deadline_recover(batches, deadline);
+            batches = guard;
+            if timed_out {
+                let queued = self.shared.queue.lock_recover().len();
+                let pending: usize = batches
+                    .states
+                    .values()
+                    .map(|state| state.results.len() - state.completed)
+                    .sum();
+                return queued == 0 && pending == 0;
+            }
         }
     }
 }
@@ -746,16 +869,26 @@ impl Drop for VerificationService {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // Pop-then-join without holding the lock: a panicking worker's
+        // respawn sentinel takes the same lock to register its replacement,
+        // and any late replacement lands in the vector for a later
+        // iteration to pick up.
+        loop {
+            let handle = self.shared.worker_handles.lock_recover().pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = shared.queue.lock_recover();
             loop {
                 if let Some(job) = queue.pop_front() {
                     break job;
@@ -763,18 +896,55 @@ fn worker_loop(shared: &Shared) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                queue = shared.queue_cv.wait(queue).expect("queue condvar wait");
+                queue = shared.queue_cv.wait_recover(queue);
             }
         };
         if let Some(metrics) = &shared.metrics {
             metrics.gauge("service_queue_depth").sub(1.0);
             metrics.gauge("service_workers_busy").add(1.0);
         }
-        process_job(shared, job);
+        let start = Instant::now();
+        // The per-job panic fence: *anything* that unwinds out of job
+        // processing — an engine bug, poisoned bookkeeping, an injected
+        // `WorkerPanic` — quarantines that one job (completed with an error
+        // verdict so its batch still finishes) and leaves the worker alive
+        // for the next job.
+        let fenced =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_job(shared, &job)));
+        if fenced.is_err() {
+            quarantine_job(shared, &job, start.elapsed());
+        }
         if let Some(metrics) = &shared.metrics {
             metrics.gauge("service_workers_busy").sub(1.0);
         }
+        // Injected worker loss: a panic *outside* the fence kills this
+        // thread after the job is fully recorded; the respawn sentinel
+        // replaces it.
+        shared.config.faults.panic_point(FaultSite::WorkerLoss);
     }
+}
+
+/// Completes a job whose processing panicked: an error verdict (never
+/// cached, never persisted), a counter, a metric — and nothing else. The
+/// batch completes; the pool survives.
+fn quarantine_job(shared: &Shared, job: &QueuedJob, wall: Duration) {
+    shared.quarantined.fetch_add(1, Ordering::Relaxed);
+    if let Some(metrics) = &shared.metrics {
+        metrics.counter("service_jobs_quarantined_total").inc();
+    }
+    let result = JobResult {
+        property: job.verification.property.name.clone(),
+        design: job.design,
+        verdict: Verdict::Unknown {
+            reason: "job panicked; quarantined".into(),
+        },
+        winner: None,
+        from_cache: false,
+        engines_spawned: 0,
+        wall,
+    };
+    record_job_metrics(shared, &result, None);
+    complete_job(shared, job, result);
 }
 
 /// Publishes one finished job into the registry: completion/cache counters,
@@ -818,12 +988,15 @@ fn record_job_metrics(shared: &Shared, result: &JobResult, report: Option<&Portf
     }
 }
 
-fn process_job(shared: &Shared, job: QueuedJob) {
+fn process_job(shared: &Shared, job: &QueuedJob) {
     let start = Instant::now();
+    // Injected worker panic: unwinds into the per-job fence before any
+    // bookkeeping, exercising the quarantine path.
+    shared.config.faults.panic_point(FaultSite::WorkerPanic);
 
     // 1. Verdict cache: a repeat query spawns no engine at all.
     let cached = {
-        let mut cache = shared.cache.lock().expect("cache lock");
+        let mut cache = shared.cache.lock_recover();
         cache.get(&job.key)
     };
     if let Some(hit) = cached {
@@ -838,20 +1011,38 @@ fn process_job(shared: &Shared, job: QueuedJob) {
             wall: start.elapsed(),
         };
         record_job_metrics(shared, &result, None);
-        complete_job(shared, &job, result);
+        complete_job(shared, job, result);
         return;
     }
     shared.cache_misses.fetch_add(1, Ordering::Relaxed);
 
-    let entry = {
-        let registry = shared.registry.lock().expect("registry lock");
-        Arc::clone(registry.get(&job.design).expect("registered design"))
+    // A design submit_batch registered can only be missing if state was
+    // lost to a fault; complete the job with an error verdict rather than
+    // panicking the worker over it.
+    let Some(entry) = ({
+        let registry = shared.registry.lock_recover();
+        registry.get(&job.design).cloned()
+    }) else {
+        let result = JobResult {
+            property: job.verification.property.name.clone(),
+            design: job.design,
+            verdict: Verdict::Unknown {
+                reason: "design no longer registered".into(),
+            },
+            winner: None,
+            from_cache: false,
+            engines_spawned: 0,
+            wall: start.elapsed(),
+        };
+        record_job_metrics(shared, &result, None);
+        complete_job(shared, job, result);
+        return;
     };
 
     // 2. Warm start from the knowledge base + predictor scheduling.
     let full_portfolio = shared.config.portfolio.engines.len();
     let warm = {
-        let kb = entry.knowledge.lock().expect("knowledge lock");
+        let kb = entry.knowledge.lock_recover();
         let engines = if shared.config.predict {
             Some(predict_engines(&entry.features, Some(&kb.history)))
         } else {
@@ -900,18 +1091,24 @@ fn process_job(shared: &Shared, job: QueuedJob) {
                 wall: start.elapsed(),
             };
             record_job_metrics(shared, &result, None);
-            complete_job(shared, &job, result);
+            complete_job(shared, job, result);
             return;
         }
     };
+    if matches!(report.verdict, Verdict::Timeout { .. }) {
+        shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &shared.metrics {
+            metrics.counter("service_jobs_timed_out_total").inc();
+        }
+    }
     {
-        let mut kb = entry.knowledge.lock().expect("knowledge lock");
+        let mut kb = entry.knowledge.lock_recover();
         kb.absorb(&harvest, &entry.netlist);
     }
     // Only definitive verdicts are worth replaying; an `Unknown` (budget,
     // cancellation) must not shadow a future run that could decide the job.
     if report.verdict.is_definitive() {
-        shared.cache.lock().expect("cache lock").insert(
+        shared.cache.lock_recover().insert(
             job.key,
             CachedVerdict {
                 verdict: report.verdict.clone(),
@@ -929,15 +1126,21 @@ fn process_job(shared: &Shared, job: QueuedJob) {
         wall: start.elapsed(),
     };
     record_job_metrics(shared, &result, Some(&report));
-    complete_job(shared, &job, result);
+    complete_job(shared, job, result);
 }
 
+/// Records a job's result and wakes waiters. Tolerant by design: a batch
+/// evicted under fault, or a slot an earlier (panicked-then-quarantined)
+/// attempt already filled, is left alone — completion must never panic,
+/// because it runs inside *and* outside the per-job fence.
 fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult) {
-    let mut batches = shared.batches.lock().expect("batches lock");
-    let state = batches.states.get_mut(&job.batch).expect("known batch");
-    debug_assert!(state.results[job.index].is_none(), "job completed twice");
-    state.results[job.index] = Some(result);
-    state.completed += 1;
+    let mut batches = shared.batches.lock_recover();
+    if let Some(state) = batches.states.get_mut(&job.batch) {
+        if state.results[job.index].is_none() {
+            state.results[job.index] = Some(result);
+            state.completed += 1;
+        }
+    }
     drop(batches);
     shared.batch_cv.notify_all();
 }
