@@ -65,16 +65,31 @@ pub enum FaultSite {
     /// A snapshot write is torn mid-frame (kill -9 during autosave): the
     /// writer leaves a partial temp file behind and reports failure.
     SnapshotTorn,
+    /// A journal append fails outright (disk full, unwritable directory):
+    /// [`FaultPlan::io_error`] yields the error to return. Durability
+    /// degrades; serving must continue.
+    JournalAppend,
+    /// A journal append is torn mid-frame (kill -9 between the frame header
+    /// and its checksum): the writer leaves a partial record at the tail,
+    /// which recovery must quarantine.
+    JournalTorn,
+    /// A hard process kill ([`FaultPlan::crash_point`] calls
+    /// [`std::process::abort`]): the crash-matrix suite arms this in a
+    /// subprocess to die at an exact record boundary.
+    CrashPoint,
 }
 
 impl FaultSite {
     /// Every site, for iteration in reports and tests.
-    pub const ALL: [FaultSite; 5] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::EngineHang,
         FaultSite::WorkerPanic,
         FaultSite::WorkerLoss,
         FaultSite::SnapshotWrite,
         FaultSite::SnapshotTorn,
+        FaultSite::JournalAppend,
+        FaultSite::JournalTorn,
+        FaultSite::CrashPoint,
     ];
 
     /// Stable lower-case name (log lines, metric labels).
@@ -85,6 +100,9 @@ impl FaultSite {
             FaultSite::WorkerLoss => "worker_loss",
             FaultSite::SnapshotWrite => "snapshot_write",
             FaultSite::SnapshotTorn => "snapshot_torn",
+            FaultSite::JournalAppend => "journal_append",
+            FaultSite::JournalTorn => "journal_torn",
+            FaultSite::CrashPoint => "crash_point",
         }
     }
 
@@ -95,6 +113,9 @@ impl FaultSite {
             FaultSite::WorkerLoss => 2,
             FaultSite::SnapshotWrite => 3,
             FaultSite::SnapshotTorn => 4,
+            FaultSite::JournalAppend => 5,
+            FaultSite::JournalTorn => 6,
+            FaultSite::CrashPoint => 7,
         }
     }
 }
@@ -121,8 +142,8 @@ enum Trigger {
 struct PlanInner {
     seed: u64,
     rules: Vec<(FaultSite, Trigger)>,
-    arrivals: [AtomicU64; 5],
-    fired: [AtomicU64; 5],
+    arrivals: [AtomicU64; 8],
+    fired: [AtomicU64; 8],
 }
 
 /// A deterministic fault-injection plan. See the crate docs; the default
@@ -282,6 +303,16 @@ impl FaultPlan {
     pub fn io_error(&self, site: FaultSite) -> Option<std::io::Error> {
         self.should_fire(site)
             .then(|| std::io::Error::other(format!("injected fault: {site}")))
+    }
+
+    /// Injected hard kill: calls [`std::process::abort`] when a rule fires
+    /// for `site` — no unwinding, no destructors, no flushing, exactly like
+    /// `kill -9` at that instruction. The crash-matrix suite arms this in a
+    /// spawned server process to die at a chosen record boundary.
+    pub fn crash_point(&self, site: FaultSite) {
+        if self.should_fire(site) {
+            std::process::abort();
+        }
     }
 }
 

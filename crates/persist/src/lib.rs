@@ -68,9 +68,14 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod format;
+mod journal;
 mod snapshot;
 
 pub use format::{PersistError, FORMAT_VERSION, MAGIC};
+pub use journal::{
+    journal_file_name, read_journal, recover_journal, AppendReceipt, DurabilityMode, JournalRecord,
+    JournalReplay, JournalSink, JournalWriter, JOURNAL_MAGIC,
+};
 pub use snapshot::{
     backup_file_name, clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot,
     load_snapshot_with_fallback, save_snapshot, save_snapshot_faulted, snapshot_file_name,

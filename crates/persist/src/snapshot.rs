@@ -148,7 +148,7 @@ fn read_gate_kind(r: &mut Reader<'_>) -> Result<GateKind, PersistError> {
     })
 }
 
-fn write_netlist(w: &mut Writer, netlist: &Netlist) {
+pub(crate) fn write_netlist(w: &mut Writer, netlist: &Netlist) {
     w.str(netlist.name());
     w.usize(netlist.net_count());
     for net in netlist.nets() {
@@ -192,7 +192,7 @@ fn read_net_id(r: &mut Reader<'_>, net_count: usize) -> Result<NetId, PersistErr
 /// Rebuilds the netlist through the ordinary constructors, re-running every
 /// gate shape validation — a snapshot can describe an ill-typed circuit only
 /// if the builder itself would accept it.
-fn read_netlist(r: &mut Reader<'_>) -> Result<Netlist, PersistError> {
+pub(crate) fn read_netlist(r: &mut Reader<'_>) -> Result<Netlist, PersistError> {
     let name = r.str()?;
     let mut netlist = Netlist::new(name);
     let net_count = r.len(9)?;
@@ -332,7 +332,7 @@ fn read_trace(r: &mut Reader<'_>) -> Result<Trace, PersistError> {
     })
 }
 
-fn write_verdict(w: &mut Writer, verdict: &Verdict) -> Result<(), PersistError> {
+pub(crate) fn write_verdict(w: &mut Writer, verdict: &Verdict) -> Result<(), PersistError> {
     match verdict {
         Verdict::Holds { proved, frames } => {
             w.u8(0);
@@ -360,7 +360,7 @@ fn write_verdict(w: &mut Writer, verdict: &Verdict) -> Result<(), PersistError> 
     Ok(())
 }
 
-fn read_verdict(r: &mut Reader<'_>) -> Result<Verdict, PersistError> {
+pub(crate) fn read_verdict(r: &mut Reader<'_>) -> Result<Verdict, PersistError> {
     Ok(match r.u8()? {
         0 => Verdict::Holds {
             proved: r.bool()?,
@@ -532,12 +532,31 @@ pub fn save_snapshot_faulted(
             fs::copy(path, &backup).ok();
         }
         fs::rename(&tmp, path)?;
+        // The rename (and the `.bak` promotion) are directory-entry updates:
+        // until the directory itself reaches the disk, a power loss can make
+        // a "published" snapshot vanish even though its data blocks were
+        // synced. One directory fsync after the rename covers both entries;
+        // a snapshot is only reported saved once it would survive the plug
+        // being pulled.
+        sync_parent_dir(path)?;
         Ok(())
     })();
     if result.is_err() {
         fs::remove_file(&tmp).ok();
     }
     result
+}
+
+/// Fsyncs the directory containing `path`, making its entry updates (rename,
+/// create, truncate) power-loss durable. A no-op error on platforms where
+/// directories cannot be opened for sync is not swallowed: durability the
+/// caller cannot rely on must be reported, not pretended.
+pub(crate) fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    fs::File::open(parent)?.sync_all()
 }
 
 /// Removes stale snapshot temp files (`.{name}.tmp{pid}.{seq}` debris from

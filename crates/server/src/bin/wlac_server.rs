@@ -6,6 +6,8 @@
 //!             [--max-connections N] [--read-timeout-secs N]
 //!             [--wait-timeout-secs N] [--job-budget-secs N]
 //!             [--drain-timeout-secs N]
+//!             [--durability snapshot|journal|strict]
+//!             [--journal-fsync-batch N] [--journal-compact-bytes N]
 //! ```
 //!
 //! Prints `listening on <addr>` once ready (scripts parse this line — with
@@ -16,6 +18,8 @@
 
 use std::path::PathBuf;
 use std::time::Duration;
+use wlac_faultinject::FaultSite;
+use wlac_persist::DurabilityMode;
 use wlac_server::{Server, ServerConfig};
 
 fn usage() -> ! {
@@ -23,7 +27,9 @@ fn usage() -> ! {
         "usage: wlac-server [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
          [--max-frames N] [--time-limit-secs N] [--cache-capacity N] \
          [--max-connections N] [--read-timeout-secs N] [--wait-timeout-secs N] \
-         [--job-budget-secs N] [--drain-timeout-secs N]"
+         [--job-budget-secs N] [--drain-timeout-secs N] \
+         [--durability snapshot|journal|strict] \
+         [--journal-fsync-batch N] [--journal-compact-bytes N]"
     );
     std::process::exit(2);
 }
@@ -70,6 +76,23 @@ fn main() {
                 config.drain_timeout =
                     Duration::from_secs(value().parse().unwrap_or_else(|_| usage()));
             }
+            "--durability" => {
+                config.durability = DurabilityMode::parse(&value()).unwrap_or_else(|| usage());
+            }
+            "--journal-fsync-batch" => {
+                config.journal_fsync_batch = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--journal-compact-bytes" => {
+                config.journal_compact_bytes = value().parse().unwrap_or_else(|_| usage());
+            }
+            // Undocumented crash-test hook: hard-abort the process in the
+            // middle of the Nth journal append, leaving a genuinely torn
+            // frame on disk. Used by the crash-matrix suite; useless (and
+            // harmless) in production.
+            "--crash-after-appends" => {
+                let n: u64 = value().parse().unwrap_or_else(|_| usage());
+                config.faults = config.faults.fire_nth(FaultSite::CrashPoint, n);
+            }
             _ => usage(),
         }
     }
@@ -88,10 +111,23 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if server.loaded_snapshots() > 0 {
+    if server.loaded_snapshots() > 0 || server.boot_replayed_records() > 0 {
         eprintln!(
-            "wlac-server: warm boot, {} snapshot(s) loaded",
-            server.loaded_snapshots()
+            "wlac-server: warm boot, {} snapshot(s) loaded, {} journal record(s) replayed",
+            server.loaded_snapshots(),
+            server.boot_replayed_records()
+        );
+    }
+    if server.snapshots_rejected_at_boot() > 0 {
+        eprintln!(
+            "wlac-server: cold boot for {} design(s): snapshot(s) rejected and no backup",
+            server.snapshots_rejected_at_boot()
+        );
+    }
+    if server.journal_quarantined_bytes() > 0 {
+        eprintln!(
+            "wlac-server: quarantined {} journal byte(s) past the last valid record",
+            server.journal_quarantined_bytes()
         );
     }
     println!("listening on {addr}");

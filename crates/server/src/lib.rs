@@ -20,12 +20,17 @@
 //!   returns the phase-attributed time breakdown plus span events; requests
 //!   slower than [`ServerConfig::slow_request_threshold`] get a structured
 //!   stderr line.
-//! * **Persistence** — every design autosaves to a
-//!   [`wlac_persist::Snapshot`] after each finished batch and again on the
-//!   graceful-shutdown drain; on boot the server reloads every snapshot in
-//!   its data directory through the service's validating import, so a
-//!   restarted server answers repeat queries from the persisted verdict
-//!   cache with zero engine spawns.
+//! * **Persistence** — by default every definitive result is appended to a
+//!   per-design write-ahead journal ([`wlac_persist::JournalSink`], with
+//!   group-commit fsync) *before* the client sees the acknowledgement, and
+//!   journals are compacted into [`wlac_persist::Snapshot`]s in the
+//!   background and on the graceful-shutdown drain; on boot the server
+//!   reloads every snapshot through the service's validating import and
+//!   replays the journal suffix (torn tails quarantined, never a boot
+//!   failure), so a restarted server answers repeat queries from the
+//!   persisted verdict cache with zero engine spawns. The
+//!   [`ServerConfig::durability`] mode widens or narrows the contract
+//!   (`snapshot` / `journal` / `strict`).
 //! * **Tooling** — the `wlac-server` binary runs the daemon, `wlac-client`
 //!   drives it from scripts and CI (`register` / `check` / `stats` /
 //!   `export` / `import` / `shutdown`).

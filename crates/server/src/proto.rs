@@ -204,8 +204,26 @@ pub fn job_result_to_wire(result: &JobResult) -> Json {
     ])
 }
 
+/// Server-level durability counters surfaced in the `stats` reply alongside
+/// the service counters.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityStats {
+    /// The configured durability mode's wire spelling
+    /// (`snapshot`/`journal`/`strict`).
+    pub mode: &'static str,
+    /// Snapshots successfully loaded at boot.
+    pub loaded_snapshots: usize,
+    /// Snapshot files rejected at boot (corrupt, torn, foreign).
+    pub snapshots_rejected_at_boot: usize,
+    /// Journal records replayed into service state at boot.
+    pub boot_replayed_records: u64,
+    /// Journal bytes quarantined at boot (torn tails, unreadable files).
+    pub journal_quarantined_bytes: u64,
+}
+
 /// Encodes the service counters for the wire.
-pub fn stats_to_wire(stats: &ServiceStats, loaded_snapshots: usize) -> Json {
+pub fn stats_to_wire(stats: &ServiceStats, durability: &DurabilityStats) -> Json {
+    let loaded_snapshots = durability.loaded_snapshots;
     Json::obj(vec![
         ("designs", Json::num(stats.designs as u64)),
         ("cache_hits", Json::num(stats.cache_hits)),
@@ -220,6 +238,19 @@ pub fn stats_to_wire(stats: &ServiceStats, loaded_snapshots: usize) -> Json {
         ("timed_out_jobs", Json::num(stats.timed_out_jobs)),
         ("workers_respawned", Json::num(stats.workers_respawned)),
         ("loaded_snapshots", Json::num(loaded_snapshots as u64)),
+        ("durability", Json::str(durability.mode)),
+        (
+            "snapshots_rejected_at_boot",
+            Json::num(durability.snapshots_rejected_at_boot as u64),
+        ),
+        (
+            "boot_replayed_records",
+            Json::num(durability.boot_replayed_records),
+        ),
+        (
+            "journal_quarantined_bytes",
+            Json::num(durability.journal_quarantined_bytes),
+        ),
     ])
 }
 

@@ -4,13 +4,13 @@
 use crate::json::Json;
 use crate::proto::{
     design_from_wire, design_to_wire, error_reply, error_reply_with_retry, hex_decode, hex_encode,
-    job_result_to_wire, ok_reply, stats_to_wire, ErrorCode,
+    job_result_to_wire, ok_reply, stats_to_wire, DurabilityStats, ErrorCode,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wlac_atpg::{
@@ -21,9 +21,12 @@ use wlac_faultinject::{CondvarExt, FaultPlan, LockExt};
 use wlac_netlist::{NetId, Netlist};
 use wlac_persist::{
     clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot_with_fallback,
-    save_snapshot_faulted, snapshot_file_name, Snapshot,
+    read_journal, save_snapshot_faulted, snapshot_file_name, DurabilityMode, JournalSink, Snapshot,
 };
-use wlac_service::{BatchId, DesignHash, JobResult, ServiceConfig, VerificationService};
+use wlac_service::{
+    BatchId, DesignHash, DurabilityHook, JobResult, KnowledgeBase, ServiceConfig,
+    VerificationService,
+};
 use wlac_telemetry::{MetricsRegistry, SpanId, Tracer};
 
 /// Every op the dispatcher accepts, plus the two catch-all buckets
@@ -89,9 +92,24 @@ pub struct ServerConfig {
     /// How long shutdown waits for in-flight requests and queued jobs
     /// before abandoning them and saving what finished.
     pub drain_timeout: Duration,
-    /// Fault-injection plan for the server's own I/O (autosave). The
-    /// service's plan is configured separately in [`ServiceConfig`].
+    /// Fault-injection plan for the server's own I/O (autosave and the
+    /// write-ahead journal). The service's plan is configured separately in
+    /// [`ServiceConfig`].
     pub faults: FaultPlan,
+    /// What an acknowledged result promises about a crash:
+    /// [`DurabilityMode::Snapshot`] autosaves a whole snapshot per completed
+    /// batch (the pre-journal behaviour), [`DurabilityMode::Journal`]
+    /// appends every raced result to a per-design write-ahead journal as it
+    /// lands (snapshots become the compaction artifact), and
+    /// [`DurabilityMode::Strict`] additionally fsyncs every append.
+    pub durability: DurabilityMode,
+    /// Group-commit batch of the journal: fsync after every Nth append.
+    /// Ignored in [`DurabilityMode::Strict`], which forces 1.
+    pub journal_fsync_batch: u64,
+    /// Compaction threshold: once a design's journal grows past this many
+    /// bytes, the next completed batch snapshots the design and truncates
+    /// the journal back to its header.
+    pub journal_compact_bytes: u64,
 }
 
 impl ServerConfig {
@@ -111,6 +129,9 @@ impl ServerConfig {
             wait_timeout: Duration::from_secs(60),
             drain_timeout: Duration::from_secs(30),
             faults: FaultPlan::disabled(),
+            durability: DurabilityMode::default(),
+            journal_fsync_batch: 32,
+            journal_compact_bytes: 1 << 20,
         }
     }
 }
@@ -174,6 +195,20 @@ struct ServerState {
     data_dir: Option<PathBuf>,
     shutting_down: AtomicBool,
     loaded_snapshots: AtomicUsize,
+    /// Snapshot files present at boot that failed validation and were
+    /// skipped (the server booted cold for those designs).
+    snapshots_rejected_at_boot: AtomicUsize,
+    /// Journal records replayed into service state at boot.
+    boot_replayed_records: AtomicU64,
+    /// Journal bytes quarantined at boot (torn tails and unreadable files).
+    journal_quarantined_bytes: AtomicU64,
+    /// The write-ahead journal sink, when [`ServerConfig::durability`]
+    /// journals and a data directory is configured. The service holds the
+    /// same sink behind its [`DurabilityHook`]; the server side drives
+    /// compaction and shutdown truncation.
+    journal: Option<Arc<JournalSink>>,
+    durability: DurabilityMode,
+    journal_compact_bytes: u64,
     /// The bound address, kept so `shutdown` can wake the blocking accept
     /// loop with a loopback connection.
     addr: SocketAddr,
@@ -224,7 +259,7 @@ impl Server {
     /// # Errors
     ///
     /// I/O errors from binding the address or creating the data directory.
-    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+    pub fn bind(mut config: ServerConfig) -> std::io::Result<Server> {
         if let Some(dir) = &config.data_dir {
             std::fs::create_dir_all(dir)?;
         }
@@ -232,12 +267,35 @@ impl Server {
         let addr = listener.local_addr()?;
         let metrics = Arc::new(MetricsRegistry::new());
         let checker_options = config.service.portfolio.checker.clone();
+        // Arm the write-ahead journal before the service exists, so every
+        // raced result the service ever completes passes through the sink.
+        let journal = match &config.data_dir {
+            Some(dir) if config.durability.journals() => {
+                let batch = match config.durability {
+                    DurabilityMode::Strict => 1,
+                    _ => config.journal_fsync_batch.max(1),
+                };
+                let sink = Arc::new(
+                    JournalSink::new(dir, batch, config.faults.clone())
+                        .with_metrics(Arc::clone(&metrics)),
+                );
+                config.service.durability = DurabilityHook::new(Arc::clone(&sink) as _);
+                Some(sink)
+            }
+            _ => None,
+        };
         let state = Arc::new(ServerState {
             service: VerificationService::with_metrics(config.service, Arc::clone(&metrics)),
             designs: Mutex::new(HashMap::new()),
             data_dir: config.data_dir,
             shutting_down: AtomicBool::new(false),
             loaded_snapshots: AtomicUsize::new(0),
+            snapshots_rejected_at_boot: AtomicUsize::new(0),
+            boot_replayed_records: AtomicU64::new(0),
+            journal_quarantined_bytes: AtomicU64::new(0),
+            journal,
+            durability: config.durability,
+            journal_compact_bytes: config.journal_compact_bytes,
             addr,
             connections: AtomicUsize::new(0),
             active: Gate::new(),
@@ -269,6 +327,23 @@ impl Server {
     /// Number of snapshots successfully loaded at boot.
     pub fn loaded_snapshots(&self) -> usize {
         self.state.loaded_snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Number of snapshot files rejected at boot (corrupt, torn, foreign).
+    pub fn snapshots_rejected_at_boot(&self) -> usize {
+        self.state
+            .snapshots_rejected_at_boot
+            .load(Ordering::Relaxed)
+    }
+
+    /// Number of journal records replayed into service state at boot.
+    pub fn boot_replayed_records(&self) -> u64 {
+        self.state.boot_replayed_records.load(Ordering::Relaxed)
+    }
+
+    /// Journal bytes quarantined at boot (torn tails, unreadable files).
+    pub fn journal_quarantined_bytes(&self) -> u64 {
+        self.state.journal_quarantined_bytes.load(Ordering::Relaxed)
     }
 
     /// Serves connections until a `shutdown` request completes. Each
@@ -360,6 +435,7 @@ fn load_all_snapshots(state: &ServerState) {
             }
             Err(e) => {
                 eprintln!("wlac-server: skipping snapshot {}: {e}", path.display());
+                note_rejected_snapshot(state);
                 continue;
             }
         };
@@ -371,6 +447,7 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: skipping snapshot {}: design hash mismatch",
                 path.display()
             );
+            note_rejected_snapshot(state);
             continue;
         }
         if let Err(e) = state.service.import_knowledge(design, &snapshot.knowledge) {
@@ -378,6 +455,7 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: snapshot {} failed knowledge validation: {e}",
                 path.display()
             );
+            note_rejected_snapshot(state);
             continue;
         }
         if let Err(e) = state.service.import_verdicts(design, &snapshot.verdicts) {
@@ -385,6 +463,7 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: snapshot {} failed verdict validation: {e}",
                 path.display()
             );
+            note_rejected_snapshot(state);
             continue;
         }
         state
@@ -393,6 +472,133 @@ fn load_all_snapshots(state: &ServerState) {
             .insert(design, snapshot.netlist);
         state.loaded_snapshots.fetch_add(1, Ordering::Relaxed);
     }
+    replay_journals(state);
+}
+
+/// Books one snapshot file that was present at boot but could not be
+/// trusted: the server boots cold for that design (a structured warning
+/// already went to stderr) and the rejection is visible in stats and
+/// metrics instead of silent.
+fn note_rejected_snapshot(state: &ServerState) {
+    state
+        .snapshots_rejected_at_boot
+        .fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .counter("server_snapshots_rejected_at_boot_total")
+        .inc();
+}
+
+/// Replays every per-design write-ahead journal in the data directory on
+/// top of whatever the snapshots restored. Journals are replayed in every
+/// durability mode — the records were acknowledged to clients, and a mode
+/// change must not forfeit them. A torn tail (or a wholly unreadable file)
+/// costs exactly the bytes past the longest valid prefix, never the boot:
+/// those bytes are counted as quarantined and everything before them is
+/// restored.
+fn replay_journals(state: &ServerState) {
+    let Some(dir) = &state.data_dir else {
+        return;
+    };
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return, // already diagnosed by the snapshot scan
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("wlacjournal") {
+            continue;
+        }
+        let replay = match read_journal(&path) {
+            Ok(replay) => replay,
+            Err(e) => {
+                // Header unusable: quarantine the whole file's bytes. The
+                // sink will move it aside if this design races again.
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                note_quarantined_bytes(state, bytes);
+                eprintln!("wlac-server: skipping journal {}: {e}", path.display());
+                continue;
+            }
+        };
+        note_quarantined_bytes(state, replay.quarantined_bytes);
+        if replay.quarantined_bytes > 0 {
+            eprintln!(
+                "wlac-server: journal {} had a torn tail; quarantined {} byte(s), \
+                 replaying the {} record(s) before it",
+                path.display(),
+                replay.quarantined_bytes,
+                replay.records.len()
+            );
+        }
+        // The journal header carries the canonical netlist, so a design
+        // that never reached its first snapshot still comes back warm.
+        let design = state.service.register_design(&replay.netlist);
+        if design != replay.design {
+            eprintln!(
+                "wlac-server: skipping journal {}: design hash mismatch",
+                path.display()
+            );
+            continue;
+        }
+        let mut knowledge = KnowledgeBase::new(design);
+        let mut verdicts = Vec::with_capacity(replay.records.len());
+        for record in &replay.records {
+            for clause in &record.clauses {
+                knowledge.clauses.insert(clause);
+            }
+            for &(net, value, count) in &record.estg_delta {
+                knowledge.search.estg.record_conflicts(net, value, count);
+            }
+            knowledge.history.record(&record.ran, record.winner);
+            if let Some(verdict) = &record.verdict {
+                verdicts.push(verdict.clone());
+            }
+        }
+        // The import path re-validates every clause and verdict exactly as
+        // it does for snapshots and merges on top of the restored state;
+        // journaled deltas over an already-compacted snapshot are additive,
+        // so replaying both never double-counts a verdict or clause.
+        if let Err(e) = state.service.import_knowledge(design, &knowledge) {
+            eprintln!(
+                "wlac-server: journal {} failed knowledge validation: {e}",
+                path.display()
+            );
+            continue;
+        }
+        if let Err(e) = state.service.import_verdicts(design, &verdicts) {
+            eprintln!(
+                "wlac-server: journal {} failed verdict validation: {e}",
+                path.display()
+            );
+            continue;
+        }
+        state
+            .designs
+            .lock_recover()
+            .entry(design)
+            .or_insert(replay.netlist);
+        let replayed = replay.records.len() as u64;
+        state
+            .boot_replayed_records
+            .fetch_add(replayed, Ordering::Relaxed);
+        state
+            .metrics
+            .counter("server_boot_replayed_records")
+            .add(replayed);
+    }
+}
+
+fn note_quarantined_bytes(state: &ServerState, bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    state
+        .journal_quarantined_bytes
+        .fetch_add(bytes, Ordering::Relaxed);
+    state
+        .metrics
+        .counter("server_journal_quarantined_bytes")
+        .add(bytes);
 }
 
 fn assemble_snapshot(state: &ServerState, design: DesignHash) -> Option<Snapshot> {
@@ -404,12 +610,12 @@ fn assemble_snapshot(state: &ServerState, design: DesignHash) -> Option<Snapshot
     })
 }
 
-fn save_design(state: &ServerState, design: DesignHash) {
+fn save_design(state: &ServerState, design: DesignHash) -> bool {
     let Some(dir) = &state.data_dir else {
-        return;
+        return false;
     };
     let Some(snapshot) = assemble_snapshot(state, design) else {
-        return;
+        return false;
     };
     let path = dir.join(snapshot_file_name(design));
     // Degraded mode by design: an autosave failure is logged and counted,
@@ -418,6 +624,7 @@ fn save_design(state: &ServerState, design: DesignHash) {
     match save_snapshot_faulted(&path, &snapshot, &state.faults) {
         Ok(()) => {
             state.metrics.counter("server_autosaves_total").inc();
+            true
         }
         Err(e) => {
             state
@@ -425,14 +632,38 @@ fn save_design(state: &ServerState, design: DesignHash) {
                 .counter("server_autosave_failures_total")
                 .inc();
             eprintln!("wlac-server: autosave of {design} failed (still serving from memory): {e}");
+            false
         }
+    }
+}
+
+/// Compacts one design: snapshot it, then truncate its journal back to the
+/// header. The truncation happens **only after** the snapshot landed — a
+/// crash (or injected fault) anywhere during the save leaves the journal
+/// intact, so the records it carries are never lost to a torn compaction.
+fn compact_design(state: &ServerState, design: DesignHash) {
+    let Some(sink) = &state.journal else {
+        return;
+    };
+    if save_design(state, design) && sink.reset(design) {
+        state
+            .metrics
+            .counter("server_journal_compactions_total")
+            .inc();
     }
 }
 
 fn save_all_designs(state: &ServerState) -> usize {
     let designs: Vec<DesignHash> = state.designs.lock_recover().keys().copied().collect();
     for design in &designs {
-        save_design(state, *design);
+        match &state.journal {
+            // Journal mode: shutdown is a full compaction — every design
+            // ends the session as a snapshot plus an empty journal.
+            Some(_) => compact_design(state, *design),
+            None => {
+                save_design(state, *design);
+            }
+        }
     }
     designs.len()
 }
@@ -614,14 +845,15 @@ fn op_stats(state: &ServerState) -> Json {
             })
             .collect(),
     );
+    let durability = DurabilityStats {
+        mode: state.durability.as_str(),
+        loaded_snapshots: state.loaded_snapshots.load(Ordering::Relaxed),
+        snapshots_rejected_at_boot: state.snapshots_rejected_at_boot.load(Ordering::Relaxed),
+        boot_replayed_records: state.boot_replayed_records.load(Ordering::Relaxed),
+        journal_quarantined_bytes: state.journal_quarantined_bytes.load(Ordering::Relaxed),
+    };
     ok_reply(vec![
-        (
-            "stats",
-            stats_to_wire(
-                &state.service.stats(),
-                state.loaded_snapshots.load(Ordering::Relaxed),
-            ),
-        ),
+        ("stats", stats_to_wire(&state.service.stats(), &durability)),
         ("ops", ops),
         ("errors", errors),
     ])
@@ -811,10 +1043,8 @@ fn op_poll(state: &ServerState, frame: &Json) -> Json {
 }
 
 fn results_reply(state: &ServerState, results: Vec<JobResult>) -> Json {
-    // Autosave every design this batch actually raced on, so even a kill -9
-    // after the reply keeps the warmth. A design whose jobs were all
-    // answered from the verdict cache learned nothing — skipping it keeps
-    // the warm path free of redundant snapshot writes.
+    // A design whose jobs were all answered from the verdict cache learned
+    // nothing — skipping it keeps the warm path free of redundant writes.
     let mut saved: Vec<DesignHash> = results
         .iter()
         .filter(|r| !r.from_cache)
@@ -823,7 +1053,23 @@ fn results_reply(state: &ServerState, results: Vec<JobResult>) -> Json {
     saved.sort_unstable_by_key(|d| d.0);
     saved.dedup();
     for design in saved {
-        save_design(state, design);
+        match &state.journal {
+            // Journal mode: every raced result is already on disk (the
+            // service appended it before publishing), so the reply needs no
+            // snapshot. Snapshots are the *compaction* artifact: written
+            // only once the journal has grown past the threshold, after
+            // which the journal truncates back to its header.
+            Some(sink) => {
+                if sink.journal_bytes(design) >= state.journal_compact_bytes {
+                    compact_design(state, design);
+                }
+            }
+            // Snapshot mode: autosave every design this batch actually
+            // raced on, so even a kill -9 after the reply keeps the warmth.
+            None => {
+                save_design(state, design);
+            }
+        }
     }
     ok_reply(vec![(
         "results",

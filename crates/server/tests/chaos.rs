@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use wlac_faultinject::{FaultPlan, FaultSite};
+use wlac_persist::DurabilityMode;
 use wlac_portfolio::Engine;
 use wlac_server::{Json, Server, ServerConfig};
 
@@ -393,6 +394,9 @@ fn autosave_write_failure_degrades_durability_not_service() {
     let dir = TempDir::new();
     let mut config = deterministic_config();
     config.data_dir = Some(dir.0.clone());
+    // Snapshot mode: this test is about the per-batch autosave path, which
+    // journal mode deliberately replaces with threshold-driven compaction.
+    config.durability = DurabilityMode::Snapshot;
     // Every snapshot write fails before touching the file system.
     config.faults = FaultPlan::seeded(7).fire_from(FaultSite::SnapshotWrite, 1);
     let (addr, handle, _) = start(config);

@@ -336,7 +336,8 @@ fn restart_warm_serves_persisted_verdicts() {
     handle.join().expect("server thread");
 
     // Session 4: corrupt primary and no backup — skipped, not trusted; the
-    // boot is cold but clean.
+    // boot is cold but clean, and the rejection is visible in the stats
+    // reply instead of silent.
     fs::write(&snap_path, &bytes).expect("corrupt snapshot");
     fs::remove_file(dir.0.join(format!("{}.bak", snapshots[0]))).expect("remove backup");
     let mut config = quick_config();
@@ -344,6 +345,22 @@ fn restart_warm_serves_persisted_verdicts() {
     let (addr, handle, loaded) = start(config);
     assert_eq!(loaded, 0, "corrupt snapshot without backup must be skipped");
     let mut client = Client::connect(addr);
+    let stats = client
+        .call(Json::obj(vec![("op", Json::str("stats"))]))
+        .get("stats")
+        .cloned()
+        .expect("stats object");
+    assert_eq!(
+        stats
+            .get("snapshots_rejected_at_boot")
+            .and_then(Json::as_u64),
+        Some(1),
+        "the rejected snapshot is counted: {stats}"
+    );
+    assert_eq!(
+        stats.get("loaded_snapshots").and_then(Json::as_u64),
+        Some(0)
+    );
     client.shutdown();
     handle.join().expect("server thread");
 }

@@ -75,10 +75,12 @@
 // (see clippy.toml for the test exemption).
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod durability;
 mod hash;
 mod knowledge;
 mod session;
 
+pub use durability::{DurabilityHook, DurabilityRecord, DurabilitySink};
 pub use hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
 pub use knowledge::{
     ClauseBank, KnowledgeBase, KnowledgeError, KnowledgeStats, DEFAULT_CLAUSE_CAP,

@@ -16,6 +16,7 @@
 //! 3. races the portfolio, absorbs the harvest back into the knowledge base
 //!    and caches the verdict.
 
+use crate::durability::{DurabilityHook, DurabilityRecord};
 use crate::hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
 use crate::knowledge::{KnowledgeBase, KnowledgeError, KnowledgeStats};
 use std::collections::{HashMap, VecDeque};
@@ -126,6 +127,11 @@ pub struct ServiceConfig {
     /// Fault-injection plan threaded through workers, engines and autosaves.
     /// The disabled default is free; chaos tests arm it.
     pub faults: FaultPlan,
+    /// Durability hook: every completed raced job is offered to the attached
+    /// [`DurabilitySink`](crate::DurabilitySink) *before* its result is
+    /// published, so a write-ahead journal sees the record ahead of any
+    /// acknowledgement. The disabled default is free.
+    pub durability: DurabilityHook,
 }
 
 impl ServiceConfig {
@@ -142,6 +148,7 @@ impl ServiceConfig {
             retained_batches: DEFAULT_RETAINED_BATCHES,
             job_budget: None,
             faults: FaultPlan::disabled(),
+            durability: DurabilityHook::disabled(),
         }
     }
 }
@@ -1115,6 +1122,43 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
                 winner: report.winner,
             },
         );
+    }
+    // Write-ahead durability: the journal record is emitted *before* the
+    // result is published, so anything a client ever saw acknowledged is on
+    // disk. Deltas only (see `durability` module docs): the ESTG harvest
+    // contains its warm seed, but boot-time replay merges — journaling the
+    // difference keeps replay idempotent over any snapshot generation.
+    if shared.config.durability.is_armed() {
+        let estg_delta: Vec<_> = harvest
+            .knowledge
+            .as_ref()
+            .map(|knowledge| {
+                knowledge
+                    .estg
+                    .entries()
+                    .filter_map(|((net, value), count)| {
+                        let added =
+                            count.saturating_sub(warm.knowledge.estg.conflict_count(net, value));
+                        (added > 0).then_some((net, value, added))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let verdict = report.verdict.is_definitive().then(|| VerdictRecord {
+            property: job.key.property,
+            config: job.key.config,
+            verdict: report.verdict.clone(),
+            winner: report.winner,
+        });
+        shared.config.durability.emit(&DurabilityRecord {
+            design: job.design,
+            netlist: &entry.netlist,
+            verdict,
+            clauses: &harvest.clauses,
+            estg_delta,
+            ran: &harvest.ran,
+            winner: harvest.winner,
+        });
     }
     let result = JobResult {
         property: report.property.clone(),
