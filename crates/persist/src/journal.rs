@@ -396,6 +396,31 @@ pub fn read_journal(path: &Path) -> Result<JournalReplay, PersistError> {
     recover_journal(&bytes)
 }
 
+/// Truncates a recovered journal file down to its valid prefix, preserving
+/// the rejected tail beside it for the operator. Boot-time companion of
+/// [`read_journal`]: without it the quarantined bytes stay in the file,
+/// inflating every size-based view of the journal (metadata fallbacks,
+/// compaction triggers) until a writer happens to reopen it.
+///
+/// # Errors
+///
+/// [`PersistError::Io`] when the truncation cannot be made durable; the
+/// valid prefix is untouched either way.
+pub fn truncate_to_valid(path: &Path, replay: &JournalReplay) -> Result<(), PersistError> {
+    if replay.quarantined_bytes == 0 {
+        return Ok(());
+    }
+    let bytes = fs::read(path)?;
+    if bytes.len() as u64 <= replay.valid_bytes {
+        return Ok(());
+    }
+    quarantine_tail(path, &bytes[replay.valid_bytes as usize..]);
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(replay.valid_bytes)?;
+    file.sync_all()?;
+    Ok(())
+}
+
 // --- the writer --------------------------------------------------------------
 
 /// What one append did: bytes written and, when this append crossed the
@@ -625,6 +650,21 @@ fn header_span(bytes: &[u8]) -> u64 {
         .unwrap_or(0)
 }
 
+/// Removes a design's journal once a successful snapshot made it redundant:
+/// the no-open-writer arm of [`JournalSink::reset`], also used directly by
+/// snapshot-mode servers (whose sink is disabled but whose data directory
+/// may still carry journals from an earlier journal-mode run — replayed at
+/// every boot and never shrinking otherwise). Returns `false` when an
+/// existing file could not be durably removed.
+pub fn remove_stale_journal(dir: &Path, design: DesignHash) -> bool {
+    let path = dir.join(journal_file_name(design));
+    match fs::remove_file(&path) {
+        Ok(()) => sync_parent_dir(&path).is_ok(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
+        Err(_) => false,
+    }
+}
+
 /// Best-effort preservation of damaged bytes beside the journal, for the
 /// operator: recovery decisions never depend on it.
 fn quarantine_tail(path: &Path, tail: &[u8]) {
@@ -644,6 +684,17 @@ enum SinkSlot {
     Broken,
 }
 
+/// One design's sink state: the writer slot plus an append sequence that
+/// lets compaction detect records landing while a snapshot was exported.
+struct SinkEntry {
+    /// Count of append *attempts* for this design in this process (attempts,
+    /// not successes: even a failed append may have torn bytes onto disk).
+    /// Starts at 1 on the first record, so a token of 0 unambiguously means
+    /// "no append was ever attempted".
+    seq: u64,
+    slot: SinkSlot,
+}
+
 /// The [`DurabilitySink`] implementation: one [`JournalWriter`] per design,
 /// opened lazily on the design's first completed race, with shared fault
 /// injection and optional telemetry.
@@ -656,7 +707,7 @@ pub struct JournalSink {
     fsync_batch: u64,
     faults: FaultPlan,
     metrics: Option<Arc<MetricsRegistry>>,
-    writers: Mutex<HashMap<DesignHash, SinkSlot>>,
+    writers: Mutex<HashMap<DesignHash, SinkEntry>>,
 }
 
 impl JournalSink {
@@ -684,7 +735,7 @@ impl JournalSink {
     /// writer is open (e.g. only boot-replayed so far).
     pub fn journal_bytes(&self, design: DesignHash) -> u64 {
         let writers = self.writers.lock_recover();
-        match writers.get(&design) {
+        match writers.get(&design).map(|entry| &entry.slot) {
             Some(SinkSlot::Open(writer)) => writer.len(),
             _ => fs::metadata(self.dir.join(journal_file_name(design)))
                 .map(|m| m.len())
@@ -696,8 +747,8 @@ impl JournalSink {
     /// shutdown). Failures are counted, not propagated.
     pub fn flush_all(&self) {
         let mut writers = self.writers.lock_recover();
-        for slot in writers.values_mut() {
-            if let SinkSlot::Open(writer) = slot {
+        for entry in writers.values_mut() {
+            if let SinkSlot::Open(writer) = &mut entry.slot {
                 if writer.flush().is_err() {
                     self.count_failure();
                 }
@@ -705,23 +756,36 @@ impl JournalSink {
         }
     }
 
+    /// The design's current append progress, for [`JournalSink::reset`]:
+    /// capture it *before* exporting the state a compacting snapshot will
+    /// persist, so records appended while the snapshot was assembled or
+    /// written (which that snapshot cannot contain) are detected and kept.
+    /// A token of 0 means no append was ever attempted in this process.
+    pub fn append_token(&self, design: DesignHash) -> u64 {
+        self.writers
+            .lock_recover()
+            .get(&design)
+            .map_or(0, |entry| entry.seq)
+    }
+
     /// Compaction hand-off: after a successful snapshot of `design`,
     /// truncates its journal back to header-only (or deletes the file when
-    /// no writer is open — the snapshot supersedes it either way). Returns
-    /// `false` when the truncation failed; the journal then simply stays,
-    /// and replay remains idempotent over the new snapshot.
-    pub fn reset(&self, design: DesignHash) -> bool {
+    /// no writer is open — the snapshot supersedes it either way) **iff** no
+    /// append was attempted since `token` was captured. Returns `false` when
+    /// appends raced the snapshot or the truncation failed; the journal then
+    /// simply stays — replay is idempotent over the new snapshot, and the
+    /// next threshold crossing retries the compaction.
+    pub fn reset(&self, design: DesignHash, token: u64) -> bool {
         let mut writers = self.writers.lock_recover();
-        match writers.get_mut(&design) {
+        // The lock serializes this check-and-truncate against `record`, so a
+        // record observed here as "not yet appended" cannot land before the
+        // truncation below.
+        if writers.get(&design).map_or(0, |entry| entry.seq) != token {
+            return false;
+        }
+        match writers.get_mut(&design).map(|entry| &mut entry.slot) {
             Some(SinkSlot::Open(writer)) => writer.reset().is_ok(),
-            _ => {
-                let path = self.dir.join(journal_file_name(design));
-                match fs::remove_file(&path) {
-                    Ok(()) => sync_parent_dir(&path).is_ok(),
-                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => true,
-                    Err(_) => false,
-                }
-            }
+            _ => remove_stale_journal(&self.dir, design),
         }
     }
 
@@ -744,9 +808,9 @@ impl DurabilitySink for JournalSink {
             winner: record.winner,
         };
         let mut writers = self.writers.lock_recover();
-        let slot = writers.entry(record.design).or_insert_with(|| {
+        let entry = writers.entry(record.design).or_insert_with(|| {
             let path = self.dir.join(journal_file_name(record.design));
-            match JournalWriter::open(
+            let slot = match JournalWriter::open(
                 &path,
                 record.design,
                 record.netlist,
@@ -774,9 +838,11 @@ impl DurabilitySink for JournalSink {
                     );
                     SinkSlot::Broken
                 }
-            }
+            };
+            SinkEntry { seq: 0, slot }
         });
-        match slot {
+        entry.seq += 1;
+        match &mut entry.slot {
             SinkSlot::Broken => self.count_failure(),
             SinkSlot::Open(writer) => match writer.append(&journal_record) {
                 Ok(receipt) => {

@@ -12,12 +12,14 @@ use wlac_bv::Bv;
 use wlac_faultinject::{FaultPlan, FaultSite};
 use wlac_netlist::{NetId, Netlist};
 use wlac_persist::{
-    journal_file_name, read_journal, recover_journal, DurabilityMode, JournalRecord, JournalWriter,
-    PersistError,
+    journal_file_name, read_journal, recover_journal, truncate_to_valid, DurabilityMode,
+    JournalRecord, JournalSink, JournalWriter, PersistError,
 };
 use wlac_portfolio::{Engine, Verdict};
 use wlac_rng::Rng64;
-use wlac_service::{design_hash, DesignHash, PropertyHash, VerdictRecord};
+use wlac_service::{
+    design_hash, DesignHash, DurabilityRecord, DurabilitySink, PropertyHash, VerdictRecord,
+};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
@@ -354,6 +356,92 @@ fn a_foreign_file_under_the_journal_name_is_quarantined_wholesale() {
         .any(|name| name.ends_with(".quarantine")));
     writer.append(&sample_record(0)).expect("append");
     assert_eq!(read_journal(&path).expect("recover").records.len(), 1);
+}
+
+#[test]
+fn truncate_to_valid_cuts_the_quarantined_tail_out_of_the_file() {
+    let dir = TempDir::new();
+    let (path, design, boundaries) = build_journal(&dir, 3);
+    // Tear the last record in half on disk, as a kill mid-append would.
+    let bytes = fs::read(&path).expect("read journal");
+    let torn_len = (boundaries[2] + (boundaries[3] - boundaries[2]) / 2) as usize;
+    fs::write(&path, &bytes[..torn_len]).expect("tear");
+
+    let replay = read_journal(&path).expect("recover");
+    assert!(replay.quarantined_bytes > 0);
+    truncate_to_valid(&path, &replay).expect("truncate");
+    assert_eq!(
+        fs::metadata(&path).expect("metadata").len(),
+        replay.valid_bytes,
+        "the file shrinks to exactly the valid prefix"
+    );
+    let side = dir.path(&format!("{}.quarantine", journal_file_name(design)));
+    assert!(side.exists(), "torn bytes preserved for the operator");
+    let again = read_journal(&path).expect("recover truncated");
+    assert_eq!(again.records.len(), 2);
+    assert_eq!(again.quarantined_bytes, 0, "nothing left to quarantine");
+}
+
+/// Emits one record through the sink's `DurabilitySink` surface, the way the
+/// service's worker threads do.
+fn emit_via_sink(sink: &JournalSink, netlist: &Netlist, seq: u64) {
+    let sample = sample_record(seq);
+    sink.record(&DurabilityRecord {
+        design: design_hash(netlist),
+        netlist,
+        verdict: sample.verdict.clone(),
+        clauses: &sample.clauses,
+        estg_delta: sample.estg_delta.clone(),
+        ran: &sample.ran,
+        winner: sample.winner,
+    });
+}
+
+#[test]
+fn sink_reset_refuses_when_an_append_raced_the_snapshot() {
+    let dir = TempDir::new();
+    let netlist = sample_netlist();
+    let design = design_hash(&netlist);
+    let path = dir.path(&journal_file_name(design));
+    let sink = JournalSink::new(&dir.0, 1, FaultPlan::disabled());
+    assert_eq!(sink.append_token(design), 0, "no appends yet");
+
+    emit_via_sink(&sink, &netlist, 0);
+    // Compaction captures the token, then a record lands while the snapshot
+    // is being exported and written — the snapshot cannot contain it.
+    let token = sink.append_token(design);
+    emit_via_sink(&sink, &netlist, 1);
+    assert!(
+        !sink.reset(design, token),
+        "a stale token must keep the journal"
+    );
+    assert_eq!(
+        read_journal(&path).expect("recover").records.len(),
+        2,
+        "the raced record is still on disk"
+    );
+
+    // The retry, with nothing racing, truncates.
+    assert!(sink.reset(design, sink.append_token(design)));
+    assert_eq!(read_journal(&path).expect("recover").records.len(), 0);
+    assert_eq!(
+        read_journal(&path).expect("recover").design,
+        design,
+        "the header survives compaction"
+    );
+}
+
+#[test]
+fn sink_reset_with_no_writer_deletes_a_boot_leftover_journal() {
+    let dir = TempDir::new();
+    let (path, design, _) = build_journal(&dir, 2);
+    // A sink that never appended (the journal is a boot leftover, already
+    // replayed into the snapshot being compacted) deletes the file outright.
+    let sink = JournalSink::new(&dir.0, 1, FaultPlan::disabled());
+    assert!(sink.reset(design, sink.append_token(design)));
+    assert!(!path.exists(), "the superseded journal is gone");
+    // Deleting an already-absent journal is a success, not an error.
+    assert!(sink.reset(design, 0));
 }
 
 #[test]

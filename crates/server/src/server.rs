@@ -21,7 +21,8 @@ use wlac_faultinject::{CondvarExt, FaultPlan, LockExt};
 use wlac_netlist::{NetId, Netlist};
 use wlac_persist::{
     clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot_with_fallback,
-    read_journal, save_snapshot_faulted, snapshot_file_name, DurabilityMode, JournalSink, Snapshot,
+    read_journal, remove_stale_journal, save_snapshot_faulted, snapshot_file_name,
+    truncate_to_valid, DurabilityMode, JournalSink, Snapshot,
 };
 use wlac_service::{
     BatchId, DesignHash, DurabilityHook, JobResult, KnowledgeBase, ServiceConfig,
@@ -529,17 +530,23 @@ fn replay_journals(state: &ServerState) {
                 replay.quarantined_bytes,
                 replay.records.len()
             );
+            // Cut the rejected tail out of the file now (preserved beside
+            // it), so size-based views of the journal — the metadata
+            // fallback behind the compaction trigger — count only valid
+            // records. Failure is harmless: recovery re-quarantines.
+            if let Err(e) = truncate_to_valid(&path, &replay) {
+                eprintln!(
+                    "wlac-server: could not truncate quarantined tail of {}: {e}",
+                    path.display()
+                );
+            }
         }
-        // The journal header carries the canonical netlist, so a design
-        // that never reached its first snapshot still comes back warm.
+        // The journal header carries the canonical netlist — and is only
+        // accepted when the netlist reproduces the recorded hash — so a
+        // design that never reached its first snapshot still comes back
+        // warm, under the same identity it was acknowledged as.
         let design = state.service.register_design(&replay.netlist);
-        if design != replay.design {
-            eprintln!(
-                "wlac-server: skipping journal {}: design hash mismatch",
-                path.display()
-            );
-            continue;
-        }
+        debug_assert_eq!(design, replay.design, "parse_header checked this");
         let mut knowledge = KnowledgeBase::new(design);
         let mut verdicts = Vec::with_capacity(replay.records.len());
         for record in &replay.records {
@@ -583,7 +590,7 @@ fn replay_journals(state: &ServerState) {
             .fetch_add(replayed, Ordering::Relaxed);
         state
             .metrics
-            .counter("server_boot_replayed_records")
+            .counter("server_boot_replayed_records_total")
             .add(replayed);
     }
 }
@@ -597,7 +604,7 @@ fn note_quarantined_bytes(state: &ServerState, bytes: u64) {
         .fetch_add(bytes, Ordering::Relaxed);
     state
         .metrics
-        .counter("server_journal_quarantined_bytes")
+        .counter("server_journal_quarantined_bytes_total")
         .add(bytes);
 }
 
@@ -624,6 +631,14 @@ fn save_design(state: &ServerState, design: DesignHash) -> bool {
     match save_snapshot_faulted(&path, &snapshot, &state.faults) {
         Ok(()) => {
             state.metrics.counter("server_autosaves_total").inc();
+            // Snapshot mode replays boot-leftover journals (from an earlier
+            // journal-mode run) but appends nothing: this snapshot now holds
+            // everything they carried, so drop them instead of replaying
+            // them forever. Journal mode hands the same decision to
+            // `compact_design`, which must first rule out racing appends.
+            if state.journal.is_none() {
+                remove_stale_journal(dir, design);
+            }
             true
         }
         Err(e) => {
@@ -640,15 +655,29 @@ fn save_design(state: &ServerState, design: DesignHash) -> bool {
 /// Compacts one design: snapshot it, then truncate its journal back to the
 /// header. The truncation happens **only after** the snapshot landed — a
 /// crash (or injected fault) anywhere during the save leaves the journal
-/// intact, so the records it carries are never lost to a torn compaction.
+/// intact — and **only if** no append raced the save: a record landing
+/// while the snapshot's state was being exported or written may not be in
+/// that snapshot, and truncating would orphan it. The append token is
+/// captured before the export inside `save_design`, so any such record
+/// makes `reset` refuse; the journal stays (replay over the new snapshot is
+/// idempotent) and the next threshold crossing retries.
 fn compact_design(state: &ServerState, design: DesignHash) {
     let Some(sink) = &state.journal else {
         return;
     };
-    if save_design(state, design) && sink.reset(design) {
+    let token = sink.append_token(design);
+    if !save_design(state, design) {
+        return;
+    }
+    if sink.reset(design, token) {
         state
             .metrics
             .counter("server_journal_compactions_total")
+            .inc();
+    } else {
+        state
+            .metrics
+            .counter("server_journal_compactions_deferred_total")
             .inc();
     }
 }

@@ -29,6 +29,7 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use wlac_faultinject::{FaultPlan, FaultSite};
+use wlac_persist::DurabilityMode;
 use wlac_portfolio::Engine;
 use wlac_rng::Rng64;
 use wlac_server::{Json, Server, ServerConfig};
@@ -542,6 +543,59 @@ fn crash_matrix_kill_during_compaction_keeps_the_journal() {
         assert!(cached(&result), "acknowledged job {index}: {result}");
         assert_eq!(engines_spawned(&result), 0);
         assert_eq!(verdict_bytes(&result), reference[index]);
+    }
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+/// A `--durability snapshot` server still replays a boot-leftover journal (a
+/// mode change must not forfeit acknowledged state) — and once a snapshot
+/// holds that state, the journal is removed instead of being replayed at
+/// every boot forever.
+#[test]
+fn snapshot_mode_absorbs_and_removes_leftover_journals() {
+    let recording = record_reference_run();
+    let dir = TempDir::new();
+    let journal_path = dir.0.join(&recording.file_name);
+    fs::write(&journal_path, &recording.journal).expect("plant journal");
+
+    let mut config = journal_config(&dir);
+    config.durability = DurabilityMode::Snapshot;
+    let server = Server::bind(config).expect("bind");
+    assert_eq!(server.loaded_snapshots(), 0);
+    assert_eq!(server.boot_replayed_records(), JOBS.len() as u64);
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    for (index, (kind, monitor)) in JOBS.iter().enumerate() {
+        let result = client.check_one(&design, kind, monitor);
+        assert!(cached(&result), "replayed job {index}: {result}");
+        assert_eq!(verdict_bytes(&result), recording.reference[index]);
+    }
+    // Shutdown saves a snapshot of every design; with that on disk the
+    // journal is redundant and must be gone.
+    client.shutdown();
+    handle.join().expect("server thread");
+    assert!(
+        !journal_path.exists(),
+        "a snapshotted journal must not be replayed forever"
+    );
+
+    // Next boot: warm purely from the snapshot, nothing left to replay.
+    let mut config = journal_config(&dir);
+    config.durability = DurabilityMode::Snapshot;
+    let server = Server::bind(config).expect("bind");
+    assert_eq!(server.loaded_snapshots(), 1);
+    assert_eq!(server.boot_replayed_records(), 0);
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    for (index, (kind, monitor)) in JOBS.iter().enumerate() {
+        let result = client.check_one(&design, kind, monitor);
+        assert!(cached(&result), "snapshot-restored job {index}: {result}");
+        assert_eq!(verdict_bytes(&result), recording.reference[index]);
     }
     client.shutdown();
     handle.join().expect("server thread");

@@ -69,11 +69,13 @@ impl fmt::Debug for DurabilityRecord<'_> {
 /// A destination for [`DurabilityRecord`]s — implemented by the write-ahead
 /// journal in `wlac-persist`.
 ///
-/// Called on the worker thread after the job's knowledge is absorbed and its
-/// verdict cached, *before* the result is published: a sink that writes
-/// ahead guarantees every acknowledged result is on disk. Sinks must never
-/// panic for I/O reasons — durability degrades, serving continues — and
-/// should do their own error accounting.
+/// Called on the worker thread after the job's knowledge is absorbed,
+/// *before* the result is published anywhere — the verdict cache included,
+/// since a concurrent identical query can be acknowledged from the cache the
+/// moment an insert lands: a sink that writes ahead guarantees every
+/// acknowledged result is on disk. Sinks must never panic for I/O reasons —
+/// durability degrades, serving continues — and should do their own error
+/// accounting.
 pub trait DurabilitySink: Send + Sync {
     /// Records one completed job. Failures are the sink's to count and
     /// swallow.

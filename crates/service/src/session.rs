@@ -1112,22 +1112,14 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         let mut kb = entry.knowledge.lock_recover();
         kb.absorb(&harvest, &entry.netlist);
     }
-    // Only definitive verdicts are worth replaying; an `Unknown` (budget,
-    // cancellation) must not shadow a future run that could decide the job.
-    if report.verdict.is_definitive() {
-        shared.cache.lock_recover().insert(
-            job.key,
-            CachedVerdict {
-                verdict: report.verdict.clone(),
-                winner: report.winner,
-            },
-        );
-    }
     // Write-ahead durability: the journal record is emitted *before* the
-    // result is published, so anything a client ever saw acknowledged is on
-    // disk. Deltas only (see `durability` module docs): the ESTG harvest
-    // contains its warm seed, but boot-time replay merges — journaling the
-    // difference keeps replay idempotent over any snapshot generation.
+    // result is published anywhere — the verdict cache included, since the
+    // moment the insert lands a concurrent identical query can be answered
+    // (and acknowledged) from it. So anything a client ever saw acknowledged
+    // is on disk. Deltas only (see `durability` module docs): the ESTG
+    // harvest contains its warm seed, but boot-time replay merges —
+    // journaling the difference keeps replay idempotent over any snapshot
+    // generation.
     if shared.config.durability.is_armed() {
         let estg_delta: Vec<_> = harvest
             .knowledge
@@ -1159,6 +1151,17 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
             ran: &harvest.ran,
             winner: harvest.winner,
         });
+    }
+    // Only definitive verdicts are worth replaying; an `Unknown` (budget,
+    // cancellation) must not shadow a future run that could decide the job.
+    if report.verdict.is_definitive() {
+        shared.cache.lock_recover().insert(
+            job.key,
+            CachedVerdict {
+                verdict: report.verdict.clone(),
+                winner: report.winner,
+            },
+        );
     }
     let result = JobResult {
         property: report.property.clone(),
