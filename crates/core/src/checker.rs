@@ -200,6 +200,12 @@ impl AssertionChecker {
                     .trace_sink
                     .event("bound", wlac_telemetry::SpanId::ROOT, frames as u64);
             }
+            self.options.recorder.record(
+                wlac_telemetry::RecorderLayer::Core,
+                wlac_telemetry::RecorderKind::Bound,
+                frames as u64,
+                self.options.max_frames as u64,
+            );
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,
@@ -285,6 +291,12 @@ impl AssertionChecker {
                     .trace_sink
                     .event("bound", wlac_telemetry::SpanId::ROOT, frames as u64);
             }
+            self.options.recorder.record(
+                wlac_telemetry::RecorderLayer::Core,
+                wlac_telemetry::RecorderKind::Bound,
+                frames as u64,
+                self.options.max_frames as u64,
+            );
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,

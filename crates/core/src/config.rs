@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wlac_faultinject::FaultPlan;
-use wlac_telemetry::{SpanId, Tracer};
+use wlac_telemetry::{RecorderHandle, SpanId, Tracer};
 
 struct CancelInner {
     flag: AtomicBool,
@@ -232,6 +232,14 @@ pub struct CheckerOptions {
     /// runtime wiring: a plan can only make an engine *fail to answer*,
     /// never change what a definitive answer says, so equality ignores it.
     pub faults: FaultPlan,
+    /// Always-on flight-recorder handle: the search emits coarse lifecycle
+    /// events (search entry/exit, frame-bound advances) into it, stamped
+    /// with the job id the handle carries. Unlike [`CheckerOptions::trace`]
+    /// there is no opt-in flag — the disabled default costs one branch per
+    /// emission site, and the sites are per-frame, not per-decision, so the
+    /// hot path stays untouched. Runtime wiring, ignored by equality
+    /// comparisons.
+    pub recorder: RecorderHandle,
 }
 
 // `cancel`, `trace` and `trace_sink` are runtime/observability wiring, not
@@ -257,6 +265,7 @@ impl PartialEq for CheckerOptions {
             trace: _,
             trace_sink: _,
             faults: _,
+            recorder: _,
         } = self;
         *max_frames == other.max_frames
             && *backtrack_limit == other.backtrack_limit
@@ -295,6 +304,7 @@ impl CheckerOptions {
             trace: false,
             trace_sink: TraceSink::disabled(),
             faults: FaultPlan::disabled(),
+            recorder: RecorderHandle::disabled(),
         }
     }
 
@@ -324,6 +334,13 @@ impl CheckerOptions {
     /// disabled and free).
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Routes always-on flight-recorder events (search entry/exit, bound
+    /// advances) into `recorder`; the handle's job id stamps every event.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 }

@@ -25,7 +25,7 @@ use crate::stats::CheckStats;
 use std::time::Instant;
 use wlac_bv::{Bv, Bv3, Tv};
 use wlac_netlist::{NetId, Netlist};
-use wlac_telemetry::SpanId;
+use wlac_telemetry::{RecorderKind, RecorderLayer, SpanId};
 
 /// Outcome of one justification run over an unrolled circuit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -212,6 +212,12 @@ impl SearchContext {
         } else {
             SpanId::ROOT
         };
+        options.recorder.record(
+            RecorderLayer::Core,
+            RecorderKind::Start,
+            requirements.len() as u64,
+            0,
+        );
         let outcome = self.run_search(
             netlist,
             options,
@@ -226,6 +232,12 @@ impl SearchContext {
         if options.trace {
             options.trace_sink.span_end(span, "search");
         }
+        options.recorder.record(
+            RecorderLayer::Core,
+            RecorderKind::End,
+            stats.decisions,
+            stats.backtracks,
+        );
         outcome
     }
 

@@ -106,6 +106,13 @@ impl FaultSite {
         }
     }
 
+    /// Parses a stable lower-case name back into a site (the inverse of
+    /// [`FaultSite::as_str`]) — how the server's `--fault SITE:N` flags and
+    /// post-mortem smoke scripts name sites.
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.as_str() == s)
+    }
+
     fn index(self) -> usize {
         match self {
             FaultSite::EngineHang => 0,

@@ -60,7 +60,7 @@ use wlac_portfolio::Engine;
 use wlac_service::{
     design_hash, DesignHash, DurabilityRecord, DurabilitySink, PropertyHash, VerdictRecord,
 };
-use wlac_telemetry::MetricsRegistry;
+use wlac_telemetry::{MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer};
 
 /// First eight bytes of every journal file.
 pub const JOURNAL_MAGIC: &[u8; 8] = b"WLACJRNL";
@@ -707,6 +707,7 @@ pub struct JournalSink {
     fsync_batch: u64,
     faults: FaultPlan,
     metrics: Option<Arc<MetricsRegistry>>,
+    recorder: RecorderHandle,
     writers: Mutex<HashMap<DesignHash, SinkEntry>>,
 }
 
@@ -719,6 +720,7 @@ impl JournalSink {
             fsync_batch: fsync_batch.max(1),
             faults,
             metrics: None,
+            recorder: RecorderHandle::disabled(),
             writers: Mutex::new(HashMap::new()),
         }
     }
@@ -727,6 +729,13 @@ impl JournalSink {
     /// `registry`.
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Emits journal lifecycle events (appends, quarantines, resets) into
+    /// the always-on flight recorder.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -784,7 +793,19 @@ impl JournalSink {
             return false;
         }
         match writers.get_mut(&design).map(|entry| &mut entry.slot) {
-            Some(SinkSlot::Open(writer)) => writer.reset().is_ok(),
+            Some(SinkSlot::Open(writer)) => {
+                let discarded = writer.len();
+                let ok = writer.reset().is_ok();
+                if ok {
+                    self.recorder.record(
+                        RecorderLayer::Persist,
+                        RecorderKind::Compact,
+                        discarded,
+                        0,
+                    );
+                }
+                ok
+            }
             _ => remove_stale_journal(&self.dir, design),
         }
     }
@@ -824,6 +845,12 @@ impl DurabilitySink for JournalSink {
                                 .counter("persist_journal_quarantined_bytes_total")
                                 .add(quarantined);
                         }
+                        self.recorder.record(
+                            RecorderLayer::Persist,
+                            RecorderKind::Fault,
+                            quarantined,
+                            0,
+                        );
                         eprintln!(
                             "wlac-persist: quarantined {quarantined} torn byte(s) reopening {}",
                             path.display()
@@ -857,6 +884,12 @@ impl DurabilitySink for JournalSink {
                                 .record(fsync.as_nanos() as u64);
                         }
                     }
+                    self.recorder.record(
+                        RecorderLayer::Persist,
+                        RecorderKind::Append,
+                        receipt.bytes,
+                        writer.len(),
+                    );
                 }
                 Err(error) => {
                     self.count_failure();

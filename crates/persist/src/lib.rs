@@ -80,5 +80,5 @@ pub use journal::{
 pub use snapshot::{
     backup_file_name, clean_stale_temp_files, decode_snapshot, encode_snapshot, load_snapshot,
     load_snapshot_with_fallback, save_snapshot, save_snapshot_faulted, snapshot_file_name,
-    Snapshot,
+    write_atomic, Snapshot,
 };

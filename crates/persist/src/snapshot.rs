@@ -547,6 +547,42 @@ pub fn save_snapshot_faulted(
     result
 }
 
+/// Writes `bytes` to `path` atomically with the same temp + `write_all` +
+/// `sync_all` + rename + parent-directory-fsync discipline as
+/// [`save_snapshot`] (minus the `.bak` generation): a crash at any point
+/// leaves either the old file or no file under `path`, never a partial one.
+/// Exposed for other durable artifacts — the server's post-mortem dumps
+/// reuse it so a crash while dumping a crash cannot corrupt the evidence.
+///
+/// # Errors
+///
+/// [`std::io::Error`] on file-system failure (the temporary file is cleaned
+/// up best-effort) or when `path` has no file name.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    static WRITE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    let result = (|| -> std::io::Result<()> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    })();
+    if result.is_err() {
+        fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
 /// Fsyncs the directory containing `path`, making its entry updates (rename,
 /// create, truncate) power-loss durable. A no-op error on platforms where
 /// directories cannot be opened for sync is not swallowed: durability the

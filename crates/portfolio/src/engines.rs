@@ -19,6 +19,7 @@ use wlac_baselines::{
     bounded_model_check_cancellable, bounded_model_check_learning, random_simulation_cancellable,
     BmcOutcome, FrameClause,
 };
+use wlac_telemetry::RecorderHandle;
 
 /// One verification strategy of the portfolio.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -135,9 +136,32 @@ pub fn run_engine_seeded(
     cancel: &CancelToken,
     warm: Option<&WarmStart>,
 ) -> (EngineRun, EngineHarvest) {
+    run_engine_observed(
+        engine,
+        verification,
+        config,
+        cancel,
+        warm,
+        &RecorderHandle::disabled(),
+    )
+}
+
+/// Like [`run_engine_seeded`], but threads a flight-recorder handle into the
+/// ATPG engine's checker options so core search events (entry/exit, bound
+/// advances) carry the owning job's id. The other engines don't run the core
+/// search; their lifecycle is visible through the race-level events the
+/// portfolio supervisor emits.
+pub fn run_engine_observed(
+    engine: Engine,
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+    warm: Option<&WarmStart>,
+    recorder: &RecorderHandle,
+) -> (EngineRun, EngineHarvest) {
     let start = Instant::now();
     let (verdict, stats, harvest) = match engine {
-        Engine::Atpg => run_atpg(verification, config, cancel, warm),
+        Engine::Atpg => run_atpg(verification, config, cancel, warm, recorder),
         Engine::SatBmc => run_bmc(verification, config, cancel, warm),
         Engine::RandomSim => run_random(verification, config, cancel),
     };
@@ -159,8 +183,13 @@ fn run_atpg(
     config: &PortfolioConfig,
     cancel: &CancelToken,
     warm: Option<&WarmStart>,
+    recorder: &RecorderHandle,
 ) -> (Verdict, EngineStats, EngineHarvest) {
-    let options = config.checker.clone().with_cancel(cancel.clone());
+    let options = config
+        .checker
+        .clone()
+        .with_cancel(cancel.clone())
+        .with_recorder(recorder.clone());
     let mut harvest = EngineHarvest::default();
     let report = match warm {
         Some(warm) => {

@@ -50,7 +50,10 @@ mod verdict;
 mod warm;
 
 pub use config::PortfolioConfig;
-pub use engines::{run_engine, run_engine_seeded, Engine, EngineHarvest, EngineRun, EngineStats};
+pub use engines::{
+    run_engine, run_engine_observed, run_engine_seeded, Engine, EngineHarvest, EngineRun,
+    EngineStats,
+};
 pub use predictor::{predict_engines, EngineHistory, NetlistFeatures};
 pub use verdict::Verdict;
 pub use warm::{Harvest, WarmStart};
@@ -61,7 +64,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 use wlac_atpg::{CancelToken, Verification};
-use wlac_telemetry::MetricsRegistry;
+use wlac_telemetry::{MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer};
 
 /// What happened at one point of an engine race, for the
 /// [`PortfolioReport::timeline`].
@@ -166,6 +169,7 @@ impl fmt::Display for PortfolioReport {
 pub struct Portfolio {
     config: PortfolioConfig,
     metrics: Option<Arc<MetricsRegistry>>,
+    recorder: RecorderHandle,
 }
 
 impl Portfolio {
@@ -174,6 +178,7 @@ impl Portfolio {
         Portfolio {
             config,
             metrics: None,
+            recorder: RecorderHandle::disabled(),
         }
     }
 
@@ -184,6 +189,15 @@ impl Portfolio {
     /// [`PortfolioConfig`].
     pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(registry);
+        self
+    }
+
+    /// Emits race lifecycle events (start, spawns, answers, cancel, end)
+    /// into the always-on flight recorder. Like metrics, purely
+    /// observational; [`Portfolio::race_warm_recorded`] overrides this base
+    /// handle per job so events carry the owning job's id.
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -200,13 +214,15 @@ impl Portfolio {
     /// Races every configured engine on one property; the first definitive
     /// verdict wins and the losing engines are cancelled cooperatively.
     pub fn race(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, true, None).0
+        self.run_portfolio(verification, true, None, &self.recorder)
+            .0
     }
 
     /// Runs every configured engine to completion (no cancellation) and
     /// cross-validates all verdicts against each other.
     pub fn check_all(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, false, None).0
+        self.run_portfolio(verification, false, None, &self.recorder)
+            .0
     }
 
     /// Like [`Portfolio::race`], but warm-started from a knowledge base:
@@ -222,7 +238,20 @@ impl Portfolio {
         verification: &Verification,
         warm: &WarmStart,
     ) -> (PortfolioReport, Harvest) {
-        self.run_portfolio(verification, true, Some(warm))
+        self.run_portfolio(verification, true, Some(warm), &self.recorder)
+    }
+
+    /// Like [`Portfolio::race_warm`], but every flight-recorder event this
+    /// race (and the core searches under it) emits is stamped through
+    /// `recorder` — the per-job handle the verification service derives, so
+    /// a remote `events` tail can be filtered down to one job.
+    pub fn race_warm_recorded(
+        &self,
+        verification: &Verification,
+        warm: &WarmStart,
+        recorder: &RecorderHandle,
+    ) -> (PortfolioReport, Harvest) {
+        self.run_portfolio(verification, true, Some(warm), recorder)
     }
 
     /// Checks a batch of properties, sharding them across
@@ -267,6 +296,7 @@ impl Portfolio {
         verification: &Verification,
         cancel_losers: bool,
         warm: Option<&WarmStart>,
+        recorder: &RecorderHandle,
     ) -> (PortfolioReport, Harvest) {
         let start = Instant::now();
         // A job budget turns the race token into a deadline token: every
@@ -287,6 +317,15 @@ impl Portfolio {
         let mut timeline: Vec<RaceEvent> = Vec::with_capacity(2 * engines.len() + 1);
         let mut first_definitive_at: Option<Duration> = None;
         let mut win_margin: Option<Duration> = None;
+        recorder.record(
+            RecorderLayer::Portfolio,
+            RecorderKind::Start,
+            engines.len() as u64,
+            self.config
+                .job_budget
+                .map(|b| b.as_millis() as u64)
+                .unwrap_or(0),
+        );
         thread::scope(|scope| {
             for &engine in engines {
                 let tx = tx.clone();
@@ -297,8 +336,21 @@ impl Portfolio {
                     engine: Some(engine),
                     kind: RaceEventKind::Spawned,
                 });
+                recorder.record(
+                    RecorderLayer::Portfolio,
+                    RecorderKind::Spawn,
+                    engine_code(engine),
+                    0,
+                );
                 scope.spawn(move || {
-                    let run = run_engine_seeded(engine, verification, config, &token, warm);
+                    let run = engines::run_engine_observed(
+                        engine,
+                        verification,
+                        config,
+                        &token,
+                        warm,
+                        recorder,
+                    );
                     // The receiver outlives the scope; a send only fails if
                     // the supervisor panicked, in which case the scope
                     // propagates that panic anyway.
@@ -316,6 +368,12 @@ impl Portfolio {
                     engine: Some(run.engine),
                     kind: RaceEventKind::Answered { definitive },
                 });
+                recorder.record(
+                    RecorderLayer::Portfolio,
+                    RecorderKind::Answer,
+                    engine_code(run.engine),
+                    u64::from(definitive),
+                );
                 match first_definitive_at {
                     None if definitive => first_definitive_at = Some(at),
                     Some(won_at) if win_margin.is_none() => {
@@ -332,6 +390,12 @@ impl Portfolio {
                             engine: None,
                             kind: RaceEventKind::CancelIssued,
                         });
+                        recorder.record(
+                            RecorderLayer::Portfolio,
+                            RecorderKind::Cancel,
+                            engine_code(run.engine),
+                            0,
+                        );
                     }
                 }
                 harvest.clauses.extend(engine_harvest.clauses);
@@ -389,7 +453,23 @@ impl Portfolio {
         if let Some(registry) = &self.metrics {
             record_race_metrics(registry, &report, win_margin);
         }
+        recorder.record(
+            RecorderLayer::Portfolio,
+            RecorderKind::End,
+            report.winner.map(engine_code).unwrap_or(u64::MAX),
+            report.wall_clock.as_nanos() as u64,
+        );
         (report, harvest)
+    }
+}
+
+/// Engine as a stable small integer for flight-recorder payload words
+/// (0 = atpg, 1 = sat_bmc, 2 = random_sim).
+fn engine_code(engine: Engine) -> u64 {
+    match engine {
+        Engine::Atpg => 0,
+        Engine::SatBmc => 1,
+        Engine::RandomSim => 2,
     }
 }
 

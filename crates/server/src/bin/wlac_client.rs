@@ -7,14 +7,18 @@
 //! COMMAND: ping
 //!        | register DESIGN.v
 //!        | check DESIGN.v [--always OUT]... [--eventually OUT]...
-//!        | stats | metrics
+//!        | stats | metrics | health
+//!        | events [--layer L] [--job N] [--limit N]
 //!        | export DESIGN_HASH FILE.wlacsnap
 //!        | import FILE.wlacsnap
 //!        | shutdown
 //! ```
 //!
 //! `metrics` prints the server's Prometheus-style exposition to stdout (for
-//! scrapers and CI smoke checks).
+//! scrapers and CI smoke checks). `health` prints the liveness/readiness
+//! report and exits 0 when ready, 1 otherwise (for probes). `events` tails
+//! the server's flight recorder, optionally filtered by layer
+//! (`core`/`portfolio`/`service`/`persist`/`server`) and job id.
 //!
 //! `check` registers the design, submits one job per `--always`/
 //! `--eventually` monitor (default: one `always` job per design output) and
@@ -195,7 +199,8 @@ fn usage() -> ! {
         "usage: wlac-client [--addr HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N] \
          [--retries N] \
          (ping | register FILE.v | check FILE.v [--always OUT]... [--eventually OUT]... \
-         | stats | metrics | export DESIGN FILE | import FILE | shutdown)"
+         | stats | metrics | health | events [--layer L] [--job N] [--limit N] \
+         | export DESIGN FILE | import FILE | shutdown)"
     );
     std::process::exit(2);
 }
@@ -338,6 +343,63 @@ fn cmd_check(conn: &mut Connection, path: &str, rest: &[String]) -> Result<i32, 
     }
 }
 
+/// `events [--layer L] [--job N] [--limit N]`: tails the server's flight
+/// recorder, one line per event, oldest first.
+fn cmd_events(conn: &mut Connection, flags: &[String]) -> Result<i32, String> {
+    let mut request = vec![("op", Json::str("events"))];
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--layer" => request.push(("layer", Json::str(value.clone()))),
+            "--job" => request.push((
+                "job",
+                Json::num(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| fail("--job needs a number")),
+                ),
+            )),
+            "--limit" => request.push((
+                "limit",
+                Json::num(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| fail("--limit needs a number")),
+                ),
+            )),
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let reply = conn.call(&Json::obj(request)).map_err(|e| e.to_string())?;
+    let events = reply.get("events").and_then(Json::as_arr).unwrap_or(&[]);
+    for event in events {
+        let field = |name: &str| event.get(name).and_then(Json::as_u64).unwrap_or(0);
+        // The payload words are hex strings on the wire (full-width u64s).
+        let word = |name: &str| event.get(name).and_then(Json::as_str).unwrap_or("0x0");
+        println!(
+            "{:>10} {:>14}ns {:<9} {:<9} job={} p0={} p1={}",
+            field("seq"),
+            field("at_ns"),
+            event.get("layer").and_then(Json::as_str).unwrap_or("?"),
+            event.get("kind").and_then(Json::as_str).unwrap_or("?"),
+            field("job"),
+            word("p0"),
+            word("p1"),
+        );
+    }
+    eprintln!(
+        "wlac-client: {} event(s) shown; {} recorded, {} overwritten, capacity {}",
+        events.len(),
+        reply.get("recorded").and_then(Json::as_u64).unwrap_or(0),
+        reply.get("overwritten").and_then(Json::as_u64).unwrap_or(0),
+        reply.get("capacity").and_then(Json::as_u64).unwrap_or(0),
+    );
+    Ok(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = Options {
@@ -390,6 +452,18 @@ fn main() {
                 println!("{}", reply.get("stats").cloned().unwrap_or(Json::Null));
                 0
             }),
+        ("health", []) => conn
+            .call(&Json::obj(vec![("op", Json::str("health"))]))
+            .map_err(|e| e.to_string())
+            .map(|reply| {
+                let status = reply.get("status").and_then(Json::as_str).unwrap_or("?");
+                let uptime = reply.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0);
+                println!("status {status} uptime_s {uptime:.1}");
+                println!("{}", reply.get("checks").cloned().unwrap_or(Json::Null));
+                // Probe semantics: ready exits 0, anything else exits 1.
+                i32::from(reply.get("ready").and_then(Json::as_bool) != Some(true))
+            }),
+        ("events", flags) => cmd_events(&mut conn, flags),
         ("metrics", []) => conn
             .call(&Json::obj(vec![("op", Json::str("metrics"))]))
             .map_err(|e| e.to_string())

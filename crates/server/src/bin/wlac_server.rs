@@ -8,7 +8,15 @@
 //!             [--drain-timeout-secs N]
 //!             [--durability snapshot|journal|strict]
 //!             [--journal-fsync-batch N] [--journal-compact-bytes N]
+//!             [--postmortem-dir DIR] [--max-queue-depth N]
+//!             [--fault SITE:N] [--fault-from SITE:N]
 //! ```
+//!
+//! `--fault SITE:N` arms the fault-injection plan to fire `SITE` exactly on
+//! its Nth hit; `--fault-from SITE:N` fires on every hit from the Nth on.
+//! Sites: `engine_hang`, `worker_panic`, `worker_loss`, `snapshot_write`,
+//! `snapshot_torn`, `journal_append`, `journal_torn`, `crash_point`. Chaos
+//! drills and the CI post-mortem smoke only; harmless when unused.
 //!
 //! Prints `listening on <addr>` once ready (scripts parse this line — with
 //! `--addr 127.0.0.1:0` it carries the ephemeral port), then serves until a
@@ -29,9 +37,17 @@ fn usage() -> ! {
          [--max-connections N] [--read-timeout-secs N] [--wait-timeout-secs N] \
          [--job-budget-secs N] [--drain-timeout-secs N] \
          [--durability snapshot|journal|strict] \
-         [--journal-fsync-batch N] [--journal-compact-bytes N]"
+         [--journal-fsync-batch N] [--journal-compact-bytes N] \
+         [--postmortem-dir DIR] [--max-queue-depth N] \
+         [--fault SITE:N] [--fault-from SITE:N]"
     );
     std::process::exit(2);
+}
+
+/// Parses a `SITE:N` fault spec (e.g. `worker_panic:1`).
+fn parse_fault_spec(spec: &str) -> Option<(FaultSite, u64)> {
+    let (site, n) = spec.split_once(':')?;
+    Some((FaultSite::parse(site)?, n.parse().ok()?))
 }
 
 fn main() {
@@ -84,6 +100,26 @@ fn main() {
             }
             "--journal-compact-bytes" => {
                 config.journal_compact_bytes = value().parse().unwrap_or_else(|_| usage());
+            }
+            "--postmortem-dir" => {
+                config.postmortem_dir = Some(PathBuf::from(value()));
+            }
+            "--max-queue-depth" => {
+                config.max_queue_depth = value().parse().unwrap_or_else(|_| usage());
+            }
+            // Both plans get the arming: each site only fires where it is
+            // actually checked (service worker loop, engines, or the
+            // server's persistence I/O), so the union plan is safe and the
+            // operator never has to know which layer owns a site.
+            "--fault" => {
+                let (site, n) = parse_fault_spec(&value()).unwrap_or_else(|| usage());
+                config.faults = config.faults.fire_nth(site, n);
+                config.service.faults = config.service.faults.fire_nth(site, n);
+            }
+            "--fault-from" => {
+                let (site, n) = parse_fault_spec(&value()).unwrap_or_else(|| usage());
+                config.faults = config.faults.fire_from(site, n);
+                config.service.faults = config.service.faults.fire_from(site, n);
             }
             // Undocumented crash-test hook: hard-abort the process in the
             // middle of the Nth journal append, leaving a genuinely torn

@@ -9,9 +9,9 @@
 //!   so no serde/tokio). Requests: `register_design` (Verilog-subset source,
 //!   compiled by `wlac-frontend`), `submit_batch`, `poll`, `results`,
 //!   `wait`, `stats`, `export_knowledge`, `import_knowledge`, `metrics`,
-//!   `trace_check`, `ping`, `shutdown`. Malformed frames get structured
-//!   `{"ok":false,"error":{…}}` replies on the same connection instead of a
-//!   dropped socket.
+//!   `health`, `events`, `trace_check`, `ping`, `shutdown`. Malformed frames
+//!   get structured `{"ok":false,"error":{…}}` replies on the same
+//!   connection instead of a dropped socket.
 //! * **Observability** — one [`wlac_telemetry::MetricsRegistry`] is shared
 //!   by the whole stack (service gauges and counters, portfolio race
 //!   attribution, aggregated core search effort, per-op request counters and
@@ -19,7 +19,12 @@
 //!   flat JSON; `trace_check` runs one property with search tracing on and
 //!   returns the phase-attributed time breakdown plus span events; requests
 //!   slower than [`ServerConfig::slow_request_threshold`] get a structured
-//!   stderr line.
+//!   stderr line. An always-on [`wlac_telemetry::FlightRecorder`] captures
+//!   compact structured events from every layer (`events` tails it
+//!   remotely), every contained fault writes a bounded
+//!   [`PostmortemWriter`] bundle, and `health` answers
+//!   liveness/readiness from worker quorum, queue depth, durability state
+//!   and rolling error-rate / p99 objectives.
 //! * **Persistence** — by default every definitive result is appended to a
 //!   per-design write-ahead journal ([`wlac_persist::JournalSink`], with
 //!   group-commit fsync) *before* the client sees the acknowledgement, and
@@ -66,9 +71,11 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod json;
+pub mod postmortem;
 pub mod proto;
 mod server;
 
 pub use json::{Json, JsonError};
+pub use postmortem::PostmortemWriter;
 pub use proto::ErrorCode;
 pub use server::{Server, ServerConfig};

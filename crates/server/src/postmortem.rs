@@ -1,0 +1,269 @@
+//! Post-mortem dumps: when a fault path fires, write everything an operator
+//! needs to diagnose it *at the moment it happened* — the flight recorder's
+//! event tail, the full metrics snapshot, the triggering job's descriptor
+//! and the fault's stable name — into one atomically-written JSON bundle.
+//!
+//! Faults are contained by design (PR 7–8): a quarantined job, a timed-out
+//! race or a torn journal tail degrades service without stopping it, which
+//! also means the evidence is gone by the time anyone looks. The dump
+//! captures it eagerly. Bundles land in a bounded directory
+//! (`pm-NNNNNN-<fault>.json`): oldest-first eviction keeps the count and
+//! total bytes under the configured caps, so a fault storm cannot fill the
+//! disk. Writes reuse the snapshot layer's temp + rename + fsync idiom
+//! ([`wlac_persist::write_atomic`]) — a crash mid-dump never leaves a torn
+//! bundle for tooling to choke on.
+
+use crate::json::Json;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+use wlac_faultinject::LockExt;
+use wlac_persist::write_atomic;
+use wlac_service::{FaultReport, FaultSink};
+use wlac_telemetry::{FlightEvent, FlightRecorder, MetricsRegistry};
+
+/// Default cap on the number of bundles kept.
+pub const DEFAULT_MAX_DUMPS: usize = 32;
+
+/// Default cap on the total bytes of bundles kept.
+pub const DEFAULT_MAX_BYTES: u64 = 8 << 20;
+
+/// Writes bounded, atomically-published post-mortem bundles. One instance
+/// serves the whole server: the service's fault-report hook (quarantines and
+/// timeouts) and the server's own durability fault paths (rejected
+/// snapshots, quarantined journal tails, failed autosaves) all dump through
+/// it.
+pub struct PostmortemWriter {
+    dir: PathBuf,
+    max_dumps: usize,
+    max_bytes: u64,
+    seq: AtomicU64,
+    recorder: Arc<FlightRecorder>,
+    metrics: Arc<MetricsRegistry>,
+    /// Serialises write + eviction so two concurrent faults cannot race the
+    /// directory scan into evicting each other's fresh bundle.
+    write_lock: Mutex<()>,
+}
+
+impl PostmortemWriter {
+    /// A writer dumping into `dir` (created on first dump) with the given
+    /// count/byte caps, snapshotting `recorder` and `metrics` into every
+    /// bundle. Dump attempts and outcomes are counted in `metrics`
+    /// (`server_postmortems_written_total`, `..._evicted_total`,
+    /// `..._write_failures_total`).
+    pub fn new(
+        dir: PathBuf,
+        max_dumps: usize,
+        max_bytes: u64,
+        recorder: Arc<FlightRecorder>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
+        let seq = AtomicU64::new(next_seq_on_disk(&dir_entries(&dir)));
+        PostmortemWriter {
+            dir,
+            max_dumps: max_dumps.max(1),
+            max_bytes: max_bytes.max(1),
+            seq,
+            recorder,
+            metrics,
+            write_lock: Mutex::new(()),
+        }
+    }
+
+    /// The dump directory.
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Writes one bundle. `fault` must be a stable `snake_case` fault-path
+    /// name (it becomes part of the file name); `job` scopes the bundle's
+    /// `job_events` tail (0 means not job-scoped); `extra` carries
+    /// fault-specific context (a job descriptor, a path, byte counts).
+    ///
+    /// Never panics and never returns an error: a post-mortem that cannot be
+    /// written is counted (`server_postmortem_write_failures_total`) and
+    /// logged, because the dump path runs inside fault paths — failing
+    /// *here* must not compound the fault being recorded.
+    pub fn dump(&self, fault: &str, detail: &str, job: u64, extra: Vec<(&str, Json)>) {
+        let _guard = self.write_lock.lock_recover();
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("pm-{seq:06}-{fault}.json"));
+        let bundle = self.bundle(fault, detail, job, extra);
+        if let Err(e) = std::fs::create_dir_all(&self.dir) {
+            self.note_failure(fault, &format!("creating {}: {e}", self.dir.display()));
+            return;
+        }
+        match write_atomic(&path, bundle.to_string().as_bytes()) {
+            Ok(()) => {
+                self.metrics
+                    .counter("server_postmortems_written_total")
+                    .inc();
+                eprintln!("wlac-server: post-mortem dumped to {}", path.display());
+            }
+            Err(e) => {
+                self.note_failure(fault, &format!("writing {}: {e}", path.display()));
+                return;
+            }
+        }
+        self.evict();
+    }
+
+    fn note_failure(&self, fault: &str, detail: &str) {
+        self.metrics
+            .counter("server_postmortem_write_failures_total")
+            .inc();
+        eprintln!("wlac-server: post-mortem dump for `{fault}` failed: {detail}");
+    }
+
+    fn bundle(&self, fault: &str, detail: &str, job: u64, extra: Vec<(&str, Json)>) -> Json {
+        let at_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let events = self.recorder.snapshot();
+        let job_events = Json::Arr(
+            events
+                .iter()
+                .filter(|e| job != 0 && e.job == job)
+                .map(event_to_json)
+                .collect(),
+        );
+        let metrics_rendered = self.metrics.render_json();
+        let metrics = Json::parse(&metrics_rendered)
+            .unwrap_or_else(|e| Json::str(format!("metrics rendering failed to parse: {e}")));
+        let mut members = vec![
+            ("fault", Json::str(fault.to_string())),
+            ("detail", Json::str(detail.to_string())),
+            ("at_unix_ms", Json::num(at_unix_ms)),
+            ("job", Json::num(job)),
+        ];
+        members.extend(extra);
+        members.extend([
+            (
+                "flight_recorder",
+                Json::obj(vec![
+                    ("capacity", Json::num(self.recorder.capacity() as u64)),
+                    ("recorded", Json::num(self.recorder.recorded())),
+                    ("overwritten", Json::num(self.recorder.overwrites())),
+                    (
+                        "events",
+                        Json::Arr(events.iter().map(event_to_json).collect()),
+                    ),
+                ]),
+            ),
+            ("job_events", job_events),
+            ("metrics", metrics),
+        ]);
+        Json::obj(members)
+    }
+
+    /// Oldest-first eviction down to the caps. The lexicographic order of
+    /// `pm-NNNNNN-*` names *is* the write order (the sequence is
+    /// monotonic and zero-padded), so no timestamps are needed.
+    fn evict(&self) {
+        let mut bundles = dir_entries(&self.dir);
+        bundles.sort();
+        let mut total: u64 = bundles.iter().map(|(_, bytes)| bytes).sum();
+        let mut count = bundles.len();
+        for (name, bytes) in &bundles {
+            if count <= self.max_dumps && total <= self.max_bytes {
+                break;
+            }
+            // Never evict below one bundle: the newest dump survives even
+            // when it alone exceeds the byte cap.
+            if count <= 1 {
+                break;
+            }
+            if std::fs::remove_file(self.dir.join(name)).is_ok() {
+                self.metrics
+                    .counter("server_postmortems_evicted_total")
+                    .inc();
+            }
+            count -= 1;
+            total = total.saturating_sub(*bytes);
+        }
+    }
+}
+
+impl std::fmt::Debug for PostmortemWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PostmortemWriter")
+            .field("dir", &self.dir)
+            .field("max_dumps", &self.max_dumps)
+            .field("max_bytes", &self.max_bytes)
+            .finish()
+    }
+}
+
+/// The service's contained faults (quarantine, timeout) dump through the
+/// same writer, carrying the triggering job's descriptor.
+impl FaultSink for PostmortemWriter {
+    fn fault(&self, report: &FaultReport<'_>) {
+        self.dump(
+            report.fault,
+            &report.detail,
+            report.job,
+            vec![(
+                "job_descriptor",
+                Json::obj(vec![
+                    ("batch", Json::num(report.batch)),
+                    ("index", Json::num(report.index as u64)),
+                    (
+                        "design",
+                        Json::str(crate::proto::design_to_wire(report.design)),
+                    ),
+                    ("property", Json::str(report.property.to_string())),
+                    ("wall_ms", Json::Num(report.wall.as_secs_f64() * 1e3)),
+                ]),
+            )],
+        );
+    }
+}
+
+/// One flight-recorder event on the wire / in a bundle.
+///
+/// The payload words travel as hex strings: they are full-width `u64`s —
+/// design hashes, `u64::MAX` sentinels — and JSON doubles stop being exact
+/// at 2^53, where `Json::num` (correctly) refuses them.
+pub fn event_to_json(event: &FlightEvent) -> Json {
+    Json::obj(vec![
+        ("seq", Json::num(event.seq)),
+        ("at_ns", Json::num(event.at_nanos)),
+        ("layer", Json::str(event.layer.as_str())),
+        ("kind", Json::str(event.kind.as_str())),
+        ("job", Json::num(event.job)),
+        ("p0", Json::str(format!("{:#x}", event.payload[0]))),
+        ("p1", Json::str(format!("{:#x}", event.payload[1]))),
+    ])
+}
+
+/// The `pm-*.json` bundles in `dir` with their sizes (empty when the
+/// directory does not exist yet).
+fn dir_entries(dir: &PathBuf) -> Vec<(String, u64)> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with("pm-") || !name.ends_with(".json") {
+                return None;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            Some((name, bytes))
+        })
+        .collect()
+}
+
+/// Restarting must not overwrite earlier bundles: resume the sequence past
+/// the highest `pm-NNNNNN` already on disk.
+fn next_seq_on_disk(bundles: &[(String, u64)]) -> u64 {
+    bundles
+        .iter()
+        .filter_map(|(name, _)| name.get(3..9)?.parse::<u64>().ok())
+        .max()
+        .map(|max| max + 1)
+        .unwrap_or(0)
+}

@@ -237,6 +237,7 @@ pub fn stats_to_wire(stats: &ServiceStats, durability: &DurabilityStats) -> Json
         ("quarantined_jobs", Json::num(stats.quarantined_jobs)),
         ("timed_out_jobs", Json::num(stats.timed_out_jobs)),
         ("workers_respawned", Json::num(stats.workers_respawned)),
+        ("workers_alive", Json::num(stats.workers_alive as u64)),
         ("loaded_snapshots", Json::num(loaded_snapshots as u64)),
         ("durability", Json::str(durability.mode)),
         (

@@ -2,11 +2,12 @@
 //! autosave and restart-warm boot.
 
 use crate::json::Json;
+use crate::postmortem::{event_to_json, PostmortemWriter, DEFAULT_MAX_BYTES, DEFAULT_MAX_DUMPS};
 use crate::proto::{
     design_from_wire, design_to_wire, error_reply, error_reply_with_retry, hex_decode, hex_encode,
     job_result_to_wire, ok_reply, stats_to_wire, DurabilityStats, ErrorCode,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -25,16 +26,18 @@ use wlac_persist::{
     truncate_to_valid, DurabilityMode, JournalSink, Snapshot,
 };
 use wlac_service::{
-    BatchId, DesignHash, DurabilityHook, JobResult, KnowledgeBase, ServiceConfig,
+    BatchId, DesignHash, DurabilityHook, FaultReportHook, JobResult, KnowledgeBase, ServiceConfig,
     VerificationService,
 };
-use wlac_telemetry::{MetricsRegistry, SpanId, Tracer};
+use wlac_telemetry::{
+    FlightRecorder, MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer, SpanId, Tracer,
+};
 
 /// Every op the dispatcher accepts, plus the two catch-all buckets
 /// (`unknown` for an unrecognised `op`, `invalid` for frames with no usable
 /// `op` at all) — the enumeration behind the per-op request counters and
 /// latency histograms.
-const KNOWN_OPS: [&str; 14] = [
+const KNOWN_OPS: [&str; 16] = [
     "ping",
     "register_design",
     "submit_batch",
@@ -45,6 +48,8 @@ const KNOWN_OPS: [&str; 14] = [
     "export_knowledge",
     "import_knowledge",
     "metrics",
+    "health",
+    "events",
     "trace_check",
     "shutdown",
     "unknown",
@@ -111,6 +116,29 @@ pub struct ServerConfig {
     /// bytes, the next completed batch snapshots the design and truncates
     /// the journal back to its header.
     pub journal_compact_bytes: u64,
+    /// Where post-mortem bundles go. `None` (the default) puts them under
+    /// `<data_dir>/postmortem`; with no data directory either, dumps are
+    /// disabled.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Post-mortem bundle caps: at most this many bundles are kept
+    /// (oldest-first eviction).
+    pub postmortem_max_dumps: usize,
+    /// Post-mortem bundle caps: at most this many total bytes of bundles
+    /// are kept (oldest-first eviction).
+    pub postmortem_max_bytes: u64,
+    /// Readiness capacity: `health` reports not-ready while the queue holds
+    /// more than this many jobs (submissions are still accepted — this is
+    /// the signal a load balancer drains on, not an admission gate).
+    pub max_queue_depth: usize,
+    /// Service-level objective: `health` reports degraded when the rolling
+    /// error rate over [`ServerConfig::slo_window`] exceeds this fraction.
+    pub slo_error_rate: f64,
+    /// Service-level objective: `health` reports degraded when the rolling
+    /// p99 request latency over [`ServerConfig::slo_window`] exceeds this.
+    pub slo_p99: Duration,
+    /// The sliding window behind the `health` op's rolling error-rate and
+    /// p99-latency objectives (and the autosave-failure recency check).
+    pub slo_window: Duration,
 }
 
 impl ServerConfig {
@@ -133,6 +161,13 @@ impl ServerConfig {
             durability: DurabilityMode::default(),
             journal_fsync_batch: 32,
             journal_compact_bytes: 1 << 20,
+            postmortem_dir: None,
+            postmortem_max_dumps: DEFAULT_MAX_DUMPS,
+            postmortem_max_bytes: DEFAULT_MAX_BYTES,
+            max_queue_depth: 1024,
+            slo_error_rate: 0.25,
+            slo_p99: Duration::from_secs(5),
+            slo_window: Duration::from_secs(60),
         }
     }
 }
@@ -188,6 +223,71 @@ impl Gate {
     }
 }
 
+/// One finished request in the rolling SLO window.
+#[derive(Debug, Clone, Copy)]
+struct SloSample {
+    at: Instant,
+    wall_nanos: u64,
+    error: bool,
+}
+
+/// The sliding window behind the `health` op's objectives: every finished
+/// request pushes a sample, reads prune anything older than the window and
+/// fold error rate and p99 latency over what remains. Bounded by pruning on
+/// every push, so an idle-then-bursty server never accumulates unboundedly.
+struct SloWindow {
+    samples: Mutex<VecDeque<SloSample>>,
+    window: Duration,
+}
+
+impl SloWindow {
+    fn new(window: Duration) -> Self {
+        SloWindow {
+            samples: Mutex::new(VecDeque::new()),
+            window,
+        }
+    }
+
+    fn push(&self, wall_nanos: u64, error: bool) {
+        let now = Instant::now();
+        let mut samples = self.samples.lock_recover();
+        while samples
+            .front()
+            .is_some_and(|s| now.duration_since(s.at) > self.window)
+        {
+            samples.pop_front();
+        }
+        samples.push_back(SloSample {
+            at: now,
+            wall_nanos,
+            error,
+        });
+    }
+
+    /// (requests, error rate, p99 latency) over the live window.
+    fn fold(&self) -> (usize, f64, Duration) {
+        let now = Instant::now();
+        let samples = self.samples.lock_recover();
+        let live: Vec<&SloSample> = samples
+            .iter()
+            .filter(|s| now.duration_since(s.at) <= self.window)
+            .collect();
+        if live.is_empty() {
+            return (0, 0.0, Duration::ZERO);
+        }
+        let errors = live.iter().filter(|s| s.error).count();
+        let mut walls: Vec<u64> = live.iter().map(|s| s.wall_nanos).collect();
+        walls.sort_unstable();
+        let rank = ((walls.len() as f64) * 0.99).ceil() as usize;
+        let p99 = walls[rank.saturating_sub(1).min(walls.len() - 1)];
+        (
+            live.len(),
+            errors as f64 / live.len() as f64,
+            Duration::from_nanos(p99),
+        )
+    }
+}
+
 struct ServerState {
     service: VerificationService,
     /// Canonical netlist per design, for monitor-name resolution and
@@ -237,6 +337,30 @@ struct ServerState {
     checker_options: CheckerOptions,
     /// Threshold of the slow-request log.
     slow_request_threshold: Duration,
+    /// The always-on flight recorder every layer of the stack writes into;
+    /// the `events` op tails it, post-mortem bundles snapshot it.
+    recorder: Arc<FlightRecorder>,
+    /// The post-mortem dump writer, when a dump directory is configured.
+    postmortem: Option<Arc<PostmortemWriter>>,
+    /// When the server booted (the `stats`/`health` uptime).
+    started: Instant,
+    /// Connection ids for the slow-request log and Server-layer recorder
+    /// events (ids start at 1; 0 means "no connection").
+    next_conn: AtomicU64,
+    /// The rolling request window behind the `health` op's objectives.
+    slo: SloWindow,
+    /// Readiness capacity for the `health` op (see
+    /// [`ServerConfig::max_queue_depth`]).
+    max_queue_depth: usize,
+    /// SLO objectives for the `health` op.
+    slo_error_rate: f64,
+    slo_p99: Duration,
+    /// Worker-pool size the service was configured with, the quorum the
+    /// `health` op compares `workers_alive` against.
+    configured_workers: usize,
+    /// When the most recent autosave failure happened (durability recency
+    /// for the `health` op).
+    last_autosave_failure: Mutex<Option<Instant>>,
 }
 
 /// A running verification server.
@@ -267,6 +391,28 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(MetricsRegistry::new());
+        // The flight recorder is always on: every layer below (service
+        // workers, portfolio races, core search, journal sink) gets a handle
+        // before the service boots, so even the boot replay is recorded.
+        let recorder = Arc::new(FlightRecorder::new(8192));
+        config.service.recorder = RecorderHandle::to(Arc::clone(&recorder));
+        let postmortem_dir = config
+            .postmortem_dir
+            .clone()
+            .or_else(|| config.data_dir.as_ref().map(|dir| dir.join("postmortem")));
+        let postmortem = postmortem_dir.map(|dir| {
+            Arc::new(PostmortemWriter::new(
+                dir,
+                config.postmortem_max_dumps,
+                config.postmortem_max_bytes,
+                Arc::clone(&recorder),
+                Arc::clone(&metrics),
+            ))
+        });
+        if let Some(writer) = &postmortem {
+            config.service.fault_report = FaultReportHook::new(Arc::clone(writer) as _);
+        }
+        let configured_workers = config.service.workers.max(1);
         let checker_options = config.service.portfolio.checker.clone();
         // Arm the write-ahead journal before the service exists, so every
         // raced result the service ever completes passes through the sink.
@@ -278,7 +424,8 @@ impl Server {
                 };
                 let sink = Arc::new(
                     JournalSink::new(dir, batch, config.faults.clone())
-                        .with_metrics(Arc::clone(&metrics)),
+                        .with_metrics(Arc::clone(&metrics))
+                        .with_recorder(RecorderHandle::to(Arc::clone(&recorder))),
                 );
                 config.service.durability = DurabilityHook::new(Arc::clone(&sink) as _);
                 Some(sink)
@@ -311,6 +458,16 @@ impl Server {
             tracer: Tracer::new(16_384),
             checker_options,
             slow_request_threshold: config.slow_request_threshold,
+            recorder,
+            postmortem,
+            started: Instant::now(),
+            next_conn: AtomicU64::new(1),
+            slo: SloWindow::new(config.slo_window),
+            max_queue_depth: config.max_queue_depth,
+            slo_error_rate: config.slo_error_rate,
+            slo_p99: config.slo_p99,
+            configured_workers,
+            last_autosave_failure: Mutex::new(None),
         });
         load_all_snapshots(&state);
         Ok(Server { listener, state })
@@ -436,7 +593,7 @@ fn load_all_snapshots(state: &ServerState) {
             }
             Err(e) => {
                 eprintln!("wlac-server: skipping snapshot {}: {e}", path.display());
-                note_rejected_snapshot(state);
+                note_rejected_snapshot(state, &format!("snapshot {}: {e}", path.display()));
                 continue;
             }
         };
@@ -448,7 +605,10 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: skipping snapshot {}: design hash mismatch",
                 path.display()
             );
-            note_rejected_snapshot(state);
+            note_rejected_snapshot(
+                state,
+                &format!("snapshot {}: design hash mismatch", path.display()),
+            );
             continue;
         }
         if let Err(e) = state.service.import_knowledge(design, &snapshot.knowledge) {
@@ -456,7 +616,10 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: snapshot {} failed knowledge validation: {e}",
                 path.display()
             );
-            note_rejected_snapshot(state);
+            note_rejected_snapshot(
+                state,
+                &format!("snapshot {}: knowledge validation: {e}", path.display()),
+            );
             continue;
         }
         if let Err(e) = state.service.import_verdicts(design, &snapshot.verdicts) {
@@ -464,7 +627,10 @@ fn load_all_snapshots(state: &ServerState) {
                 "wlac-server: snapshot {} failed verdict validation: {e}",
                 path.display()
             );
-            note_rejected_snapshot(state);
+            note_rejected_snapshot(
+                state,
+                &format!("snapshot {}: verdict validation: {e}", path.display()),
+            );
             continue;
         }
         state
@@ -478,9 +644,10 @@ fn load_all_snapshots(state: &ServerState) {
 
 /// Books one snapshot file that was present at boot but could not be
 /// trusted: the server boots cold for that design (a structured warning
-/// already went to stderr) and the rejection is visible in stats and
-/// metrics instead of silent.
-fn note_rejected_snapshot(state: &ServerState) {
+/// already went to stderr), the rejection is visible in stats and metrics
+/// instead of silent, and a post-mortem bundle captures the boot-time
+/// evidence.
+fn note_rejected_snapshot(state: &ServerState, detail: &str) {
     state
         .snapshots_rejected_at_boot
         .fetch_add(1, Ordering::Relaxed);
@@ -488,6 +655,15 @@ fn note_rejected_snapshot(state: &ServerState) {
         .metrics
         .counter("server_snapshots_rejected_at_boot_total")
         .inc();
+    dump_postmortem(state, "snapshot_rejected", detail, Vec::new());
+}
+
+/// Writes one server-local post-mortem bundle (durability fault paths; the
+/// service's own faults dump through its [`FaultReportHook`]).
+fn dump_postmortem(state: &ServerState, fault: &str, detail: &str, extra: Vec<(&str, Json)>) {
+    if let Some(writer) = &state.postmortem {
+        writer.dump(fault, detail, 0, extra);
+    }
 }
 
 /// Replays every per-design write-ahead journal in the data directory on
@@ -518,6 +694,12 @@ fn replay_journals(state: &ServerState) {
                 let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
                 note_quarantined_bytes(state, bytes);
                 eprintln!("wlac-server: skipping journal {}: {e}", path.display());
+                dump_postmortem(
+                    state,
+                    "journal_tail_quarantined",
+                    &format!("journal {} unreadable: {e}", path.display()),
+                    vec![("quarantined_bytes", Json::num(bytes))],
+                );
                 continue;
             }
         };
@@ -529,6 +711,19 @@ fn replay_journals(state: &ServerState) {
                 path.display(),
                 replay.quarantined_bytes,
                 replay.records.len()
+            );
+            dump_postmortem(
+                state,
+                "journal_tail_quarantined",
+                &format!(
+                    "journal {} had a torn tail; replayed {} record(s) before it",
+                    path.display(),
+                    replay.records.len()
+                ),
+                vec![
+                    ("quarantined_bytes", Json::num(replay.quarantined_bytes)),
+                    ("replayed_records", Json::num(replay.records.len() as u64)),
+                ],
             );
             // Cut the rejected tail out of the file now (preserved beside
             // it), so size-based views of the journal — the metadata
@@ -631,6 +826,13 @@ fn save_design(state: &ServerState, design: DesignHash) -> bool {
     match save_snapshot_faulted(&path, &snapshot, &state.faults) {
         Ok(()) => {
             state.metrics.counter("server_autosaves_total").inc();
+            state.recorder.record(
+                RecorderLayer::Persist,
+                RecorderKind::Persisted,
+                0,
+                design.0,
+                0,
+            );
             // Snapshot mode replays boot-leftover journals (from an earlier
             // journal-mode run) but appends nothing: this snapshot now holds
             // everything they carried, so drop them instead of replaying
@@ -647,6 +849,13 @@ fn save_design(state: &ServerState, design: DesignHash) -> bool {
                 .counter("server_autosave_failures_total")
                 .inc();
             eprintln!("wlac-server: autosave of {design} failed (still serving from memory): {e}");
+            *state.last_autosave_failure.lock_recover() = Some(Instant::now());
+            dump_postmortem(
+                state,
+                "autosave_failure",
+                &format!("autosave of {design} failed: {e}"),
+                vec![("design", Json::str(design_to_wire(design)))],
+            );
             false
         }
     }
@@ -735,6 +944,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     stream.set_read_timeout(state.read_timeout).ok();
     stream.set_write_timeout(state.write_timeout).ok();
     state.metrics.counter("server_connections_total").inc();
+    let conn = state.next_conn.fetch_add(1, Ordering::Relaxed);
     let connection = state.tracer.span_start("connection", SpanId::ROOT);
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -749,7 +959,7 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         let started = Instant::now();
         let (reply, op) = dispatch(state, &line);
         let elapsed = started.elapsed();
-        record_request(state, connection, op, &reply, elapsed);
+        record_request(state, connection, conn, op, &reply, elapsed);
         let sent = writer
             .write_all(format!("{reply}\n").as_bytes())
             .and_then(|()| writer.flush());
@@ -763,10 +973,13 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
 
 /// Books one finished request: per-op counter and latency histogram, a
 /// per-code error counter when the reply is a failure, a request event in
-/// the connection span, and the slow-request log line.
+/// the connection span, a Server-layer flight-recorder event, a rolling SLO
+/// sample, and the slow-request log line (carrying the connection id, so a
+/// slow request is attributable to its client).
 fn record_request(
     state: &ServerState,
     connection: SpanId,
+    conn: u64,
     op: &'static str,
     reply: &Json,
     elapsed: Duration,
@@ -791,9 +1004,21 @@ fn record_request(
             .inc();
     }
     state.tracer.event(op, connection, nanos);
+    // The recorder event stamps the connection id as its job and the op (as
+    // its KNOWN_OPS index) plus the wall clock as payload: `events` can tail
+    // the request loop without parsing the slow-request log.
+    let op_index = KNOWN_OPS.iter().position(|k| *k == op).unwrap_or(0) as u64;
+    state.recorder.record(
+        RecorderLayer::Server,
+        RecorderKind::End,
+        conn,
+        op_index,
+        nanos,
+    );
+    state.slo.push(nanos, error_code.is_some());
     if elapsed >= state.slow_request_threshold {
         eprintln!(
-            "wlac-server: slow request op={op} wall_ms={:.1} outcome={}",
+            "wlac-server: slow request conn={conn} op={op} wall_ms={:.1} outcome={}",
             elapsed.as_secs_f64() * 1e3,
             error_code.unwrap_or("ok"),
         );
@@ -830,6 +1055,8 @@ fn dispatch(state: &ServerState, line: &str) -> (Json, &'static str) {
         "export_knowledge" => op_export_knowledge(state, &frame),
         "import_knowledge" => op_import_knowledge(state, &frame),
         "metrics" => op_metrics(state),
+        "health" => op_health(state),
+        "events" => op_events(state, &frame),
         "trace_check" => op_trace_check(state, &frame),
         "shutdown" => op_shutdown(state),
         _ => error_reply(ErrorCode::UnknownOp, format!("unknown op `{op}`")),
@@ -881,11 +1108,38 @@ fn op_stats(state: &ServerState) -> Json {
         boot_replayed_records: state.boot_replayed_records.load(Ordering::Relaxed),
         journal_quarantined_bytes: state.journal_quarantined_bytes.load(Ordering::Relaxed),
     };
+    refresh_derived_gauges(state);
     ok_reply(vec![
         ("stats", stats_to_wire(&state.service.stats(), &durability)),
         ("ops", ops),
         ("errors", errors),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
     ])
+}
+
+/// Pushes the derived observability gauges into the registry so both
+/// exposition paths (`metrics`, `stats`) and every post-mortem bundle see
+/// them: uptime, the tracer's dropped-record count and the flight
+/// recorder's overwrite/recorded counts. Gauges rather than counters
+/// because they mirror external state instead of accumulating here.
+fn refresh_derived_gauges(state: &ServerState) {
+    state
+        .metrics
+        .gauge("server_uptime_seconds")
+        .set(state.started.elapsed().as_secs_f64());
+    state
+        .metrics
+        .gauge("server_trace_dropped_records")
+        .set(state.tracer.dropped() as f64);
+    state
+        .metrics
+        .gauge("server_recorder_overwrites")
+        .set(state.recorder.overwrites() as f64);
+    state
+        .metrics
+        .gauge("server_recorder_recorded")
+        .set(state.recorder.recorded() as f64);
 }
 
 fn op_metrics(state: &ServerState) -> Json {
@@ -893,12 +1147,142 @@ fn op_metrics(state: &ServerState) -> Json {
     // text for scrapers, the flat JSON object for tooling that already
     // speaks the protocol. The JSON text round-trips through the parser so
     // it lands in the reply as a real object, not a quoted blob.
+    refresh_derived_gauges(state);
     let rendered = state.metrics.render_json();
     let json = Json::parse(&rendered)
         .unwrap_or_else(|e| Json::str(format!("metrics rendering failed to parse: {e}")));
+    // The registry's names are label-free by design; the conventional
+    // build-info gauge carries its one label here, at the exposition edge.
+    let prometheus = format!(
+        "{}# TYPE wlac_build_info gauge\nwlac_build_info{{version=\"{}\"}} 1\n",
+        state.metrics.render_prometheus(),
+        env!("CARGO_PKG_VERSION"),
+    );
     ok_reply(vec![
-        ("prometheus", Json::str(state.metrics.render_prometheus())),
+        ("prometheus", Json::str(prometheus)),
         ("metrics", json),
+    ])
+}
+
+fn op_health(state: &ServerState) -> Json {
+    let stats = state.service.stats();
+    let queue_depth = state.metrics.gauge("service_queue_depth").get().max(0.0) as u64;
+    let workers_ok = stats.workers_alive >= state.configured_workers;
+    let queue_ok = queue_depth <= state.max_queue_depth as u64;
+    let last_failure_age = state
+        .last_autosave_failure
+        .lock_recover()
+        .map(|at| at.elapsed());
+    let durability_ok = last_failure_age.is_none_or(|age| age > state.slo.window);
+    let (requests, error_rate, p99) = state.slo.fold();
+    let slo_ok = error_rate <= state.slo_error_rate && p99 <= state.slo_p99;
+    let draining = state.shutting_down.load(Ordering::Acquire);
+    // Liveness is answering at all; readiness is having the capacity to take
+    // more work (worker quorum + queue headroom, and not draining); degraded
+    // flags objective or durability trouble while still serving.
+    let ready = workers_ok && queue_ok && !draining;
+    let degraded = !durability_ok || !slo_ok;
+    let status = if !ready {
+        "not_ready"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ready"
+    };
+    let workers = Json::obj(vec![
+        ("alive", Json::num(stats.workers_alive as u64)),
+        ("configured", Json::num(state.configured_workers as u64)),
+        ("ok", Json::Bool(workers_ok)),
+    ]);
+    let queue = Json::obj(vec![
+        ("depth", Json::num(queue_depth)),
+        ("capacity", Json::num(state.max_queue_depth as u64)),
+        ("ok", Json::Bool(queue_ok)),
+    ]);
+    let durability = Json::obj(vec![
+        ("mode", Json::str(state.durability.as_str())),
+        (
+            "last_autosave_failure_s",
+            match last_failure_age {
+                Some(age) => Json::Num(age.as_secs_f64()),
+                None => Json::Null,
+            },
+        ),
+        ("ok", Json::Bool(durability_ok)),
+    ]);
+    let slo = Json::obj(vec![
+        ("window_s", Json::Num(state.slo.window.as_secs_f64())),
+        ("requests", Json::num(requests as u64)),
+        ("error_rate", Json::Num(error_rate)),
+        ("error_rate_objective", Json::Num(state.slo_error_rate)),
+        ("p99_ms", Json::Num(p99.as_secs_f64() * 1e3)),
+        (
+            "p99_objective_ms",
+            Json::Num(state.slo_p99.as_secs_f64() * 1e3),
+        ),
+        ("ok", Json::Bool(slo_ok)),
+    ]);
+    ok_reply(vec![
+        ("status", Json::str(status)),
+        ("live", Json::Bool(true)),
+        ("ready", Json::Bool(ready)),
+        ("degraded", Json::Bool(degraded)),
+        ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
+        (
+            "checks",
+            Json::obj(vec![
+                ("workers", workers),
+                ("queue", queue),
+                ("durability", durability),
+                ("slo", slo),
+            ]),
+        ),
+    ])
+}
+
+/// Default and hard cap of the `events` op's reply size.
+const EVENTS_DEFAULT_LIMIT: usize = 256;
+
+fn op_events(state: &ServerState, frame: &Json) -> Json {
+    let layer = match frame.get("layer").and_then(Json::as_str) {
+        Some(name) => match RecorderLayer::parse(name) {
+            Some(layer) => Some(layer),
+            None => {
+                return error_reply(
+                    ErrorCode::BadRequest,
+                    format!(
+                        "unknown layer `{name}` (expected one of: {})",
+                        RecorderLayer::ALL.map(RecorderLayer::as_str).join(", ")
+                    ),
+                )
+            }
+        },
+        None => None,
+    };
+    let job = frame.get("job").and_then(Json::as_u64);
+    let limit = frame
+        .get("limit")
+        .and_then(Json::as_u64)
+        .map(|l| l as usize)
+        .unwrap_or(EVENTS_DEFAULT_LIMIT)
+        .min(state.recorder.capacity());
+    let events = state.recorder.snapshot();
+    let selected: Vec<Json> = events
+        .iter()
+        .filter(|e| layer.is_none_or(|l| e.layer == l))
+        .filter(|e| job.is_none_or(|j| e.job == j))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .take(limit)
+        .rev()
+        .map(event_to_json)
+        .collect();
+    ok_reply(vec![
+        ("events", Json::Arr(selected)),
+        ("recorded", Json::num(state.recorder.recorded())),
+        ("overwritten", Json::num(state.recorder.overwrites())),
+        ("capacity", Json::num(state.recorder.capacity() as u64)),
     ])
 }
 

@@ -604,6 +604,381 @@ fn server_side_wait_is_bounded() {
     handle.join().expect("server thread");
 }
 
+/// The parsed post-mortem bundles under `<data_dir>/postmortem`, in write
+/// order. Parsing is part of the assertion: every bundle a fault path
+/// produces must be valid JSON (torn or unparseable dumps defeat the
+/// point of a post-mortem).
+fn postmortem_bundles(data_dir: &std::path::Path) -> Vec<(String, Json)> {
+    let dir = data_dir.join("postmortem");
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return Vec::new();
+    };
+    let mut bundles: Vec<(String, Json)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if !name.starts_with("pm-") || !name.ends_with(".json") {
+                return None;
+            }
+            let text = fs::read_to_string(e.path()).expect("bundle is readable");
+            let bundle = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("bundle {name} is not valid JSON: {e}"));
+            Some((name, bundle))
+        })
+        .collect();
+    bundles.sort_by(|a, b| a.0.cmp(&b.0));
+    bundles
+}
+
+/// The bundles whose `fault` member names the given fault path.
+fn bundles_for<'a>(bundles: &'a [(String, Json)], fault: &str) -> Vec<&'a Json> {
+    bundles
+        .iter()
+        .filter(|(name, bundle)| {
+            assert_eq!(
+                bundle.get("fault").and_then(Json::as_str),
+                name.get(10..name.len() - 5),
+                "file name carries the fault: {name}"
+            );
+            bundle.get("fault").and_then(Json::as_str) == Some(fault)
+        })
+        .map(|(_, bundle)| bundle)
+        .collect()
+}
+
+#[test]
+fn a_quarantined_job_writes_a_parseable_postmortem_bundle() {
+    let dir = TempDir::new();
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.service.faults = FaultPlan::seeded(7).fire_nth(FaultSite::WorkerPanic, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "unknown");
+
+    // The quarantine dumped before the job completed, so the bundle is
+    // already on disk when the wait returns.
+    let bundles = postmortem_bundles(&dir.0);
+    let quarantined = bundles_for(&bundles, "job_quarantined");
+    assert_eq!(quarantined.len(), 1, "bundles: {bundles:?}");
+    let bundle = quarantined[0];
+    assert!(
+        bundle
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("panic")),
+        "{bundle}"
+    );
+    let descriptor = bundle.get("job_descriptor").expect("job descriptor");
+    assert_eq!(descriptor.get("index").and_then(Json::as_u64), Some(0));
+    assert_eq!(
+        descriptor.get("property").and_then(Json::as_str),
+        Some("ok")
+    );
+    assert!(
+        bundle.get("job").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the bundle is job-scoped: {bundle}"
+    );
+    // The flight-recorder snapshot rode along, and the faulting job's own
+    // events (its dequeue at least) are extracted under `job_events`.
+    let events = bundle
+        .get("flight_recorder")
+        .and_then(|fr| fr.get("events"))
+        .and_then(Json::as_arr)
+        .expect("recorder events");
+    assert!(!events.is_empty(), "recorder captured boot/job events");
+    let job_events = bundle
+        .get("job_events")
+        .and_then(Json::as_arr)
+        .expect("job events");
+    assert!(
+        job_events
+            .iter()
+            .any(|e| e.get("kind").and_then(Json::as_str) == Some("dequeue")),
+        "job trail includes its dequeue: {job_events:?}"
+    );
+    // The full metrics snapshot is embedded as a real object.
+    assert!(
+        bundle
+            .get("metrics")
+            .and_then(|m| m.get("service_jobs_submitted_total"))
+            .is_some(),
+        "{bundle}"
+    );
+    assert!(client.metric("server_postmortems_written_total") >= 1);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn a_timed_out_job_writes_a_postmortem_naming_the_budget() {
+    let dir = TempDir::new();
+    let budget = Duration::from_millis(300);
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.service.job_budget = Some(budget);
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::EngineHang, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    let results = client.wait(batch);
+    assert_eq!(label_of(&results[0]), "timeout");
+
+    let bundles = postmortem_bundles(&dir.0);
+    let timeouts = bundles_for(&bundles, "job_timeout");
+    assert_eq!(timeouts.len(), 1, "bundles: {bundles:?}");
+    let bundle = timeouts[0];
+    assert!(
+        bundle
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("budget")),
+        "{bundle}"
+    );
+    assert_eq!(
+        bundle
+            .get("job_descriptor")
+            .and_then(|d| d.get("property"))
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn autosave_failure_and_rejected_snapshot_write_postmortems() {
+    let dir = TempDir::new();
+
+    // Session 1: every snapshot write fails — the autosave fault path dumps.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.durability = DurabilityMode::Snapshot;
+    config.faults = FaultPlan::seeded(7).fire_from(FaultSite::SnapshotWrite, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok")]);
+    client.wait(batch);
+    let bundles = postmortem_bundles(&dir.0);
+    let autosaves = bundles_for(&bundles, "autosave_failure");
+    assert!(!autosaves.is_empty(), "bundles: {bundles:?}");
+    assert!(
+        autosaves[0]
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("autosave")),
+        "{}",
+        autosaves[0]
+    );
+    // While the failure is fresh, health reports degraded durability.
+    let reply = client.call(Json::obj(vec![("op", Json::str("health"))]));
+    assert_eq!(
+        reply.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "{reply}"
+    );
+    assert_eq!(
+        reply
+            .get("checks")
+            .and_then(|c| c.get("durability"))
+            .and_then(|d| d.get("ok"))
+            .and_then(Json::as_bool),
+        Some(false),
+        "{reply}"
+    );
+    client.shutdown();
+    handle.join().expect("server thread");
+
+    // Session 2: a garbage snapshot file in the data directory is rejected
+    // at boot — and the rejection dumps a bundle naming the file.
+    fs::write(dir.0.join("dfff0000deadbeef.wlacsnap"), b"not a snapshot").expect("write garbage");
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    let (addr, handle, _) = start(config);
+    let bundles = postmortem_bundles(&dir.0);
+    let rejected = bundles_for(&bundles, "snapshot_rejected");
+    assert_eq!(rejected.len(), 1, "bundles: {bundles:?}");
+    assert!(
+        rejected[0]
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains(".wlacsnap")),
+        "{}",
+        rejected[0]
+    );
+    let mut client = Client::connect(addr);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn a_torn_journal_tail_writes_a_postmortem_at_boot() {
+    let dir = TempDir::new();
+
+    // Session 1: journal mode, real records on disk.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.durability = DurabilityMode::Journal;
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &THREE_JOBS);
+    client.wait(batch);
+    client.shutdown();
+    handle.join().expect("server thread");
+
+    // Graceful shutdown compacts the journal back to its (valid) header.
+    // Tear the tail: append garbage past the last valid byte.
+    let path = fs::read_dir(&dir.0)
+        .expect("data dir")
+        .filter_map(|e| Some(e.ok()?.path()))
+        .find(|p| p.extension().and_then(|e| e.to_str()) == Some("wlacjournal"))
+        .expect("journal exists");
+    let mut bytes = fs::read(&path).expect("journal bytes");
+    bytes.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03]);
+    fs::write(&path, &bytes).expect("tear journal tail");
+
+    // Session 2: boot quarantines the torn tail and dumps a bundle.
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.durability = DurabilityMode::Journal;
+    let (addr, handle, _) = start(config);
+    let bundles = postmortem_bundles(&dir.0);
+    let torn = bundles_for(&bundles, "journal_tail_quarantined");
+    assert_eq!(torn.len(), 1, "bundles: {bundles:?}");
+    let bundle = torn[0];
+    assert!(
+        bundle
+            .get("quarantined_bytes")
+            .and_then(Json::as_u64)
+            .is_some_and(|b| b > 0),
+        "{bundle}"
+    );
+    let mut client = Client::connect(addr);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn postmortem_bundles_are_evicted_oldest_first_under_the_count_cap() {
+    let dir = TempDir::new();
+    let mut config = deterministic_config();
+    config.data_dir = Some(dir.0.clone());
+    config.postmortem_max_dumps = 3;
+    // Every job panics: each one dumps a bundle.
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::WorkerPanic, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    for _ in 0..5 {
+        let batch = client.submit(&design, &[("always", "ok")]);
+        client.wait(batch);
+    }
+    let bundles = postmortem_bundles(&dir.0);
+    assert_eq!(bundles.len(), 3, "cap holds: {bundles:?}");
+    // Oldest evicted first: the survivors are the three newest sequences.
+    assert!(
+        bundles[0].0.starts_with("pm-000002-"),
+        "oldest surviving bundle: {}",
+        bundles[0].0
+    );
+    assert!(client.metric("server_postmortems_evicted_total") >= 2);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn health_reports_not_ready_when_the_queue_backs_up_behind_a_wedged_worker() {
+    let mut config = deterministic_config();
+    // The sole worker wedges forever on its first job; no budget frees it.
+    config.service.faults = FaultPlan::seeded(7).fire_from(FaultSite::EngineHang, 1);
+    config.max_queue_depth = 0;
+    config.wait_timeout = Duration::from_millis(200);
+    config.drain_timeout = Duration::from_millis(200);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+
+    // Before any work: ready.
+    let reply = client.call(Json::obj(vec![("op", Json::str("health"))]));
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ready"));
+    assert_eq!(reply.get("live").and_then(Json::as_bool), Some(true));
+
+    // Two jobs: the first wedges the worker, the second sits in the queue —
+    // depth 1 over a capacity of 0.
+    let design = client.register_counter();
+    client.submit(&design, &[("always", "ok"), ("always", "bad")]);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let reply = loop {
+        let reply = client.call(Json::obj(vec![("op", Json::str("health"))]));
+        if reply.get("ready").and_then(Json::as_bool) == Some(false) {
+            break reply;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "health never went not_ready: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("not_ready")
+    );
+    assert_eq!(
+        reply
+            .get("checks")
+            .and_then(|c| c.get("queue"))
+            .and_then(|q| q.get("ok"))
+            .and_then(Json::as_bool),
+        Some(false),
+        "{reply}"
+    );
+    // Liveness is unaffected: the server still answers.
+    assert_eq!(reply.get("live").and_then(Json::as_bool), Some(true));
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn health_returns_to_ready_after_a_lost_worker_is_respawned() {
+    let mut config = deterministic_config();
+    config.service.faults = FaultPlan::seeded(7).fire_nth(FaultSite::WorkerLoss, 1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    // This job's completion kills the sole worker; the sentinel respawns it.
+    let batch = client.submit(&design, &[("always", "ok")]);
+    client.wait(batch);
+    // A second batch proves the respawned worker serves — and health agrees
+    // the quorum is back.
+    let batch = client.submit(&design, &[("always", "bad")]);
+    client.wait(batch);
+    let reply = client.call(Json::obj(vec![("op", Json::str("health"))]));
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("ready"),
+        "{reply}"
+    );
+    let workers = reply
+        .get("checks")
+        .and_then(|c| c.get("workers"))
+        .expect("workers check");
+    assert_eq!(workers.get("alive").and_then(Json::as_u64), Some(1));
+    assert_eq!(workers.get("ok").and_then(Json::as_bool), Some(true));
+    let stats = client.stats();
+    assert_eq!(
+        stats.get("workers_respawned").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(stats.get("workers_alive").and_then(Json::as_u64), Some(1));
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
 #[test]
 fn idle_connections_are_reaped_by_the_read_timeout() {
     let mut config = deterministic_config();

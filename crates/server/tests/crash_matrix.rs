@@ -303,6 +303,43 @@ fn assert_recovery(
         expected_recovered as u64,
         "{case}: replayed record count"
     );
+    // Damage is never silent: quarantined bytes come with a parseable
+    // post-mortem bundle naming the fault site — and a clean boot must not
+    // cry wolf.
+    let dumps: Vec<std::path::PathBuf> = fs::read_dir(dir.0.join("postmortem"))
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("pm-") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if server.journal_quarantined_bytes() > 0 {
+        assert!(
+            !dumps.is_empty(),
+            "{case}: quarantined bytes without a post-mortem dump"
+        );
+        for dump in &dumps {
+            let text = fs::read_to_string(dump).expect("dump is readable");
+            let bundle = Json::parse(&text)
+                .unwrap_or_else(|e| panic!("{case}: dump {} is not JSON: {e}", dump.display()));
+            assert_eq!(
+                bundle.get("fault").and_then(Json::as_str),
+                Some("journal_tail_quarantined"),
+                "{case}: {bundle}"
+            );
+        }
+    } else {
+        assert!(
+            dumps.is_empty(),
+            "{case}: undamaged journal produced dumps: {dumps:?}"
+        );
+    }
     let addr = server.local_addr().expect("addr");
     let handle = std::thread::spawn(move || server.run());
     let mut client = Client::connect(addr);

@@ -536,6 +536,166 @@ fn metrics_exposition_covers_every_layer() {
 }
 
 #[test]
+fn health_build_and_uptime_surface_on_a_live_server() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+
+    // A freshly-booted idle server is live, ready, and not degraded.
+    let reply = client.call(Json::obj(vec![("op", Json::str("health"))]));
+    assert_eq!(reply.get("status").and_then(Json::as_str), Some("ready"));
+    assert_eq!(reply.get("live").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("degraded").and_then(Json::as_bool), Some(false));
+    assert!(reply.get("uptime_s").and_then(Json::as_f64).is_some());
+    let checks = reply.get("checks").expect("checks object");
+    for check in ["workers", "queue", "durability", "slo"] {
+        assert_eq!(
+            checks
+                .get(check)
+                .and_then(|c| c.get("ok"))
+                .and_then(Json::as_bool),
+            Some(true),
+            "{check} check: {reply}"
+        );
+    }
+    assert_eq!(
+        checks
+            .get("workers")
+            .and_then(|w| w.get("alive"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    // The SLO window has seen no requests yet (health itself is recorded
+    // after it replies), so the objective trivially holds.
+    assert_eq!(
+        checks
+            .get("slo")
+            .and_then(|s| s.get("error_rate"))
+            .and_then(Json::as_f64),
+        Some(0.0)
+    );
+
+    // `stats` carries the build version and uptime.
+    let reply = client.call(Json::obj(vec![("op", Json::str("stats"))]));
+    assert_eq!(
+        reply.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(reply.get("uptime_s").and_then(Json::as_f64).is_some());
+
+    // The Prometheus exposition carries the build-info gauge (the one
+    // labelled sample) and the uptime/recorder gauges.
+    let reply = client.call(Json::obj(vec![("op", Json::str("metrics"))]));
+    let text = reply
+        .get("prometheus")
+        .and_then(Json::as_str)
+        .expect("prometheus text");
+    assert!(
+        text.contains(&format!(
+            "wlac_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )),
+        "build info missing from exposition"
+    );
+    let samples = parse_prometheus(text);
+    assert!(sample(&samples, "server_uptime_seconds").expect("uptime gauge") >= 0.0);
+    assert!(sample(&samples, "server_recorder_recorded").expect("recorder gauge") > 0.0);
+    assert_eq!(sample(&samples, "server_recorder_overwrites"), Some(0.0));
+    assert_eq!(sample(&samples, "server_trace_dropped_records"), Some(0.0));
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn events_tails_the_flight_recorder_over_the_wire() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+    let _ = client.wait(batch);
+
+    // Unfiltered tail: the batch left events in every serving layer.
+    let reply = client.call(Json::obj(vec![("op", Json::str("events"))]));
+    let events = reply.get("events").and_then(Json::as_arr).expect("events");
+    assert!(!events.is_empty());
+    assert!(reply.get("recorded").and_then(Json::as_u64).unwrap_or(0) > 0);
+    assert!(reply.get("capacity").and_then(Json::as_u64).unwrap_or(0) > 0);
+    let layer_of = |e: &Json| {
+        e.get("layer")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    for layer in ["core", "portfolio", "service"] {
+        assert!(
+            events.iter().any(|e| layer_of(e) == layer),
+            "no {layer} events in {events:?}"
+        );
+    }
+    // Events are in recording order and payload words travel as hex strings.
+    let seqs: Vec<u64> = events
+        .iter()
+        .map(|e| e.get("seq").and_then(Json::as_u64).expect("seq"))
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    assert!(events.iter().all(|e| e
+        .get("p0")
+        .and_then(Json::as_str)
+        .is_some_and(|p| p.starts_with("0x"))));
+
+    // Layer filter narrows to that layer only.
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("events")),
+        ("layer", Json::str("service")),
+    ]));
+    let service_events = reply.get("events").and_then(Json::as_arr).expect("events");
+    assert!(!service_events.is_empty());
+    assert!(service_events.iter().all(|e| layer_of(e) == "service"));
+
+    // Job filter follows one job across layers: every event it returns is
+    // stamped with that job, and the job's service-side dequeue is there.
+    let job = service_events
+        .iter()
+        .find_map(|e| e.get("job").and_then(Json::as_u64).filter(|&j| j > 0))
+        .expect("a job-stamped service event");
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("events")),
+        ("job", Json::num(job)),
+    ]));
+    let job_events = reply.get("events").and_then(Json::as_arr).expect("events");
+    assert!(job_events
+        .iter()
+        .all(|e| e.get("job").and_then(Json::as_u64) == Some(job)));
+    assert!(job_events
+        .iter()
+        .any(|e| e.get("kind").and_then(Json::as_str) == Some("dequeue")));
+
+    // The limit keeps only the newest events.
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("events")),
+        ("limit", Json::num(1)),
+    ]));
+    let tail = reply.get("events").and_then(Json::as_arr).expect("events");
+    assert_eq!(tail.len(), 1);
+    // The survivor is the newest event: at or past everything the earlier
+    // snapshot saw (the requests in between recorded more).
+    assert!(
+        tail[0].get("seq").and_then(Json::as_u64) >= seqs.last().copied(),
+        "limit kept an old event: {tail:?}"
+    );
+
+    // An unknown layer is a structured error naming the vocabulary.
+    assert_eq!(
+        client.call_err("{\"op\":\"events\",\"layer\":\"warp\"}"),
+        "bad_request"
+    );
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn trace_check_profiles_one_property() {
     let (addr, handle, _) = start(quick_config());
     let mut client = Client::connect(addr);

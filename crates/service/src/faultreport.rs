@@ -1,0 +1,92 @@
+//! The fault-report hook: how contained failures leave the service for a
+//! post-mortem.
+//!
+//! The service quarantines panicking jobs and times out over-budget ones,
+//! but it knows nothing about files or dump formats — the same separation
+//! as [`DurabilitySink`](crate::DurabilitySink). When a fault path fires,
+//! the worker offers a borrowed [`FaultReport`] — the fault's stable name,
+//! the triggering job's descriptor and what is known about its execution —
+//! to an optional [`FaultSink`]. The server implements the sink with its
+//! post-mortem dump writer; the disabled default costs one `Option` check
+//! per fault (and faults are already the cold path).
+//!
+//! Sinks must never panic and must not block for long: they run on the
+//! worker thread, inside the fault path itself — a sink that hangs turns
+//! one contained failure into a stuck worker.
+
+use crate::hash::DesignHash;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the service knows about one contained fault, borrowed from
+/// the faulting worker's stack. A sink that needs the data beyond the call
+/// must copy it.
+#[derive(Debug)]
+pub struct FaultReport<'a> {
+    /// Stable fault-path name: `job_quarantined`, `job_timeout`.
+    pub fault: &'static str,
+    /// The flight-recorder job id the faulting job's events are stamped
+    /// with (0 when the fault is not job-scoped).
+    pub job: u64,
+    /// The batch the job belonged to.
+    pub batch: u64,
+    /// The job's index within its batch.
+    pub index: usize,
+    /// The design the job ran against.
+    pub design: DesignHash,
+    /// The property's monitor-net name.
+    pub property: &'a str,
+    /// Human-readable detail (panic payload, budget).
+    pub detail: String,
+    /// Wall-clock time the job had consumed when the fault was contained.
+    pub wall: Duration,
+}
+
+/// A destination for [`FaultReport`]s — implemented by the server's
+/// post-mortem dump writer.
+pub trait FaultSink: Send + Sync {
+    /// Reports one contained fault. Failures are the sink's to count and
+    /// swallow.
+    fn fault(&self, report: &FaultReport<'_>);
+}
+
+/// The optional sink as configuration: `Clone` + `Debug` so
+/// [`ServiceConfig`](crate::ServiceConfig) keeps deriving both, inert and
+/// free by default — the [`DurabilityHook`](crate::DurabilityHook) pattern.
+#[derive(Clone, Default)]
+pub struct FaultReportHook {
+    sink: Option<Arc<dyn FaultSink>>,
+}
+
+impl FaultReportHook {
+    /// No sink: faults are contained and counted, but not reported (the
+    /// default).
+    pub fn disabled() -> Self {
+        FaultReportHook::default()
+    }
+
+    /// Routes every contained fault through `sink`.
+    pub fn new(sink: Arc<dyn FaultSink>) -> Self {
+        FaultReportHook { sink: Some(sink) }
+    }
+
+    /// `true` when a sink is attached.
+    pub fn is_armed(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    pub(crate) fn emit(&self, report: &FaultReport<'_>) {
+        if let Some(sink) = &self.sink {
+            sink.fault(report);
+        }
+    }
+}
+
+impl fmt::Debug for FaultReportHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultReportHook")
+            .field("armed", &self.sink.is_some())
+            .finish()
+    }
+}

@@ -76,11 +76,13 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod durability;
+mod faultreport;
 mod hash;
 mod knowledge;
 mod session;
 
 pub use durability::{DurabilityHook, DurabilityRecord, DurabilitySink};
+pub use faultreport::{FaultReport, FaultReportHook, FaultSink};
 pub use hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
 pub use knowledge::{
     ClauseBank, KnowledgeBase, KnowledgeError, KnowledgeStats, DEFAULT_CLAUSE_CAP,

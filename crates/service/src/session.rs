@@ -17,6 +17,7 @@
 //!    and caches the verdict.
 
 use crate::durability::{DurabilityHook, DurabilityRecord};
+use crate::faultreport::{FaultReport, FaultReportHook};
 use crate::hash::{config_fingerprint, design_hash, property_hash, DesignHash, PropertyHash};
 use crate::knowledge::{KnowledgeBase, KnowledgeError, KnowledgeStats};
 use std::collections::{HashMap, VecDeque};
@@ -31,7 +32,7 @@ use wlac_portfolio::{
     predict_engines, Engine, EngineStats, NetlistFeatures, Portfolio, PortfolioConfig,
     PortfolioReport, Verdict, WarmStart,
 };
-use wlac_telemetry::MetricsRegistry;
+use wlac_telemetry::{MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer};
 
 /// Handle to a submitted batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +133,14 @@ pub struct ServiceConfig {
     /// published, so a write-ahead journal sees the record ahead of any
     /// acknowledgement. The disabled default is free.
     pub durability: DurabilityHook,
+    /// Flight-recorder handle: workers stamp dequeue/cache-hit/fault/finish
+    /// events (and thread a per-job handle through every race) into the
+    /// attached ring. The disabled default is free.
+    pub recorder: RecorderHandle,
+    /// Fault-report hook: every contained fault (quarantine, timeout) is
+    /// described to the attached [`FaultSink`](crate::FaultSink) — the
+    /// server's post-mortem dump writer. The disabled default is free.
+    pub fault_report: FaultReportHook,
 }
 
 impl ServiceConfig {
@@ -149,6 +158,8 @@ impl ServiceConfig {
             job_budget: None,
             faults: FaultPlan::disabled(),
             durability: DurabilityHook::disabled(),
+            recorder: RecorderHandle::disabled(),
+            fault_report: FaultReportHook::disabled(),
         }
     }
 }
@@ -188,6 +199,10 @@ pub struct ServiceStats {
     pub timed_out_jobs: u64,
     /// Worker threads the supervisor respawned after a loss.
     pub workers_respawned: u64,
+    /// Worker threads currently alive (spawned minus finished). Below the
+    /// configured pool size it means a lost worker has not been respawned
+    /// yet — the readiness signal the server's health op watches.
+    pub workers_alive: usize,
 }
 
 impl ServiceStats {
@@ -332,6 +347,10 @@ impl VerdictCache {
 }
 
 struct QueuedJob {
+    /// Session-unique id stamped into every flight-recorder event the job
+    /// emits (service, portfolio and core layers alike), so a post-mortem
+    /// can pull one job's full event trail out of the shared ring.
+    job_id: u64,
     batch: u64,
     index: usize,
     design: DesignHash,
@@ -401,6 +420,8 @@ struct Shared {
     batches: Mutex<BatchTable>,
     batch_cv: Condvar,
     next_batch: AtomicU64,
+    /// Job ids start at 1 so 0 can mean "not job-scoped" in recorder events.
+    next_job: AtomicU64,
     shutdown: AtomicBool,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
@@ -431,6 +452,12 @@ impl Drop for RespawnSentinel {
             if let Some(metrics) = &self.shared.metrics {
                 metrics.counter("service_workers_respawned_total").inc();
             }
+            self.shared.config.recorder.record(
+                RecorderLayer::Service,
+                RecorderKind::Respawn,
+                self.shared.respawned.load(Ordering::Relaxed),
+                0,
+            );
             spawn_worker(&self.shared);
         }
     }
@@ -495,6 +522,7 @@ impl VerificationService {
             batches: Mutex::new(BatchTable::new()),
             batch_cv: Condvar::new(),
             next_batch: AtomicU64::new(0),
+            next_job: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
@@ -563,6 +591,7 @@ impl VerificationService {
                 config: config_hash,
             };
             queued.push(QueuedJob {
+                job_id: self.shared.next_job.fetch_add(1, Ordering::Relaxed),
                 batch,
                 index,
                 design,
@@ -683,6 +712,10 @@ impl VerificationService {
             let cache = self.shared.cache.lock_recover();
             (cache.evictions, cache.len())
         };
+        let workers_alive = {
+            let handles = self.shared.worker_handles.lock_recover();
+            handles.iter().filter(|h| !h.is_finished()).count()
+        };
         let registry = self.shared.registry.lock_recover();
         let mut stats = ServiceStats {
             designs: registry.len(),
@@ -694,6 +727,7 @@ impl VerificationService {
             quarantined_jobs: self.shared.quarantined.load(Ordering::Relaxed),
             timed_out_jobs: self.shared.timeouts.load(Ordering::Relaxed),
             workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
+            workers_alive,
             ..ServiceStats::default()
         };
         for entry in registry.values() {
@@ -894,11 +928,11 @@ impl Drop for VerificationService {
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let job = {
+        let (job, depth) = {
             let mut queue = shared.queue.lock_recover();
             loop {
                 if let Some(job) = queue.pop_front() {
-                    break job;
+                    break (job, queue.len());
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
@@ -910,6 +944,12 @@ fn worker_loop(shared: &Arc<Shared>) {
             metrics.gauge("service_queue_depth").sub(1.0);
             metrics.gauge("service_workers_busy").add(1.0);
         }
+        shared.config.recorder.with_job(job.job_id).record(
+            RecorderLayer::Service,
+            RecorderKind::Dequeue,
+            depth as u64,
+            job.batch,
+        );
         let start = Instant::now();
         // The per-job panic fence: *anything* that unwinds out of job
         // processing — an engine bug, poisoned bookkeeping, an injected
@@ -918,8 +958,8 @@ fn worker_loop(shared: &Arc<Shared>) {
         // for the next job.
         let fenced =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_job(shared, &job)));
-        if fenced.is_err() {
-            quarantine_job(shared, &job, start.elapsed());
+        if let Err(payload) = fenced {
+            quarantine_job(shared, &job, start.elapsed(), payload.as_ref());
         }
         if let Some(metrics) = &shared.metrics {
             metrics.gauge("service_workers_busy").sub(1.0);
@@ -932,13 +972,40 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 /// Completes a job whose processing panicked: an error verdict (never
-/// cached, never persisted), a counter, a metric — and nothing else. The
-/// batch completes; the pool survives.
-fn quarantine_job(shared: &Shared, job: &QueuedJob, wall: Duration) {
+/// cached, never persisted), a counter, a metric, a flight-recorder event
+/// and a fault report — and nothing else. The batch completes; the pool
+/// survives.
+fn quarantine_job(shared: &Shared, job: &QueuedJob, wall: Duration, payload: &dyn std::any::Any) {
     shared.quarantined.fetch_add(1, Ordering::Relaxed);
     if let Some(metrics) = &shared.metrics {
         metrics.counter("service_jobs_quarantined_total").inc();
     }
+    shared.config.recorder.with_job(job.job_id).record(
+        RecorderLayer::Service,
+        RecorderKind::Fault,
+        job.batch,
+        wall.as_nanos() as u64,
+    );
+    // The fault report runs inside the worker's fault path (see the
+    // `faultreport` module docs); describe the panic payload when it is a
+    // string, the common case for both real panics and injected ones.
+    let detail = if let Some(message) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {message}")
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        format!("job panicked: {message}")
+    } else {
+        "job panicked (non-string payload)".to_string()
+    };
+    shared.config.fault_report.emit(&FaultReport {
+        fault: "job_quarantined",
+        job: job.job_id,
+        batch: job.batch,
+        index: job.index,
+        design: job.design,
+        property: &job.verification.property.name,
+        detail,
+        wall,
+    });
     let result = JobResult {
         property: job.verification.property.name.clone(),
         design: job.design,
@@ -1008,6 +1075,12 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
     };
     if let Some(hit) = cached {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.config.recorder.with_job(job.job_id).record(
+            RecorderLayer::Service,
+            RecorderKind::CacheHit,
+            job.batch,
+            0,
+        );
         let result = JobResult {
             property: job.verification.property.name.clone(),
             design: job.design,
@@ -1081,7 +1154,10 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         if let Some(metrics) = &shared.metrics {
             portfolio = portfolio.with_metrics(Arc::clone(metrics));
         }
-        portfolio.race_warm(&job.verification, &warm)
+        // The per-job handle stamps this job's id into every portfolio- and
+        // core-layer event of the race.
+        let recorder = shared.config.recorder.with_job(job.job_id);
+        portfolio.race_warm_recorded(&job.verification, &warm, &recorder)
     }));
     let (report, harvest) = match raced {
         Ok(outcome) => outcome,
@@ -1107,6 +1183,30 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         if let Some(metrics) = &shared.metrics {
             metrics.counter("service_jobs_timed_out_total").inc();
         }
+        shared.config.recorder.with_job(job.job_id).record(
+            RecorderLayer::Service,
+            RecorderKind::Fault,
+            job.batch,
+            start.elapsed().as_nanos() as u64,
+        );
+        let budget = shared
+            .config
+            .portfolio
+            .job_budget
+            .or(shared.config.job_budget);
+        shared.config.fault_report.emit(&FaultReport {
+            fault: "job_timeout",
+            job: job.job_id,
+            batch: job.batch,
+            index: job.index,
+            design: job.design,
+            property: &job.verification.property.name,
+            detail: match budget {
+                Some(budget) => format!("job exceeded its {budget:?} wall-clock budget"),
+                None => "job timed out".to_string(),
+            },
+            wall: start.elapsed(),
+        });
     }
     {
         let mut kb = entry.knowledge.lock_recover();
@@ -1163,6 +1263,12 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
             },
         );
     }
+    shared.config.recorder.with_job(job.job_id).record(
+        RecorderLayer::Service,
+        RecorderKind::End,
+        job.batch,
+        start.elapsed().as_nanos() as u64,
+    );
     let result = JobResult {
         property: report.property.clone(),
         design: job.design,

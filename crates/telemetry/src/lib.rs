@@ -18,6 +18,11 @@
 //!   plain integers, so emitting an event never allocates; when the ring
 //!   wraps, the oldest events are dropped and counted. Snapshots export as
 //!   JSONL, one event per line.
+//! * [`FlightRecorder`] — the always-on black box: a lock-free, alloc-free
+//!   ring of compact structured events (layer, kind, job id, monotonic
+//!   nanos, two payload words) every layer emits into via a shared
+//!   [`RecorderHandle`], so the last N events of system behavior are always
+//!   reconstructable for a post-mortem dump or a remote `events` tail.
 //!
 //! The crate is std-only and dependency-free by design: it sits below every
 //! other crate in the workspace and must never pull the build online.
@@ -45,7 +50,9 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod recorder;
 mod tracer;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use recorder::{FlightEvent, FlightRecorder, RecorderHandle, RecorderKind, RecorderLayer};
 pub use tracer::{SpanId, TraceEvent, TraceEventKind, Tracer};

@@ -326,8 +326,15 @@ impl MetricsRegistry {
     }
 
     /// Prometheus-style text exposition: `# TYPE` lines followed by samples;
-    /// histograms render as summaries with `quantile` labels plus `_max`,
-    /// `_count` and `_sum` samples.
+    /// histograms render as summaries with `quantile` labels plus `_count`
+    /// and `_sum` samples, and the observed maximum as a separately-typed
+    /// `_max` gauge.
+    ///
+    /// A summary family consists of exactly `name{quantile=…}`, `name_count`
+    /// and `name_sum`; strict scrapers reject any other sample under its
+    /// `# TYPE` declaration, so `_max` — which is not part of the summary
+    /// vocabulary — gets its own `# TYPE … gauge` line instead of riding
+    /// untyped inside the summary block.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in self.snapshot() {
@@ -343,9 +350,9 @@ impl MetricsRegistry {
                     out.push_str(&format!("{name}{{quantile=\"0.5\"}} {}\n", s.p50));
                     out.push_str(&format!("{name}{{quantile=\"0.9\"}} {}\n", s.p90));
                     out.push_str(&format!("{name}{{quantile=\"0.99\"}} {}\n", s.p99));
-                    out.push_str(&format!("{name}_max {}\n", s.max));
                     out.push_str(&format!("{name}_count {}\n", s.count));
                     out.push_str(&format!("{name}_sum {}\n", s.sum));
+                    out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", s.max));
                 }
             }
         }
@@ -492,6 +499,8 @@ mod tests {
         assert!(text.contains("wall_ns{quantile=\"0.5\"}"));
         assert!(text.contains("wall_ns_count 1"));
         assert!(text.contains("wall_ns_sum 1024"));
+        assert!(text.contains("# TYPE wall_ns_max gauge"));
+        assert!(text.contains("wall_ns_max 1024"));
 
         let json = registry.render_json();
         assert!(json.contains("\"requests_total\": 2"));
@@ -506,6 +515,60 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter("x");
         registry.gauge("x");
+    }
+
+    /// What a strict scraper enforces: every sample belongs to a declared
+    /// family, and a summary family carries only `name{quantile=…}`,
+    /// `name_count` and `name_sum` samples. The `_max` sample must therefore
+    /// arrive as its own typed gauge, never untyped inside the summary.
+    #[test]
+    fn prometheus_exposition_is_strictly_scrape_valid() {
+        let registry = MetricsRegistry::new();
+        registry.counter("jobs_total").add(3);
+        registry.gauge("depth").set(1.0);
+        registry.histogram("wall_ns").record(100);
+        registry.histogram("wall_ns").record(900);
+
+        let mut declared: std::collections::HashMap<String, String> =
+            std::collections::HashMap::new();
+        for line in registry.render_prometheus().lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("type line has a name");
+                let kind = parts.next().expect("type line has a kind");
+                assert!(parts.next().is_none(), "malformed TYPE line: {line}");
+                declared.insert(name.to_string(), kind.to_string());
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let sample = parts.next().expect("sample line has a name");
+            let value = parts.next().expect("sample line has a value");
+            assert!(parts.next().is_none(), "malformed sample line: {line}");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric value: {line}");
+            let bare = sample.split('{').next().expect("sample name");
+            let family = declared
+                .iter()
+                .find_map(|(name, kind)| {
+                    let member = match kind.as_str() {
+                        "summary" => {
+                            bare == name
+                                || bare == format!("{name}_count")
+                                || bare == format!("{name}_sum")
+                        }
+                        _ => bare == name,
+                    };
+                    member.then_some(kind.as_str())
+                })
+                .unwrap_or_else(|| panic!("sample {sample} has no TYPE declaration"));
+            if sample.contains("{quantile=") {
+                assert_eq!(family, "summary", "quantile sample outside a summary");
+            }
+        }
+        assert_eq!(declared.get("wall_ns").map(String::as_str), Some("summary"));
+        assert_eq!(
+            declared.get("wall_ns_max").map(String::as_str),
+            Some("gauge")
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use wlac_telemetry::{MetricsRegistry, SpanId, Tracer};
+use wlac_telemetry::{
+    FlightRecorder, MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer, SpanId, Tracer,
+};
 
 struct CountingAlloc;
 
@@ -57,15 +59,21 @@ fn hot_path_recording_allocates_nothing() {
     let gauge = registry.gauge("service_queue_depth");
     let histogram = registry.histogram("request_wall_ns");
     let tracer = Tracer::new(256);
+    let recorder = std::sync::Arc::new(FlightRecorder::new(256));
+    let handle = RecorderHandle::to(recorder.clone()).with_job(7);
 
     // Warm-up: fill the tracer ring past capacity so every later push
-    // overwrites in place, and touch every histogram bucket once.
+    // overwrites in place, and touch every histogram bucket once. The flight
+    // recorder's ring is pre-allocated at construction, so recording into it
+    // is in-place from the first event — but wrap it past capacity anyway so
+    // the steady state below exercises the overwrite path.
     let span = tracer.span_start("warmup", SpanId::ROOT);
     for i in 0..512u64 {
         counter.inc();
         gauge.set(i as f64);
         histogram.record(1u64 << (i % 60));
         tracer.event("tick", span, i);
+        handle.record(RecorderLayer::Core, RecorderKind::Bound, i, 0);
     }
 
     // Steady state: pure recording must not allocate.
@@ -76,6 +84,7 @@ fn hot_path_recording_allocates_nothing() {
             gauge.sub(1.0);
             histogram.record(i.wrapping_mul(2_654_435_761));
             tracer.event("decision", span, i);
+            handle.record(RecorderLayer::Service, RecorderKind::Dequeue, i, 1);
         }
     });
     assert_eq!(
@@ -88,4 +97,9 @@ fn hot_path_recording_allocates_nothing() {
         tracer.dropped() > 0,
         "ring must have wrapped during the test"
     );
+    assert!(
+        recorder.overwrites() > 0,
+        "flight-recorder ring must have wrapped during the test"
+    );
+    assert_eq!(recorder.recorded(), 512 + 5 * 10_000);
 }

@@ -1,0 +1,100 @@
+//! The always-on flight recorder: attach one to a verification service,
+//! run a batch, then replay each job's path through the stack — dequeue,
+//! portfolio race, engine answers, completion — from the event ring.
+//!
+//! Run with `cargo run --release --example flight_recorder`.
+//!
+//! The recorder is the same one `wlac-server` tails over the wire (the
+//! `events` op) and snapshots into post-mortem bundles when a fault path
+//! fires: a fixed-capacity, lock-free, alloc-free ring that every layer
+//! writes into and that costs nothing to leave on.
+
+use std::sync::Arc;
+use wlac::atpg::{Property, Verification};
+use wlac::bv::Bv;
+use wlac::netlist::Netlist;
+use wlac::service::{ServiceConfig, VerificationService};
+use wlac::telemetry::{FlightRecorder, RecorderHandle};
+
+/// A modulo-`wrap` counter with an "always below `limit`" assertion.
+fn counter_with_limit(wrap: u64, limit: u64) -> Verification {
+    let mut nl = Netlist::new("counter");
+    let (q, ff) = nl.dff_deferred(4, Some(Bv::zero(4)));
+    let one = nl.constant(&Bv::from_u64(4, 1));
+    let plus = nl.add(q, one);
+    let wrap_value = nl.constant(&Bv::from_u64(4, wrap));
+    let at_wrap = nl.eq(q, wrap_value);
+    let zero = nl.constant(&Bv::zero(4));
+    let next = nl.mux(at_wrap, zero, plus);
+    nl.connect_dff_data(ff, next);
+    let limit_value = nl.constant(&Bv::from_u64(4, limit));
+    let ok = nl.lt(q, limit_value);
+    nl.mark_output("ok", ok);
+    let property = Property::always(&nl, format!("counter_below_{limit}"), ok);
+    Verification::new(nl, property)
+}
+
+fn main() {
+    let recorder = Arc::new(FlightRecorder::new(1024));
+    let config = ServiceConfig {
+        workers: 2,
+        recorder: RecorderHandle::to(Arc::clone(&recorder)),
+        ..ServiceConfig::default()
+    };
+    let service = VerificationService::new(config);
+
+    // One property that holds, one that is violated.
+    let batch = service.submit_batch(vec![counter_with_limit(9, 12), counter_with_limit(9, 5)]);
+    let results = service.wait(batch);
+    for result in &results {
+        println!(
+            "{:<17} {:<13} {} engine(s)",
+            result.property,
+            result.verdict.label(),
+            result.engines_spawned
+        );
+    }
+
+    // The ring now holds the whole story. Group it by job id: 0 is
+    // infrastructure (worker respawns, persistence), 1.. are the jobs.
+    let events = recorder.snapshot();
+    println!(
+        "\nflight recorder: {} event(s) recorded, {} overwritten, capacity {}",
+        recorder.recorded(),
+        recorder.overwrites(),
+        recorder.capacity()
+    );
+    let jobs: Vec<u64> = {
+        let mut ids: Vec<u64> = events.iter().map(|e| e.job).filter(|&j| j > 0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    for job in &jobs {
+        println!("\njob {job}:");
+        for event in events.iter().filter(|e| e.job == *job) {
+            println!(
+                "  {:>9}ns {:<9} {:<9} p0={:#x} p1={:#x}",
+                event.at_nanos,
+                event.layer.as_str(),
+                event.kind.as_str(),
+                event.payload[0],
+                event.payload[1]
+            );
+        }
+    }
+
+    // Every job's trail crosses the stack: the service dequeued it and the
+    // portfolio raced it, in that order, under one correlation id.
+    for job in &jobs {
+        let layers: Vec<&str> = events
+            .iter()
+            .filter(|e| e.job == *job)
+            .map(|e| e.layer.as_str())
+            .collect();
+        assert!(layers.contains(&"service"), "job {job}: {layers:?}");
+        assert!(layers.contains(&"portfolio"), "job {job}: {layers:?}");
+    }
+    assert_eq!(jobs.len(), results.len(), "one trail per job");
+    println!("\nOK: every job left a cross-layer trail in the recorder");
+}

@@ -68,3 +68,4 @@ pub use wlac_portfolio as portfolio;
 pub use wlac_server as server;
 pub use wlac_service as service;
 pub use wlac_sim as sim;
+pub use wlac_telemetry as telemetry;
