@@ -26,16 +26,17 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wlac_atpg::{AssertionChecker, CheckStats, CheckerOptions, Property, Verification};
 use wlac_baselines::{Cnf, Lit};
-use wlac_bench::run_case;
+use wlac_bench::{harness_options, run_case};
 use wlac_bv::Bv;
 use wlac_circuits::{paper_suite, Scale};
 use wlac_netlist::Netlist;
 use wlac_portfolio::Portfolio;
 use wlac_service::{ServiceConfig, VerificationService};
-use wlac_telemetry::MetricsRegistry;
+use wlac_telemetry::{MetricsRegistry, ProgressCell, ProgressHandle};
 
 /// Wraps the system allocator and counts allocation calls.
 struct CountingAlloc;
@@ -160,6 +161,68 @@ fn measure_small_suite() -> Vec<Metric> {
         tracked: true,
     });
     metrics
+}
+
+/// The Small suite again with a live [`ProgressCell`] attached to every
+/// check, mirroring [`measure_small_suite`] run-for-run (same options, one
+/// checker per case, warm-up excluded). Probe publication is a branch plus
+/// a handful of relaxed atomics on a pre-allocated cell, so the probed
+/// per-gate-eval time and allocation figures are tracked against the same
+/// regression thresholds as the unprobed run — if publishing ever grows a
+/// lock or a heap allocation, `probed_allocs_per_gate_eval` moves off its
+/// deterministic baseline and the gate fails.
+fn measure_probed_small_suite(unprobed_ns_per_gate_eval: f64) -> Vec<Metric> {
+    let suite = paper_suite(Scale::Small);
+    let cell = Arc::new(ProgressCell::new());
+    let probed_check = |verification: &Verification| {
+        let options = CheckerOptions {
+            progress: ProgressHandle::to(cell.clone()),
+            ..harness_options()
+        };
+        AssertionChecker::new(options).check(verification)
+    };
+    // Warm up exactly like the unprobed measurement.
+    let _ = probed_check(&suite.last().expect("non-empty suite").verification);
+
+    let allocs_before = alloc_calls();
+    let start = Instant::now();
+    let mut gate_evals = 0u64;
+    for case in &suite {
+        let report = probed_check(&case.verification);
+        gate_evals += report.stats.implication.gate_evaluations;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let allocs = (alloc_calls() - allocs_before) as f64;
+    let evals = gate_evals.max(1) as f64;
+    let probe = cell.snapshot();
+    assert!(
+        probe.probes > 0,
+        "probed suite must publish at least one progress probe"
+    );
+    let ns_per_eval = wall * 1e9 / evals;
+    vec![
+        Metric {
+            name: "probed_implication_ns_per_gate_eval",
+            value: ns_per_eval,
+            tracked: true,
+        },
+        Metric {
+            name: "probed_allocs_per_gate_eval",
+            value: allocs / evals,
+            tracked: true,
+        },
+        // Probed / unprobed hot-path latency; ~1.0 when publication is free.
+        Metric {
+            name: "probe_overhead_ratio",
+            value: ns_per_eval / unprobed_ns_per_gate_eval.max(1e-9),
+            tracked: false,
+        },
+        Metric {
+            name: "probe_publications",
+            value: probe.probes as f64,
+            tracked: false,
+        },
+    ]
 }
 
 /// A datapath-heavy design: a 24-bit adder chain folded into `2·(a+…+f)`
@@ -613,6 +676,12 @@ fn main() {
 
     let mut metrics = Vec::new();
     metrics.extend(measure_small_suite());
+    let unprobed_ns = metrics
+        .iter()
+        .find(|m| m.name == "implication_ns_per_gate_eval")
+        .map(|m| m.value)
+        .unwrap_or(f64::NAN);
+    metrics.extend(measure_probed_small_suite(unprobed_ns));
     metrics.extend(measure_datapath());
     metrics.extend(measure_cdcl());
     metrics.extend(measure_portfolio());

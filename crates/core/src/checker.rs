@@ -206,6 +206,7 @@ impl AssertionChecker {
                 frames as u64,
                 self.options.max_frames as u64,
             );
+            self.options.progress.advance_bound(frames as u64);
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,
@@ -297,6 +298,7 @@ impl AssertionChecker {
                 frames as u64,
                 self.options.max_frames as u64,
             );
+            self.options.progress.advance_bound(frames as u64);
             let outcome = self.solve_bound(
                 verification,
                 &unrolling,

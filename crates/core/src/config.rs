@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wlac_faultinject::FaultPlan;
-use wlac_telemetry::{RecorderHandle, SpanId, Tracer};
+use wlac_telemetry::{ProgressHandle, RecorderHandle, SpanId, Tracer};
 
 struct CancelInner {
     flag: AtomicBool,
@@ -240,6 +240,16 @@ pub struct CheckerOptions {
     /// hot path stays untouched. Runtime wiring, ignored by equality
     /// comparisons.
     pub recorder: RecorderHandle,
+    /// Live-progress handle: the search periodically publishes its effort
+    /// counters (bound, decisions, conflicts, backtracks, restarts,
+    /// implications, phase nanos) into the attached [`ProgressCell`] so
+    /// observers can watch a long check in flight. Publication is lock-free
+    /// and alloc-free (a seqlock of pre-allocated atomics), the disabled
+    /// default costs one branch per throttled publication site, and a
+    /// differential test proves probed and unprobed runs are byte-identical
+    /// in verdicts and every counter. Runtime wiring, ignored by equality
+    /// comparisons.
+    pub progress: ProgressHandle,
 }
 
 // `cancel`, `trace` and `trace_sink` are runtime/observability wiring, not
@@ -266,6 +276,7 @@ impl PartialEq for CheckerOptions {
             trace_sink: _,
             faults: _,
             recorder: _,
+            progress: _,
         } = self;
         *max_frames == other.max_frames
             && *backtrack_limit == other.backtrack_limit
@@ -305,6 +316,7 @@ impl CheckerOptions {
             trace_sink: TraceSink::disabled(),
             faults: FaultPlan::disabled(),
             recorder: RecorderHandle::disabled(),
+            progress: ProgressHandle::disabled(),
         }
     }
 
@@ -341,6 +353,13 @@ impl CheckerOptions {
     /// advances) into `recorder`; the handle's job id stamps every event.
     pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Routes live-progress probes (throttled effort-counter publications
+    /// and bound advances) into `progress`.
+    pub fn with_progress(mut self, progress: ProgressHandle) -> Self {
+        self.progress = progress;
         self
     }
 }
@@ -434,6 +453,17 @@ mod tests {
         assert!(faulted.faults.is_armed());
         assert_eq!(faulted, CheckerOptions::new());
         assert!(!CheckerOptions::new().faults.is_armed());
+    }
+
+    #[test]
+    fn progress_handle_does_not_affect_option_equality() {
+        use std::sync::Arc;
+        use wlac_telemetry::ProgressCell;
+        let cell = Arc::new(ProgressCell::new());
+        let probed = CheckerOptions::new().with_progress(ProgressHandle::to(cell));
+        assert!(probed.progress.is_enabled());
+        assert_eq!(probed, CheckerOptions::new());
+        assert!(!CheckerOptions::new().progress.is_enabled());
     }
 
     #[test]

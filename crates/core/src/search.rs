@@ -238,6 +238,15 @@ impl SearchContext {
             stats.decisions,
             stats.backtracks,
         );
+        // Final probe: even a search too short to cross the publication
+        // throttle leaves its closing counters in the cell.
+        options.progress.publish(
+            stats.decisions,
+            stats.conflicts,
+            stats.backtracks,
+            stats.implication.gate_evaluations,
+            stats.phases.total(),
+        );
         outcome
     }
 
@@ -274,6 +283,7 @@ impl SearchContext {
                 Ok(true) => self.propagator.enqueue_net(netlist, *net),
                 Ok(false) => {}
                 Err(_) => {
+                    stats.conflicts += 1;
                     self.asg.backtrack_to(0);
                     return SearchOutcome::Unsat;
                 }
@@ -292,11 +302,19 @@ impl SearchContext {
             .peak_memory_bytes
             .max(self.memory_estimate(netlist, estg));
         if !implication_ok {
+            stats.conflicts += 1;
             self.asg.backtrack_to(0);
             return SearchOutcome::Unsat;
         }
 
         let mut inconclusive: Option<&'static str> = None;
+
+        // Throttle for live-progress publication: one seqlock write every
+        // PROBE_INTERVAL loop iterations keeps the probed hot path within
+        // measurement noise of the unprobed one (and a disabled handle pays
+        // only the `is_enabled` branch below).
+        const PROBE_INTERVAL: u64 = 256;
+        let mut probe_tick: u64 = 0;
 
         loop {
             // Chaos hook: an injected hang blocks here — like a real engine
@@ -321,6 +339,18 @@ impl SearchContext {
             }
             if stats.decisions > options.decision_limit as u64 {
                 return SearchOutcome::Inconclusive("decision limit exceeded");
+            }
+            if options.progress.is_enabled() {
+                probe_tick += 1;
+                if probe_tick.is_multiple_of(PROBE_INTERVAL) {
+                    options.progress.publish(
+                        stats.decisions,
+                        stats.conflicts,
+                        stats.backtracks,
+                        stats.implication.gate_evaluations,
+                        stats.phases.total(),
+                    );
+                }
             }
 
             stats.justify_gates_rechecked +=
@@ -365,6 +395,7 @@ impl SearchContext {
                         return SearchOutcome::Sat(values);
                     }
                     DatapathOutcome::Infeasible => {
+                        stats.conflicts += 1;
                         if options.trace {
                             options
                                 .trace_sink
@@ -414,6 +445,7 @@ impl SearchContext {
                 // Immediate conflict: try the opposite value at this level.
                 estg.record_conflict(net, value);
                 self.asg.backtrack_to(mark);
+                stats.conflicts += 1;
                 stats.backtracks += 1;
                 if options.trace {
                     options
@@ -432,6 +464,7 @@ impl SearchContext {
                     clock.tick(&mut stats.phases.implication);
                     estg.record_conflict(net, !value);
                     self.asg.backtrack_to(mark);
+                    stats.conflicts += 1;
                     let exhausted = !self.backtrack(netlist, estg, stats);
                     clock.tick(&mut stats.phases.backtrack);
                     if options.trace {
@@ -494,6 +527,7 @@ impl SearchContext {
                 }
                 estg.record_conflict(top.net, alt);
                 self.asg.backtrack_to(top.mark);
+                stats.conflicts += 1;
             }
         }
     }

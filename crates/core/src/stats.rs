@@ -79,6 +79,11 @@ impl PhaseNanos {
 pub struct CheckStats {
     /// Number of branch-and-bound decisions.
     pub decisions: u64,
+    /// Number of conflicts: decision assignments refuted by implication plus
+    /// datapath resolutions proved infeasible. Every conflict triggers
+    /// backtracking, but one backtrack run can unwind several levels, so the
+    /// two counters differ.
+    pub conflicts: u64,
     /// Number of backtracks.
     pub backtracks: u64,
     /// Implication effort counters.
@@ -140,6 +145,7 @@ impl CheckStats {
     /// search) into an aggregate.
     pub fn absorb(&mut self, other: &CheckStats) {
         self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
         self.backtracks += other.backtracks;
         self.implication.absorb(&other.implication);
         self.arithmetic_calls += other.arithmetic_calls;
@@ -159,10 +165,11 @@ impl fmt::Display for CheckStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cpu {:.2}s, mem {:.2}MB, {} decisions, {} backtracks, {} implications, {} arith calls, {} fact hits, {} justify rechecks, {} frames",
+            "cpu {:.2}s, mem {:.2}MB, {} decisions, {} conflicts, {} backtracks, {} implications, {} arith calls, {} fact hits, {} justify rechecks, {} frames",
             self.cpu_seconds(),
             self.peak_memory_mb(),
             self.decisions,
+            self.conflicts,
             self.backtracks,
             self.implication.gate_evaluations,
             self.arithmetic_calls,

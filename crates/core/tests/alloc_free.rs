@@ -20,12 +20,14 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wlac_atpg::{
     CheckStats, CheckerOptions, Estg, ImplicationEngine, SearchContext, SearchGoal, SearchOutcome,
 };
 use wlac_bv::{Bv, Bv3, Tv};
 use wlac_netlist::{NetId, Netlist};
+use wlac_telemetry::{ProgressCell, ProgressHandle};
 
 struct CountingAlloc;
 
@@ -246,6 +248,60 @@ fn decision_search_phase() {
     );
 }
 
+/// Phase 2b: the same exhaustive searches with a live progress cell
+/// attached still allocate nothing — probe publication is a seqlock write
+/// into pre-allocated atomics, so live observability never costs the
+/// steady-state search path a single allocation.
+fn probed_decision_search_phase() {
+    let (netlist, reqs) = build_parity_circuit();
+    let mut ctx = SearchContext::new(&netlist);
+    let mut estg = Estg::new();
+    let cell = Arc::new(ProgressCell::new());
+    let options = CheckerOptions {
+        use_estg: false,
+        ..CheckerOptions::default()
+    }
+    .with_progress(ProgressHandle::to(Arc::clone(&cell)));
+    let deadline = Instant::now() + Duration::from_secs(120);
+
+    let search = |ctx: &mut SearchContext, estg: &mut Estg, stats: &mut CheckStats| {
+        let outcome = ctx.search(
+            &netlist,
+            &options,
+            SearchGoal::Prove,
+            &reqs,
+            estg,
+            deadline,
+            stats,
+        );
+        assert_eq!(outcome, SearchOutcome::Unsat);
+    };
+
+    for _ in 0..2 {
+        search(&mut ctx, &mut estg, &mut CheckStats::default());
+    }
+
+    let mut stats = CheckStats::default();
+    let delta = min_alloc_delta(3, || {
+        for _ in 0..20 {
+            search(&mut ctx, &mut estg, &mut stats);
+        }
+    });
+    let probe = cell.snapshot();
+    assert!(
+        probe.probes >= 1 && probe.decisions >= 1_000,
+        "the workload must actually publish probes (got {} probes, {} decisions)",
+        probe.probes,
+        probe.decisions
+    );
+    assert_eq!(
+        delta, 0,
+        "probed steady-state decision search must not allocate (saw {delta} \
+         allocations over {} decisions, {} probes)",
+        stats.decisions, probe.probes
+    );
+}
+
 /// Phase 3: satisfiable searches allocate only the result payload — a small
 /// constant per search, not per decision or per gate.
 fn sat_leaf_phase() {
@@ -294,5 +350,6 @@ fn sat_leaf_phase() {
 fn steady_state_hot_paths_allocate_nothing_for_narrow_nets() {
     propagation_phase();
     decision_search_phase();
+    probed_decision_search_phase();
     sat_leaf_phase();
 }

@@ -19,7 +19,7 @@ use wlac_baselines::{
     bounded_model_check_cancellable, bounded_model_check_learning, random_simulation_cancellable,
     BmcOutcome, FrameClause,
 };
-use wlac_telemetry::RecorderHandle;
+use wlac_telemetry::{ProgressHandle, RecorderHandle};
 
 /// One verification strategy of the portfolio.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -159,9 +159,36 @@ pub fn run_engine_observed(
     warm: Option<&WarmStart>,
     recorder: &RecorderHandle,
 ) -> (EngineRun, EngineHarvest) {
+    run_engine_probed(
+        engine,
+        verification,
+        config,
+        cancel,
+        warm,
+        recorder,
+        &ProgressHandle::disabled(),
+    )
+}
+
+/// Like [`run_engine_observed`], but also threads a live-progress handle
+/// into the ATPG engine's checker options, so its core search publishes
+/// bound advances and effort counters into the race's progress cell while
+/// still running. The SAT and simulation engines keep no incremental
+/// counters; their final statistics reach the progress surface through the
+/// race supervisor instead (see `RaceProgress::record_final`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_probed(
+    engine: Engine,
+    verification: &Verification,
+    config: &PortfolioConfig,
+    cancel: &CancelToken,
+    warm: Option<&WarmStart>,
+    recorder: &RecorderHandle,
+    progress: &ProgressHandle,
+) -> (EngineRun, EngineHarvest) {
     let start = Instant::now();
     let (verdict, stats, harvest) = match engine {
-        Engine::Atpg => run_atpg(verification, config, cancel, warm, recorder),
+        Engine::Atpg => run_atpg(verification, config, cancel, warm, recorder, progress),
         Engine::SatBmc => run_bmc(verification, config, cancel, warm),
         Engine::RandomSim => run_random(verification, config, cancel),
     };
@@ -184,12 +211,14 @@ fn run_atpg(
     cancel: &CancelToken,
     warm: Option<&WarmStart>,
     recorder: &RecorderHandle,
+    progress: &ProgressHandle,
 ) -> (Verdict, EngineStats, EngineHarvest) {
     let options = config
         .checker
         .clone()
         .with_cancel(cancel.clone())
-        .with_recorder(recorder.clone());
+        .with_recorder(recorder.clone())
+        .with_progress(progress.clone());
     let mut harvest = EngineHarvest::default();
     let report = match warm {
         Some(warm) => {

@@ -46,15 +46,17 @@
 mod config;
 mod engines;
 mod predictor;
+mod progress;
 mod verdict;
 mod warm;
 
 pub use config::PortfolioConfig;
 pub use engines::{
-    run_engine, run_engine_observed, run_engine_seeded, Engine, EngineHarvest, EngineRun,
-    EngineStats,
+    run_engine, run_engine_observed, run_engine_probed, run_engine_seeded, Engine, EngineHarvest,
+    EngineRun, EngineStats,
 };
 pub use predictor::{predict_engines, EngineHistory, NetlistFeatures};
+pub use progress::RaceProgress;
 pub use verdict::Verdict;
 pub use warm::{Harvest, WarmStart};
 
@@ -214,14 +216,14 @@ impl Portfolio {
     /// Races every configured engine on one property; the first definitive
     /// verdict wins and the losing engines are cancelled cooperatively.
     pub fn race(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, true, None, &self.recorder)
+        self.run_portfolio(verification, true, None, &self.recorder, None)
             .0
     }
 
     /// Runs every configured engine to completion (no cancellation) and
     /// cross-validates all verdicts against each other.
     pub fn check_all(&self, verification: &Verification) -> PortfolioReport {
-        self.run_portfolio(verification, false, None, &self.recorder)
+        self.run_portfolio(verification, false, None, &self.recorder, None)
             .0
     }
 
@@ -238,7 +240,7 @@ impl Portfolio {
         verification: &Verification,
         warm: &WarmStart,
     ) -> (PortfolioReport, Harvest) {
-        self.run_portfolio(verification, true, Some(warm), &self.recorder)
+        self.run_portfolio(verification, true, Some(warm), &self.recorder, None)
     }
 
     /// Like [`Portfolio::race_warm`], but every flight-recorder event this
@@ -251,7 +253,24 @@ impl Portfolio {
         warm: &WarmStart,
         recorder: &RecorderHandle,
     ) -> (PortfolioReport, Harvest) {
-        self.run_portfolio(verification, true, Some(warm), recorder)
+        self.run_portfolio(verification, true, Some(warm), recorder, None)
+    }
+
+    /// Like [`Portfolio::race_warm_recorded`], but the race also publishes
+    /// live progress into `progress`: the ATPG engine streams bound advances
+    /// and effort counters from inside its search, and the supervisor stores
+    /// every engine's final statistics the moment it answers. Observers
+    /// snapshot `progress` concurrently (the service's progress accessors
+    /// feed the server's `progress`/`subscribe` ops from it); publication is
+    /// lock-free, alloc-free and never influences scheduling or verdicts.
+    pub fn race_warm_probed(
+        &self,
+        verification: &Verification,
+        warm: &WarmStart,
+        recorder: &RecorderHandle,
+        progress: &RaceProgress,
+    ) -> (PortfolioReport, Harvest) {
+        self.run_portfolio(verification, true, Some(warm), recorder, Some(progress))
     }
 
     /// Checks a batch of properties, sharding them across
@@ -297,6 +316,7 @@ impl Portfolio {
         cancel_losers: bool,
         warm: Option<&WarmStart>,
         recorder: &RecorderHandle,
+        progress: Option<&RaceProgress>,
     ) -> (PortfolioReport, Harvest) {
         let start = Instant::now();
         // A job budget turns the race token into a deadline token: every
@@ -342,14 +362,18 @@ impl Portfolio {
                     engine_code(engine),
                     0,
                 );
+                let progress_handle = progress
+                    .map(|p| p.handle(engine))
+                    .unwrap_or_else(wlac_telemetry::ProgressHandle::disabled);
                 scope.spawn(move || {
-                    let run = engines::run_engine_observed(
+                    let run = engines::run_engine_probed(
                         engine,
                         verification,
                         config,
                         &token,
                         warm,
                         recorder,
+                        &progress_handle,
                     );
                     // The receiver outlives the scope; a send only fails if
                     // the supervisor panicked, in which case the scope
@@ -363,6 +387,9 @@ impl Portfolio {
             while let Ok((run, engine_harvest)) = rx.recv() {
                 let at = start.elapsed();
                 let definitive = run.verdict.is_definitive();
+                if let Some(progress) = progress {
+                    progress.record_final(&run);
+                }
                 timeline.push(RaceEvent {
                     at,
                     engine: Some(run.engine),

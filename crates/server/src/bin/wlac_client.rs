@@ -7,6 +7,8 @@
 //! COMMAND: ping
 //!        | register DESIGN.v
 //!        | check DESIGN.v [--always OUT]... [--eventually OUT]...
+//!        | watch BATCH [--interval-ms N]
+//!        | top [--interval-ms N] [--frames N]
 //!        | stats | metrics | health
 //!        | events [--layer L] [--job N] [--limit N]
 //!        | export DESIGN_HASH FILE.wlacsnap
@@ -21,16 +23,25 @@
 //! (`core`/`portfolio`/`service`/`persist`/`server`) and job id.
 //!
 //! `check` registers the design, submits one job per `--always`/
-//! `--eventually` monitor (default: one `always` job per design output) and
-//! waits for the results. Exit codes: 0 all passed, 1 some property
-//! violated/unknown, 2 usage or protocol error.
+//! `--eventually` monitor (default: one `always` job per design output),
+//! subscribes to the batch's event stream (live search progress goes to
+//! stderr as it happens — no polling), and prints the final results. Exit
+//! codes: 0 all passed, 1 some property violated/unknown, 2 usage or
+//! protocol error.
+//!
+//! `watch` subscribes to an already-submitted batch: progress frames stream
+//! to stderr, verdicts print to stdout as they land. Exit codes mirror
+//! `check`, with 2 also covering a stream that ended before `batch_done`
+//! (this subscriber was shed). `top` shows the server's live load — queue
+//! depth, worker liveness, and a row per in-flight job with its deepest
+//! bound, conflict count and elapsed time.
 //!
 //! The client never hangs and never gives up on transient pressure: connects
 //! are bounded by `--connect-timeout-ms` (default 5000) and retried with
 //! exponential back-off, every request is bounded by `--io-timeout-ms`
-//! (default 150000), structured `overloaded` sheds are retried after the
-//! server's `retry_after_ms` hint, and `check` waits in bounded slices so a
-//! long batch cannot outlive the socket timeout.
+//! (default 150000), and structured `overloaded` sheds are retried after the
+//! server's `retry_after_ms` hint. Subscriptions push at least one frame per
+//! tick interval, so a live stream stays well inside the socket timeout.
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
@@ -38,11 +49,6 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use wlac_server::{Json, JsonError};
-
-/// How long `check` lets one server-side `wait` slice block before asking
-/// again (the server bounds waits too; this keeps each reply well inside the
-/// socket timeout).
-const WAIT_SLICE_MS: u64 = 30_000;
 
 #[derive(Clone)]
 struct Options {
@@ -199,6 +205,7 @@ fn usage() -> ! {
         "usage: wlac-client [--addr HOST:PORT] [--connect-timeout-ms N] [--io-timeout-ms N] \
          [--retries N] \
          (ping | register FILE.v | check FILE.v [--always OUT]... [--eventually OUT]... \
+         | watch BATCH [--interval-ms N] | top [--interval-ms N] [--frames N] \
          | stats | metrics | health | events [--layer L] [--job N] [--limit N] \
          | export DESIGN FILE | import FILE | shutdown)"
     );
@@ -238,40 +245,116 @@ fn register(conn: &mut Connection, path: &str) -> Result<(String, Vec<String>), 
     Ok((design, outputs))
 }
 
+/// Prints one wire job result as a row; `true` when the property failed
+/// (violated, unknown, or timed out).
+fn print_result_row(result: &Json) -> bool {
+    let property = result.get("property").and_then(Json::as_str).unwrap_or("?");
+    let verdict = result.get("verdict");
+    let label = verdict
+        .and_then(|v| v.get("label"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let cached = result
+        .get("from_cache")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    let engines = result
+        .get("engines_spawned")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let wall = result
+        .get("wall_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN);
+    println!(
+        "{property:<16} {label:<13} {} engines={engines} wall={wall:.2}ms",
+        if cached { "cached" } else { "raced " },
+    );
+    !matches!(label, "proved" | "holds(bound)" | "no witness" | "witness")
+}
+
 fn print_results(reply: &Json) -> i32 {
-    let mut failures = 0;
     let results = reply.get("results").and_then(Json::as_arr).unwrap_or(&[]);
-    for result in results {
-        let property = result.get("property").and_then(Json::as_str).unwrap_or("?");
-        let verdict = result.get("verdict");
-        let label = verdict
-            .and_then(|v| v.get("label"))
-            .and_then(Json::as_str)
-            .unwrap_or("?");
-        let cached = result
-            .get("from_cache")
-            .and_then(Json::as_bool)
-            .unwrap_or(false);
-        let engines = result
-            .get("engines_spawned")
-            .and_then(Json::as_u64)
-            .unwrap_or(0);
-        let wall = result
-            .get("wall_ms")
-            .and_then(Json::as_f64)
-            .unwrap_or(f64::NAN);
-        println!(
-            "{property:<16} {label:<13} {} engines={engines} wall={wall:.2}ms",
-            if cached { "cached" } else { "raced " },
-        );
-        if !matches!(label, "proved" | "holds(bound)" | "no witness" | "witness") {
-            failures += 1;
-        }
-    }
+    let failures = results.iter().filter(|r| print_result_row(r)).count();
     if failures > 0 {
         1
     } else {
         0
+    }
+}
+
+/// One human line for a streamed `progress` event.
+fn progress_line(frame: &Json) -> String {
+    let property = frame.get("property").and_then(Json::as_str).unwrap_or("?");
+    let elapsed = frame
+        .get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let leading = frame.get("leading").and_then(Json::as_str).unwrap_or("-");
+    let probe = frame.get("probe");
+    let field = |name: &str| {
+        probe
+            .and_then(|p| p.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    format!(
+        "{property:<16} bound={} conflicts={} decisions={} lead={leading} elapsed={:.1}s",
+        field("bound"),
+        field("conflicts"),
+        field("decisions"),
+        elapsed / 1e3,
+    )
+}
+
+/// Subscribes this connection to `batch` and feeds every streamed event
+/// frame to `on_event` until `batch_done` arrives. Returns `false` when the
+/// server ended the stream early (this subscriber was shed, or the server
+/// is draining) — the batch keeps running either way.
+fn subscribe_stream(
+    conn: &mut Connection,
+    batch: u64,
+    interval_ms: u64,
+    on_event: &mut dyn FnMut(&Json),
+) -> Result<bool, String> {
+    let request = Json::obj(vec![
+        ("op", Json::str("subscribe")),
+        ("batch", Json::num(batch)),
+        ("interval_ms", Json::num(interval_ms)),
+    ]);
+    conn.writer
+        .write_all(format!("{request}\n").as_bytes())
+        .and_then(|()| conn.writer.flush())
+        .map_err(|e| format!("send failed: {e}"))?;
+    loop {
+        let mut line = String::new();
+        match conn.reader.read_line(&mut line) {
+            Ok(0) => return Ok(false), // stream closed before batch_done
+            Ok(_) => {}
+            Err(e) => return Err(format!("receive failed: {e}")),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = Json::parse(line.trim_end()).map_err(|e| format!("bad event frame: {e}"))?;
+        if frame.get("ok").and_then(Json::as_bool) != Some(true) {
+            let error = frame.get("error");
+            return Err(format!(
+                "server error [{}]: {}",
+                error
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?"),
+                error
+                    .and_then(|e| e.get("message"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("no message"),
+            ));
+        }
+        if frame.get("event").and_then(Json::as_str) == Some("batch_done") {
+            return Ok(true);
+        }
+        on_event(&frame);
     }
 }
 
@@ -324,22 +407,142 @@ fn cmd_check(conn: &mut Connection, path: &str, rest: &[String]) -> Result<i32, 
         .get("batch")
         .and_then(Json::as_u64)
         .ok_or("reply missing `batch`")?;
-    // Wait in bounded slices: each server-side wait returns within the
-    // slice (with a structured `timeout` if the batch is still running), so
-    // a long batch can never trip the socket read timeout.
-    let wait = Json::obj(vec![
-        ("op", Json::str("wait")),
-        ("batch", Json::num(batch)),
-        ("timeout_ms", Json::num(WAIT_SLICE_MS)),
-    ]);
-    loop {
-        match conn.call(&wait) {
-            Ok(reply) => return Ok(print_results(&reply)),
-            Err(e) if e.is("timeout") => {
-                eprintln!("wlac-client: batch {batch} still running; waiting again");
-            }
-            Err(e) => return Err(e.to_string()),
+    println!("batch {batch}");
+    // Ride the batch's event stream instead of polling: the server pushes
+    // live search progress (printed to stderr) and each verdict as it lands.
+    let done = subscribe_stream(conn, batch, 1_000, &mut |frame| {
+        if frame.get("event").and_then(Json::as_str) == Some("progress") {
+            eprintln!("wlac-client: {}", progress_line(frame));
         }
+    })?;
+    if !done {
+        return Err(format!("event stream for batch {batch} ended early"));
+    }
+    // Retire the finished batch; this is also what lands its autosave.
+    let results = conn
+        .call(&Json::obj(vec![
+            ("op", Json::str("results")),
+            ("batch", Json::num(batch)),
+        ]))
+        .map_err(|e| e.to_string())?;
+    Ok(print_results(&results))
+}
+
+/// `watch BATCH [--interval-ms N]`: subscribes to an already-submitted
+/// batch and relays its event stream — progress to stderr, verdicts to
+/// stdout as they land. Exit code: 0 all passed, 1 something failed, 2 the
+/// stream ended before `batch_done` (this subscriber was shed).
+fn cmd_watch(conn: &mut Connection, batch: &str, flags: &[String]) -> Result<i32, String> {
+    let batch: u64 = batch
+        .parse()
+        .map_err(|_| "watch needs a numeric batch id".to_string())?;
+    let mut interval_ms = 250u64;
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--interval-ms" => {
+                interval_ms = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--interval-ms needs a number"));
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let mut failures = 0usize;
+    let done = subscribe_stream(conn, batch, interval_ms, &mut |frame| match frame
+        .get("event")
+        .and_then(Json::as_str)
+    {
+        Some("progress") => eprintln!("wlac-client: {}", progress_line(frame)),
+        Some("verdict") => {
+            if let Some(result) = frame.get("result") {
+                if print_result_row(result) {
+                    failures += 1;
+                }
+            }
+        }
+        _ => {}
+    })?;
+    if !done {
+        eprintln!("wlac-client: batch {batch} stream ended before batch_done");
+        return Ok(2);
+    }
+    Ok(if failures > 0 { 1 } else { 0 })
+}
+
+/// `top [--interval-ms N] [--frames N]`: the server's live load, one frame
+/// per tick — a summary line (queue depth, in-flight jobs, worker
+/// liveness), then a row per running job with its deepest bound, conflict
+/// count and elapsed time. `--frames 0` (the default) runs until
+/// interrupted; `--frames 1` prints a single parseable frame and exits.
+fn cmd_top(conn: &mut Connection, flags: &[String]) -> Result<i32, String> {
+    let mut interval_ms = 1_000u64;
+    let mut frames = 0u64;
+    let mut iter = flags.iter();
+    while let Some(flag) = iter.next() {
+        let value = iter
+            .next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--interval-ms" => {
+                interval_ms = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--interval-ms needs a number"));
+            }
+            "--frames" => {
+                frames = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("--frames needs a number"));
+            }
+            other => fail(&format!("unknown flag {other}")),
+        }
+    }
+    let request = Json::obj(vec![("op", Json::str("progress"))]);
+    let mut shown = 0u64;
+    loop {
+        let reply = conn.call(&request).map_err(|e| e.to_string())?;
+        let count = |name: &str| reply.get(name).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "queue={} running={} workers={} uptime_s={:.1}",
+            count("queue_depth"),
+            count("running_jobs"),
+            count("workers_alive"),
+            reply.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+        println!(
+            "{:<5} {:<6} {:<16} {:<6} {:>7} {:>10} {:>10} {:>9}",
+            "JOB", "BATCH", "PROPERTY", "LEAD", "BOUND", "CONFLICTS", "DECISIONS", "ELAPSED"
+        );
+        for job in reply.get("running").and_then(Json::as_arr).unwrap_or(&[]) {
+            let field = |name: &str| job.get(name).and_then(Json::as_u64).unwrap_or(0);
+            let probe = job.get("probe");
+            let effort = |name: &str| {
+                probe
+                    .and_then(|p| p.get(name))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0)
+            };
+            println!(
+                "{:<5} {:<6} {:<16} {:<6} {:>7} {:>10} {:>10} {:>8.1}s",
+                field("job"),
+                field("batch"),
+                job.get("property").and_then(Json::as_str).unwrap_or("?"),
+                job.get("leading").and_then(Json::as_str).unwrap_or("-"),
+                effort("bound"),
+                effort("conflicts"),
+                effort("decisions"),
+                job.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0) / 1e3,
+            );
+        }
+        shown += 1;
+        if frames != 0 && shown >= frames {
+            return Ok(0);
+        }
+        println!();
+        std::thread::sleep(Duration::from_millis(interval_ms.max(1)));
     }
 }
 
@@ -445,6 +648,8 @@ fn main() {
             0
         }),
         ("check", [path, flags @ ..]) => cmd_check(&mut conn, path, flags),
+        ("watch", [batch, flags @ ..]) => cmd_watch(&mut conn, batch, flags),
+        ("top", flags) => cmd_top(&mut conn, flags),
         ("stats", []) => conn
             .call(&Json::obj(vec![("op", Json::str("stats"))]))
             .map_err(|e| e.to_string())

@@ -10,7 +10,8 @@
 
 use crate::json::Json;
 use std::time::Duration;
-use wlac_service::{DesignHash, JobResult, ServiceStats};
+use wlac_service::{DesignHash, JobProgress, JobResult, ServiceStats};
+use wlac_telemetry::ProgressProbe;
 
 /// Machine-readable error codes of the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +205,41 @@ pub fn job_result_to_wire(result: &JobResult) -> Json {
     ])
 }
 
+/// Encodes one progress probe for the wire (the effort counters of the
+/// `progress` op's rows and the `subscribe` stream's `progress` events).
+pub fn probe_to_wire(probe: &ProgressProbe) -> Json {
+    Json::obj(vec![
+        ("bound", Json::num(probe.bound)),
+        ("decisions", Json::num(probe.decisions)),
+        ("conflicts", Json::num(probe.conflicts)),
+        ("backtracks", Json::num(probe.backtracks)),
+        ("restarts", Json::num(probe.restarts)),
+        ("implications", Json::num(probe.implications)),
+        ("phase_ms", Json::Num(probe.phase_nanos as f64 / 1e6)),
+        ("probes", Json::num(probe.probes)),
+    ])
+}
+
+/// Encodes one in-flight job's live progress for the wire.
+pub fn job_progress_to_wire(progress: &JobProgress) -> Json {
+    Json::obj(vec![
+        ("job", Json::num(progress.job)),
+        ("batch", Json::num(progress.batch.raw())),
+        ("index", Json::num(progress.index as u64)),
+        ("property", Json::str(progress.property.clone())),
+        ("design", Json::str(design_to_wire(progress.design))),
+        ("elapsed_ms", duration_ms(progress.elapsed)),
+        (
+            "leading",
+            progress
+                .leading
+                .map(|e| Json::str(e.to_string()))
+                .unwrap_or(Json::Null),
+        ),
+        ("probe", probe_to_wire(&progress.probe)),
+    ])
+}
+
 /// Server-level durability counters surfaced in the `stats` reply alongside
 /// the service counters.
 #[derive(Debug, Clone, Copy)]
@@ -238,6 +274,8 @@ pub fn stats_to_wire(stats: &ServiceStats, durability: &DurabilityStats) -> Json
         ("timed_out_jobs", Json::num(stats.timed_out_jobs)),
         ("workers_respawned", Json::num(stats.workers_respawned)),
         ("workers_alive", Json::num(stats.workers_alive as u64)),
+        ("queue_depth", Json::num(stats.queue_depth as u64)),
+        ("running_jobs", Json::num(stats.running_jobs as u64)),
         ("loaded_snapshots", Json::num(loaded_snapshots as u64)),
         ("durability", Json::str(durability.mode)),
         (

@@ -5,13 +5,15 @@ use crate::json::Json;
 use crate::postmortem::{event_to_json, PostmortemWriter, DEFAULT_MAX_BYTES, DEFAULT_MAX_DUMPS};
 use crate::proto::{
     design_from_wire, design_to_wire, error_reply, error_reply_with_retry, hex_decode, hex_encode,
-    job_result_to_wire, ok_reply, stats_to_wire, DurabilityStats, ErrorCode,
+    job_progress_to_wire, job_result_to_wire, ok_reply, probe_to_wire, stats_to_wire,
+    DurabilityStats, ErrorCode,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use wlac_atpg::{
@@ -37,13 +39,15 @@ use wlac_telemetry::{
 /// (`unknown` for an unrecognised `op`, `invalid` for frames with no usable
 /// `op` at all) — the enumeration behind the per-op request counters and
 /// latency histograms.
-const KNOWN_OPS: [&str; 16] = [
+const KNOWN_OPS: [&str; 18] = [
     "ping",
     "register_design",
     "submit_batch",
     "poll",
     "results",
     "wait",
+    "progress",
+    "subscribe",
     "stats",
     "export_knowledge",
     "import_knowledge",
@@ -95,6 +99,15 @@ pub struct ServerConfig {
     /// this long (clients may ask for less via `timeout_ms`), then gets a
     /// structured `timeout` error while the batch keeps running.
     pub wait_timeout: Duration,
+    /// Bounded send queue of a `subscribe` stream, in frames. A subscriber
+    /// that stops reading fills it and is shed (its socket is closed and
+    /// `server_subscribe_dropped_total` counts the event) instead of
+    /// back-pressuring the producer; workers never block on subscribers
+    /// either way, because progress is pulled from lock-free cells.
+    pub subscribe_queue: usize,
+    /// Default tick of a `subscribe` stream's periodic `progress` events
+    /// (clients may override per request via `interval_ms`).
+    pub subscribe_interval: Duration,
     /// How long shutdown waits for in-flight requests and queued jobs
     /// before abandoning them and saving what finished.
     pub drain_timeout: Duration,
@@ -156,6 +169,8 @@ impl ServerConfig {
             max_connections: 256,
             retry_after: Duration::from_millis(200),
             wait_timeout: Duration::from_secs(60),
+            subscribe_queue: 256,
+            subscribe_interval: Duration::from_millis(250),
             drain_timeout: Duration::from_secs(30),
             faults: FaultPlan::disabled(),
             durability: DurabilityMode::default(),
@@ -324,6 +339,8 @@ struct ServerState {
     max_connections: usize,
     retry_after: Duration,
     wait_timeout: Duration,
+    subscribe_queue: usize,
+    subscribe_interval: Duration,
     drain_timeout: Duration,
     faults: FaultPlan,
     /// The shared metrics registry: the service and every portfolio it races
@@ -452,6 +469,8 @@ impl Server {
             max_connections: config.max_connections.max(1),
             retry_after: config.retry_after,
             wait_timeout: config.wait_timeout,
+            subscribe_queue: config.subscribe_queue.max(1),
+            subscribe_interval: config.subscribe_interval.max(Duration::from_millis(1)),
             drain_timeout: config.drain_timeout,
             faults: config.faults,
             metrics,
@@ -946,13 +965,57 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     state.metrics.counter("server_connections_total").inc();
     let conn = state.next_conn.fetch_add(1, Ordering::Relaxed);
     let connection = state.tracer.span_start("connection", SpanId::ROOT);
-    let reader = BufReader::new(stream);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
     for line in reader.lines() {
         let line = match line {
             Ok(line) => line,
             Err(_) => break, // client went away or idled past the timeout
         };
         if line.trim().is_empty() {
+            continue;
+        }
+        // `subscribe` escapes the request/reply shape: it pushes a stream of
+        // frames until the batch completes or the subscriber is shed, so it
+        // is handled here, outside `dispatch`, with the socket in hand. The
+        // in-flight gate is deliberately not held across the stream — a
+        // subscriber idling on a long batch must not stall shutdown; the
+        // stream notices the drain flag and ends instead.
+        if wants_subscribe(&line) {
+            let started = Instant::now();
+            match subscribe_connection(state, &line, &stream) {
+                SubscribeOutcome::Reject(reply) => {
+                    record_request(
+                        state,
+                        connection,
+                        conn,
+                        "subscribe",
+                        &reply,
+                        started.elapsed(),
+                    );
+                    let sent = writer
+                        .write_all(format!("{reply}\n").as_bytes())
+                        .and_then(|()| writer.flush());
+                    if sent.is_err() {
+                        break;
+                    }
+                }
+                SubscribeOutcome::Streamed { summary, close } => {
+                    record_request(
+                        state,
+                        connection,
+                        conn,
+                        "subscribe",
+                        &summary,
+                        started.elapsed(),
+                    );
+                    if close {
+                        break;
+                    }
+                }
+            }
             continue;
         }
         state.active.enter();
@@ -969,6 +1032,314 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         }
     }
     state.tracer.span_end(connection, "connection");
+}
+
+/// `true` when the frame is a `subscribe` request (cheap pre-parse; a frame
+/// that fails to parse here is not a subscribe and gets its structured
+/// `bad_json` from the normal dispatch path).
+fn wants_subscribe(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|frame| {
+            frame
+                .get("op")
+                .and_then(Json::as_str)
+                .map(|op| op == "subscribe")
+        })
+        .unwrap_or(false)
+}
+
+/// How a `subscribe` request ended, for the connection loop.
+enum SubscribeOutcome {
+    /// The request never became a stream: answer `reply` like any other op
+    /// and keep serving the connection.
+    Reject(Json),
+    /// The stream ran and wrote its own frames; `summary` exists only for
+    /// request accounting. `close` means the socket is no longer usable
+    /// (slow-consumer shed, write failure, or server shutdown).
+    Streamed { summary: Json, close: bool },
+}
+
+/// Bounds of a subscriber's requested progress-tick interval.
+const SUBSCRIBE_MIN_INTERVAL: Duration = Duration::from_millis(1);
+const SUBSCRIBE_MAX_INTERVAL: Duration = Duration::from_secs(60);
+
+/// Validates a `subscribe` request and, when it names a live batch, streams
+/// it (see [`stream_subscription`]).
+fn subscribe_connection(state: &ServerState, line: &str, stream: &TcpStream) -> SubscribeOutcome {
+    let frame = match Json::parse(line) {
+        Ok(frame) => frame,
+        Err(e) => return SubscribeOutcome::Reject(error_reply(ErrorCode::BadJson, e.to_string())),
+    };
+    let batch = match batch_from(&frame) {
+        Ok(batch) => batch,
+        Err(reply) => return SubscribeOutcome::Reject(reply),
+    };
+    if state.service.poll(batch).is_none() {
+        return SubscribeOutcome::Reject(error_reply(
+            ErrorCode::UnknownBatch,
+            format!("no batch {}", batch.raw()),
+        ));
+    }
+    let interval = frame
+        .get("interval_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis)
+        .unwrap_or(state.subscribe_interval)
+        .clamp(SUBSCRIBE_MIN_INTERVAL, SUBSCRIBE_MAX_INTERVAL);
+    stream_subscription(state, batch, interval, stream)
+}
+
+/// The producer side of one `subscribe` stream: pushes frames into the
+/// bounded queue a dedicated writer thread drains to the socket. The
+/// producer pulls all of its data from the service's lock-free progress
+/// cells and the batch table — it never blocks a worker — and a full queue
+/// (a subscriber that stopped reading) sheds the subscriber by closing its
+/// socket, in the same spirit as the connection-cap `overloaded` shed.
+struct SubscribePush<'a> {
+    state: &'a ServerState,
+    stream: &'a TcpStream,
+    tx: SyncSender<String>,
+    pushes: u64,
+    shed: bool,
+    dead: bool,
+}
+
+impl SubscribePush<'_> {
+    /// `false` once the stream is over (shed or the writer went away).
+    fn push(&mut self, frame: &Json) -> bool {
+        if self.shed || self.dead {
+            return false;
+        }
+        match self.tx.try_send(format!("{frame}\n")) {
+            Ok(()) => {
+                self.pushes += 1;
+                self.state
+                    .metrics
+                    .counter("server_subscribe_pushes_total")
+                    .inc();
+                true
+            }
+            Err(TrySendError::Full(_)) => {
+                // The peer stopped reading, so no structured reply can reach
+                // it — count the shed, close both directions and let the
+                // client observe EOF mid-stream.
+                self.state
+                    .metrics
+                    .counter("server_subscribe_dropped_total")
+                    .inc();
+                self.shed = true;
+                self.stream.shutdown(Shutdown::Both).ok();
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // The writer thread exited on a write error: the peer is
+                // gone (or its socket stalled past the write timeout).
+                self.dead = true;
+                false
+            }
+        }
+    }
+
+    fn live(&self) -> bool {
+        !self.shed && !self.dead
+    }
+}
+
+/// Streams one batch: a `subscribed` acknowledgement, `job_started` once
+/// per job as it is dequeued, periodic `progress` frames for every job
+/// still racing, and — the ordering contract observers rely on — for every
+/// completed job one final `progress` frame (its closing effort counters,
+/// bound always nonzero) immediately followed by its `verdict` frame, then
+/// one `batch_done` frame. A batch that already completed replays its final
+/// progress and verdicts immediately, so late subscribers (`wlac-client
+/// watch` after the fact) still get the full story.
+fn stream_subscription(
+    state: &ServerState,
+    batch: BatchId,
+    interval: Duration,
+    stream: &TcpStream,
+) -> SubscribeOutcome {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<String>(state.subscribe_queue);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            return SubscribeOutcome::Streamed {
+                summary: error_reply(ErrorCode::Internal, "socket clone failed"),
+                close: true,
+            }
+        }
+    };
+    let writer = std::thread::spawn(move || {
+        let mut writer = writer_stream;
+        while let Ok(frame) = rx.recv() {
+            if writer
+                .write_all(frame.as_bytes())
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                return; // dropping `rx` tells the producer the peer is gone
+            }
+        }
+    });
+    let mut push = SubscribePush {
+        state,
+        stream,
+        tx,
+        pushes: 0,
+        shed: false,
+        dead: false,
+    };
+    let shutdown = stream_events(state, batch, interval, &mut push);
+    let SubscribePush {
+        pushes,
+        shed,
+        dead,
+        tx,
+        ..
+    } = push;
+    // `tx` must drop *before* the join: a `..` rest pattern keeps unmatched
+    // fields alive to end of scope, and the writer only exits once every
+    // sender is gone (it drains what was queued first).
+    drop(tx);
+    writer.join().ok();
+    let summary = if shed {
+        error_reply(ErrorCode::Overloaded, "subscriber stopped reading; shed")
+    } else {
+        ok_reply(vec![
+            ("batch", Json::num(batch.raw())),
+            ("pushed", Json::num(pushes)),
+        ])
+    };
+    SubscribeOutcome::Streamed {
+        summary,
+        close: shed || dead || shutdown,
+    }
+}
+
+/// The event loop of one subscription; `true` when it ended because the
+/// server is draining.
+fn stream_events(
+    state: &ServerState,
+    batch: BatchId,
+    interval: Duration,
+    push: &mut SubscribePush<'_>,
+) -> bool {
+    let total = match state.service.poll(batch) {
+        Some(status) => status.total,
+        None => return false,
+    };
+    let acknowledgement = ok_reply(vec![
+        ("event", Json::str("subscribed")),
+        ("batch", Json::num(batch.raw())),
+        ("total", Json::num(total as u64)),
+    ]);
+    if !push.push(&acknowledgement) {
+        return false;
+    }
+    let mut announced = vec![false; total];
+    let mut delivered = vec![false; total];
+    loop {
+        // Deliver every newly completed slot: final progress, then verdict.
+        let Some(slots) = state.service.batch_slots(batch) else {
+            // Another client retired the batch (`results`/`wait`) while we
+            // streamed; nothing more can be observed.
+            return false;
+        };
+        for (index, slot) in slots.iter().enumerate() {
+            if delivered[index] {
+                continue;
+            }
+            let Some((result, probe)) = slot else {
+                continue;
+            };
+            let final_progress = ok_reply(vec![
+                ("event", Json::str("progress")),
+                ("batch", Json::num(batch.raw())),
+                ("index", Json::num(index as u64)),
+                ("property", Json::str(result.property.clone())),
+                ("elapsed_ms", Json::Num(result.wall.as_secs_f64() * 1e3)),
+                (
+                    "leading",
+                    result
+                        .winner
+                        .map(|w| Json::str(w.to_string()))
+                        .unwrap_or(Json::Null),
+                ),
+                ("probe", probe_to_wire(probe)),
+            ]);
+            let verdict = ok_reply(vec![
+                ("event", Json::str("verdict")),
+                ("batch", Json::num(batch.raw())),
+                ("index", Json::num(index as u64)),
+                ("result", job_result_to_wire(result)),
+            ]);
+            if !push.push(&final_progress) || !push.push(&verdict) {
+                return false;
+            }
+            delivered[index] = true;
+        }
+        let completed = delivered.iter().filter(|d| **d).count();
+        if completed == total {
+            let done = ok_reply(vec![
+                ("event", Json::str("batch_done")),
+                ("batch", Json::num(batch.raw())),
+                ("total", Json::num(total as u64)),
+            ]);
+            push.push(&done);
+            return false;
+        }
+        if state.shutting_down.load(Ordering::Acquire) {
+            return true;
+        }
+        // Live progress of everything still racing in this batch.
+        if let Some(progress) = state.service.batch_progress(batch) {
+            for job in &progress.running {
+                if job.index < total && !announced[job.index] {
+                    announced[job.index] = true;
+                    let started = ok_reply(vec![
+                        ("event", Json::str("job_started")),
+                        ("batch", Json::num(batch.raw())),
+                        ("index", Json::num(job.index as u64)),
+                        ("job", Json::num(job.job)),
+                        ("property", Json::str(job.property.clone())),
+                        ("design", Json::str(design_to_wire(job.design))),
+                    ]);
+                    if !push.push(&started) {
+                        return false;
+                    }
+                }
+                let frame = ok_reply(vec![
+                    ("event", Json::str("progress")),
+                    ("batch", Json::num(batch.raw())),
+                    ("index", Json::num(job.index as u64)),
+                    ("property", Json::str(job.property.clone())),
+                    ("elapsed_ms", Json::Num(job.elapsed.as_secs_f64() * 1e3)),
+                    (
+                        "leading",
+                        job.leading
+                            .map(|e| Json::str(e.to_string()))
+                            .unwrap_or(Json::Null),
+                    ),
+                    ("probe", probe_to_wire(&job.probe)),
+                ]);
+                if !push.push(&frame) {
+                    return false;
+                }
+            }
+        }
+        if !push.live() {
+            return false;
+        }
+        // Sleep until a job completes or the next tick is due.
+        if state
+            .service
+            .wait_batch_change(batch, completed, interval)
+            .is_none()
+        {
+            return false;
+        }
+    }
 }
 
 /// Books one finished request: per-op counter and latency histogram, a
@@ -1051,6 +1422,14 @@ fn dispatch(state: &ServerState, line: &str) -> (Json, &'static str) {
         "poll" => op_poll(state, &frame),
         "results" => op_results(state, &frame),
         "wait" => op_wait(state, &frame),
+        "progress" => op_progress(state, &frame),
+        // Unreachable from the connection loop (subscribe is intercepted
+        // before dispatch, socket in hand); kept so a unit caller gets a
+        // diagnosis rather than `unknown_op`.
+        "subscribe" => error_reply(
+            ErrorCode::BadRequest,
+            "subscribe streams on its connection and cannot be dispatched",
+        ),
         "stats" => op_stats(state),
         "export_knowledge" => op_export_knowledge(state, &frame),
         "import_knowledge" => op_import_knowledge(state, &frame),
@@ -1531,6 +1910,44 @@ fn op_wait(state: &ServerState, frame: &Json) -> Json {
             ),
         ),
     }
+}
+
+/// Point-in-time progress. With a `batch` member: that batch's completion
+/// counts plus a row per job still racing. Without: the whole server's live
+/// load — queue depth, worker liveness, and every in-flight job — the data
+/// behind `wlac-client top`.
+fn op_progress(state: &ServerState, frame: &Json) -> Json {
+    if frame.get("batch").is_some() {
+        let batch = match batch_from(frame) {
+            Ok(batch) => batch,
+            Err(reply) => return reply,
+        };
+        return match state.service.batch_progress(batch) {
+            Some(progress) => ok_reply(vec![
+                ("batch", Json::num(batch.raw())),
+                ("total", Json::num(progress.total as u64)),
+                ("completed", Json::num(progress.completed as u64)),
+                ("done", Json::Bool(progress.done())),
+                (
+                    "running",
+                    Json::Arr(progress.running.iter().map(job_progress_to_wire).collect()),
+                ),
+            ]),
+            None => error_reply(ErrorCode::UnknownBatch, format!("no batch {}", batch.raw())),
+        };
+    }
+    let stats = state.service.stats();
+    let running = state.service.running_jobs();
+    ok_reply(vec![
+        ("queue_depth", Json::num(stats.queue_depth as u64)),
+        ("running_jobs", Json::num(running.len() as u64)),
+        ("workers_alive", Json::num(stats.workers_alive as u64)),
+        ("uptime_s", Json::Num(state.started.elapsed().as_secs_f64())),
+        (
+            "running",
+            Json::Arr(running.iter().map(job_progress_to_wire).collect()),
+        ),
+    ])
 }
 
 fn design_from(state: &ServerState, frame: &Json) -> Result<DesignHash, Json> {

@@ -980,6 +980,128 @@ fn health_returns_to_ready_after_a_lost_worker_is_respawned() {
 }
 
 #[test]
+fn a_non_reading_subscriber_is_shed_without_stalling_the_server() {
+    let mut config = deterministic_config();
+    // Two workers and one hung engine run: one job wedges forever (keeping
+    // its subscription streaming), the other completes normally.
+    config.service.workers = 2;
+    config.service.faults = FaultPlan::seeded(7).fire_nth(FaultSite::EngineHang, 1);
+    config.subscribe_queue = 4;
+    config.subscribe_interval = Duration::from_millis(1);
+    config.wait_timeout = Duration::from_millis(300);
+    config.drain_timeout = Duration::from_millis(300);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &[("always", "ok"), ("always", "bad")]);
+
+    // The subscriber asks for 1ms ticks and then never reads a byte: its
+    // socket and the bounded send queue fill until the server sheds it.
+    let mut subscriber = Client::connect(addr);
+    subscriber
+        .writer
+        .write_all(
+            format!("{{\"op\":\"subscribe\",\"batch\":{batch},\"interval_ms\":1}}\n").as_bytes(),
+        )
+        .and_then(|()| subscriber.writer.flush())
+        .expect("send subscribe");
+
+    // Meanwhile this connection keeps getting served, the non-wedged job
+    // completes, and the shed lands in the metrics.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if client.metric("server_subscribe_dropped_total") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the non-reading subscriber was never shed"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let reply = client.call(Json::obj(vec![
+        ("op", Json::str("poll")),
+        ("batch", Json::num(batch)),
+    ]));
+    assert_eq!(
+        reply.get("completed").and_then(Json::as_u64),
+        Some(1),
+        "the healthy worker kept serving while the subscriber flooded: {reply}"
+    );
+
+    // The shed closed the subscriber's socket: after the buffered frames
+    // drain, it reads EOF (never a structured reply — the peer stopped
+    // reading, so none could be delivered).
+    subscriber
+        .writer
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut drained = String::new();
+    let eof = loop {
+        drained.clear();
+        match subscriber.reader.read_line(&mut drained) {
+            Ok(0) => break true,
+            Ok(_) => continue,
+            Err(_) => break false,
+        }
+    };
+    assert!(eof, "shed subscriber observes EOF");
+
+    // Fresh connections still serve; shutdown reports the wedged job as
+    // undrained instead of hanging.
+    let mut fresh = Client::connect(addr);
+    fresh.call(Json::obj(vec![("op", Json::str("ping"))]));
+    let reply = fresh.shutdown();
+    assert_eq!(reply.get("drained").and_then(Json::as_bool), Some(false));
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn a_live_subscriber_never_perturbs_verdicts() {
+    let reference = fault_free_verdicts(&THREE_JOBS);
+
+    let mut config = deterministic_config();
+    config.subscribe_interval = Duration::from_millis(1);
+    let (addr, handle, _) = start(config);
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit(&design, &THREE_JOBS);
+
+    // A second connection rides the stream at the fastest tick the server
+    // allows, all the way to batch_done.
+    let mut subscriber = Client::connect(addr);
+    subscriber
+        .writer
+        .write_all(
+            format!("{{\"op\":\"subscribe\",\"batch\":{batch},\"interval_ms\":1}}\n").as_bytes(),
+        )
+        .and_then(|()| subscriber.writer.flush())
+        .expect("send subscribe");
+    let mut verdicts = 0;
+    loop {
+        let frame = subscriber.read_line();
+        assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(true));
+        match frame.get("event").and_then(Json::as_str) {
+            Some("verdict") => verdicts += 1,
+            Some("batch_done") => break,
+            _ => {}
+        }
+    }
+    assert_eq!(verdicts, 3, "every verdict rides the stream");
+
+    // Observation is pure: the verdicts are byte-identical to the
+    // subscriber-free run, and the progress counters actually moved.
+    let results = client.wait(batch);
+    let observed: Vec<String> = results.iter().map(verdict_bytes).collect();
+    assert_eq!(observed, reference, "a subscriber must not perturb search");
+    assert!(client.metric("core_progress_probes_total") >= 3);
+    assert!(client.metric("server_subscribe_pushes_total") >= 7);
+    assert_eq!(client.metric("server_subscribe_dropped_total"), 0);
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
 fn idle_connections_are_reaped_by_the_read_timeout() {
     let mut config = deterministic_config();
     config.read_timeout = Some(Duration::from_millis(200));

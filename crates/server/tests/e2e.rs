@@ -145,6 +145,29 @@ impl Client {
     fn shutdown(&mut self) {
         self.call(Json::obj(vec![("op", Json::str("shutdown"))]));
     }
+
+    /// Sends one line without reading a reply (the `subscribe` handshake —
+    /// everything after it is pushed by the server).
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .expect("send");
+    }
+
+    /// Reads one pushed event frame.
+    fn read_event(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("receive");
+        assert!(!line.is_empty(), "stream ended early");
+        let frame = Json::parse(line.trim_end()).expect("event frame is valid JSON");
+        assert_eq!(
+            frame.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "pushed frame failed: {frame}"
+        );
+        frame
+    }
 }
 
 fn quick_config() -> ServerConfig {
@@ -690,6 +713,178 @@ fn events_tails_the_flight_recorder_over_the_wire() {
         client.call_err("{\"op\":\"events\",\"layer\":\"warp\"}"),
         "bad_request"
     );
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+/// Drains one subscription to its `batch_done`, returning every event frame
+/// in arrival order (the `subscribed` acknowledgement excluded).
+fn drain_stream(sub: &mut Client, total: usize) -> Vec<Json> {
+    let mut events = Vec::new();
+    loop {
+        let frame = sub.read_event();
+        let kind = frame
+            .get("event")
+            .and_then(Json::as_str)
+            .expect("pushed frame carries an event")
+            .to_string();
+        if kind == "batch_done" {
+            assert_eq!(
+                frame.get("total").and_then(Json::as_u64),
+                Some(total as u64)
+            );
+            return events;
+        }
+        events.push(frame);
+    }
+}
+
+#[test]
+fn subscribe_streams_progress_before_every_verdict() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+    let design = client.register_counter();
+    let batch = client.submit_both(&design);
+
+    // A second connection rides the event stream; nobody ever polls.
+    let mut sub = Client::connect(addr);
+    sub.send(&format!(
+        "{{\"op\":\"subscribe\",\"batch\":{batch},\"interval_ms\":5}}"
+    ));
+    let ack = sub.read_event();
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("subscribed"));
+    assert_eq!(ack.get("batch").and_then(Json::as_u64), Some(batch));
+    assert_eq!(ack.get("total").and_then(Json::as_u64), Some(2));
+    let events = drain_stream(&mut sub, 2);
+
+    // The ordering contract: for every job, at least one `progress` frame
+    // with a nonzero bound arrives before its `verdict` frame.
+    for index in 0..2u64 {
+        let verdict_at = events
+            .iter()
+            .position(|e| {
+                e.get("event").and_then(Json::as_str) == Some("verdict")
+                    && e.get("index").and_then(Json::as_u64) == Some(index)
+            })
+            .unwrap_or_else(|| panic!("no verdict for job {index}"));
+        assert!(
+            events[..verdict_at].iter().any(|e| {
+                e.get("event").and_then(Json::as_str) == Some("progress")
+                    && e.get("index").and_then(Json::as_u64) == Some(index)
+                    && e.get("probe")
+                        .and_then(|p| p.get("bound"))
+                        .and_then(Json::as_u64)
+                        .is_some_and(|b| b > 0)
+            }),
+            "no nonzero-bound progress before the verdict of job {index}: {events:?}"
+        );
+    }
+    // The verdicts themselves ride the stream (in completion order), full
+    // result objects included.
+    let mut streamed: Vec<(u64, String)> = events
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("verdict"))
+        .map(|e| {
+            (
+                e.get("index").and_then(Json::as_u64).expect("index"),
+                label_of(e.get("result").expect("verdict carries the result")),
+            )
+        })
+        .collect();
+    streamed.sort();
+    assert_eq!(
+        streamed,
+        [(0, "holds(bound)".into()), (1, "violated".into())]
+    );
+
+    // The stream ends cleanly and the connection stays a normal
+    // request/reply connection.
+    sub.call(Json::obj(vec![("op", Json::str("ping"))]));
+
+    // A late subscriber sees the completed batch replayed in full: final
+    // progress then verdict per job, then batch_done.
+    sub.send(&format!("{{\"op\":\"subscribe\",\"batch\":{batch}}}"));
+    let ack = sub.read_event();
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("subscribed"));
+    let replay = drain_stream(&mut sub, 2);
+    let kinds: Vec<&str> = replay
+        .iter()
+        .filter_map(|e| e.get("event").and_then(Json::as_str))
+        .collect();
+    assert_eq!(
+        kinds,
+        ["progress", "verdict", "progress", "verdict"],
+        "completed batches replay deterministically"
+    );
+
+    // The results are still there (subscribe never retires a batch), and
+    // the whole exchange used zero `poll` calls.
+    let results = client.wait(batch);
+    assert_eq!(results.len(), 2);
+    let reply = client.call(Json::obj(vec![("op", Json::str("stats"))]));
+    let ops = reply.get("ops").expect("ops object");
+    assert_eq!(ops.get("poll").and_then(Json::as_u64), Some(0));
+    assert_eq!(ops.get("subscribe").and_then(Json::as_u64), Some(2));
+
+    // Even a retired (retrieved) batch replays while it is retained; only a
+    // genuinely unknown handle is a structured reject — after which the
+    // connection keeps serving.
+    sub.send(&format!("{{\"op\":\"subscribe\",\"batch\":{batch}}}"));
+    let ack = sub.read_event();
+    assert_eq!(ack.get("event").and_then(Json::as_str), Some("subscribed"));
+    drain_stream(&mut sub, 2);
+    assert_eq!(
+        sub.call_err("{\"op\":\"subscribe\",\"batch\":999999}"),
+        "unknown_batch"
+    );
+    sub.call(Json::obj(vec![("op", Json::str("ping"))]));
+
+    client.shutdown();
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn progress_op_reports_server_load_and_batch_state() {
+    let (addr, handle, _) = start(quick_config());
+    let mut client = Client::connect(addr);
+
+    // Idle server: zero queue, zero running, full worker quorum.
+    let reply = client.call(Json::obj(vec![("op", Json::str("progress"))]));
+    assert_eq!(reply.get("queue_depth").and_then(Json::as_u64), Some(0));
+    assert_eq!(reply.get("running_jobs").and_then(Json::as_u64), Some(0));
+    assert_eq!(reply.get("workers_alive").and_then(Json::as_u64), Some(2));
+    assert!(reply.get("uptime_s").and_then(Json::as_f64).is_some());
+    assert_eq!(
+        reply.get("running").and_then(Json::as_arr).map(|r| r.len()),
+        Some(0)
+    );
+
+    // A completed batch reports done with nothing running.
+    let design = client.register_counter();
+    // A batch nobody submitted is a structured reject.
+    assert_eq!(
+        client.call_err("{\"op\":\"progress\",\"batch\":999999}"),
+        "unknown_batch"
+    );
+    let batch = client.submit_both(&design);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = client.call(Json::obj(vec![
+            ("op", Json::str("progress")),
+            ("batch", Json::num(batch)),
+        ]));
+        assert_eq!(reply.get("total").and_then(Json::as_u64), Some(2));
+        if reply.get("done").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(reply.get("completed").and_then(Json::as_u64), Some(2));
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "batch never completed"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
 
     client.shutdown();
     handle.join().expect("server thread");

@@ -88,8 +88,8 @@ pub use knowledge::{
     ClauseBank, KnowledgeBase, KnowledgeError, KnowledgeStats, DEFAULT_CLAUSE_CAP,
 };
 pub use session::{
-    BatchId, BatchStatus, JobResult, ServiceConfig, ServiceStats, VerdictRecord,
-    VerificationService, DEFAULT_CACHE_CAPACITY, DEFAULT_RETAINED_BATCHES,
+    BatchId, BatchProgress, BatchStatus, JobProgress, JobResult, ServiceConfig, ServiceStats,
+    VerdictRecord, VerificationService, DEFAULT_CACHE_CAPACITY, DEFAULT_RETAINED_BATCHES,
 };
 
 #[cfg(test)]
@@ -350,6 +350,60 @@ mod tests {
         assert!(registry.counter("core_gate_evaluations_total").get() > 0);
         // The portfolio layer shares the same registry.
         assert_eq!(registry.counter("portfolio_races_total").get(), 2);
+    }
+
+    #[test]
+    fn progress_surface_streams_completions_and_final_probes() {
+        let service = VerificationService::new(quick_config());
+        let batch = service.submit_batch(vec![counter(12, 5, "p0"), counter(5, 12, "p1")]);
+        // Stream completions through the subscriber primitive instead of
+        // blocking on the whole batch.
+        let mut seen = 0;
+        while seen < 2 {
+            seen = service
+                .wait_batch_change(batch, seen, Duration::from_secs(30))
+                .expect("known batch");
+        }
+        let slots = service.batch_slots(batch).expect("known batch");
+        assert_eq!(slots.len(), 2);
+        for slot in &slots {
+            let (result, probe) = slot.as_ref().expect("completed slot");
+            assert!(result.verdict.is_definitive(), "{:?}", result.verdict);
+            assert!(probe.bound > 0, "final probe carries the verdict's depth");
+            assert!(probe.probes > 0, "every raced job publishes probes");
+        }
+        // The streaming reads never retired the batch.
+        assert_eq!(service.results(batch).expect("batch done").len(), 2);
+        let progress = service.batch_progress(batch).expect("retained batch");
+        assert!(progress.done());
+        assert!(progress.running.is_empty());
+        let stats = service.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.running_jobs, 0);
+        assert!(service.running_jobs().is_empty());
+        // Unknown handles answer None across the whole progress surface.
+        let bogus = BatchId::from_raw(9_999);
+        assert!(service.batch_progress(bogus).is_none());
+        assert!(service.batch_slots(bogus).is_none());
+        assert!(service
+            .wait_batch_change(bogus, 0, Duration::from_millis(1))
+            .is_none());
+    }
+
+    #[test]
+    fn cache_hits_synthesize_a_final_probe_from_the_verdict() {
+        let service = VerificationService::new(quick_config());
+        let cold = service.submit_batch(vec![counter(12, 5, "p")]);
+        let _ = service.wait(cold);
+        let warm = service.submit_batch(vec![counter(12, 5, "p")]);
+        let results = service.wait(warm);
+        assert!(results[0].from_cache);
+        let slots = service.batch_slots(warm).expect("retained batch");
+        let (_, probe) = slots[0].as_ref().expect("completed");
+        assert!(
+            probe.bound > 0,
+            "cache hits still report the verdict's depth: {probe:?}"
+        );
     }
 
     #[test]

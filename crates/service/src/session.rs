@@ -30,9 +30,9 @@ use wlac_faultinject::{CondvarExt, FaultPlan, FaultSite, LockExt};
 use wlac_netlist::Netlist;
 use wlac_portfolio::{
     predict_engines, Engine, EngineStats, NetlistFeatures, Portfolio, PortfolioConfig,
-    PortfolioReport, Verdict, WarmStart,
+    PortfolioReport, RaceProgress, Verdict, WarmStart,
 };
-use wlac_telemetry::{MetricsRegistry, RecorderHandle, RecorderKind, RecorderLayer};
+use wlac_telemetry::{MetricsRegistry, ProgressProbe, RecorderHandle, RecorderKind, RecorderLayer};
 
 /// Handle to a submitted batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +68,49 @@ pub struct BatchStatus {
 }
 
 impl BatchStatus {
+    /// `true` when every job has a result.
+    pub fn done(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+/// A live snapshot of one in-flight job: identity plus the aggregated
+/// progress probe of its engine race, read lock-free from the race's
+/// [`RaceProgress`] cells.
+#[derive(Debug, Clone)]
+pub struct JobProgress {
+    /// Session-unique job id (the one stamped into flight-recorder events).
+    pub job: u64,
+    /// Batch the job belongs to.
+    pub batch: BatchId,
+    /// Position within its batch.
+    pub index: usize,
+    /// Property name.
+    pub property: String,
+    /// Design the job runs against.
+    pub design: DesignHash,
+    /// Wall-clock time since the job was dequeued.
+    pub elapsed: Duration,
+    /// The engine currently deepest into the search, when any engine has
+    /// published.
+    pub leading: Option<Engine>,
+    /// Aggregated effort counters across the race's engines.
+    pub probe: ProgressProbe,
+}
+
+/// A point-in-time view of one batch: completion counts plus a live
+/// [`JobProgress`] for each of its jobs still racing.
+#[derive(Debug, Clone)]
+pub struct BatchProgress {
+    /// Jobs in the batch.
+    pub total: usize,
+    /// Jobs finished.
+    pub completed: usize,
+    /// The batch's in-flight jobs (dequeued, racing, not yet completed).
+    pub running: Vec<JobProgress>,
+}
+
+impl BatchProgress {
     /// `true` when every job has a result.
     pub fn done(&self) -> bool {
         self.completed == self.total
@@ -203,6 +246,10 @@ pub struct ServiceStats {
     /// configured pool size it means a lost worker has not been respawned
     /// yet — the readiness signal the server's health op watches.
     pub workers_alive: usize,
+    /// Jobs queued but not yet dequeued by a worker.
+    pub queue_depth: usize,
+    /// Jobs dequeued and currently racing engines.
+    pub running_jobs: usize,
 }
 
 impl ServiceStats {
@@ -360,6 +407,11 @@ struct QueuedJob {
 
 struct BatchState {
     results: Vec<Option<JobResult>>,
+    /// The final progress probe of each completed slot, published together
+    /// with the result so a subscriber can always emit a closing progress
+    /// event before the verdict (cache hits synthesize theirs from the
+    /// verdict's frame depth).
+    progress: Vec<Option<ProgressProbe>>,
     completed: usize,
     /// Results have been handed out at least once; only retrieved batches
     /// are eligible for retirement.
@@ -411,12 +463,27 @@ impl BatchTable {
     }
 }
 
+/// Bookkeeping for one in-flight (dequeued, racing) job: identity plus the
+/// race's live progress cells. Registered before the race spawns, removed on
+/// completion; observers snapshot concurrently without touching the race.
+struct RunningJob {
+    job_id: u64,
+    batch: u64,
+    index: usize,
+    property: String,
+    design: DesignHash,
+    started: Instant,
+    progress: RaceProgress,
+}
+
 struct Shared {
     config: ServiceConfig,
     registry: Mutex<HashMap<DesignHash, Arc<DesignEntry>>>,
     cache: Mutex<VerdictCache>,
     queue: Mutex<VecDeque<QueuedJob>>,
     queue_cv: Condvar,
+    /// In-flight jobs by job id, for the live-progress surface.
+    running: Mutex<HashMap<u64, Arc<RunningJob>>>,
     batches: Mutex<BatchTable>,
     batch_cv: Condvar,
     next_batch: AtomicU64,
@@ -519,6 +586,7 @@ impl VerificationService {
             cache: Mutex::new(cache),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
+            running: Mutex::new(HashMap::new()),
             batches: Mutex::new(BatchTable::new()),
             batch_cv: Condvar::new(),
             next_batch: AtomicU64::new(0),
@@ -572,6 +640,7 @@ impl VerificationService {
                 batch,
                 BatchState {
                     results: (0..jobs.len()).map(|_| None).collect(),
+                    progress: (0..jobs.len()).map(|_| None).collect(),
                     completed: 0,
                     retrieved: false,
                     waiters: 0,
@@ -622,6 +691,108 @@ impl VerificationService {
             total: state.results.len(),
             completed: state.completed,
         })
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock_recover().len()
+    }
+
+    /// Live snapshots of every in-flight job (dequeued, racing engines, not
+    /// yet completed), in job-id order. Snapshotting reads the races' live
+    /// progress cells lock-free; it never perturbs the searches.
+    pub fn running_jobs(&self) -> Vec<JobProgress> {
+        let running: Vec<Arc<RunningJob>> = {
+            let map = self.shared.running.lock_recover();
+            map.values().cloned().collect()
+        };
+        let mut jobs: Vec<JobProgress> = running.iter().map(|r| job_progress(r)).collect();
+        jobs.sort_by_key(|j| j.job);
+        jobs
+    }
+
+    /// Live progress of one batch: completion counts plus a [`JobProgress`]
+    /// for each of its jobs currently racing. `None` for an unknown (or
+    /// retired) handle.
+    pub fn batch_progress(&self, batch: BatchId) -> Option<BatchProgress> {
+        let (total, completed) = {
+            let batches = self.shared.batches.lock_recover();
+            let state = batches.states.get(&batch.0)?;
+            (state.results.len(), state.completed)
+        };
+        let mut running: Vec<JobProgress> = {
+            let map = self.shared.running.lock_recover();
+            map.values()
+                .filter(|r| r.batch == batch.0)
+                .map(|r| job_progress(r))
+                .collect()
+        };
+        running.sort_by_key(|j| j.index);
+        Some(BatchProgress {
+            total,
+            completed,
+            running,
+        })
+    }
+
+    /// The per-slot completed results of a batch, each paired with its final
+    /// progress probe, in job order (`None` slots are still pending). Unlike
+    /// [`VerificationService::results`] this never blocks, works on a
+    /// partially complete batch, and does *not* retire it — the streaming
+    /// (`subscribe`) read path, which must be able to observe a batch
+    /// repeatedly as it fills in.
+    pub fn batch_slots(&self, batch: BatchId) -> Option<Vec<Option<(JobResult, ProgressProbe)>>> {
+        let batches = self.shared.batches.lock_recover();
+        let state = batches.states.get(&batch.0)?;
+        Some(
+            state
+                .results
+                .iter()
+                .zip(&state.progress)
+                .map(|(result, probe)| {
+                    result
+                        .as_ref()
+                        .map(|r| (r.clone(), probe.unwrap_or_default()))
+                })
+                .collect(),
+        )
+    }
+
+    /// Blocks until the batch's completed-job count differs from `seen` or
+    /// `timeout` elapses, and returns the current count either way. `None`
+    /// for an unknown (or retired) handle. The streaming wait primitive: a
+    /// subscriber sleeps here between its progress ticks and is woken the
+    /// moment any job of the batch completes.
+    pub fn wait_batch_change(
+        &self,
+        batch: BatchId,
+        seen: usize,
+        timeout: Duration,
+    ) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut batches = self.shared.batches.lock_recover();
+        batches.states.get_mut(&batch.0)?.waiters += 1;
+        let result = loop {
+            // The state cannot be evicted while `waiters > 0`.
+            let Some(state) = batches.states.get(&batch.0) else {
+                break None;
+            };
+            if state.completed != seen {
+                break Some(state.completed);
+            }
+            let (guard, timed_out) = self
+                .shared
+                .batch_cv
+                .wait_deadline_recover(batches, deadline);
+            batches = guard;
+            if timed_out {
+                break batches.states.get(&batch.0).map(|s| s.completed);
+            }
+        };
+        if let Some(state) = batches.states.get_mut(&batch.0) {
+            state.waiters -= 1;
+        }
+        result
     }
 
     /// The results of a finished batch in job order; `None` while any job is
@@ -716,6 +887,8 @@ impl VerificationService {
             let handles = self.shared.worker_handles.lock_recover();
             handles.iter().filter(|h| !h.is_finished()).count()
         };
+        let queue_depth = self.shared.queue.lock_recover().len();
+        let running_jobs = self.shared.running.lock_recover().len();
         let registry = self.shared.registry.lock_recover();
         let mut stats = ServiceStats {
             designs: registry.len(),
@@ -728,6 +901,8 @@ impl VerificationService {
             timed_out_jobs: self.shared.timeouts.load(Ordering::Relaxed),
             workers_respawned: self.shared.respawned.load(Ordering::Relaxed),
             workers_alive,
+            queue_depth,
+            running_jobs,
             ..ServiceStats::default()
         };
         for entry in registry.values() {
@@ -1018,7 +1193,7 @@ fn quarantine_job(shared: &Shared, job: &QueuedJob, wall: Duration, payload: &dy
         wall,
     };
     record_job_metrics(shared, &result, None);
-    complete_job(shared, job, result);
+    complete_job(shared, job, result, ProgressProbe::default());
 }
 
 /// Publishes one finished job into the registry: completion/cache counters,
@@ -1090,8 +1265,15 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
             engines_spawned: 0,
             wall: start.elapsed(),
         };
+        // No engine ran; synthesize the closing probe from the cached
+        // verdict's frame depth so subscribers still see depth-before-verdict.
+        let probe = ProgressProbe {
+            bound: verdict_bound(&result.verdict),
+            probes: 1,
+            ..ProgressProbe::default()
+        };
         record_job_metrics(shared, &result, None);
-        complete_job(shared, job, result);
+        complete_job(shared, job, result, probe);
         return;
     }
     shared.cache_misses.fetch_add(1, Ordering::Relaxed);
@@ -1115,7 +1297,7 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
             wall: start.elapsed(),
         };
         record_job_metrics(shared, &result, None);
-        complete_job(shared, job, result);
+        complete_job(shared, job, result, ProgressProbe::default());
         return;
     };
 
@@ -1143,6 +1325,23 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         shared.predicted_races.fetch_add(1, Ordering::Relaxed);
     }
 
+    // Register the race's live-progress cells before any engine spawns:
+    // from here until completion, `progress` observers see this job as
+    // running and can snapshot its probes lock-free.
+    let running = Arc::new(RunningJob {
+        job_id: job.job_id,
+        batch: job.batch,
+        index: job.index,
+        property: job.verification.property.name.clone(),
+        design: job.design,
+        started: start,
+        progress: RaceProgress::new(),
+    });
+    shared
+        .running
+        .lock_recover()
+        .insert(job.job_id, Arc::clone(&running));
+
     // 3. Race, absorb, cache. The race is fenced with `catch_unwind`: an
     // engine panic (propagated through the portfolio's scoped threads) must
     // complete the job as `Unknown` instead of killing this worker — a dead
@@ -1157,7 +1356,7 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         // The per-job handle stamps this job's id into every portfolio- and
         // core-layer event of the race.
         let recorder = shared.config.recorder.with_job(job.job_id);
-        portfolio.race_warm_recorded(&job.verification, &warm, &recorder)
+        portfolio.race_warm_probed(&job.verification, &warm, &recorder, &running.progress)
     }));
     let (report, harvest) = match raced {
         Ok(outcome) => outcome,
@@ -1174,7 +1373,7 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
                 wall: start.elapsed(),
             };
             record_job_metrics(shared, &result, None);
-            complete_job(shared, job, result);
+            complete_job(shared, job, result, running.progress.aggregate());
             return;
         }
     };
@@ -1279,18 +1478,57 @@ fn process_job(shared: &Shared, job: &QueuedJob) {
         wall: start.elapsed(),
     };
     record_job_metrics(shared, &result, Some(&report));
-    complete_job(shared, job, result);
+    complete_job(shared, job, result, running.progress.aggregate());
 }
 
-/// Records a job's result and wakes waiters. Tolerant by design: a batch
-/// evicted under fault, or a slot an earlier (panicked-then-quarantined)
-/// attempt already filled, is left alone — completion must never panic,
-/// because it runs inside *and* outside the per-job fence.
-fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult) {
+/// Snapshots one in-flight job into the public progress view.
+fn job_progress(running: &RunningJob) -> JobProgress {
+    JobProgress {
+        job: running.job_id,
+        batch: BatchId(running.batch),
+        index: running.index,
+        property: running.property.clone(),
+        design: running.design,
+        elapsed: running.started.elapsed(),
+        leading: running.progress.leading_engine(),
+        probe: running.progress.aggregate(),
+    }
+}
+
+/// The frame depth a verdict vouches for: explored frames for bounded
+/// passes, the trace length for trace-backed answers, 0 when the verdict
+/// says nothing about depth.
+fn verdict_bound(verdict: &Verdict) -> u64 {
+    match verdict {
+        Verdict::Holds { frames, .. } | Verdict::WitnessAbsent { frames } => *frames as u64,
+        Verdict::Violated { trace } | Verdict::WitnessFound { trace } => trace.len() as u64,
+        Verdict::Unknown { .. } | Verdict::Timeout { .. } => 0,
+    }
+}
+
+/// Records a job's result and final progress probe, deregisters it from the
+/// running set and wakes waiters. Tolerant by design: a batch evicted under
+/// fault, or a slot an earlier (panicked-then-quarantined) attempt already
+/// filled, is left alone — completion must never panic, because it runs
+/// inside *and* outside the per-job fence.
+fn complete_job(shared: &Shared, job: &QueuedJob, result: JobResult, mut probe: ProgressProbe) {
+    shared.running.lock_recover().remove(&job.job_id);
+    // A subscriber's closing progress event should carry the depth the
+    // verdict vouches for even when no engine published live (cache hits,
+    // instant answers).
+    if probe.bound == 0 {
+        probe.bound = verdict_bound(&result.verdict);
+    }
+    if let Some(metrics) = &shared.metrics {
+        metrics
+            .counter("core_progress_probes_total")
+            .add(probe.probes);
+    }
     let mut batches = shared.batches.lock_recover();
     if let Some(state) = batches.states.get_mut(&job.batch) {
         if state.results[job.index].is_none() {
             state.results[job.index] = Some(result);
+            state.progress[job.index] = Some(probe);
             state.completed += 1;
         }
     }

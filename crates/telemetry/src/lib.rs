@@ -23,6 +23,10 @@
 //!   nanos, two payload words) every layer emits into via a shared
 //!   [`RecorderHandle`], so the last N events of system behavior are always
 //!   reconstructable for a post-mortem dump or a remote `events` tail.
+//! * [`ProgressCell`] — a per-engine seqlock cell the core search publishes
+//!   live effort counters into through a [`ProgressHandle`]; observers
+//!   snapshot it at any moment (the `progress`/`subscribe` ops) without
+//!   locks, allocations or any effect on the search.
 //!
 //! The crate is std-only and dependency-free by design: it sits below every
 //! other crate in the workspace and must never pull the build online.
@@ -50,9 +54,11 @@
 #![warn(missing_docs)]
 
 mod metrics;
+mod progress;
 mod recorder;
 mod tracer;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry};
+pub use progress::{ProgressCell, ProgressHandle, ProgressProbe};
 pub use recorder::{FlightEvent, FlightRecorder, RecorderHandle, RecorderKind, RecorderLayer};
 pub use tracer::{SpanId, TraceEvent, TraceEventKind, Tracer};

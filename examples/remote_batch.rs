@@ -1,6 +1,7 @@
 //! A full network round-trip against the verification server: boot it on an
 //! ephemeral port with a persistence directory, drive it over a real TCP
-//! socket (register a Verilog design, submit a batch, wait), then restart
+//! socket (register a Verilog design, submit a batch, ride its `subscribe`
+//! event stream until every verdict has landed — no polling), then restart
 //! the server from its snapshots and show the same batch answered from the
 //! persisted verdict cache.
 //!
@@ -41,15 +42,70 @@ impl Client {
         self.writer
             .write_all(format!("{request}\n").as_bytes())
             .expect("send");
+        self.read_frame()
+    }
+
+    fn read_frame(&mut self) -> Json {
         let mut line = String::new();
         self.reader.read_line(&mut line).expect("receive");
-        let reply = Json::parse(line.trim_end()).expect("valid reply");
+        let reply = Json::parse(line.trim_end()).expect("valid frame");
         assert_eq!(
             reply.get("ok").and_then(Json::as_bool),
             Some(true),
-            "{request} failed: {reply}"
+            "request failed: {reply}"
         );
         reply
+    }
+
+    /// Subscribes to `batch` and consumes its event stream until
+    /// `batch_done`, printing each live `progress` frame. The server pushes
+    /// every frame — the client never polls.
+    fn stream_batch(&mut self, batch: u64) {
+        self.writer
+            .write_all(
+                format!(
+                    "{}\n",
+                    Json::obj(vec![
+                        ("op", Json::str("subscribe")),
+                        ("batch", Json::num(batch)),
+                        ("interval_ms", Json::num(50)),
+                    ])
+                )
+                .as_bytes(),
+            )
+            .expect("send subscribe");
+        loop {
+            let frame = self.read_frame();
+            match frame.get("event").and_then(Json::as_str) {
+                Some("progress") => {
+                    let probe = frame.get("probe");
+                    let effort = |name: &str| {
+                        probe
+                            .and_then(|p| p.get(name))
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0)
+                    };
+                    println!(
+                        "  progress {:<6} bound={} decisions={} conflicts={}",
+                        frame.get("property").and_then(Json::as_str).unwrap_or("?"),
+                        effort("bound"),
+                        effort("decisions"),
+                        effort("conflicts"),
+                    );
+                }
+                Some("verdict") => {
+                    let label = frame
+                        .get("result")
+                        .and_then(|r| r.get("verdict"))
+                        .and_then(|v| v.get("label"))
+                        .and_then(Json::as_str)
+                        .unwrap_or("?");
+                    println!("  verdict  {label}");
+                }
+                Some("batch_done") => return,
+                _ => {}
+            }
+        }
     }
 }
 
@@ -99,8 +155,11 @@ fn run_batch(addr: SocketAddr) -> Vec<(String, String, bool)> {
         ),
     ]));
     let batch = reply.get("batch").and_then(Json::as_u64).expect("batch");
+    // Ride the pushed event stream to completion, then fetch (and retire)
+    // the finished batch — `results` is also what lands the autosave.
+    client.stream_batch(batch);
     let reply = client.call(Json::obj(vec![
-        ("op", Json::str("wait")),
+        ("op", Json::str("results")),
         ("batch", Json::num(batch)),
     ]));
     reply
